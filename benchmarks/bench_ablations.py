@@ -1,0 +1,123 @@
+"""Experiment E11 -- ablations of the protocol's design choices.
+
+Section 4 motivates three design ingredients; this benchmark removes
+one at a time and measures the damage:
+
+* ``no-feedback``   -- prefix table kept out of the message union
+  (breaks the "mutually boost each other" loop);
+* ``no-prefix-part``-- messages carry only the ring-targeted part
+  (prefix tables must scavenge from ring traffic);
+* ``unoptimized-close`` -- random c-subset instead of peer-closest
+  (breaks the T-Man-style ring optimisation);
+* ``cr=0``          -- no random samples blended in;
+* ``random-fill``   -- the no-gossip straw man (sampling only).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.baselines import ABLATION_VARIANTS, RandomFillSimulation
+from repro.core import PAPER_CONFIG
+from repro.simulator import BootstrapSimulation
+
+SIZE = 512
+BUDGET = 60
+
+
+def run_ablations():
+    rows = []
+    baseline_cycles = None
+    for name, node_cls in ABLATION_VARIANTS.items():
+        sim = BootstrapSimulation(SIZE, seed=900, node_factory=node_cls)
+        result = sim.run(BUDGET)
+        cycles = result.converged_at
+        if name == "full":
+            baseline_cycles = cycles
+        final = result.final_sample
+        rows.append(
+            [
+                name,
+                "yes" if result.converged else "no",
+                cycles if cycles is not None else f">{BUDGET}",
+                final.leaf_fraction,
+                final.prefix_fraction,
+            ]
+        )
+
+    # cr = 0: ring gossip alone.
+    config = PAPER_CONFIG.with_overrides(random_samples=0)
+    result = BootstrapSimulation(SIZE, config=config, seed=900).run(BUDGET)
+    rows.append(
+        [
+            "cr=0 (no samples)",
+            "yes" if result.converged else "no",
+            result.converged_at or f">{BUDGET}",
+            result.final_sample.leaf_fraction,
+            result.final_sample.prefix_fraction,
+        ]
+    )
+
+    # Random-fill straw man (same budget).
+    fill = RandomFillSimulation(SIZE, seed=900)
+    samples = fill.run(BUDGET, stop_when_perfect=True)
+    final = samples[-1]
+    rows.append(
+        [
+            "random-fill (no gossip)",
+            "yes" if final.is_perfect else "no",
+            final.cycle if final.is_perfect else f">{BUDGET}",
+            final.leaf_fraction,
+            final.prefix_fraction,
+        ]
+    )
+    return rows, baseline_cycles
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_design_choice_ablations(benchmark):
+    rows, baseline_cycles = benchmark.pedantic(
+        run_ablations, rounds=1, iterations=1
+    )
+
+    by_name = {row[0]: row for row in rows}
+    # The full protocol converges, fast.
+    assert by_name["full"][1] == "yes"
+    assert baseline_cycles is not None
+
+    # Every ablation is at least as slow as the full protocol; the
+    # structural ones should hurt badly.
+    for name in ("no-feedback", "no-prefix-part", "unoptimized-close"):
+        row = by_name[name]
+        if row[1] == "yes":
+            assert row[2] >= baseline_cycles, f"{name} beat the protocol?"
+
+    # The prefix part is essential: without it, prefix tables are far
+    # from perfect at the budget (or converged dramatically later).
+    npp = by_name["no-prefix-part"]
+    assert npp[1] == "no" or npp[2] >= 2 * baseline_cycles
+
+    # The straw man must not match the gossip protocol.
+    fill = by_name["random-fill (no gossip)"]
+    assert fill[1] == "no" or fill[2] > 4 * baseline_cycles
+
+    from common import emit
+
+    emit(
+        "ablations",
+        render_table(
+            [
+                "variant",
+                "converged",
+                "cycles",
+                "final leaf frac",
+                "final prefix frac",
+            ],
+            rows,
+            title=(
+                f"design-choice ablations, N={SIZE}, budget {BUDGET} "
+                f"cycles (full protocol: {baseline_cycles})"
+            ),
+        ),
+    )

@@ -1,0 +1,120 @@
+"""Experiment E12 -- the prior-work comparator: T-Chord bootstrap.
+
+The paper positions itself against "Chord on demand" (reference [9]):
+same architecture, different substrate (distance-defined fingers
+instead of prefix tables).  This benchmark runs our T-Chord
+implementation alongside the prefix-table bootstrap on identical pool
+sizes and reports:
+
+* convergence cycles of each (both logarithmic; the paper's protocol
+  targets a *harder* structure in similar time);
+* routing quality of the two bootstrapped substrates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Series, ascii_semilog, render_table
+from repro.overlays import ChordBootstrapSimulation, PastryNetwork
+from repro.simulator import BootstrapSimulation, RandomSource
+
+SIZE = 512
+
+
+def run_comparison():
+    prefix_sim = BootstrapSimulation(SIZE, seed=1000)
+    prefix_result = prefix_sim.run(60)
+
+    chord_sim = ChordBootstrapSimulation(SIZE, seed=1000)
+    chord_samples = chord_sim.run(80)
+
+    # Route over both bootstrapped substrates.
+    rng = RandomSource(1001).derive("keys")
+    space = prefix_sim.config.space
+    prefix_ids = list(prefix_sim.nodes)
+    keys = [space.random_id(rng) for _ in range(400)]
+    pastry = PastryNetwork.from_bootstrap_nodes(prefix_sim.nodes.values())
+    pastry_stats = pastry.lookup_many(
+        keys, [rng.choice(prefix_ids) for _ in keys]
+    )
+    chord_net = chord_sim.to_network()
+    chord_ids = list(chord_sim.nodes)
+    chord_stats = chord_net.lookup_many(
+        keys, [rng.choice(chord_ids) for _ in keys]
+    )
+    return prefix_result, chord_samples, pastry_stats, chord_stats
+
+
+@pytest.mark.benchmark(group="chord")
+def test_tchord_comparator(benchmark):
+    prefix_result, chord_samples, pastry_stats, chord_stats = (
+        benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    )
+
+    assert prefix_result.converged
+    # T-Chord's fingers have a slow tail: a ring-isolated optimal
+    # finger is only discoverable through random samples, so a run can
+    # end with a handful of near-optimal (not optimal) fingers.  Chord
+    # fixes those with one stabilisation round; the bootstrap claim is
+    # the >=99.9% bulk.  The ring itself must be perfect.
+    final = chord_samples[-1]
+    assert final.missing_ring == 0
+    assert final.finger_fraction <= 5e-4, (
+        f"T-Chord finger tail too fat: {final.finger_fraction}"
+    )
+    assert pastry_stats.success_rate == 1.0
+    assert chord_stats.success_rate == 1.0
+    # Prefix routing beats Chord's ring-halving on hops (b=4 digits).
+    assert pastry_stats.mean_hops <= chord_stats.mean_hops
+
+    finger_curve = Series.from_pairs(
+        "T-Chord wrong fingers",
+        [(s.cycle, s.finger_fraction) for s in chord_samples],
+    )
+    prefix_curve = Series.from_pairs(
+        "prefix-table missing",
+        prefix_result.prefix_series(),
+    )
+
+    from common import emit
+
+    emit(
+        "chord",
+        "\n".join(
+            [
+                ascii_semilog(
+                    [finger_curve.nonzero(), prefix_curve.nonzero()],
+                    title=f"bootstrap convergence, N={SIZE}",
+                    ylabel="proportion of missing/incorrect entries",
+                ),
+                render_table(
+                    [
+                        "bootstrap",
+                        "cycles",
+                        "final finger/prefix frac",
+                        "route success",
+                        "mean hops",
+                    ],
+                    [
+                        [
+                            "prefix tables (this paper)",
+                            prefix_result.converged_at,
+                            0.0,
+                            pastry_stats.success_rate,
+                            pastry_stats.mean_hops,
+                        ],
+                        [
+                            "T-Chord (prior work, ref [9])",
+                            chord_samples[-1].cycle,
+                            chord_samples[-1].finger_fraction,
+                            chord_stats.success_rate,
+                            chord_stats.mean_hops,
+                        ],
+                    ],
+                    title="prefix-table bootstrap vs Chord-on-demand",
+                ),
+            ]
+        ),
+        [finger_curve, prefix_curve],
+    )

@@ -1,0 +1,93 @@
+"""Experiment E6 -- the message-loss arithmetic and proportional slowdown.
+
+Section 5: "Since the protocol is based on message-answer pairs, if the
+first message is dropped, then the answer is not sent either.  Taking
+this effect into account, elementary calculation shows that the
+expected overall loss of messages is 28%."
+
+This benchmark sweeps drop probabilities, comparing:
+
+* measured overall loss against the closed form ``(2p + (1-p)p)/2``;
+* measured wire loss against the configured ``p``;
+* convergence slowdown against the information-rate prediction
+  ``1 / (1 - overall_loss)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.simulator import ExperimentSpec, NetworkModel, run_experiment
+
+SIZE = 1024
+DROPS = [0.0, 0.1, 0.2, 0.3]
+
+
+def run_sweep():
+    outcomes = []
+    for drop in DROPS:
+        network = NetworkModel(drop_probability=drop)
+        result = run_experiment(
+            ExperimentSpec(
+                size=SIZE,
+                seed=400,
+                network=network,
+                max_cycles=120,
+            )
+        )
+        outcomes.append((drop, network, result))
+    return outcomes
+
+
+@pytest.mark.benchmark(group="drop-analysis")
+def test_drop_arithmetic_and_slowdown(benchmark):
+    outcomes = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    baseline = outcomes[0][2]
+    assert baseline.converged
+    rows = []
+    for drop, network, result in outcomes:
+        assert result.converged, f"failed to converge at drop={drop}"
+        expected = network.expected_overall_loss()
+        measured = result.transport["overall_loss_fraction"]
+        wire = result.transport["wire_loss_fraction"]
+        assert measured == pytest.approx(expected, abs=0.03), (
+            f"drop={drop}: measured overall loss {measured:.3f} vs "
+            f"closed form {expected:.3f}"
+        )
+        assert wire == pytest.approx(drop, abs=0.03)
+        slowdown = result.converged_at / baseline.converged_at
+        predicted = 1.0 / (1.0 - expected) if expected < 1 else float("inf")
+        rows.append(
+            [drop, expected, measured, wire, slowdown, predicted]
+        )
+        # Proportionality: within a loose band of the information-rate
+        # prediction (discreteness of cycles adds noise).
+        assert slowdown <= predicted * 1.8 + 0.25
+
+    # The paper's headline number.
+    paper_row = next(r for r in rows if r[0] == 0.2)
+    assert paper_row[2] == pytest.approx(0.28, abs=0.03)
+
+    from common import emit
+
+    emit(
+        "drop_analysis",
+        render_table(
+            [
+                "drop p",
+                "loss (closed form)",
+                "loss (measured)",
+                "wire loss",
+                "slowdown",
+                "1/(1-loss)",
+            ],
+            rows,
+            title=(
+                f"message-loss accounting, N={SIZE} "
+                "(paper: 20% drop => 28% overall loss, proportional "
+                "slowdown)"
+            ),
+        ),
+    )

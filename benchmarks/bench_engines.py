@@ -1,0 +1,105 @@
+"""Engine cross-validation: cycle-driven versus event-driven.
+
+The paper's results come from a cycle-driven simulator (PeerSim).  This
+benchmark checks the cycle abstraction is not doing hidden work: the
+event-driven engine -- real per-node timers with uniform phases,
+per-message latencies -- must reproduce the same convergence behaviour
+within a cycle or two, with and without message loss.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.simulator import (
+    BootstrapSimulation,
+    ConstantLatency,
+    EventDrivenBootstrap,
+    NetworkModel,
+)
+
+SIZE = 512
+
+
+def _bulk_cycle(result, threshold=0.01):
+    """First cycle at which both missing fractions fall below
+    *threshold* -- the robust mid-game landmark.  (The exact perfection
+    cycle is a max-statistic over thousands of entries and carries
+    several cycles of run-to-run noise, especially under loss.)"""
+    for sample in result.samples:
+        if (
+            sample.leaf_fraction < threshold
+            and sample.prefix_fraction < threshold
+        ):
+            return sample.cycle
+    return None
+
+
+def run_engines():
+    rows = []
+    scenarios = [
+        ("reliable, zero latency", NetworkModel()),
+        (
+            "reliable, latency 0.2*delta",
+            NetworkModel(latency=ConstantLatency(0.2)),
+        ),
+        ("20% drop", NetworkModel(drop_probability=0.2)),
+    ]
+    for name, network in scenarios:
+        cycle_result = BootstrapSimulation(
+            SIZE, seed=1300, network=network
+        ).run(90)
+        event_result = EventDrivenBootstrap(
+            SIZE, seed=1300, network=network
+        ).run(90)
+        rows.append(
+            [
+                name,
+                _bulk_cycle(cycle_result),
+                cycle_result.converged_at,
+                _bulk_cycle(event_result),
+                event_result.converged_at,
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="engines")
+def test_engine_agreement(benchmark):
+    rows = benchmark.pedantic(run_engines, rounds=1, iterations=1)
+
+    for name, cycle_bulk, cycle_at, event_bulk, event_at in rows:
+        assert cycle_at is not None, f"cycle engine failed: {name}"
+        assert event_at is not None, f"event engine failed: {name}"
+        assert cycle_bulk is not None and event_bulk is not None
+        # The robust landmark must agree tightly; the perfection tail
+        # is a noisy max-statistic, so it only gets a loose band.
+        assert abs(cycle_bulk - event_bulk) <= 3, (
+            f"{name}: engines disagree on the bulk "
+            f"({cycle_bulk} vs {event_bulk})"
+        )
+        assert abs(cycle_at - event_at) <= 8, (
+            f"{name}: engines disagree on perfection "
+            f"({cycle_at} vs {event_at})"
+        )
+
+    from common import emit
+
+    emit(
+        "engines",
+        render_table(
+            [
+                "scenario",
+                "cycle: <1% missing",
+                "cycle: perfect",
+                "event: <1% missing",
+                "event: perfect",
+            ],
+            rows,
+            title=(
+                f"engine cross-validation, N={SIZE}: the cycle "
+                "abstraction does not manufacture the results"
+            ),
+        ),
+    )

@@ -1,0 +1,134 @@
+"""Experiments E1/E2 -- Figure 3: convergence without failures.
+
+Regenerates both panels of the paper's Figure 3: the proportion of
+missing leaf-set entries (top) and missing prefix-table entries
+(bottom) per cycle, one curve per network size, reliable transport,
+paper parameters (b=4, k=3, c=20, cr=30).
+
+Checked shape claims:
+
+* every run reaches *perfect* tables ("when a curve ends, the
+  corresponding tables are perfect at all nodes");
+* decay is exponential (the leaf curve drops by a large constant
+  factor over the mid-game cycles);
+* a 4x larger network needs only an additive constant of extra cycles
+  (logarithmic convergence time).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ascii_semilog, mean_series, render_table
+from repro.simulator import ExperimentSpec, run_repeats
+
+from common import (
+    bench_sizes,
+    emit,
+    leaf_series,
+    prefix_series,
+    repeats_for,
+    size_label,
+)
+
+
+def run_figure3():
+    """Run the sweep; returns (per-size results, leaf curves, prefix
+    curves)."""
+    all_results = {}
+    leaf_curves = []
+    prefix_curves = []
+    for size in bench_sizes():
+        spec = ExperimentSpec(
+            size=size, seed=100 + size, max_cycles=60, label=size_label(size)
+        )
+        results = run_repeats(spec, repeats_for(size))
+        all_results[size] = results
+        label = size_label(size)
+        leaf_curves.append(
+            mean_series(
+                label,
+                [leaf_series(r, label) for r in results],
+            )
+        )
+        prefix_curves.append(
+            mean_series(
+                label,
+                [prefix_series(r, label) for r in results],
+            )
+        )
+    return all_results, leaf_curves, prefix_curves
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_no_failures(benchmark):
+    all_results, leaf_curves, prefix_curves = benchmark.pedantic(
+        run_figure3, rounds=1, iterations=1
+    )
+
+    rows = []
+    for size, results in all_results.items():
+        for result in results:
+            assert result.converged, (
+                f"{size_label(size)} run failed to reach perfect tables"
+            )
+        cycles = [r.converged_at for r in results]
+        rows.append(
+            [
+                size_label(size),
+                len(results),
+                min(cycles),
+                max(cycles),
+                sum(cycles) / len(cycles),
+            ]
+        )
+
+    # Exponential decay: the mean leaf curve falls by orders of
+    # magnitude over the mid-game (cycle 1 -> cycle 8), as in the
+    # paper's log-scale plots.
+    for curve in leaf_curves:
+        points = dict(curve.points)
+        start = points.get(1.0)
+        later = points.get(8.0, curve.points[-1][1])
+        assert start is not None and start > 0
+        assert later < start / 50
+
+    # Logarithmic scaling: each 4x size step adds only a small additive
+    # constant (paper: "increases by an additive constant despite a
+    # four-fold increase").
+    sizes = sorted(all_results)
+    mean_cycles = {
+        size: sum(r.converged_at for r in all_results[size])
+        / len(all_results[size])
+        for size in sizes
+    }
+    for smaller, larger in zip(sizes, sizes[1:]):
+        delta = mean_cycles[larger] - mean_cycles[smaller]
+        # "Additive constant": a few cycles per 4x step.  A
+        # multiplicative law would cost ~3x the smaller size's cycles
+        # (i.e. +20 or more here); the tail adds a couple of cycles of
+        # run-to-run noise at small repeat counts, hence the slack.
+        assert -2.0 <= delta <= 8.0, (
+            f"4x size step changed convergence by {delta} cycles"
+        )
+        assert delta <= 0.75 * mean_cycles[smaller], (
+            "convergence time grew multiplicatively, not additively"
+        )
+
+    text = "\n".join(
+        [
+            "Figure 3 (top): proportion of missing leaf set entries",
+            ascii_semilog(
+                [c.nonzero() for c in leaf_curves],
+                title="no failures, paper parameters",
+            ),
+            "Figure 3 (bottom): proportion of missing prefix table entries",
+            ascii_semilog([c.nonzero() for c in prefix_curves], title=""),
+            render_table(
+                ["size", "runs", "min cycles", "max cycles", "mean cycles"],
+                rows,
+                title="cycles to perfect tables (paper: ~17-22 at 2^14..2^18)",
+            ),
+        ]
+    )
+    emit("figure3", text, leaf_curves + prefix_curves)

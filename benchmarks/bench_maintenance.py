@@ -1,0 +1,139 @@
+"""Experiment E15 -- the full lifecycle: bootstrap, hand off, survive.
+
+Section 1: the architecture "allows the use of existing, well-tuned
+protocols without modification to maintain the overlays once they have
+been formed".  This benchmark runs that lifecycle:
+
+1. bootstrap a pool to perfect tables (the paper's contribution);
+2. hand off to the periodic leaf-set repair protocol (Section 6's
+   "periodic repair mechanism", implemented in
+   ``repro.overlays.maintenance``);
+3. run continuous churn, comparing leaf-set health with and without
+   the maintenance layer.
+
+Expected shape: unmaintained tables decay monotonically (the bootstrap
+protocol never evicts); maintained tables reach a bounded steady state
+where repair keeps pace with churn.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Series, ascii_linear, render_table
+from repro.overlays import MaintenanceSimulation
+from repro.simulator import BootstrapSimulation, Churn
+
+SIZE = 512
+CHURN_RATE = 0.01
+CYCLES = 40
+
+
+def run_lifecycle():
+    # With maintenance.
+    sim = BootstrapSimulation(SIZE, seed=1500)
+    bootstrap_result = sim.run(60)
+    assert bootstrap_result.converged
+    # Paper-size leaf sets (c=20) want Bamboo-style probing: several
+    # neighbours per period, so corpse detection latency stays at a few
+    # periods (probes are heartbeat-sized; cost is negligible).
+    maintained = MaintenanceSimulation(
+        sim, seed=1501, probes_per_cycle=8
+    )
+    maintained_samples = maintained.run(CYCLES, churn_rate=CHURN_RATE)
+
+    # Without maintenance: keep running the bootstrap protocol itself
+    # under the same churn (it absorbs joins but never evicts).
+    sim2 = BootstrapSimulation(SIZE, seed=1500)
+    assert sim2.run(60).converged
+    unmaintained_stale = []
+    churn = Churn(rate=CHURN_RATE)
+    base_cycle = sim2.cycle
+    for cycle in range(CYCLES):
+        churn.apply(sim2, cycle)
+        sim2.run_cycle()
+        live = set(sim2.live_ids)
+        stale = sum(
+            len(node.leaf_set.member_ids() - live)
+            for node in sim2.nodes.values()
+        )
+        total = sim2.population * sim2.config.leaf_set_size
+        unmaintained_stale.append((cycle + 1, stale / total))
+
+    maintained_stale = [
+        (s.cycle, s.stale_fraction) for s in maintained_samples
+    ]
+    maintained_missing = [
+        (s.cycle, s.missing_fraction) for s in maintained_samples
+    ]
+    return (
+        bootstrap_result,
+        maintained_stale,
+        maintained_missing,
+        unmaintained_stale,
+    )
+
+
+@pytest.mark.benchmark(group="maintenance")
+def test_lifecycle_handoff(benchmark):
+    (
+        bootstrap_result,
+        maintained_stale,
+        maintained_missing,
+        unmaintained_stale,
+    ) = benchmark.pedantic(run_lifecycle, rounds=1, iterations=1)
+
+    # Unmaintained: stale references accumulate monotonically-ish; by
+    # the end the gap to the maintained pool is decisive.
+    final_unmaintained = unmaintained_stale[-1][1]
+    final_maintained = maintained_stale[-1][1]
+    assert final_unmaintained > 2 * final_maintained
+    # Maintained: bounded steady state, repair keeping pace.
+    tail = [y for _, y in maintained_stale[-10:]]
+    assert max(tail) < 0.15
+    missing_tail = [y for _, y in maintained_missing[-10:]]
+    assert max(missing_tail) < 0.3
+
+    curves = [
+        Series.from_pairs("unmaintained (bootstrap only)",
+                          unmaintained_stale),
+        Series.from_pairs("maintained (periodic repair)",
+                          maintained_stale),
+    ]
+    from common import emit
+
+    emit(
+        "maintenance",
+        "\n".join(
+            [
+                ascii_linear(
+                    curves,
+                    title=(
+                        f"stale leaf references under {CHURN_RATE:.0%}/cycle "
+                        f"churn, N={SIZE}"
+                    ),
+                    ylabel="stale fraction of leaf capacity",
+                ),
+                render_table(
+                    ["pool", "final stale frac", "final missing frac"],
+                    [
+                        [
+                            "unmaintained",
+                            final_unmaintained,
+                            "-",
+                        ],
+                        [
+                            "maintained",
+                            final_maintained,
+                            maintained_missing[-1][1],
+                        ],
+                    ],
+                    title=(
+                        "lifecycle: bootstrap -> hand off to repair -> "
+                        "survive churn"
+                    ),
+                ),
+            ]
+        ),
+        curves,
+    )

@@ -1,0 +1,103 @@
+"""Experiment E9 -- merging and splitting resource pools.
+
+The architecture's motivating scenarios (Sections 1-2): "merging two or
+more networks, splitting a large network into several pieces" should
+cost one bootstrap run over the new pool -- nothing more.  This
+benchmark measures exactly that:
+
+* merge: two converged pools of N/2 are unioned and re-bootstrapped;
+  the cost must match a fresh bootstrap of N (within a cycle or two);
+* split: a converged pool of N is halved; each half re-bootstraps; the
+  cost must match a fresh bootstrap of N/2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.simulator import BootstrapSimulation
+
+HALF = 512
+
+
+def fresh_cycles(size, seed):
+    result = BootstrapSimulation(size, seed=seed).run(60)
+    assert result.converged
+    return result.converged_at
+
+
+def run_merge():
+    # Two organisations, each already running its own overlay.
+    sim = BootstrapSimulation(HALF, seed=700)
+    assert sim.run(60).converged
+    other = BootstrapSimulation(HALF, seed=701)
+    assert other.run(60).converged
+    # Merge: pool B's members join pool A's sampling layer; everyone
+    # re-bootstraps from scratch.
+    sim.absorb_pool(other.live_ids)
+    for node in sim.nodes.values():
+        node.restart()
+    merged = sim.run(60)
+    return merged
+
+
+def run_split():
+    sim = BootstrapSimulation(2 * HALF, seed=702)
+    assert sim.run(60).converged
+    # Take one half of the membership into a new, separate pool.
+    victims = sim.live_ids[: HALF]
+    survivors_sim = sim
+    split_ids = []
+    for node_id in victims:
+        survivors_sim.kill_node(node_id)
+        split_ids.append(node_id)
+    for node in survivors_sim.nodes.values():
+        node.restart()
+    survivors_result = survivors_sim.run(60)
+
+    half_b = BootstrapSimulation(ids=split_ids, seed=703)
+    half_b_result = half_b.run(60)
+    return survivors_result, half_b_result
+
+
+@pytest.mark.benchmark(group="merge-split")
+def test_merge_and_split_cost_one_bootstrap(benchmark):
+    merged, (half_a, half_b) = benchmark.pedantic(
+        lambda: (run_merge(), run_split()), rounds=1, iterations=1
+    )
+
+    assert merged.converged and merged.population == 2 * HALF
+    assert half_a.converged and half_a.population == HALF
+    assert half_b.converged and half_b.population == HALF
+
+    fresh_full = fresh_cycles(2 * HALF, seed=704)
+    fresh_half = fresh_cycles(HALF, seed=705)
+
+    # Re-bootstrapping a merged/split pool costs what a fresh bootstrap
+    # of that size costs (within small noise): the overlay is
+    # disposable, exactly the paper's "liquid" vision.
+    assert abs(merged.cycles_to_converge - fresh_full) <= 4
+    assert abs(half_a.cycles_to_converge - fresh_half) <= 4
+    assert abs(half_b.cycles_to_converge - fresh_half) <= 4
+
+    from common import emit
+
+    emit(
+        "merge_split",
+        render_table(
+            ["operation", "population", "cycles", "fresh-bootstrap cycles"],
+            [
+                ["merge 2 x N/2", merged.population,
+                 merged.cycles_to_converge, fresh_full],
+                ["split half A", half_a.population,
+                 half_a.cycles_to_converge, fresh_half],
+                ["split half B", half_b.population,
+                 half_b.cycles_to_converge, fresh_half],
+            ],
+            title=(
+                f"pool merge/split via re-bootstrap, N={2 * HALF} "
+                "(architecture scenario, Sections 1-2)"
+            ),
+        ),
+    )

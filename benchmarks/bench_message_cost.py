@@ -1,0 +1,101 @@
+"""Cost model: message sizes and totals (the paper's "cheap" claims).
+
+Section 4 bounds ``CREATEMESSAGE``'s prefix-targeted part "by the size
+of the full prefix table", noting it "usually is smaller in practice";
+Section 3 describes the sampling layer's messages as small UDP
+datagrams.  This benchmark measures, over a full bootstrap run:
+
+* descriptors per message (close part + prefix part) against the bound;
+* bytes per message under the real wire codec;
+* total messages per node (2 per cycle, O(log N) cycles).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import percentile, render_table, summarize
+from repro.net import encode_bootstrap
+from repro.simulator import BootstrapSimulation
+
+SIZE = 512
+
+
+def run_cost_probe():
+    from repro.core import BootstrapNode
+
+    payload_sizes = []
+    wire_bytes = []
+
+    class ProbedNode(BootstrapNode):
+        """BootstrapNode that meters every message it builds."""
+
+        def create_message(self, peer, is_reply=False):
+            message = super().create_message(peer, is_reply=is_reply)
+            payload_sizes.append(message.payload_size)
+            wire_bytes.append(len(encode_bootstrap(message)))
+            return message
+
+    sim = BootstrapSimulation(SIZE, seed=1200, node_factory=ProbedNode)
+    result = sim.run(60)
+    assert result.converged
+    return result, payload_sizes, wire_bytes
+
+
+@pytest.mark.benchmark(group="message-cost")
+def test_message_cost_model(benchmark):
+    result, payload_sizes, wire_bytes = benchmark.pedantic(
+        run_cost_probe, rounds=1, iterations=1
+    )
+
+    config = result.config
+    bound = config.leaf_set_size + config.prefix_table_capacity
+    payload = summarize(payload_sizes)
+    wire = summarize([float(b) for b in wire_bytes])
+
+    # Hard bound always holds; typical sizes are far below it.
+    assert payload.maximum <= bound
+    assert payload.mean < bound / 3, (
+        "prefix part should be 'usually smaller in practice'"
+    )
+    # Wire frames stay UDP-friendly (well under a 64 KiB datagram).
+    assert wire.maximum < 65536
+    # Cost per node per cycle is ~2 messages.
+    per_node_cycle = result.messages_per_node_per_cycle()
+    assert per_node_cycle == pytest.approx(2.0, abs=0.1)
+
+    from common import emit
+
+    emit(
+        "message_cost",
+        render_table(
+            ["metric", "mean", "p95", "max", "bound"],
+            [
+                [
+                    "descriptors per message",
+                    payload.mean,
+                    percentile(payload_sizes, 95),
+                    payload.maximum,
+                    bound,
+                ],
+                [
+                    "bytes per message (wire codec)",
+                    wire.mean,
+                    percentile([float(b) for b in wire_bytes], 95),
+                    wire.maximum,
+                    65536,
+                ],
+                [
+                    "messages per node per cycle",
+                    per_node_cycle,
+                    "-",
+                    "-",
+                    2,
+                ],
+            ],
+            title=(
+                f"message cost, N={SIZE}, paper parameters (bound = c + "
+                "full prefix table)"
+            ),
+        ),
+    )

@@ -1,0 +1,104 @@
+"""Experiment E10 -- downstream validity: the bootstrapped tables route.
+
+The paper's purpose statement: the protocol's output is the state that
+"Pastry, Kademlia, Tapestry and Bamboo" route with.  This benchmark
+bootstraps a pool once and then drives thousands of lookups over three
+exported substrates, checking:
+
+* 100% success over converged tables;
+* mean hop counts at the textbook ``O(log_16 N)`` (prefix) and
+  ``O(log2 N)`` (Chord) scales;
+* Kademlia's native iterative lookup terminates with the true closest
+  node.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import render_table
+from repro.overlays import (
+    ChordNetwork,
+    KademliaNetwork,
+    PastryNetwork,
+)
+from repro.simulator import BootstrapSimulation, RandomSource
+
+SIZE = 1024
+LOOKUPS = 1000
+
+
+def run_routing():
+    sim = BootstrapSimulation(SIZE, seed=800)
+    result = sim.run(60)
+    assert result.converged
+    nodes = sim.nodes.values()
+    pastry = PastryNetwork.from_bootstrap_nodes(nodes)
+    kademlia = KademliaNetwork.from_bootstrap_nodes(nodes)
+    chord = ChordNetwork.ideal(sim.config.space, sim.live_ids)
+
+    rng = RandomSource(801).derive("lookups")
+    space = sim.config.space
+    ids = list(sim.nodes)
+    keys = [space.random_id(rng) for _ in range(LOOKUPS)]
+    starts = [rng.choice(ids) for _ in range(LOOKUPS)]
+
+    stats = {
+        "pastry (bootstrapped)": pastry.lookup_many(keys, starts),
+        "kademlia (bootstrapped)": kademlia.lookup_many(keys, starts),
+        "chord (ideal, comparison)": chord.lookup_many(keys, starts),
+    }
+    iterative_hits = 0
+    iterative_msgs = 0
+    for key, start in zip(keys[:100], starts[:100]):
+        outcome = kademlia.iterative_find(start, key, alpha=3, k=20)
+        iterative_hits += outcome.found_target
+        iterative_msgs += outcome.messages
+    return stats, iterative_hits, iterative_msgs
+
+
+@pytest.mark.benchmark(group="routing")
+def test_bootstrapped_tables_route(benchmark):
+    stats, iterative_hits, iterative_msgs = benchmark.pedantic(
+        run_routing, rounds=1, iterations=1
+    )
+
+    prefix_bound = math.ceil(math.log(SIZE, 16))
+    rows = []
+    for name, stat in stats.items():
+        assert stat.success_rate == 1.0, f"{name}: {stat.as_row()}"
+        rows.append(
+            [name, stat.attempts, stat.success_rate, stat.mean_hops,
+             stat.max_hops]
+        )
+    # Prefix routing: ~log_16 N hops (plus leaf-set last hop).
+    assert stats["pastry (bootstrapped)"].mean_hops <= prefix_bound + 1.5
+    assert stats["kademlia (bootstrapped)"].mean_hops <= prefix_bound + 1.5
+    # Iterative Kademlia finds the true closest node every time.
+    assert iterative_hits == 100
+
+    rows.append(
+        [
+            "kademlia iterative (alpha=3)",
+            100,
+            iterative_hits / 100,
+            iterative_msgs / 100,
+            "-",
+        ]
+    )
+
+    from common import emit
+
+    emit(
+        "routing",
+        render_table(
+            ["substrate", "lookups", "success", "mean hops/msgs", "max hops"],
+            rows,
+            title=(
+                f"lookups over bootstrapped tables, N={SIZE} "
+                f"(log_16 N = {math.log(SIZE, 16):.2f})"
+            ),
+        ),
+    )

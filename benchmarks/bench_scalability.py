@@ -1,0 +1,83 @@
+"""Experiment E5 -- logarithmic convergence time.
+
+The paper's scalability claim (Section 5): "the time required to reach
+a desired quality of the leaf sets increases by an additive constant
+despite a four-fold increase in the network size.  This is a strong
+indication that the time needed for convergence is logarithmic in
+network size."
+
+This benchmark sweeps a geometric ladder of sizes, extracts
+cycles-to-perfection, and fits ``cycles = a * log2(N) + b``.  A
+logarithmic law shows up as a high-quality linear fit; a power law
+would bend the curve visibly and destroy the fit.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import pytest
+
+from repro.analysis import Series, ascii_linear, linear_fit, render_table
+from repro.simulator import ExperimentSpec, run_repeats
+
+from common import emit, size_label
+
+
+def ladder():
+    sizes = [256, 512, 1024, 2048]
+    if os.environ.get("REPRO_BENCH_FULL") or os.environ.get(
+        "REPRO_BENCH_PAPER"
+    ):
+        sizes += [4096, 8192]
+    return sizes
+
+
+def run_ladder():
+    points = []
+    rows = []
+    for size in ladder():
+        repeats = 3 if size <= 1024 else 2
+        results = run_repeats(
+            ExperimentSpec(size=size, seed=300 + size, max_cycles=60),
+            repeats,
+        )
+        assert all(r.converged for r in results)
+        mean_cycles = sum(r.converged_at for r in results) / len(results)
+        points.append((math.log2(size), mean_cycles))
+        rows.append([size_label(size), repeats, mean_cycles])
+    return points, rows
+
+
+@pytest.mark.benchmark(group="scalability")
+def test_logarithmic_convergence(benchmark):
+    points, rows = benchmark.pedantic(run_ladder, rounds=1, iterations=1)
+
+    fit = linear_fit([p[0] for p in points], [p[1] for p in points])
+    # Strongly linear in log N: the paper's additive-constant claim.
+    assert fit.r_squared > 0.7, (
+        f"cycles vs log2(N) fit r^2={fit.r_squared:.3f}: not logarithmic"
+    )
+    # Each doubling costs a bounded, small number of extra cycles.
+    assert 0.0 <= fit.slope <= 3.0, f"slope {fit.slope:.2f} per doubling"
+
+    curve = Series.from_pairs("cycles to perfect", points)
+    text = "\n".join(
+        [
+            render_table(
+                ["size", "repeats", "mean cycles to perfect"],
+                rows,
+                title="convergence time versus network size",
+            ),
+            ascii_linear(
+                [curve],
+                title="cycles vs log2(N)",
+                ylabel="cycles",
+            ),
+            f"linear fit: cycles = {fit.slope:.2f} * log2(N) + "
+            f"{fit.intercept:.2f}   (r^2 = {fit.r_squared:.3f})",
+            "paper claim: +4x size => +constant cycles (logarithmic).",
+        ]
+    )
+    emit("scalability", text, [curve])

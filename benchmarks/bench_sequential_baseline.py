@@ -1,0 +1,87 @@
+"""Experiment E13 -- massive joins: sequential joins vs gossip bootstrap.
+
+The paper's opening motivation: "massive joins to a large overlay
+network are not supported by known protocols very well".  The classic
+alternative to a bootstrap service is admitting nodes one at a time
+through the overlay's join protocol.  This benchmark builds the same
+overlay both ways and compares:
+
+* serial depth (join operations are inherently sequential: each needs
+  the previous overlay state; gossip cycles run network-wide in
+  parallel);
+* total message cost;
+* resulting table quality (both must be perfect).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.baselines import SequentialJoinNetwork
+from repro.simulator import BootstrapSimulation
+
+SIZES = [256, 512, 1024]
+
+
+def run_comparison():
+    rows = []
+    for size in SIZES:
+        joins = SequentialJoinNetwork(seed=1100)
+        report = joins.build(size)
+        join_deficit = joins.leaf_set_deficit()
+
+        gossip = BootstrapSimulation(size, seed=1100).run(60)
+        assert gossip.converged
+        gossip_messages = gossip.transport["sent"]
+
+        rows.append(
+            [
+                size,
+                report.serial_steps,
+                gossip.converged_at,
+                report.total_messages,
+                gossip_messages,
+                join_deficit,
+            ]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="sequential-baseline")
+def test_sequential_join_baseline(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    for size, serial_steps, gossip_cycles, join_msgs, gossip_msgs, deficit in rows:
+        # Serial depth: N versus O(log N) -- the headline gap.
+        assert serial_steps == size
+        assert gossip_cycles < size / 8
+        # Both end perfect (the join protocol transfers correct state).
+        assert deficit == 0
+    # The serial-depth gap widens with size; message totals are the
+    # price the gossip pays for parallelism (O(N log N) vs O(N) -- but
+    # wall-clock O(log N) vs O(N)).
+    gap_small = rows[0][1] / rows[0][2]
+    gap_large = rows[-1][1] / rows[-1][2]
+    assert gap_large > gap_small
+
+    from common import emit
+
+    emit(
+        "sequential_baseline",
+        render_table(
+            [
+                "N",
+                "serial steps (joins)",
+                "parallel cycles (gossip)",
+                "messages (joins)",
+                "messages (gossip)",
+                "join leaf deficit",
+            ],
+            rows,
+            title=(
+                "building one overlay: sequential Pastry joins vs the "
+                "bootstrapping service"
+            ),
+        ),
+    )

@@ -1,0 +1,33 @@
+"""Benchmark-session configuration.
+
+The artefacts each benchmark regenerates (figures, tables) are written
+to ``benchmarks/results/``; this hook replays them into the terminal
+report at the end of the session so ``pytest benchmarks/
+--benchmark-only`` shows the science, not just the timings.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+_RESULTS = pathlib.Path(__file__).parent / "results"
+_SESSION_START = time.time()
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _RESULTS.is_dir():
+        return
+    fresh = [
+        path
+        for path in sorted(_RESULTS.glob("*.txt"))
+        if path.stat().st_mtime >= _SESSION_START
+    ]
+    if not fresh:
+        return
+    terminalreporter.section("regenerated paper artefacts")
+    for path in fresh:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {path.name} ---")
+        for line in path.read_text().splitlines():
+            terminalreporter.write_line(line)

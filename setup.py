@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept so the package installs in offline environments that lack the
+``wheel`` package (PEP 517 editable installs need it; the legacy
+``--no-use-pep517`` path does not).  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Analysis toolkit: series, statistics, ASCII figures, tables.
+
+Everything the benchmark harness needs to turn simulation results into
+the paper's figures and into paper-versus-measured tables, with zero
+dependencies beyond the standard library.
+"""
+
+from .plotting import ascii_linear, ascii_semilog
+from .series import Series, format_dat, mean_series, write_dat
+from .stats import (
+    LinearFit,
+    Summary,
+    geometric_mean,
+    linear_fit,
+    percentile,
+    summarize,
+)
+from .tables import render_kv, render_table
+
+__all__ = [
+    "ascii_linear",
+    "ascii_semilog",
+    "Series",
+    "format_dat",
+    "mean_series",
+    "write_dat",
+    "LinearFit",
+    "Summary",
+    "geometric_mean",
+    "linear_fit",
+    "percentile",
+    "summarize",
+    "render_kv",
+    "render_table",
+]

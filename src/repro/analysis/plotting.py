@@ -1,0 +1,115 @@
+"""ASCII rendering of the paper's figures.
+
+The benchmark harness prints every regenerated figure directly to the
+terminal, so results are inspectable without a plotting stack.  The
+paper's figures are semi-log (log10 y over linear x); the renderer
+reproduces that layout with one glyph per curve.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from .series import Series
+
+__all__ = ["ascii_semilog", "ascii_linear"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _render(
+    series: Sequence[Series],
+    *,
+    width: int,
+    height: int,
+    title: str,
+    ylabel: str,
+    transform,
+    format_tick,
+) -> str:
+    """Shared scatter renderer over a transformed y axis."""
+    curves = [s for s in series if len(s.nonzero() if transform == math.log10 else s)]
+    points = []
+    for index, s in enumerate(series):
+        usable = s.nonzero() if transform is math.log10 else s
+        for x, y in usable.points:
+            points.append((x, transform(y), index))
+    if not points:
+        return f"{title}\n(no plottable points)\n"
+
+    min_x = min(p[0] for p in points)
+    max_x = max(p[0] for p in points)
+    min_y = min(p[1] for p in points)
+    max_y = max(p[1] for p in points)
+    span_x = max_x - min_x or 1.0
+    span_y = max_y - min_y or 1.0
+
+    grid: List[List[str]] = [
+        [" "] * width for _ in range(height)
+    ]
+    for x, ty, index in points:
+        col = int(round((x - min_x) / span_x * (width - 1)))
+        row = int(round((max_y - ty) / span_y * (height - 1)))
+        grid[row][col] = _GLYPHS[index % len(_GLYPHS)]
+
+    lines = [title]
+    for row_index, row in enumerate(grid):
+        frac = row_index / (height - 1) if height > 1 else 0.0
+        tick_value = max_y - frac * span_y
+        lines.append(f"{format_tick(tick_value):>10s} |{''.join(row)}|")
+    axis = "-" * width
+    lines.append(f"{'':>10s} +{axis}+")
+    lines.append(
+        f"{'':>10s}  {min_x:<8g}{'cycles':^{max(0, width - 16)}}{max_x:>8g}"
+    )
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} = {s.label}" for i, s in enumerate(series)
+    )
+    lines.append(f"{'':>10s}  {legend}")
+    lines.append(f"{'':>10s}  y: {ylabel}")
+    return "\n".join(lines) + "\n"
+
+
+def ascii_semilog(
+    series: Sequence[Series],
+    *,
+    width: int = 64,
+    height: int = 20,
+    title: str = "",
+    ylabel: str = "proportion (log10)",
+) -> str:
+    """Render curves with a log10 y axis (the paper's figure style).
+
+    Zero y values (perfect convergence) cannot appear on a log axis;
+    like the paper, the curve simply ends there.
+    """
+    return _render(
+        series,
+        width=width,
+        height=height,
+        title=title,
+        ylabel=ylabel,
+        transform=math.log10,
+        format_tick=lambda v: f"1e{v:.1f}",
+    )
+
+
+def ascii_linear(
+    series: Sequence[Series],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    ylabel: str = "value",
+) -> str:
+    """Render curves with a linear y axis."""
+    return _render(
+        series,
+        width=width,
+        height=height,
+        title=title,
+        ylabel=ylabel,
+        transform=float,
+        format_tick=lambda v: f"{v:.3g}",
+    )

@@ -1,0 +1,113 @@
+"""Labelled data series: the unit of figure regeneration.
+
+Every figure in the paper is a set of curves (one per network size) on
+a log-scaled y axis.  :class:`Series` is the in-memory form of one
+curve; the module also provides merging across repeats (the paper plots
+"the results of each individual experiment" -- we support both that and
+mean aggregation) and gnuplot-style ``.dat`` export so the figures can
+be re-plotted outside Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, TextIO, Tuple
+
+__all__ = ["Series", "mean_series", "write_dat", "format_dat"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve: ``(x, y)`` points in x order."""
+
+    label: str
+    points: Tuple[Tuple[float, float], ...]
+
+    @classmethod
+    def from_pairs(
+        cls, label: str, pairs: Iterable[Tuple[float, float]]
+    ) -> "Series":
+        """Build a series, sorting by x for safety."""
+        return cls(label=label, points=tuple(sorted(pairs)))
+
+    @property
+    def xs(self) -> Tuple[float, ...]:
+        """The x coordinates."""
+        return tuple(p[0] for p in self.points)
+
+    @property
+    def ys(self) -> Tuple[float, ...]:
+        """The y coordinates."""
+        return tuple(p[1] for p in self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def final_y(self) -> Optional[float]:
+        """The last y value, or ``None`` for an empty series."""
+        return self.points[-1][1] if self.points else None
+
+    def first_x_below(self, threshold: float) -> Optional[float]:
+        """Smallest x whose y is <= *threshold* (convergence-time
+        extraction for the scalability analysis)."""
+        for x, y in self.points:
+            if y <= threshold:
+                return x
+        return None
+
+    def nonzero(self) -> "Series":
+        """The series restricted to y > 0 (log-plot safe)."""
+        return Series(
+            label=self.label,
+            points=tuple(p for p in self.points if p[1] > 0),
+        )
+
+
+def _step_value(series: Series, x: float) -> float:
+    """The series' value at *x* under step semantics: the y of the
+    latest point at or before *x*; clamped to the first/last y outside
+    the observed range."""
+    import bisect
+
+    xs = [px for px, _ in series.points]
+    pos = bisect.bisect_right(xs, x)
+    if pos == 0:
+        return series.points[0][1]
+    return series.points[pos - 1][1]
+
+
+def mean_series(label: str, series: Sequence[Series]) -> Series:
+    """Pointwise mean of several curves.
+
+    Curves may have different lengths (runs converge at different
+    cycles); a curve contributes its latest observed value at x's past
+    its end -- for missing-entry fractions that value is 0 once
+    converged, matching the paper's semantics ("when a curve ends, the
+    corresponding tables are perfect").
+    """
+    if not series:
+        raise ValueError("mean_series needs at least one series")
+    for s in series:
+        if not s.points:
+            raise ValueError(f"series {s.label!r} is empty")
+    xs = sorted({x for s in series for x, _ in s.points})
+    points = tuple(
+        (x, sum(_step_value(s, x) for s in series) / len(series))
+        for x in xs
+    )
+    return Series(label=label, points=points)
+
+
+def format_dat(series: Sequence[Series]) -> str:
+    """Render curves as a gnuplot-style multi-block ``.dat`` string."""
+    blocks: List[str] = []
+    for s in series:
+        lines = [f"# {s.label}"]
+        lines.extend(f"{x:g}\t{y:.10g}" for x, y in s.points)
+        blocks.append("\n".join(lines))
+    return "\n\n\n".join(blocks) + "\n"
+
+
+def write_dat(series: Sequence[Series], stream: TextIO) -> None:
+    """Write curves to *stream* in gnuplot ``.dat`` format."""
+    stream.write(format_dat(series))

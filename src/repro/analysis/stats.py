@@ -1,0 +1,137 @@
+"""Small statistics toolkit for the experiment harness.
+
+Only what the analyses actually need: summary statistics, linear
+regression (for the log-scaling fit of experiment E5), and geometric
+means for ratio aggregation.  Pure Python -- the harness must not
+depend on the optional scientific stack for correctness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "percentile",
+    "LinearFit",
+    "linear_fit",
+    "geometric_mean",
+]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} std={self.std:.4g} "
+            f"min={self.minimum:.4g} med={self.median:.4g} "
+            f"max={self.maximum:.4g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of *values* (population std)."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    ordered = sorted(values)
+    return Summary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        median=percentile(ordered, 50.0, _presorted=True),
+    )
+
+
+def percentile(
+    values: Sequence[float], q: float, *, _presorted: bool = False
+) -> float:
+    """The *q*-th percentile (linear interpolation between ranks)."""
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = values if _presorted else sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    weight = rank - low
+    return float(ordered[low] * (1 - weight) + ordered[high] * weight)
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """The fitted value at *x*."""
+        return self.slope * x + self.intercept
+
+
+def linear_fit(
+    xs: Sequence[float], ys: Sequence[float]
+) -> LinearFit:
+    """Ordinary least squares on ``(xs, ys)``.
+
+    Used by the scalability analysis: fitting convergence cycles
+    against ``log2(N)`` should give a near-perfect line if convergence
+    time is logarithmic in network size (the paper's additive-constant
+    observation).
+    """
+    if len(xs) != len(ys):
+        raise ValueError(
+            f"length mismatch: {len(xs)} xs versus {len(ys)} ys"
+        )
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points to fit a line")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("degenerate fit: all x values identical")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    syy = sum((y - mean_y) ** 2 for y in ys)
+    if syy == 0:
+        r_squared = 1.0
+    else:
+        residual = sum(
+            (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+        )
+        r_squared = 1.0 - residual / syy
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (for averaging ratios such as slowdown factors)."""
+    if not values:
+        raise ValueError("cannot take a geometric mean of an empty sample")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

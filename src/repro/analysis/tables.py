@@ -1,0 +1,79 @@
+"""Plain-text table rendering for benchmark output.
+
+Every benchmark prints its paper-versus-measured rows through this one
+renderer so the harness output stays uniform and greppable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["render_table", "render_kv"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table.
+
+    Numeric cells are right-aligned, text cells left-aligned; a rule
+    separates the header.
+    """
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    numeric = [True] * len(headers)
+    for row_values in rows:
+        for index, value in enumerate(row_values):
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                numeric[index] = False
+
+    def fmt_row(values: Sequence[str]) -> str:
+        parts = []
+        for index, value in enumerate(values):
+            if numeric[index]:
+                parts.append(value.rjust(widths[index]))
+            else:
+                parts.append(value.ljust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines) + "\n"
+
+
+def render_kv(pairs: Dict[str, Any], *, title: str = "") -> str:
+    """Render a key/value block (experiment headers, summaries)."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = [title] if title else []
+    lines.extend(
+        f"{key.ljust(width)} : {_format_cell(value)}"
+        for key, value in pairs.items()
+    )
+    return "\n".join(lines) + "\n"

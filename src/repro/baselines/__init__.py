@@ -1,0 +1,34 @@
+"""Baselines and ablations the reproduction compares against.
+
+* :mod:`~repro.baselines.sequential_join` -- the classic one-at-a-time
+  overlay construction the paper argues against for massive joins;
+* :mod:`~repro.baselines.random_fill` -- sampling-only table filling
+  (no gossip exchanges at all);
+* :mod:`~repro.baselines.ablations` -- the protocol minus one design
+  ingredient at a time;
+* :mod:`~repro.baselines.flood` -- the administrator's start-signal
+  broadcast over the sampling layer.
+"""
+
+from .ablations import (
+    ABLATION_VARIANTS,
+    NoFeedbackNode,
+    NoPrefixPartNode,
+    UnoptimizedCloseNode,
+)
+from .flood import FloodResult, simulate_start_flood
+from .random_fill import RandomFillNode, RandomFillSimulation
+from .sequential_join import JoinCostReport, SequentialJoinNetwork
+
+__all__ = [
+    "ABLATION_VARIANTS",
+    "NoFeedbackNode",
+    "NoPrefixPartNode",
+    "UnoptimizedCloseNode",
+    "FloodResult",
+    "simulate_start_flood",
+    "RandomFillNode",
+    "RandomFillSimulation",
+    "JoinCostReport",
+    "SequentialJoinNetwork",
+]

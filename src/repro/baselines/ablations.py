@@ -1,0 +1,84 @@
+"""Protocol-variant ablations (experiment E11).
+
+Section 4 motivates three design ingredients of ``CREATEMESSAGE``:
+
+1. **prefix-table feedback** -- "the gradually improving prefix table is
+   fed back into the ring building process, so that the two components
+   mutually boost each other";
+2. **message optimisation** -- ordering the union "according to distance
+   from the peer node" instead of sending arbitrary descriptors;
+3. **the prefix-targeted part** -- descriptors "potentially useful for
+   the peer for its prefix table";
+
+plus the ``cr`` random samples (ablated by configuration, no variant
+class needed: ``config.with_overrides(random_samples=0)``).
+
+Each variant below disables exactly one ingredient; running them
+through the standard simulation quantifies the ingredient's
+contribution to convergence speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from ..core.descriptor import NodeDescriptor
+from ..core.messages import BootstrapMessage
+from ..core.protocol import BootstrapNode
+
+__all__ = [
+    "NoFeedbackNode",
+    "NoPrefixPartNode",
+    "UnoptimizedCloseNode",
+    "ABLATION_VARIANTS",
+]
+
+
+class NoFeedbackNode(BootstrapNode):
+    """Disables the prefix-table -> ring feedback: the union behind
+    every outgoing message excludes the prefix table.  The prefix table
+    still fills passively from received traffic, but its long-range
+    pointers no longer accelerate the ring endgame."""
+
+    def create_message(
+        self, peer: NodeDescriptor, is_reply: bool = False
+    ) -> BootstrapMessage:
+        return self._create_message(
+            peer, is_reply=is_reply, feed_prefix_table=False
+        )
+
+
+class NoPrefixPartNode(BootstrapNode):
+    """Omits the prefix-targeted part: messages carry only the ``c``
+    descriptors closest to the peer.  Ring building is untouched;
+    prefix tables must scavenge entries from ring traffic alone."""
+
+    def create_message(
+        self, peer: NodeDescriptor, is_reply: bool = False
+    ) -> BootstrapMessage:
+        return self._create_message(
+            peer, is_reply=is_reply, include_prefix_part=False
+        )
+
+
+class UnoptimizedCloseNode(BootstrapNode):
+    """Replaces the closest-to-peer selection with a uniform random
+    ``c``-subset of the union: tests how much the "optimizes the
+    information to be sent" step matters for ring convergence."""
+
+    def create_message(
+        self, peer: NodeDescriptor, is_reply: bool = False
+    ) -> BootstrapMessage:
+        return self._create_message(
+            peer, is_reply=is_reply, optimize_close_part=False
+        )
+
+
+#: Name -> node class, for harness parameterisation.  ``"full"`` is the
+#: unmodified protocol.
+ABLATION_VARIANTS: Dict[str, Type[BootstrapNode]] = {
+    "full": BootstrapNode,
+    "no-feedback": NoFeedbackNode,
+    "no-prefix-part": NoPrefixPartNode,
+    "unoptimized-close": UnoptimizedCloseNode,
+}

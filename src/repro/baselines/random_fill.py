@@ -1,0 +1,130 @@
+"""Random-sampling-only table construction (the no-gossip baseline).
+
+What if every node simply polled the peer sampling service each cycle
+and filed whatever came back?  No exchanges, no ring building, no
+message optimisation -- just ``cr`` uniform samples per node per cycle
+into ``UPDATELEAFSET``/``UPDATEPREFIXTABLE``.
+
+This is the natural straw-man the bootstrap protocol must beat.  It
+fills *shallow* prefix rows quickly (row 0 accepts 15/16 of random
+identifiers) but stalls on deep rows and on leaf sets: the probability
+that a uniform sample is one of a node's ``c`` ring neighbours is
+``c/N``, so exact convergence needs ~``N/cr`` cycles -- linear in
+network size where the gossip protocol is logarithmic.  Experiment E11
+plots both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import BootstrapConfig, PAPER_CONFIG
+from ..core.convergence import ConvergenceSample, ConvergenceTracker
+from ..core.descriptor import NodeDescriptor
+from ..core.leafset import LeafSet
+from ..core.prefixtable import PrefixTable
+from ..core.reference import ReferenceTables
+from ..sampling.oracle import MembershipRegistry, OracleSampler
+from ..simulator.random_source import RandomSource
+
+__all__ = ["RandomFillNode", "RandomFillSimulation"]
+
+
+class RandomFillNode:
+    """Node state for the sampling-only baseline: the same two tables,
+    fed exclusively by the sampling service."""
+
+    __slots__ = ("descriptor", "leaf_set", "prefix_table", "_sampler", "_cr")
+
+    def __init__(
+        self,
+        descriptor: NodeDescriptor,
+        config: BootstrapConfig,
+        sampler: OracleSampler,
+    ) -> None:
+        space = config.space
+        self.descriptor = descriptor
+        self.leaf_set = LeafSet(
+            space, descriptor.node_id, config.leaf_set_size
+        )
+        self.prefix_table = PrefixTable(
+            space, descriptor.node_id, config.entries_per_slot
+        )
+        self._sampler = sampler
+        self._cr = config.random_samples
+
+    @property
+    def node_id(self) -> int:
+        """This node's identifier."""
+        return self.descriptor.node_id
+
+    def step(self) -> None:
+        """One cycle: draw ``cr`` samples, update both tables."""
+        samples = self._sampler.sample(self._cr)
+        self.leaf_set.update(samples)
+        self.prefix_table.update(samples)
+
+
+class RandomFillSimulation:
+    """Cycle-driven run of the sampling-only baseline.
+
+    Mirrors :class:`~repro.simulator.BootstrapSimulation`'s measurement
+    interface so results are directly comparable.
+    """
+
+    def __init__(
+        self,
+        size: Optional[int] = None,
+        *,
+        ids: Optional[Sequence[int]] = None,
+        config: BootstrapConfig = PAPER_CONFIG,
+        seed: int = 1,
+    ) -> None:
+        self.config = config
+        self.seed = seed
+        source = RandomSource(seed)
+        space = config.space
+        if ids is None:
+            if size is None or size < 2:
+                raise ValueError("need size >= 2 or an explicit id list")
+            id_list = space.random_unique_ids(size, source.derive("ids"))
+        else:
+            id_list = list(ids)
+
+        self.registry = MembershipRegistry()
+        self.nodes: Dict[int, RandomFillNode] = {}
+        for address, node_id in enumerate(id_list):
+            descriptor = NodeDescriptor(node_id=node_id, address=address)
+            self.registry.add(descriptor)
+            sampler = OracleSampler(
+                self.registry, node_id, source.derive(("sampler", node_id))
+            )
+            self.nodes[node_id] = RandomFillNode(descriptor, config, sampler)
+
+        self.reference = ReferenceTables(
+            space, id_list, config.leaf_set_size, config.entries_per_slot
+        )
+        self.tracker = ConvergenceTracker(self.reference, self.nodes.values())
+        self._cycle = 0
+
+    @property
+    def cycle(self) -> int:
+        """Completed cycles."""
+        return self._cycle
+
+    def run_cycle(self) -> None:
+        """Every node draws and files one batch of samples."""
+        for node in self.nodes.values():
+            node.step()
+        self._cycle += 1
+
+    def run(
+        self, max_cycles: int = 60, *, stop_when_perfect: bool = True
+    ) -> List[ConvergenceSample]:
+        """Run and return the per-cycle convergence series."""
+        for _ in range(max_cycles):
+            self.run_cycle()
+            sample = self.tracker.measure(float(self._cycle))
+            if stop_when_perfect and sample.is_perfect:
+                break
+        return self.tracker.samples

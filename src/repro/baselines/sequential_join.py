@@ -1,0 +1,274 @@
+"""Sequential-join baseline: building the overlay one node at a time.
+
+The paper's opening argument is that classic structured overlays
+assume "join operations ... to be uncorrelated": each newcomer routes a
+join request through the existing overlay, copies state from the nodes
+on the path, and announces itself.  That works for churn-rate joins but
+serialises badly when an entire pool must come up at once -- which is
+exactly the gap the bootstrapping service fills.
+
+This module implements the textbook Pastry join over a live, mutable
+network and accounts its cost, so experiment E13 can put numbers on the
+comparison:
+
+* sequential join: ~``N`` *serial* steps (each join needs the previous
+  ones completed), ``O(hops + c + table)`` messages per join;
+* gossip bootstrap: ``O(log N)`` *parallel* cycles, 2 messages per node
+  per cycle.
+
+The join itself is faithful: route from a random seed to the joiner's
+identifier, take row ``i`` of the ``i``-th hop's prefix table, take the
+final hop's leaf set, then announce to every acquired contact (who
+insert the joiner into their own tables).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import BootstrapConfig, PAPER_CONFIG
+from ..core.descriptor import NodeDescriptor
+from ..core.idspace import IDSpace
+from ..core.leafset import LeafSet
+from ..core.prefixtable import PrefixTable
+from ..simulator.random_source import RandomSource
+
+__all__ = ["JoinCostReport", "SequentialJoinNetwork"]
+
+
+class _LiveNode:
+    """Mutable Pastry node used by the incremental-join network."""
+
+    __slots__ = ("node_id", "leaf_set", "prefix_table", "_space")
+
+    def __init__(self, space: IDSpace, node_id: int, config: BootstrapConfig):
+        self.node_id = node_id
+        self._space = space
+        self.leaf_set = LeafSet(space, node_id, config.leaf_set_size)
+        self.prefix_table = PrefixTable(
+            space, node_id, config.entries_per_slot
+        )
+
+    def learn(self, descriptor: NodeDescriptor) -> None:
+        """Insert one contact into both tables (join announcement)."""
+        self.leaf_set.update([descriptor])
+        self.prefix_table.add(descriptor)
+
+    def next_hop(self, target_id: int) -> Optional[int]:
+        """Pastry routing step over the live tables."""
+        own = self.node_id
+        if target_id == own:
+            return None
+        space = self._space
+        if self.leaf_set.covers(target_id):
+            best = own
+            best_key = (space.ring_distance(own, target_id), own)
+            for desc in self.leaf_set:
+                key = (
+                    space.ring_distance(desc.node_id, target_id),
+                    desc.node_id,
+                )
+                if key < best_key:
+                    best = desc.node_id
+                    best_key = key
+            return None if best == own else best
+        candidates = self.prefix_table.route_candidates(target_id)
+        if candidates:
+            return min(
+                (d.node_id for d in candidates),
+                key=lambda n: (space.ring_distance(n, target_id), n),
+            )
+        row = space.common_prefix_digits(own, target_id)
+        own_distance = space.ring_distance(own, target_id)
+        best = None
+        best_key = None
+        known = [d.node_id for d in self.leaf_set]
+        known.extend(d.node_id for d in self.prefix_table.descriptors())
+        for candidate in known:
+            if space.common_prefix_digits(candidate, target_id) < row:
+                continue
+            distance = space.ring_distance(candidate, target_id)
+            if distance >= own_distance:
+                continue
+            key = (distance, candidate)
+            if best_key is None or key < best_key:
+                best = candidate
+                best_key = key
+        return best
+
+
+@dataclass(frozen=True)
+class JoinCostReport:
+    """Cost accounting for building an overlay by sequential joins.
+
+    Attributes
+    ----------
+    nodes_joined:
+        Final network size (including the seed node).
+    serial_steps:
+        Number of join operations that had to run one after another.
+    total_messages:
+        Join-request hops + state-transfer replies + announcements.
+    total_route_hops:
+        Overlay hops consumed by join-request routing alone.
+    mean_route_hops / max_route_hops:
+        Route length statistics across joins.
+    """
+
+    nodes_joined: int
+    serial_steps: int
+    total_messages: int
+    total_route_hops: int
+    mean_route_hops: float
+    max_route_hops: int
+
+    def messages_per_node(self) -> float:
+        """Average message cost of admitting one node."""
+        if self.serial_steps == 0:
+            return 0.0
+        return self.total_messages / self.serial_steps
+
+
+class SequentialJoinNetwork:
+    """Incrementally grown Pastry overlay (the baseline under test).
+
+    Parameters
+    ----------
+    config:
+        Table geometry (same parameters as the gossip bootstrap, so the
+        end states are comparable).
+    seed:
+        Randomness for identifier generation and seed-node choice.
+    """
+
+    def __init__(
+        self, config: BootstrapConfig = PAPER_CONFIG, seed: int = 1
+    ) -> None:
+        self.config = config
+        self._space = config.space
+        self._source = RandomSource(seed)
+        self._rng = self._source.derive("joins")
+        self._nodes: Dict[int, _LiveNode] = {}
+        self._descriptors: Dict[int, NodeDescriptor] = {}
+        self._sorted_ids: List[int] = []
+        self._route_hops: List[int] = []
+        self._messages = 0
+
+    @property
+    def size(self) -> int:
+        """Current network size."""
+        return len(self._nodes)
+
+    @property
+    def ids(self) -> List[int]:
+        """Live identifiers, ascending."""
+        return list(self._sorted_ids)
+
+    def node(self, node_id: int) -> _LiveNode:
+        """The live node object for *node_id*."""
+        return self._nodes[node_id]
+
+    # ------------------------------------------------------------------
+    # Join protocol
+    # ------------------------------------------------------------------
+
+    def join(self, node_id: Optional[int] = None) -> int:
+        """Admit one node via the Pastry join protocol; returns its id."""
+        if node_id is None:
+            node_id = self._space.random_id(self._rng)
+            while node_id in self._nodes:
+                node_id = self._space.random_id(self._rng)
+        elif node_id in self._nodes:
+            raise ValueError(f"identifier {node_id:#x} already joined")
+
+        newcomer = _LiveNode(self._space, node_id, self.config)
+        descriptor = NodeDescriptor(node_id=node_id, address=node_id)
+
+        if self._nodes:
+            seed_id = self._rng.choice(self._sorted_ids)
+            path = self._route_join(seed_id, node_id)
+            self._route_hops.append(len(path) - 1)
+            # One message per routing hop...
+            self._messages += len(path) - 1
+            # ...one state-transfer reply per visited node (row i from
+            # hop i, leaf set from the last hop)...
+            self._messages += len(path)
+            for row_index, visited_id in enumerate(path):
+                visited = self._nodes[visited_id]
+                newcomer.learn(self._descriptors[visited_id])
+                for _slot, descs in visited.prefix_table.iter_slots():
+                    for desc in descs:
+                        newcomer.prefix_table.add(desc)
+                        newcomer.leaf_set.update([desc])
+            terminal = self._nodes[path[-1]]
+            newcomer.leaf_set.update(terminal.leaf_set.descriptors())
+            # ...and one announcement per acquired contact.
+            contacts = set(newcomer.leaf_set.member_ids())
+            contacts.update(newcomer.prefix_table.member_ids())
+            self._messages += len(contacts)
+            for contact_id in contacts:
+                contact = self._nodes.get(contact_id)
+                if contact is not None:
+                    contact.learn(descriptor)
+        else:
+            self._route_hops.append(0)
+
+        self._nodes[node_id] = newcomer
+        self._descriptors[node_id] = descriptor
+        bisect.insort(self._sorted_ids, node_id)
+        return node_id
+
+    def _route_join(self, start_id: int, target_id: int) -> List[int]:
+        """Route the join request; returns the visited path."""
+        path = [start_id]
+        current = self._nodes[start_id]
+        visited = {start_id}
+        for _ in range(64):
+            nxt = current.next_hop(target_id)
+            if nxt is None or nxt in visited:
+                break
+            path.append(nxt)
+            visited.add(nxt)
+            current = self._nodes[nxt]
+        return path
+
+    def build(self, size: int) -> JoinCostReport:
+        """Grow the network to *size* nodes and report the cost."""
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        while len(self._nodes) < size:
+            self.join()
+        hops = self._route_hops[1:]  # the seed node routed nowhere
+        return JoinCostReport(
+            nodes_joined=len(self._nodes),
+            serial_steps=len(self._route_hops),
+            total_messages=self._messages,
+            total_route_hops=sum(hops),
+            mean_route_hops=(sum(hops) / len(hops)) if hops else 0.0,
+            max_route_hops=max(hops) if hops else 0,
+        )
+
+    # ------------------------------------------------------------------
+    # Quality inspection (is the incrementally built overlay correct?)
+    # ------------------------------------------------------------------
+
+    def leaf_set_deficit(self) -> int:
+        """Total missing leaf-set entries versus the perfect tables --
+        sequential joins leave staleness behind that gossip repair
+        would have to clean up."""
+        from ..core.reference import ReferenceTables
+
+        reference = ReferenceTables(
+            self._space,
+            self._sorted_ids,
+            self.config.leaf_set_size,
+            self.config.entries_per_slot,
+        )
+        missing = 0
+        for node_id, node in self._nodes.items():
+            missing += reference.leaf_missing(
+                node_id, node.leaf_set.member_ids()
+            )
+        return missing

@@ -1,0 +1,246 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples
+--------
+::
+
+    python -m repro bootstrap --size 1024 --seed 7
+    python -m repro figure3 --exponents 10 12
+    python -m repro figure4 --exponents 10
+    python -m repro churn --size 512 --rate 0.01
+    python -m repro aggregate --size 256
+    python -m repro broadcast --size 1024 --fanout 3
+
+Every subcommand prints the same artefacts the benchmark harness
+produces (ASCII figures / tables), so quick parameter exploration does
+not require pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import Series, ascii_semilog, render_kv, render_table
+from .components import AggregationExperiment, BroadcastConfig, GossipBroadcast
+from .core import PAPER_CONFIG
+from .simulator import (
+    BootstrapSimulation,
+    Churn,
+    NetworkModel,
+)
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=1, help="master seed")
+    parser.add_argument(
+        "--drop",
+        type=float,
+        default=0.0,
+        help="uniform message drop probability (paper Figure 4: 0.2)",
+    )
+    parser.add_argument(
+        "--max-cycles", type=int, default=60, help="cycle budget"
+    )
+
+
+def _network(args: argparse.Namespace) -> NetworkModel:
+    return NetworkModel(drop_probability=args.drop)
+
+
+def _run_one(size: int, args: argparse.Namespace) -> "tuple[Series, Series]":
+    sim = BootstrapSimulation(
+        size, seed=args.seed, network=_network(args)
+    )
+    result = sim.run(args.max_cycles)
+    label = f"N={size}"
+    print(
+        render_kv(
+            {
+                "size": size,
+                "converged": result.converged,
+                "cycles": result.cycles_to_converge,
+                "messages/node/cycle": result.messages_per_node_per_cycle(),
+                "overall loss": result.transport["overall_loss_fraction"],
+            },
+            title=f"bootstrap {label}",
+        )
+    )
+    return (
+        Series.from_pairs(label, result.leaf_series()),
+        Series.from_pairs(label, result.prefix_series()),
+    )
+
+
+def cmd_bootstrap(args: argparse.Namespace) -> int:
+    """One bootstrap run with its convergence curves."""
+    leaf, prefix = _run_one(args.size, args)
+    print(
+        ascii_semilog(
+            [leaf.nonzero(), prefix.nonzero()],
+            title="missing-entry proportions (o = leaf, x = prefix)",
+        )
+    )
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace, lossy: bool) -> int:
+    """Regenerate Figure 3 (or Figure 4 when *lossy*)."""
+    if lossy and args.drop == 0.0:
+        args.drop = 0.2
+    leaf_curves: List[Series] = []
+    prefix_curves: List[Series] = []
+    for exponent in args.exponents:
+        leaf, prefix = _run_one(2**exponent, args)
+        leaf_curves.append(leaf.nonzero())
+        prefix_curves.append(prefix.nonzero())
+    name = "Figure 4" if lossy else "Figure 3"
+    print(
+        ascii_semilog(
+            leaf_curves,
+            title=f"{name} (top): proportion of missing leaf set entries",
+        )
+    )
+    print(
+        ascii_semilog(
+            prefix_curves,
+            title=f"{name} (bottom): proportion of missing prefix table "
+            "entries",
+        )
+    )
+    return 0
+
+
+def cmd_churn(args: argparse.Namespace) -> int:
+    """Steady-state table quality under continuous churn."""
+    sim = BootstrapSimulation(
+        args.size, seed=args.seed, network=_network(args)
+    )
+    result = sim.run(
+        args.max_cycles,
+        stop_when_perfect=False,
+        schedules=[Churn(rate=args.rate)],
+    )
+    final = result.final_sample
+    print(
+        render_kv(
+            {
+                "size": args.size,
+                "churn rate/cycle": args.rate,
+                "cycles run": result.cycles_run,
+                "missing leaf fraction": final.leaf_fraction,
+                "missing prefix fraction": final.prefix_fraction,
+            },
+            title="steady-state quality under churn",
+        )
+    )
+    return 0
+
+
+def cmd_aggregate(args: argparse.Namespace) -> int:
+    """Gossip push-pull averaging demo."""
+    values = [float(i) for i in range(args.size)]
+    experiment = AggregationExperiment(values, seed=args.seed)
+    trace = experiment.run(args.max_cycles, tolerance=1e-9)
+    print(
+        render_table(
+            ["cycle", "variance"],
+            [[c, v] for c, v in trace],
+            title=(
+                f"push-pull averaging, N={args.size} "
+                f"(true mean {experiment.true_mean:g})"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_broadcast(args: argparse.Namespace) -> int:
+    """Probabilistic-broadcast (start signal) demo."""
+    broadcast = GossipBroadcast(
+        args.size,
+        BroadcastConfig(
+            fanout=args.fanout,
+            rounds_active=args.rounds_active,
+            drop_probability=args.drop,
+        ),
+        seed=args.seed,
+    )
+    result = broadcast.broadcast()
+    print(
+        render_kv(
+            {
+                "size": args.size,
+                "fanout": args.fanout,
+                "reliability": result.reliability,
+                "rounds": result.rounds,
+                "messages": result.messages,
+            },
+            title="probabilistic broadcast (start-signal channel)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'The Bootstrapping Service' (ICDCS 2006): "
+            "experiment runner"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("bootstrap", help="one bootstrap run, with curves")
+    p.add_argument("--size", type=int, default=1024)
+    _add_common(p)
+    p.set_defaults(func=cmd_bootstrap)
+
+    p = sub.add_parser("figure3", help="regenerate Figure 3")
+    p.add_argument(
+        "--exponents", type=int, nargs="+", default=[10, 12],
+        help="network sizes as powers of two",
+    )
+    _add_common(p)
+    p.set_defaults(func=lambda a: cmd_figure(a, lossy=False))
+
+    p = sub.add_parser("figure4", help="regenerate Figure 4 (20%% drop)")
+    p.add_argument("--exponents", type=int, nargs="+", default=[10])
+    _add_common(p)
+    p.set_defaults(func=lambda a: cmd_figure(a, lossy=True))
+
+    p = sub.add_parser("churn", help="steady-state quality under churn")
+    p.add_argument("--size", type=int, default=512)
+    p.add_argument("--rate", type=float, default=0.01)
+    _add_common(p)
+    p.set_defaults(func=cmd_churn)
+
+    p = sub.add_parser("aggregate", help="gossip aggregation demo")
+    p.add_argument("--size", type=int, default=256)
+    _add_common(p)
+    p.set_defaults(func=cmd_aggregate)
+
+    p = sub.add_parser("broadcast", help="probabilistic broadcast demo")
+    p.add_argument("--size", type=int, default=1024)
+    p.add_argument("--fanout", type=int, default=3)
+    p.add_argument("--rounds-active", type=int, default=2)
+    _add_common(p)
+    p.set_defaults(func=cmd_broadcast)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""The architecture's "functions" layer (Figure 1).
+
+Components that, like the bootstrapping service, need nothing below
+them but the peer sampling service: gossip-based aggregation
+(reference [7]) and probabilistic broadcast (reference [3], also the
+administrator's start-signal channel).  Their presence demonstrates the
+paper's architectural point: random samples alone already support a
+family of global functions, with structured overlays bootstrapped on
+demand only when routing is required.
+"""
+
+from .aggregation import AggregationExperiment, AggregationNode
+from .broadcast import BroadcastConfig, BroadcastResult, GossipBroadcast
+
+__all__ = [
+    "AggregationExperiment",
+    "AggregationNode",
+    "BroadcastConfig",
+    "BroadcastResult",
+    "GossipBroadcast",
+]

@@ -1,0 +1,37 @@
+"""Core of the reproduction: the bootstrapping service itself.
+
+This package implements the paper's primary contribution -- the gossip
+protocol that jump-starts prefix-table routing substrates from scratch
+(Section 4) -- together with the data structures it builds (leaf sets,
+prefix tables) and the oracles used to measure convergence (Section 5).
+"""
+
+from .config import BootstrapConfig, PAPER_CONFIG
+from .convergence import ConvergenceSample, ConvergenceTracker
+from .descriptor import NodeDescriptor, dedupe_by_id, freshest_by_id
+from .idspace import IDSpace
+from .leafset import LeafSet, select_balanced_ids
+from .messages import BootstrapMessage
+from .prefixtable import PrefixTable
+from .protocol import BootstrapNode, ProtocolStats, Sampler
+from .reference import DigitTrie, ReferenceTables
+
+__all__ = [
+    "BootstrapConfig",
+    "PAPER_CONFIG",
+    "ConvergenceSample",
+    "ConvergenceTracker",
+    "NodeDescriptor",
+    "dedupe_by_id",
+    "freshest_by_id",
+    "IDSpace",
+    "LeafSet",
+    "select_balanced_ids",
+    "BootstrapMessage",
+    "PrefixTable",
+    "BootstrapNode",
+    "ProtocolStats",
+    "Sampler",
+    "DigitTrie",
+    "ReferenceTables",
+]

@@ -1,0 +1,270 @@
+"""The leaf set: a node's closest ring neighbours.
+
+Section 4 of the paper:
+
+    "Method UPDATELEAFSET takes a set of node descriptors (addresses and
+    corresponding IDs) and tries to improve the leaf set using these
+    descriptors.  First, it merges the set given as a parameter, and the
+    current leaf set, and then sorts this set according to distance from
+    the node's own ID in the ring of all possible IDs.  Note that all
+    IDs can be classified as successors and predecessors: if an ID is
+    closer in the increasing direction, it is a successor, otherwise it
+    is a predecessor.  Then, in an effort to collect an equal amount of
+    successors and predecessors, the method attempts to keep an equal
+    number (c/2) of closest successors and predecessors.  If there are
+    not enough successors or predecessors, then the leaf set is filled
+    with the closest elements in the other direction."
+
+:class:`LeafSet` implements exactly that rule.  It also provides the
+sorted-by-distance view that ``SELECTPEER`` needs ("picks a random
+element from the first half of the sorted list").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from .descriptor import NodeDescriptor
+from .idspace import IDSpace
+
+__all__ = ["LeafSet", "select_balanced_ids"]
+
+
+def select_balanced_ids(
+    space: IDSpace, own_id: int, candidate_ids: Iterable[int], half_capacity: int
+) -> Set[int]:
+    """The paper's leaf-set selection rule, as a pure function on ids.
+
+    Keeps the *half_capacity* closest successors and *half_capacity*
+    closest predecessors of *own_id* among *candidate_ids*, backfilling
+    from the other direction when one side runs short.  Shared between
+    :class:`LeafSet` and the reference-table oracle so that "perfect
+    leaf set" means exactly "what UPDATELEAFSET converges to given every
+    identifier".
+    """
+    mask = space.size - 1
+    half_ring = space.half
+
+    successors: List["tuple[int, int]"] = []
+    predecessors: List["tuple[int, int]"] = []
+    for node_id in candidate_ids:
+        if node_id == own_id:
+            continue
+        forward = (node_id - own_id) & mask
+        if forward <= half_ring:
+            successors.append((forward, node_id))
+        else:
+            predecessors.append((mask + 1 - forward, node_id))
+    successors.sort()
+    predecessors.sort()
+
+    take_succ = min(half_capacity, len(successors))
+    take_pred = min(half_capacity, len(predecessors))
+    spare = (half_capacity - take_succ) + (half_capacity - take_pred)
+    if spare:
+        extra_succ = min(spare, len(successors) - take_succ)
+        take_succ += extra_succ
+        spare -= extra_succ
+        take_pred += min(spare, len(predecessors) - take_pred)
+
+    chosen = {node_id for _, node_id in successors[:take_succ]}
+    chosen.update(node_id for _, node_id in predecessors[:take_pred])
+    return chosen
+
+
+class LeafSet:
+    """Balanced set of the closest successors and predecessors.
+
+    Parameters
+    ----------
+    space:
+        The identifier space (ring geometry).
+    own_id:
+        Identifier of the node owning this leaf set.  Never stored in
+        the set itself.
+    size:
+        Paper's ``c``: total capacity.  ``c/2`` per direction.
+    """
+
+    __slots__ = ("_space", "_own_id", "_size", "_half", "_members", "_mask")
+
+    def __init__(self, space: IDSpace, own_id: int, size: int) -> None:
+        if size < 2 or size % 2 != 0:
+            raise ValueError(f"leaf-set size must be even and >= 2, got {size}")
+        space.validate(own_id)
+        self._space = space
+        self._own_id = own_id
+        self._size = size
+        self._half = size // 2
+        self._mask = space.size - 1
+        self._members: Dict[int, NodeDescriptor] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def own_id(self) -> int:
+        """Identifier of the owning node."""
+        return self._own_id
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of members (paper's ``c``)."""
+        return self._size
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._members
+
+    def __iter__(self):
+        return iter(self._members.values())
+
+    def member_ids(self) -> Set[int]:
+        """The identifiers currently held (a fresh set)."""
+        return set(self._members)
+
+    def descriptors(self) -> List[NodeDescriptor]:
+        """All member descriptors, in unspecified (but stable) order."""
+        return list(self._members.values())
+
+    def get(self, node_id: int) -> Optional[NodeDescriptor]:
+        """Return the descriptor held for *node_id*, or ``None``."""
+        return self._members.get(node_id)
+
+    def remove(self, node_id: int) -> bool:
+        """Evict *node_id*; returns whether it was a member.
+
+        The bootstrap protocol itself never evicts (UPDATELEAFSET only
+        improves); this exists for the *maintenance* layer that takes
+        over once the overlay is built and must purge failed
+        neighbours.
+        """
+        return self._members.pop(node_id, None) is not None
+
+    # ------------------------------------------------------------------
+    # The paper's UPDATELEAFSET
+    # ------------------------------------------------------------------
+
+    def update(self, descriptors: Iterable[NodeDescriptor]) -> bool:
+        """Merge *descriptors* into the leaf set (paper's UPDATELEAFSET).
+
+        Returns ``True`` when membership changed (a useful convergence
+        signal for experiments; the protocol itself never needs it).
+        """
+        own = self._own_id
+        merged: Dict[int, NodeDescriptor] = dict(self._members)
+        new_candidates = False
+        refreshed = False
+        for desc in descriptors:
+            if desc.node_id == own:
+                continue
+            current = merged.get(desc.node_id)
+            if current is None:
+                merged[desc.node_id] = desc
+                new_candidates = True
+            elif desc.timestamp > current.timestamp:
+                # Same node, fresher advertisement: keep the new address
+                # but membership is unchanged.
+                merged[desc.node_id] = desc
+                refreshed = True
+        if not new_candidates:
+            if refreshed:
+                # Membership identical, only descriptor contents moved.
+                self._members = merged
+            return False
+
+        selected = self._select(merged)
+        changed = selected.keys() != self._members.keys()
+        self._members = selected
+        return changed
+
+    def _select(
+        self, candidates: Dict[int, NodeDescriptor]
+    ) -> Dict[int, NodeDescriptor]:
+        """Keep the c/2 closest successors and c/2 closest predecessors,
+        backfilling from the other direction when one side runs short."""
+        chosen_ids = select_balanced_ids(
+            self._space, self._own_id, candidates, self._half
+        )
+        return {node_id: candidates[node_id] for node_id in chosen_ids}
+
+    # ------------------------------------------------------------------
+    # Views used by the protocol
+    # ------------------------------------------------------------------
+
+    def sorted_by_distance(self) -> List[NodeDescriptor]:
+        """Members ordered by ring distance from the owner (closest
+        first, ties broken by identifier)."""
+        own = self._own_id
+        mask = self._mask
+
+        def key(desc: NodeDescriptor) -> "tuple[int, int]":
+            forward = (desc.node_id - own) & mask
+            backward = (own - desc.node_id) & mask
+            return (min(forward, backward), desc.node_id)
+
+        return sorted(self._members.values(), key=key)
+
+    def closest_half(self) -> List[NodeDescriptor]:
+        """The first half of :meth:`sorted_by_distance`.
+
+        ``SELECTPEER`` draws uniformly from this list.  We round the
+        half up (``ceil(n/2)``) so that a leaf set holding a single
+        member still yields a peer during the very first cycles.
+        """
+        ordered = self.sorted_by_distance()
+        if not ordered:
+            return []
+        half = (len(ordered) + 1) // 2
+        return ordered[:half]
+
+    def successors(self) -> List[NodeDescriptor]:
+        """Members in the increasing direction, closest first."""
+        own = self._own_id
+        mask = self._mask
+        half_ring = self._space.half
+        out = [
+            desc
+            for desc in self._members.values()
+            if ((desc.node_id - own) & mask) <= half_ring
+        ]
+        out.sort(key=lambda d: (d.node_id - own) & mask)
+        return out
+
+    def predecessors(self) -> List[NodeDescriptor]:
+        """Members in the decreasing direction, closest first."""
+        own = self._own_id
+        mask = self._mask
+        half_ring = self._space.half
+        out = [
+            desc
+            for desc in self._members.values()
+            if ((desc.node_id - own) & mask) > half_ring
+        ]
+        out.sort(key=lambda d: (own - d.node_id) & mask)
+        return out
+
+    def covers(self, target_id: int) -> bool:
+        """Return whether *target_id* falls inside the arc spanned by the
+        current leaf set (used by leaf-set routing in the overlays)."""
+        if not self._members:
+            return False
+        succ = self.successors()
+        pred = self.predecessors()
+        own = self._own_id
+        mask = self._mask
+        hi = succ[-1].node_id if succ else own
+        lo = pred[-1].node_id if pred else own
+        # target within [lo, hi] going clockwise through own.
+        span = (hi - lo) & mask
+        offset = (target_id - lo) & mask
+        return offset <= span
+
+    def __repr__(self) -> str:
+        return (
+            f"LeafSet(own={self._own_id:#x}, size={self._size}, "
+            f"members={len(self._members)})"
+        )

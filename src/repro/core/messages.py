@@ -1,0 +1,67 @@
+"""Messages exchanged by the bootstrapping protocol.
+
+The protocol of Figure 2 is a symmetric request/reply gossip: the active
+thread sends ``CREATEMESSAGE(q)`` to a selected peer ``q`` and waits for
+the answer; the passive thread answers every incoming message with its
+own ``CREATEMESSAGE(sender)`` before applying the received descriptors.
+
+A message is simply a bag of node descriptors plus the sender's own
+descriptor as the envelope (the receiver needs it to address the reply,
+and it is itself useful routing information).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from .descriptor import NodeDescriptor
+
+__all__ = ["BootstrapMessage"]
+
+
+@dataclass(frozen=True)
+class BootstrapMessage:
+    """One bootstrap gossip message.
+
+    Attributes
+    ----------
+    sender:
+        Descriptor of the node that produced the message.
+    descriptors:
+        The payload produced by ``CREATEMESSAGE``: the ``c`` known
+        descriptors closest to the destination, plus every locally-known
+        descriptor sharing a digit prefix with the destination (bounded
+        by the prefix-table capacity).
+    is_reply:
+        ``True`` for the passive thread's answer.  Transport layers use
+        this to model the paper's request/answer loss coupling: a
+        dropped request suppresses the answer entirely.
+    """
+
+    sender: NodeDescriptor
+    descriptors: Tuple[NodeDescriptor, ...]
+    is_reply: bool = False
+
+    def all_descriptors(self) -> Iterator[NodeDescriptor]:
+        """Payload descriptors followed by the envelope sender.
+
+        Everything a receiver learns from this message; feeding the
+        sender descriptor through the same update path means answering
+        nodes are discoverable even when ``CREATEMESSAGE`` did not
+        select their descriptor for the payload.
+        """
+        yield from self.descriptors
+        yield self.sender
+
+    @property
+    def payload_size(self) -> int:
+        """Number of descriptors carried (excluding the envelope)."""
+        return len(self.descriptors)
+
+    def __repr__(self) -> str:
+        kind = "reply" if self.is_reply else "request"
+        return (
+            f"BootstrapMessage({kind}, from={self.sender.node_id:#x}, "
+            f"|payload|={len(self.descriptors)})"
+        )

@@ -1,0 +1,320 @@
+"""Reference ("perfect") tables for convergence measurement.
+
+The paper's experiments run "until the perfect leaf sets and prefix
+tables are found at all nodes, based on the actual set of IDs in the
+network", plotting per cycle the *proportion of missing entries*.  This
+module computes, for a given live identifier set:
+
+* the **perfect leaf set** of every node -- what ``UPDATELEAFSET`` would
+  retain given knowledge of every identifier (same selection function);
+* the **perfect prefix-table slot counts** -- for each slot ``(i, j)``,
+  ``min(k, number of live identifiers with that prefix pattern)``,
+  because "the entries may be less than k if there are not enough node
+  IDs with the desired prefix and digit".
+
+Perfect prefix counts for *all* nodes at once are derived from a single
+**digit trie** over the live identifier set (O(N x digits) to build,
+O(base x occupied-depth) per node to query), so per-cycle convergence
+checks stay cheap even for large networks.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from .idspace import IDSpace
+from .leafset import select_balanced_ids
+
+__all__ = ["DigitTrie", "ReferenceTables"]
+
+
+class _TrieNode:
+    """Internal trie node: subtree population and children by digit.
+
+    Subtrees holding a single identifier are not expanded (path
+    compression): ``sole_id`` carries the identifier instead, which
+    bounds the trie at O(N log N) nodes for random identifier sets.
+    """
+
+    __slots__ = ("count", "children", "sole_id")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.children: Optional[Dict[int, "_TrieNode"]] = None
+        self.sole_id: Optional[int] = None
+
+
+class DigitTrie:
+    """Digit trie over an identifier set, answering prefix-population
+    queries for every depth at once."""
+
+    def __init__(self, space: IDSpace, ids: Iterable[int]) -> None:
+        self._space = space
+        self._root = _TrieNode()
+        for node_id in ids:
+            self._insert(node_id)
+
+    @property
+    def size(self) -> int:
+        """Number of identifiers stored."""
+        return self._root.count
+
+    def _insert(self, node_id: int) -> None:
+        space = self._space
+        node = self._root
+        node.count += 1
+        depth = 0
+        while depth < space.num_digits:
+            if node.count == 1:
+                # First occupant of this subtree: park it, stop expanding.
+                node.sole_id = node_id
+                return
+            if node.sole_id is not None:
+                # Second occupant arrives: push the parked id one level
+                # down before continuing with the new one.
+                parked = node.sole_id
+                node.sole_id = None
+                if node.children is None:
+                    node.children = {}
+                parked_child = node.children.setdefault(
+                    space.digit(parked, depth), _TrieNode()
+                )
+                parked_child.count += 1
+                self._sink(parked_child, parked, depth + 1)
+            if node.children is None:
+                node.children = {}
+            child = node.children.setdefault(
+                space.digit(node_id, depth), _TrieNode()
+            )
+            child.count += 1
+            node = child
+            depth += 1
+
+    def _sink(self, node: _TrieNode, node_id: int, depth: int) -> None:
+        """Park *node_id* at *node* (which has count 1 and no children)."""
+        if depth >= self._space.num_digits:
+            return
+        node.sole_id = node_id
+
+    def count_prefix_child(
+        self, prefix_of: int, depth: int, digit: int
+    ) -> int:
+        """Number of stored identifiers sharing the first *depth* digits
+        of *prefix_of* and having *digit* at position *depth*.
+
+        This is slot ``(depth, digit)`` availability for a node whose
+        identifier is *prefix_of*.  Mostly useful for spot checks; the
+        bulk path is :meth:`slot_counts_for`.
+        """
+        counts = self.slot_counts_for(prefix_of, cap=None)
+        return counts.get((depth, digit), 0)
+
+    def slot_counts_for(
+        self, node_id: int, cap: Optional[int]
+    ) -> Dict[Tuple[int, int], int]:
+        """All non-empty slot populations for *node_id*'s prefix table.
+
+        Walks the path of *node_id* through the trie; at depth ``i`` the
+        sibling digit-``j`` subtree population is the number of live
+        identifiers whose slot in this node's table is ``(i, j)``.  The
+        node itself is excluded automatically because its own digit's
+        subtree is the path continuation, never a sibling.
+
+        Parameters
+        ----------
+        cap:
+            When given (the paper's ``k``), counts are clamped to it so
+            the result is directly the *perfect occupancy*.
+        """
+        space = self._space
+        counts: Dict[Tuple[int, int], int] = {}
+        node = self._root
+        depth = 0
+        while depth < space.num_digits:
+            if node.sole_id is not None:
+                # Only this node's own identifier lives below: no
+                # siblings at any deeper depth.
+                break
+            if node.children is None:
+                break
+            own_digit = space.digit(node_id, depth)
+            for digit, child in node.children.items():
+                if digit == own_digit:
+                    continue
+                population = child.count
+                if cap is not None and population > cap:
+                    population = cap
+                counts[(depth, digit)] = population
+            next_node = node.children.get(own_digit)
+            if next_node is None:
+                break
+            node = next_node
+            depth += 1
+        return counts
+
+
+class ReferenceTables:
+    """Perfect leaf sets and prefix tables for a live identifier set.
+
+    Parameters
+    ----------
+    space:
+        Identifier geometry.
+    ids:
+        The live identifiers ("the actual set of IDs in the network").
+    leaf_set_size:
+        Paper's ``c``.
+    entries_per_slot:
+        Paper's ``k``.
+    """
+
+    def __init__(
+        self,
+        space: IDSpace,
+        ids: Iterable[int],
+        leaf_set_size: int,
+        entries_per_slot: int,
+    ) -> None:
+        if leaf_set_size < 2 or leaf_set_size % 2 != 0:
+            raise ValueError(
+                f"leaf_set_size must be even and >= 2, got {leaf_set_size}"
+            )
+        if entries_per_slot < 1:
+            raise ValueError(
+                f"entries_per_slot must be >= 1, got {entries_per_slot}"
+            )
+        self._space = space
+        self._c = leaf_set_size
+        self._k = entries_per_slot
+        self._sorted_ids: List[int] = sorted(set(ids))
+        if not self._sorted_ids:
+            raise ValueError("reference tables need at least one identifier")
+        self._index: Dict[int, int] = {
+            node_id: i for i, node_id in enumerate(self._sorted_ids)
+        }
+        self._trie = DigitTrie(space, self._sorted_ids)
+        self._leaf_cache: Dict[int, FrozenSet[int]] = {}
+        self._totals: Optional[Tuple[int, int]] = None
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    @property
+    def space(self) -> IDSpace:
+        """The identifier space the reference was built over."""
+        return self._space
+
+    @property
+    def ids(self) -> Sequence[int]:
+        """The live identifiers, ascending."""
+        return tuple(self._sorted_ids)
+
+    @property
+    def population(self) -> int:
+        """Number of live identifiers."""
+        return len(self._sorted_ids)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._index
+
+    # ------------------------------------------------------------------
+    # Perfect leaf sets
+    # ------------------------------------------------------------------
+
+    def perfect_leaf_ids(self, node_id: int) -> FrozenSet[int]:
+        """The converged leaf-set membership for *node_id*.
+
+        Computed by applying the protocol's own selection rule to the
+        2c nearest identifiers in ring order -- a superset of every
+        identifier the global selection could pick (the closest
+        successors/predecessors, plus anything backfill could reach).
+        """
+        cached = self._leaf_cache.get(node_id)
+        if cached is not None:
+            return cached
+        index = self._index.get(node_id)
+        if index is None:
+            raise KeyError(f"{node_id:#x} is not a live identifier")
+        ids = self._sorted_ids
+        n = len(ids)
+        reach = min(self._c, n - 1)
+        candidates = set()
+        for offset in range(1, reach + 1):
+            candidates.add(ids[(index + offset) % n])
+            candidates.add(ids[(index - offset) % n])
+        chosen = frozenset(
+            select_balanced_ids(self._space, node_id, candidates, self._c // 2)
+        )
+        self._leaf_cache[node_id] = chosen
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Perfect prefix tables
+    # ------------------------------------------------------------------
+
+    def perfect_prefix_counts(self, node_id: int) -> Dict[Tuple[int, int], int]:
+        """Perfect occupancy ``slot -> min(k, available)`` for *node_id*."""
+        if node_id not in self._index:
+            raise KeyError(f"{node_id:#x} is not a live identifier")
+        return self._trie.slot_counts_for(node_id, cap=self._k)
+
+    # ------------------------------------------------------------------
+    # Network-wide totals (denominators of the paper's metric)
+    # ------------------------------------------------------------------
+
+    def totals(self) -> Tuple[int, int]:
+        """``(total perfect leaf entries, total perfect prefix entries)``
+        summed over every live node.  Cached after the first call."""
+        if self._totals is None:
+            total_leaf = 0
+            total_prefix = 0
+            for node_id in self._sorted_ids:
+                total_leaf += len(self.perfect_leaf_ids(node_id))
+                total_prefix += sum(
+                    self.perfect_prefix_counts(node_id).values()
+                )
+            self._totals = (total_leaf, total_prefix)
+        return self._totals
+
+    # ------------------------------------------------------------------
+    # Per-node deficit measurement
+    # ------------------------------------------------------------------
+
+    def leaf_missing(self, node_id: int, current_ids: "set[int]") -> int:
+        """Number of perfect leaf-set members absent from *current_ids*."""
+        return len(self.perfect_leaf_ids(node_id) - current_ids)
+
+    def prefix_missing(
+        self, node_id: int, occupancy: Dict[Tuple[int, int], int]
+    ) -> int:
+        """Total slot deficit of a prefix table versus perfection.
+
+        *occupancy* maps slot -> number of **live** entries currently
+        held (the caller filters dead entries when churn is in play).
+        Surplus in one slot never offsets deficit in another.
+        """
+        missing = 0
+        for slot, needed in self.perfect_prefix_counts(node_id).items():
+            have = occupancy.get(slot, 0)
+            if have < needed:
+                missing += needed - have
+        return missing
+
+    def nearest_live(self, target_id: int) -> int:
+        """The live identifier nearest *target_id* on the ring (useful
+        for routing correctness checks)."""
+        ids = self._sorted_ids
+        pos = bisect.bisect_left(ids, target_id)
+        space = self._space
+        best = None
+        best_dist = None
+        for candidate in (ids[pos % len(ids)], ids[(pos - 1) % len(ids)]):
+            dist = space.ring_distance(target_id, candidate)
+            if best_dist is None or dist < best_dist or (
+                dist == best_dist and candidate < best
+            ):
+                best = candidate
+                best_dist = dist
+        return best

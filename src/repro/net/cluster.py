@@ -1,0 +1,229 @@
+"""In-process clusters of deployable peers.
+
+:class:`LocalCluster` assembles N :class:`~repro.net.peer.AsyncPeer`
+instances over either the loopback fabric (deterministic, loss/latency
+injectable -- the default) or real UDP sockets on 127.0.0.1, then
+walks them through the paper's deployment story:
+
+1. the sampling layer gossips until functional (warm-up);
+2. the administrator broadcasts the start signal;
+3. the bootstrap converges; convergence is verified against the
+   perfect tables, exactly as the simulators do.
+
+This is the end-to-end integration fixture for the asyncio prototype
+and the engine behind the ``asyncio_cluster`` example.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional
+
+from ..core.config import BootstrapConfig, PAPER_CONFIG
+from ..core.convergence import ConvergenceSample, ConvergenceTracker
+from ..core.descriptor import NodeDescriptor
+from ..core.reference import ReferenceTables
+from ..simulator.random_source import RandomSource
+from .peer import AsyncPeer
+from .transport import LoopbackHub, LoopbackTransport, UdpTransport
+
+__all__ = ["LocalCluster"]
+
+
+class LocalCluster:
+    """A cluster of peers on one machine.
+
+    Build with :meth:`create` (loopback) or :meth:`create_udp` (real
+    sockets); always :meth:`shutdown` when done.
+    """
+
+    def __init__(
+        self,
+        peers: Dict[int, AsyncPeer],
+        config: BootstrapConfig,
+        hub: Optional[LoopbackHub],
+    ) -> None:
+        self.peers = peers
+        self.config = config
+        self.hub = hub
+        self.reference = ReferenceTables(
+            config.space,
+            list(peers),
+            config.leaf_set_size,
+            config.entries_per_slot,
+        )
+        self.tracker = ConvergenceTracker(
+            self.reference, (p.bootstrap for p in peers.values())
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    async def create(
+        cls,
+        size: int,
+        *,
+        seed: int = 1,
+        config: Optional[BootstrapConfig] = None,
+        drop_probability: float = 0.0,
+        latency: Optional[float] = None,
+        view_size: int = 30,
+        newscast_interval: float = 0.05,
+        seed_contacts: int = 3,
+    ) -> "LocalCluster":
+        """Spin up *size* peers on a loopback fabric.
+
+        Each peer is seeded with *seed_contacts* random contacts -- a
+        deliberately skimpy, non-random join list that the NEWSCAST
+        warm-up must randomise (one of the paper's Section 3 claims).
+        """
+        if size < 2:
+            raise ValueError(f"size must be >= 2, got {size}")
+        if config is None:
+            # Sub-second Δ so in-process runs finish quickly.
+            config = PAPER_CONFIG.with_overrides(cycle_length=0.05)
+        source = RandomSource(seed)
+        hub = LoopbackHub(
+            drop_probability=drop_probability,
+            latency=(None if latency is None else (lambda rng: latency)),
+            rng=source.derive("hub"),
+        )
+        space = config.space
+        ids = space.random_unique_ids(size, source.derive("ids"))
+        descriptors = [
+            NodeDescriptor(node_id=node_id, address=index)
+            for index, node_id in enumerate(ids)
+        ]
+        peers: Dict[int, AsyncPeer] = {}
+        for desc in descriptors:
+            peer = AsyncPeer(
+                desc,
+                config,
+                rng=source.derive(("peer", desc.node_id)),
+                view_size=view_size,
+                newscast_interval=newscast_interval,
+            )
+            peer.attach(
+                LoopbackTransport(hub, desc.address, peer.on_datagram)
+            )
+            peers[desc.node_id] = peer
+        cluster = cls(peers, config, hub)
+        cluster._seed_contacts(descriptors, seed_contacts, source)
+        return cluster
+
+    @classmethod
+    async def create_udp(
+        cls,
+        size: int,
+        *,
+        seed: int = 1,
+        config: Optional[BootstrapConfig] = None,
+        host: str = "127.0.0.1",
+        view_size: int = 30,
+        newscast_interval: float = 0.05,
+        seed_contacts: int = 3,
+    ) -> "LocalCluster":
+        """Spin up *size* peers on real UDP sockets (ephemeral ports)."""
+        if size < 2:
+            raise ValueError(f"size must be >= 2, got {size}")
+        if config is None:
+            config = PAPER_CONFIG.with_overrides(cycle_length=0.05)
+        source = RandomSource(seed)
+        space = config.space
+        ids = space.random_unique_ids(size, source.derive("ids"))
+        peers: Dict[int, AsyncPeer] = {}
+        descriptors: List[NodeDescriptor] = []
+        for node_id in ids:
+            placeholder = NodeDescriptor(node_id=node_id, address=(host, 0))
+            peer = AsyncPeer(
+                placeholder,
+                config,
+                rng=source.derive(("peer", node_id)),
+                view_size=view_size,
+                newscast_interval=newscast_interval,
+            )
+            transport = await UdpTransport.create(peer.on_datagram, host=host)
+            # Rebind the descriptor now that the real port is known.
+            bound = NodeDescriptor(
+                node_id=node_id, address=transport.local_address
+            )
+            peer.descriptor = bound
+            peer.newscast.descriptor = bound
+            peer.bootstrap.descriptor = bound
+            peer.attach(transport)
+            peers[node_id] = peer
+            descriptors.append(bound)
+        cluster = cls(peers, config, None)
+        cluster._seed_contacts(descriptors, seed_contacts, source)
+        return cluster
+
+    def _seed_contacts(
+        self,
+        descriptors: List[NodeDescriptor],
+        count: int,
+        source: RandomSource,
+    ) -> None:
+        rng = source.derive("seeding")
+        for peer in self.peers.values():
+            others = [d for d in descriptors if d.node_id != peer.node_id]
+            contacts = rng.sample(others, min(count, len(others)))
+            peer.seed(contacts)
+
+    # ------------------------------------------------------------------
+    # Deployment story
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of peers."""
+        return len(self.peers)
+
+    def start_sampling_layer(self) -> None:
+        """Start NEWSCAST on every peer."""
+        for peer in self.peers.values():
+            peer.start()
+
+    async def warmup(self, duration: float) -> None:
+        """Let the sampling layer gossip for *duration* seconds."""
+        await asyncio.sleep(duration)
+
+    def broadcast_start(self) -> None:
+        """The administrator's start signal: every peer begins the
+        bootstrap (each peer staggers its first activation within one
+        Δ itself)."""
+        for peer in self.peers.values():
+            peer.start_bootstrap()
+
+    def measure(self) -> ConvergenceSample:
+        """Convergence of the live bootstrap tables, now."""
+        loop = asyncio.get_event_loop()
+        return self.tracker.measure(loop.time())
+
+    async def await_convergence(
+        self, timeout: float, poll_interval: float = 0.05
+    ) -> bool:
+        """Poll until perfect tables everywhere or *timeout* seconds."""
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+        while loop.time() < deadline:
+            if self.measure().is_perfect:
+                return True
+            await asyncio.sleep(poll_interval)
+        return self.measure().is_perfect
+
+    async def shutdown(self) -> None:
+        """Stop every peer and release transports."""
+        await asyncio.gather(
+            *(peer.stop() for peer in self.peers.values()),
+            return_exceptions=True,
+        )
+
+    def mean_view_size(self) -> float:
+        """Average NEWSCAST view fill (warm-up progress indicator)."""
+        if not self.peers:
+            return 0.0
+        return sum(len(p.newscast.view) for p in self.peers.values()) / len(
+            self.peers
+        )

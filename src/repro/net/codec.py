@@ -1,0 +1,227 @@
+"""Wire codec for the gossip layers.
+
+The paper designed both layers around "small UDP messages containing
+approximately 30 IP addresses, along with the ports, timestamps, and
+descriptors such as node IDs".  This codec realises exactly that: a
+compact binary framing for descriptor bags, shared by the NEWSCAST and
+bootstrap layers so one socket serves the whole stack.
+
+Frame layout (big-endian)::
+
+    magic     u16   0xB007  ("boot")
+    version   u8    1
+    layer     u8    1 = bootstrap, 2 = newscast
+    kind      u8    0 = request, 1 = reply
+    count     u16   number of descriptors (sender first)
+    descriptor * count
+
+Descriptor layout::
+
+    node_id   u64
+    timestamp f64
+    addr_kind u8    0 = integer, 1 = (host, port)
+    addr      u64              (kind 0)
+              u8 len + bytes + u16 port   (kind 1)
+
+The sender's descriptor travels as the first entry, so the payload
+proper is ``descriptors[1:]``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+from ..core.descriptor import NodeDescriptor
+from ..core.messages import BootstrapMessage
+
+__all__ = [
+    "CodecError",
+    "WireMessage",
+    "LAYER_BOOTSTRAP",
+    "LAYER_NEWSCAST",
+    "encode_message",
+    "decode_message",
+    "encode_bootstrap",
+    "decode_bootstrap",
+]
+
+MAGIC = 0xB007
+VERSION = 1
+LAYER_BOOTSTRAP = 1
+LAYER_NEWSCAST = 2
+
+_HEADER = struct.Struct(">HBBBH")
+_DESC_FIXED = struct.Struct(">Qd B")
+_INT_ADDR = struct.Struct(">Q")
+_PORT = struct.Struct(">H")
+
+#: Hard cap on descriptors per frame: a full prefix table plus leaf set
+#: plus slack; anything larger indicates a bug or a hostile frame.
+MAX_DESCRIPTORS = 4096
+
+
+class CodecError(ValueError):
+    """A frame could not be decoded (truncated, bad magic, bad kinds)."""
+
+
+@dataclass(frozen=True)
+class WireMessage:
+    """A decoded frame, layer-agnostic."""
+
+    layer: int
+    kind: int
+    sender: NodeDescriptor
+    descriptors: Tuple[NodeDescriptor, ...]
+
+    @property
+    def is_reply(self) -> bool:
+        """Whether the frame is an answer."""
+        return self.kind == 1
+
+
+def _encode_descriptor(desc: NodeDescriptor, out: List[bytes]) -> None:
+    address = desc.address
+    if isinstance(address, bool):
+        raise CodecError(f"unsupported address type: {type(address)}")
+    if isinstance(address, int):
+        if not 0 <= address < (1 << 64):
+            raise CodecError(f"integer address out of range: {address}")
+        out.append(_DESC_FIXED.pack(desc.node_id, float(desc.timestamp), 0))
+        out.append(_INT_ADDR.pack(address))
+    elif (
+        isinstance(address, tuple)
+        and len(address) == 2
+        and isinstance(address[0], str)
+        and isinstance(address[1], int)
+    ):
+        host_bytes = address[0].encode("utf-8")
+        if len(host_bytes) > 255:
+            raise CodecError(f"host name too long: {address[0]!r}")
+        if not 0 <= address[1] < 65536:
+            raise CodecError(f"port out of range: {address[1]}")
+        out.append(_DESC_FIXED.pack(desc.node_id, float(desc.timestamp), 1))
+        out.append(bytes([len(host_bytes)]))
+        out.append(host_bytes)
+        out.append(_PORT.pack(address[1]))
+    else:
+        raise CodecError(f"unsupported address type: {type(address)}")
+
+
+def _decode_descriptor(
+    data: bytes, offset: int
+) -> Tuple[NodeDescriptor, int]:
+    try:
+        node_id, timestamp, addr_kind = _DESC_FIXED.unpack_from(data, offset)
+    except struct.error as exc:
+        raise CodecError(f"truncated descriptor at offset {offset}") from exc
+    offset += _DESC_FIXED.size
+    if addr_kind == 0:
+        try:
+            (address,) = _INT_ADDR.unpack_from(data, offset)
+        except struct.error as exc:
+            raise CodecError("truncated integer address") from exc
+        offset += _INT_ADDR.size
+        return (
+            NodeDescriptor(
+                node_id=node_id, address=address, timestamp=timestamp
+            ),
+            offset,
+        )
+    if addr_kind == 1:
+        if offset >= len(data):
+            raise CodecError("truncated host length")
+        host_len = data[offset]
+        offset += 1
+        host_end = offset + host_len
+        if host_end + _PORT.size > len(data):
+            raise CodecError("truncated host/port")
+        host = data[offset:host_end].decode("utf-8")
+        (port,) = _PORT.unpack_from(data, host_end)
+        offset = host_end + _PORT.size
+        return (
+            NodeDescriptor(
+                node_id=node_id, address=(host, port), timestamp=timestamp
+            ),
+            offset,
+        )
+    raise CodecError(f"unknown address kind {addr_kind}")
+
+
+def encode_message(
+    layer: int,
+    kind: int,
+    sender: NodeDescriptor,
+    descriptors: Sequence[NodeDescriptor],
+) -> bytes:
+    """Encode one frame."""
+    if layer not in (LAYER_BOOTSTRAP, LAYER_NEWSCAST):
+        raise CodecError(f"unknown layer {layer}")
+    if kind not in (0, 1):
+        raise CodecError(f"unknown kind {kind}")
+    if len(descriptors) + 1 > MAX_DESCRIPTORS:
+        raise CodecError(
+            f"{len(descriptors) + 1} descriptors exceed the frame cap"
+        )
+    out: List[bytes] = [
+        _HEADER.pack(MAGIC, VERSION, layer, kind, len(descriptors) + 1)
+    ]
+    _encode_descriptor(sender, out)
+    for desc in descriptors:
+        _encode_descriptor(desc, out)
+    return b"".join(out)
+
+
+def decode_message(data: bytes) -> WireMessage:
+    """Decode one frame (raises :class:`CodecError` on any defect)."""
+    try:
+        magic, version, layer, kind, count = _HEADER.unpack_from(data, 0)
+    except struct.error as exc:
+        raise CodecError("truncated header") from exc
+    if magic != MAGIC:
+        raise CodecError(f"bad magic {magic:#x}")
+    if version != VERSION:
+        raise CodecError(f"unsupported version {version}")
+    if layer not in (LAYER_BOOTSTRAP, LAYER_NEWSCAST):
+        raise CodecError(f"unknown layer {layer}")
+    if kind not in (0, 1):
+        raise CodecError(f"unknown kind {kind}")
+    if count < 1 or count > MAX_DESCRIPTORS:
+        raise CodecError(f"implausible descriptor count {count}")
+    offset = _HEADER.size
+    descriptors: List[NodeDescriptor] = []
+    for _ in range(count):
+        desc, offset = _decode_descriptor(data, offset)
+        descriptors.append(desc)
+    if offset != len(data):
+        raise CodecError(
+            f"{len(data) - offset} trailing bytes after descriptors"
+        )
+    return WireMessage(
+        layer=layer,
+        kind=kind,
+        sender=descriptors[0],
+        descriptors=tuple(descriptors[1:]),
+    )
+
+
+def encode_bootstrap(message: BootstrapMessage) -> bytes:
+    """Encode a :class:`BootstrapMessage` as a bootstrap-layer frame."""
+    return encode_message(
+        LAYER_BOOTSTRAP,
+        1 if message.is_reply else 0,
+        message.sender,
+        message.descriptors,
+    )
+
+
+def decode_bootstrap(wire: WireMessage) -> BootstrapMessage:
+    """Reconstruct a :class:`BootstrapMessage` from a decoded frame."""
+    if wire.layer != LAYER_BOOTSTRAP:
+        raise CodecError(f"not a bootstrap frame (layer {wire.layer})")
+    return BootstrapMessage(
+        sender=wire.sender,
+        descriptors=wire.descriptors,
+        is_reply=wire.is_reply,
+    )

@@ -1,0 +1,64 @@
+"""Routing substrates consuming the bootstrapping service's output.
+
+The paper's value proposition is that one gossip bootstrap yields the
+state every prefix-table overlay needs.  This package materialises
+those overlays from bootstrap snapshots -- Pastry and Kademlia as the
+headline consumers, Chord (with its own T-Chord bootstrap) as the
+prior-work comparator, and generic T-Man as the protocol's ancestor and
+ablation vehicle.
+"""
+
+from .chord import (
+    ChordBootstrapNode,
+    ChordBootstrapSimulation,
+    ChordConvergenceSample,
+    ChordNetwork,
+    ChordRouter,
+    perfect_fingers,
+)
+from .kademlia import IterativeLookupResult, KademliaNetwork, KademliaRouter
+from .maintenance import (
+    MaintenanceActor,
+    MaintenanceNode,
+    MaintenanceQuality,
+    MaintenanceSimulation,
+)
+from .pastry import PastryNetwork, PastryRouter
+from .proximity import (
+    CoordinateSpace,
+    ProximityPastryRouter,
+    build_proximity_network,
+    route_latency,
+)
+from .routing import RouteResult, RouteStats, RoutingNode, route
+from .tman import Ranking, TManNode, ring_ranking, xor_ranking
+
+__all__ = [
+    "ChordBootstrapNode",
+    "ChordBootstrapSimulation",
+    "ChordConvergenceSample",
+    "ChordNetwork",
+    "ChordRouter",
+    "perfect_fingers",
+    "IterativeLookupResult",
+    "KademliaNetwork",
+    "KademliaRouter",
+    "MaintenanceActor",
+    "MaintenanceNode",
+    "MaintenanceQuality",
+    "MaintenanceSimulation",
+    "PastryNetwork",
+    "PastryRouter",
+    "CoordinateSpace",
+    "ProximityPastryRouter",
+    "build_proximity_network",
+    "route_latency",
+    "RouteResult",
+    "RouteStats",
+    "RoutingNode",
+    "route",
+    "Ranking",
+    "TManNode",
+    "ring_ranking",
+    "xor_ranking",
+]

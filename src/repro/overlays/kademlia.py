@@ -1,0 +1,270 @@
+"""Kademlia-style substrate consuming bootstrap output.
+
+Kademlia (Maymounkov & Mazieres, IPTPS 2002) organises contacts into
+k-buckets by XOR distance; bucket ``i`` holds nodes whose XOR distance
+from the owner lies in ``[2^i, 2^{i+1})`` -- equivalently, nodes whose
+longest common *bit* prefix with the owner has length
+``bits - 1 - i``.  The bootstrap protocol's prefix table is the same
+partition at digit granularity, so its entries drop straight into
+buckets -- which is precisely the paper's claim that one bootstrap
+serves "Pastry, Kademlia, Tapestry and Bamboo".
+
+Two lookup modes are provided:
+
+* greedy hop-by-hop routing (comparable with Pastry's driver), and
+* the protocol's native iterative ``FIND_NODE`` with lookahead
+  parallelism ``alpha``, simulated over a static snapshot.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..core.idspace import IDSpace
+from ..core.protocol import BootstrapNode
+from .routing import RouteResult, RouteStats, route
+
+__all__ = ["KademliaRouter", "KademliaNetwork", "IterativeLookupResult"]
+
+
+class KademliaRouter:
+    """Per-node Kademlia state: k-buckets over XOR distance.
+
+    Parameters
+    ----------
+    space:
+        Identifier geometry.
+    node_id:
+        Owner identifier.
+    bucket_size:
+        Kademlia's ``k`` (contacts per bucket).  Note this is *not* the
+        bootstrap's ``k`` (entries per prefix slot); a converged prefix
+        table with slot capacity ``k_slot`` yields up to
+        ``k_slot * (2^b - 1)`` contacts per digit level, spread over
+        ``b`` bit-level buckets.
+    """
+
+    __slots__ = ("_space", "_node_id", "_bucket_size", "_buckets")
+
+    def __init__(
+        self, space: IDSpace, node_id: int, bucket_size: int = 20
+    ) -> None:
+        if bucket_size < 1:
+            raise ValueError(f"bucket_size must be >= 1, got {bucket_size}")
+        self._space = space
+        self._node_id = node_id
+        self._bucket_size = bucket_size
+        self._buckets: Dict[int, List[int]] = {}
+
+    @classmethod
+    def from_bootstrap(
+        cls, node: BootstrapNode, bucket_size: int = 20
+    ) -> "KademliaRouter":
+        """Build buckets from a bootstrap node's leaf set and prefix
+        table contents."""
+        router = cls(node.config.space, node.node_id, bucket_size)
+        for desc in node.prefix_table.descriptors():
+            router.insert(desc.node_id)
+        for desc in node.leaf_set:
+            router.insert(desc.node_id)
+        return router
+
+    @property
+    def node_id(self) -> int:
+        """Owner identifier."""
+        return self._node_id
+
+    def bucket_index(self, other_id: int) -> int:
+        """Index of the bucket *other_id* belongs to:
+        ``floor(log2(own XOR other))``."""
+        distance = self._node_id ^ other_id
+        if distance == 0:
+            raise ValueError("a node does not bucket itself")
+        return distance.bit_length() - 1
+
+    def insert(self, other_id: int) -> bool:
+        """Add a contact if its bucket has room; returns whether added."""
+        if other_id == self._node_id:
+            return False
+        index = self.bucket_index(other_id)
+        bucket = self._buckets.setdefault(index, [])
+        if other_id in bucket:
+            return False
+        if len(bucket) >= self._bucket_size:
+            return False
+        bucket.append(other_id)
+        return True
+
+    def contacts(self) -> List[int]:
+        """All known contacts."""
+        return [c for bucket in self._buckets.values() for c in bucket]
+
+    def bucket_sizes(self) -> Dict[int, int]:
+        """Occupancy per bucket index (non-empty buckets only)."""
+        return {i: len(b) for i, b in self._buckets.items() if b}
+
+    def find_closest(self, target_id: int, count: int) -> List[int]:
+        """The *count* known contacts closest to *target_id* by XOR
+        (the node-local ``FIND_NODE`` answer)."""
+        return heapq.nsmallest(
+            count, self.contacts(), key=lambda c: c ^ target_id
+        )
+
+    def next_hop(self, target_id: int) -> Optional[int]:
+        """Greedy step: the known contact strictly closer to the target
+        (XOR) than this node, or ``None`` (local delivery).
+
+        XOR distance strictly decreases hop over hop, so greedy routes
+        cannot loop.
+        """
+        if target_id == self._node_id:
+            return None
+        own_distance = self._node_id ^ target_id
+        best = None
+        best_distance = own_distance
+        for contact in self.contacts():
+            distance = contact ^ target_id
+            if distance < best_distance or (
+                distance == best_distance and best is not None and contact < best
+            ):
+                best = contact
+                best_distance = distance
+        return best
+
+
+class IterativeLookupResult:
+    """Outcome of a native Kademlia iterative lookup."""
+
+    __slots__ = ("closest", "queried", "rounds", "found_target")
+
+    def __init__(
+        self,
+        closest: List[int],
+        queried: Set[int],
+        rounds: int,
+        found_target: bool,
+    ) -> None:
+        self.closest = closest
+        self.queried = queried
+        self.rounds = rounds
+        self.found_target = found_target
+
+    @property
+    def messages(self) -> int:
+        """RPC count (one query per contacted node)."""
+        return len(self.queried)
+
+
+class KademliaNetwork:
+    """Static Kademlia overlay assembled from routing snapshots."""
+
+    def __init__(
+        self, space: IDSpace, routers: Mapping[int, KademliaRouter]
+    ) -> None:
+        if not routers:
+            raise ValueError("a Kademlia network needs at least one node")
+        self._space = space
+        self._routers = dict(routers)
+
+    @classmethod
+    def from_bootstrap_nodes(
+        cls, nodes: Iterable[BootstrapNode], bucket_size: int = 20
+    ) -> "KademliaNetwork":
+        """Snapshot a bootstrap population into a Kademlia overlay."""
+        routers: Dict[int, KademliaRouter] = {}
+        space: Optional[IDSpace] = None
+        for node in nodes:
+            routers[node.node_id] = KademliaRouter.from_bootstrap(
+                node, bucket_size
+            )
+            space = node.config.space
+        if space is None:
+            raise ValueError("no nodes supplied")
+        return cls(space, routers)
+
+    @property
+    def size(self) -> int:
+        """Number of live nodes."""
+        return len(self._routers)
+
+    @property
+    def ids(self) -> List[int]:
+        """Live identifiers (ascending)."""
+        return sorted(self._routers)
+
+    def responsible_for(self, key: int) -> int:
+        """The live node with minimal XOR distance to *key*."""
+        return min(self._routers, key=lambda n: (n ^ key, n))
+
+    def lookup(self, key: int, start_id: int, max_hops: int = 64) -> RouteResult:
+        """Greedy hop-by-hop lookup (comparable with Pastry's driver)."""
+        return route(
+            self._routers,
+            start_id,
+            key,
+            self.responsible_for(key),
+            max_hops=max_hops,
+        )
+
+    def lookup_many(
+        self, keys: Iterable[int], start_ids: Iterable[int], max_hops: int = 64
+    ) -> RouteStats:
+        """Aggregate greedy lookups (E10 rows)."""
+        stats = RouteStats()
+        for key, start_id in zip(keys, start_ids):
+            stats.record(self.lookup(key, start_id, max_hops=max_hops))
+        return stats
+
+    def iterative_find(
+        self,
+        start_id: int,
+        target_id: int,
+        alpha: int = 3,
+        k: int = 20,
+        max_rounds: int = 64,
+    ) -> IterativeLookupResult:
+        """Native Kademlia iterative node lookup.
+
+        Maintains a shortlist of the ``k`` closest known contacts,
+        querying ``alpha`` unqueried ones per round, until the shortlist
+        stops improving -- the textbook algorithm, simulated
+        synchronously.
+        """
+        if start_id not in self._routers:
+            raise KeyError(f"start node {start_id:#x} not in network")
+        shortlist: Set[int] = {start_id}
+        shortlist.update(
+            self._routers[start_id].find_closest(target_id, k)
+        )
+        queried: Set[int] = set()
+        rounds = 0
+        while rounds < max_rounds:
+            candidates = sorted(
+                (c for c in shortlist if c not in queried),
+                key=lambda c: c ^ target_id,
+            )[:alpha]
+            if not candidates:
+                break
+            rounds += 1
+            improved = False
+            best_before = min(shortlist, key=lambda c: c ^ target_id)
+            for contact in candidates:
+                queried.add(contact)
+                router = self._routers.get(contact)
+                if router is None:
+                    continue
+                for found in router.find_closest(target_id, k):
+                    if found not in shortlist:
+                        shortlist.add(found)
+                        improved = True
+            best_after = min(shortlist, key=lambda c: c ^ target_id)
+            if not improved and best_after == best_before:
+                break
+        closest = sorted(shortlist, key=lambda c: c ^ target_id)[:k]
+        return IterativeLookupResult(
+            closest=closest,
+            queried=queried,
+            rounds=rounds,
+            found_target=self.responsible_for(target_id) in closest,
+        )

@@ -1,0 +1,250 @@
+"""Pastry-style routing substrate consuming bootstrap output.
+
+Pastry (Rowstron & Druschel, Middleware 2001) routes with exactly the
+state the bootstrapping service builds: a leaf set of ring neighbours
+and a prefix table.  This module materialises a static Pastry network
+from converged (or still-converging) bootstrap nodes and runs lookups
+over it -- the downstream-validity check that the tables the protocol
+builds are *the* tables the substrate needs (experiment E10).
+
+Routing rule per hop (Pastry Section 2.3, adapted to ring distance):
+
+1. if the key falls within the leaf set's arc, deliver to the
+   numerically closest leaf (or self);
+2. otherwise forward to a prefix-table entry sharing one more digit
+   with the key than the current node does;
+3. otherwise (the "rare case") forward to any known node sharing at
+   least as long a prefix and strictly closer to the key.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.idspace import IDSpace
+from ..core.protocol import BootstrapNode
+from .routing import RouteResult, RouteStats, route
+
+__all__ = ["PastryRouter", "PastryNetwork"]
+
+
+def _closest(
+    space: IDSpace, target_id: int, candidates: Iterable[int]
+) -> Optional[int]:
+    """Candidate at minimal ring distance from *target_id*; ties break
+    towards the smaller identifier (the library-wide responsibility
+    tie-break)."""
+    best = None
+    best_key = None
+    for candidate in candidates:
+        key = (space.ring_distance(target_id, candidate), candidate)
+        if best_key is None or key < best_key:
+            best = candidate
+            best_key = key
+    return best
+
+
+class PastryRouter:
+    """Per-node Pastry routing state (a static snapshot).
+
+    Parameters
+    ----------
+    space:
+        Identifier geometry.
+    node_id:
+        This node's identifier.
+    leaf_ids:
+        Leaf-set membership (both directions).
+    table:
+        Prefix-table snapshot: ``(row, column) -> [ids]``.
+    """
+
+    __slots__ = ("_space", "_node_id", "_leaf_ids", "_table", "_known")
+
+    def __init__(
+        self,
+        space: IDSpace,
+        node_id: int,
+        leaf_ids: Iterable[int],
+        table: Mapping[Tuple[int, int], Iterable[int]],
+    ) -> None:
+        self._space = space
+        self._node_id = node_id
+        self._leaf_ids = frozenset(leaf_ids)
+        self._table: Dict[Tuple[int, int], Tuple[int, ...]] = {
+            slot: tuple(ids) for slot, ids in table.items()
+        }
+        known = set(self._leaf_ids)
+        for ids in self._table.values():
+            known.update(ids)
+        known.discard(node_id)
+        self._known = frozenset(known)
+
+    @classmethod
+    def from_bootstrap(cls, node: BootstrapNode) -> "PastryRouter":
+        """Snapshot a live bootstrap node's tables into a router."""
+        table = {
+            slot: [d.node_id for d in descriptors]
+            for slot, descriptors in node.prefix_table.iter_slots()
+        }
+        return cls(
+            node.config.space,
+            node.node_id,
+            node.leaf_set.member_ids(),
+            table,
+        )
+
+    @property
+    def node_id(self) -> int:
+        """This node's identifier."""
+        return self._node_id
+
+    @property
+    def known_ids(self) -> frozenset:
+        """Every identifier this router can name."""
+        return self._known
+
+    def covers(self, target_id: int) -> bool:
+        """Whether *target_id* lies within the leaf-set arc (between the
+        farthest predecessor and farthest successor)."""
+        if not self._leaf_ids:
+            return False
+        space = self._space
+        own = self._node_id
+        mask = space.size - 1
+        half = space.half
+        max_fwd = 0
+        max_back = 0
+        for leaf in self._leaf_ids:
+            fwd = (leaf - own) & mask
+            if fwd <= half:
+                if fwd > max_fwd:
+                    max_fwd = fwd
+            else:
+                back = (own - leaf) & mask
+                if back > max_back:
+                    max_back = back
+        offset = (target_id - own) & mask
+        return offset <= max_fwd or ((own - target_id) & mask) <= max_back
+
+    def next_hop(self, target_id: int) -> Optional[int]:
+        """One Pastry routing step towards *target_id*.
+
+        Returns ``None`` when this node keeps the key (delivery point),
+        which the network-level driver then judges for correctness.
+        """
+        own = self._node_id
+        if target_id == own:
+            return None
+        space = self._space
+
+        # 1. Leaf-set delivery.
+        if self.covers(target_id):
+            best = _closest(
+                space, target_id, list(self._leaf_ids) + [own]
+            )
+            return None if best == own else best
+
+        # 2. Prefix-table forwarding.
+        row = space.common_prefix_digits(own, target_id)
+        slot = (row, space.digit(target_id, row))
+        entries = self._table.get(slot)
+        if entries:
+            return _closest(space, target_id, entries)
+
+        # 3. Rare case: any known node at least as good and strictly
+        #    closer.
+        own_distance = space.ring_distance(own, target_id)
+        best = None
+        best_key = None
+        for candidate in self._known:
+            if space.common_prefix_digits(candidate, target_id) < row:
+                continue
+            distance = space.ring_distance(candidate, target_id)
+            if distance >= own_distance:
+                continue
+            key = (distance, candidate)
+            if best_key is None or key < best_key:
+                best = candidate
+                best_key = key
+        return best
+
+
+class PastryNetwork:
+    """A static Pastry overlay assembled from routing snapshots.
+
+    Parameters
+    ----------
+    space:
+        Identifier geometry.
+    routers:
+        Per-node routing state by identifier.
+    """
+
+    def __init__(
+        self, space: IDSpace, routers: Mapping[int, PastryRouter]
+    ) -> None:
+        if not routers:
+            raise ValueError("a Pastry network needs at least one node")
+        self._space = space
+        self._routers = dict(routers)
+        self._sorted_ids = sorted(self._routers)
+
+    @classmethod
+    def from_bootstrap_nodes(
+        cls, nodes: Iterable[BootstrapNode]
+    ) -> "PastryNetwork":
+        """Snapshot a whole bootstrap population into a Pastry overlay."""
+        routers: Dict[int, PastryRouter] = {}
+        space: Optional[IDSpace] = None
+        for node in nodes:
+            routers[node.node_id] = PastryRouter.from_bootstrap(node)
+            space = node.config.space
+        if space is None:
+            raise ValueError("no nodes supplied")
+        return cls(space, routers)
+
+    @property
+    def size(self) -> int:
+        """Number of live nodes."""
+        return len(self._routers)
+
+    @property
+    def ids(self) -> List[int]:
+        """Live identifiers, ascending."""
+        return list(self._sorted_ids)
+
+    def responsible_for(self, key: int) -> int:
+        """The live node a correct lookup must terminate at: minimal
+        ring distance to the key, ties to the smaller identifier."""
+        import bisect
+
+        ids = self._sorted_ids
+        pos = bisect.bisect_left(ids, key)
+        around = {ids[pos % len(ids)], ids[(pos - 1) % len(ids)]}
+        result = _closest(self._space, key, around)
+        assert result is not None
+        return result
+
+    def lookup(self, key: int, start_id: int, max_hops: int = 64) -> RouteResult:
+        """Route *key* from *start_id*; success means terminating at the
+        responsible node."""
+        return route(
+            self._routers,
+            start_id,
+            key,
+            self.responsible_for(key),
+            max_hops=max_hops,
+        )
+
+    def lookup_many(
+        self,
+        keys: Iterable[int],
+        start_ids: Iterable[int],
+        max_hops: int = 64,
+    ) -> RouteStats:
+        """Run one lookup per ``(key, start)`` pair, aggregating stats."""
+        stats = RouteStats()
+        for key, start_id in zip(keys, start_ids):
+            stats.record(self.lookup(key, start_id, max_hops=max_hops))
+        return stats

@@ -1,0 +1,165 @@
+"""Proximity-aware routing: the paper's justification for k > 1.
+
+Section 5: "For networks that do not require multiple alternatives of
+a given table entry, setting k > 1 is still useful because it allows
+for optimizing the routes according to proximity."
+
+This module makes that sentence testable:
+
+* :class:`CoordinateSpace` -- a synthetic network-latency substrate
+  (nodes live at seeded points on a 2-D plane; pairwise latency is a
+  base cost plus the Euclidean distance), standing in for the
+  measured RTTs a deployment would use;
+* :class:`ProximityPastryRouter` -- a Pastry router that, among the up
+  to ``k`` entries of the matching prefix slot, forwards to the one
+  *closest to itself in latency* (Pastry's classic PNS-on-the-fly);
+* :func:`route_latency` -- evaluates a route's end-to-end latency, so
+  the k=1 / k=3 / proximity-aware comparison (experiment E14) can put
+  a number on the claim.
+
+Correctness is untouched: every slot entry shares one more digit with
+the key, so any choice makes the same prefix progress; only the
+latency of the hop differs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.idspace import IDSpace
+from ..core.protocol import BootstrapNode
+from ..simulator.random_source import RandomSource
+from .pastry import PastryNetwork, PastryRouter, _closest
+
+__all__ = ["CoordinateSpace", "ProximityPastryRouter", "route_latency",
+           "build_proximity_network"]
+
+
+class CoordinateSpace:
+    """Synthetic geography: each identifier gets a point in the unit
+    square; latency = ``base + scale * euclidean distance``.
+
+    Deterministic in (seed, id) so every component sees the same
+    geography without global coordination -- the stand-in for a real
+    deployment's RTT measurements (see DESIGN.md substitutions).
+    """
+
+    def __init__(
+        self, seed: int = 1, base: float = 5.0, scale: float = 100.0
+    ) -> None:
+        if base < 0 or scale < 0:
+            raise ValueError("base and scale must be non-negative")
+        self._source = RandomSource(seed)
+        self._base = base
+        self._scale = scale
+        self._points: Dict[int, Tuple[float, float]] = {}
+
+    def coordinates(self, node_id: int) -> Tuple[float, float]:
+        """The node's (stable) position in the unit square."""
+        point = self._points.get(node_id)
+        if point is None:
+            rng = self._source.derive(("coord", node_id))
+            point = (rng.random(), rng.random())
+            self._points[node_id] = point
+        return point
+
+    def latency(self, a: int, b: int) -> float:
+        """One-way latency between two identifiers (symmetric)."""
+        if a == b:
+            return 0.0
+        xa, ya = self.coordinates(a)
+        xb, yb = self.coordinates(b)
+        return self._base + self._scale * math.hypot(xa - xb, ya - yb)
+
+
+class ProximityPastryRouter(PastryRouter):
+    """Pastry router with proximity-based slot-entry selection.
+
+    Identical to :class:`PastryRouter` except that when the matching
+    prefix slot holds several entries (the paper's ``k > 1``), the
+    entry nearest to *this node* in latency is chosen.
+    """
+
+    __slots__ = ("_proximity",)
+
+    def __init__(self, space, node_id, leaf_ids, table, proximity):
+        super().__init__(space, node_id, leaf_ids, table)
+        self._proximity = proximity
+
+    @classmethod
+    def from_bootstrap_with_proximity(
+        cls, node: BootstrapNode, proximity: CoordinateSpace
+    ) -> "ProximityPastryRouter":
+        """Snapshot a bootstrap node with a proximity oracle."""
+        table = {
+            slot: [d.node_id for d in descriptors]
+            for slot, descriptors in node.prefix_table.iter_slots()
+        }
+        return cls(
+            node.config.space,
+            node.node_id,
+            node.leaf_set.member_ids(),
+            table,
+            proximity,
+        )
+
+    def next_hop(self, target_id: int) -> Optional[int]:
+        own = self._node_id
+        if target_id == own:
+            return None
+        space = self._space
+        if self.covers(target_id):
+            best = _closest(space, target_id, list(self._leaf_ids) + [own])
+            return None if best == own else best
+        row = space.common_prefix_digits(own, target_id)
+        slot = (row, space.digit(target_id, row))
+        entries = self._table.get(slot)
+        if entries:
+            # The proximity optimisation: all entries make the same
+            # prefix progress; take the cheapest hop.
+            return min(
+                entries,
+                key=lambda n: (self._proximity.latency(own, n), n),
+            )
+        own_distance = space.ring_distance(own, target_id)
+        best = None
+        best_key = None
+        for candidate in self._known:
+            if space.common_prefix_digits(candidate, target_id) < row:
+                continue
+            distance = space.ring_distance(candidate, target_id)
+            if distance >= own_distance:
+                continue
+            key = (distance, candidate)
+            if best_key is None or key < best_key:
+                best = candidate
+                best_key = key
+        return best
+
+
+def build_proximity_network(
+    nodes: Iterable[BootstrapNode], proximity: CoordinateSpace
+) -> PastryNetwork:
+    """A :class:`PastryNetwork` whose routers are proximity-aware."""
+    routers: Dict[int, ProximityPastryRouter] = {}
+    space: Optional[IDSpace] = None
+    for node in nodes:
+        routers[node.node_id] = (
+            ProximityPastryRouter.from_bootstrap_with_proximity(
+                node, proximity
+            )
+        )
+        space = node.config.space
+    if space is None:
+        raise ValueError("no nodes supplied")
+    return PastryNetwork(space, routers)
+
+
+def route_latency(
+    path: Sequence[int], proximity: CoordinateSpace
+) -> float:
+    """End-to-end latency of a route (sum of per-hop latencies)."""
+    return sum(
+        proximity.latency(a, b) for a, b in zip(path, path[1:])
+    )

@@ -1,0 +1,163 @@
+"""Generic overlay routing machinery.
+
+The point of the bootstrapping service is that its output -- leaf sets
+plus prefix tables -- is immediately consumable by "Pastry, Kademlia,
+Tapestry and Bamboo".  This module provides the network-level driver
+shared by the concrete substrates: given a static snapshot of per-node
+routing state, walk a lookup hop by hop and report the path.
+
+Routing success over converged tables (and the ~log_{2^b} N hop count)
+is the downstream-validity experiment E10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+
+__all__ = ["RouteResult", "RoutingNode", "route", "RouteStats"]
+
+
+class RoutingNode(Protocol):
+    """Node-local routing decision: one hop towards a target."""
+
+    @property
+    def node_id(self) -> int:
+        """This node's identifier."""
+        ...
+
+    def next_hop(self, target_id: int) -> Optional[int]:
+        """The identifier of the next node towards *target_id*, or
+        ``None`` when this node considers itself responsible (delivery)
+        or has no better candidate (dead end)."""
+        ...
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """Outcome of one lookup walk.
+
+    Attributes
+    ----------
+    path:
+        Node identifiers visited, starting node first.
+    delivered_to:
+        The node that terminated the route (last path element).
+    success:
+        Whether the route terminated at the *correct* node (as judged
+        by the caller-supplied responsibility rule).
+    reason:
+        ``"delivered"``, ``"dead-end"`` (no next hop and not
+        responsible), ``"loop"`` (revisited a node), or
+        ``"hop-limit"``.
+    """
+
+    path: Tuple[int, ...]
+    delivered_to: int
+    success: bool
+    reason: str
+
+    @property
+    def hops(self) -> int:
+        """Number of overlay hops taken (path length minus one)."""
+        return len(self.path) - 1
+
+
+def route(
+    network: Mapping[int, RoutingNode],
+    start_id: int,
+    target_id: int,
+    responsible_id: int,
+    max_hops: int = 64,
+) -> RouteResult:
+    """Walk a lookup for *target_id* from *start_id* through *network*.
+
+    Parameters
+    ----------
+    network:
+        Live nodes by identifier.
+    responsible_id:
+        Ground truth: the node that *should* receive the lookup (the
+        live node responsible for the key).  Success means terminating
+        exactly there.
+    max_hops:
+        Safety valve; converged prefix routing needs ~log_{2^b} N hops.
+    """
+    if start_id not in network:
+        raise KeyError(f"start node {start_id:#x} not in network")
+    path: List[int] = [start_id]
+    visited = {start_id}
+    current = network[start_id]
+    reason = "delivered"
+    for _ in range(max_hops):
+        nxt = current.next_hop(target_id)
+        if nxt is None:
+            break
+        if nxt == current.node_id:
+            break
+        node = network.get(nxt)
+        if node is None:
+            reason = "dead-end"
+            break
+        if nxt in visited:
+            path.append(nxt)
+            reason = "loop"
+            break
+        path.append(nxt)
+        visited.add(nxt)
+        current = node
+    else:
+        reason = "hop-limit"
+    delivered_to = path[-1]
+    success = reason == "delivered" and delivered_to == responsible_id
+    return RouteResult(
+        path=tuple(path),
+        delivered_to=delivered_to,
+        success=success,
+        reason=reason,
+    )
+
+
+@dataclass
+class RouteStats:
+    """Aggregate over many lookups (experiment E10's summary rows)."""
+
+    attempts: int = 0
+    successes: int = 0
+    total_hops: int = 0
+    max_hops: int = 0
+    failures_by_reason: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, result: RouteResult) -> None:
+        """Fold one lookup outcome into the aggregate."""
+        self.attempts += 1
+        if result.success:
+            self.successes += 1
+            self.total_hops += result.hops
+            if result.hops > self.max_hops:
+                self.max_hops = result.hops
+        else:
+            key = result.reason if result.reason != "delivered" else "misdelivered"
+            self.failures_by_reason[key] = (
+                self.failures_by_reason.get(key, 0) + 1
+            )
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of lookups that reached the responsible node."""
+        return self.successes / self.attempts if self.attempts else 0.0
+
+    @property
+    def mean_hops(self) -> float:
+        """Mean hop count over successful lookups."""
+        return self.total_hops / self.successes if self.successes else 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat summary for tables."""
+        return {
+            "attempts": self.attempts,
+            "success_rate": self.success_rate,
+            "mean_hops": self.mean_hops,
+            "max_hops": self.max_hops,
+            "failures": dict(self.failures_by_reason),
+        }

@@ -1,0 +1,201 @@
+"""Generic T-Man: gossip-based topology construction.
+
+T-Man (Jelasity & Babaoglu, ESOA 2005 -- the paper's reference [5]) is
+the ancestor of the bootstrapping protocol: nodes gossip descriptor
+sets and each keeps the *best* ones under a pluggable ranking function;
+with ring-distance ranking the population self-organises into a sorted
+ring.  The paper notes its leaf-set components "are similar to the
+application of T-MAN for building a sorted ring".
+
+This implementation serves two purposes:
+
+* the ring-only ablation (experiment E11): T-Man builds the ring
+  *without* the prefix-table feedback, quantifying how much the
+  "mutual boosting" buys in the endgame;
+* a reusable topology-construction utility for other target graphs
+  (any ranking function works -- e.g. XOR distance, proximity).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..core.descriptor import NodeDescriptor
+from ..core.idspace import IDSpace
+from ..core.protocol import Sampler
+
+__all__ = ["Ranking", "ring_ranking", "xor_ranking", "TManNode"]
+
+#: A ranking assigns every (base, candidate) identifier pair a sortable
+#: badness -- lower is better, i.e. "candidate is a closer neighbour of
+#: base in the target topology".
+Ranking = Callable[[int, int], int]
+
+
+def ring_ranking(space: IDSpace) -> Ranking:
+    """Ranking for the sorted ring: ring distance."""
+
+    def rank(base: int, candidate: int) -> int:
+        return space.ring_distance(base, candidate)
+
+    return rank
+
+
+def xor_ranking(space: IDSpace) -> Ranking:
+    """Ranking for XOR-metric topologies (Kademlia-like)."""
+
+    def rank(base: int, candidate: int) -> int:
+        return space.xor_distance(base, candidate)
+
+    return rank
+
+
+class TManNode:
+    """Node-local T-Man state machine.
+
+    Parameters
+    ----------
+    descriptor:
+        This node's descriptor.
+    ranking:
+        The target topology's ranking function.
+    view_size:
+        Number of best descriptors retained.
+    message_size:
+        Number of descriptors sent per exchange.
+    rng:
+        Peer-selection randomness.
+    sampler:
+        Optional peer sampling endpoint blended into outgoing messages
+        (T-Man's "random samples" ingredient; also used to seed the
+        view at :meth:`start`).
+    """
+
+    __slots__ = (
+        "descriptor",
+        "_ranking",
+        "_view_size",
+        "_message_size",
+        "_rng",
+        "_sampler",
+        "_view",
+        "_started",
+    )
+
+    def __init__(
+        self,
+        descriptor: NodeDescriptor,
+        ranking: Ranking,
+        view_size: int,
+        message_size: int,
+        rng: random.Random,
+        sampler: Optional[Sampler] = None,
+    ) -> None:
+        if view_size < 1:
+            raise ValueError(f"view_size must be >= 1, got {view_size}")
+        if message_size < 1:
+            raise ValueError(f"message_size must be >= 1, got {message_size}")
+        self.descriptor = descriptor
+        self._ranking = ranking
+        self._view_size = view_size
+        self._message_size = message_size
+        self._rng = rng
+        self._sampler = sampler
+        self._view: Dict[int, NodeDescriptor] = {}
+        self._started = False
+
+    @property
+    def node_id(self) -> int:
+        """This node's identifier."""
+        return self.descriptor.node_id
+
+    @property
+    def started(self) -> bool:
+        """Whether the view has been seeded."""
+        return self._started
+
+    def view_ids(self) -> List[int]:
+        """Identifiers currently in the view."""
+        return list(self._view)
+
+    def view_descriptors(self) -> List[NodeDescriptor]:
+        """Descriptors currently in the view."""
+        return list(self._view.values())
+
+    def start(self) -> None:
+        """Seed the view from the sampling service (random initial
+        topology -- T-Man's standard starting point)."""
+        if self._sampler is not None:
+            self.merge(self._sampler.sample(self._view_size))
+        self._started = True
+
+    # ------------------------------------------------------------------
+    # Gossip steps
+    # ------------------------------------------------------------------
+
+    def select_peer(self) -> Optional[NodeDescriptor]:
+        """Random node from the better half of the view (T-Man's psi=
+        half policy, matching the bootstrap's SELECTPEER)."""
+        if not self._view:
+            if self._sampler is not None:
+                fallback = self._sampler.sample(1)
+                return fallback[0] if fallback else None
+            return None
+        own = self.node_id
+        ordered = sorted(
+            self._view.values(),
+            key=lambda d: (self._ranking(own, d.node_id), d.node_id),
+        )
+        half = ordered[: (len(ordered) + 1) // 2]
+        return self._rng.choice(half)
+
+    def payload_for(self, peer_id: int) -> Tuple[NodeDescriptor, ...]:
+        """The *message_size* best-known descriptors *for the peer*
+        (ranked from the peer's perspective), plus own descriptor."""
+        union: Dict[int, NodeDescriptor] = dict(self._view)
+        if self._sampler is not None:
+            for desc in self._sampler.sample(self._message_size):
+                union.setdefault(desc.node_id, desc)
+        union[self.node_id] = self.descriptor
+        union.pop(peer_id, None)
+        ranked = sorted(
+            union.values(),
+            key=lambda d: (self._ranking(peer_id, d.node_id), d.node_id),
+        )
+        return tuple(ranked[: self._message_size])
+
+    def merge(self, descriptors: Iterable[NodeDescriptor]) -> None:
+        """Union the received descriptors into the view and keep the
+        *view_size* best under the ranking."""
+        own = self.node_id
+        union: Dict[int, NodeDescriptor] = dict(self._view)
+        for desc in descriptors:
+            if desc.node_id != own:
+                union.setdefault(desc.node_id, desc)
+        if len(union) > self._view_size:
+            ranked = sorted(
+                union.values(),
+                key=lambda d: (self._ranking(own, d.node_id), d.node_id),
+            )
+            self._view = {
+                d.node_id: d for d in ranked[: self._view_size]
+            }
+        else:
+            self._view = union
+
+    # ------------------------------------------------------------------
+    # Convergence helpers
+    # ------------------------------------------------------------------
+
+    def knows(self, node_id: int) -> bool:
+        """Whether *node_id* is in the view."""
+        return node_id in self._view
+
+    def best(self, count: int) -> List[int]:
+        """The *count* best-ranked view members."""
+        own = self.node_id
+        ranked = sorted(
+            self._view, key=lambda n: (self._ranking(own, n), n)
+        )
+        return ranked[:count]

@@ -1,0 +1,21 @@
+"""The peer sampling service layer (paper Section 3).
+
+The bottom, "liquid" layer of the paper's architecture: provides random
+peer addresses from the participating pool and implicitly defines
+membership.  Ships NEWSCAST (the paper's instantiation) and an
+idealised oracle sampler for controlled experiments.
+"""
+
+from .base import PeerSamplingService
+from .newscast import DEFAULT_VIEW_SIZE, NewscastNode
+from .oracle import MembershipRegistry, OracleSampler
+from .view import PartialView
+
+__all__ = [
+    "PeerSamplingService",
+    "NewscastNode",
+    "DEFAULT_VIEW_SIZE",
+    "MembershipRegistry",
+    "OracleSampler",
+    "PartialView",
+]

@@ -1,0 +1,52 @@
+"""The peer sampling service abstraction (paper Section 3).
+
+"The purpose of this layer is to provide random peer addresses from the
+set of participating nodes.  In addition, the layer implicitly defines
+membership as being the pool from which the samples are drawn."
+
+Two implementations ship with the library:
+
+* :class:`~repro.sampling.newscast.NewscastNode` -- the gossip protocol
+  the paper instantiates the service with;
+* :class:`~repro.sampling.oracle.OracleSampler` -- an idealised uniform
+  sampler over a membership registry, for controlled experiments (the
+  paper's simulations assume "a network where the sampling service is
+  already functional", which the oracle models exactly).
+
+Both satisfy :class:`repro.core.protocol.Sampler` structurally; this
+module adds the nominal ABC for implementations that want explicit
+typing, plus shared helpers.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+from ..core.descriptor import NodeDescriptor
+
+__all__ = ["PeerSamplingService"]
+
+
+class PeerSamplingService(abc.ABC):
+    """Abstract base for peer sampling service endpoints.
+
+    An *endpoint* is the node-local interface: each node owns one, and
+    samples are drawn from that node's perspective (never including the
+    node itself).
+    """
+
+    @abc.abstractmethod
+    def sample(self, count: int) -> List[NodeDescriptor]:
+        """Return up to *count* descriptors of random live peers.
+
+        Implementations must not return duplicates of the same node id
+        within one call, and must never return the owner's descriptor.
+        Fewer than *count* descriptors may be returned when the
+        underlying view or membership is small.
+        """
+
+    def sample_one(self) -> "NodeDescriptor | None":
+        """Convenience: a single sample, or ``None`` when unavailable."""
+        out = self.sample(1)
+        return out[0] if out else None

@@ -1,0 +1,130 @@
+"""NEWSCAST: the paper's instantiation of the peer sampling service.
+
+Section 3: "each node periodically sends a small, locally available
+random set of node addresses to a member of this random set.  After
+receiving such a message, the node keeps a fixed number of freshest
+addresses (based on timestamps)."
+
+The exchange is symmetric (the contacted peer answers with its own view)
+and cheap: one small UDP message per node per interval.  The properties
+the paper relies on -- self-healing after catastrophic failure and fast
+randomisation of non-random initial views -- are exercised by the E8
+benchmark and the property tests.
+
+:class:`NewscastNode` is engine-agnostic like the bootstrap protocol:
+it exposes pure transitions (payload construction / merge) and the
+simulators drive the exchanges.  Its :meth:`NewscastNode.sample` method
+satisfies :class:`repro.core.protocol.Sampler`, so a running NEWSCAST
+layer can directly feed the bootstrapping service, exactly as in the
+paper's architecture (Figure 1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.descriptor import NodeDescriptor
+from .base import PeerSamplingService
+from .view import PartialView
+
+__all__ = ["NewscastNode", "DEFAULT_VIEW_SIZE"]
+
+#: "approximately 30 IP addresses" (paper Section 3).
+DEFAULT_VIEW_SIZE = 30
+
+
+class NewscastNode(PeerSamplingService):
+    """Node-local NEWSCAST state machine.
+
+    Parameters
+    ----------
+    descriptor:
+        This node's own descriptor.
+    rng:
+        Source of peer-selection randomness.
+    view_size:
+        Number of freshest descriptors retained after an exchange.
+    """
+
+    __slots__ = ("descriptor", "view", "_rng", "_now")
+
+    def __init__(
+        self,
+        descriptor: NodeDescriptor,
+        rng: random.Random,
+        view_size: int = DEFAULT_VIEW_SIZE,
+    ) -> None:
+        self.descriptor = descriptor
+        self.view = PartialView(descriptor.node_id, view_size)
+        self._rng = rng
+        self._now = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def node_id(self) -> int:
+        """This node's overlay identifier."""
+        return self.descriptor.node_id
+
+    def set_time(self, now: float) -> None:
+        """Advance logical time (stamps this node's advertisements)."""
+        self._now = now
+
+    def seed_view(self, descriptors: Iterable[NodeDescriptor]) -> None:
+        """Initialise the view (join: copy a contact's view, or any
+        non-random bootstrap set -- NEWSCAST randomises it quickly)."""
+        self.view.merge(descriptors)
+
+    # ------------------------------------------------------------------
+    # The gossip exchange
+    # ------------------------------------------------------------------
+
+    def select_peer(self) -> Optional[NodeDescriptor]:
+        """Uniform random member of the current view."""
+        return self.view.random_descriptor(self._rng)
+
+    def gossip_payload(self) -> Tuple[NodeDescriptor, ...]:
+        """The descriptors sent in one gossip message: the whole view
+        plus this node's own freshly-stamped descriptor."""
+        own = self.descriptor.refreshed(self._now)
+        return tuple(self.view.descriptors()) + (own,)
+
+    def merge(self, payload: Iterable[NodeDescriptor]) -> None:
+        """Apply a received gossip payload: keep the freshest
+        ``view_size`` descriptors of the union."""
+        self.view.merge(payload)
+
+    def exchange_with(self, other: "NewscastNode") -> None:
+        """Run one full symmetric exchange with *other* in-process.
+
+        Both payloads are built from the pre-exchange views, mirroring
+        a real request/answer pair; convenience for tests and the
+        cycle simulator's reliable path.
+        """
+        mine = self.gossip_payload()
+        theirs = other.gossip_payload()
+        other.merge(mine)
+        self.merge(theirs)
+
+    # ------------------------------------------------------------------
+    # PeerSamplingService
+    # ------------------------------------------------------------------
+
+    def sample(self, count: int) -> List[NodeDescriptor]:
+        """Random descriptors drawn from the local view.
+
+        NEWSCAST's central experimental finding (Jelasity et al. 2004)
+        is that view entries are a good approximation of uniform random
+        live peers; this is what makes the bootstrap's ``cr`` samples
+        "free".
+        """
+        return self.view.random_sample(count, self._rng)
+
+    def __repr__(self) -> str:
+        return (
+            f"NewscastNode(id={self.node_id:#x}, view={len(self.view)}/"
+            f"{self.view.capacity})"
+        )

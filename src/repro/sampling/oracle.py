@@ -1,0 +1,151 @@
+"""Idealised peer sampling over a global membership registry.
+
+The paper's bootstrap experiments "assume that we are given a network
+where the sampling service is already functional".  The oracle sampler
+models that assumption exactly: uniform samples without replacement from
+the true live membership.  Using it isolates the bootstrapping
+protocol's behaviour from sampling-layer noise; swapping in real
+NEWSCAST (supported by the simulators) quantifies how little the
+difference matters.
+
+:class:`MembershipRegistry` is the shared "ground truth" the simulators
+mutate under churn and catastrophic failures; every
+:class:`OracleSampler` endpoint references it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional
+
+from ..core.descriptor import NodeDescriptor
+from .base import PeerSamplingService
+
+__all__ = ["MembershipRegistry", "OracleSampler"]
+
+
+class MembershipRegistry:
+    """Mutable set of live node descriptors with O(1) uniform sampling.
+
+    Maintains a dense list plus an id->position index so that removal
+    is swap-with-last, keeping :meth:`sample_descriptors` allocation-free
+    apart from the result list.
+    """
+
+    __slots__ = ("_descriptors", "_positions")
+
+    def __init__(
+        self, descriptors: Optional[Iterable[NodeDescriptor]] = None
+    ) -> None:
+        self._descriptors: List[NodeDescriptor] = []
+        self._positions: Dict[int, int] = {}
+        if descriptors:
+            for desc in descriptors:
+                self.add(desc)
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._positions
+
+    def live_ids(self) -> List[int]:
+        """Identifiers of all live nodes (fresh list)."""
+        return list(self._positions)
+
+    def descriptors(self) -> List[NodeDescriptor]:
+        """All live descriptors (fresh list)."""
+        return list(self._descriptors)
+
+    def get(self, node_id: int) -> Optional[NodeDescriptor]:
+        """Descriptor of *node_id* if live, else ``None``."""
+        pos = self._positions.get(node_id)
+        return self._descriptors[pos] if pos is not None else None
+
+    def add(self, desc: NodeDescriptor) -> bool:
+        """Register *desc* as live; returns ``False`` if already present
+        (the stored descriptor is then left unchanged)."""
+        if desc.node_id in self._positions:
+            return False
+        self._positions[desc.node_id] = len(self._descriptors)
+        self._descriptors.append(desc)
+        return True
+
+    def remove(self, node_id: int) -> bool:
+        """Deregister *node_id*; returns whether it was live."""
+        pos = self._positions.pop(node_id, None)
+        if pos is None:
+            return False
+        last = self._descriptors.pop()
+        if pos < len(self._descriptors):
+            self._descriptors[pos] = last
+            self._positions[last.node_id] = pos
+        return True
+
+    def sample_descriptors(
+        self, count: int, rng: random.Random, exclude_id: Optional[int] = None
+    ) -> List[NodeDescriptor]:
+        """Up to *count* distinct uniform live descriptors, optionally
+        excluding one identifier (the caller itself)."""
+        pool = self._descriptors
+        n = len(pool)
+        if count <= 0 or n == 0:
+            return []
+        exclude_present = exclude_id is not None and exclude_id in self._positions
+        available = n - (1 if exclude_present else 0)
+        if available <= 0:
+            return []
+        if count >= available:
+            return [d for d in pool if d.node_id != exclude_id]
+        out: List[NodeDescriptor] = []
+        seen = set()
+        # Rejection sampling: count << n in every realistic configuration
+        # (cr=30 versus thousands of nodes), so this stays O(count).
+        while len(out) < count:
+            idx = rng.randrange(n)
+            if idx in seen:
+                continue
+            desc = pool[idx]
+            if desc.node_id == exclude_id:
+                continue
+            seen.add(idx)
+            out.append(desc)
+        return out
+
+
+class OracleSampler(PeerSamplingService):
+    """Per-node endpoint of the idealised sampling service.
+
+    Parameters
+    ----------
+    registry:
+        The shared live-membership ground truth.
+    own_id:
+        Identifier of the owning node (never returned in samples).
+    rng:
+        Source of sampling randomness.
+    """
+
+    __slots__ = ("_registry", "_own_id", "_rng")
+
+    def __init__(
+        self,
+        registry: MembershipRegistry,
+        own_id: int,
+        rng: random.Random,
+    ) -> None:
+        self._registry = registry
+        self._own_id = own_id
+        self._rng = rng
+
+    def sample(self, count: int) -> List[NodeDescriptor]:
+        """Uniform random live peers, excluding the owner."""
+        return self._registry.sample_descriptors(
+            count, self._rng, exclude_id=self._own_id
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"OracleSampler(own={self._own_id:#x}, "
+            f"pool={len(self._registry)})"
+        )

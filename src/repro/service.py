@@ -1,0 +1,137 @@
+"""High-level facade: the bootstrapping service as a user-facing API.
+
+The paper's architectural pitch is operational: *given a pool with a
+functional sampling layer, hand me a routing substrate on demand*.
+:class:`BootstrappingService` packages that pitch: one call runs the
+gossip bootstrap over a pool and returns an outcome whose tables can be
+exported directly into Pastry or Kademlia overlays (and inspected
+against perfection).
+
+For experiment-grade control (failure schedules, custom samplers,
+per-cycle traces) drop down to
+:class:`repro.simulator.BootstrapSimulation`, which this facade wraps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+from .core.config import BootstrapConfig, PAPER_CONFIG
+from .core.protocol import BootstrapNode
+from .overlays.kademlia import KademliaNetwork
+from .overlays.pastry import PastryNetwork
+from .simulator.bootstrap_sim import BootstrapSimulation, SimulationResult
+from .simulator.network import NetworkModel, RELIABLE
+
+__all__ = ["BootstrapOutcome", "BootstrappingService"]
+
+
+@dataclass
+class BootstrapOutcome:
+    """A bootstrapped pool, ready to be consumed by a substrate.
+
+    Attributes
+    ----------
+    simulation:
+        The underlying simulation (kept alive so the pool can be
+        mutated further: merges, splits, re-bootstraps).
+    result:
+        Convergence series and message accounting of the run.
+    """
+
+    simulation: BootstrapSimulation
+    result: SimulationResult
+
+    @property
+    def nodes(self) -> Dict[int, BootstrapNode]:
+        """The live protocol nodes, by identifier."""
+        return self.simulation.nodes
+
+    @property
+    def converged(self) -> bool:
+        """Whether every node holds perfect tables."""
+        return self.result.converged
+
+    @property
+    def cycles(self) -> Optional[float]:
+        """Cycles from this run's start to perfection (``None`` if the
+        budget ran out)."""
+        return self.result.cycles_to_converge
+
+    def pastry(self) -> PastryNetwork:
+        """Export the pool as a routable Pastry overlay."""
+        return PastryNetwork.from_bootstrap_nodes(self.nodes.values())
+
+    def kademlia(self, bucket_size: int = 20) -> KademliaNetwork:
+        """Export the pool as a routable Kademlia overlay."""
+        return KademliaNetwork.from_bootstrap_nodes(
+            self.nodes.values(), bucket_size
+        )
+
+
+class BootstrappingService:
+    """On-demand construction of routing substrates over resource pools.
+
+    Parameters
+    ----------
+    config:
+        Protocol parameters for every bootstrap this service performs
+        (defaults to the paper's ``b=4, k=3, c=20, cr=30``).
+
+    Example
+    -------
+    >>> service = BootstrappingService()
+    >>> outcome = service.bootstrap(512, seed=7)
+    >>> outcome.converged
+    True
+    >>> overlay = outcome.pastry()
+    """
+
+    def __init__(self, config: BootstrapConfig = PAPER_CONFIG) -> None:
+        self.config = config
+
+    def bootstrap(
+        self,
+        size: Optional[int] = None,
+        *,
+        ids: Optional[Sequence[int]] = None,
+        seed: int = 1,
+        network: NetworkModel = RELIABLE,
+        sampler: str = "oracle",
+        max_cycles: int = 60,
+    ) -> BootstrapOutcome:
+        """Jump-start a routing substrate over a fresh pool.
+
+        Runs the gossip protocol until perfect tables or *max_cycles*.
+        The paper's operational guidance applies: since convergence is
+        logarithmic and cheap, a deployment simply runs "a fixed number
+        of cycles that are known to be sufficient".
+        """
+        simulation = BootstrapSimulation(
+            size,
+            ids=ids,
+            config=self.config,
+            seed=seed,
+            network=network,
+            sampler=sampler,
+        )
+        result = simulation.run(max_cycles)
+        return BootstrapOutcome(simulation=simulation, result=result)
+
+    def rebootstrap(
+        self, outcome: BootstrapOutcome, max_cycles: int = 60
+    ) -> BootstrapOutcome:
+        """Restart the protocol on an existing pool (e.g. after the pool
+        was merged with another, or repurposed for a new time-slice).
+
+        Every node forgets its tables and starts over; the pool's
+        membership is whatever the simulation currently holds.  The
+        returned outcome's :attr:`BootstrapOutcome.cycles` counts from
+        the restart, not from the pool's first-ever cycle.
+        """
+        simulation = outcome.simulation
+        for node in simulation.nodes.values():
+            node.restart()
+        result = simulation.run(max_cycles)
+        return BootstrapOutcome(simulation=simulation, result=result)

@@ -1,0 +1,60 @@
+"""Simulation substrate (the PeerSim-equivalent).
+
+Cycle-driven and event-driven engines, network loss/latency models,
+failure and churn schedules, and declarative experiment running.  The
+paper's Section 5 experiments are cycle-driven; the event-driven engine
+is provided to validate that the cycle abstraction does not hide timing
+artefacts.
+"""
+
+from .actors import BootstrapActor, NewscastActor
+from .bootstrap_sim import BootstrapSimulation, SimulationResult
+from .engine import CycleEngine, RequestReplyActor
+from .events import EventDrivenBootstrap, EventScheduler
+from .experiment import (
+    ExperimentSpec,
+    paper_repeat_counts,
+    run_experiment,
+    run_repeats,
+)
+from .failures import CatastrophicFailure, Churn, FailureSchedule, MassiveJoin
+from .network import (
+    PAPER_LOSSY,
+    RELIABLE,
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    NetworkModel,
+    TransportStats,
+    UniformLatency,
+)
+from .random_source import RandomSource, derive_seed
+
+__all__ = [
+    "BootstrapActor",
+    "NewscastActor",
+    "BootstrapSimulation",
+    "SimulationResult",
+    "CycleEngine",
+    "RequestReplyActor",
+    "EventDrivenBootstrap",
+    "EventScheduler",
+    "ExperimentSpec",
+    "paper_repeat_counts",
+    "run_experiment",
+    "run_repeats",
+    "CatastrophicFailure",
+    "Churn",
+    "FailureSchedule",
+    "MassiveJoin",
+    "NetworkModel",
+    "TransportStats",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "ExponentialLatency",
+    "RELIABLE",
+    "PAPER_LOSSY",
+    "RandomSource",
+    "derive_seed",
+]

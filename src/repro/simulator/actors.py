@@ -1,0 +1,84 @@
+"""Adapters binding the protocol state machines to the cycle engine.
+
+The protocol objects in :mod:`repro.core` and :mod:`repro.sampling` are
+engine-agnostic; these thin actors translate their transitions into the
+:class:`~repro.simulator.engine.RequestReplyActor` interface.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional, Tuple
+
+from ..core.messages import BootstrapMessage
+from ..core.protocol import BootstrapNode
+from ..sampling.newscast import NewscastNode
+from .engine import RequestReplyActor
+
+__all__ = ["BootstrapActor", "NewscastActor"]
+
+
+class BootstrapActor(RequestReplyActor):
+    """Drives a :class:`BootstrapNode` through the cycle engine.
+
+    The loosely synchronised start (paper Section 4, last paragraph) is
+    modelled by starting the node at its first activation: the engine
+    activates nodes in uniform random order within cycle 0, which is
+    exactly "each node at a different random time within an interval of
+    length Δ".
+    """
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: BootstrapNode) -> None:
+        self.node = node
+
+    def set_time(self, now: float) -> None:
+        self.node.set_time(now)
+
+    def begin_exchange(
+        self,
+    ) -> Optional[Tuple[Hashable, BootstrapMessage]]:
+        if not self.node.started:
+            self.node.start()
+        begun = self.node.initiate_exchange()
+        if begun is None:
+            return None
+        peer, request = begun
+        return peer.node_id, request
+
+    def answer(self, request: BootstrapMessage) -> BootstrapMessage:
+        return self.node.handle_request(request)
+
+    def complete(self, reply: BootstrapMessage) -> None:
+        self.node.handle_reply(reply)
+
+
+class NewscastActor(RequestReplyActor):
+    """Drives a :class:`NewscastNode` through the cycle engine.
+
+    The payload of an exchange is the tuple of descriptors produced by
+    :meth:`NewscastNode.gossip_payload`; answers are built from the
+    responder's pre-merge view, mirroring a symmetric UDP exchange.
+    """
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: NewscastNode) -> None:
+        self.node = node
+
+    def set_time(self, now: float) -> None:
+        self.node.set_time(now)
+
+    def begin_exchange(self) -> Optional[Tuple[Hashable, tuple]]:
+        peer = self.node.select_peer()
+        if peer is None:
+            return None
+        return peer.node_id, self.node.gossip_payload()
+
+    def answer(self, request: Iterable) -> tuple:
+        reply = self.node.gossip_payload()
+        self.node.merge(request)
+        return reply
+
+    def complete(self, reply: Iterable) -> None:
+        self.node.merge(reply)

@@ -1,0 +1,196 @@
+"""Cycle-driven simulation engine (the PeerSim-equivalent substrate).
+
+The paper's experiments ran on PeerSim's cycle-based mode: time is a
+sequence of intervals of length ``Δ`` ("for convenience, we call the
+consecutive intervals of length Δ cycles"), and within a cycle every
+node performs one active protocol step, in random order (which models
+the "different random time within an interval of length Δ" start and
+the subsequent de-synchronised periods).
+
+Both gossip protocols in this library -- NEWSCAST and the bootstrapping
+service -- are request/answer exchanges, so the engine drives a single
+abstraction, :class:`RequestReplyActor`, and applies the message-loss
+model with the paper's coupling (a dropped request suppresses the
+answer).
+
+The engine knows nothing about identifiers beyond using them as
+directory keys, and nothing about payloads at all.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+
+from .network import NetworkModel, TransportStats
+
+__all__ = ["RequestReplyActor", "CycleEngine"]
+
+Payload = TypeVar("Payload")
+
+
+class RequestReplyActor(Generic[Payload]):
+    """One protocol endpoint driven by the cycle engine.
+
+    Subclasses adapt a concrete protocol object (a
+    :class:`~repro.core.protocol.BootstrapNode`, a
+    :class:`~repro.sampling.newscast.NewscastNode`, ...) to the engine's
+    three-phase exchange.
+    """
+
+    def set_time(self, now: float) -> None:
+        """Advance the actor's logical clock (start of every cycle)."""
+
+    def begin_exchange(self) -> Optional[Tuple[Hashable, Payload]]:
+        """Active-thread step: pick a partner and build the request.
+
+        Returns ``(target_key, request)`` or ``None`` to skip this
+        cycle.
+        """
+        raise NotImplementedError
+
+    def answer(self, request: Payload) -> Optional[Payload]:
+        """Passive-thread step: build the answer (from pre-exchange
+        state), then apply the request.  ``None`` means no answer."""
+        raise NotImplementedError
+
+    def complete(self, reply: Payload) -> None:
+        """Active-thread completion: apply the received answer."""
+        raise NotImplementedError
+
+    def on_no_reply(self, target_key: Hashable) -> None:
+        """Timeout notification: the exchange this actor initiated with
+        *target_key* produced no answer (request lost, answer lost, or
+        the target is gone -- indistinguishable over UDP).
+
+        Default: ignore, which is exactly the bootstrap protocol's
+        behaviour.  Maintenance protocols override this to drive
+        failure suspicion.
+        """
+
+
+class CycleEngine:
+    """Runs one :class:`RequestReplyActor` population cycle by cycle.
+
+    Parameters
+    ----------
+    network:
+        Loss model applied to every request and answer.
+    rng:
+        Drives the per-cycle activation order and the drop decisions.
+    stats:
+        Optional shared :class:`TransportStats`; one is created when
+        omitted.
+    """
+
+    def __init__(
+        self,
+        network: NetworkModel,
+        rng: random.Random,
+        stats: Optional[TransportStats] = None,
+    ) -> None:
+        self.network = network
+        self.stats = stats if stats is not None else TransportStats()
+        self._rng = rng
+        self._directory: Dict[Hashable, RequestReplyActor] = {}
+        self._cycle = 0
+
+    # ------------------------------------------------------------------
+    # Population management
+    # ------------------------------------------------------------------
+
+    @property
+    def cycle(self) -> int:
+        """Number of completed cycles."""
+        return self._cycle
+
+    @property
+    def population(self) -> int:
+        """Number of registered actors."""
+        return len(self._directory)
+
+    def actors(self) -> List[RequestReplyActor]:
+        """All registered actors (fresh list)."""
+        return list(self._directory.values())
+
+    def add_actor(self, key: Hashable, actor: RequestReplyActor) -> None:
+        """Register *actor* under *key* (its address in the directory)."""
+        if key in self._directory:
+            raise ValueError(f"actor key {key!r} already registered")
+        self._directory[key] = actor
+
+    def remove_actor(self, key: Hashable) -> Optional[RequestReplyActor]:
+        """Deregister and return the actor at *key* (``None`` if absent).
+
+        A removed actor stops being reachable immediately: requests
+        addressed to it within the same cycle count as
+        ``void_requests`` -- exactly what a crashed UDP endpoint does.
+        """
+        return self._directory.pop(key, None)
+
+    def get_actor(self, key: Hashable) -> Optional[RequestReplyActor]:
+        """The actor at *key*, or ``None``."""
+        return self._directory.get(key)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_cycle(self) -> None:
+        """Execute one full cycle: every live actor initiates one
+        exchange, in uniform random order.
+
+        Actors added during the cycle (churn joins) first act in the
+        next cycle; actors removed mid-cycle are skipped -- both match
+        the semantics of PeerSim's cycle scheduler.
+        """
+        now = float(self._cycle)
+        keys = list(self._directory)
+        for actor in self._directory.values():
+            actor.set_time(now)
+        self._rng.shuffle(keys)
+        for key in keys:
+            actor = self._directory.get(key)
+            if actor is not None:
+                self.run_exchange(actor)
+        self._cycle += 1
+
+    def run_exchange(self, actor: RequestReplyActor) -> None:
+        """Drive a single request/answer exchange for *actor*, applying
+        the loss model with the paper's request/answer coupling."""
+        begun = actor.begin_exchange()
+        if begun is None:
+            return
+        target_key, request = begun
+        stats = self.stats
+        network = self.network
+        rng = self._rng
+        stats.exchanges += 1
+        stats.requests_sent += 1
+        if network.should_drop(rng):
+            stats.requests_dropped += 1
+            stats.suppressed_replies += 1
+            actor.on_no_reply(target_key)
+            return
+        target = self._directory.get(target_key)
+        if target is None:
+            stats.void_requests += 1
+            stats.suppressed_replies += 1
+            actor.on_no_reply(target_key)
+            return
+        reply = target.answer(request)
+        if reply is None:
+            stats.suppressed_replies += 1
+            actor.on_no_reply(target_key)
+            return
+        stats.replies_sent += 1
+        if network.should_drop(rng):
+            stats.replies_dropped += 1
+            actor.on_no_reply(target_key)
+            return
+        actor.complete(reply)
+
+    def run_cycles(self, count: int) -> None:
+        """Execute *count* consecutive cycles."""
+        for _ in range(count):
+            self.run_cycle()

@@ -1,0 +1,270 @@
+"""Event-driven simulation engine.
+
+The paper's experiments are cycle-driven (PeerSim's cycle mode), which
+abstracts away message latency and the exact start offsets.  This
+engine removes that abstraction: every node runs its active thread on
+its own timer with a uniform-random phase in ``[0, Δ)`` (the paper's
+loosely synchronised start, taken literally), messages take latency
+drawn from the network model, and drops happen per message in flight.
+
+Comparing the two engines on the same workload validates that the
+cycle abstraction does not manufacture the paper's results: convergence
+curves agree to within a cycle (see ``tests/test_events.py`` and the
+E1 benchmark's cross-check mode).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import BootstrapConfig, PAPER_CONFIG
+from ..core.convergence import ConvergenceSample, ConvergenceTracker
+from ..core.descriptor import NodeDescriptor
+from ..core.messages import BootstrapMessage
+from ..core.protocol import BootstrapNode
+from ..core.reference import ReferenceTables
+from ..sampling.oracle import MembershipRegistry, OracleSampler
+from .bootstrap_sim import SimulationResult
+from .network import NetworkModel, RELIABLE, TransportStats
+from .random_source import RandomSource
+
+__all__ = ["EventScheduler", "EventDrivenBootstrap"]
+
+
+class EventScheduler:
+    """Minimal discrete-event scheduler: a time-ordered callback heap.
+
+    Ties are broken by insertion order (FIFO), which keeps runs
+    deterministic for a deterministic event population.
+    """
+
+    __slots__ = ("_heap", "_counter", "_now")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled, not-yet-fired events."""
+        return len(self._heap)
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule *callback* at absolute *time* (>= now)."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past ({time} < {self._now})"
+            )
+        heapq.heappush(self._heap, (time, next(self._counter), callback))
+
+    def after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule *callback* *delay* time units from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.at(self._now + delay, callback)
+
+    def run_until(self, end_time: float) -> None:
+        """Fire every event scheduled strictly before *end_time*; leave
+        ``now`` at *end_time*."""
+        heap = self._heap
+        while heap and heap[0][0] < end_time:
+            time, _, callback = heapq.heappop(heap)
+            self._now = time
+            callback()
+        self._now = end_time
+
+    def run_all(self, max_events: Optional[int] = None) -> int:
+        """Drain the heap (optionally at most *max_events*); returns the
+        number of events fired."""
+        fired = 0
+        heap = self._heap
+        while heap:
+            if max_events is not None and fired >= max_events:
+                break
+            time, _, callback = heapq.heappop(heap)
+            self._now = time
+            callback()
+            fired += 1
+        return fired
+
+
+class EventDrivenBootstrap:
+    """Latency-aware bootstrap experiment.
+
+    Each node's active thread fires at ``offset + n*Δ`` where ``offset``
+    is uniform in ``[0, Δ)``; requests and answers are messages in
+    flight with their own latencies and independent drop decisions.
+    Measurement happens at every cycle boundary (multiples of Δ), so the
+    resulting series is directly comparable with the cycle engine's.
+
+    Parameters mirror :class:`~repro.simulator.BootstrapSimulation`,
+    minus the sampler choice (the oracle is used: the event engine's
+    purpose is timing realism, not sampling realism).
+    """
+
+    def __init__(
+        self,
+        size: Optional[int] = None,
+        *,
+        ids: Optional[Sequence[int]] = None,
+        config: BootstrapConfig = PAPER_CONFIG,
+        seed: int = 1,
+        network: NetworkModel = RELIABLE,
+    ) -> None:
+        self.config = config
+        self.seed = seed
+        self.network = network
+        self._source = RandomSource(seed)
+        self._space = config.space
+        self.scheduler = EventScheduler()
+        self.stats = TransportStats()
+        self._drop_rng = self._source.derive("event-drops")
+        self._latency_rng = self._source.derive("event-latency")
+
+        if ids is None:
+            if size is None or size < 2:
+                raise ValueError("need size >= 2 or an explicit id list")
+            id_list = self._space.random_unique_ids(
+                size, self._source.derive("ids")
+            )
+        else:
+            id_list = list(ids)
+
+        self.registry = MembershipRegistry()
+        self.nodes: Dict[int, BootstrapNode] = {}
+        offset_rng = self._source.derive("offsets")
+        delta = config.cycle_length
+        for address, node_id in enumerate(id_list):
+            descriptor = NodeDescriptor(node_id=node_id, address=address)
+            self.registry.add(descriptor)
+            sampler = OracleSampler(
+                self.registry, node_id, self._source.derive(("sampler", node_id))
+            )
+            node = BootstrapNode(
+                descriptor,
+                config,
+                sampler,
+                self._source.derive(("node", node_id)),
+            )
+            self.nodes[node_id] = node
+            offset = offset_rng.uniform(0.0, delta)
+            self.scheduler.at(
+                offset, self._make_activation(node, first=True)
+            )
+
+        self.reference = ReferenceTables(
+            self._space, id_list, config.leaf_set_size, config.entries_per_slot
+        )
+        self.tracker = ConvergenceTracker(self.reference, self.nodes.values())
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Node activity
+    # ------------------------------------------------------------------
+
+    def _make_activation(
+        self, node: BootstrapNode, first: bool = False
+    ) -> Callable[[], None]:
+        def activate() -> None:
+            if self._stopped:
+                return
+            node.set_time(self.scheduler.now)
+            if first and not node.started:
+                node.start()
+            self._initiate(node)
+            self.scheduler.after(
+                self.config.cycle_length, self._make_activation(node)
+            )
+
+        return activate
+
+    def _initiate(self, node: BootstrapNode) -> None:
+        begun = node.initiate_exchange()
+        if begun is None:
+            return
+        peer, request = begun
+        self.stats.exchanges += 1
+        self._send(request, peer.node_id, is_reply=False, origin=node)
+
+    def _send(
+        self,
+        message: BootstrapMessage,
+        target_id: int,
+        is_reply: bool,
+        origin: Optional[BootstrapNode],
+    ) -> None:
+        stats = self.stats
+        if is_reply:
+            stats.replies_sent += 1
+        else:
+            stats.requests_sent += 1
+        if self.network.should_drop(self._drop_rng):
+            if is_reply:
+                stats.replies_dropped += 1
+            else:
+                stats.requests_dropped += 1
+                stats.suppressed_replies += 1
+            return
+        latency = self.network.sample_latency(self._latency_rng)
+        self.scheduler.after(
+            latency, lambda: self._deliver(message, target_id, is_reply)
+        )
+
+    def _deliver(
+        self, message: BootstrapMessage, target_id: int, is_reply: bool
+    ) -> None:
+        if self._stopped:
+            return
+        target = self.nodes.get(target_id)
+        if target is None:
+            self.stats.void_requests += 1
+            if not is_reply:
+                self.stats.suppressed_replies += 1
+            return
+        target.set_time(self.scheduler.now)
+        if is_reply:
+            target.handle_reply(message)
+        else:
+            reply = target.handle_request(message)
+            self._send(
+                reply, message.sender.node_id, is_reply=True, origin=target
+            )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self, max_cycles: int = 60, *, stop_when_perfect: bool = True
+    ) -> SimulationResult:
+        """Run for at most *max_cycles* Δ-intervals, measuring at every
+        cycle boundary."""
+        if max_cycles < 1:
+            raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
+        delta = self.config.cycle_length
+        cycles_run = 0
+        for cycle in range(1, max_cycles + 1):
+            self.scheduler.run_until(cycle * delta)
+            cycles_run = cycle
+            sample = self.tracker.measure(float(cycle))
+            if stop_when_perfect and sample.is_perfect:
+                break
+        self._stopped = True
+        return SimulationResult(
+            samples=tuple(self.tracker.samples),
+            converged_at=self.tracker.converged_at,
+            population=len(self.nodes),
+            transport=self.stats.snapshot(),
+            config=self.config,
+            seed=self.seed,
+            cycles_run=cycles_run,
+        )

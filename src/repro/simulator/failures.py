@@ -1,0 +1,165 @@
+"""Failure, churn, and membership-event schedules.
+
+The paper's motivating scenarios (Section 1) are exactly membership
+*events*: massive joins, massive departures, bootstrapping from scratch,
+merging networks, splitting networks, catastrophic failure.  These
+schedule objects inject such events into a running
+:class:`~repro.simulator.bootstrap_sim.BootstrapSimulation`; each is
+applied at the start of every cycle and decides internally whether it
+has anything to do.
+
+All schedules draw their randomness from the simulation's seed tree, so
+runs remain reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Protocol, Sequence
+
+from .random_source import RandomSource
+
+__all__ = [
+    "FailureSchedule",
+    "CatastrophicFailure",
+    "Churn",
+    "MassiveJoin",
+]
+
+
+class FailureSchedule(Protocol):
+    """Anything that can mutate a simulation between cycles."""
+
+    def apply(self, sim, cycle: int) -> None:
+        """Inject this schedule's events for *cycle* (may be a no-op)."""
+        ...
+
+
+class CatastrophicFailure:
+    """Kill a fraction of the network at one instant.
+
+    Section 3 claims the sampling layer survives "up to 70% nodes may
+    fail"; applying this schedule mid-bootstrap tests how the
+    bootstrapping service copes with losing most of the pool and having
+    to converge to the survivors' perfect tables.
+
+    Parameters
+    ----------
+    at_cycle:
+        Cycle index immediately before which the failure strikes.
+    fraction:
+        Share of live nodes killed, in ``[0, 1)``.
+    """
+
+    def __init__(self, at_cycle: int, fraction: float) -> None:
+        if at_cycle < 0:
+            raise ValueError(f"at_cycle must be >= 0, got {at_cycle}")
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+        self.at_cycle = at_cycle
+        self.fraction = fraction
+        self.killed: List[int] = []
+
+    def apply(self, sim, cycle: int) -> None:
+        """Kill the configured fraction at the trigger cycle (once)."""
+        if cycle != self.at_cycle or self.killed:
+            return
+        rng = RandomSource(sim.seed).derive(
+            ("catastrophe", self.at_cycle)
+        )
+        victims_count = int(sim.population * self.fraction)
+        victims = rng.sample(sim.live_ids, victims_count)
+        for node_id in victims:
+            sim.kill_node(node_id)
+        self.killed = victims
+
+
+class Churn:
+    """Continuous membership turnover.
+
+    Every cycle in ``[start_cycle, end_cycle)``, a Poisson-like number
+    of nodes leave (crash, no goodbye) and the same expected number of
+    fresh nodes join, keeping the population roughly stationary -- the
+    classic churn model.  Rates are fractions of the current population
+    per cycle.
+
+    Parameters
+    ----------
+    rate:
+        Expected fraction of nodes replaced per cycle (e.g. 0.01 = 1%).
+    start_cycle / end_cycle:
+        Active window; ``end_cycle=None`` means forever.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        start_cycle: int = 0,
+        end_cycle: Optional[int] = None,
+    ) -> None:
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        self.rate = rate
+        self.start_cycle = start_cycle
+        self.end_cycle = end_cycle
+        self.departures = 0
+        self.arrivals = 0
+
+    def apply(self, sim, cycle: int) -> None:
+        """Replace the expected fraction of nodes for this cycle."""
+        if cycle < self.start_cycle:
+            return
+        if self.end_cycle is not None and cycle >= self.end_cycle:
+            return
+        if self.rate == 0:
+            return
+        rng = RandomSource(sim.seed).derive(("churn", cycle))
+        expected = sim.population * self.rate
+        count = self._integer_draw(expected, rng)
+        count = min(count, max(0, sim.population - 2))
+        victims = rng.sample(sim.live_ids, count)
+        for node_id in victims:
+            sim.kill_node(node_id)
+        for _ in range(count):
+            sim.spawn_node()
+        self.departures += count
+        self.arrivals += count
+
+    @staticmethod
+    def _integer_draw(expected: float, rng: random.Random) -> int:
+        """Integer with the given expectation: floor plus a Bernoulli
+        on the fractional part."""
+        base = int(expected)
+        if rng.random() < expected - base:
+            base += 1
+        return base
+
+
+class MassiveJoin:
+    """A burst of simultaneous joins (the under-supported scenario the
+    paper opens with).
+
+    Parameters
+    ----------
+    at_cycle:
+        Cycle index immediately before which the newcomers arrive.
+    count:
+        Number of joining nodes.
+    """
+
+    def __init__(self, at_cycle: int, count: int) -> None:
+        if at_cycle < 0:
+            raise ValueError(f"at_cycle must be >= 0, got {at_cycle}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.at_cycle = at_cycle
+        self.count = count
+        self.joined: List[int] = []
+
+    def apply(self, sim, cycle: int) -> None:
+        """Admit the configured burst at the trigger cycle (once)."""
+        if cycle != self.at_cycle or self.joined:
+            return
+        for _ in range(self.count):
+            node = sim.spawn_node()
+            self.joined.append(node.node_id)

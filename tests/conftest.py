@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import BootstrapConfig, IDSpace, NodeDescriptor
+
+
+@pytest.fixture
+def space() -> IDSpace:
+    """The paper's identifier space: 64-bit ids, hex digits."""
+    return IDSpace()
+
+
+@pytest.fixture
+def tiny_space() -> IDSpace:
+    """A small space (16-bit, base-4 digits) where exhaustive checks
+    are feasible."""
+    return IDSpace(bits=16, digit_bits=2)
+
+
+@pytest.fixture
+def config() -> BootstrapConfig:
+    """Paper parameters (b=4, k=3, c=20, cr=30)."""
+    return BootstrapConfig()
+
+
+@pytest.fixture
+def small_config() -> BootstrapConfig:
+    """Scaled-down parameters for fast protocol tests."""
+    return BootstrapConfig(
+        leaf_set_size=8, entries_per_slot=2, random_samples=8
+    )
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG."""
+    return random.Random(12345)
+
+
+def make_descriptor(node_id: int, address=None, timestamp: float = 0.0):
+    """Build a descriptor with a default address of the id itself."""
+    return NodeDescriptor(
+        node_id=node_id,
+        address=node_id if address is None else address,
+        timestamp=timestamp,
+    )
+
+
+@pytest.fixture
+def descriptor_factory():
+    """The :func:`make_descriptor` helper as a fixture."""
+    return make_descriptor

@@ -1,0 +1,138 @@
+"""Tests for the protocol-variant ablations (experiment E11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BootstrapSimulation
+from repro.baselines import (
+    ABLATION_VARIANTS,
+    NoFeedbackNode,
+    NoPrefixPartNode,
+    UnoptimizedCloseNode,
+)
+from repro.core import BootstrapConfig, BootstrapNode
+
+FAST = BootstrapConfig(leaf_set_size=8, entries_per_slot=2, random_samples=10)
+
+
+def run_variant(node_cls, size=64, seed=19, max_cycles=40):
+    return BootstrapSimulation(
+        size, config=FAST, seed=seed, node_factory=node_cls
+    ).run(max_cycles)
+
+
+class TestVariantRegistry:
+    def test_contains_full_protocol(self):
+        assert ABLATION_VARIANTS["full"] is BootstrapNode
+
+    def test_all_variants_are_bootstrap_nodes(self):
+        for cls in ABLATION_VARIANTS.values():
+            assert issubclass(cls, BootstrapNode)
+
+
+class TestVariantBehaviour:
+    def test_no_feedback_messages_lack_prefix_union(self):
+        """Without feedback, payloads never contain descriptors that
+        exist only in the prefix table."""
+        import random
+
+        from .conftest import make_descriptor
+
+        class Empty:
+            def sample(self, count):
+                return []
+
+        node = NoFeedbackNode(
+            make_descriptor(1000), FAST, Empty(), random.Random(1)
+        )
+        lonely = make_descriptor(0xDEAD_0000_0000_0000)
+        node.prefix_table.add(lonely)
+        message = node.create_message(make_descriptor(2000))
+        assert all(
+            d.node_id != lonely.node_id for d in message.descriptors
+        )
+
+    def test_no_prefix_part_messages_are_small(self):
+        import random
+
+        from .conftest import make_descriptor
+
+        class Empty:
+            def sample(self, count):
+                return []
+
+        node = NoPrefixPartNode(
+            make_descriptor(1000), FAST, Empty(), random.Random(1)
+        )
+        for i in range(2, 60):
+            node.prefix_table.add(make_descriptor(i << 48))
+            node.leaf_set.update([make_descriptor(1000 + i)])
+        message = node.create_message(make_descriptor(2000))
+        assert message.payload_size <= FAST.leaf_set_size
+
+    def test_unoptimized_close_still_c_entries(self):
+        import random
+
+        from .conftest import make_descriptor
+
+        class Empty:
+            def sample(self, count):
+                return []
+
+        node = UnoptimizedCloseNode(
+            make_descriptor(1000), FAST, Empty(), random.Random(1)
+        )
+        for i in range(2, 40):
+            node.leaf_set.update([make_descriptor(1000 + i)])
+            node.prefix_table.add(make_descriptor(i << 48))
+        message = node.create_message(make_descriptor(2000))
+        ids = [d.node_id for d in message.descriptors]
+        assert len(ids) == len(set(ids))
+
+
+class TestAblationOutcomes:
+    """The paper's design-choice claims, as executable comparisons."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            name: run_variant(cls)
+            for name, cls in ABLATION_VARIANTS.items()
+        }
+
+    def test_full_protocol_converges(self, results):
+        assert results["full"].converged
+
+    def test_feedback_accelerates(self, results):
+        """Mutual boosting: removing the prefix->ring feedback must not
+        beat the full protocol."""
+        full = results["full"]
+        ablated = results["no-feedback"]
+        if ablated.converged:
+            assert ablated.converged_at >= full.converged_at
+        # and the full protocol converged strictly first or equal.
+
+    def test_prefix_part_essential_for_tables(self, results):
+        """Without the prefix-targeted part, prefix tables converge far
+        slower (or not at all within budget)."""
+        full = results["full"]
+        ablated = results["no-prefix-part"]
+        if ablated.converged:
+            assert ablated.converged_at > full.converged_at
+        else:
+            assert ablated.final_sample.missing_prefix > 0
+
+    def test_message_optimisation_accelerates_ring(self, results):
+        full = results["full"]
+        ablated = results["unoptimized-close"]
+        if ablated.converged:
+            assert ablated.converged_at >= full.converged_at
+
+    def test_cr_zero_still_converges(self):
+        """Random samples are an accelerant, not a correctness
+        requirement: with cr=0 the ring gossip alone must still get
+        there (possibly slower)."""
+        config = FAST.with_overrides(random_samples=0)
+        result = BootstrapSimulation(48, config=config, seed=23).run(60)
+        assert result.converged

@@ -1,0 +1,208 @@
+"""Tests for the analysis toolkit (series, stats, plots, tables)."""
+
+from __future__ import annotations
+
+import io
+import math
+
+import pytest
+
+from repro.analysis import (
+    Series,
+    ascii_linear,
+    ascii_semilog,
+    format_dat,
+    geometric_mean,
+    linear_fit,
+    mean_series,
+    percentile,
+    render_kv,
+    render_table,
+    summarize,
+    write_dat,
+)
+
+
+class TestSeries:
+    def test_from_pairs_sorts(self):
+        s = Series.from_pairs("x", [(2, 0.5), (1, 1.0)])
+        assert s.points == ((1, 1.0), (2, 0.5))
+        assert s.xs == (1, 2)
+        assert s.ys == (1.0, 0.5)
+        assert len(s) == 2
+
+    def test_final_y(self):
+        assert Series("e", ()).final_y() is None
+        assert Series.from_pairs("x", [(1, 5.0)]).final_y() == 5.0
+
+    def test_first_x_below(self):
+        s = Series.from_pairs("x", [(1, 1.0), (2, 0.1), (3, 0.0)])
+        assert s.first_x_below(0.5) == 2
+        assert s.first_x_below(0.0) == 3
+        assert s.first_x_below(-1) is None
+
+    def test_nonzero(self):
+        s = Series.from_pairs("x", [(1, 1.0), (2, 0.0)])
+        assert s.nonzero().points == ((1, 1.0),)
+
+
+class TestMeanSeries:
+    def test_simple_mean(self):
+        a = Series.from_pairs("a", [(1, 1.0), (2, 0.5)])
+        b = Series.from_pairs("b", [(1, 0.0), (2, 0.5)])
+        m = mean_series("m", [a, b])
+        assert m.points == ((1, 0.5), (2, 0.5))
+
+    def test_short_series_holds_final_value(self):
+        """A converged run (short curve) contributes its final value --
+        0 missing -- beyond its end."""
+        a = Series.from_pairs("a", [(1, 1.0), (2, 0.0)])
+        b = Series.from_pairs("b", [(1, 1.0), (2, 0.5), (3, 0.25)])
+        m = mean_series("m", [a, b])
+        assert m.points[-1] == (3, 0.125)
+
+    def test_rejects_empty_inputs(self):
+        with pytest.raises(ValueError):
+            mean_series("m", [])
+        with pytest.raises(ValueError):
+            mean_series("m", [Series("e", ())])
+
+
+class TestDatFormat:
+    def test_format(self):
+        s = Series.from_pairs("curve", [(0, 1.0), (1, 0.5)])
+        text = format_dat([s])
+        assert "# curve" in text
+        assert "0\t1" in text
+
+    def test_write(self):
+        s = Series.from_pairs("curve", [(0, 1.0)])
+        buffer = io.StringIO()
+        write_dat([s], buffer)
+        assert buffer.getvalue() == format_dat([s])
+
+
+class TestStats:
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.median == 2.5
+        assert summary.std == pytest.approx(math.sqrt(1.25))
+        assert "mean" in str(summary)
+
+    def test_summarize_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_percentile(self):
+        values = list(range(1, 11))
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 10
+        assert percentile(values, 50) == 5.5
+
+    def test_percentile_validates(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_percentile_singleton(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_linear_fit_exact(self):
+        fit = linear_fit([1, 2, 3], [3, 5, 7])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(4) == pytest.approx(9.0)
+
+    def test_linear_fit_flat(self):
+        fit = linear_fit([1, 2, 3], [5, 5, 5])
+        assert fit.slope == 0.0
+        assert fit.r_squared == 1.0
+
+    def test_linear_fit_validates(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [2])
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [2])
+        with pytest.raises(ValueError):
+            linear_fit([1, 1], [2, 3])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestPlots:
+    def test_semilog_renders(self):
+        s = Series.from_pairs(
+            "N=2^10", [(i, 10 ** (-i)) for i in range(5)]
+        )
+        art = ascii_semilog([s], title="figure 3", width=40, height=10)
+        assert "figure 3" in art
+        assert "N=2^10" in art
+        assert "o" in art
+
+    def test_semilog_skips_zeros(self):
+        s = Series.from_pairs("x", [(0, 1.0), (1, 0.0)])
+        art = ascii_semilog([s])
+        assert "x" in art  # legend still present
+
+    def test_linear_renders(self):
+        s = Series.from_pairs("conv", [(10, 7), (12, 9), (14, 11)])
+        art = ascii_linear([s], title="scaling")
+        assert "scaling" in art
+
+    def test_no_points(self):
+        art = ascii_semilog([Series("empty", ())])
+        assert "no plottable points" in art
+
+    def test_multiple_curves_distinct_glyphs(self):
+        a = Series.from_pairs("a", [(0, 1.0), (1, 0.1)])
+        b = Series.from_pairs("b", [(0, 0.9), (1, 0.05)])
+        art = ascii_semilog([a, b])
+        assert "o = a" in art
+        assert "x = b" in art
+
+
+class TestTables:
+    def test_render_table(self):
+        text = render_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["beta", 22]],
+            title="results",
+        )
+        assert "results" in text
+        assert "alpha" in text
+        assert "1.5" in text
+
+    def test_numeric_right_aligned(self):
+        text = render_table(["n"], [[5], [500]])
+        lines = text.strip().splitlines()
+        assert lines[-1].endswith("500")
+        assert lines[-2].endswith("  5")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_bool_formatting(self):
+        text = render_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_scientific_for_small(self):
+        text = render_table(["v"], [[0.00001]])
+        assert "e-05" in text
+
+    def test_render_kv(self):
+        text = render_kv({"size": 1024, "drop": 0.2}, title="spec")
+        assert "spec" in text
+        assert "size" in text
+        assert "1024" in text

@@ -1,0 +1,130 @@
+"""Tests for sequential-join, random-fill, and flood baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BootstrapSimulation
+from repro.baselines import (
+    RandomFillSimulation,
+    SequentialJoinNetwork,
+    simulate_start_flood,
+)
+from repro.core import BootstrapConfig
+
+FAST = BootstrapConfig(leaf_set_size=8, entries_per_slot=2, random_samples=10)
+
+
+class TestSequentialJoin:
+    def test_build_grows_to_size(self):
+        net = SequentialJoinNetwork(config=FAST, seed=2)
+        report = net.build(64)
+        assert net.size == 64
+        assert report.nodes_joined == 64
+        assert report.serial_steps == 64
+
+    def test_report_accounting(self):
+        net = SequentialJoinNetwork(config=FAST, seed=2)
+        report = net.build(64)
+        assert report.total_messages > 0
+        assert report.total_route_hops >= 0
+        assert report.max_route_hops >= report.mean_route_hops >= 0
+        assert report.messages_per_node() == pytest.approx(
+            report.total_messages / 64
+        )
+
+    def test_tables_correct_after_joins(self):
+        """Every joiner must end with its exact leaf neighbourhood --
+        the join protocol transfers the terminal node's leaf set and
+        announces the newcomer."""
+        net = SequentialJoinNetwork(config=FAST, seed=3)
+        net.build(48)
+        assert net.leaf_set_deficit() == 0
+
+    def test_join_explicit_id(self):
+        net = SequentialJoinNetwork(config=FAST, seed=4)
+        net.join(12345)
+        with pytest.raises(ValueError):
+            net.join(12345)
+        assert 12345 in net.ids
+
+    def test_build_validates(self):
+        net = SequentialJoinNetwork(config=FAST)
+        with pytest.raises(ValueError):
+            net.build(0)
+
+    def test_serial_cost_scales_linearly(self):
+        """The baseline's defining weakness: serial steps == N, versus
+        the gossip bootstrap's O(log N) cycles."""
+        small = SequentialJoinNetwork(config=FAST, seed=5).build(32)
+        large = SequentialJoinNetwork(config=FAST, seed=5).build(64)
+        assert large.serial_steps == 2 * small.serial_steps
+        gossip = BootstrapSimulation(64, config=FAST, seed=5).run(40)
+        assert gossip.converged_at < large.serial_steps
+
+
+class TestRandomFill:
+    def test_prefix_fills_fast_leaf_slow(self):
+        """Sampling-only: shallow prefix rows fill quickly; exact leaf
+        sets lag far behind the gossip protocol."""
+        sim = RandomFillSimulation(64, config=FAST, seed=6)
+        samples = sim.run(12, stop_when_perfect=False)
+        final = samples[-1]
+        assert final.prefix_fraction < 0.2
+        gossip = BootstrapSimulation(64, config=FAST, seed=6).run(12)
+        assert gossip.converged
+        assert final.leaf_fraction > 0 or final.prefix_fraction > 0
+
+    def test_requires_size(self):
+        with pytest.raises(ValueError):
+            RandomFillSimulation(config=FAST)
+
+    def test_explicit_ids(self):
+        sim = RandomFillSimulation(ids=[1, 2, 3, 4], config=FAST)
+        assert len(sim.nodes) == 4
+
+    def test_stops_when_perfect(self):
+        sim = RandomFillSimulation(8, config=FAST, seed=7)
+        samples = sim.run(500, stop_when_perfect=True)
+        # Tiny network: sampling-only does converge eventually.
+        assert samples[-1].is_perfect
+
+    def test_cycle_counter(self):
+        sim = RandomFillSimulation(16, config=FAST, seed=8)
+        sim.run(5, stop_when_perfect=False)
+        assert sim.cycle == 5
+
+
+class TestStartFlood:
+    def test_reaches_everyone(self):
+        result = simulate_start_flood(512, fanout=3, seed=9)
+        assert result.rounds_to_full is not None
+        assert result.coverage_series[-1] == 512
+        assert result.population == 512
+
+    def test_logarithmic_rounds(self):
+        small = simulate_start_flood(256, fanout=3, seed=10)
+        large = simulate_start_flood(4096, fanout=3, seed=10)
+        # 16x the size must cost only a few extra rounds.
+        assert large.rounds_to_full - small.rounds_to_full <= 5
+
+    def test_coverage_monotone(self):
+        result = simulate_start_flood(256, fanout=2, seed=11)
+        series = result.coverage_series
+        assert all(b >= a for a, b in zip(series, series[1:]))
+        assert series[0] == 1
+
+    def test_start_spread_bounded(self):
+        result = simulate_start_flood(512, fanout=3, seed=12)
+        assert result.start_spread == result.rounds_to_full
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            simulate_start_flood(0)
+        with pytest.raises(ValueError):
+            simulate_start_flood(10, fanout=0)
+
+    def test_budget_exhaustion(self):
+        result = simulate_start_flood(512, fanout=1, seed=13, max_rounds=2)
+        assert result.rounds_to_full is None
+        assert result.coverage_series[-1] < 512

@@ -1,0 +1,74 @@
+"""Tests for the experiment-runner CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bootstrap_defaults(self):
+        args = build_parser().parse_args(["bootstrap"])
+        assert args.size == 1024
+        assert args.seed == 1
+        assert args.drop == 0.0
+
+    def test_figure3_exponents(self):
+        args = build_parser().parse_args(
+            ["figure3", "--exponents", "8", "9"]
+        )
+        assert args.exponents == [8, 9]
+
+
+class TestCommands:
+    def test_bootstrap_runs(self, capsys):
+        code = main(["bootstrap", "--size", "64", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "converged" in out
+        assert "missing-entry proportions" in out
+
+    def test_figure3_runs(self, capsys):
+        code = main(
+            ["figure3", "--exponents", "6", "--seed", "3",
+             "--max-cycles", "30"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 3 (top)" in out
+        assert "Figure 3 (bottom)" in out
+
+    def test_figure4_defaults_to_drop(self, capsys):
+        code = main(
+            ["figure4", "--exponents", "6", "--seed", "3",
+             "--max-cycles", "40"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 4" in out
+
+    def test_churn_runs(self, capsys):
+        code = main(
+            ["churn", "--size", "64", "--rate", "0.01", "--seed", "3",
+             "--max-cycles", "10"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "churn" in out
+
+    def test_aggregate_runs(self, capsys):
+        code = main(["aggregate", "--size", "32", "--max-cycles", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "push-pull averaging" in out
+
+    def test_broadcast_runs(self, capsys):
+        code = main(["broadcast", "--size", "128", "--fanout", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reliability" in out

@@ -1,0 +1,163 @@
+"""Tests for the binary wire codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BootstrapMessage, NodeDescriptor
+from repro.net import (
+    CodecError,
+    LAYER_BOOTSTRAP,
+    LAYER_NEWSCAST,
+    decode_bootstrap,
+    decode_message,
+    encode_bootstrap,
+    encode_message,
+)
+from .conftest import make_descriptor
+
+int_addresses = st.integers(min_value=0, max_value=2**64 - 1)
+host_addresses = st.tuples(
+    st.from_regex(r"[a-z0-9.\-]{1,40}", fullmatch=True),
+    st.integers(min_value=0, max_value=65535),
+)
+descriptors = st.builds(
+    NodeDescriptor,
+    node_id=st.integers(min_value=0, max_value=2**64 - 1),
+    address=st.one_of(int_addresses, host_addresses),
+    timestamp=st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+
+
+class TestRoundTrip:
+    def test_int_address(self):
+        sender = make_descriptor(1, address=7, timestamp=2.5)
+        data = encode_message(LAYER_BOOTSTRAP, 0, sender, ())
+        wire = decode_message(data)
+        assert wire.sender == sender
+        assert wire.layer == LAYER_BOOTSTRAP
+        assert not wire.is_reply
+        assert wire.descriptors == ()
+
+    def test_host_port_address(self):
+        sender = NodeDescriptor(
+            node_id=9, address=("127.0.0.1", 9000), timestamp=1.0
+        )
+        data = encode_message(LAYER_NEWSCAST, 1, sender, ())
+        wire = decode_message(data)
+        assert wire.sender == sender
+        assert wire.is_reply
+
+    def test_bootstrap_message_roundtrip(self):
+        message = BootstrapMessage(
+            sender=make_descriptor(1, address=0),
+            descriptors=(
+                make_descriptor(2, address=5),
+                NodeDescriptor(node_id=3, address=("h", 80), timestamp=9.0),
+            ),
+            is_reply=True,
+        )
+        decoded = decode_bootstrap(decode_message(encode_bootstrap(message)))
+        assert decoded == message
+
+    @given(sender=descriptors, payload=st.lists(descriptors, max_size=20))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, sender, payload):
+        data = encode_message(LAYER_BOOTSTRAP, 0, sender, payload)
+        wire = decode_message(data)
+        assert wire.sender == sender
+        assert list(wire.descriptors) == payload
+
+
+class TestEncodingErrors:
+    def test_bad_layer(self):
+        with pytest.raises(CodecError):
+            encode_message(9, 0, make_descriptor(1, address=0), ())
+
+    def test_bad_kind(self):
+        with pytest.raises(CodecError):
+            encode_message(LAYER_BOOTSTRAP, 5, make_descriptor(1, address=0), ())
+
+    def test_unsupported_address(self):
+        bad = NodeDescriptor(node_id=1, address=frozenset([1]))
+        with pytest.raises(CodecError):
+            encode_message(LAYER_BOOTSTRAP, 0, bad, ())
+
+    def test_bool_address_rejected(self):
+        bad = NodeDescriptor(node_id=1, address=True)
+        with pytest.raises(CodecError):
+            encode_message(LAYER_BOOTSTRAP, 0, bad, ())
+
+    def test_out_of_range_int_address(self):
+        bad = NodeDescriptor(node_id=1, address=2**64)
+        with pytest.raises(CodecError):
+            encode_message(LAYER_BOOTSTRAP, 0, bad, ())
+
+    def test_out_of_range_port(self):
+        bad = NodeDescriptor(node_id=1, address=("h", 70000))
+        with pytest.raises(CodecError):
+            encode_message(LAYER_BOOTSTRAP, 0, bad, ())
+
+    def test_host_too_long(self):
+        bad = NodeDescriptor(node_id=1, address=("h" * 300, 80))
+        with pytest.raises(CodecError):
+            encode_message(LAYER_BOOTSTRAP, 0, bad, ())
+
+    def test_decode_bootstrap_wrong_layer(self):
+        data = encode_message(
+            LAYER_NEWSCAST, 0, make_descriptor(1, address=0), ()
+        )
+        with pytest.raises(CodecError):
+            decode_bootstrap(decode_message(data))
+
+
+class TestDecodingErrors:
+    def good_frame(self):
+        return encode_message(
+            LAYER_BOOTSTRAP,
+            0,
+            make_descriptor(1, address=0),
+            (make_descriptor(2, address=3),),
+        )
+
+    def test_truncated_header(self):
+        with pytest.raises(CodecError):
+            decode_message(b"\x01\x02")
+
+    def test_bad_magic(self):
+        data = bytearray(self.good_frame())
+        data[0] = 0x00
+        with pytest.raises(CodecError):
+            decode_message(bytes(data))
+
+    def test_bad_version(self):
+        data = bytearray(self.good_frame())
+        data[2] = 99
+        with pytest.raises(CodecError):
+            decode_message(bytes(data))
+
+    def test_truncated_descriptor(self):
+        data = self.good_frame()
+        with pytest.raises(CodecError):
+            decode_message(data[:-3])
+
+    def test_trailing_garbage(self):
+        data = self.good_frame() + b"\x00"
+        with pytest.raises(CodecError):
+            decode_message(data)
+
+    def test_empty(self):
+        with pytest.raises(CodecError):
+            decode_message(b"")
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=200)
+    def test_fuzz_never_crashes(self, data):
+        """Arbitrary bytes either decode cleanly or raise CodecError --
+        no other exception may escape (hostile-datagram safety)."""
+        try:
+            decode_message(data)
+        except CodecError:
+            pass

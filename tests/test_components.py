@@ -1,0 +1,124 @@
+"""Tests for the Figure 1 'functions' components: aggregation and
+probabilistic broadcast."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.components import (
+    AggregationExperiment,
+    BroadcastConfig,
+    GossipBroadcast,
+)
+
+
+class TestAggregation:
+    def test_mean_is_invariant(self):
+        values = [float(i) for i in range(50)]
+        exp = AggregationExperiment(values, seed=1)
+        before = sum(n.estimate for n in exp.nodes.values())
+        exp.run(5)
+        after = sum(n.estimate for n in exp.nodes.values())
+        assert after == pytest.approx(before)
+
+    def test_converges_to_global_mean(self):
+        values = [100.0] + [0.0] * 63
+        exp = AggregationExperiment(values, seed=2)
+        exp.run(30, tolerance=1e-6)
+        for node in exp.nodes.values():
+            assert node.estimate == pytest.approx(
+                exp.true_mean, abs=1e-6
+            )
+
+    def test_variance_decays_exponentially(self):
+        values = [float(i % 7) for i in range(128)]
+        exp = AggregationExperiment(values, seed=3)
+        trace = exp.run(12)
+        v0 = trace[0][1]
+        v6 = trace[6][1]
+        v12 = trace[12][1]
+        # Theory: variance shrinks ~e^(-1)ish per cycle under push-pull;
+        # assert at least a factor 3 per 3 cycles, compounding.
+        assert v6 < v0 / 10
+        assert v12 < v6 / 10 or v12 < 1e-12
+
+    def test_network_size_estimation_trick(self):
+        """Count estimation: one node holds 1, the rest 0; the mean
+        converges to 1/N, so 1/mean estimates N."""
+        size = 100
+        values = [1.0] + [0.0] * (size - 1)
+        exp = AggregationExperiment(values, seed=4)
+        exp.run(40, tolerance=1e-9)
+        some_estimate = next(iter(exp.nodes.values())).estimate
+        assert 1.0 / some_estimate == pytest.approx(size, rel=1e-3)
+
+    def test_requires_two_nodes(self):
+        with pytest.raises(ValueError):
+            AggregationExperiment([1.0])
+
+    def test_trace_shape(self):
+        exp = AggregationExperiment([1.0, 2.0, 3.0], seed=5)
+        trace = exp.run(4)
+        assert [t[0] for t in trace] == [0, 1, 2, 3, 4]
+
+
+class TestBroadcastConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BroadcastConfig(fanout=0)
+        with pytest.raises(ValueError):
+            BroadcastConfig(rounds_active=0)
+        with pytest.raises(ValueError):
+            BroadcastConfig(drop_probability=1.0)
+
+
+class TestGossipBroadcast:
+    def test_high_fanout_reaches_everyone(self):
+        bcast = GossipBroadcast(
+            256, BroadcastConfig(fanout=4, rounds_active=3), seed=1
+        )
+        result = bcast.broadcast()
+        assert result.complete
+        assert result.reliability == 1.0
+        assert result.rounds <= 20
+        assert result.messages > 0
+
+    def test_coverage_monotone(self):
+        bcast = GossipBroadcast(128, seed=2)
+        result = bcast.broadcast()
+        series = result.coverage_series
+        assert all(b >= a for a, b in zip(series, series[1:]))
+        assert series[0] == 1
+
+    def test_reliability_grows_with_fanout(self):
+        low = GossipBroadcast(
+            256, BroadcastConfig(fanout=1, rounds_active=1), seed=3
+        ).reliability_over(10)
+        high = GossipBroadcast(
+            256, BroadcastConfig(fanout=4, rounds_active=2), seed=3
+        ).reliability_over(10)
+        assert high > low
+
+    def test_tolerates_message_loss(self):
+        lossy = GossipBroadcast(
+            256,
+            BroadcastConfig(fanout=5, rounds_active=3, drop_probability=0.2),
+            seed=4,
+        )
+        assert lossy.reliability_over(5) > 0.99
+
+    def test_rumor_dies_out(self):
+        result = GossipBroadcast(64, seed=5).broadcast()
+        # Termination is structural: bounded retransmissions.
+        assert result.rounds < 64
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            GossipBroadcast(1)
+        bcast = GossipBroadcast(8, seed=6)
+        with pytest.raises(ValueError):
+            bcast.broadcast(origin=8)
+        with pytest.raises(ValueError):
+            bcast.reliability_over(0)

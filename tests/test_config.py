@@ -1,0 +1,84 @@
+"""Tests for protocol configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BootstrapConfig, IDSpace, PAPER_CONFIG
+
+
+class TestDefaults:
+    def test_paper_parameters(self):
+        assert PAPER_CONFIG.id_bits == 64
+        assert PAPER_CONFIG.digit_bits == 4
+        assert PAPER_CONFIG.entries_per_slot == 3
+        assert PAPER_CONFIG.leaf_set_size == 20
+        assert PAPER_CONFIG.random_samples == 30
+        assert PAPER_CONFIG.cycle_length == 1.0
+
+    def test_space_property(self):
+        assert PAPER_CONFIG.space == IDSpace(bits=64, digit_bits=4)
+
+    def test_half_leaf_set(self):
+        assert PAPER_CONFIG.half_leaf_set == 10
+
+    def test_prefix_table_capacity(self):
+        # 16 rows x 15 usable columns x 3 entries
+        assert PAPER_CONFIG.prefix_table_capacity == 16 * 15 * 3
+
+    def test_describe_keys(self):
+        desc = PAPER_CONFIG.describe()
+        assert desc["b"] == 4
+        assert desc["k"] == 3
+        assert desc["c"] == 20
+        assert desc["cr"] == 30
+        assert desc["delta"] == 1.0
+
+
+class TestValidation:
+    def test_rejects_zero_k(self):
+        with pytest.raises(ValueError):
+            BootstrapConfig(entries_per_slot=0)
+
+    def test_rejects_odd_leaf_set(self):
+        with pytest.raises(ValueError):
+            BootstrapConfig(leaf_set_size=7)
+
+    def test_rejects_tiny_leaf_set(self):
+        with pytest.raises(ValueError):
+            BootstrapConfig(leaf_set_size=0)
+
+    def test_rejects_negative_cr(self):
+        with pytest.raises(ValueError):
+            BootstrapConfig(random_samples=-1)
+
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ValueError):
+            BootstrapConfig(cycle_length=0.0)
+
+    def test_rejects_indivisible_bits(self):
+        with pytest.raises(ValueError):
+            BootstrapConfig(id_bits=64, digit_bits=5)
+
+    def test_cr_zero_is_legal(self):
+        # The ablation study relies on cr=0 being valid.
+        assert BootstrapConfig(random_samples=0).random_samples == 0
+
+
+class TestOverrides:
+    def test_with_overrides_changes_field(self):
+        config = PAPER_CONFIG.with_overrides(leaf_set_size=10)
+        assert config.leaf_set_size == 10
+        assert config.entries_per_slot == PAPER_CONFIG.entries_per_slot
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ValueError):
+            PAPER_CONFIG.with_overrides(leaf_set_size=9)
+
+    def test_original_unchanged(self):
+        PAPER_CONFIG.with_overrides(leaf_set_size=10)
+        assert PAPER_CONFIG.leaf_set_size == 20
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_CONFIG.leaf_set_size = 4

@@ -1,0 +1,172 @@
+"""Tests for convergence measurement (the paper's metric)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    BootstrapConfig,
+    BootstrapNode,
+    ConvergenceSample,
+    ConvergenceTracker,
+    ReferenceTables,
+)
+from .conftest import make_descriptor
+
+
+class NullSampler:
+    def sample(self, count):
+        return []
+
+
+def build_population(space, ids, config):
+    nodes = []
+    for node_id in ids:
+        nodes.append(
+            BootstrapNode(
+                make_descriptor(node_id),
+                config,
+                NullSampler(),
+                random.Random(node_id),
+            )
+        )
+    return nodes
+
+
+@pytest.fixture
+def setup(space, small_config, rng):
+    ids = sorted({rng.getrandbits(64) for _ in range(24)})
+    nodes = build_population(space, ids, small_config)
+    reference = ReferenceTables(
+        space,
+        ids,
+        small_config.leaf_set_size,
+        small_config.entries_per_slot,
+    )
+    tracker = ConvergenceTracker(reference, nodes)
+    return ids, nodes, reference, tracker
+
+
+class TestSample:
+    def test_fractions(self):
+        sample = ConvergenceSample(
+            cycle=3,
+            missing_leaf=5,
+            total_leaf=100,
+            missing_prefix=1,
+            total_prefix=50,
+        )
+        assert sample.leaf_fraction == 0.05
+        assert sample.prefix_fraction == 0.02
+        assert not sample.is_perfect
+        row = sample.as_row()
+        assert row["cycle"] == 3
+        assert row["leaf_fraction"] == 0.05
+
+    def test_perfect(self):
+        sample = ConvergenceSample(
+            cycle=1, missing_leaf=0, total_leaf=10,
+            missing_prefix=0, total_prefix=10,
+        )
+        assert sample.is_perfect
+
+    def test_zero_denominators(self):
+        sample = ConvergenceSample(
+            cycle=0, missing_leaf=0, total_leaf=0,
+            missing_prefix=0, total_prefix=0,
+        )
+        assert sample.leaf_fraction == 0.0
+        assert sample.prefix_fraction == 0.0
+
+
+class TestTracker:
+    def test_everything_missing_initially(self, setup):
+        _, _, reference, tracker = setup
+        sample = tracker.measure(0.0)
+        total_leaf, total_prefix = reference.totals()
+        assert sample.missing_leaf == total_leaf
+        assert sample.missing_prefix == total_prefix
+        assert sample.leaf_fraction == 1.0
+        assert sample.prefix_fraction == 1.0
+
+    def test_perfect_after_feeding_everything(self, setup):
+        ids, nodes, _, tracker = setup
+        all_descs = [make_descriptor(i) for i in ids]
+        for node in nodes:
+            node.leaf_set.update(all_descs)
+            node.prefix_table.update(all_descs)
+        sample = tracker.measure(1.0)
+        assert sample.is_perfect
+        assert tracker.converged_at == 1.0
+
+    def test_partial_progress_counts(self, setup):
+        ids, nodes, reference, tracker = setup
+        all_descs = [make_descriptor(i) for i in ids]
+        # Only half the nodes learn everything.
+        for node in nodes[: len(nodes) // 2]:
+            node.leaf_set.update(all_descs)
+            node.prefix_table.update(all_descs)
+        sample = tracker.measure(0.5)
+        assert 0 < sample.leaf_fraction < 1
+        assert 0 < sample.prefix_fraction < 1
+
+    def test_samples_accumulate(self, setup):
+        _, _, _, tracker = setup
+        tracker.measure(0.0)
+        tracker.measure(1.0)
+        assert [s.cycle for s in tracker.samples] == [0.0, 1.0]
+        assert tracker.leaf_series()[0][0] == 0.0
+        assert tracker.prefix_series()[1][0] == 1.0
+
+    def test_converged_at_none(self, setup):
+        _, _, _, tracker = setup
+        tracker.measure(0.0)
+        assert tracker.converged_at is None
+
+    def test_cycles_to_reach_threshold(self, setup):
+        ids, nodes, _, tracker = setup
+        tracker.measure(0.0)
+        all_descs = [make_descriptor(i) for i in ids]
+        for node in nodes:
+            node.leaf_set.update(all_descs)
+            node.prefix_table.update(all_descs)
+        tracker.measure(1.0)
+        assert tracker.cycles_to_reach(0.5, 0.5) == 1.0
+        assert tracker.cycles_to_reach() == 1.0
+
+    def test_dead_entries_not_counted(self, setup, space, small_config):
+        """Entries pointing at departed nodes must not count as
+        present."""
+        ids, nodes, _, tracker = setup
+        all_descs = [make_descriptor(i) for i in ids]
+        for node in nodes:
+            node.leaf_set.update(all_descs)
+            node.prefix_table.update(all_descs)
+        # Kill one node: rebuild reference over the survivors but leave
+        # the stale tables in place.
+        dead = ids[0]
+        survivors = [i for i in ids if i != dead]
+        new_reference = ReferenceTables(
+            space,
+            survivors,
+            small_config.leaf_set_size,
+            small_config.entries_per_slot,
+        )
+        live_nodes = [n for n in nodes if n.node_id != dead]
+        tracker.rebind(new_reference, live_nodes)
+        sample = tracker.measure(2.0)
+        # The survivors' tables still reference the dead node, so some
+        # positions previously filled by it are now deficits... unless
+        # the dead node was nobody's perfect entry under the new
+        # reference. Either way the measurement must not crash and the
+        # dead node must not satisfy any requirement.
+        assert sample.missing_leaf >= 0
+        assert sample.missing_prefix >= 0
+
+    def test_rebind_keeps_history(self, setup, space, small_config):
+        ids, nodes, reference, tracker = setup
+        tracker.measure(0.0)
+        tracker.rebind(reference, nodes)
+        assert len(tracker.samples) == 1

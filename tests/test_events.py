@@ -1,0 +1,128 @@
+"""Tests for the event-driven engine and its agreement with the
+cycle-driven engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BootstrapConfig
+from repro.simulator import (
+    BootstrapSimulation,
+    ConstantLatency,
+    EventDrivenBootstrap,
+    EventScheduler,
+    NetworkModel,
+)
+
+FAST = BootstrapConfig(leaf_set_size=8, entries_per_slot=2, random_samples=10)
+
+
+class TestEventScheduler:
+    def test_fifo_for_ties(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.at(1.0, lambda: fired.append("a"))
+        scheduler.at(1.0, lambda: fired.append("b"))
+        scheduler.run_until(2.0)
+        assert fired == ["a", "b"]
+
+    def test_time_ordering(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.at(2.0, lambda: fired.append("late"))
+        scheduler.at(1.0, lambda: fired.append("early"))
+        scheduler.run_until(3.0)
+        assert fired == ["early", "late"]
+
+    def test_run_until_is_exclusive(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.at(1.0, lambda: fired.append("x"))
+        scheduler.run_until(1.0)
+        assert fired == []
+        assert scheduler.now == 1.0
+        scheduler.run_until(1.1)
+        assert fired == ["x"]
+
+    def test_after_relative(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.at(1.0, lambda: scheduler.after(0.5, lambda: fired.append("n")))
+        scheduler.run_until(2.0)
+        assert fired == ["n"]
+
+    def test_rejects_past(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(5.0)
+        with pytest.raises(ValueError):
+            scheduler.at(4.0, lambda: None)
+        with pytest.raises(ValueError):
+            scheduler.after(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run_fire_in_order(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def first():
+            fired.append(1)
+            scheduler.after(0.1, lambda: fired.append(2))
+
+        scheduler.at(0.0, first)
+        scheduler.at(0.5, lambda: fired.append(3))
+        scheduler.run_until(1.0)
+        assert fired == [1, 2, 3]
+
+    def test_run_all(self):
+        scheduler = EventScheduler()
+        fired = []
+        for t in (0.3, 0.1, 0.2):
+            scheduler.at(t, lambda t=t: fired.append(t))
+        assert scheduler.run_all() == 3
+        assert fired == [0.1, 0.2, 0.3]
+
+    def test_run_all_bounded(self):
+        scheduler = EventScheduler()
+        for t in (0.1, 0.2, 0.3):
+            scheduler.at(t, lambda: None)
+        assert scheduler.run_all(max_events=2) == 2
+        assert scheduler.pending == 1
+
+
+class TestEventDrivenBootstrap:
+    def test_converges(self):
+        sim = EventDrivenBootstrap(32, config=FAST, seed=4)
+        result = sim.run(30)
+        assert result.converged
+        assert result.final_sample.is_perfect
+
+    def test_requires_size(self):
+        with pytest.raises(ValueError):
+            EventDrivenBootstrap(config=FAST)
+
+    def test_latency_tolerated(self):
+        network = NetworkModel(latency=ConstantLatency(0.2))
+        sim = EventDrivenBootstrap(32, config=FAST, seed=4, network=network)
+        result = sim.run(40)
+        assert result.converged
+
+    def test_loss_tolerated(self):
+        network = NetworkModel(drop_probability=0.2)
+        sim = EventDrivenBootstrap(32, config=FAST, seed=4, network=network)
+        result = sim.run(60)
+        assert result.converged
+
+    def test_deterministic(self):
+        r1 = EventDrivenBootstrap(24, config=FAST, seed=7).run(30)
+        r2 = EventDrivenBootstrap(24, config=FAST, seed=7).run(30)
+        assert r1.converged_at == r2.converged_at
+        assert [s.missing_leaf for s in r1.samples] == [
+            s.missing_leaf for s in r2.samples
+        ]
+
+    def test_agrees_with_cycle_engine(self):
+        """The two engines must tell the same story: convergence within
+        a couple of cycles of each other on the same workload size."""
+        event = EventDrivenBootstrap(48, config=FAST, seed=11).run(40)
+        cycle = BootstrapSimulation(48, config=FAST, seed=11).run(40)
+        assert event.converged and cycle.converged
+        assert abs(event.converged_at - cycle.converged_at) <= 3

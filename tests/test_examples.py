@@ -1,0 +1,54 @@
+"""Smoke tests for the runnable examples.
+
+The fast examples are executed end-to-end as subprocesses (with small
+arguments); the long-running scenario examples are compile-checked.
+Each example self-verifies (exits non-zero on failure), so exit code 0
+means the scenario actually worked.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 240.0):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestCompile:
+    @pytest.mark.parametrize(
+        "name",
+        sorted(p.name for p in EXAMPLES.glob("*.py")),
+    )
+    def test_compiles(self, name):
+        py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+
+class TestRun:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "96")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "routes perfectly" in result.stdout
+
+    def test_figure3_live(self):
+        result = run_example("figure3_live.py", "6")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "Figure 3 (top)" in result.stdout
+        assert "perfect at cycle" in result.stdout
+
+    def test_asyncio_cluster(self):
+        result = run_example("asyncio_cluster.py", "16")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "perfect tables" in result.stdout

@@ -1,0 +1,139 @@
+"""Tests for failure/churn/join schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BootstrapSimulation, CatastrophicFailure, Churn, MassiveJoin
+from repro.core import BootstrapConfig
+
+FAST = BootstrapConfig(leaf_set_size=8, entries_per_slot=2, random_samples=10)
+
+
+def make_sim(size=24, seed=3):
+    return BootstrapSimulation(size, config=FAST, seed=seed)
+
+
+class TestCatastrophicFailure:
+    def test_kills_requested_fraction(self):
+        sim = make_sim(40)
+        schedule = CatastrophicFailure(at_cycle=2, fraction=0.5)
+        schedule.apply(sim, 0)
+        assert sim.population == 40
+        schedule.apply(sim, 2)
+        assert sim.population == 20
+        assert len(schedule.killed) == 20
+
+    def test_fires_once(self):
+        sim = make_sim(40)
+        schedule = CatastrophicFailure(at_cycle=0, fraction=0.25)
+        schedule.apply(sim, 0)
+        population = sim.population
+        schedule.apply(sim, 0)
+        assert sim.population == population
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            CatastrophicFailure(at_cycle=-1, fraction=0.5)
+        with pytest.raises(ValueError):
+            CatastrophicFailure(at_cycle=0, fraction=1.0)
+
+    def test_in_run_schedule(self):
+        sim = make_sim(32)
+        result = sim.run(
+            8,
+            stop_when_perfect=False,
+            schedules=[CatastrophicFailure(at_cycle=3, fraction=0.5)],
+        )
+        assert result.population == 16
+
+    def test_deterministic_victims(self):
+        sim1 = make_sim(40, seed=9)
+        sim2 = make_sim(40, seed=9)
+        s1 = CatastrophicFailure(at_cycle=0, fraction=0.5)
+        s2 = CatastrophicFailure(at_cycle=0, fraction=0.5)
+        s1.apply(sim1, 0)
+        s2.apply(sim2, 0)
+        assert set(s1.killed) == set(s2.killed)
+
+
+class TestChurn:
+    def test_population_roughly_stationary(self):
+        sim = make_sim(40)
+        churn = Churn(rate=0.1)
+        for cycle in range(10):
+            churn.apply(sim, cycle)
+        assert sim.population == 40  # same-count replacement
+        assert churn.departures == churn.arrivals > 0
+
+    def test_window(self):
+        sim = make_sim(40)
+        churn = Churn(rate=0.5, start_cycle=5, end_cycle=6)
+        churn.apply(sim, 4)
+        assert churn.departures == 0
+        churn.apply(sim, 5)
+        assert churn.departures > 0
+        before = churn.departures
+        churn.apply(sim, 6)
+        assert churn.departures == before
+
+    def test_zero_rate_noop(self):
+        sim = make_sim(24)
+        churn = Churn(rate=0.0)
+        churn.apply(sim, 0)
+        assert churn.departures == 0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            Churn(rate=-0.1)
+
+    def test_fractional_rate_expectation(self):
+        """A 5% rate on 40 nodes = 2 expected replacements/cycle."""
+        sim = make_sim(40)
+        churn = Churn(rate=0.05)
+        for cycle in range(30):
+            churn.apply(sim, cycle)
+        assert 30 <= churn.departures <= 90  # ~60 expected, wide slack
+
+    def test_membership_stays_consistent(self):
+        sim = make_sim(24)
+        churn = Churn(rate=0.2)
+        for cycle in range(5):
+            churn.apply(sim, cycle)
+            sim.run_cycle()
+        assert set(sim.live_ids) == set(sim.registry.live_ids())
+        assert sim.engine.population == sim.population
+
+
+class TestMassiveJoin:
+    def test_adds_count(self):
+        sim = make_sim(24)
+        join = MassiveJoin(at_cycle=1, count=10)
+        join.apply(sim, 0)
+        assert sim.population == 24
+        join.apply(sim, 1)
+        assert sim.population == 34
+        assert len(join.joined) == 10
+
+    def test_fires_once(self):
+        sim = make_sim(24)
+        join = MassiveJoin(at_cycle=0, count=5)
+        join.apply(sim, 0)
+        join.apply(sim, 0)
+        assert sim.population == 29
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            MassiveJoin(at_cycle=-1, count=5)
+        with pytest.raises(ValueError):
+            MassiveJoin(at_cycle=0, count=0)
+
+    def test_joiners_converge(self):
+        """After a 50% massive join, the enlarged network reaches
+        perfect tables (joins are exactly what the protocol handles)."""
+        sim = make_sim(24)
+        result = sim.run(
+            40, schedules=[MassiveJoin(at_cycle=2, count=12)]
+        )
+        assert result.population == 36
+        assert result.converged

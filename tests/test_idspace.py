@@ -1,0 +1,264 @@
+"""Unit and property tests for the identifier-space arithmetic."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IDSpace
+
+ids64 = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestConstruction:
+    def test_defaults_match_paper(self):
+        space = IDSpace()
+        assert space.bits == 64
+        assert space.digit_bits == 4
+        assert space.num_digits == 16
+        assert space.digit_base == 16
+
+    def test_size_and_half(self):
+        space = IDSpace(bits=8, digit_bits=2)
+        assert space.size == 256
+        assert space.half == 128
+        assert space.num_digits == 4
+        assert space.digit_base == 4
+
+    @pytest.mark.parametrize("bits,digit_bits", [(0, 4), (-8, 4), (64, 0), (64, -1)])
+    def test_rejects_nonpositive(self, bits, digit_bits):
+        with pytest.raises(ValueError):
+            IDSpace(bits=bits, digit_bits=digit_bits)
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            IDSpace(bits=64, digit_bits=5)
+
+    def test_is_hashable_and_frozen(self):
+        a = IDSpace()
+        b = IDSpace()
+        assert a == b
+        assert hash(a) == hash(b)
+        with pytest.raises(Exception):
+            a.bits = 32
+
+
+class TestValidation:
+    def test_contains_bounds(self, space):
+        assert space.contains(0)
+        assert space.contains(2**64 - 1)
+        assert not space.contains(-1)
+        assert not space.contains(2**64)
+
+    def test_validate_passthrough(self, space):
+        assert space.validate(42) == 42
+
+    def test_validate_raises(self, space):
+        with pytest.raises(ValueError):
+            space.validate(2**64)
+
+    def test_random_id_in_range(self, space, rng):
+        for _ in range(100):
+            assert space.contains(space.random_id(rng))
+
+    def test_random_unique_ids_distinct(self, space, rng):
+        ids = space.random_unique_ids(1000, rng)
+        assert len(set(ids)) == 1000
+
+    def test_random_unique_ids_exhaustive_small_space(self, rng):
+        space = IDSpace(bits=4, digit_bits=2)
+        ids = space.random_unique_ids(16, rng)
+        assert sorted(ids) == list(range(16))
+
+    def test_random_unique_ids_rejects_overdraw(self, rng):
+        space = IDSpace(bits=4, digit_bits=2)
+        with pytest.raises(ValueError):
+            space.random_unique_ids(17, rng)
+
+    def test_random_unique_ids_rejects_negative(self, space, rng):
+        with pytest.raises(ValueError):
+            space.random_unique_ids(-1, rng)
+
+
+class TestRingArithmetic:
+    def test_clockwise_distance_simple(self, space):
+        assert space.clockwise_distance(10, 15) == 5
+
+    def test_clockwise_distance_wraps(self, space):
+        assert space.clockwise_distance(2**64 - 1, 0) == 1
+        assert space.clockwise_distance(5, 5) == 0
+
+    def test_ring_distance_symmetric_values(self, space):
+        assert space.ring_distance(0, 10) == 10
+        assert space.ring_distance(10, 0) == 10
+        assert space.ring_distance(2**64 - 1, 1) == 2
+
+    def test_antipode_distance(self, space):
+        assert space.ring_distance(0, space.half) == space.half
+
+    def test_is_successor_direction(self, space):
+        assert space.is_successor(10, 11)
+        assert not space.is_successor(10, 9)
+        assert space.is_successor(2**64 - 1, 0)
+
+    def test_antipode_counts_as_successor(self, space):
+        assert space.is_successor(0, space.half)
+
+    def test_between_clockwise(self, space):
+        assert space.between_clockwise(10, 15, 20)
+        assert space.between_clockwise(10, 20, 20)
+        assert not space.between_clockwise(10, 10, 20)
+        assert not space.between_clockwise(10, 25, 20)
+        # wraparound
+        assert space.between_clockwise(2**64 - 5, 2, 10)
+
+    @given(a=ids64, b=ids64)
+    def test_ring_distance_symmetry(self, a, b):
+        space = IDSpace()
+        assert space.ring_distance(a, b) == space.ring_distance(b, a)
+
+    @given(a=ids64, b=ids64)
+    def test_ring_distance_bounded_by_half(self, a, b):
+        space = IDSpace()
+        assert 0 <= space.ring_distance(a, b) <= space.half
+
+    @given(a=ids64, b=ids64)
+    def test_ring_distance_zero_iff_equal(self, a, b):
+        space = IDSpace()
+        assert (space.ring_distance(a, b) == 0) == (a == b)
+
+    @given(a=ids64, b=ids64, c=ids64)
+    def test_ring_distance_triangle(self, a, b, c):
+        space = IDSpace()
+        assert space.ring_distance(a, c) <= (
+            space.ring_distance(a, b) + space.ring_distance(b, c)
+        )
+
+    @given(a=ids64, b=ids64)
+    def test_direction_partition(self, a, b):
+        """Every distinct pair is successor in exactly one direction,
+        except exact antipodes (successor both ways by the tie rule)."""
+        space = IDSpace()
+        if a == b:
+            return
+        forward = space.clockwise_distance(a, b)
+        if forward == space.half:
+            assert space.is_successor(a, b) and space.is_successor(b, a)
+        else:
+            assert space.is_successor(a, b) != space.is_successor(b, a)
+
+
+class TestDigits:
+    def test_digit_extraction(self, space):
+        node_id = 0x123456789ABCDEF0
+        digits = space.digits(node_id)
+        assert digits == [
+            0x1, 0x2, 0x3, 0x4, 0x5, 0x6, 0x7, 0x8,
+            0x9, 0xA, 0xB, 0xC, 0xD, 0xE, 0xF, 0x0,
+        ]
+        for index, digit in enumerate(digits):
+            assert space.digit(node_id, index) == digit
+
+    def test_digit_index_bounds(self, space):
+        with pytest.raises(IndexError):
+            space.digit(0, 16)
+        with pytest.raises(IndexError):
+            space.digit(0, -1)
+
+    def test_common_prefix_identical(self, space):
+        assert space.common_prefix_digits(7, 7) == 16
+
+    def test_common_prefix_counts_digits(self, space):
+        a = 0x1234000000000000
+        b = 0x1235000000000000
+        assert space.common_prefix_digits(a, b) == 3
+
+    def test_common_prefix_differs_within_digit(self, space):
+        # Bits differ inside the first digit -> no common digits.
+        assert space.common_prefix_digits(0, 1 << 63) == 0
+
+    @given(a=ids64, b=ids64)
+    def test_common_prefix_matches_digitwise_scan(self, a, b):
+        space = IDSpace()
+        expected = 0
+        for da, db in zip(space.digits(a), space.digits(b)):
+            if da != db:
+                break
+            expected += 1
+        assert space.common_prefix_digits(a, b) == expected
+
+    @given(a=ids64, b=ids64)
+    def test_prefix_slot_consistency(self, a, b):
+        """The slot row is the common prefix length and the column is
+        the other identifier's digit there (never the own digit)."""
+        space = IDSpace()
+        if a == b:
+            return
+        row, column = space.prefix_slot(a, b)
+        assert row == space.common_prefix_digits(a, b)
+        assert column == space.digit(b, row)
+        assert column != space.digit(a, row)
+
+    def test_prefix_slot_rejects_self(self, space):
+        with pytest.raises(ValueError):
+            space.prefix_slot(5, 5)
+
+    def test_shares_prefix(self, space):
+        a = 0x1234000000000000
+        b = 0x1235000000000000
+        assert space.shares_prefix(a, b)
+        assert space.shares_prefix(a, b, min_digits=3)
+        assert not space.shares_prefix(a, b, min_digits=4)
+
+    def test_id_with_prefix(self, space, rng):
+        node_id = space.id_with_prefix([0x1, 0x2, 0x3], rng)
+        assert space.digit(node_id, 0) == 0x1
+        assert space.digit(node_id, 1) == 0x2
+        assert space.digit(node_id, 2) == 0x3
+
+    def test_id_with_full_prefix_is_exact(self, rng):
+        space = IDSpace(bits=8, digit_bits=4)
+        node_id = space.id_with_prefix([0xA, 0xB], rng)
+        assert node_id == 0xAB
+
+    def test_id_with_prefix_rejects_bad_digit(self, space, rng):
+        with pytest.raises(ValueError):
+            space.id_with_prefix([16], rng)
+
+    def test_id_with_prefix_rejects_too_long(self, rng):
+        space = IDSpace(bits=8, digit_bits=4)
+        with pytest.raises(ValueError):
+            space.id_with_prefix([1, 2, 3], rng)
+
+    def test_format_id(self, space):
+        assert space.format_id(0) == "0" * 16
+        assert space.format_id(0x1234000000000000).startswith("1234")
+
+    def test_xor_distance(self, space):
+        assert space.xor_distance(0b1100, 0b1010) == 0b0110
+
+
+class TestSorting:
+    def test_sort_by_ring_distance(self, space):
+        origin = 100
+        ids = [90, 105, 100, 2**64 - 1, 200]
+        ordered = space.sort_by_ring_distance(origin, ids)
+        assert ordered[0] == 100
+        assert ordered[1] == 105  # distance 5
+        assert ordered[2] == 90  # distance 10
+        assert ordered[3] == 200  # distance 100
+        assert ordered[4] == 2**64 - 1
+
+    def test_sort_deterministic_on_ties(self, space):
+        origin = 100
+        # 95 and 105 are both at distance 5; smaller id first.
+        assert space.sort_by_ring_distance(origin, [105, 95]) == [95, 105]
+
+    def test_iter_ring_wraps(self, space):
+        sorted_ids = [10, 20, 30]
+        assert list(space.iter_ring(25, sorted_ids)) == [30, 10, 20]
+        assert list(space.iter_ring(5, sorted_ids)) == [10, 20, 30]
+        assert list(space.iter_ring(35, sorted_ids)) == [10, 20, 30]

@@ -1,0 +1,103 @@
+"""End-to-end integration tests: the paper's scenarios, whole-stack.
+
+Each test walks one of the Section 1 scenarios across module
+boundaries: bootstrap-from-scratch into live routing, pool merging,
+time-slice multiplexing, and cross-engine agreement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BootstrapSimulation, MassiveJoin, PAPER_LOSSY
+from repro.core import BootstrapConfig
+from repro.overlays import KademliaNetwork, PastryNetwork
+from repro.service import BootstrappingService
+from repro.simulator import RandomSource
+
+FAST = BootstrapConfig(leaf_set_size=8, entries_per_slot=2, random_samples=10)
+
+
+class TestScratchToRouting:
+    """Scenario: bootstrap a pool from scratch, then route over it."""
+
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return BootstrappingService(config=FAST).bootstrap(128, seed=51)
+
+    def test_full_pipeline(self, outcome):
+        assert outcome.converged
+        rng = RandomSource(52).derive("keys")
+        space = FAST.space
+        pastry = outcome.pastry()
+        kademlia = outcome.kademlia()
+        ids = pastry.ids
+        keys = [space.random_id(rng) for _ in range(200)]
+        starts = [rng.choice(ids) for _ in range(200)]
+        assert pastry.lookup_many(keys, starts).success_rate == 1.0
+        assert kademlia.lookup_many(keys, starts).success_rate == 1.0
+
+    def test_both_overlays_agree_on_population(self, outcome):
+        assert set(outcome.pastry().ids) == set(outcome.kademlia().ids)
+
+
+class TestMergeScenario:
+    """Scenario: two organisations merge their pools; one bootstrap
+    run produces a single overlay spanning both."""
+
+    def test_merge_converges_over_union(self):
+        sim = BootstrapSimulation(48, config=FAST, seed=53)
+        first = sim.run(40)
+        assert first.converged
+        # Second pool arrives; everyone restarts the bootstrap (the
+        # paper's on-demand philosophy).
+        second_pool = [2**32 + i * 2**33 for i in range(48)]
+        sim.absorb_pool(second_pool)
+        for node in sim.nodes.values():
+            node.restart()
+        sim.tracker.samples.clear()
+        merged = sim.run(40)
+        assert merged.converged
+        assert merged.population == 96
+        overlay = PastryNetwork.from_bootstrap_nodes(sim.nodes.values())
+        assert set(overlay.ids) >= set(second_pool)
+
+    def test_massive_join_mid_flight(self):
+        """Joins arriving while the bootstrap is still running are
+        absorbed without a restart."""
+        sim = BootstrapSimulation(48, config=FAST, seed=54)
+        result = sim.run(40, schedules=[MassiveJoin(at_cycle=2, count=24)])
+        assert result.converged
+        assert result.population == 72
+
+
+class TestTimeSliceScenario:
+    """Scenario: the same pool hosts one overlay per application
+    time-slice; each slice re-bootstraps from scratch."""
+
+    def test_three_slices(self):
+        service = BootstrappingService(config=FAST)
+        outcome = service.bootstrap(48, seed=55)
+        cycles = [outcome.cycles]
+        for _slice in range(2):
+            outcome = service.rebootstrap(outcome)
+            cycles.append(outcome.cycles)
+        assert all(c is not None for c in cycles)
+
+
+class TestLossyEndToEnd:
+    def test_bootstrap_under_loss_routes_perfectly(self):
+        sim = BootstrapSimulation(
+            96, config=FAST, seed=56, network=PAPER_LOSSY
+        )
+        result = sim.run(60)
+        assert result.converged
+        overlay = KademliaNetwork.from_bootstrap_nodes(sim.nodes.values())
+        rng = RandomSource(57).derive("keys")
+        space = FAST.space
+        ids = overlay.ids
+        stats = overlay.lookup_many(
+            (space.random_id(rng) for _ in range(150)),
+            (rng.choice(ids) for _ in range(150)),
+        )
+        assert stats.success_rate == 1.0

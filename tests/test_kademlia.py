@@ -1,0 +1,128 @@
+"""Tests for the Kademlia substrate over bootstrap output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BootstrapSimulation
+from repro.core import BootstrapConfig, IDSpace
+from repro.overlays import KademliaNetwork, KademliaRouter
+from repro.simulator import RandomSource
+
+FAST = BootstrapConfig(leaf_set_size=8, entries_per_slot=2, random_samples=10)
+
+
+@pytest.fixture(scope="module")
+def converged_sim():
+    sim = BootstrapSimulation(96, config=FAST, seed=31)
+    result = sim.run(40)
+    assert result.converged
+    return sim
+
+
+@pytest.fixture(scope="module")
+def kademlia(converged_sim):
+    return KademliaNetwork.from_bootstrap_nodes(converged_sim.nodes.values())
+
+
+class TestRouter:
+    def test_bucket_index(self, space):
+        router = KademliaRouter(space, node_id=0)
+        assert router.bucket_index(1) == 0
+        assert router.bucket_index(2) == 1
+        assert router.bucket_index(3) == 1
+        assert router.bucket_index(1 << 63) == 63
+
+    def test_bucket_index_rejects_self(self, space):
+        router = KademliaRouter(space, node_id=5)
+        with pytest.raises(ValueError):
+            router.bucket_index(5)
+
+    def test_insert_respects_capacity(self, space):
+        router = KademliaRouter(space, node_id=0, bucket_size=2)
+        # ids 4..7 all land in bucket 2.
+        assert router.insert(4)
+        assert router.insert(5)
+        assert not router.insert(6)
+        assert router.bucket_sizes()[2] == 2
+
+    def test_insert_rejects_self_and_duplicates(self, space):
+        router = KademliaRouter(space, node_id=1)
+        assert not router.insert(1)
+        assert router.insert(2)
+        assert not router.insert(2)
+
+    def test_validates_bucket_size(self, space):
+        with pytest.raises(ValueError):
+            KademliaRouter(space, 0, bucket_size=0)
+
+    def test_find_closest_orders_by_xor(self, space):
+        router = KademliaRouter(space, node_id=0)
+        for contact in (0b100, 0b010, 0b001, 0b111):
+            router.insert(contact)
+        assert router.find_closest(0b011, 2) == [0b010, 0b001]
+
+    def test_next_hop_strictly_improves(self, space):
+        router = KademliaRouter(space, node_id=0b1000)
+        router.insert(0b0001)
+        # target 0: own distance 8; contact distance 1 -> forward.
+        assert router.next_hop(0b0000) == 0b0001
+        # target where own is closest -> deliver.
+        assert router.next_hop(0b1001) is None
+
+    def test_next_hop_self(self, space):
+        router = KademliaRouter(space, node_id=7)
+        assert router.next_hop(7) is None
+
+    def test_from_bootstrap_includes_tables(self, converged_sim):
+        node = next(iter(converged_sim.nodes.values()))
+        router = KademliaRouter.from_bootstrap(node)
+        contacts = set(router.contacts())
+        assert contacts >= node.leaf_set.member_ids()
+
+
+class TestNetwork:
+    def test_greedy_lookups_succeed(self, kademlia, converged_sim):
+        rng = RandomSource(88).derive("keys")
+        space = FAST.space
+        ids = list(converged_sim.nodes)
+        keys = [space.random_id(rng) for _ in range(300)]
+        starts = [rng.choice(ids) for _ in range(300)]
+        stats = kademlia.lookup_many(keys, starts)
+        assert stats.success_rate == 1.0
+        assert stats.mean_hops <= 4.0
+
+    def test_responsibility_is_xor_closest(self, kademlia):
+        space = FAST.space
+        rng = RandomSource(4).derive("resp")
+        ids = kademlia.ids
+        for _ in range(50):
+            key = space.random_id(rng)
+            assert kademlia.responsible_for(key) == min(
+                ids, key=lambda n: (n ^ key, n)
+            )
+
+    def test_iterative_find_locates_target(self, kademlia):
+        rng = RandomSource(6).derive("it")
+        space = FAST.space
+        ids = kademlia.ids
+        hits = 0
+        for _ in range(40):
+            key = space.random_id(rng)
+            start = rng.choice(ids)
+            result = kademlia.iterative_find(start, key, alpha=3, k=8)
+            hits += result.found_target
+            assert result.messages > 0
+            assert len(result.closest) <= 8
+            # Shortlist sorted by XOR distance.
+            distances = [c ^ key for c in result.closest]
+            assert distances == sorted(distances)
+        assert hits == 40
+
+    def test_iterative_find_unknown_start(self, kademlia):
+        with pytest.raises(KeyError):
+            kademlia.iterative_find(12345, 999)
+
+    def test_empty_rejected(self, space):
+        with pytest.raises(ValueError):
+            KademliaNetwork(space, {})

@@ -1,0 +1,205 @@
+"""Tests for the leaf set (UPDATELEAFSET semantics)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IDSpace, LeafSet, NodeDescriptor, select_balanced_ids
+from .conftest import make_descriptor
+
+ids64 = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+def leafset_with(space, own_id, ids, size=8):
+    ls = LeafSet(space, own_id, size)
+    ls.update([make_descriptor(i) for i in ids])
+    return ls
+
+
+class TestConstruction:
+    def test_validates_size(self, space):
+        with pytest.raises(ValueError):
+            LeafSet(space, 0, 7)
+        with pytest.raises(ValueError):
+            LeafSet(space, 0, 0)
+
+    def test_validates_own_id(self, space):
+        with pytest.raises(ValueError):
+            LeafSet(space, 2**64, 8)
+
+    def test_empty_initially(self, space):
+        ls = LeafSet(space, 100, 8)
+        assert len(ls) == 0
+        assert ls.member_ids() == set()
+        assert ls.capacity == 8
+        assert ls.own_id == 100
+
+
+class TestUpdate:
+    def test_simple_insert(self, space):
+        ls = leafset_with(space, 100, [90, 110])
+        assert ls.member_ids() == {90, 110}
+
+    def test_never_stores_self(self, space):
+        ls = leafset_with(space, 100, [100, 90])
+        assert 100 not in ls
+        assert ls.member_ids() == {90}
+
+    def test_update_returns_change_flag(self, space):
+        ls = LeafSet(space, 100, 8)
+        assert ls.update([make_descriptor(90)]) is True
+        assert ls.update([make_descriptor(90)]) is False
+
+    def test_fresher_descriptor_replaces_address(self, space):
+        ls = LeafSet(space, 100, 8)
+        ls.update([NodeDescriptor(node_id=90, address="old", timestamp=1)])
+        changed = ls.update(
+            [NodeDescriptor(node_id=90, address="new", timestamp=2)]
+        )
+        assert changed is False  # membership unchanged
+        assert ls.get(90).address == "new"
+
+    def test_stale_descriptor_ignored(self, space):
+        ls = LeafSet(space, 100, 8)
+        ls.update([NodeDescriptor(node_id=90, address="new", timestamp=2)])
+        ls.update([NodeDescriptor(node_id=90, address="old", timestamp=1)])
+        assert ls.get(90).address == "new"
+
+    def test_keeps_balanced_halves(self, space):
+        own = 1000
+        successors = [1001, 1002, 1003, 1004, 1005, 1006]
+        predecessors = [999, 998, 997, 996, 995, 994]
+        ls = leafset_with(space, own, successors + predecessors, size=8)
+        members = ls.member_ids()
+        assert members == {1001, 1002, 1003, 1004, 999, 998, 997, 996}
+
+    def test_backfills_when_one_side_short(self, space):
+        own = 1000
+        # Only successors available.
+        ls = leafset_with(space, own, [1001, 1002, 1003, 1004, 1005, 1006],
+                          size=8)
+        assert ls.member_ids() == {1001, 1002, 1003, 1004, 1005, 1006}
+
+    def test_backfill_released_when_other_side_fills(self, space):
+        own = 1000
+        ls = leafset_with(space, own, [1010, 1020, 1030, 1040, 1050], size=8)
+        # 4 closest successors kept (c/2 = 4), 1050 kept via backfill.
+        assert 1050 in ls.member_ids()
+        # One predecessor appears: still short on that side, so the
+        # backfilled successor survives (the paper fills spare capacity
+        # "with the closest elements in the other direction").
+        ls.update([make_descriptor(990)])
+        assert 990 in ls.member_ids()
+        assert 1050 in ls.member_ids()
+        # Four predecessors: quota restored, backfill released.
+        ls.update([make_descriptor(i) for i in (991, 992, 993)])
+        assert ls.member_ids() == {
+            1010, 1020, 1030, 1040, 990, 991, 992, 993,
+        }
+
+    def test_capacity_never_exceeded(self, space, rng):
+        ls = LeafSet(space, 500, 8)
+        for _ in range(50):
+            ls.update([make_descriptor(rng.getrandbits(64))])
+            assert len(ls) <= 8
+
+
+class TestViews:
+    def test_sorted_by_distance(self, space):
+        ls = leafset_with(space, 100, [110, 90, 95, 120])
+        ordered = [d.node_id for d in ls.sorted_by_distance()]
+        assert ordered == [95, 90, 110, 120]
+
+    def test_sorted_tie_break_smaller_id(self, space):
+        ls = leafset_with(space, 100, [95, 105])
+        ordered = [d.node_id for d in ls.sorted_by_distance()]
+        assert ordered == [95, 105]
+
+    def test_closest_half_rounds_up(self, space):
+        ls = leafset_with(space, 100, [90])
+        assert [d.node_id for d in ls.closest_half()] == [90]
+        ls = leafset_with(space, 100, [90, 110, 120])
+        half = [d.node_id for d in ls.closest_half()]
+        assert len(half) == 2
+        assert half[0] == 90
+
+    def test_closest_half_empty(self, space):
+        assert LeafSet(space, 100, 8).closest_half() == []
+
+    def test_successors_and_predecessors(self, space):
+        ls = leafset_with(space, 100, [110, 90, 95, 120])
+        assert [d.node_id for d in ls.successors()] == [110, 120]
+        assert [d.node_id for d in ls.predecessors()] == [95, 90]
+
+    def test_covers(self, space):
+        ls = leafset_with(space, 100, [90, 95, 110, 120])
+        assert ls.covers(100)
+        assert ls.covers(115)
+        assert ls.covers(92)
+        assert not ls.covers(200)
+        assert not ls.covers(50)
+
+    def test_covers_empty(self, space):
+        assert not LeafSet(space, 100, 8).covers(100)
+
+    def test_wraparound_membership(self, space):
+        top = 2**64 - 5
+        ls = leafset_with(space, 2, [top, 2**64 - 1, 10, 20])
+        assert [d.node_id for d in ls.predecessors()] == [2**64 - 1, top]
+        assert [d.node_id for d in ls.successors()] == [10, 20]
+
+
+class TestSelectBalancedIds:
+    def test_matches_leafset_selection(self, space, rng):
+        """The shared selector and the LeafSet agree on every input --
+        this equivalence is what makes the reference oracle exact."""
+        for _ in range(25):
+            own = rng.getrandbits(64)
+            ids = [rng.getrandbits(64) for _ in range(30)]
+            ls = LeafSet(space, own, 8)
+            ls.update([make_descriptor(i) for i in ids])
+            expected = select_balanced_ids(space, own, set(ids), 4)
+            assert ls.member_ids() == expected
+
+    def test_excludes_own(self, space):
+        chosen = select_balanced_ids(space, 5, {5, 6, 7}, 2)
+        assert 5 not in chosen
+
+    @given(
+        own=ids64,
+        ids=st.sets(ids64, max_size=40),
+        half=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=200)
+    def test_invariants(self, own, ids, half):
+        space = IDSpace()
+        chosen = select_balanced_ids(space, own, ids, half)
+        candidates = ids - {own}
+        # Size: full when enough candidates, everything otherwise.
+        assert len(chosen) == min(2 * half, len(candidates))
+        assert chosen <= candidates
+        # Directional quotas: at most `half` per side unless backfilled,
+        # and backfill only happens when the other side is exhausted.
+        succ = {i for i in chosen if space.is_successor(own, i)}
+        pred = chosen - succ
+        all_succ = {i for i in candidates if space.is_successor(own, i)}
+        all_pred = candidates - all_succ
+        if len(succ) > half:
+            assert pred == all_pred  # predecessors exhausted
+        if len(pred) > half:
+            assert succ == all_succ  # successors exhausted
+        # Closest-first: any chosen successor is no farther than any
+        # unchosen successor.
+        unchosen_succ = all_succ - succ
+        if succ and unchosen_succ:
+            max_chosen = max(
+                space.clockwise_distance(own, i) for i in succ
+            )
+            min_unchosen = min(
+                space.clockwise_distance(own, i) for i in unchosen_succ
+            )
+            assert max_chosen <= min_unchosen

@@ -1,0 +1,233 @@
+"""Tests for the post-bootstrap maintenance layer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import BootstrapSimulation
+from repro.core import BootstrapConfig, BootstrapNode, NodeDescriptor
+from repro.overlays import (
+    MaintenanceActor,
+    MaintenanceNode,
+    MaintenanceSimulation,
+)
+from repro.overlays.maintenance import ProbeMessage
+from repro.simulator import CycleEngine, NetworkModel, RELIABLE
+from .conftest import make_descriptor
+
+FAST = BootstrapConfig(leaf_set_size=8, entries_per_slot=2, random_samples=10)
+
+
+class EmptySampler:
+    def sample(self, count):
+        return []
+
+
+def make_maintained(node_id=1000, threshold=2):
+    node = BootstrapNode(
+        make_descriptor(node_id), FAST, EmptySampler(), random.Random(1)
+    )
+    maintainer = MaintenanceNode(
+        node, random.Random(2), suspicion_threshold=threshold
+    )
+    return node, maintainer
+
+
+class TestMaintenanceNode:
+    def test_validates_threshold(self):
+        node, _ = make_maintained()
+        with pytest.raises(ValueError):
+            MaintenanceNode(node, random.Random(0), suspicion_threshold=0)
+
+    def test_probe_payload_contains_self_and_leafset(self):
+        node, maintainer = make_maintained()
+        node.leaf_set.update([make_descriptor(1001)])
+        message = maintainer.probe_payload()
+        assert message.sender.node_id == 1000
+        assert {d.node_id for d in message.descriptors} == {1001}
+
+    def test_eviction_requires_threshold(self):
+        node, maintainer = make_maintained(threshold=2)
+        node.leaf_set.update([make_descriptor(1001)])
+        node.prefix_table.add(make_descriptor(1001))
+        assert not maintainer.record_silence(1001)
+        assert 1001 in node.leaf_set.member_ids()
+        assert maintainer.record_silence(1001)
+        assert 1001 not in node.leaf_set.member_ids()
+        assert 1001 not in node.prefix_table.member_ids()
+
+    def test_direct_contact_clears_suspicion(self):
+        node, maintainer = make_maintained(threshold=2)
+        node.leaf_set.update([make_descriptor(1001)])
+        maintainer.record_silence(1001)
+        assert maintainer.suspicion_of(1001) == 1
+        maintainer.absorb(
+            ProbeMessage(sender=make_descriptor(1001), descriptors=())
+        )
+        assert maintainer.suspicion_of(1001) == 0
+
+    def test_hearsay_does_not_clear_suspicion(self):
+        node, maintainer = make_maintained(threshold=3)
+        node.leaf_set.update([make_descriptor(1001)])
+        maintainer.record_silence(1001)
+        maintainer.absorb(
+            ProbeMessage(
+                sender=make_descriptor(2002),
+                descriptors=(make_descriptor(1001),),
+            )
+        )
+        assert maintainer.suspicion_of(1001) == 1
+
+    def test_tombstone_blocks_hearsay_but_not_direct_contact(self):
+        node, maintainer = make_maintained(threshold=1)
+        node.leaf_set.update([make_descriptor(1001)])
+        assert maintainer.record_silence(1001)
+        assert maintainer.is_tombstoned(1001)
+        # Hearsay cannot re-insert the corpse.
+        maintainer.absorb(
+            ProbeMessage(
+                sender=make_descriptor(2002),
+                descriptors=(make_descriptor(1001),),
+            )
+        )
+        assert 1001 not in node.leaf_set.member_ids()
+        # The suspect itself speaking resurrects it.
+        maintainer.absorb(
+            ProbeMessage(sender=make_descriptor(1001), descriptors=())
+        )
+        assert not maintainer.is_tombstoned(1001)
+        assert 1001 in node.leaf_set.member_ids()
+
+    def test_tombstone_expires(self):
+        node, maintainer = make_maintained(threshold=1)
+        node.leaf_set.update([make_descriptor(1001)])
+        maintainer.set_time(0.0)
+        maintainer.record_silence(1001)
+        assert maintainer.is_tombstoned(1001)
+        maintainer.set_time(31.0)
+        assert not maintainer.is_tombstoned(1001)
+
+    def test_absorb_feeds_both_tables(self):
+        node, maintainer = make_maintained()
+        maintainer.absorb(
+            ProbeMessage(
+                sender=make_descriptor(1100),
+                descriptors=(make_descriptor(900),),
+            )
+        )
+        assert {900, 1100} <= node.leaf_set.member_ids()
+        assert {900, 1100} <= node.prefix_table.member_ids()
+
+    def test_probe_target_from_leafset(self):
+        node, maintainer = make_maintained()
+        node.leaf_set.update([make_descriptor(1001), make_descriptor(999)])
+        for _ in range(20):
+            assert maintainer.select_probe_target().node_id in {999, 1001}
+
+    def test_probe_target_none_when_isolated(self):
+        _, maintainer = make_maintained()
+        assert maintainer.select_probe_target() is None
+
+
+class TestEngineTimeouts:
+    def test_void_target_triggers_suspicion(self):
+        node, maintainer = make_maintained(threshold=1)
+        node.leaf_set.update([make_descriptor(4040)])
+        engine = CycleEngine(RELIABLE, random.Random(3))
+        engine.add_actor(1000, MaintenanceActor(maintainer))
+        # 4040 is not registered: the probe goes to the void and the
+        # timeout evicts it at threshold 1.
+        engine.run_cycle()
+        assert 4040 not in node.leaf_set.member_ids()
+
+    def test_loss_alone_does_not_evict_below_threshold(self):
+        node, maintainer = make_maintained(threshold=10)
+        peer_node, peer_maintainer = make_maintained(node_id=4040)
+        node.leaf_set.update([make_descriptor(4040)])
+        engine = CycleEngine(
+            NetworkModel(drop_probability=0.5), random.Random(3)
+        )
+        engine.add_actor(1000, MaintenanceActor(maintainer))
+        engine.add_actor(4040, MaintenanceActor(peer_maintainer))
+        engine.run_cycles(5)
+        assert 4040 in node.leaf_set.member_ids()
+
+
+class TestMaintenanceSimulation:
+    @pytest.fixture()
+    def pool(self):
+        sim = BootstrapSimulation(48, config=FAST, seed=81)
+        assert sim.run(40).converged
+        return sim
+
+    def test_stable_pool_stays_perfect(self, pool):
+        maintenance = MaintenanceSimulation(pool, seed=82)
+        samples = maintenance.run(10)
+        assert samples[-1].missing_fraction == 0.0
+        assert samples[-1].stale_fraction == 0.0
+
+    def test_purges_dead_and_reknits(self, pool):
+        maintenance = MaintenanceSimulation(pool, seed=83)
+        rng = random.Random(4)
+        for victim in rng.sample(list(maintenance.nodes), 10):
+            maintenance.kill_node(victim)
+        samples = maintenance.run(25)
+        final = samples[-1]
+        # Stale entries purged and holes re-filled from neighbours
+        # (each corpse needs `threshold` direct probe timeouts, so the
+        # tail decays over a couple of leaf-set-size periods).
+        assert final.stale_fraction < 0.05
+        assert final.missing_fraction < 0.08
+        assert final.stale_fraction < samples[0].stale_fraction / 3
+
+    def test_newcomers_integrate(self, pool):
+        maintenance = MaintenanceSimulation(pool, seed=84)
+        newcomer = maintenance.spawn_node()
+        samples = maintenance.run(25)
+        # The newcomer's neighbourhood knows it (it appears in leaf
+        # sets) and its own leaf set is nearly complete.
+        from repro.core import ReferenceTables
+
+        reference = ReferenceTables(
+            FAST.space, maintenance.nodes.keys(), FAST.leaf_set_size,
+            FAST.entries_per_slot,
+        )
+        missing = reference.leaf_missing(
+            newcomer.node_id, newcomer.leaf_set.member_ids()
+        )
+        assert missing <= 2
+
+    def test_bounded_quality_under_continuous_churn(self, pool):
+        maintenance = MaintenanceSimulation(pool, seed=85)
+        samples = maintenance.run(30, churn_rate=0.01)
+        # Quality stays bounded (no monotone decay to uselessness):
+        # the repair rate keeps up with a 1%/cycle churn on this pool.
+        tail = samples[-5:]
+        assert all(s.missing_fraction < 0.3 for s in tail)
+        assert all(s.stale_fraction < 0.2 for s in tail)
+        # Not a monotone slide: late samples are no worse than the
+        # mid-run peak.
+        peak = max(s.missing_fraction for s in samples[5:15])
+        assert tail[-1].missing_fraction <= peak + 0.1
+
+    def test_unmaintained_pool_decays_for_contrast(self, pool):
+        """Without repair, churn damage accumulates monotonically --
+        the contrast that motivates the maintenance layer."""
+        sim = pool  # continue the *bootstrap* protocol instead
+        stale_history = []
+        rng = random.Random(9)
+        for cycle in range(15):
+            victims = rng.sample(sim.live_ids, 1)
+            for victim in victims:
+                sim.kill_node(victim)
+            sim.spawn_node()
+            sim.run_cycle()
+            live = set(sim.live_ids)
+            stale = sum(
+                len(n.leaf_set.member_ids() - live)
+                for n in sim.nodes.values()
+            )
+            stale_history.append(stale)
+        assert stale_history[-1] > stale_history[0]

@@ -1,0 +1,51 @@
+"""Tests for bootstrap gossip messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BootstrapMessage
+from .conftest import make_descriptor
+
+
+class TestBootstrapMessage:
+    def test_fields(self):
+        sender = make_descriptor(1)
+        payload = (make_descriptor(2), make_descriptor(3))
+        msg = BootstrapMessage(sender=sender, descriptors=payload)
+        assert msg.sender == sender
+        assert msg.descriptors == payload
+        assert not msg.is_reply
+
+    def test_payload_size_excludes_sender(self):
+        msg = BootstrapMessage(
+            sender=make_descriptor(1),
+            descriptors=(make_descriptor(2),),
+        )
+        assert msg.payload_size == 1
+
+    def test_all_descriptors_includes_sender_last(self):
+        sender = make_descriptor(1)
+        msg = BootstrapMessage(
+            sender=sender,
+            descriptors=(make_descriptor(2), make_descriptor(3)),
+        )
+        everything = list(msg.all_descriptors())
+        assert everything[-1] == sender
+        assert len(everything) == 3
+
+    def test_reply_flag(self):
+        msg = BootstrapMessage(
+            sender=make_descriptor(1), descriptors=(), is_reply=True
+        )
+        assert msg.is_reply
+        assert "reply" in repr(msg)
+
+    def test_request_repr(self):
+        msg = BootstrapMessage(sender=make_descriptor(1), descriptors=())
+        assert "request" in repr(msg)
+
+    def test_frozen(self):
+        msg = BootstrapMessage(sender=make_descriptor(1), descriptors=())
+        with pytest.raises(Exception):
+            msg.is_reply = True

@@ -1,0 +1,179 @@
+"""Tests for the asyncio transports, peer, and cluster."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core import PAPER_CONFIG
+from repro.net import AsyncPeer, LocalCluster, LoopbackHub, LoopbackTransport
+from .conftest import make_descriptor
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLoopbackHub:
+    def test_delivery(self):
+        async def scenario():
+            hub = LoopbackHub()
+            received = []
+            LoopbackTransport(hub, "a", lambda d, s: received.append((d, s)))
+            sender = LoopbackTransport(hub, "b", lambda d, s: None)
+            sender.send(b"hello", "a")
+            await asyncio.sleep(0.01)
+            return received
+
+        assert run(scenario()) == [(b"hello", "b")]
+
+    def test_unregistered_target_dropped(self):
+        async def scenario():
+            hub = LoopbackHub()
+            sender = LoopbackTransport(hub, "b", lambda d, s: None)
+            sender.send(b"hello", "ghost")
+            await asyncio.sleep(0.01)
+            return hub.datagrams_sent
+
+        assert run(scenario()) == 1
+
+    def test_drop_probability(self):
+        async def scenario():
+            hub = LoopbackHub(
+                drop_probability=0.5, rng=random.Random(1)
+            )
+            received = []
+            LoopbackTransport(hub, "a", lambda d, s: received.append(d))
+            sender = LoopbackTransport(hub, "b", lambda d, s: None)
+            for _ in range(200):
+                sender.send(b"x", "a")
+            await asyncio.sleep(0.05)
+            return len(received), hub.datagrams_dropped
+
+        delivered, dropped = run(scenario())
+        assert delivered + dropped == 200
+        assert 60 < dropped < 140
+
+    def test_latency_defers_delivery(self):
+        async def scenario():
+            hub = LoopbackHub(latency=lambda rng: 0.05)
+            received = []
+            LoopbackTransport(hub, "a", lambda d, s: received.append(d))
+            sender = LoopbackTransport(hub, "b", lambda d, s: None)
+            sender.send(b"x", "a")
+            await asyncio.sleep(0.01)
+            early = len(received)
+            await asyncio.sleep(0.08)
+            return early, len(received)
+
+        early, late = run(scenario())
+        assert early == 0
+        assert late == 1
+
+    def test_closed_transport_stops_receiving(self):
+        async def scenario():
+            hub = LoopbackHub()
+            received = []
+            receiver = LoopbackTransport(
+                hub, "a", lambda d, s: received.append(d)
+            )
+            sender = LoopbackTransport(hub, "b", lambda d, s: None)
+            receiver.close()
+            sender.send(b"x", "a")
+            await asyncio.sleep(0.01)
+            return received
+
+        assert run(scenario()) == []
+
+    def test_duplicate_address_rejected(self):
+        async def scenario():
+            hub = LoopbackHub()
+            LoopbackTransport(hub, "a", lambda d, s: None)
+            with pytest.raises(ValueError):
+                LoopbackTransport(hub, "a", lambda d, s: None)
+
+        run(scenario())
+
+    def test_validates_drop_probability(self):
+        with pytest.raises(ValueError):
+            LoopbackHub(drop_probability=1.0)
+
+
+class TestAsyncPeer:
+    def test_bad_frames_counted_not_fatal(self):
+        async def scenario():
+            hub = LoopbackHub()
+            config = PAPER_CONFIG.with_overrides(cycle_length=0.05)
+            peer = AsyncPeer(
+                make_descriptor(1, address=0),
+                config,
+                rng=random.Random(0),
+            )
+            peer.attach(LoopbackTransport(hub, 0, peer.on_datagram))
+            peer.on_datagram(b"garbage", 99)
+            assert peer.frames_bad == 1
+            assert peer.frames_in == 1
+            await peer.stop()
+
+        run(scenario())
+
+    def test_start_requires_transport(self):
+        peer = AsyncPeer(make_descriptor(1, address=0))
+        with pytest.raises(RuntimeError):
+            peer.start()
+
+    def test_bootstrap_requires_started_peer(self):
+        peer = AsyncPeer(make_descriptor(1, address=0))
+        with pytest.raises(RuntimeError):
+            peer.start_bootstrap()
+
+
+class TestLocalCluster:
+    def test_loopback_end_to_end(self):
+        async def scenario():
+            cluster = await LocalCluster.create(24, seed=5)
+            try:
+                cluster.start_sampling_layer()
+                await cluster.warmup(0.4)
+                assert cluster.mean_view_size() > 10
+                cluster.broadcast_start()
+                converged = await cluster.await_convergence(timeout=6.0)
+                return converged
+            finally:
+                await cluster.shutdown()
+
+        assert run(scenario())
+
+    def test_loopback_with_loss_and_latency(self):
+        async def scenario():
+            cluster = await LocalCluster.create(
+                16, seed=6, drop_probability=0.2, latency=0.005
+            )
+            try:
+                cluster.start_sampling_layer()
+                await cluster.warmup(0.5)
+                cluster.broadcast_start()
+                return await cluster.await_convergence(timeout=8.0)
+            finally:
+                await cluster.shutdown()
+
+        assert run(scenario())
+
+    def test_udp_end_to_end(self):
+        async def scenario():
+            cluster = await LocalCluster.create_udp(10, seed=7)
+            try:
+                cluster.start_sampling_layer()
+                await cluster.warmup(0.4)
+                cluster.broadcast_start()
+                return await cluster.await_convergence(timeout=6.0)
+            finally:
+                await cluster.shutdown()
+
+        assert run(scenario())
+
+    def test_validates_size(self):
+        with pytest.raises(ValueError):
+            run(LocalCluster.create(1))

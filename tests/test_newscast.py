@@ -1,0 +1,193 @@
+"""Tests for the NEWSCAST peer sampling protocol.
+
+Includes behavioural checks of the paper's Section 3 claims:
+self-healing after catastrophic failure and rapid randomisation of
+non-random initial views.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core import NodeDescriptor
+from repro.sampling import NewscastNode, DEFAULT_VIEW_SIZE
+from repro.simulator import CycleEngine, NewscastActor, RELIABLE, RandomSource
+from .conftest import make_descriptor
+
+
+def build_network(size, view_size=10, seed=3):
+    """A NEWSCAST population wired into a cycle engine."""
+    source = RandomSource(seed)
+    space_rng = source.derive("ids")
+    descriptors = [
+        make_descriptor(space_rng.getrandbits(64), address=i)
+        for i in range(size)
+    ]
+    nodes = {}
+    engine = CycleEngine(RELIABLE, source.derive("engine"))
+    for desc in descriptors:
+        node = NewscastNode(
+            desc, source.derive(("rng", desc.node_id)), view_size=view_size
+        )
+        nodes[desc.node_id] = node
+        engine.add_actor(desc.node_id, NewscastActor(node))
+    return descriptors, nodes, engine
+
+
+class TestNodeBasics:
+    def test_default_view_size_matches_paper(self):
+        node = NewscastNode(make_descriptor(1), random.Random(0))
+        assert node.view.capacity == DEFAULT_VIEW_SIZE == 30
+
+    def test_seed_view(self):
+        node = NewscastNode(make_descriptor(1), random.Random(0), view_size=5)
+        node.seed_view([make_descriptor(2), make_descriptor(3)])
+        assert node.view.member_ids() == {2, 3}
+
+    def test_gossip_payload_contains_fresh_self(self):
+        node = NewscastNode(make_descriptor(1), random.Random(0), view_size=5)
+        node.seed_view([make_descriptor(2)])
+        node.set_time(7.0)
+        payload = node.gossip_payload()
+        own = [d for d in payload if d.node_id == 1]
+        assert len(own) == 1
+        assert own[0].timestamp == 7.0
+
+    def test_select_peer_from_view(self):
+        node = NewscastNode(make_descriptor(1), random.Random(0), view_size=5)
+        node.seed_view([make_descriptor(2), make_descriptor(3)])
+        for _ in range(10):
+            assert node.select_peer().node_id in {2, 3}
+
+    def test_select_peer_empty(self):
+        node = NewscastNode(make_descriptor(1), random.Random(0))
+        assert node.select_peer() is None
+
+    def test_exchange_with_symmetric(self):
+        a = NewscastNode(make_descriptor(1), random.Random(0), view_size=5)
+        b = NewscastNode(make_descriptor(2), random.Random(1), view_size=5)
+        a.seed_view([make_descriptor(3)])
+        b.seed_view([make_descriptor(4)])
+        a.exchange_with(b)
+        assert {2, 3, 4} <= a.view.member_ids() | {2}
+        assert 1 in b.view.member_ids()
+        assert 3 in b.view.member_ids()
+
+    def test_sample_is_sampler_protocol(self):
+        node = NewscastNode(make_descriptor(1), random.Random(0), view_size=5)
+        node.seed_view([make_descriptor(i) for i in (2, 3, 4)])
+        sample = node.sample(2)
+        assert len(sample) == 2
+        assert len({d.node_id for d in sample}) == 2
+
+
+class TestNetworkBehaviour:
+    def test_views_fill_from_sparse_seeding(self):
+        descriptors, nodes, engine = build_network(40, view_size=10)
+        # Seed each node with just one contact (a ring, worst case).
+        for index, desc in enumerate(descriptors):
+            nodes[desc.node_id].seed_view(
+                [descriptors[(index + 1) % len(descriptors)]]
+            )
+        engine.run_cycles(8)
+        fill = sum(len(n.view) for n in nodes.values()) / len(nodes)
+        assert fill > 9.0, f"views should be nearly full, got {fill}"
+
+    def test_randomises_identical_initial_views(self):
+        """Non-random initialisation (all nodes know the same hub)
+        must dissolve quickly."""
+        descriptors, nodes, engine = build_network(40, view_size=10)
+        hub = descriptors[0]
+        for desc in descriptors[1:]:
+            nodes[desc.node_id].seed_view([hub])
+        engine.run_cycles(10)
+        # The hub must no longer dominate: count hub occurrences across
+        # views; with randomised views it is one of N peers, so roughly
+        # view_size/N of all entries (a small minority).
+        total_entries = 0
+        hub_entries = 0
+        for node in nodes.values():
+            for desc in node.view:
+                total_entries += 1
+                if desc.node_id == hub.node_id:
+                    hub_entries += 1
+        assert hub_entries / total_entries < 0.2
+
+    def test_self_healing_after_catastrophic_failure(self):
+        """Section 3: up to 70% of nodes may fail; the survivors' views
+        must purge the dead and stay usable as a sampling source.
+
+        A small number of survivors can end up *isolated* (their stale
+        descriptor was evicted everywhere before they could reconnect);
+        this is inherent to the protocol, so the healing assertion
+        applies to the connected survivors and the isolation count is
+        bounded separately.
+        """
+        descriptors, nodes, engine = build_network(100, view_size=10)
+        for index, desc in enumerate(descriptors):
+            nodes[desc.node_id].seed_view(
+                [
+                    descriptors[(index + offset) % len(descriptors)]
+                    for offset in range(1, 6)
+                ]
+            )
+        engine.run_cycles(5)
+        # Kill 70%.
+        rng = random.Random(1)
+        victims = rng.sample(descriptors, int(0.7 * len(descriptors)))
+        dead_ids = {d.node_id for d in victims}
+        for node_id in dead_ids:
+            engine.remove_actor(node_id)
+            nodes.pop(node_id)
+        engine.run_cycles(25)
+        # A node is isolated when its own view is still all-dead/stale
+        # AND nobody references it; healing cannot reach it.
+        healed_views = 0
+        dead_refs = 0
+        total_refs = 0
+        isolated = 0
+        for node in nodes.values():
+            refs = list(node.view)
+            dead_here = sum(1 for d in refs if d.node_id in dead_ids)
+            if dead_here == 0:
+                healed_views += 1
+            if dead_here == len(refs):
+                isolated += 1
+            dead_refs += dead_here
+            total_refs += len(refs)
+        assert isolated <= 0.15 * len(nodes)
+        # Plain keep-freshest NEWSCAST retains a small residue of stale
+        # entries in tightly-overlapping views; the macro picture --
+        # most views fully live, ~90% of all references live -- is what
+        # the paper's "sufficiently random samples" claim needs.
+        assert healed_views >= 0.6 * len(nodes)
+        assert dead_refs / total_refs < 0.15
+        # The healed majority references a broad swath of survivors.
+        survivors = set(nodes)
+        live_refs = {
+            desc.node_id
+            for node in nodes.values()
+            for desc in node.view
+            if desc.node_id in survivors
+        }
+        assert len(live_refs) > 0.8 * len(survivors)
+
+    def test_sampling_quality_roughly_uniform(self):
+        """View-based samples should hit a broad swath of the network,
+        not a clique."""
+        descriptors, nodes, engine = build_network(50, view_size=10)
+        for index, desc in enumerate(descriptors):
+            nodes[desc.node_id].seed_view(
+                [descriptors[(index + 1) % len(descriptors)]]
+            )
+        engine.run_cycles(12)
+        counter = Counter()
+        for node in nodes.values():
+            for desc in node.sample(5):
+                counter[desc.node_id] += 1
+        # Every node holds ~view_size distinct entries; sampling across
+        # the population should reference most of the network.
+        assert len(counter) > 0.8 * len(descriptors)

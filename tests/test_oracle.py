@@ -1,0 +1,142 @@
+"""Tests for the membership registry and oracle sampler."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.sampling import MembershipRegistry, OracleSampler
+from .conftest import make_descriptor
+
+
+@pytest.fixture
+def registry():
+    reg = MembershipRegistry()
+    for i in range(1, 21):
+        reg.add(make_descriptor(i))
+    return reg
+
+
+class TestRegistry:
+    def test_add_and_len(self, registry):
+        assert len(registry) == 20
+        assert 5 in registry
+        assert 99 not in registry
+
+    def test_add_duplicate_rejected(self, registry):
+        assert not registry.add(make_descriptor(5))
+        assert len(registry) == 20
+
+    def test_get(self, registry):
+        assert registry.get(5).node_id == 5
+        assert registry.get(99) is None
+
+    def test_remove(self, registry):
+        assert registry.remove(5)
+        assert 5 not in registry
+        assert len(registry) == 19
+        assert not registry.remove(5)
+
+    def test_remove_last_element(self):
+        reg = MembershipRegistry([make_descriptor(1)])
+        assert reg.remove(1)
+        assert len(reg) == 0
+
+    def test_swap_remove_keeps_index_consistent(self, registry):
+        """After removals, every remaining id must still be retrievable
+        and samplable."""
+        rng = random.Random(0)
+        for victim in (3, 17, 1, 20):
+            registry.remove(victim)
+        remaining = set(registry.live_ids())
+        for node_id in remaining:
+            assert registry.get(node_id).node_id == node_id
+        sampled = {
+            d.node_id
+            for d in registry.sample_descriptors(len(remaining), rng)
+        }
+        assert sampled == remaining
+
+    def test_constructor_with_descriptors(self):
+        reg = MembershipRegistry([make_descriptor(1), make_descriptor(2)])
+        assert len(reg) == 2
+
+    def test_descriptors_and_live_ids(self, registry):
+        assert len(registry.descriptors()) == 20
+        assert set(registry.live_ids()) == set(range(1, 21))
+
+
+class TestSampling:
+    def test_sample_distinct(self, registry, rng):
+        sample = registry.sample_descriptors(10, rng)
+        ids = [d.node_id for d in sample]
+        assert len(ids) == 10
+        assert len(set(ids)) == 10
+
+    def test_sample_excludes(self, registry, rng):
+        for _ in range(30):
+            sample = registry.sample_descriptors(5, rng, exclude_id=7)
+            assert all(d.node_id != 7 for d in sample)
+
+    def test_sample_all_but_excluded(self, registry, rng):
+        sample = registry.sample_descriptors(100, rng, exclude_id=7)
+        assert len(sample) == 19
+        assert all(d.node_id != 7 for d in sample)
+
+    def test_sample_empty_registry(self, rng):
+        assert MembershipRegistry().sample_descriptors(5, rng) == []
+
+    def test_sample_zero(self, registry, rng):
+        assert registry.sample_descriptors(0, rng) == []
+
+    def test_sample_singleton_excluded(self, rng):
+        reg = MembershipRegistry([make_descriptor(1)])
+        assert reg.sample_descriptors(3, rng, exclude_id=1) == []
+
+    def test_roughly_uniform(self, registry, rng):
+        counter = Counter()
+        for _ in range(2000):
+            for desc in registry.sample_descriptors(1, rng):
+                counter[desc.node_id] += 1
+        # 2000 draws over 20 ids: expect ~100 each; allow wide slack.
+        assert all(40 < counter[i] < 200 for i in range(1, 21))
+
+
+class TestOracleSampler:
+    def test_excludes_owner(self, registry, rng):
+        sampler = OracleSampler(registry, own_id=7, rng=rng)
+        for _ in range(30):
+            assert all(d.node_id != 7 for d in sampler.sample(5))
+
+    def test_satisfies_sampler_protocol(self, registry, rng):
+        from repro.core.protocol import Sampler
+
+        sampler = OracleSampler(registry, own_id=7, rng=rng)
+        assert isinstance(sampler, object)
+        sample = sampler.sample(3)
+        assert len(sample) == 3
+
+    def test_sample_one(self, registry, rng):
+        sampler = OracleSampler(registry, own_id=7, rng=rng)
+        assert sampler.sample_one() is not None
+
+    def test_sample_one_empty(self, rng):
+        sampler = OracleSampler(MembershipRegistry(), own_id=7, rng=rng)
+        assert sampler.sample_one() is None
+
+    def test_sees_membership_changes(self, registry, rng):
+        """The oracle reflects the live registry: newly added nodes are
+        samplable, removed ones are not."""
+        sampler = OracleSampler(registry, own_id=1, rng=rng)
+        registry.add(make_descriptor(100))
+        seen = set()
+        for _ in range(200):
+            seen.update(d.node_id for d in sampler.sample(5))
+        assert 100 in seen
+        registry.remove(100)
+        seen_after = set()
+        for _ in range(100):
+            seen_after.update(d.node_id for d in sampler.sample(5))
+        assert 100 not in seen_after

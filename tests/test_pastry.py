@@ -1,0 +1,135 @@
+"""Tests for the Pastry substrate over bootstrap output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BootstrapSimulation
+from repro.core import BootstrapConfig, IDSpace
+from repro.overlays import PastryNetwork, PastryRouter
+from repro.simulator import RandomSource
+
+FAST = BootstrapConfig(leaf_set_size=8, entries_per_slot=2, random_samples=10)
+
+
+@pytest.fixture(scope="module")
+def converged_sim():
+    sim = BootstrapSimulation(96, config=FAST, seed=21)
+    result = sim.run(40)
+    assert result.converged
+    return sim
+
+
+@pytest.fixture(scope="module")
+def pastry(converged_sim):
+    return PastryNetwork.from_bootstrap_nodes(converged_sim.nodes.values())
+
+
+class TestRouter:
+    def test_from_bootstrap_snapshot(self, converged_sim):
+        node = next(iter(converged_sim.nodes.values()))
+        router = PastryRouter.from_bootstrap(node)
+        assert router.node_id == node.node_id
+        assert router.known_ids >= node.leaf_set.member_ids()
+
+    def test_covers_leaf_arc(self, space):
+        router = PastryRouter(
+            space, 1000, [990, 995, 1005, 1010], {}
+        )
+        assert router.covers(1000)
+        assert router.covers(992)
+        assert router.covers(1008)
+        assert not router.covers(2000)
+
+    def test_covers_empty(self, space):
+        router = PastryRouter(space, 1000, [], {})
+        assert not router.covers(1000)
+
+    def test_leaf_delivery_to_closest(self, space):
+        router = PastryRouter(space, 1000, [990, 1010], {})
+        # 1008 is closer to 1010.
+        assert router.next_hop(1008) == 1010
+        # 1001 is closest to own id -> keep it.
+        assert router.next_hop(1001) is None
+
+    def test_self_target(self, space):
+        router = PastryRouter(space, 1000, [990], {})
+        assert router.next_hop(1000) is None
+
+    def test_prefix_hop(self, space):
+        own = 0x1000000000000000
+        target = 0x2222000000000000
+        entry = 0x2000000000000000
+        router = PastryRouter(space, own, [], {(0, 0x2): [entry]})
+        assert router.next_hop(target) == entry
+
+    def test_rare_case_fallback(self, space):
+        """No slot entry, but a known node sharing an equal-length
+        prefix and strictly closer must be used."""
+        own = 0x1000000000000000
+        target = 0x1800000000000000
+        # Slot (1, 8) empty; 0x17... shares 1 digit and is closer.
+        helper = 0x1700000000000000
+        router = PastryRouter(space, own, [helper], {})
+        assert router.next_hop(target) == helper
+
+    def test_no_progress_delivers_locally(self, space):
+        own = 0x1000000000000000
+        target = 0x1800000000000000
+        # Known node is farther from the target than we are.
+        far = 0xF000000000000000
+        router = PastryRouter(space, own, [], {(0, 0xF): [far]})
+        assert router.next_hop(target) is None
+
+
+class TestNetwork:
+    def test_all_lookups_succeed(self, pastry, converged_sim):
+        rng = RandomSource(77).derive("keys")
+        space = FAST.space
+        ids = list(converged_sim.nodes)
+        keys = [space.random_id(rng) for _ in range(300)]
+        starts = [rng.choice(ids) for _ in range(300)]
+        stats = pastry.lookup_many(keys, starts)
+        assert stats.success_rate == 1.0
+        # log_16(96) < 2 rows occupied; hops stay small.
+        assert stats.mean_hops <= 4.0
+
+    def test_lookup_own_key(self, pastry):
+        node_id = pastry.ids[0]
+        result = pastry.lookup(node_id, node_id)
+        assert result.success
+        assert result.hops == 0
+
+    def test_responsibility_is_ring_closest(self, pastry):
+        space = FAST.space
+        rng = RandomSource(3).derive("resp")
+        ids = pastry.ids
+        for _ in range(50):
+            key = space.random_id(rng)
+            responsible = pastry.responsible_for(key)
+            best = min(
+                ids, key=lambda n: (space.ring_distance(key, n), n)
+            )
+            assert responsible == best
+
+    def test_partial_tables_still_mostly_route(self):
+        """Mid-bootstrap tables already "fulfil a kind of routing
+        function" (Section 4)."""
+        sim = BootstrapSimulation(96, config=FAST, seed=22)
+        sim.run(3, stop_when_perfect=False)
+        network = PastryNetwork.from_bootstrap_nodes(sim.nodes.values())
+        rng = RandomSource(5).derive("keys")
+        space = FAST.space
+        ids = list(sim.nodes)
+        keys = [space.random_id(rng) for _ in range(200)]
+        starts = [rng.choice(ids) for _ in range(200)]
+        stats = network.lookup_many(keys, starts)
+        assert stats.success_rate > 0.7
+
+    def test_empty_network_rejected(self, space):
+        with pytest.raises(ValueError):
+            PastryNetwork(space, {})
+
+    def test_from_no_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            PastryNetwork.from_bootstrap_nodes([])

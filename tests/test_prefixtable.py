@@ -1,0 +1,186 @@
+"""Tests for the prefix table (UPDATEPREFIXTABLE semantics)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IDSpace, NodeDescriptor, PrefixTable
+from .conftest import make_descriptor
+
+ids64 = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestConstruction:
+    def test_validates_k(self, space):
+        with pytest.raises(ValueError):
+            PrefixTable(space, 0, 0)
+
+    def test_validates_own_id(self, space):
+        with pytest.raises(ValueError):
+            PrefixTable(space, 2**64, 3)
+
+    def test_empty(self, space):
+        table = PrefixTable(space, 0, 3)
+        assert len(table) == 0
+        assert table.descriptors() == []
+        assert table.occupancy() == {}
+        assert table.entries_per_slot == 3
+        assert table.own_id == 0
+
+
+class TestSlotGeometry:
+    def test_slot_for_matches_space(self, space, rng):
+        own = rng.getrandbits(64)
+        table = PrefixTable(space, own, 3)
+        for _ in range(50):
+            other = rng.getrandbits(64)
+            if other == own:
+                continue
+            assert table.slot_for(other) == space.prefix_slot(own, other)
+
+    def test_slot_for_rejects_self(self, space):
+        table = PrefixTable(space, 42, 3)
+        with pytest.raises(ValueError):
+            table.slot_for(42)
+
+
+class TestAdd:
+    def test_add_places_in_correct_slot(self, space):
+        own = 0x1000000000000000
+        other = 0x1200000000000000  # shares 1 digit, differs with 2
+        table = PrefixTable(space, own, 3)
+        assert table.add(make_descriptor(other))
+        assert table.slot_entries(1, 2)[0].node_id == other
+
+    def test_add_rejects_self(self, space):
+        table = PrefixTable(space, 42, 3)
+        assert not table.add(make_descriptor(42))
+
+    def test_add_rejects_duplicate(self, space):
+        table = PrefixTable(space, 0, 3)
+        assert table.add(make_descriptor(99))
+        assert not table.add(make_descriptor(99))
+        assert len(table) == 1
+
+    def test_slot_capacity_enforced(self, space, rng):
+        own = 0
+        table = PrefixTable(space, own, 2)
+        # All these share 0 digits with own and start with digit 0xF.
+        candidates = [
+            (0xF << 60) | rng.getrandbits(60) for _ in range(10)
+        ]
+        added = sum(table.add(make_descriptor(c)) for c in set(candidates))
+        assert added == 2
+        assert len(table.slot_entries(0, 0xF)) == 2
+
+    def test_update_counts_additions(self, space):
+        table = PrefixTable(space, 0, 3)
+        descs = [make_descriptor(i) for i in (1, 2, 3)]
+        assert table.update(descs) == 3
+        assert table.update(descs) == 0
+
+    def test_never_fills_own_digit_column(self, space, rng):
+        own = rng.getrandbits(64)
+        table = PrefixTable(space, own, 3)
+        for _ in range(500):
+            table.add(make_descriptor(rng.getrandbits(64)))
+        for (row, column), count in table.occupancy().items():
+            assert column != space.digit(own, row)
+            assert count >= 1
+
+    def test_membership(self, space):
+        table = PrefixTable(space, 0, 3)
+        table.add(make_descriptor(77))
+        assert 77 in table
+        assert 78 not in table
+        assert table.member_ids() == {77}
+
+
+class TestForgetClear:
+    def test_forget_removes(self, space):
+        table = PrefixTable(space, 0, 3)
+        table.add(make_descriptor(77))
+        assert table.forget(77)
+        assert 77 not in table
+        assert len(table) == 0
+        assert table.occupancy() == {}
+
+    def test_forget_missing_is_noop(self, space):
+        table = PrefixTable(space, 0, 3)
+        assert not table.forget(77)
+
+    def test_clear(self, space):
+        table = PrefixTable(space, 0, 3)
+        table.update([make_descriptor(i) for i in (1, 2, 3)])
+        table.clear()
+        assert len(table) == 0
+        assert table.occupancy() == {}
+
+
+class TestRouting:
+    def test_route_candidates_finds_longer_prefix(self, space):
+        own = 0x1000000000000000
+        target = 0x1230000000000000
+        # Shares 2 digits with the target (row 1 from own's perspective
+        # is digit '2'): candidate 0x12xxx...
+        candidate = 0x1290000000000000
+        table = PrefixTable(space, own, 3)
+        table.add(make_descriptor(candidate))
+        hops = table.route_candidates(target)
+        assert [d.node_id for d in hops] == [candidate]
+
+    def test_route_candidates_self_target(self, space):
+        table = PrefixTable(space, 5, 3)
+        assert table.route_candidates(5) == []
+
+    def test_route_candidates_empty_slot(self, space):
+        table = PrefixTable(space, 5, 3)
+        assert table.route_candidates(99) == []
+
+    def test_best_match(self, space):
+        own = 0x1000000000000000
+        table = PrefixTable(space, own, 3)
+        near = 0x1234000000000000
+        far = 0xF000000000000000
+        table.add(make_descriptor(near))
+        table.add(make_descriptor(far))
+        target = 0x1230000000000000
+        assert table.best_match(target).node_id == near
+
+    def test_best_match_empty(self, space):
+        assert PrefixTable(space, 0, 3).best_match(99) is None
+
+
+class TestProperties:
+    @given(
+        own=ids64,
+        others=st.sets(ids64, max_size=60),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=150)
+    def test_invariants(self, own, others, k):
+        space = IDSpace()
+        table = PrefixTable(space, own, k)
+        table.update([make_descriptor(i) for i in others])
+        occupancy = table.occupancy()
+        # Every slot within capacity; every member in its right slot.
+        assert all(count <= k for count in occupancy.values())
+        assert own not in table
+        for slot, descs in table.iter_slots():
+            for desc in descs:
+                assert space.prefix_slot(own, desc.node_id) == slot
+        # Total entries consistent.
+        assert sum(occupancy.values()) == len(table)
+        # Fill-only semantics: when fewer than k candidates exist for a
+        # slot, all of them must be present.
+        from collections import Counter
+        slot_population = Counter(
+            space.prefix_slot(own, i) for i in others if i != own
+        )
+        for slot, population in slot_population.items():
+            if population <= k:
+                assert occupancy.get(slot, 0) == population

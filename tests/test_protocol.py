@@ -1,0 +1,295 @@
+"""Tests for the bootstrap protocol state machine (Figure 2)."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+import pytest
+
+from repro.core import (
+    BootstrapConfig,
+    BootstrapMessage,
+    BootstrapNode,
+    NodeDescriptor,
+)
+from .conftest import make_descriptor
+
+
+class ListSampler:
+    """Deterministic sampler over a fixed descriptor pool."""
+
+    def __init__(self, descriptors, rng=None):
+        self.pool = list(descriptors)
+        self.rng = rng or random.Random(7)
+        self.calls: List[int] = []
+
+    def sample(self, count):
+        self.calls.append(count)
+        if count >= len(self.pool):
+            return list(self.pool)
+        return self.rng.sample(self.pool, count)
+
+
+class EmptySampler:
+    def sample(self, count):
+        return []
+
+
+@pytest.fixture
+def pool():
+    rng = random.Random(99)
+    return [make_descriptor(rng.getrandbits(64)) for _ in range(64)]
+
+
+def build_node(config, sampler, node_id=12345, seed=5):
+    return BootstrapNode(
+        make_descriptor(node_id), config, sampler, random.Random(seed)
+    )
+
+
+class TestLifecycle:
+    def test_start_initialises_leaf_set(self, small_config, pool):
+        node = build_node(small_config, ListSampler(pool))
+        assert not node.started
+        assert len(node.leaf_set) == 0
+        node.start()
+        assert node.started
+        # Seeded with up to c random nodes -> selection keeps <= c.
+        assert 0 < len(node.leaf_set) <= small_config.leaf_set_size
+        assert len(node.prefix_table) == 0
+
+    def test_start_clears_prefix_table(self, small_config, pool):
+        node = build_node(small_config, ListSampler(pool))
+        node.prefix_table.add(pool[0])
+        node.start()
+        assert len(node.prefix_table) == 0
+
+    def test_restart_resets_everything(self, small_config, pool):
+        node = build_node(small_config, ListSampler(pool))
+        node.start()
+        node.absorb(
+            BootstrapMessage(sender=pool[0], descriptors=tuple(pool[:10]))
+        )
+        node.restart()
+        assert node.started
+        assert node.stats.messages_received == 0
+        assert len(node.prefix_table) == 0
+
+    def test_rejects_invalid_id(self, small_config):
+        with pytest.raises(ValueError):
+            BootstrapNode(
+                make_descriptor(2**64),
+                small_config,
+                EmptySampler(),
+                random.Random(0),
+            )
+
+
+class TestSelectPeer:
+    def test_picks_from_closest_half(self, small_config):
+        node = build_node(small_config, EmptySampler(), node_id=1000)
+        ids = [1001, 1002, 1003, 1004, 996, 997, 998, 999]
+        node.leaf_set.update([make_descriptor(i) for i in ids])
+        allowed = {d.node_id for d in node.leaf_set.closest_half()}
+        for _ in range(50):
+            peer = node.select_peer()
+            assert peer.node_id in allowed
+
+    def test_fallback_to_sampler_when_empty(self, small_config, pool):
+        node = build_node(small_config, ListSampler(pool))
+        peer = node.select_peer()
+        assert peer is not None
+        assert peer.node_id in {d.node_id for d in pool}
+
+    def test_none_when_nothing_available(self, small_config):
+        node = build_node(small_config, EmptySampler())
+        assert node.select_peer() is None
+
+
+class TestCreateMessage:
+    def test_payload_structure(self, small_config, pool):
+        node = build_node(small_config, ListSampler(pool))
+        node.start()
+        peer = pool[0]
+        message = node.create_message(peer)
+        assert message.sender.node_id == node.node_id
+        assert not message.is_reply
+        # Close part bounded by c; prefix part bounded by table capacity.
+        assert message.payload_size <= (
+            small_config.leaf_set_size + small_config.prefix_table_capacity
+        )
+
+    def test_close_part_is_what_peer_leafset_keeps(self, small_config, pool):
+        """The close part equals the balanced leaf-set selection for
+        the peer over the sender's union: exactly the descriptors the
+        peer's UPDATELEAFSET would retain."""
+        from repro.core import select_balanced_ids
+
+        node = build_node(small_config, ListSampler(pool))
+        node.start()
+        peer = pool[0]
+        message = node.create_message(peer)
+        space = small_config.space
+        c = small_config.leaf_set_size
+        close_ids = {d.node_id for d in message.descriptors[:c]}
+        # Recompute the balanced selection over everything the message
+        # could draw from (payload ids + the close part itself).
+        candidate_ids = {d.node_id for d in message.descriptors}
+        candidate_ids.add(node.node_id)
+        expected = select_balanced_ids(
+            space, peer.node_id, candidate_ids, small_config.half_leaf_set
+        )
+        # The close part must be at least as good for the peer as any
+        # payload descriptor it omitted: re-selecting over the payload
+        # cannot improve on it.
+        assert close_ids == select_balanced_ids(
+            space, peer.node_id, close_ids | expected,
+            small_config.half_leaf_set,
+        )
+
+    def test_never_includes_peer_itself(self, small_config, pool):
+        node = build_node(small_config, ListSampler(pool))
+        node.start()
+        peer = pool[3]
+        message = node.create_message(peer)
+        assert all(d.node_id != peer.node_id for d in message.descriptors)
+
+    def test_no_duplicate_ids_in_payload(self, small_config, pool):
+        node = build_node(small_config, ListSampler(pool))
+        node.start()
+        message = node.create_message(pool[1])
+        ids = [d.node_id for d in message.descriptors]
+        assert len(ids) == len(set(ids))
+
+    def test_includes_own_descriptor_when_close(self, small_config, pool):
+        node = build_node(small_config, EmptySampler(), node_id=1000)
+        node.leaf_set.update([make_descriptor(1001)])
+        message = node.create_message(make_descriptor(1002))
+        assert any(d.node_id == 1000 for d in message.descriptors)
+
+    def test_prefix_part_useful_for_peer(self, small_config):
+        """Descriptors beyond the close part must land in the peer's
+        hypothetical prefix table (slot-capacity respected)."""
+        space = small_config.space
+        rng = random.Random(4)
+        pool = [make_descriptor(rng.getrandbits(64)) for _ in range(200)]
+        node = build_node(small_config, ListSampler(pool, rng))
+        node.start()
+        # Absorb a lot of state so the table is rich.
+        for desc in pool:
+            node.prefix_table.add(desc)
+        peer = make_descriptor(rng.getrandbits(64))
+        message = node.create_message(peer)
+        c = small_config.leaf_set_size
+        from repro.core import PrefixTable
+
+        shadow = PrefixTable(space, peer.node_id, small_config.entries_per_slot)
+        for desc in message.descriptors[c:]:
+            assert shadow.add(desc), "prefix part entry wasted"
+
+    def test_sampler_consulted_with_cr(self, small_config, pool):
+        sampler = ListSampler(pool)
+        node = build_node(small_config, sampler)
+        node.start()
+        sampler.calls.clear()
+        node.create_message(pool[0])
+        assert small_config.random_samples in sampler.calls
+
+    def test_cr_zero_skips_sampling_content(self, pool):
+        config = BootstrapConfig(
+            leaf_set_size=8, entries_per_slot=2, random_samples=0
+        )
+        node = build_node(config, EmptySampler(), node_id=1000)
+        node.leaf_set.update([make_descriptor(1001)])
+        message = node.create_message(make_descriptor(1002))
+        # Only the leaf member and own descriptor can appear.
+        assert {d.node_id for d in message.descriptors} <= {1000, 1001}
+
+
+class TestExchange:
+    def test_initiate_exchange_returns_peer_and_request(
+        self, small_config, pool
+    ):
+        node = build_node(small_config, ListSampler(pool))
+        node.start()
+        peer, request = node.initiate_exchange()
+        assert peer.node_id != node.node_id
+        assert not request.is_reply
+        assert node.stats.requests_sent == 1
+
+    def test_initiate_exchange_none_without_peers(self, small_config):
+        node = build_node(small_config, EmptySampler())
+        assert node.initiate_exchange() is None
+        assert node.stats.requests_sent == 0
+
+    def test_handle_request_answers_from_pre_exchange_state(
+        self, small_config
+    ):
+        """Figure 2 passive thread: the answer is built before the
+        received descriptors are applied."""
+        a = build_node(small_config, EmptySampler(), node_id=1000, seed=1)
+        b = build_node(small_config, EmptySampler(), node_id=2000, seed=2)
+        a.leaf_set.update([make_descriptor(1001)])
+        request = BootstrapMessage(
+            sender=b.descriptor, descriptors=(make_descriptor(1500),)
+        )
+        reply = a.handle_request(request)
+        assert reply.is_reply
+        # 1500 arrived in the request; the pre-exchange answer cannot
+        # contain it.
+        assert all(d.node_id != 1500 for d in reply.descriptors)
+        # ...but a absorbed it afterwards.
+        assert 1500 in a.leaf_set.member_ids()
+
+    def test_full_exchange_updates_both(self, small_config, pool):
+        a = build_node(small_config, ListSampler(pool), node_id=10, seed=1)
+        b = build_node(small_config, ListSampler(pool), node_id=20, seed=2)
+        a.start()
+        b.start()
+        peer, request = a.initiate_exchange()
+        reply = b.handle_request(request)
+        a.handle_reply(reply)
+        assert b.stats.requests_received == 1
+        assert a.stats.replies_received == 1
+        # Each learned about the other.
+        assert a.node_id in b.leaf_set.member_ids()
+        assert b.node_id in a.leaf_set.member_ids()
+
+    def test_absorb_feeds_both_tables(self, small_config):
+        node = build_node(small_config, EmptySampler(), node_id=1000)
+        others = tuple(make_descriptor(i) for i in (900, 1100))
+        node.absorb(
+            BootstrapMessage(sender=make_descriptor(2000), descriptors=others)
+        )
+        assert {900, 1100} <= node.leaf_set.member_ids()
+        assert {900, 1100, 2000} <= node.prefix_table.member_ids()
+
+    def test_stats_counters(self, small_config, pool):
+        node = build_node(small_config, ListSampler(pool))
+        node.start()
+        node.initiate_exchange()
+        reply = node.handle_request(
+            BootstrapMessage(sender=pool[0], descriptors=(pool[1],))
+        )
+        node.handle_reply(
+            BootstrapMessage(
+                sender=pool[2], descriptors=(), is_reply=True
+            )
+        )
+        stats = node.stats
+        assert stats.requests_sent == 1
+        assert stats.replies_sent == 1
+        assert stats.requests_received == 1
+        assert stats.replies_received == 1
+        assert stats.messages_sent == 2
+        assert stats.messages_received == 2
+        snapshot = stats.snapshot()
+        assert snapshot["requests_sent"] == 1
+
+    def test_set_time_stamps_advertisements(self, small_config, pool):
+        node = build_node(small_config, ListSampler(pool))
+        node.start()
+        node.set_time(42.0)
+        message = node.create_message(pool[0])
+        assert message.sender.timestamp == 42.0

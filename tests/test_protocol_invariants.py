@@ -1,0 +1,152 @@
+"""Property-based whole-protocol invariants.
+
+Hypothesis drives randomized small populations through randomized
+exchange schedules and asserts the structural invariants that must
+hold at *every* intermediate state -- not just at convergence.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BootstrapConfig, BootstrapNode, NodeDescriptor
+from repro.sampling import MembershipRegistry, OracleSampler
+
+
+CONFIG = BootstrapConfig(
+    leaf_set_size=4, entries_per_slot=1, random_samples=3
+)
+
+
+def build_population(ids, seed):
+    registry = MembershipRegistry()
+    for index, node_id in enumerate(ids):
+        registry.add(NodeDescriptor(node_id=node_id, address=index))
+    nodes = {}
+    master = random.Random(seed)
+    for node_id in ids:
+        sampler = OracleSampler(
+            registry, node_id, random.Random(master.getrandbits(64))
+        )
+        node = BootstrapNode(
+            NodeDescriptor(node_id=node_id, address=node_id),
+            CONFIG,
+            sampler,
+            random.Random(master.getrandbits(64)),
+        )
+        node.start()
+        nodes[node_id] = node
+    return nodes
+
+
+def check_invariants(nodes, live_ids):
+    space = CONFIG.space
+    for node in nodes.values():
+        # 1. A node never tracks itself.
+        assert node.node_id not in node.leaf_set.member_ids()
+        assert node.node_id not in node.prefix_table.member_ids()
+        # 2. Tables only reference real members of the universe.
+        assert node.leaf_set.member_ids() <= live_ids
+        assert node.prefix_table.member_ids() <= live_ids
+        # 3. Leaf set within capacity and balanced per the rule.
+        assert len(node.leaf_set) <= CONFIG.leaf_set_size
+        # 4. Prefix entries all sit in their correct slot, within k.
+        for slot, descriptors in node.prefix_table.iter_slots():
+            assert len(descriptors) <= CONFIG.entries_per_slot
+            for desc in descriptors:
+                assert space.prefix_slot(node.node_id, desc.node_id) == slot
+
+
+@st.composite
+def population_and_schedule(draw):
+    size = draw(st.integers(min_value=3, max_value=12))
+    ids = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=2**64 - 1),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    schedule = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=size - 1),
+                st.booleans(),  # deliver the reply?
+            ),
+            max_size=40,
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return sorted(ids), schedule, seed
+
+
+class TestProtocolInvariants:
+    @given(population_and_schedule())
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold_under_any_schedule(self, scenario):
+        ids, schedule, seed = scenario
+        nodes = build_population(ids, seed)
+        live_ids = set(ids)
+        id_list = list(ids)
+        check_invariants(nodes, live_ids)
+        for initiator_index, deliver_reply in schedule:
+            initiator = nodes[id_list[initiator_index]]
+            begun = initiator.initiate_exchange()
+            if begun is None:
+                continue
+            peer_desc, request = begun
+            responder = nodes.get(peer_desc.node_id)
+            if responder is None:
+                continue
+            reply = responder.handle_request(request)
+            if deliver_reply:
+                initiator.handle_reply(reply)
+            check_invariants(nodes, live_ids)
+
+    @given(population_and_schedule())
+    @settings(max_examples=30, deadline=None)
+    def test_knowledge_never_regresses(self, scenario):
+        """Monotonicity: the set of ids a node has ever placed in its
+        prefix table never shrinks (fill-only semantics), and leaf-set
+        distance to the nearest successor never increases."""
+        ids, schedule, seed = scenario
+        nodes = build_population(ids, seed)
+        id_list = list(ids)
+        space = CONFIG.space
+        previous_prefix = {
+            nid: set(n.prefix_table.member_ids()) for nid, n in nodes.items()
+        }
+
+        def nearest_distance(node):
+            members = node.leaf_set.member_ids()
+            if not members:
+                return space.size
+            return min(
+                space.ring_distance(node.node_id, m) for m in members
+            )
+
+        previous_nearest = {
+            nid: nearest_distance(n) for nid, n in nodes.items()
+        }
+        for initiator_index, deliver_reply in schedule:
+            initiator = nodes[id_list[initiator_index]]
+            begun = initiator.initiate_exchange()
+            if begun is None:
+                continue
+            peer_desc, request = begun
+            responder = nodes.get(peer_desc.node_id)
+            if responder is None:
+                continue
+            reply = responder.handle_request(request)
+            if deliver_reply:
+                initiator.handle_reply(reply)
+            for nid, node in nodes.items():
+                current = set(node.prefix_table.member_ids())
+                assert previous_prefix[nid] <= current
+                previous_prefix[nid] = current
+                nearest = nearest_distance(node)
+                assert nearest <= previous_nearest[nid]
+                previous_nearest[nid] = nearest

@@ -1,0 +1,213 @@
+"""Tests for the reference-table oracle (digit trie, perfect tables)."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DigitTrie, IDSpace, ReferenceTables, select_balanced_ids
+
+ids16 = st.integers(min_value=0, max_value=2**16 - 1)
+
+
+def brute_force_slot_counts(space, ids, own_id, cap):
+    """Slot populations by direct enumeration."""
+    counts = Counter()
+    for other in ids:
+        if other == own_id:
+            continue
+        counts[space.prefix_slot(own_id, other)] += 1
+    if cap is not None:
+        return {
+            slot: min(cap, count) for slot, count in counts.items()
+        }
+    return dict(counts)
+
+
+class TestDigitTrie:
+    def test_size(self, tiny_space, rng):
+        ids = [rng.getrandbits(16) for _ in range(100)]
+        trie = DigitTrie(tiny_space, set(ids))
+        assert trie.size == len(set(ids))
+
+    def test_single_id(self, tiny_space):
+        trie = DigitTrie(tiny_space, [42])
+        assert trie.slot_counts_for(42, cap=None) == {}
+
+    def test_two_ids(self, tiny_space):
+        a, b = 0b0000000000000000, 0b1100000000000000
+        trie = DigitTrie(tiny_space, [a, b])
+        counts = trie.slot_counts_for(a, cap=None)
+        assert counts == {(0, 0b11): 1}
+
+    def test_count_prefix_child(self, tiny_space):
+        ids = [0b0000000000000000, 0b0100000000000000, 0b0110000000000000]
+        trie = DigitTrie(tiny_space, ids)
+        # From the first id's perspective: two ids start with digit 01.
+        assert trie.count_prefix_child(ids[0], 0, 0b01) == 2
+
+    @given(ids=st.sets(ids16, min_size=1, max_size=80))
+    @settings(max_examples=100)
+    def test_matches_brute_force(self, ids):
+        space = IDSpace(bits=16, digit_bits=2)
+        trie = DigitTrie(space, ids)
+        for own_id in list(ids)[:10]:
+            assert trie.slot_counts_for(own_id, cap=None) == (
+                brute_force_slot_counts(space, ids, own_id, None)
+            )
+
+    @given(
+        ids=st.sets(ids16, min_size=1, max_size=80),
+        cap=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=50)
+    def test_cap_applied(self, ids, cap):
+        space = IDSpace(bits=16, digit_bits=2)
+        trie = DigitTrie(space, ids)
+        for own_id in list(ids)[:5]:
+            assert trie.slot_counts_for(own_id, cap=cap) == (
+                brute_force_slot_counts(space, ids, own_id, cap)
+            )
+
+    def test_query_for_absent_id(self, tiny_space):
+        """Querying a dead/hypothetical id gives its would-be
+        availability."""
+        ids = {0b0000000000000000, 0b0100000000000000}
+        trie = DigitTrie(tiny_space, ids)
+        ghost = 0b1000000000000000
+        counts = trie.slot_counts_for(ghost, cap=None)
+        assert counts == {(0, 0b00): 1, (0, 0b01): 1}
+
+
+class TestReferenceLeafSets:
+    def test_small_ring_complete(self, space):
+        ids = [100, 200, 300, 400]
+        reference = ReferenceTables(space, ids, 8, 3)
+        # c=8 > N-1=3: everyone knows everyone.
+        for node_id in ids:
+            assert reference.perfect_leaf_ids(node_id) == (
+                set(ids) - {node_id}
+            )
+
+    def test_ring_neighbours(self, space):
+        ids = list(range(0, 1000, 10))  # 100 nodes clustered near zero
+        reference = ReferenceTables(space, ids, 4, 3)
+        assert reference.perfect_leaf_ids(500) == {480, 490, 510, 520}
+        # The cluster occupies a tiny arc of the 2**64 ring: node 0 has
+        # no predecessors within half a ring, so backfill takes four
+        # successors (the paper's fill-from-the-other-direction rule).
+        assert reference.perfect_leaf_ids(0) == {10, 20, 30, 40}
+        # The top of the cluster symmetrically has only predecessors.
+        assert reference.perfect_leaf_ids(990) == {950, 960, 970, 980}
+
+    def test_true_wraparound_neighbours(self, space):
+        """Ids placed around the numeric origin do wrap."""
+        top = 2**64
+        ids = [top - 20, top - 10, 5, 15, 25, 35]
+        reference = ReferenceTables(space, ids, 4, 3)
+        assert reference.perfect_leaf_ids(5) == {top - 20, top - 10, 15, 25}
+        assert reference.perfect_leaf_ids(top - 10) == {top - 20, 5, 15, 25}
+
+    def test_matches_global_selection(self, space, rng):
+        """The oracle must equal the selection rule applied to ALL ids."""
+        ids = [rng.getrandbits(64) for _ in range(60)]
+        ids = list(set(ids))
+        reference = ReferenceTables(space, ids, 8, 3)
+        for node_id in ids[:15]:
+            expected = select_balanced_ids(space, node_id, set(ids), 4)
+            assert reference.perfect_leaf_ids(node_id) == expected
+
+    def test_unknown_id_raises(self, space):
+        reference = ReferenceTables(space, [1, 2, 3], 4, 3)
+        with pytest.raises(KeyError):
+            reference.perfect_leaf_ids(99)
+
+    def test_leaf_missing(self, space):
+        ids = [100, 200, 300, 400, 500, 600]
+        reference = ReferenceTables(space, ids, 4, 3)
+        perfect = reference.perfect_leaf_ids(300)
+        have = set(list(perfect)[:2])
+        assert reference.leaf_missing(300, have) == len(perfect) - 2
+        assert reference.leaf_missing(300, perfect) == 0
+
+
+class TestReferencePrefixTables:
+    def test_counts_match_trie(self, space, rng):
+        ids = list({rng.getrandbits(64) for _ in range(50)})
+        reference = ReferenceTables(space, ids, 4, 2)
+        for node_id in ids[:10]:
+            assert reference.perfect_prefix_counts(node_id) == (
+                brute_force_slot_counts(space, ids, node_id, 2)
+            )
+
+    def test_prefix_missing_counts_deficit(self, space):
+        ids = [0x1000000000000000, 0x2000000000000000, 0x3000000000000000]
+        reference = ReferenceTables(space, ids, 2, 3)
+        own = ids[0]
+        perfect = reference.perfect_prefix_counts(own)
+        assert reference.prefix_missing(own, {}) == sum(perfect.values())
+        assert reference.prefix_missing(own, perfect) == 0
+
+    def test_surplus_does_not_offset(self, space):
+        ids = [0x1000000000000000, 0x2000000000000000, 0x3000000000000000]
+        reference = ReferenceTables(space, ids, 2, 3)
+        own = ids[0]
+        # Claim surplus in a wrong slot; deficit elsewhere must remain.
+        occupancy = {(5, 5): 10}
+        perfect = reference.perfect_prefix_counts(own)
+        assert reference.prefix_missing(own, occupancy) == sum(
+            perfect.values()
+        )
+
+
+class TestTotalsAndQueries:
+    def test_totals_sum_everything(self, space, rng):
+        ids = list({rng.getrandbits(64) for _ in range(30)})
+        reference = ReferenceTables(space, ids, 4, 2)
+        total_leaf, total_prefix = reference.totals()
+        assert total_leaf == sum(
+            len(reference.perfect_leaf_ids(i)) for i in ids
+        )
+        assert total_prefix == sum(
+            sum(reference.perfect_prefix_counts(i).values()) for i in ids
+        )
+
+    def test_totals_cached(self, space):
+        reference = ReferenceTables(space, [1, 2, 3], 4, 2)
+        assert reference.totals() is reference.totals() or (
+            reference.totals() == reference.totals()
+        )
+
+    def test_population_and_contains(self, space):
+        reference = ReferenceTables(space, [5, 6, 7], 4, 2)
+        assert reference.population == 3
+        assert 5 in reference
+        assert 99 not in reference
+        assert reference.ids == (5, 6, 7)
+
+    def test_rejects_empty(self, space):
+        with pytest.raises(ValueError):
+            ReferenceTables(space, [], 4, 2)
+
+    def test_rejects_bad_parameters(self, space):
+        with pytest.raises(ValueError):
+            ReferenceTables(space, [1], 3, 2)
+        with pytest.raises(ValueError):
+            ReferenceTables(space, [1], 4, 0)
+
+    def test_nearest_live(self, space):
+        reference = ReferenceTables(space, [100, 200, 300], 4, 2)
+        assert reference.nearest_live(120) == 100
+        assert reference.nearest_live(180) == 200
+        assert reference.nearest_live(150) == 100  # tie -> smaller id
+        assert reference.nearest_live(250) == 200  # tie -> smaller id
+        assert reference.nearest_live(2**63) == 300
+
+    def test_nearest_live_wraparound(self, space):
+        reference = ReferenceTables(space, [10, 2**64 - 10], 4, 2)
+        assert reference.nearest_live(2) == 10
+        assert reference.nearest_live(2**64 - 2) == 2**64 - 10

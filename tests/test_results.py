@@ -1,0 +1,72 @@
+"""Tests for SimulationResult helpers and relative-cycle accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BootstrapSimulation
+from repro.core import BootstrapConfig
+
+FAST = BootstrapConfig(leaf_set_size=8, entries_per_slot=2, random_samples=10)
+
+
+class TestSeriesAccess:
+    def test_series_match_samples(self):
+        result = BootstrapSimulation(32, config=FAST, seed=61).run(30)
+        leaf = result.leaf_series()
+        prefix = result.prefix_series()
+        assert len(leaf) == len(result.samples)
+        assert leaf[0][0] == result.samples[0].cycle
+        assert prefix[-1][1] == result.samples[-1].prefix_fraction
+
+    def test_final_sample(self):
+        result = BootstrapSimulation(32, config=FAST, seed=61).run(30)
+        assert result.final_sample == result.samples[-1]
+
+    def test_messages_per_node_per_cycle(self):
+        result = BootstrapSimulation(32, config=FAST, seed=61).run(30)
+        # 2 messages per exchange, 1 exchange per node per cycle, minus
+        # suppressed replies (none on a reliable net).
+        assert result.messages_per_node_per_cycle() == pytest.approx(
+            2.0, abs=0.05
+        )
+
+
+class TestRelativeCycles:
+    def test_fresh_run_relative_equals_absolute(self):
+        result = BootstrapSimulation(32, config=FAST, seed=62).run(30)
+        assert result.started_at_cycle == 0
+        assert result.cycles_to_converge == result.converged_at
+
+    def test_restarted_run_counts_from_restart(self):
+        sim = BootstrapSimulation(32, config=FAST, seed=62)
+        first = sim.run(30)
+        assert first.converged
+        for node in sim.nodes.values():
+            node.restart()
+        second = sim.run(30)
+        assert second.converged
+        assert second.started_at_cycle == first.cycles_run
+        assert second.converged_at > first.converged_at
+        # Relative cost comparable to the first bootstrap.
+        assert second.cycles_to_converge <= first.cycles_to_converge + 4
+
+    def test_unconverged_has_no_relative_cycles(self):
+        result = BootstrapSimulation(48, config=FAST, seed=63).run(
+            1, stop_when_perfect=False
+        )
+        assert result.cycles_to_converge is None
+
+    def test_second_run_ignores_first_runs_perfection(self):
+        """A later run must not report convergence based on a perfect
+        sample from an earlier run."""
+        sim = BootstrapSimulation(32, config=FAST, seed=64)
+        first = sim.run(30)
+        assert first.converged
+        # Break the pool, then run with a tiny budget: must report
+        # not-converged even though old perfect samples exist.
+        victim = sim.live_ids[0]
+        sim.kill_node(victim)
+        second = sim.run(1, stop_when_perfect=False)
+        if second.converged_at is not None:
+            assert second.converged_at > first.converged_at

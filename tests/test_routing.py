@@ -1,0 +1,120 @@
+"""Tests for the generic routing driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overlays import RouteResult, RouteStats, route
+
+
+class FakeNode:
+    """Scripted next_hop behaviour."""
+
+    def __init__(self, node_id, hops=None):
+        self._id = node_id
+        self.hops = hops or {}
+
+    @property
+    def node_id(self):
+        return self._id
+
+    def next_hop(self, target_id):
+        return self.hops.get(target_id)
+
+
+def chain_network(length):
+    """0 -> 1 -> 2 -> ... -> length-1 for target `length-1`."""
+    target = length - 1
+    network = {}
+    for i in range(length):
+        node = FakeNode(i)
+        if i < length - 1:
+            node.hops[target] = i + 1
+        network[i] = node
+    return network, target
+
+
+class TestRoute:
+    def test_delivery_along_chain(self):
+        network, target = chain_network(5)
+        result = route(network, 0, target, responsible_id=target)
+        assert result.success
+        assert result.path == (0, 1, 2, 3, 4)
+        assert result.hops == 4
+        assert result.reason == "delivered"
+        assert result.delivered_to == 4
+
+    def test_immediate_delivery(self):
+        network, _ = chain_network(3)
+        result = route(network, 2, 99, responsible_id=2)
+        assert result.success
+        assert result.hops == 0
+
+    def test_misdelivery(self):
+        network, target = chain_network(3)
+        result = route(network, 2, target, responsible_id=0)
+        assert not result.success
+        assert result.reason == "delivered"
+
+    def test_dead_end(self):
+        network = {0: FakeNode(0, {5: 7})}
+        result = route(network, 0, 5, responsible_id=5)
+        assert not result.success
+        assert result.reason == "dead-end"
+
+    def test_loop_detection(self):
+        network = {
+            0: FakeNode(0, {9: 1}),
+            1: FakeNode(1, {9: 0}),
+        }
+        result = route(network, 0, 9, responsible_id=9)
+        assert not result.success
+        assert result.reason == "loop"
+
+    def test_hop_limit(self):
+        network, target = chain_network(10)
+        result = route(network, 0, target, responsible_id=target, max_hops=3)
+        assert not result.success
+        assert result.reason == "hop-limit"
+
+    def test_self_hop_treated_as_delivery(self):
+        network = {0: FakeNode(0, {5: 0})}
+        result = route(network, 0, 5, responsible_id=0)
+        assert result.success
+        assert result.hops == 0
+
+    def test_unknown_start_raises(self):
+        network, target = chain_network(3)
+        with pytest.raises(KeyError):
+            route(network, 99, target, responsible_id=target)
+
+
+class TestRouteStats:
+    def test_aggregation(self):
+        network, target = chain_network(4)
+        stats = RouteStats()
+        stats.record(route(network, 0, target, responsible_id=target))
+        stats.record(route(network, 1, target, responsible_id=target))
+        assert stats.attempts == 2
+        assert stats.successes == 2
+        assert stats.success_rate == 1.0
+        assert stats.mean_hops == 2.5
+        assert stats.max_hops == 3
+
+    def test_failures_by_reason(self):
+        network = {0: FakeNode(0, {5: 7})}
+        stats = RouteStats()
+        stats.record(route(network, 0, 5, responsible_id=5))
+        stats.record(route(network, 0, 0, responsible_id=1))
+        assert stats.failures_by_reason == {
+            "dead-end": 1,
+            "misdelivered": 1,
+        }
+        assert stats.success_rate == 0.0
+
+    def test_empty_stats(self):
+        stats = RouteStats()
+        assert stats.success_rate == 0.0
+        assert stats.mean_hops == 0.0
+        row = stats.as_row()
+        assert row["attempts"] == 0

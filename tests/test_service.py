@@ -1,0 +1,54 @@
+"""Tests for the high-level bootstrapping-service facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BootstrapConfig
+from repro.service import BootstrapOutcome, BootstrappingService
+
+FAST = BootstrapConfig(leaf_set_size=8, entries_per_slot=2, random_samples=10)
+
+
+@pytest.fixture(scope="module")
+def service():
+    return BootstrappingService(config=FAST)
+
+
+@pytest.fixture(scope="module")
+def outcome(service):
+    return service.bootstrap(64, seed=41)
+
+
+class TestBootstrap:
+    def test_converges(self, outcome):
+        assert outcome.converged
+        assert outcome.cycles is not None
+        assert len(outcome.nodes) == 64
+
+    def test_pastry_export_routes(self, outcome):
+        overlay = outcome.pastry()
+        node_id = overlay.ids[0]
+        result = overlay.lookup(overlay.ids[-1], node_id)
+        assert result.success
+
+    def test_kademlia_export_routes(self, outcome):
+        overlay = outcome.kademlia()
+        ids = overlay.ids
+        result = overlay.lookup(ids[-1], ids[0])
+        assert result.success
+
+    def test_explicit_ids(self, service):
+        outcome = service.bootstrap(ids=list(range(1000, 1032)), seed=3)
+        assert set(outcome.nodes) == set(range(1000, 1032))
+        assert outcome.converged
+
+    def test_rebootstrap_after_merge(self, service):
+        """The paper's merge scenario through the facade: absorb a
+        second pool, restart, converge over the union."""
+        outcome = service.bootstrap(32, seed=42)
+        extra_ids = [2**40 + i for i in range(32)]
+        outcome.simulation.absorb_pool(extra_ids)
+        merged = service.rebootstrap(outcome)
+        assert merged.converged
+        assert len(merged.nodes) == 64

@@ -1,0 +1,156 @@
+"""Tests for the generic T-Man topology builder."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import IDSpace
+from repro.overlays import TManNode, ring_ranking, xor_ranking
+from repro.sampling import MembershipRegistry, OracleSampler
+from repro.simulator import RandomSource
+from .conftest import make_descriptor
+
+
+def build_tman_population(size, view_size=8, message_size=8, seed=2):
+    space = IDSpace()
+    source = RandomSource(seed)
+    rng = source.derive("ids")
+    descriptors = [
+        make_descriptor(rng.getrandbits(64), address=i) for i in range(size)
+    ]
+    registry = MembershipRegistry(descriptors)
+    rank = ring_ranking(space)
+    nodes = {}
+    for desc in descriptors:
+        sampler = OracleSampler(
+            registry, desc.node_id, source.derive(("s", desc.node_id))
+        )
+        nodes[desc.node_id] = TManNode(
+            desc,
+            rank,
+            view_size,
+            message_size,
+            source.derive(("r", desc.node_id)),
+            sampler=sampler,
+        )
+    return space, descriptors, nodes, source
+
+
+def run_tman_cycles(nodes, source, cycles):
+    order_rng = source.derive("order")
+    directory = nodes
+    for _ in range(cycles):
+        keys = list(directory)
+        order_rng.shuffle(keys)
+        for key in keys:
+            node = directory[key]
+            peer = node.select_peer()
+            if peer is None:
+                continue
+            partner = directory.get(peer.node_id)
+            if partner is None:
+                continue
+            request = node.payload_for(peer.node_id)
+            reply = partner.payload_for(node.node_id)
+            partner.merge(request)
+            node.merge(reply)
+
+
+class TestRankings:
+    def test_ring_ranking(self):
+        space = IDSpace()
+        rank = ring_ranking(space)
+        assert rank(10, 12) == 2
+        assert rank(10, 8) == 2
+        assert rank(0, 2**63) == 2**63
+
+    def test_xor_ranking(self):
+        space = IDSpace()
+        rank = xor_ranking(space)
+        assert rank(0b1010, 0b1000) == 0b0010
+
+
+class TestTManNode:
+    def test_validates_sizes(self, rng):
+        space = IDSpace()
+        with pytest.raises(ValueError):
+            TManNode(make_descriptor(1), ring_ranking(space), 0, 5, rng)
+        with pytest.raises(ValueError):
+            TManNode(make_descriptor(1), ring_ranking(space), 5, 0, rng)
+
+    def test_merge_keeps_best(self, rng):
+        space = IDSpace()
+        node = TManNode(
+            make_descriptor(1000), ring_ranking(space), 3, 3, rng
+        )
+        node.merge([make_descriptor(i) for i in (2000, 1001, 999, 5000, 1002)])
+        assert set(node.view_ids()) == {1001, 999, 1002}
+
+    def test_merge_excludes_self(self, rng):
+        space = IDSpace()
+        node = TManNode(make_descriptor(1000), ring_ranking(space), 3, 3, rng)
+        node.merge([make_descriptor(1000), make_descriptor(999)])
+        assert node.view_ids() == [999]
+
+    def test_payload_ranked_for_peer(self, rng):
+        space = IDSpace()
+        node = TManNode(make_descriptor(1000), ring_ranking(space), 5, 2, rng)
+        node.merge([make_descriptor(i) for i in (500, 495, 900)])
+        payload = node.payload_for(500)
+        ids = [d.node_id for d in payload]
+        # The two best for peer 500: 495 and itself-ish candidates; own
+        # descriptor (1000) ranks worse than 495.
+        assert ids == [495, 500] or ids == [495, 900]
+
+    def test_payload_excludes_peer(self, rng):
+        space = IDSpace()
+        node = TManNode(make_descriptor(1000), ring_ranking(space), 5, 5, rng)
+        node.merge([make_descriptor(500)])
+        payload = node.payload_for(500)
+        assert all(d.node_id != 500 for d in payload)
+
+    def test_select_peer_better_half(self, rng):
+        space = IDSpace()
+        node = TManNode(make_descriptor(1000), ring_ranking(space), 4, 4, rng)
+        node.merge(
+            [make_descriptor(i) for i in (1001, 1002, 5000, 9000)]
+        )
+        for _ in range(20):
+            assert node.select_peer().node_id in {1001, 1002}
+
+    def test_start_seeds_from_sampler(self):
+        space, descriptors, nodes, _ = build_tman_population(10)
+        node = next(iter(nodes.values()))
+        assert not node.started
+        node.start()
+        assert node.started
+        assert len(node.view_ids()) > 0
+
+    def test_best(self, rng):
+        space = IDSpace()
+        node = TManNode(make_descriptor(1000), ring_ranking(space), 5, 5, rng)
+        node.merge([make_descriptor(i) for i in (900, 1001, 1500)])
+        assert node.best(2) == [1001, 900]
+        assert node.knows(900)
+        assert not node.knows(12345)
+
+
+class TestRingFormation:
+    def test_converges_to_sorted_ring(self):
+        """After enough cycles every node's view must contain both of
+        its true ring neighbours (the sorted ring is built)."""
+        space, descriptors, nodes, source = build_tman_population(40)
+        for node in nodes.values():
+            node.start()
+        run_tman_cycles(nodes, source, 15)
+        sorted_ids = sorted(nodes)
+        n = len(sorted_ids)
+        linked = 0
+        for index, node_id in enumerate(sorted_ids):
+            succ = sorted_ids[(index + 1) % n]
+            pred = sorted_ids[(index - 1) % n]
+            if nodes[node_id].knows(succ) and nodes[node_id].knows(pred):
+                linked += 1
+        assert linked >= 0.95 * n

@@ -1,0 +1,128 @@
+"""Tests for NEWSCAST partial views."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sampling import PartialView
+from .conftest import make_descriptor
+
+
+class TestConstruction:
+    def test_validates_capacity(self):
+        with pytest.raises(ValueError):
+            PartialView(owner_id=1, capacity=0)
+
+    def test_empty(self):
+        view = PartialView(owner_id=1, capacity=5)
+        assert len(view) == 0
+        assert view.descriptors() == []
+        assert view.capacity == 5
+        assert view.owner_id == 1
+
+
+class TestMerge:
+    def test_basic_insert(self):
+        view = PartialView(1, 5)
+        view.merge([make_descriptor(2), make_descriptor(3)])
+        assert view.member_ids() == {2, 3}
+
+    def test_never_stores_owner(self):
+        view = PartialView(1, 5)
+        view.merge([make_descriptor(1), make_descriptor(2)])
+        assert 1 not in view
+        assert view.member_ids() == {2}
+
+    def test_keeps_freshest_per_node(self):
+        view = PartialView(1, 5)
+        view.merge([make_descriptor(2, timestamp=1.0)])
+        view.merge([make_descriptor(2, address="new", timestamp=2.0)])
+        assert len(view) == 1
+        [entry] = view.descriptors()
+        assert entry.address == "new"
+
+    def test_stale_ignored(self):
+        view = PartialView(1, 5)
+        view.merge([make_descriptor(2, address="new", timestamp=2.0)])
+        view.merge([make_descriptor(2, address="old", timestamp=1.0)])
+        [entry] = view.descriptors()
+        assert entry.address == "new"
+
+    def test_capacity_evicts_stalest(self):
+        view = PartialView(1, 3)
+        view.merge(
+            [make_descriptor(i, timestamp=float(i)) for i in range(2, 8)]
+        )
+        assert len(view) == 3
+        # Freshest timestamps (5, 6, 7) survive.
+        assert view.member_ids() == {5, 6, 7}
+
+    def test_eviction_tie_break_deterministic(self):
+        view = PartialView(1, 2)
+        view.merge([make_descriptor(i, timestamp=1.0) for i in (4, 2, 3)])
+        # Equal freshness: smaller ids win the tie deterministically.
+        assert view.member_ids() == {2, 3}
+
+
+class TestSampling:
+    def test_random_descriptor(self, rng):
+        view = PartialView(1, 5)
+        view.merge([make_descriptor(i) for i in (2, 3, 4)])
+        for _ in range(20):
+            assert view.random_descriptor(rng).node_id in {2, 3, 4}
+
+    def test_random_descriptor_empty(self, rng):
+        assert PartialView(1, 5).random_descriptor(rng) is None
+
+    def test_random_sample_distinct(self, rng):
+        view = PartialView(1, 10)
+        view.merge([make_descriptor(i) for i in range(2, 12)])
+        sample = view.random_sample(5, rng)
+        ids = [d.node_id for d in sample]
+        assert len(ids) == 5
+        assert len(set(ids)) == 5
+
+    def test_random_sample_caps_at_size(self, rng):
+        view = PartialView(1, 10)
+        view.merge([make_descriptor(2)])
+        assert len(view.random_sample(5, rng)) == 1
+
+    def test_random_sample_zero(self, rng):
+        view = PartialView(1, 10)
+        view.merge([make_descriptor(2)])
+        assert view.random_sample(0, rng) == []
+
+
+class TestMaintenance:
+    def test_remove(self):
+        view = PartialView(1, 5)
+        view.merge([make_descriptor(2)])
+        assert view.remove(2)
+        assert not view.remove(2)
+        assert len(view) == 0
+
+    def test_clear(self):
+        view = PartialView(1, 5)
+        view.merge([make_descriptor(i) for i in (2, 3)])
+        view.clear()
+        assert len(view) == 0
+
+    def test_oldest(self):
+        view = PartialView(1, 5)
+        view.merge(
+            [
+                make_descriptor(2, timestamp=5.0),
+                make_descriptor(3, timestamp=1.0),
+            ]
+        )
+        assert view.oldest().node_id == 3
+
+    def test_oldest_empty(self):
+        assert PartialView(1, 5).oldest() is None
+
+    def test_iteration(self):
+        view = PartialView(1, 5)
+        view.merge([make_descriptor(i) for i in (2, 3)])
+        assert {d.node_id for d in view} == {2, 3}
