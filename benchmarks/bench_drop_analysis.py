@@ -18,31 +18,42 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import render_table
-from repro.simulator import ExperimentSpec, NetworkModel, run_experiment
+from repro.runtime import RunSpec
+from repro.simulator import ExperimentSpec, NetworkModel
+
+from common import run_specs, throughput_lines
 
 SIZE = 1024
 DROPS = [0.0, 0.1, 0.2, 0.3]
 
 
 def run_sweep():
-    outcomes = []
-    for drop in DROPS:
-        network = NetworkModel(drop_probability=drop)
-        result = run_experiment(
-            ExperimentSpec(
+    """One run per drop rate, dispatched through the sweep runner
+    (the per-drop runs are independent, so they shard cleanly)."""
+    networks = [NetworkModel(drop_probability=drop) for drop in DROPS]
+    specs = [
+        RunSpec(
+            experiment=ExperimentSpec(
                 size=SIZE,
                 seed=400,
                 network=network,
                 max_cycles=120,
-            )
+            ),
+            shard=index,
         )
-        outcomes.append((drop, network, result))
-    return outcomes
+        for index, network in enumerate(networks)
+    ]
+    runs = run_specs(specs)
+    outcomes = [
+        (drop, network, run.result)
+        for drop, network, run in zip(DROPS, networks, runs)
+    ]
+    return outcomes, runs
 
 
 @pytest.mark.benchmark(group="drop-analysis")
 def test_drop_arithmetic_and_slowdown(benchmark):
-    outcomes = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    outcomes, runs = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
 
     baseline = outcomes[0][2]
     assert baseline.converged
@@ -74,20 +85,25 @@ def test_drop_arithmetic_and_slowdown(benchmark):
 
     emit(
         "drop_analysis",
-        render_table(
+        "\n".join(
             [
-                "drop p",
-                "loss (closed form)",
-                "loss (measured)",
-                "wire loss",
-                "slowdown",
-                "1/(1-loss)",
-            ],
-            rows,
-            title=(
-                f"message-loss accounting, N={SIZE} "
-                "(paper: 20% drop => 28% overall loss, proportional "
-                "slowdown)"
-            ),
+                render_table(
+                    [
+                        "drop p",
+                        "loss (closed form)",
+                        "loss (measured)",
+                        "wire loss",
+                        "slowdown",
+                        "1/(1-loss)",
+                    ],
+                    rows,
+                    title=(
+                        f"message-loss accounting, N={SIZE} "
+                        "(paper: 20% drop => 28% overall loss, "
+                        "proportional slowdown)"
+                    ),
+                ),
+                throughput_lines(runs),
+            ]
         ),
     )

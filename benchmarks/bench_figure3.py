@@ -20,7 +20,8 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import ascii_semilog, mean_series, render_table
-from repro.simulator import ExperimentSpec, run_repeats
+from repro.runtime import expand_repeats
+from repro.simulator import ExperimentSpec
 
 from common import (
     bench_sizes,
@@ -28,21 +29,34 @@ from common import (
     leaf_series,
     prefix_series,
     repeats_for,
+    run_specs,
     size_label,
+    throughput_lines,
 )
 
 
 def run_figure3():
-    """Run the sweep; returns (per-size results, leaf curves, prefix
-    curves)."""
-    all_results = {}
-    leaf_curves = []
-    prefix_curves = []
+    """Run the sweep through the sweep runner; returns (per-size
+    results, leaf curves, prefix curves, shard outcomes).
+
+    All shards (every size x repeat) go to the runner in one batch so
+    a parallel run keeps every worker busy across the whole sweep.
+    """
+    specs = []
     for size in bench_sizes():
         spec = ExperimentSpec(
             size=size, seed=100 + size, max_cycles=60, label=size_label(size)
         )
-        results = run_repeats(spec, repeats_for(size))
+        specs.extend(
+            expand_repeats(spec, repeats_for(size), first_shard=len(specs))
+        )
+    runs = run_specs(specs)
+
+    all_results = {}
+    leaf_curves = []
+    prefix_curves = []
+    for size in bench_sizes():
+        results = [o.result for o in runs if o.spec.size == size]
         all_results[size] = results
         label = size_label(size)
         leaf_curves.append(
@@ -57,12 +71,12 @@ def run_figure3():
                 [prefix_series(r, label) for r in results],
             )
         )
-    return all_results, leaf_curves, prefix_curves
+    return all_results, leaf_curves, prefix_curves, runs
 
 
 @pytest.mark.benchmark(group="figure3")
 def test_figure3_no_failures(benchmark):
-    all_results, leaf_curves, prefix_curves = benchmark.pedantic(
+    all_results, leaf_curves, prefix_curves, runs = benchmark.pedantic(
         run_figure3, rounds=1, iterations=1
     )
 
@@ -129,6 +143,7 @@ def test_figure3_no_failures(benchmark):
                 rows,
                 title="cycles to perfect tables (paper: ~17-22 at 2^14..2^18)",
             ),
+            throughput_lines(runs),
         ]
     )
     emit("figure3", text, leaf_curves + prefix_curves)

@@ -20,7 +20,8 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import ascii_semilog, mean_series, render_table
-from repro.simulator import ExperimentSpec, PAPER_LOSSY, run_repeats
+from repro.runtime import expand_repeats
+from repro.simulator import ExperimentSpec, PAPER_LOSSY
 
 from common import (
     bench_sizes,
@@ -28,32 +29,58 @@ from common import (
     leaf_series,
     prefix_series,
     repeats_for,
+    run_specs,
     size_label,
+    throughput_lines,
 )
 
 
 def run_figure4():
+    """Both arms (lossy and reliable) of every size go to the runner
+    in one batch, so parallel runs keep all workers busy."""
+    specs = []
+    for size in bench_sizes():
+        label = size_label(size)
+        repeats = repeats_for(size)
+        specs.extend(
+            expand_repeats(
+                ExperimentSpec(
+                    size=size,
+                    seed=200 + size,
+                    network=PAPER_LOSSY,
+                    max_cycles=90,
+                    label=label,
+                ),
+                repeats,
+                first_shard=len(specs),
+            )
+        )
+        specs.extend(
+            expand_repeats(
+                ExperimentSpec(
+                    size=size, seed=200 + size, max_cycles=60, label=label
+                ),
+                repeats,
+                first_shard=len(specs),
+            )
+        )
+    runs = run_specs(specs)
+
     data = {}
     leaf_curves = []
     prefix_curves = []
     for size in bench_sizes():
         label = size_label(size)
-        lossy = run_repeats(
-            ExperimentSpec(
-                size=size,
-                seed=200 + size,
-                network=PAPER_LOSSY,
-                max_cycles=90,
-                label=label,
-            ),
-            repeats_for(size),
-        )
-        reliable = run_repeats(
-            ExperimentSpec(
-                size=size, seed=200 + size, max_cycles=60, label=label
-            ),
-            repeats_for(size),
-        )
+        lossy = [
+            o.result
+            for o in runs
+            if o.spec.size == size and o.spec.drop > 0.0
+        ]
+        reliable = [
+            o.result
+            for o in runs
+            if o.spec.size == size and o.spec.drop == 0.0
+        ]
         data[size] = (lossy, reliable)
         leaf_curves.append(
             mean_series(label, [leaf_series(r, label) for r in lossy])
@@ -61,12 +88,12 @@ def run_figure4():
         prefix_curves.append(
             mean_series(label, [prefix_series(r, label) for r in lossy])
         )
-    return data, leaf_curves, prefix_curves
+    return data, leaf_curves, prefix_curves, runs
 
 
 @pytest.mark.benchmark(group="figure4")
 def test_figure4_message_loss(benchmark):
-    data, leaf_curves, prefix_curves = benchmark.pedantic(
+    data, leaf_curves, prefix_curves, runs = benchmark.pedantic(
         run_figure4, rounds=1, iterations=1
     )
 
@@ -119,6 +146,7 @@ def test_figure4_message_loss(benchmark):
                     "expected overall loss 28%"
                 ),
             ),
+            throughput_lines(runs),
         ]
     )
     emit("figure4", text, leaf_curves + prefix_curves)

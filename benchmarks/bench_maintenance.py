@@ -48,7 +48,6 @@ def run_lifecycle():
     assert sim2.run(60).converged
     unmaintained_stale = []
     churn = Churn(rate=CHURN_RATE)
-    base_cycle = sim2.cycle
     for cycle in range(CYCLES):
         churn.apply(sim2, cycle)
         sim2.run_cycle()

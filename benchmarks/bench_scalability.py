@@ -20,9 +20,10 @@ import os
 import pytest
 
 from repro.analysis import Series, ascii_linear, linear_fit, render_table
-from repro.simulator import ExperimentSpec, run_repeats
+from repro.runtime import expand_repeats
+from repro.simulator import ExperimentSpec
 
-from common import emit, size_label
+from common import emit, run_specs, size_label, throughput_lines
 
 
 def ladder():
@@ -35,24 +36,35 @@ def ladder():
 
 
 def run_ladder():
+    # One batch for the whole ladder: parallel runs fill every worker.
+    specs = []
+    for size in ladder():
+        repeats = 3 if size <= 1024 else 2
+        specs.extend(
+            expand_repeats(
+                ExperimentSpec(size=size, seed=300 + size, max_cycles=60),
+                repeats,
+                first_shard=len(specs),
+            )
+        )
+    runs = run_specs(specs)
+
     points = []
     rows = []
     for size in ladder():
-        repeats = 3 if size <= 1024 else 2
-        results = run_repeats(
-            ExperimentSpec(size=size, seed=300 + size, max_cycles=60),
-            repeats,
-        )
+        results = [o.result for o in runs if o.spec.size == size]
         assert all(r.converged for r in results)
         mean_cycles = sum(r.converged_at for r in results) / len(results)
         points.append((math.log2(size), mean_cycles))
-        rows.append([size_label(size), repeats, mean_cycles])
-    return points, rows
+        rows.append([size_label(size), len(results), mean_cycles])
+    return points, rows, runs
 
 
 @pytest.mark.benchmark(group="scalability")
 def test_logarithmic_convergence(benchmark):
-    points, rows = benchmark.pedantic(run_ladder, rounds=1, iterations=1)
+    points, rows, runs = benchmark.pedantic(
+        run_ladder, rounds=1, iterations=1
+    )
 
     fit = linear_fit([p[0] for p in points], [p[1] for p in points])
     # Strongly linear in log N: the paper's additive-constant claim.
@@ -78,6 +90,7 @@ def test_logarithmic_convergence(benchmark):
             f"linear fit: cycles = {fit.slope:.2f} * log2(N) + "
             f"{fit.intercept:.2f}   (r^2 = {fit.r_squared:.3f})",
             "paper claim: +4x size => +constant cycles (logarithmic).",
+            throughput_lines(runs),
         ]
     )
     emit("scalability", text, [curve])

@@ -17,19 +17,29 @@ Scale knobs (environment variables):
 ``REPRO_BENCH_PAPER=1``
     The paper's full sweep (2^14, 2^16, 2^18).  Hours in pure Python;
     provided for completeness.
+``REPRO_BENCH_WORKERS=N``
+    Shard each benchmark's independent runs across N worker processes
+    (default 1).  Results are byte-identical for any value; only
+    wall-clock changes.
 
 The default sweep (2^10 and 2^12, 4x apart like the paper's sizes)
 preserves every qualitative claim: exponential decay, additive shift
 per 4x size, loss-proportional slowdown.
+
+Every artefact emitted through :func:`run_specs` carries an engine
+cycles/sec line (via :func:`throughput_lines`), so hot-loop
+optimisations show up as before/after deltas in
+``benchmarks/results/*.txt``.
 """
 
 from __future__ import annotations
 
 import os
 import pathlib
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.analysis import Series, format_dat
+from repro.runtime import RunResult, RunSpec, SweepRunner, throughput_summary
 from repro.simulator import SimulationResult
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -51,6 +61,47 @@ def bench_sizes() -> List[int]:
 def repeats_for(size: int) -> int:
     """Independent repeats for *size* (the paper used 50/10/4)."""
     return DEFAULT_REPEATS.get(size, 1)
+
+
+def bench_workers() -> int:
+    """Worker-process count for benchmark sweeps (env-controlled)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+
+
+def run_specs(specs: Sequence[RunSpec]) -> List[RunResult]:
+    """Execute shards through the sweep runner.
+
+    This is the single entry point all figure benchmarks use, so the
+    sequential CI path and a parallel ``REPRO_BENCH_WORKERS=8`` run
+    exercise the same code and produce identical statistics.
+    """
+    return SweepRunner(workers=bench_workers()).run(list(specs))
+
+
+def throughput_lines(runs: Sequence[RunResult]) -> str:
+    """Render the engine cycles/sec summary of a benchmark's shards.
+
+    Appears in every emitted artefact so engine-speed changes are
+    visible as before/after diffs of ``benchmarks/results/*.txt``.
+    The aggregate divides total cycles by summed per-shard wall time,
+    i.e. cycles per *CPU-second* -- with workers > 1 the shards
+    overlap, so this measures engine speed, not sweep elapsed time.
+    """
+    summary = throughput_summary(runs)
+    if summary is None:
+        return "engine throughput: no timed shards"
+    # Sum over the same timed-shard set throughput_summary uses, so
+    # the aggregate and the per-shard figures describe one population.
+    timed = [r for r in runs if r.wall_seconds > 0]
+    total_cycles = sum(r.result.cycles_run for r in timed)
+    total_wall = sum(r.wall_seconds for r in timed)
+    aggregate = total_cycles / total_wall if total_wall > 0 else 0.0
+    return (
+        f"engine throughput: {aggregate:.2f} cycles per CPU-second over "
+        f"{len(timed)} timed runs (per-shard mean {summary.mean:.2f}, "
+        f"min {summary.minimum:.2f}, max {summary.maximum:.2f} cycles/s; "
+        f"workers={bench_workers()})"
+    )
 
 
 def emit(name: str, text: str, series: Sequence[Series] = ()) -> None:

@@ -18,7 +18,6 @@ Run:  python examples/timeslice_overlays.py
 from __future__ import annotations
 
 from repro.analysis import render_table
-from repro.overlays import KademliaNetwork, PastryNetwork
 from repro.service import BootstrappingService
 from repro.simulator import RandomSource
 

@@ -31,6 +31,9 @@ Package map
 ``repro.analysis``
     Series handling, statistics, ASCII plotting, table rendering for
     the experiment harness.
+``repro.runtime``
+    Parallel experiment runtime: sweep grids sharded across a process
+    pool with deterministic seeding and analysis-layer merging.
 
 Quickstart
 ----------
@@ -59,6 +62,16 @@ from .sampling import (
     OracleSampler,
     PartialView,
     PeerSamplingService,
+)
+from .runtime import (
+    RunResult,
+    RunSpec,
+    ScheduleSpec,
+    ShardError,
+    SweepAggregate,
+    SweepGrid,
+    SweepRunner,
+    merge_results,
 )
 from .simulator import (
     BootstrapSimulation,
@@ -110,4 +123,13 @@ __all__ = [
     "MassiveJoin",
     "run_experiment",
     "run_repeats",
+    # runtime
+    "RunResult",
+    "RunSpec",
+    "ScheduleSpec",
+    "ShardError",
+    "SweepAggregate",
+    "SweepGrid",
+    "SweepRunner",
+    "merge_results",
 ]

@@ -9,7 +9,7 @@ reproduces that layout with one glyph per curve.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from .series import Series
 
@@ -29,7 +29,6 @@ def _render(
     format_tick,
 ) -> str:
     """Shared scatter renderer over a transformed y axis."""
-    curves = [s for s in series if len(s.nonzero() if transform == math.log10 else s)]
     points = []
     for index, s in enumerate(series):
         usable = s.nonzero() if transform is math.log10 else s

@@ -10,7 +10,7 @@ be re-plotted outside Python.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, TextIO, Tuple
 
 __all__ = ["Series", "mean_series", "write_dat", "format_dat"]

@@ -6,7 +6,7 @@ renderer so the harness output stays uniform and greppable.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Sequence
 
 __all__ = ["render_table", "render_kv"]
 

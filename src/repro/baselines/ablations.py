@@ -20,7 +20,7 @@ contribution to convergence speed.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Type
+from typing import Dict, Type
 
 from ..core.descriptor import NodeDescriptor
 from ..core.messages import BootstrapMessage

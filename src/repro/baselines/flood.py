@@ -16,7 +16,7 @@ times is a handful of gossip rounds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..simulator.random_source import RandomSource
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from ..core.config import BootstrapConfig, PAPER_CONFIG
 from ..core.descriptor import NodeDescriptor

@@ -5,15 +5,18 @@ Examples
 ::
 
     python -m repro bootstrap --size 1024 --seed 7
-    python -m repro figure3 --exponents 10 12
+    python -m repro figure3 --exponents 10 12 --workers 4
     python -m repro figure4 --exponents 10
+    python -m repro sweep --sizes 256 1024 --drops 0.0 0.2 --replicas 3 --workers 4
     python -m repro churn --size 512 --rate 0.01
     python -m repro aggregate --size 256
     python -m repro broadcast --size 1024 --fanout 3
 
 Every subcommand prints the same artefacts the benchmark harness
 produces (ASCII figures / tables), so quick parameter exploration does
-not require pytest.
+not require pytest.  Sweep-style commands (``figure3``, ``figure4``,
+``sweep``) accept ``--workers N`` to shard their independent runs
+across a process pool; results are identical for any worker count.
 """
 
 from __future__ import annotations
@@ -24,10 +27,17 @@ from typing import List, Optional
 
 from .analysis import Series, ascii_semilog, render_kv, render_table
 from .components import AggregationExperiment, BroadcastConfig, GossipBroadcast
-from .core import PAPER_CONFIG
+from .runtime import (
+    RunSpec,
+    SweepGrid,
+    SweepRunner,
+    merge_results,
+    throughput_summary,
+)
 from .simulator import (
     BootstrapSimulation,
     Churn,
+    ExperimentSpec,
     NetworkModel,
 )
 
@@ -47,16 +57,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "shard independent runs across N worker processes "
+            "(1 = in-process; results are identical for any value)"
+        ),
+    )
+
+
 def _network(args: argparse.Namespace) -> NetworkModel:
     return NetworkModel(drop_probability=args.drop)
 
 
-def _run_one(size: int, args: argparse.Namespace) -> "tuple[Series, Series]":
-    sim = BootstrapSimulation(
-        size, seed=args.seed, network=_network(args)
-    )
-    result = sim.run(args.max_cycles)
-    label = f"N={size}"
+def _print_run(size: int, result, label: str) -> None:
+    """Per-run summary block shared by the bootstrap and figure
+    commands."""
     print(
         render_kv(
             {
@@ -69,6 +88,15 @@ def _run_one(size: int, args: argparse.Namespace) -> "tuple[Series, Series]":
             title=f"bootstrap {label}",
         )
     )
+
+
+def _run_one(size: int, args: argparse.Namespace) -> "tuple[Series, Series]":
+    sim = BootstrapSimulation(
+        size, seed=args.seed, network=_network(args)
+    )
+    result = sim.run(args.max_cycles)
+    label = f"N={size}"
+    _print_run(size, result, label)
     return (
         Series.from_pairs(label, result.leaf_series()),
         Series.from_pairs(label, result.prefix_series()),
@@ -88,15 +116,40 @@ def cmd_bootstrap(args: argparse.Namespace) -> int:
 
 
 def cmd_figure(args: argparse.Namespace, lossy: bool) -> int:
-    """Regenerate Figure 3 (or Figure 4 when *lossy*)."""
+    """Regenerate Figure 3 (or Figure 4 when *lossy*).
+
+    The per-size runs are independent, so they are dispatched through
+    the sweep runner; ``--workers N`` shards them across processes.
+    """
     if lossy and args.drop == 0.0:
         args.drop = 0.2
+    specs = []
+    for index, exponent in enumerate(args.exponents):
+        size = 2**exponent
+        spec = ExperimentSpec(
+            size=size,
+            seed=args.seed,
+            network=_network(args),
+            max_cycles=args.max_cycles,
+            label=f"N={size}",
+        )
+        # One replica per size, seeded exactly as the sequential CLI
+        # always was (the spec's own seed, no replica derivation).
+        specs.append(RunSpec(experiment=spec, shard=index))
+    outcomes = SweepRunner(workers=args.workers).run(specs)
+
     leaf_curves: List[Series] = []
     prefix_curves: List[Series] = []
-    for exponent in args.exponents:
-        leaf, prefix = _run_one(2**exponent, args)
-        leaf_curves.append(leaf.nonzero())
-        prefix_curves.append(prefix.nonzero())
+    for outcome in outcomes:
+        result = outcome.result
+        label = outcome.spec.experiment.label
+        _print_run(outcome.spec.size, result, label)
+        leaf_curves.append(
+            Series.from_pairs(label, result.leaf_series()).nonzero()
+        )
+        prefix_curves.append(
+            Series.from_pairs(label, result.prefix_series()).nonzero()
+        )
     name = "Figure 4" if lossy else "Figure 3"
     print(
         ascii_semilog(
@@ -109,6 +162,67 @@ def cmd_figure(args: argparse.Namespace, lossy: bool) -> int:
             prefix_curves,
             title=f"{name} (bottom): proportion of missing prefix table "
             "entries",
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a full experiment grid and print merged statistics."""
+    grid = SweepGrid(
+        sizes=tuple(args.sizes),
+        drop_rates=tuple(args.drops),
+        replicas=args.replicas,
+        base_seed=args.seed,
+        max_cycles=args.max_cycles,
+    )
+    results = SweepRunner(workers=args.workers).run_grid(grid)
+    aggregate = merge_results(results)
+
+    rows = []
+    for cell in aggregate.cells:
+        cycles = cell.cycles
+        rows.append(
+            [
+                cell.size,
+                cell.drop,
+                f"{cell.converged_runs}/{cell.runs}",
+                "-" if cycles is None else f"{cycles.mean:.1f}",
+                "-" if cycles is None else f"{cycles.minimum:g}",
+                "-" if cycles is None else f"{cycles.maximum:g}",
+                f"{cell.overall_loss_fraction:.3f}",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "size",
+                "drop",
+                "converged",
+                "mean cycles",
+                "min",
+                "max",
+                "overall loss",
+            ],
+            rows,
+            title=(
+                f"sweep: {len(results)} runs "
+                f"({len(grid.sizes)} sizes x {len(grid.drop_rates)} drops "
+                f"x {grid.replicas} replicas), workers={args.workers}"
+            ),
+        )
+    )
+    throughput = throughput_summary(results)
+    if throughput is not None:
+        print(
+            f"engine throughput per shard: mean {throughput.mean:.2f} "
+            f"cycles/s (min {throughput.minimum:.2f}, "
+            f"max {throughput.maximum:.2f})"
+        )
+    print(
+        ascii_semilog(
+            [c.nonzero() for c in aggregate.leaf_curves() if len(c.nonzero())],
+            title="mean missing leaf-set entries per cell",
         )
     )
     return 0
@@ -207,12 +321,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="network sizes as powers of two",
     )
     _add_common(p)
+    _add_workers(p)
     p.set_defaults(func=lambda a: cmd_figure(a, lossy=False))
 
     p = sub.add_parser("figure4", help="regenerate Figure 4 (20%% drop)")
     p.add_argument("--exponents", type=int, nargs="+", default=[10])
     _add_common(p)
+    _add_workers(p)
     p.set_defaults(func=lambda a: cmd_figure(a, lossy=True))
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a sizes x drops x replicas grid, merged statistics",
+    )
+    p.add_argument(
+        "--sizes", type=int, nargs="+", default=[256, 1024],
+        help="network sizes to sweep",
+    )
+    p.add_argument(
+        "--drops", type=float, nargs="+", default=[0.0],
+        help="message drop probabilities to sweep",
+    )
+    p.add_argument(
+        "--replicas", type=int, default=3,
+        help="independent repeats per grid cell",
+    )
+    # No --drop here: the sweep's loss axis is the --drops grid, and a
+    # silently ignored --drop would masquerade as a lossy run.
+    p.add_argument("--seed", type=int, default=1, help="master seed")
+    p.add_argument(
+        "--max-cycles", type=int, default=60, help="cycle budget"
+    )
+    _add_workers(p)
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("churn", help="steady-state quality under churn")
     p.add_argument("--size", type=int, default=512)

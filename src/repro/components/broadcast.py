@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Set, Tuple
 
 __all__ = ["BroadcastConfig", "BroadcastResult", "GossipBroadcast"]
 

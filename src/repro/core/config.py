@@ -16,7 +16,7 @@ paper's Section 5 experimental values as defaults: ``b = 4``, ``k = 3``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Dict
 
 from .idspace import IDSpace

@@ -15,7 +15,7 @@ pointing at departed nodes are not counted as present.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from .protocol import BootstrapNode
 from .reference import ReferenceTables

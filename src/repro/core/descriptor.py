@@ -15,7 +15,7 @@ hashable value works.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Hashable, Iterable, List, Tuple
+from typing import Any, Dict, Hashable, Iterable, List
 
 __all__ = ["NodeDescriptor", "freshest_by_id", "dedupe_by_id"]
 

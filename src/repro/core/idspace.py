@@ -266,7 +266,6 @@ class IDSpace:
         first).  Ties are broken by the identifier value so the order is
         deterministic."""
         size_mask = self.size - 1
-        half = self.half
 
         def key(node_id: int) -> "tuple[int, int]":
             forward = (node_id - origin) & size_mask

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import asyncio
 import random
-from typing import Awaitable, Callable, Dict, Hashable, Optional, Tuple
+from typing import Callable, Dict, Hashable, Optional, Tuple
 
 __all__ = ["ReceiveHandler", "UdpTransport", "LoopbackHub", "LoopbackTransport"]
 

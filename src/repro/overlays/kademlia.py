@@ -19,7 +19,7 @@ Two lookup modes are provided:
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set
 
 from ..core.idspace import IDSpace
 from ..core.protocol import BootstrapNode

@@ -37,7 +37,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from ..core.descriptor import NodeDescriptor
-from ..core.protocol import BootstrapNode, Sampler
+from ..core.protocol import BootstrapNode
 from ..simulator.engine import RequestReplyActor
 
 __all__ = [

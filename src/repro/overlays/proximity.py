@@ -25,7 +25,7 @@ latency of the hop differs.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..core.idspace import IDSpace
 from ..core.protocol import BootstrapNode

@@ -13,7 +13,7 @@ is the downstream-validity experiment E10.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Protocol, Tuple
 
 __all__ = ["RouteResult", "RoutingNode", "route", "RouteStats"]
 

@@ -1,0 +1,51 @@
+"""Parallel experiment runtime.
+
+Shards an experiment grid (population sizes x drop rates x replicas)
+across a process pool with deterministic per-replica seeding, then
+merges shard results into the analysis-layer aggregates.  Sequential
+(``workers=1``) and parallel (``workers=N``) execution share one code
+path and produce byte-identical merged statistics for the same base
+seed.
+
+Typical use::
+
+    from repro.runtime import SweepGrid, SweepRunner, merge_results
+
+    grid = SweepGrid(sizes=(1024, 4096), drop_rates=(0.0, 0.2),
+                     replicas=4, base_seed=7)
+    results = SweepRunner(workers=4).run_grid(grid)
+    aggregate = merge_results(results)
+"""
+
+from .merge import (
+    CellAggregate,
+    SweepAggregate,
+    merge_results,
+    throughput_summary,
+)
+from .runner import ShardError, SweepGrid, SweepRunner, expand_repeats
+from .spec import (
+    SCHEDULE_KINDS,
+    RunResult,
+    RunSpec,
+    ScheduleSpec,
+    execute_run,
+    replica_seed,
+)
+
+__all__ = [
+    "SCHEDULE_KINDS",
+    "CellAggregate",
+    "RunResult",
+    "RunSpec",
+    "ScheduleSpec",
+    "ShardError",
+    "SweepAggregate",
+    "SweepGrid",
+    "SweepRunner",
+    "execute_run",
+    "expand_repeats",
+    "merge_results",
+    "replica_seed",
+    "throughput_summary",
+]

@@ -1,0 +1,212 @@
+"""Merging shard results into analysis-layer aggregates.
+
+The merge step is the deterministic tail of a sweep: it takes the
+:class:`~repro.runtime.spec.RunResult` list (already in shard order --
+the runner guarantees that regardless of worker count) and folds it
+into the existing analysis primitives:
+
+* per-cell convergence-time :class:`~repro.analysis.stats.Summary`
+  (via :func:`repro.analysis.stats.summarize`);
+* per-cell mean convergence curves (via
+  :func:`repro.analysis.series.mean_series`);
+* per-cell transport-counter totals and the derived loss fractions.
+
+Wall-clock timing is deliberately *not* merged: it is the one
+nondeterministic field of a :class:`RunResult`, and keeping it out of
+:meth:`SweepAggregate.to_dict` is what makes "same base seed, any
+worker count => byte-identical merged statistics" a testable property.
+Throughput lives in :func:`throughput_summary` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.series import Series, mean_series
+from ..analysis.stats import Summary, summarize
+from .spec import RunResult
+
+__all__ = [
+    "CellAggregate",
+    "SweepAggregate",
+    "merge_results",
+    "throughput_summary",
+]
+
+#: Transport counters that sum exactly across shards (integers only;
+#: the derived fractions are recomputed from the sums).
+_TRANSPORT_COUNTERS = (
+    "exchanges",
+    "requests_sent",
+    "requests_dropped",
+    "replies_sent",
+    "replies_dropped",
+    "suppressed_replies",
+    "void_requests",
+    "intended",
+    "sent",
+    "delivered",
+)
+
+
+@dataclass(frozen=True)
+class CellAggregate:
+    """Merged statistics of one grid cell (size x drop)."""
+
+    size: int
+    drop: float
+    runs: int
+    converged_runs: int
+    cycles: Optional[Summary]
+    mean_leaf: Series
+    mean_prefix: Series
+    transport: Tuple[Tuple[str, int], ...]
+
+    @property
+    def all_converged(self) -> bool:
+        """Whether every replica reached perfect tables."""
+        return self.converged_runs == self.runs
+
+    @property
+    def overall_loss_fraction(self) -> float:
+        """Share of intended messages lost, cell-wide."""
+        counters = dict(self.transport)
+        intended = counters.get("intended", 0)
+        if not intended:
+            return 0.0
+        return 1.0 - counters.get("delivered", 0) / intended
+
+    @property
+    def wire_loss_fraction(self) -> float:
+        """Share of sent messages dropped in flight, cell-wide."""
+        counters = dict(self.transport)
+        sent = counters.get("sent", 0)
+        if not sent:
+            return 0.0
+        dropped = counters.get("requests_dropped", 0) + counters.get(
+            "replies_dropped", 0
+        )
+        return dropped / sent
+
+    def to_dict(self) -> dict:
+        """Stable primitive representation (no timing, no objects)."""
+        return {
+            "size": self.size,
+            "drop": self.drop,
+            "runs": self.runs,
+            "converged_runs": self.converged_runs,
+            "cycles": (
+                None
+                if self.cycles is None
+                else {
+                    "count": self.cycles.count,
+                    "mean": self.cycles.mean,
+                    "std": self.cycles.std,
+                    "min": self.cycles.minimum,
+                    "max": self.cycles.maximum,
+                    "median": self.cycles.median,
+                }
+            ),
+            "mean_leaf": [list(p) for p in self.mean_leaf.points],
+            "mean_prefix": [list(p) for p in self.mean_prefix.points],
+            "transport": {name: value for name, value in self.transport},
+            "overall_loss_fraction": self.overall_loss_fraction,
+            "wire_loss_fraction": self.wire_loss_fraction,
+        }
+
+
+@dataclass(frozen=True)
+class SweepAggregate:
+    """Merged statistics of a whole sweep, cell by cell."""
+
+    cells: Tuple[CellAggregate, ...]
+
+    def cell(self, size: int, drop: float = 0.0) -> CellAggregate:
+        """The aggregate for grid cell ``(size, drop)``."""
+        for cell in self.cells:
+            if cell.size == size and cell.drop == drop:
+                return cell
+        raise KeyError(f"no cell (size={size}, drop={drop}) in sweep")
+
+    def leaf_curves(self) -> List[Series]:
+        """Mean missing-leaf curves, one per cell (figure order)."""
+        return [cell.mean_leaf for cell in self.cells]
+
+    def prefix_curves(self) -> List[Series]:
+        """Mean missing-prefix curves, one per cell (figure order)."""
+        return [cell.mean_prefix for cell in self.cells]
+
+    def to_dict(self) -> dict:
+        """Stable primitive representation of the whole sweep.
+
+        Two sweeps with the same base seed serialize to identical
+        bytes (e.g. via ``json.dumps(..., sort_keys=True)``) no matter
+        how many workers executed them.
+        """
+        return {"cells": [cell.to_dict() for cell in self.cells]}
+
+
+def merge_results(results: Sequence[RunResult]) -> SweepAggregate:
+    """Fold shard results into per-cell aggregates.
+
+    Shards are grouped by grid cell ``(size, drop)``; cells appear in
+    first-shard order and replicas within a cell in shard order, so the
+    output is a pure function of the (deterministically seeded) inputs.
+    """
+    if not results:
+        raise ValueError("cannot merge an empty result list")
+    ordered = sorted(results, key=lambda r: r.spec.shard)
+    by_cell: Dict[Tuple[int, float], List[RunResult]] = {}
+    for run in ordered:
+        by_cell.setdefault(run.spec.cell, []).append(run)
+
+    cells: List[CellAggregate] = []
+    for (size, drop), runs in by_cell.items():
+        label = f"N={size}" if drop == 0.0 else f"N={size} drop={drop:g}"
+        converged = [
+            r.result.cycles_to_converge
+            for r in runs
+            if r.result.converged
+        ]
+        counters = {name: 0 for name in _TRANSPORT_COUNTERS}
+        for run in runs:
+            for name in _TRANSPORT_COUNTERS:
+                counters[name] += run.result.transport[name]
+        cells.append(
+            CellAggregate(
+                size=size,
+                drop=drop,
+                runs=len(runs),
+                converged_runs=len(converged),
+                cycles=summarize(converged) if converged else None,
+                mean_leaf=mean_series(
+                    label,
+                    [
+                        Series.from_pairs(label, r.result.leaf_series())
+                        for r in runs
+                    ],
+                ),
+                mean_prefix=mean_series(
+                    label,
+                    [
+                        Series.from_pairs(label, r.result.prefix_series())
+                        for r in runs
+                    ],
+                ),
+                transport=tuple(sorted(counters.items())),
+            )
+        )
+    return SweepAggregate(cells=tuple(cells))
+
+
+def throughput_summary(results: Sequence[RunResult]) -> Optional[Summary]:
+    """Per-shard cycles/sec summary (``None`` for empty input).
+
+    Reported separately from :func:`merge_results` because wall-clock
+    timing must not contaminate the deterministic aggregates.
+    """
+    rates = [r.cycles_per_second for r in results if r.wall_seconds > 0]
+    if not rates:
+        return None
+    return summarize(rates)

@@ -1,0 +1,262 @@
+"""The sweep runner: replica-level parallelism over experiment grids.
+
+The paper's results are sweeps of many *independent* seeded runs --
+the classic embarrassingly parallel bootstrap workload.  Following the
+replica-parallel design of "Parallel Optimisation of Bootstrapping in
+R" (Sloan et al.), :class:`SweepRunner` shards a grid of
+:class:`~repro.runtime.spec.RunSpec` objects across a
+``concurrent.futures.ProcessPoolExecutor``:
+
+* ``workers <= 1`` executes shards inline, in submission order;
+* ``workers > 1`` dispatches shards to worker processes and re-orders
+  the results by shard index.
+
+Both paths run :func:`~repro.runtime.spec.execute_run` on each spec,
+and every seed is derived before dispatch, so the merged statistics of
+a sweep are **byte-identical** for any worker count (this invariant is
+pinned by ``tests/test_runtime.py``).
+
+Shard failures surface as :class:`ShardError`, naming the failing
+shard and preserving the original exception as ``__cause__``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.config import BootstrapConfig, PAPER_CONFIG
+from ..simulator.experiment import ExperimentSpec
+from ..simulator.network import NetworkModel, RELIABLE
+from ..simulator.random_source import derive_seed
+from .spec import RunResult, RunSpec, ScheduleSpec, execute_run, replica_seed
+
+__all__ = [
+    "ShardError",
+    "SweepGrid",
+    "SweepRunner",
+    "expand_repeats",
+]
+
+
+class ShardError(RuntimeError):
+    """One shard of a sweep failed.
+
+    The original worker exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, spec: RunSpec, cause: BaseException) -> None:
+        super().__init__(
+            f"shard {spec.shard} (size={spec.size}, drop={spec.drop}, "
+            f"replica={spec.replica}, seed={spec.experiment.seed}) "
+            f"failed: {cause!r}"
+        )
+        self.spec = spec
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A declarative experiment grid: sizes x drop rates x replicas.
+
+    Parameters
+    ----------
+    sizes:
+        Network sizes to sweep.
+    drop_rates:
+        Uniform message-drop probabilities to sweep (0.0 = reliable).
+    replicas:
+        Independent repeats per grid cell (the paper's "independent
+        experiments").
+    base_seed:
+        Master seed; every cell and replica derives its own seed from
+        it deterministically.
+    max_cycles:
+        Cycle budget per run.
+    config:
+        Protocol parameters shared by all runs.
+    sampler:
+        Peer-sampling backend (``"oracle"`` or ``"newscast"``).
+    schedules:
+        Failure schedules applied to every run (rebuilt fresh per run).
+    """
+
+    sizes: Tuple[int, ...]
+    drop_rates: Tuple[float, ...] = (0.0,)
+    replicas: int = 1
+    base_seed: int = 1
+    max_cycles: int = 60
+    config: BootstrapConfig = PAPER_CONFIG
+    sampler: str = "oracle"
+    schedules: Tuple[ScheduleSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ValueError("grid needs at least one size")
+        if not self.drop_rates:
+            raise ValueError("grid needs at least one drop rate")
+        if self.replicas < 1:
+            raise ValueError(
+                f"replicas must be >= 1, got {self.replicas}"
+            )
+
+    def cell_seed(self, size: int, drop: float) -> int:
+        """Deterministic per-cell seed (independent of expansion
+        order and worker count)."""
+        return derive_seed(self.base_seed, f"sweep:{size}:{drop!r}")
+
+    def expand(self) -> List[RunSpec]:
+        """Expand the grid into its ordered list of shards."""
+        specs: List[RunSpec] = []
+        shard = 0
+        for size in self.sizes:
+            for drop in self.drop_rates:
+                cell_seed = self.cell_seed(size, drop)
+                network = (
+                    RELIABLE
+                    if drop == 0.0
+                    else NetworkModel(drop_probability=drop)
+                )
+                for replica in range(self.replicas):
+                    experiment = ExperimentSpec(
+                        size=size,
+                        seed=replica_seed(cell_seed, replica),
+                        config=self.config,
+                        network=network,
+                        sampler=self.sampler,
+                        max_cycles=self.max_cycles,
+                        label=f"N={size} drop={drop:g}",
+                    )
+                    specs.append(
+                        RunSpec(
+                            experiment=experiment,
+                            shard=shard,
+                            replica=replica,
+                            schedules=self.schedules,
+                        )
+                    )
+                    shard += 1
+        return specs
+
+    def __len__(self) -> int:
+        return len(self.sizes) * len(self.drop_rates) * self.replicas
+
+
+def expand_repeats(
+    spec: ExperimentSpec,
+    repeats: int,
+    schedules: Tuple[ScheduleSpec, ...] = (),
+    first_shard: int = 0,
+) -> List[RunSpec]:
+    """Expand independent repeats of one :class:`ExperimentSpec`.
+
+    Seed derivation matches the historical ``run_repeats`` exactly
+    (``derive_seed(spec.seed, ("repeat", index))``), so existing seeded
+    sweeps keep their trajectories when moved onto the runner.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    return [
+        RunSpec(
+            experiment=spec.with_seed(replica_seed(spec.seed, index)),
+            shard=first_shard + index,
+            replica=index,
+            schedules=schedules,
+        )
+        for index in range(repeats)
+    ]
+
+
+class SweepRunner:
+    """Executes a list of shards, sequentially or across processes.
+
+    Parameters
+    ----------
+    workers:
+        ``0`` or ``1`` runs shards inline (no subprocesses, no pickling
+        requirements); ``N > 1`` fans out over a process pool of ``N``
+        workers.
+    executor_factory:
+        Override for the pool constructor (testing hook); receives
+        ``max_workers`` and must return a ``concurrent.futures``
+        executor.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        executor_factory: Optional[Callable[[int], object]] = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self._executor_factory = executor_factory
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this runner dispatches to worker processes."""
+        return self.workers > 1
+
+    def run(
+        self,
+        specs: Iterable[RunSpec],
+        *,
+        schedules_factory: Optional[Callable[[], Sequence[object]]] = None,
+    ) -> List[RunResult]:
+        """Execute every shard and return results in shard order.
+
+        Sequential and parallel paths share :func:`execute_run`; the
+        only difference is where it runs.  The first failing shard (in
+        submission order) raises :class:`ShardError`.
+        """
+        ordered = list(specs)
+        if not self.parallel:
+            return [
+                self._guarded(spec, schedules_factory) for spec in ordered
+            ]
+        if schedules_factory is not None:
+            raise ValueError(
+                "schedules_factory is an in-process hook and cannot "
+                "cross process boundaries; encode schedules as "
+                "ScheduleSpec entries on the RunSpec instead"
+            )
+        factory = self._executor_factory or (
+            lambda max_workers: ProcessPoolExecutor(max_workers=max_workers)
+        )
+        results: List[RunResult] = []
+        with factory(self.workers) as pool:  # type: ignore[attr-defined]
+            futures = [pool.submit(execute_run, spec) for spec in ordered]
+            try:
+                for spec, future in zip(ordered, futures):
+                    try:
+                        results.append(future.result())
+                    except Exception as exc:
+                        raise ShardError(spec, exc) from exc
+            except ShardError:
+                # Don't sit through the rest of the sweep: queued
+                # shards are cancelled so the error surfaces as soon
+                # as the shards already running finish.
+                for future in futures:
+                    future.cancel()
+                raise
+        return results
+
+    def run_grid(self, grid: SweepGrid) -> List[RunResult]:
+        """Expand *grid* and run every shard."""
+        return self.run(grid.expand())
+
+    @staticmethod
+    def _guarded(
+        spec: RunSpec,
+        schedules_factory: Optional[Callable[[], Sequence[object]]],
+    ) -> RunResult:
+        """Inline execution with the same failure surface as the pool
+        path."""
+        try:
+            return execute_run(spec, schedules_factory)
+        except Exception as exc:
+            raise ShardError(spec, exc) from exc
+
+    def __repr__(self) -> str:
+        return f"SweepRunner(workers={self.workers})"

@@ -1,0 +1,174 @@
+"""Process-portable run descriptions for the sweep runner.
+
+A sweep is a grid of independent simulation runs (population sizes x
+drop rates x replicas).  Each point of the grid becomes one
+:class:`RunSpec` -- a frozen, picklable value that carries *everything*
+a worker process needs to execute the run, and nothing else.  The
+worker sends back a :class:`RunResult`, equally picklable, which the
+merge step (:mod:`repro.runtime.merge`) folds into the analysis-layer
+aggregates.
+
+Two design rules keep parallel results byte-identical to sequential
+ones:
+
+* **Seeds are derived before dispatch.**  A replica's seed is a pure
+  function of the base seed and its grid coordinates
+  (:func:`replica_seed`), never of worker identity, scheduling order,
+  or wall-clock time.
+* **Schedules travel as specs, not objects.**  Failure schedules are
+  stateful (they record victims as they fire), so sharing instances
+  across runs would leak state between shards.  :class:`ScheduleSpec`
+  describes a schedule as ``(kind, params)``; every run builds its own
+  fresh instance via :meth:`ScheduleSpec.build`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple, Type
+
+from ..simulator.experiment import ExperimentSpec, run_experiment
+from ..simulator.bootstrap_sim import SimulationResult
+from ..simulator.failures import CatastrophicFailure, Churn, MassiveJoin
+from ..simulator.random_source import derive_seed
+
+__all__ = [
+    "SCHEDULE_KINDS",
+    "ScheduleSpec",
+    "RunSpec",
+    "RunResult",
+    "replica_seed",
+    "execute_run",
+]
+
+#: Registry of schedule kinds a :class:`ScheduleSpec` can instantiate.
+SCHEDULE_KINDS: Dict[str, Type] = {
+    "churn": Churn,
+    "catastrophe": CatastrophicFailure,
+    "massive_join": MassiveJoin,
+}
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """Declarative, picklable description of one failure schedule.
+
+    Parameters
+    ----------
+    kind:
+        A key of :data:`SCHEDULE_KINDS` (``"churn"``,
+        ``"catastrophe"``, ``"massive_join"``).
+    params:
+        Constructor keyword arguments as a sorted tuple of pairs
+        (tuples rather than a dict so the spec is hashable).
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCHEDULE_KINDS:
+            raise ValueError(
+                f"unknown schedule kind {self.kind!r}; "
+                f"expected one of {sorted(SCHEDULE_KINDS)}"
+            )
+
+    @classmethod
+    def of(cls, kind: str, **params: object) -> "ScheduleSpec":
+        """Build a spec from keyword arguments."""
+        return cls(kind=kind, params=tuple(sorted(params.items())))
+
+    def build(self) -> object:
+        """Instantiate a fresh schedule object for one run."""
+        return SCHEDULE_KINDS[self.kind](**dict(self.params))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One shard of a sweep: a single seeded simulation run.
+
+    Attributes
+    ----------
+    experiment:
+        The fully-seeded :class:`ExperimentSpec` to execute.
+    shard:
+        Position of this run in the sweep's submission order; results
+        are re-ordered by shard after parallel execution so the output
+        never depends on completion order.
+    replica:
+        Replica index within this run's grid cell (size x drop).
+    schedules:
+        Failure schedules to rebuild fresh inside the worker.
+    """
+
+    experiment: ExperimentSpec
+    shard: int = 0
+    replica: int = 0
+    schedules: Tuple[ScheduleSpec, ...] = ()
+
+    @property
+    def size(self) -> int:
+        """Network size of this shard's grid cell."""
+        return self.experiment.size
+
+    @property
+    def drop(self) -> float:
+        """Drop probability of this shard's grid cell."""
+        return self.experiment.network.drop_probability
+
+    @property
+    def cell(self) -> Tuple[int, float]:
+        """The grid cell ``(size, drop)`` this shard belongs to."""
+        return (self.size, self.drop)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one shard, annotated with throughput.
+
+    ``wall_seconds`` is measured inside the worker and excluded from
+    merged statistics (it is the one legitimately nondeterministic
+    field); it feeds the benchmark harness's cycles/sec reporting.
+    """
+
+    spec: RunSpec
+    result: SimulationResult
+    wall_seconds: float
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Engine throughput of this shard (0 for instant runs)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.result.cycles_run / self.wall_seconds
+
+
+def replica_seed(base_seed: int, replica: int) -> int:
+    """Seed of *replica* under *base_seed*.
+
+    Matches the historical ``run_repeats`` derivation
+    (``derive_seed(seed, ("repeat", index))``) exactly, so sweeps
+    re-run through the parallel runner reproduce the seed benchmarks
+    bit-for-bit.
+    """
+    return derive_seed(base_seed, ("repeat", replica))
+
+
+def execute_run(
+    spec: RunSpec,
+    schedules_factory: Optional[Callable[[], Sequence[object]]] = None,
+) -> RunResult:
+    """Execute one shard (this is the function worker processes run).
+
+    *schedules_factory* is an in-process escape hatch for callers that
+    need schedule objects a :class:`ScheduleSpec` cannot describe; the
+    runner rejects it when dispatching across processes.
+    """
+    schedules = [s.build() for s in spec.schedules]
+    if schedules_factory is not None:
+        schedules.extend(schedules_factory())
+    start = time.perf_counter()
+    result = run_experiment(spec.experiment, schedules)
+    elapsed = time.perf_counter() - start
+    return RunResult(spec=spec, result=result, wall_seconds=elapsed)

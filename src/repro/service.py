@@ -15,7 +15,7 @@ per-cycle traces) drop down to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from .core.config import BootstrapConfig, PAPER_CONFIG
 from .core.protocol import BootstrapNode

@@ -21,7 +21,7 @@ actual set of IDs in the network."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.config import BootstrapConfig, PAPER_CONFIG
@@ -33,7 +33,7 @@ from ..sampling.newscast import NewscastNode
 from ..sampling.oracle import MembershipRegistry, OracleSampler
 from .actors import BootstrapActor, NewscastActor
 from .engine import CycleEngine
-from .network import NetworkModel, RELIABLE, TransportStats
+from .network import NetworkModel, RELIABLE
 from .random_source import RandomSource
 
 __all__ = ["BootstrapSimulation", "SimulationResult", "SAMPLER_KINDS"]

@@ -20,7 +20,7 @@ directory keys, and nothing about payloads at all.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+from typing import Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
 
 from .network import NetworkModel, TransportStats
 
@@ -36,7 +36,14 @@ class RequestReplyActor(Generic[Payload]):
     :class:`~repro.core.protocol.BootstrapNode`, a
     :class:`~repro.sampling.newscast.NewscastNode`, ...) to the engine's
     three-phase exchange.
+
+    The empty ``__slots__`` keeps concrete actors dict-free when they
+    declare their own slots (a population is one actor per node, so the
+    per-instance dict would cost real memory at scale); subclasses that
+    don't declare ``__slots__`` still get a ``__dict__`` as usual.
     """
+
+    __slots__ = ()
 
     def set_time(self, now: float) -> None:
         """Advance the actor's logical clock (start of every cycle)."""
@@ -83,6 +90,17 @@ class CycleEngine:
         omitted.
     """
 
+    __slots__ = (
+        "network",
+        "stats",
+        "_rng",
+        "_directory",
+        "_cycle",
+        "_order",
+        "_scratch",
+        "_members_dirty",
+    )
+
     def __init__(
         self,
         network: NetworkModel,
@@ -94,6 +112,13 @@ class CycleEngine:
         self._rng = rng
         self._directory: Dict[Hashable, RequestReplyActor] = {}
         self._cycle = 0
+        # Reusable activation-order buffers: `_order` mirrors the
+        # directory's insertion order and is rebuilt only when
+        # membership changes; `_scratch` is the per-cycle shuffle
+        # target, so steady-state cycles allocate no new lists.
+        self._order: List[Hashable] = []
+        self._scratch: List[Hashable] = []
+        self._members_dirty = False
 
     # ------------------------------------------------------------------
     # Population management
@@ -118,6 +143,7 @@ class CycleEngine:
         if key in self._directory:
             raise ValueError(f"actor key {key!r} already registered")
         self._directory[key] = actor
+        self._members_dirty = True
 
     def remove_actor(self, key: Hashable) -> Optional[RequestReplyActor]:
         """Deregister and return the actor at *key* (``None`` if absent).
@@ -126,7 +152,10 @@ class CycleEngine:
         addressed to it within the same cycle count as
         ``void_requests`` -- exactly what a crashed UDP endpoint does.
         """
-        return self._directory.pop(key, None)
+        actor = self._directory.pop(key, None)
+        if actor is not None:
+            self._members_dirty = True
+        return actor
 
     def get_actor(self, key: Hashable) -> Optional[RequestReplyActor]:
         """The actor at *key*, or ``None``."""
@@ -145,14 +174,24 @@ class CycleEngine:
         the semantics of PeerSim's cycle scheduler.
         """
         now = float(self._cycle)
-        keys = list(self._directory)
-        for actor in self._directory.values():
+        directory = self._directory
+        if self._members_dirty:
+            # Rebuild the canonical (insertion-ordered) key list only
+            # when membership changed; the common steady-state cycle
+            # reuses both buffers.
+            self._order = list(directory)
+            self._members_dirty = False
+        scratch = self._scratch
+        scratch[:] = self._order
+        for actor in directory.values():
             actor.set_time(now)
-        self._rng.shuffle(keys)
-        for key in keys:
-            actor = self._directory.get(key)
+        self._rng.shuffle(scratch)
+        get = directory.get
+        run_exchange = self.run_exchange
+        for key in scratch:
+            actor = get(key)
             if actor is not None:
-                self.run_exchange(actor)
+                run_exchange(actor)
         self._cycle += 1
 
     def run_exchange(self, actor: RequestReplyActor) -> None:

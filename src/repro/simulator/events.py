@@ -17,11 +17,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import BootstrapConfig, PAPER_CONFIG
-from ..core.convergence import ConvergenceSample, ConvergenceTracker
+from ..core.convergence import ConvergenceTracker
 from ..core.descriptor import NodeDescriptor
 from ..core.messages import BootstrapMessage
 from ..core.protocol import BootstrapNode

@@ -10,13 +10,12 @@ three sizes -- the repeat count scales down with size).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.config import BootstrapConfig, PAPER_CONFIG
 from .bootstrap_sim import BootstrapSimulation, SimulationResult
 from .network import NetworkModel, RELIABLE
-from .random_source import derive_seed
 
 __all__ = [
     "ExperimentSpec",
@@ -84,21 +83,39 @@ def run_repeats(
     spec: ExperimentSpec,
     repeats: int,
     schedules_factory: Optional[Callable[[], Sequence[object]]] = None,
+    *,
+    workers: int = 1,
 ) -> List[SimulationResult]:
     """Run *repeats* independent instances of *spec*.
 
     Seeds are derived from the spec's master seed so each repeat is an
     independent network (fresh identifiers, fresh randomness) -- the
     paper's "independent experiments".
+
+    Execution is delegated to :class:`repro.runtime.SweepRunner`, so
+    ``workers > 1`` fans the repeats out over a process pool; results
+    are identical to the sequential ones for any worker count.  A
+    *schedules_factory* (a closure producing fresh schedule objects per
+    repeat) is only supported in-process (``workers <= 1``); parallel
+    sweeps describe schedules with
+    :class:`repro.runtime.ScheduleSpec` instead.
+
+    Raises
+    ------
+    repro.runtime.ShardError
+        When any repeat fails, on both the sequential and parallel
+        paths (the original exception is chained as ``__cause__``).
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    results = []
-    for index in range(repeats):
-        repeat_spec = spec.with_seed(derive_seed(spec.seed, ("repeat", index)))
-        schedules = schedules_factory() if schedules_factory else ()
-        results.append(run_experiment(repeat_spec, schedules))
-    return results
+    # Imported lazily: repro.runtime builds on this module.
+    from ..runtime import SweepRunner, expand_repeats
+
+    runner = SweepRunner(workers=workers)
+    outcomes = runner.run(
+        expand_repeats(spec, repeats), schedules_factory=schedules_factory
+    )
+    return [outcome.result for outcome in outcomes]
 
 
 def paper_repeat_counts(size: int, budget: int = 50) -> int:

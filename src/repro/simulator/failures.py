@@ -15,7 +15,7 @@ runs remain reproducible.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Protocol, Sequence
+from typing import List, Optional, Protocol
 
 from .random_source import RandomSource
 

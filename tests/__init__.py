@@ -1,0 +1,6 @@
+"""Test suite for the bootstrapping-service reproduction.
+
+Making ``tests`` a package lets test modules import shared helpers
+(``from .conftest import make_descriptor``) under pytest's default
+``prepend`` import mode.
+"""

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.core import BootstrapConfig, BootstrapNode
 from repro.sampling import NewscastNode

@@ -4,11 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import (
-    BootstrapSimulation,
-    NetworkModel,
-    PAPER_LOSSY,
-)
+from repro import BootstrapSimulation, PAPER_LOSSY
 from repro.core import BootstrapConfig
 
 

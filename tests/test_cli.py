@@ -24,6 +24,19 @@ class TestParser:
         )
         assert args.exponents == [8, 9]
 
+    def test_figure_commands_take_workers(self):
+        args = build_parser().parse_args(["figure3", "--workers", "4"])
+        assert args.workers == 4
+        args = build_parser().parse_args(["figure4", "--workers", "2"])
+        assert args.workers == 2
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.sizes == [256, 1024]
+        assert args.drops == [0.0]
+        assert args.replicas == 3
+        assert args.workers == 1
+
 
 class TestCommands:
     def test_bootstrap_runs(self, capsys):
@@ -60,6 +73,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "churn" in out
+
+    def test_sweep_runs(self, capsys):
+        code = main(
+            ["sweep", "--sizes", "32", "--drops", "0.0", "0.2",
+             "--replicas", "2", "--max-cycles", "30", "--seed", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep: 4 runs" in out
+        assert "engine throughput per shard" in out
+
+    def test_sweep_parallel_matches_sequential(self, capsys):
+        argv = ["sweep", "--sizes", "32", "--replicas", "2",
+                "--max-cycles", "30", "--seed", "5"]
+        assert main(argv) == 0
+        sequential = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        def statistics(text):
+            return [
+                line
+                for line in text.splitlines()
+                if not line.startswith("sweep:")
+                and not line.startswith("engine throughput")
+            ]
+
+        assert statistics(sequential) == statistics(parallel)
 
     def test_aggregate_runs(self, capsys):
         code = main(["aggregate", "--size", "32", "--max-cycles", "20"])

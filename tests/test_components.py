@@ -3,7 +3,6 @@ probabilistic broadcast."""
 
 from __future__ import annotations
 
-import math
 
 import pytest
 

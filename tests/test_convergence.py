@@ -7,7 +7,6 @@ import random
 import pytest
 
 from repro.core import (
-    BootstrapConfig,
     BootstrapNode,
     ConvergenceSample,
     ConvergenceTracker,

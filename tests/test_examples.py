@@ -8,6 +8,7 @@ means the scenario actually worked.
 
 from __future__ import annotations
 
+import os
 import pathlib
 import py_compile
 import subprocess
@@ -16,14 +17,24 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+SRC = pathlib.Path(__file__).parent.parent / "src"
 
 
 def run_example(name: str, *args: str, timeout: float = 240.0):
+    # The pytest process gets `src` on sys.path from pyproject's
+    # `pythonpath` setting, but subprocesses do not inherit that --
+    # export it so the examples import `repro` regardless of how the
+    # suite was launched.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
 
 

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-import random
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import IDSpace

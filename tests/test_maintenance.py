@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro import BootstrapSimulation
-from repro.core import BootstrapConfig, BootstrapNode, NodeDescriptor
+from repro.core import BootstrapConfig, BootstrapNode
 from repro.overlays import (
     MaintenanceActor,
     MaintenanceNode,
@@ -185,7 +185,7 @@ class TestMaintenanceSimulation:
     def test_newcomers_integrate(self, pool):
         maintenance = MaintenanceSimulation(pool, seed=84)
         newcomer = maintenance.spawn_node()
-        samples = maintenance.run(25)
+        maintenance.run(25)
         # The newcomer's neighbourhood knows it (it appears in leaf
         # sets) and its own leaf set is nearly complete.
         from repro.core import ReferenceTables

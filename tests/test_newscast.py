@@ -10,9 +10,7 @@ from __future__ import annotations
 import random
 from collections import Counter
 
-import pytest
 
-from repro.core import NodeDescriptor
 from repro.sampling import NewscastNode, DEFAULT_VIEW_SIZE
 from repro.simulator import CycleEngine, NewscastActor, RELIABLE, RandomSource
 from .conftest import make_descriptor

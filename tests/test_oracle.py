@@ -111,7 +111,6 @@ class TestOracleSampler:
             assert all(d.node_id != 7 for d in sampler.sample(5))
 
     def test_satisfies_sampler_protocol(self, registry, rng):
-        from repro.core.protocol import Sampler
 
         sampler = OracleSampler(registry, own_id=7, rng=rng)
         assert isinstance(sampler, object)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import BootstrapSimulation
-from repro.core import BootstrapConfig, IDSpace
+from repro.core import BootstrapConfig
 from repro.overlays import PastryNetwork, PastryRouter
 from repro.simulator import RandomSource
 

@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-import random
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import IDSpace, NodeDescriptor, PrefixTable
+from repro.core import IDSpace, PrefixTable
 from .conftest import make_descriptor
 
 ids64 = st.integers(min_value=0, max_value=2**64 - 1)

@@ -7,12 +7,7 @@ from typing import List
 
 import pytest
 
-from repro.core import (
-    BootstrapConfig,
-    BootstrapMessage,
-    BootstrapNode,
-    NodeDescriptor,
-)
+from repro.core import BootstrapConfig, BootstrapMessage, BootstrapNode
 from .conftest import make_descriptor
 
 
@@ -269,7 +264,7 @@ class TestExchange:
         node = build_node(small_config, ListSampler(pool))
         node.start()
         node.initiate_exchange()
-        reply = node.handle_request(
+        node.handle_request(
             BootstrapMessage(sender=pool[0], descriptors=(pool[1],))
         )
         node.handle_reply(

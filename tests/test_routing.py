@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.overlays import RouteResult, RouteStats, route
+from repro.overlays import RouteStats, route
 
 
 class FakeNode:

@@ -1,0 +1,199 @@
+"""Tests for the parallel experiment runtime.
+
+The two load-bearing properties:
+
+* determinism -- the merged statistics of a sweep are byte-identical
+  for any worker count under the same base seed;
+* failure propagation -- a crashing shard surfaces as a
+  :class:`ShardError` naming the shard, for both execution paths.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.core import BootstrapConfig
+from repro.runtime import (
+    RunSpec,
+    ScheduleSpec,
+    ShardError,
+    SweepGrid,
+    SweepRunner,
+    execute_run,
+    expand_repeats,
+    merge_results,
+    replica_seed,
+    throughput_summary,
+)
+from repro.simulator import ExperimentSpec, run_repeats
+from repro.simulator.random_source import derive_seed
+
+FAST = BootstrapConfig(leaf_set_size=8, entries_per_slot=2, random_samples=10)
+
+
+def fast_grid(**overrides) -> SweepGrid:
+    defaults = dict(
+        sizes=(24, 32),
+        drop_rates=(0.0, 0.2),
+        replicas=2,
+        base_seed=9,
+        max_cycles=40,
+        config=FAST,
+    )
+    defaults.update(overrides)
+    return SweepGrid(**defaults)
+
+
+class TestScheduleSpec:
+    def test_builds_fresh_instances(self):
+        spec = ScheduleSpec.of("massive_join", at_cycle=1, count=4)
+        a = spec.build()
+        b = spec.build()
+        assert a is not b
+        assert a.at_cycle == 1 and a.count == 4
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedule kind"):
+            ScheduleSpec.of("meteor_strike", at_cycle=1)
+
+    def test_applies_during_run(self):
+        run_spec = RunSpec(
+            experiment=ExperimentSpec(
+                size=16, seed=5, config=FAST, max_cycles=25
+            ),
+            schedules=(ScheduleSpec.of("massive_join", at_cycle=1, count=4),),
+        )
+        outcome = execute_run(run_spec)
+        assert outcome.result.population == 20
+
+
+class TestExpansion:
+    def test_grid_shards_are_ordered_and_seeded(self):
+        grid = fast_grid()
+        specs = grid.expand()
+        assert len(specs) == len(grid) == 8
+        assert [s.shard for s in specs] == list(range(8))
+        # Seeds are distinct and a pure function of the coordinates.
+        seeds = [s.experiment.seed for s in specs]
+        assert len(set(seeds)) == len(seeds)
+        assert specs == grid.expand()
+
+    def test_expand_repeats_matches_legacy_derivation(self):
+        spec = ExperimentSpec(size=24, seed=5, config=FAST)
+        specs = expand_repeats(spec, 3)
+        assert [s.experiment.seed for s in specs] == [
+            derive_seed(5, ("repeat", index)) for index in range(3)
+        ]
+        assert replica_seed(5, 1) == derive_seed(5, ("repeat", 1))
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            fast_grid(sizes=())
+        with pytest.raises(ValueError):
+            fast_grid(replicas=0)
+        with pytest.raises(ValueError):
+            expand_repeats(ExperimentSpec(size=24, config=FAST), 0)
+
+    def test_run_spec_is_picklable(self):
+        spec = fast_grid(
+            schedules=(ScheduleSpec.of("churn", rate=0.01),)
+        ).expand()[0]
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+
+class TestDeterminism:
+    def test_parallel_merge_byte_identical(self):
+        """The acceptance property: workers=4 equals workers=1 to the
+        byte on merged statistics for the same base seed."""
+        grid = fast_grid()
+        sequential = merge_results(SweepRunner(workers=1).run_grid(grid))
+        parallel = merge_results(SweepRunner(workers=4).run_grid(grid))
+
+        def as_bytes(aggregate):
+            return json.dumps(aggregate.to_dict(), sort_keys=True).encode()
+
+        assert as_bytes(sequential) == as_bytes(parallel)
+
+    def test_run_repeats_workers_equivalent(self):
+        spec = ExperimentSpec(size=24, seed=5, config=FAST, max_cycles=30)
+        sequential = run_repeats(spec, 3)
+        parallel = run_repeats(spec, 3, workers=2)
+        assert [r.converged_at for r in sequential] == [
+            r.converged_at for r in parallel
+        ]
+        assert [r.samples for r in sequential] == [
+            r.samples for r in parallel
+        ]
+
+    def test_results_in_shard_order(self):
+        grid = fast_grid(sizes=(32, 24), replicas=1)
+        results = SweepRunner(workers=2).run_grid(grid)
+        assert [r.spec.shard for r in results] == list(range(len(results)))
+        assert [r.spec.size for r in results] == [32, 32, 24, 24]
+
+
+class TestFailurePropagation:
+    def test_sequential_shard_failure(self):
+        bad = RunSpec(
+            experiment=ExperimentSpec(size=1, seed=3, config=FAST), shard=7
+        )
+        with pytest.raises(ShardError, match="shard 7") as excinfo:
+            SweepRunner(workers=1).run([bad])
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_parallel_shard_failure(self):
+        good = RunSpec(
+            experiment=ExperimentSpec(
+                size=16, seed=3, config=FAST, max_cycles=20
+            ),
+            shard=0,
+        )
+        bad = RunSpec(
+            experiment=ExperimentSpec(size=1, seed=3, config=FAST), shard=1
+        )
+        with pytest.raises(ShardError, match="shard 1"):
+            SweepRunner(workers=2).run([good, bad])
+
+    def test_schedules_factory_rejected_across_processes(self):
+        spec = ExperimentSpec(size=16, seed=3, config=FAST)
+        with pytest.raises(ValueError, match="in-process"):
+            SweepRunner(workers=2).run(
+                expand_repeats(spec, 2), schedules_factory=lambda: []
+            )
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=-1)
+
+
+class TestMerge:
+    def test_cells_grouped_and_summarized(self):
+        grid = fast_grid()
+        aggregate = merge_results(SweepRunner(workers=1).run_grid(grid))
+        assert len(aggregate.cells) == 4
+        cell = aggregate.cell(24, 0.2)
+        assert cell.runs == 2
+        assert cell.converged_runs == cell.runs
+        assert cell.cycles is not None and cell.cycles.count == 2
+        assert cell.mean_leaf.points[0][1] > 0
+        # Lossy cells lose messages; reliable cells do not.
+        assert cell.overall_loss_fraction > 0.2
+        assert aggregate.cell(24, 0.0).overall_loss_fraction == 0.0
+        with pytest.raises(KeyError):
+            aggregate.cell(999)
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_results([])
+
+    def test_throughput_excluded_from_merge(self):
+        grid = fast_grid(sizes=(24,), drop_rates=(0.0,), replicas=2)
+        results = SweepRunner(workers=1).run_grid(grid)
+        merged = json.dumps(merge_results(results).to_dict())
+        assert "wall" not in merged
+        summary = throughput_summary(results)
+        assert summary is not None and summary.mean > 0

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import BootstrapConfig
-from repro.service import BootstrapOutcome, BootstrappingService
+from repro.service import BootstrappingService
 
 FAST = BootstrapConfig(leaf_set_size=8, entries_per_slot=2, random_samples=10)
 
