@@ -21,7 +21,7 @@ from repro.analysis import render_table
 from repro.runtime import RunSpec
 from repro.simulator import ExperimentSpec, NetworkModel
 
-from common import run_specs, throughput_lines
+from common import bench_engine, run_specs, throughput_lines
 
 SIZE = 1024
 DROPS = [0.0, 0.1, 0.2, 0.3]
@@ -38,6 +38,7 @@ def run_sweep():
                 seed=400,
                 network=network,
                 max_cycles=120,
+                engine=bench_engine(),
             ),
             shard=index,
         )
@@ -106,4 +107,5 @@ def test_drop_arithmetic_and_slowdown(benchmark):
                 throughput_lines(runs),
             ]
         ),
+        engine=bench_engine(),
     )

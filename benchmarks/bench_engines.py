@@ -102,4 +102,5 @@ def test_engine_agreement(benchmark):
                 "abstraction does not manufacture the results"
             ),
         ),
+        engine="reference+event",
     )

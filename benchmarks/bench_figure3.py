@@ -24,6 +24,7 @@ from repro.runtime import expand_repeats
 from repro.simulator import ExperimentSpec
 
 from common import (
+    bench_engine,
     bench_sizes,
     emit,
     leaf_series,
@@ -45,7 +46,11 @@ def run_figure3():
     specs = []
     for size in bench_sizes():
         spec = ExperimentSpec(
-            size=size, seed=100 + size, max_cycles=60, label=size_label(size)
+            size=size,
+            seed=100 + size,
+            max_cycles=60,
+            label=size_label(size),
+            engine=bench_engine(),
         )
         specs.extend(
             expand_repeats(spec, repeats_for(size), first_shard=len(specs))
@@ -146,4 +151,4 @@ def test_figure3_no_failures(benchmark):
             throughput_lines(runs),
         ]
     )
-    emit("figure3", text, leaf_curves + prefix_curves)
+    emit("figure3", text, leaf_curves + prefix_curves, engine=bench_engine())

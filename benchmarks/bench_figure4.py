@@ -24,6 +24,7 @@ from repro.runtime import expand_repeats
 from repro.simulator import ExperimentSpec, PAPER_LOSSY
 
 from common import (
+    bench_engine,
     bench_sizes,
     emit,
     leaf_series,
@@ -50,6 +51,7 @@ def run_figure4():
                     network=PAPER_LOSSY,
                     max_cycles=90,
                     label=label,
+                    engine=bench_engine(),
                 ),
                 repeats,
                 first_shard=len(specs),
@@ -58,7 +60,11 @@ def run_figure4():
         specs.extend(
             expand_repeats(
                 ExperimentSpec(
-                    size=size, seed=200 + size, max_cycles=60, label=label
+                    size=size,
+                    seed=200 + size,
+                    max_cycles=60,
+                    label=label,
+                    engine=bench_engine(),
                 ),
                 repeats,
                 first_shard=len(specs),
@@ -149,4 +155,4 @@ def test_figure4_message_loss(benchmark):
             throughput_lines(runs),
         ]
     )
-    emit("figure4", text, leaf_curves + prefix_curves)
+    emit("figure4", text, leaf_curves + prefix_curves, engine=bench_engine())

@@ -23,7 +23,7 @@ from repro.analysis import Series, ascii_linear, linear_fit, render_table
 from repro.runtime import expand_repeats
 from repro.simulator import ExperimentSpec
 
-from common import emit, run_specs, size_label, throughput_lines
+from common import bench_engine, emit, run_specs, size_label, throughput_lines
 
 
 def ladder():
@@ -42,7 +42,12 @@ def run_ladder():
         repeats = 3 if size <= 1024 else 2
         specs.extend(
             expand_repeats(
-                ExperimentSpec(size=size, seed=300 + size, max_cycles=60),
+                ExperimentSpec(
+                    size=size,
+                    seed=300 + size,
+                    max_cycles=60,
+                    engine=bench_engine(),
+                ),
                 repeats,
                 first_shard=len(specs),
             )
@@ -93,4 +98,4 @@ def test_logarithmic_convergence(benchmark):
             throughput_lines(runs),
         ]
     )
-    emit("scalability", text, [curve])
+    emit("scalability", text, [curve], engine=bench_engine())

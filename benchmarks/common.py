@@ -21,6 +21,12 @@ Scale knobs (environment variables):
     Shard each benchmark's independent runs across N worker processes
     (default 1).  Results are byte-identical for any value; only
     wall-clock changes.
+``REPRO_BENCH_ENGINE=reference|fast``
+    Cycle-engine implementation (default ``reference``).  The two are
+    differentially pinned to identical trajectories
+    (``tests/test_engine_fast.py``), so switching only changes the
+    cycles/sec lines; every emitted artefact records which engine
+    produced it (the ``engine`` field of ``results/<name>.json``).
 
 The default sweep (2^10 and 2^12, 4x apart like the paper's sizes)
 preserves every qualitative claim: exponential decay, additive shift
@@ -34,13 +40,14 @@ optimisations show up as before/after deltas in
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 from typing import List, Sequence
 
 from repro.analysis import Series, format_dat
 from repro.runtime import RunResult, RunSpec, SweepRunner, throughput_summary
-from repro.simulator import SimulationResult
+from repro.simulator import ENGINE_KINDS, SimulationResult
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -66,6 +73,18 @@ def repeats_for(size: int) -> int:
 def bench_workers() -> int:
     """Worker-process count for benchmark sweeps (env-controlled)."""
     return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+
+
+def bench_engine() -> str:
+    """Cycle-engine implementation for benchmark sweeps
+    (``REPRO_BENCH_ENGINE``, default the reference engine)."""
+    engine = os.environ.get("REPRO_BENCH_ENGINE", "reference")
+    if engine not in ENGINE_KINDS:
+        raise ValueError(
+            f"REPRO_BENCH_ENGINE must be one of {ENGINE_KINDS}, "
+            f"got {engine!r}"
+        )
+    return engine
 
 
 def run_specs(specs: Sequence[RunSpec]) -> List[RunResult]:
@@ -96,22 +115,52 @@ def throughput_lines(runs: Sequence[RunResult]) -> str:
     total_cycles = sum(r.result.cycles_run for r in timed)
     total_wall = sum(r.wall_seconds for r in timed)
     aggregate = total_cycles / total_wall if total_wall > 0 else 0.0
+    # Provenance from the shards themselves, not the env var: what ran
+    # is what gets recorded.
+    engines = "+".join(sorted({r.result.engine for r in runs}))
     return (
         f"engine throughput: {aggregate:.2f} cycles per CPU-second over "
         f"{len(timed)} timed runs (per-shard mean {summary.mean:.2f}, "
         f"min {summary.minimum:.2f}, max {summary.maximum:.2f} cycles/s; "
-        f"workers={bench_workers()})"
+        f"workers={bench_workers()}, engine={engines})"
     )
 
 
-def emit(name: str, text: str, series: Sequence[Series] = ()) -> None:
-    """Print an artefact and persist it under ``benchmarks/results``."""
+def emit(
+    name: str,
+    text: str,
+    series: Sequence[Series] = (),
+    engine: str = "reference",
+) -> None:
+    """Print an artefact and persist it under ``benchmarks/results``.
+
+    Writes three files: the rendered ``.txt``, the gnuplot ``.dat``
+    (when there are series), and a ``.json`` carrying the trajectories
+    plus provenance -- notably the ``engine`` field, so artefacts from
+    the reference and fast kernels are distinguishable after the fact.
+    *engine* names what actually produced the artefact: benchmarks
+    that route through the engine seam pass ``bench_engine()``, the
+    hand-rolled ones always drive the reference simulation (the
+    default), and the shoot-out passes both.
+    """
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text)
     if series:
         (RESULTS_DIR / f"{name}.dat").write_text(format_dat(series))
+    payload = {
+        "artefact": name,
+        "engine": engine,
+        "workers": bench_workers(),
+        "series": [
+            {"label": s.label, "points": [list(p) for p in s.points]}
+            for s in series
+        ],
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    )
 
 
 def size_label(size: int) -> str:

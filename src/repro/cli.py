@@ -35,10 +35,11 @@ from .runtime import (
     throughput_summary,
 )
 from .simulator import (
-    BootstrapSimulation,
+    ENGINE_KINDS,
     Churn,
     ExperimentSpec,
     NetworkModel,
+    build_simulation,
 )
 
 __all__ = ["main"]
@@ -54,6 +55,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--max-cycles", type=int, default=60, help="cycle budget"
+    )
+
+
+def _add_engine(parser: argparse.ArgumentParser) -> None:
+    # Added only to subcommands that route through build_simulation;
+    # a silently ignored --engine would masquerade as a fast-engine
+    # run (same convention as the sweep parser's missing --drop).
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_KINDS,
+        default="reference",
+        help=(
+            "cycle-engine implementation; 'fast' is the array-backed "
+            "kernel, bit-identical trajectories, >=2x throughput"
+        ),
     )
 
 
@@ -91,8 +107,14 @@ def _print_run(size: int, result, label: str) -> None:
 
 
 def _run_one(size: int, args: argparse.Namespace) -> "tuple[Series, Series]":
-    sim = BootstrapSimulation(
-        size, seed=args.seed, network=_network(args)
+    sim = build_simulation(
+        ExperimentSpec(
+            size=size,
+            seed=args.seed,
+            network=_network(args),
+            max_cycles=args.max_cycles,
+            engine=args.engine,
+        )
     )
     result = sim.run(args.max_cycles)
     label = f"N={size}"
@@ -132,6 +154,7 @@ def cmd_figure(args: argparse.Namespace, lossy: bool) -> int:
             network=_network(args),
             max_cycles=args.max_cycles,
             label=f"N={size}",
+            engine=args.engine,
         )
         # One replica per size, seeded exactly as the sequential CLI
         # always was (the spec's own seed, no replica derivation).
@@ -175,6 +198,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         replicas=args.replicas,
         base_seed=args.seed,
         max_cycles=args.max_cycles,
+        engine=args.engine,
     )
     results = SweepRunner(workers=args.workers).run_grid(grid)
     aggregate = merge_results(results)
@@ -230,8 +254,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 def cmd_churn(args: argparse.Namespace) -> int:
     """Steady-state table quality under continuous churn."""
-    sim = BootstrapSimulation(
-        args.size, seed=args.seed, network=_network(args)
+    sim = build_simulation(
+        ExperimentSpec(
+            size=args.size,
+            seed=args.seed,
+            network=_network(args),
+            engine=args.engine,
+        )
     )
     result = sim.run(
         args.max_cycles,
@@ -313,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bootstrap", help="one bootstrap run, with curves")
     p.add_argument("--size", type=int, default=1024)
     _add_common(p)
+    _add_engine(p)
     p.set_defaults(func=cmd_bootstrap)
 
     p = sub.add_parser("figure3", help="regenerate Figure 3")
@@ -321,12 +351,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="network sizes as powers of two",
     )
     _add_common(p)
+    _add_engine(p)
     _add_workers(p)
     p.set_defaults(func=lambda a: cmd_figure(a, lossy=False))
 
     p = sub.add_parser("figure4", help="regenerate Figure 4 (20%% drop)")
     p.add_argument("--exponents", type=int, nargs="+", default=[10])
     _add_common(p)
+    _add_engine(p)
     _add_workers(p)
     p.set_defaults(func=lambda a: cmd_figure(a, lossy=True))
 
@@ -352,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-cycles", type=int, default=60, help="cycle budget"
     )
+    _add_engine(p)
     _add_workers(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -359,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=512)
     p.add_argument("--rate", type=float, default=0.01)
     _add_common(p)
+    _add_engine(p)
     p.set_defaults(func=cmd_churn)
 
     p = sub.add_parser("aggregate", help="gossip aggregation demo")

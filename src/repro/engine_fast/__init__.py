@@ -1,0 +1,30 @@
+"""Array-backed simulation engine, differentially pinned to the
+reference engine.
+
+This package is the ``engine="fast"`` side of the engine seam: the
+same experiments (:class:`repro.simulator.ExperimentSpec`,
+:class:`repro.runtime.SweepGrid`, CLI ``--engine``) run on either
+implementation and produce bit-identical trajectories.  See
+:mod:`repro.engine_fast.sim` for the identity argument and
+``tests/test_engine_fast.py`` for the differential harness that
+enforces it.
+"""
+
+from . import kernels
+from .sim import FastBootstrapSimulation, FastConvergenceTracker
+from .state import (
+    FastNewscastView,
+    FastNodeState,
+    FastOracleSampler,
+    FastRegistry,
+)
+
+__all__ = [
+    "kernels",
+    "FastBootstrapSimulation",
+    "FastConvergenceTracker",
+    "FastNewscastView",
+    "FastNodeState",
+    "FastOracleSampler",
+    "FastRegistry",
+]

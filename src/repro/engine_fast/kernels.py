@@ -1,0 +1,405 @@
+"""Batch kernels over identifier arrays (the fast engine's hot math).
+
+The reference engine ranks and selects :class:`NodeDescriptor` objects;
+profiling PR 1 showed the per-exchange cost is dominated by exactly two
+geometric computations, both of which reduce to pure integer work once
+descriptors are stored as parallel id arrays:
+
+* **ring ranking** -- sort a candidate set by ``(ring distance to an
+  origin, id)``; used by ``SELECTPEER`` (distance from the node itself)
+  and ``CREATEMESSAGE`` (distance from the destination peer);
+* **balanced selection** -- the paper's UPDATELEAFSET rule: keep the
+  ``c/2`` closest successors and predecessors of an origin, backfilling
+  when one side runs short.
+
+Each kernel has two interchangeable implementations: a vectorised
+``numpy`` path (uint64 arrays; unsigned arithmetic wraps modulo
+``2**64``, which *is* ring arithmetic for 64-bit spaces) and a pure
+Python fallback used when numpy is unavailable -- or unconditionally via
+``REPRO_FAST_BACKEND=python``.  Both produce **identical** outputs: ring
+distances per side are unique (the forward distance determines the id),
+so every selection below has exactly one correct answer.  The
+differential suite runs both backends against the reference engine.
+
+Arrays only pay for themselves past a size threshold (converting a
+50-element set to ``ndarray`` costs more than sorting it); below
+:data:`NUMPY_MIN_SIZE` candidates the Python path is used even when
+numpy is installed.
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import nsmallest
+from typing import Iterable, List, Sequence, Set, Tuple
+
+try:  # pragma: no cover - exercised via both backend parametrisations
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "NUMPY_MIN_SIZE",
+    "backend",
+    "set_backend",
+    "rank_ids",
+    "select_balanced",
+    "close_and_rest",
+    "slot_tables",
+    "prefix_slots",
+    "prefix_part",
+]
+
+#: Candidate-set sizes below which the pure-Python path wins even with
+#: numpy available (array round-trip overhead dominates tiny inputs).
+#: Measured crossovers on CPython 3.11 / numpy 2.x; the exact values
+#: only affect speed, never results.
+NUMPY_MIN_SIZE = 24
+#: The slot kernels do an argsort-based group-cap; their crossover is
+#: much higher than the pure ranking kernels'.
+NUMPY_MIN_SLOTS = 192
+
+#: The session default, captured from the environment once at import;
+#: ``set_backend("auto")`` restores *this* (so a test that forces a
+#: backend and then resets does not silently undo an operator's
+#: ``REPRO_FAST_BACKEND`` pin).
+_DEFAULT_BACKEND = os.environ.get("REPRO_FAST_BACKEND", "auto")
+if _DEFAULT_BACKEND not in ("auto", "numpy", "python"):
+    raise ValueError(
+        "REPRO_FAST_BACKEND must be auto|numpy|python, "
+        f"got {_DEFAULT_BACKEND!r}"
+    )
+if _DEFAULT_BACKEND == "numpy" and _np is None:
+    raise ImportError("REPRO_FAST_BACKEND=numpy but numpy is not installed")
+_backend = _DEFAULT_BACKEND
+
+
+def backend() -> str:
+    """The active kernel backend: ``"numpy"`` or ``"python"``."""
+    return "numpy" if _np is not None and _backend != "python" else "python"
+
+
+def set_backend(name: str) -> None:
+    """Force a backend at runtime (testing hook).
+
+    ``"auto"`` restores the session default -- the
+    ``REPRO_FAST_BACKEND`` pin captured at import time, or the
+    size-thresholded preference order when no pin was set.
+    """
+    global _backend
+    if name not in ("auto", "numpy", "python"):
+        raise ValueError(f"backend must be auto|numpy|python, got {name!r}")
+    if name == "numpy" and _np is None:
+        raise ValueError("numpy backend requested but numpy is not installed")
+    _backend = _DEFAULT_BACKEND if name == "auto" else name
+
+
+def _use_numpy(n: int, min_n: int = NUMPY_MIN_SIZE) -> bool:
+    if _backend == "python" or _np is None:
+        return False
+    if _backend == "numpy":
+        return True
+    return n >= min_n
+
+
+# ----------------------------------------------------------------------
+# Ring ranking
+# ----------------------------------------------------------------------
+
+
+def rank_ids(ids: Sequence[int], origin: int, mask: int) -> List[int]:
+    """*ids* sorted by ``(ring distance from origin, id)``.
+
+    *mask* is ``space.size - 1``; distances are computed modulo
+    ``mask + 1``.  The id tiebreak makes the order total, so both
+    backends agree bit-for-bit.
+    """
+    n = len(ids)
+    if _use_numpy(n) and mask == 0xFFFFFFFFFFFFFFFF:
+        arr = _np.fromiter(ids, dtype=_np.uint64, count=n)
+        fw = arr - _np.uint64(origin)
+        dist = _np.minimum(fw, -fw)
+        return arr[_np.lexsort((arr, dist))].tolist()
+    if _use_numpy(n):
+        mu = _np.uint64(mask)
+        arr = _np.fromiter(ids, dtype=_np.uint64, count=n)
+        fw = (arr - _np.uint64(origin)) & mu
+        dist = _np.minimum(fw, (-fw) & mu)
+        return arr[_np.lexsort((arr, dist))].tolist()
+    decorated = sorted(
+        (min((nid - origin) & mask, (origin - nid) & mask), nid)
+        for nid in ids
+    )
+    return [nid for _, nid in decorated]
+
+
+# ----------------------------------------------------------------------
+# Balanced leaf-set selection
+# ----------------------------------------------------------------------
+
+
+def _balanced_counts(
+    n_succ: int, n_pred: int, half_capacity: int
+) -> Tuple[int, int]:
+    """How many successors/predecessors to keep, with the paper's
+    backfill rule when one side runs short."""
+    take_succ = min(half_capacity, n_succ)
+    take_pred = min(half_capacity, n_pred)
+    spare = (half_capacity - take_succ) + (half_capacity - take_pred)
+    if spare:
+        extra = min(spare, n_succ - take_succ)
+        take_succ += extra
+        spare -= extra
+        take_pred += min(spare, n_pred - take_pred)
+    return take_succ, take_pred
+
+
+def select_balanced(
+    ids: Iterable[int],
+    origin: int,
+    mask: int,
+    half_ring: int,
+    half_capacity: int,
+) -> Set[int]:
+    """The paper's UPDATELEAFSET selection over plain ids.
+
+    Equivalent to :func:`repro.core.leafset.select_balanced_ids` for
+    candidate sets that do not contain *origin* (the fast engine's
+    callers guarantee that).  Distances per side are unique, so the
+    result is a well-defined set regardless of input order.
+    """
+    if not isinstance(ids, (list, tuple, set)):
+        ids = list(ids)
+    n = len(ids)
+    if _use_numpy(n):
+        mu = _np.uint64(mask)
+        arr = _np.fromiter(ids, dtype=_np.uint64, count=n)
+        fw = (arr - _np.uint64(origin)) & mu
+        succ_mask = fw <= _np.uint64(half_ring)
+        succ_ids = arr[succ_mask]
+        pred_ids = arr[~succ_mask]
+        take_succ, take_pred = _balanced_counts(
+            len(succ_ids), len(pred_ids), half_capacity
+        )
+        chosen: Set[int] = set()
+        if take_succ:
+            if take_succ < len(succ_ids):
+                d = fw[succ_mask]
+                keep = _np.argpartition(d, take_succ - 1)[:take_succ]
+                chosen.update(succ_ids[keep].tolist())
+            else:
+                chosen.update(succ_ids.tolist())
+        if take_pred:
+            if take_pred < len(pred_ids):
+                d = ((-fw) & mu)[~succ_mask]
+                keep = _np.argpartition(d, take_pred - 1)[:take_pred]
+                chosen.update(pred_ids[keep].tolist())
+            else:
+                chosen.update(pred_ids.tolist())
+        return chosen
+
+    successors: List[Tuple[int, int]] = []
+    predecessors: List[Tuple[int, int]] = []
+    for nid in ids:
+        forward = (nid - origin) & mask
+        if forward <= half_ring:
+            successors.append((forward, nid))
+        else:
+            predecessors.append((mask + 1 - forward, nid))
+    take_succ, take_pred = _balanced_counts(
+        len(successors), len(predecessors), half_capacity
+    )
+    chosen = {nid for _, nid in nsmallest(take_succ, successors)}
+    chosen.update(nid for _, nid in nsmallest(take_pred, predecessors))
+    return chosen
+
+
+# ----------------------------------------------------------------------
+# CREATEMESSAGE's close/rest split
+# ----------------------------------------------------------------------
+
+
+def close_and_rest(
+    ids: Iterable[int],
+    peer: int,
+    mask: int,
+    half_ring: int,
+    half_capacity: int,
+) -> Tuple[List[int], List[int]]:
+    """Partition a CREATEMESSAGE union around the destination *peer*.
+
+    Returns ``(close_part, rest)``: the balanced-closest selection
+    around *peer* and the remaining ids, both in ``(ring distance to
+    peer, id)`` order -- exactly the reference protocol's message
+    layout.  *ids* must not contain *peer*.
+
+    The numpy path computes the forward-distance array once and derives
+    ranking, successor/predecessor split, and the balanced pick from it
+    in a single pass (this runs twice per exchange, it is the hottest
+    kernel in the engine).
+    """
+    pool = ids if isinstance(ids, (list, tuple, set)) else list(ids)
+    n = len(pool)
+    if _use_numpy(n):
+        arr = _np.fromiter(pool, dtype=_np.uint64, count=n)
+        if mask == 0xFFFFFFFFFFFFFFFF:
+            # 64-bit ring: uint64 arithmetic wraps modulo 2**64 on its
+            # own, the mask ops are no-ops.
+            fw = arr - _np.uint64(peer)
+            bw = -fw
+        else:
+            mu = _np.uint64(mask)
+            fw = (arr - _np.uint64(peer)) & mu
+            bw = (-fw) & mu
+        order = _np.lexsort((arr, _np.minimum(fw, bw)))
+        succ = fw <= _np.uint64(half_ring)
+        n_succ = int(succ.sum())
+        take_succ, take_pred = _balanced_counts(
+            n_succ, n - n_succ, half_capacity
+        )
+        chosen = _np.zeros(n, dtype=bool)
+        if take_succ == n_succ:
+            chosen |= succ
+        elif take_succ:
+            d = _np.where(succ, fw, ~_np.uint64(0))
+            chosen[_np.argpartition(d, take_succ - 1)[:take_succ]] = True
+        pred_total = n - n_succ
+        if take_pred == pred_total:
+            chosen |= ~succ
+        elif take_pred:
+            d = _np.where(succ, ~_np.uint64(0), bw)
+            chosen[_np.argpartition(d, take_pred - 1)[:take_pred]] = True
+        chosen_sorted = chosen[order]
+        ranked = arr[order]
+        return (
+            ranked[chosen_sorted].tolist(),
+            ranked[~chosen_sorted].tolist(),
+        )
+    if not isinstance(pool, (list, tuple)):
+        pool = list(pool)
+    ranked = rank_ids(pool, peer, mask)
+    chosen = select_balanced(pool, peer, mask, half_ring, half_capacity)
+    close_part: List[int] = []
+    rest: List[int] = []
+    for nid in ranked:
+        if nid in chosen:
+            close_part.append(nid)
+        else:
+            rest.append(nid)
+    return close_part, rest
+
+
+# ----------------------------------------------------------------------
+# Prefix-table slot geometry
+# ----------------------------------------------------------------------
+
+
+def _bit_lengths(diff):  # pragma: no cover - numpy-only helper
+    """Vectorised ``int.bit_length`` for nonzero uint64 values.
+
+    Splits each value into 32-bit halves so the float64 conversion is
+    exact, then reads ``frexp``'s exponent (for an exactly-converted
+    integer the exponent *is* the bit length -- no ``log2`` rounding
+    hazards near power-of-two boundaries).
+    """
+    hi = (diff >> _np.uint64(32)).astype(_np.float64)
+    lo = (diff & _np.uint64(0xFFFFFFFF)).astype(_np.float64)
+    hi_bits = _np.frexp(hi)[1]
+    lo_bits = _np.frexp(lo)[1]
+    return _np.where(hi_bits > 0, hi_bits + 32, lo_bits)
+
+
+def slot_tables(bits: int, digit_bits: int) -> Tuple[List[int], List[int]]:
+    """Lookup tables for the packed-slot computation.
+
+    ``row_of[bit_length(own ^ id)]`` is the prefix-table row, and
+    ``shift_of[row]`` the right-shift that exposes the id's digit at
+    that row.  The hot python loops index these instead of redoing the
+    division/multiplication per id.
+    """
+    row_of = [(bits - bl) // digit_bits for bl in range(bits + 1)]
+    rows = bits // digit_bits
+    shift_of = [bits - (row + 1) * digit_bits for row in range(rows + 1)]
+    return row_of, shift_of
+
+
+def prefix_slots(ids: Sequence[int], origin: int, bits: int,
+                 digit_bits: int, base_mask: int) -> List[int]:
+    """Packed prefix-table slots ``(row << digit_bits) | column`` of
+    every id relative to *origin* (ids must differ from *origin*).
+
+    This is the standalone form of the slot geometry that the engine
+    hot paths inline (``prefix_part`` and the absorb loops in
+    :mod:`~repro.engine_fast.sim`); the differential and property
+    suites pin it against :meth:`repro.core.idspace.IDSpace.prefix_slot`,
+    which anchors the inlined copies to the same reference.
+    """
+    n = len(ids)
+    if n and _use_numpy(n, NUMPY_MIN_SLOTS):
+        arr = _np.fromiter(ids, dtype=_np.uint64, count=n)
+        diff = arr ^ _np.uint64(origin)
+        row = (bits - _bit_lengths(diff)) // digit_bits
+        shift = (bits - (row + 1) * digit_bits).astype(_np.uint64)
+        col = (arr >> shift) & _np.uint64(base_mask)
+        return ((row.astype(_np.uint64) << _np.uint64(digit_bits)) | col).tolist()
+    out: List[int] = []
+    for nid in ids:
+        diff = origin ^ nid
+        row = (bits - diff.bit_length()) // digit_bits
+        shift = bits - (row + 1) * digit_bits
+        out.append((row << digit_bits) | ((nid >> shift) & base_mask))
+    return out
+
+
+def prefix_part(rest: List[int], peer: int, bits: int, digit_bits: int,
+                base_mask: int, k: int,
+                tables: "Tuple[List[int], List[int]] | None" = None,
+                ) -> Tuple[List[int], List[int]]:
+    """CREATEMESSAGE's prefix-targeted part: walk *rest* (already in
+    ranked order) and keep the first *k* ids landing in each slot of a
+    hypothetical table centred on *peer* -- the paper's "potentially
+    useful for the peer" bound, realised constructively.
+
+    Returns ``(kept_ids, kept_slots)``.  The slots come for free from
+    the capping pass, and because a message is only ever absorbed by
+    the peer it was created for, they are exactly the receiving node's
+    UPDATEPREFIXTABLE slot keys -- shipping them avoids recomputing the
+    digit geometry on the absorb side.
+    """
+    n = len(rest)
+    if n and _use_numpy(n, NUMPY_MIN_SLOTS):
+        arr = _np.fromiter(rest, dtype=_np.uint64, count=n)
+        diff = arr ^ _np.uint64(peer)
+        row = (bits - _bit_lengths(diff)) // digit_bits
+        shift = (bits - (row + 1) * digit_bits).astype(_np.uint64)
+        slots = (row << digit_bits) | (
+            ((arr >> shift) & _np.uint64(base_mask)).astype(_np.int64)
+        )
+        order = _np.argsort(slots, kind="stable")
+        sorted_slots = slots[order]
+        idx = _np.arange(n)
+        new_group = _np.empty(n, dtype=bool)
+        new_group[0] = True
+        _np.not_equal(sorted_slots[1:], sorted_slots[:-1], out=new_group[1:])
+        group_start = _np.maximum.accumulate(_np.where(new_group, idx, 0))
+        keep = _np.empty(n, dtype=bool)
+        keep[order] = (idx - group_start) < k
+        return arr[keep].tolist(), slots[keep].tolist()
+    ids_out: List[int] = []
+    slots_out: List[int] = []
+    id_append = ids_out.append
+    slot_append = slots_out.append
+    occupancy = {}
+    get = occupancy.get
+    row_of, shift_of = tables if tables is not None else slot_tables(
+        bits, digit_bits
+    )
+    for nid in rest:
+        row = row_of[(peer ^ nid).bit_length()]
+        slot = (row << digit_bits) | ((nid >> shift_of[row]) & base_mask)
+        count = get(slot, 0)
+        if count < k:
+            occupancy[slot] = count + 1
+            id_append(nid)
+            slot_append(slot)
+    return ids_out, slots_out

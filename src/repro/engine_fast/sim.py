@@ -1,0 +1,742 @@
+"""The array-backed cycle engine (drop-in twin of the reference one).
+
+:class:`FastBootstrapSimulation` exposes the same constructor, the same
+membership-mutation surface (``kill_node``/``spawn_node``/
+``absorb_pool``), and the same ``run``/``measure`` API as
+:class:`repro.simulator.bootstrap_sim.BootstrapSimulation`, and produces
+**bit-identical** :class:`~repro.simulator.bootstrap_sim.SimulationResult`
+trajectories for any ``(seed, size, network, sampler, schedules)``.
+That identity is the engine's contract, pinned by the differential
+suite (``tests/test_engine_fast.py``) and the golden fixtures
+(``tests/golden/``).
+
+How it can be both identical and faster
+---------------------------------------
+The reference engine's observable trajectory (convergence samples,
+transport counters, converged-at cycle) is a function of *node ids
+only*: descriptor addresses are opaque and merely echoed, and
+timestamps influence nothing but NEWSCAST's freshest-wins merge.  So
+this engine discards descriptor objects entirely -- leaf sets become id
+sets, prefix tables become packed-slot id lists, messages become id
+lists -- and re-derives the exact same decisions from the exact same
+RNG streams (see :mod:`repro.engine_fast.state` for the per-stream
+contracts).  The per-exchange geometry (ring ranking, balanced
+selection) runs through the batch kernels in
+:mod:`repro.engine_fast.kernels`, numpy-vectorised when available.
+
+What stays shared with the reference implementation: the identifier
+geometry (:class:`~repro.core.idspace.IDSpace`), the perfect-table
+oracle (:class:`~repro.core.reference.ReferenceTables`), the network
+model, the failure schedules, and the result/sample dataclasses --
+the differential harness therefore compares genuinely independent
+implementations of the *protocol kernel*, not two copies of one code
+path.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.config import BootstrapConfig, PAPER_CONFIG
+from ..core.convergence import ConvergenceSample
+from ..core.reference import ReferenceTables
+from ..simulator.bootstrap_sim import SAMPLER_KINDS, SimulationResult
+from ..simulator.network import NetworkModel, RELIABLE, TransportStats
+from ..simulator.random_source import RandomSource
+from . import kernels
+from .state import (
+    FastNewscastView,
+    FastNodeState,
+    FastOracleSampler,
+    FastRegistry,
+)
+
+__all__ = ["FastBootstrapSimulation", "FastConvergenceTracker"]
+
+
+class _Layer:
+    """One gossip layer's engine bookkeeping (mirrors
+    :class:`~repro.simulator.engine.CycleEngine`'s buffers)."""
+
+    __slots__ = ("rng", "stats", "order", "scratch", "dirty", "cycle")
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.stats = TransportStats()
+        self.order: List[int] = []
+        self.scratch: List[int] = []
+        self.dirty = False
+        self.cycle = 0
+
+
+class FastConvergenceTracker:
+    """Convergence measurement over :class:`FastNodeState` populations.
+
+    Produces the same :class:`ConvergenceSample` values as
+    :class:`repro.core.convergence.ConvergenceTracker` -- the deficits
+    are sums over id sets, which is all the fast engine stores.
+    """
+
+    def __init__(
+        self,
+        reference: ReferenceTables,
+        states: Iterable[FastNodeState],
+        digit_bits: int,
+    ) -> None:
+        self._digit_bits = digit_bits
+        self.samples: List[ConvergenceSample] = []
+        self.rebind(reference, states)
+
+    def rebind(
+        self, reference: ReferenceTables, states: Iterable[FastNodeState]
+    ) -> None:
+        """Swap reference and population, keeping the sample history."""
+        self._reference = reference
+        self._states = [s for s in states if s.node_id in reference]
+        self._live = set(reference.ids)
+        # node_id -> [(packed slot, perfect count)]; membership is
+        # static between rebinds, so the trie walk and the slot packing
+        # are paid once per node instead of once per measurement.
+        self._packed_perfect: Dict[int, List] = {}
+
+    def _perfect_slots(self, node_id: int) -> List:
+        packed = self._packed_perfect.get(node_id)
+        if packed is None:
+            digit_bits = self._digit_bits
+            packed = [
+                ((row << digit_bits) | col, needed)
+                for (row, col), needed in self._reference
+                .perfect_prefix_counts(node_id)
+                .items()
+            ]
+            self._packed_perfect[node_id] = packed
+        return packed
+
+    def measure(self, cycle: float) -> ConvergenceSample:
+        """Take one network-wide measurement and append it to
+        :attr:`samples` (same metric as the reference tracker)."""
+        reference = self._reference
+        live = self._live
+        missing_leaf = 0
+        missing_prefix = 0
+        for state in self._states:
+            members = state.leaf_members
+            current = members if members <= live else members & live
+            missing_leaf += len(
+                reference.perfect_leaf_ids(state.node_id) - current
+            )
+            slots = state.prefix_slots
+            if state.prefix_ids <= live:
+                for slot, needed in self._perfect_slots(state.node_id):
+                    held = slots.get(slot)
+                    have = len(held) if held else 0
+                    if have < needed:
+                        missing_prefix += needed - have
+            else:
+                for slot, needed in self._perfect_slots(state.node_id):
+                    held = slots.get(slot)
+                    have = (
+                        sum(1 for nid in held if nid in live) if held else 0
+                    )
+                    if have < needed:
+                        missing_prefix += needed - have
+        total_leaf, total_prefix = reference.totals()
+        sample = ConvergenceSample(
+            cycle=cycle,
+            missing_leaf=missing_leaf,
+            total_leaf=total_leaf,
+            missing_prefix=missing_prefix,
+            total_prefix=total_prefix,
+        )
+        self.samples.append(sample)
+        return sample
+
+
+class FastBootstrapSimulation:
+    """Array-backed twin of :class:`BootstrapSimulation`.
+
+    Accepts the same parameters (minus ``node_factory``, which is the
+    reference engine's ablation hook) and honours the same failure
+    schedules.  See the module docstring for the identity contract.
+    """
+
+    engine_name = "fast"
+
+    def __init__(
+        self,
+        size: Optional[int] = None,
+        *,
+        ids: Optional[Sequence[int]] = None,
+        config: BootstrapConfig = PAPER_CONFIG,
+        seed: int = 1,
+        network: NetworkModel = RELIABLE,
+        sampler: str = "oracle",
+        newscast_view_size: int = 30,
+    ) -> None:
+        if sampler not in SAMPLER_KINDS:
+            raise ValueError(
+                f"sampler must be one of {SAMPLER_KINDS}, got {sampler!r}"
+            )
+        if ids is None:
+            if size is None or size < 2:
+                raise ValueError("need size >= 2 or an explicit id list")
+        self.config = config
+        self.seed = seed
+        self.network = network
+        self.sampler_kind = sampler
+        self._source = RandomSource(seed)
+        space = config.space
+        self._space = space
+        # Cached geometry and parameters for the exchange hot path.
+        self._mask = space.size - 1
+        self._half_ring = space.half
+        self._bits = space.bits
+        self._digit_bits = space.digit_bits
+        self._base_mask = space.digit_base - 1
+        self._k = config.entries_per_slot
+        self._cr = config.random_samples
+        self._half_c = config.half_leaf_set
+        self._c = config.leaf_set_size
+        self._slot_tables = kernels.slot_tables(space.bits, space.digit_bits)
+        self._row_of, self._shift_of = self._slot_tables
+
+        if ids is None:
+            id_list = space.random_unique_ids(size, self._source.derive("ids"))
+        else:
+            id_list = list(ids)
+            if len(set(id_list)) != len(id_list):
+                raise ValueError("identifier list contains duplicates")
+            for node_id in id_list:
+                space.validate(node_id)
+            if len(id_list) < 2:
+                raise ValueError("need at least 2 identifiers")
+
+        self.registry = FastRegistry()
+        self.nodes: Dict[int, FastNodeState] = {}
+        self.newscast: Dict[int, FastNewscastView] = {}
+        self._next_address = 0
+
+        self._boot = _Layer(self._source.derive("bootstrap-engine"))
+        self._news: Optional[_Layer] = None
+        if sampler == "newscast":
+            self._news = _Layer(self._source.derive("newscast-engine"))
+        self._newscast_view_size = newscast_view_size
+
+        for node_id in id_list:
+            self._admit(node_id)
+        if sampler == "newscast":
+            self._seed_newscast_views()
+
+        self.reference = ReferenceTables(
+            space, id_list, config.leaf_set_size, config.entries_per_slot
+        )
+        self.tracker = FastConvergenceTracker(
+            self.reference, self.nodes.values(), self._digit_bits
+        )
+        self._membership_dirty = False
+
+    # ------------------------------------------------------------------
+    # Node admission / removal (same seed-tree names as the reference)
+    # ------------------------------------------------------------------
+
+    def _admit(self, node_id: int) -> FastNodeState:
+        # Same validation point as the reference (BootstrapNode's
+        # constructor): a bad id raises cleanly instead of corrupting
+        # the geometry tables mid-cycle.
+        self._space.validate(node_id)
+        self._next_address += 1
+        self.registry.add(node_id)
+        if self.sampler_kind == "newscast":
+            view = FastNewscastView(
+                node_id,
+                self._newscast_view_size,
+                self._source.derive(("newscast", node_id)),
+            )
+            self.newscast[node_id] = view
+            assert self._news is not None
+            self._news.dirty = True
+            node_sampler = view
+        else:
+            node_sampler = FastOracleSampler(
+                self.registry,
+                node_id,
+                self._source.derive(("sampler", node_id)),
+            )
+        state = FastNodeState(
+            node_id, self._source.derive(("node", node_id)), node_sampler
+        )
+        self.nodes[node_id] = state
+        self._boot.dirty = True
+        return state
+
+    def _seed_newscast_views(self) -> None:
+        rng = self._source.derive("newscast-seed")
+        for view in self.newscast.values():
+            ids = self.registry.sample(
+                self._newscast_view_size, rng, exclude_id=view.own_id
+            )
+            view.merge([(nid, 0.0) for nid in ids])
+
+    # ------------------------------------------------------------------
+    # Membership mutation (the schedule-facing surface)
+    # ------------------------------------------------------------------
+
+    @property
+    def population(self) -> int:
+        """Current number of live nodes."""
+        return len(self.nodes)
+
+    @property
+    def live_ids(self) -> List[int]:
+        """Identifiers of live nodes (admission order, like the
+        reference's node dict)."""
+        return list(self.nodes)
+
+    def kill_node(self, node_id: int) -> bool:
+        """Crash *node_id* (mirrors ``BootstrapSimulation.kill_node``)."""
+        state = self.nodes.pop(node_id, None)
+        if state is None:
+            return False
+        self.registry.remove(node_id)
+        self._boot.dirty = True
+        if self._news is not None:
+            self.newscast.pop(node_id, None)
+            self._news.dirty = True
+        self._membership_dirty = True
+        return True
+
+    def spawn_node(self, node_id: Optional[int] = None) -> FastNodeState:
+        """Join a brand-new node (mirrors the reference's seed-stream
+        derivation: ``("spawn", next_address)`` before admission)."""
+        if node_id is None:
+            rng = self._source.derive(("spawn", self._next_address))
+            node_id = self._space.random_id(rng)
+            while node_id in self.nodes:
+                node_id = self._space.random_id(rng)
+        elif node_id in self.nodes:
+            raise ValueError(f"identifier {node_id:#x} already live")
+        state = self._admit(node_id)
+        if self.sampler_kind == "newscast":
+            rng = self._source.derive(("newscast-join", node_id))
+            ids = self.registry.sample(
+                self._newscast_view_size, rng, exclude_id=node_id
+            )
+            self.newscast[node_id].merge([(nid, 0.0) for nid in ids])
+        self._membership_dirty = True
+        return state
+
+    def absorb_pool(self, ids: Iterable[int]) -> List[FastNodeState]:
+        """Merge a pool of identifiers into this network."""
+        return [self.spawn_node(node_id) for node_id in ids]
+
+    def _refresh_reference(self) -> None:
+        self.reference = ReferenceTables(
+            self._space,
+            self.nodes.keys(),
+            self.config.leaf_set_size,
+            self.config.entries_per_slot,
+        )
+        self.tracker.rebind(self.reference, self.nodes.values())
+        self._membership_dirty = False
+
+    # ------------------------------------------------------------------
+    # Protocol transitions over flat state
+    # ------------------------------------------------------------------
+
+    def _start_node(self, state: FastNodeState) -> None:
+        """Protocol start (mirrors ``BootstrapNode.start``): *clear the
+        prefix table*, then seed the leaf set with one leaf set's worth
+        of samples.  The clear matters: a node can absorb requests as a
+        passive target before its own first activation, and the paper's
+        start step wipes that prefix state (but keeps the leaf set)."""
+        state.prefix_slots.clear()
+        state.prefix_ids.clear()
+        self._leaf_update(state, state.sampler.sample(self._c), None)
+        state.started = True
+
+    def _select_peer(self, state: FastNodeState) -> Optional[int]:
+        """SELECTPEER: uniform pick from the closest half of the
+        distance-ranked leaf set (ranking cached between updates; the
+        pick consumes the same bits as the reference's ``choice``)."""
+        ranked = state.leaf_sorted
+        if ranked is None:
+            ranked = state.leaf_sorted = kernels.rank_ids(
+                list(state.leaf_members), state.node_id, self._mask
+            )
+        if ranked:
+            half = (len(ranked) + 1) // 2
+            return ranked[state.randbelow(half)]
+        fallback = state.sampler.sample(1)
+        return fallback[0] if fallback else None
+
+    def _create_message(
+        self, state: FastNodeState, peer_id: int
+    ) -> "tuple[List[int], List[int], List[int]]":
+        """CREATEMESSAGE as a batch kernel: union of leaf ids, prefix
+        ids, ``cr`` fresh samples and the own id; balanced-closest part
+        first, then the prefix-useful part (first ``k`` per peer slot in
+        ranked order) -- the reference message layout exactly.
+
+        Returns ``(close_ids, prefix_ids, prefix_slots)``.  The slots
+        of the prefix part fall out of the capping kernel for free, and
+        a message is only ever absorbed by the peer it was created for,
+        so they are directly the receiver's UPDATEPREFIXTABLE keys; the
+        close part ships without slots (the receiver computes them only
+        for ids it does not already hold, a set that empties as the run
+        converges)."""
+        union = set(state.prefix_ids)
+        union |= state.leaf_members
+        union.update(state.sampler.sample(self._cr))
+        union.add(state.node_id)
+        union.discard(peer_id)
+
+        close, rest = kernels.close_and_rest(
+            union, peer_id, self._mask, self._half_ring, self._half_c
+        )
+        tail, tail_slots = kernels.prefix_part(
+            rest,
+            peer_id,
+            self._bits,
+            self._digit_bits,
+            self._base_mask,
+            self._k,
+            self._slot_tables,
+        )
+        return close, tail, tail_slots
+
+    def _leaf_update(
+        self,
+        state: FastNodeState,
+        incoming: List[int],
+        sender_id: Optional[int],
+    ) -> None:
+        """UPDATELEAFSET membership semantics: reselect only when the
+        merge introduces at least one new identifier."""
+        own = state.node_id
+        members = state.leaf_members
+        fresh = [
+            nid
+            for nid in incoming
+            if nid != own and nid not in members
+        ]
+        if sender_id is not None and sender_id != own and sender_id not in members:
+            fresh.append(sender_id)
+        if not fresh:
+            return
+        self._merge_fresh(state, members, fresh)
+
+    def _merge_fresh(
+        self, state: FastNodeState, members: set, fresh: List[int]
+    ) -> None:
+        """Reselect the leaf membership after *fresh* novel ids joined
+        the candidate pool (shared tail of UPDATELEAFSET)."""
+        candidates = members | set(fresh)
+        if len(candidates) <= self._c:
+            # Balanced selection keeps everything while the merged set
+            # fits the capacity (backfill fills whichever side is
+            # short), so the kernel call can be skipped outright.
+            self._set_leaf(state, candidates)
+        else:
+            self._set_leaf(
+                state,
+                kernels.select_balanced(
+                    candidates,
+                    state.node_id,
+                    self._mask,
+                    self._half_ring,
+                    self._half_c,
+                ),
+            )
+
+    def _set_leaf(self, state: FastNodeState, members: set) -> None:
+        """Install a new leaf membership and refresh the cached
+        ranking and per-side admission bounds."""
+        state.leaf_members = members
+        state.leaf_sorted = None
+        own = state.node_id
+        mask = self._mask
+        half_ring = self._half_ring
+        succ_count = pred_count = 0
+        succ_max = pred_max = -1
+        for nid in members:
+            fw = (nid - own) & mask
+            if fw <= half_ring:
+                succ_count += 1
+                if fw > succ_max:
+                    succ_max = fw
+            else:
+                bw = mask + 1 - fw
+                pred_count += 1
+                if bw > pred_max:
+                    pred_max = bw
+        state.succ_count = succ_count
+        state.succ_max = succ_max
+        state.pred_count = pred_count
+        state.pred_max = pred_max
+        state.leaf_full = len(members) >= self._c
+
+    def _absorb(
+        self,
+        state: FastNodeState,
+        message: "tuple[List[int], List[int], List[int]]",
+        sender_id: int,
+    ) -> None:
+        """UPDATELEAFSET then UPDATEPREFIXTABLE over payload + envelope
+        sender (mirrors ``BootstrapNode.absorb``).  *state* must be the
+        destination the message was created for: the prefix part's slot
+        keys were computed against its identifier.
+
+        One pass does both updates: the leaf novelty scan and the
+        prefix fill visit the same ids (never the destination's own id,
+        so no own-id guard is needed).  Slots are computed locally only
+        for *novel* close-part ids and the envelope sender."""
+        close, tail, tail_slots = message
+        own = state.node_id
+        members = state.leaf_members
+        prefix_ids = state.prefix_ids
+        table = state.prefix_slots
+        digit_bits = self._digit_bits
+        base_mask = self._base_mask
+        row_of = self._row_of
+        shift_of = self._shift_of
+        k = self._k
+        mask = self._mask
+        half_ring = self._half_ring
+        half_c = self._half_c
+        full = state.leaf_full
+        succ_short = state.succ_count < half_c
+        succ_max = state.succ_max
+        pred_short = state.pred_count < half_c
+        pred_max = state.pred_max
+        fresh: List[int] = []
+        # `effective` tracks whether any novel id can actually change
+        # the balanced selection (see FastNodeState's bound fields);
+        # when none can, the reselect below is provably a no-op and is
+        # skipped -- the common case once leaf sets converge.
+        effective = not full
+
+        def can_affect_leaf(nid: int) -> bool:
+            # The admission test in one place: a non-member can change
+            # the balanced selection only if its side is short or it
+            # beats that side's worst kept distance.  (`full` is
+            # handled by the `effective` initialisation above.)
+            fw = (nid - own) & mask
+            if fw <= half_ring:
+                return succ_short or fw < succ_max
+            return pred_short or mask + 1 - fw < pred_max
+
+        def scan_unslotted(ids) -> None:
+            # Shared UPDATEPREFIXTABLE + UPDATELEAFSET scan for ids
+            # whose slot was not shipped with the message (the close
+            # part and the envelope sender).
+            nonlocal effective
+            for nid in ids:
+                if nid not in prefix_ids:
+                    row = row_of[(own ^ nid).bit_length()]
+                    slot = (row << digit_bits) | (
+                        (nid >> shift_of[row]) & base_mask
+                    )
+                    held = table.get(slot)
+                    if held is None:
+                        table[slot] = [nid]
+                        prefix_ids.add(nid)
+                    elif len(held) < k:
+                        held.append(nid)
+                        prefix_ids.add(nid)
+                if nid not in members:
+                    fresh.append(nid)
+                    if not effective:
+                        effective = can_affect_leaf(nid)
+
+        scan_unslotted(close)
+        for nid, slot in zip(tail, tail_slots):
+            if nid not in prefix_ids:
+                held = table.get(slot)
+                if held is None:
+                    table[slot] = [nid]
+                    prefix_ids.add(nid)
+                elif len(held) < k:
+                    held.append(nid)
+                    prefix_ids.add(nid)
+            if nid not in members:
+                fresh.append(nid)
+                if not effective:
+                    effective = can_affect_leaf(nid)
+        # Envelope sender: never the destination itself, may duplicate
+        # a payload id (its own advertisement inside the payload);
+        # processed last, matching the reference's payload-then-sender
+        # order (it competes for prefix slots after the tail ids).
+        scan_unslotted((sender_id,))
+        if fresh and effective:
+            self._merge_fresh(state, members, fresh)
+
+    # ------------------------------------------------------------------
+    # Cycle execution
+    # ------------------------------------------------------------------
+
+    @property
+    def cycle(self) -> int:
+        """Number of completed cycles."""
+        return self._boot.cycle
+
+    def run_cycle(self) -> None:
+        """One Δ interval: NEWSCAST gossips first (when live), then
+        every bootstrap node performs one exchange -- the reference
+        engine order."""
+        if self._news is not None:
+            self._newscast_cycle()
+        self._bootstrap_cycle()
+
+    def _bootstrap_cycle(self) -> None:
+        layer = self._boot
+        nodes = self.nodes
+        if layer.dirty:
+            layer.order = list(nodes)
+            layer.dirty = False
+        scratch = layer.scratch
+        scratch[:] = layer.order
+        rng = layer.rng
+        rng.shuffle(scratch)
+        stats = layer.stats
+        drop_p = self.network.drop_probability
+        get = nodes.get
+        rand = rng.random
+        select_peer = self._select_peer
+        create_message = self._create_message
+        absorb = self._absorb
+        for nid in scratch:
+            state = get(nid)
+            if state is None:
+                continue
+            if not state.started:
+                self._start_node(state)
+            peer_id = select_peer(state)
+            if peer_id is None:
+                continue
+            request = create_message(state, peer_id)
+            stats.exchanges += 1
+            stats.requests_sent += 1
+            if drop_p and rand() < drop_p:
+                stats.requests_dropped += 1
+                stats.suppressed_replies += 1
+                continue
+            target = get(peer_id)
+            if target is None:
+                stats.void_requests += 1
+                stats.suppressed_replies += 1
+                continue
+            reply = create_message(target, nid)
+            absorb(target, request, nid)
+            stats.replies_sent += 1
+            if drop_p and rand() < drop_p:
+                stats.replies_dropped += 1
+                continue
+            absorb(state, reply, peer_id)
+        layer.cycle += 1
+
+    def _newscast_cycle(self) -> None:
+        layer = self._news
+        views = self.newscast
+        now = float(layer.cycle)
+        if layer.dirty:
+            layer.order = list(views)
+            layer.dirty = False
+        scratch = layer.scratch
+        scratch[:] = layer.order
+        for view in views.values():
+            view.now = now
+        rng = layer.rng
+        rng.shuffle(scratch)
+        stats = layer.stats
+        drop_p = self.network.drop_probability
+        get = views.get
+        rand = rng.random
+        for nid in scratch:
+            view = get(nid)
+            if view is None:
+                continue
+            peer_id = view.select_peer()
+            if peer_id is None:
+                continue
+            request = view.payload()
+            stats.exchanges += 1
+            stats.requests_sent += 1
+            if drop_p and rand() < drop_p:
+                stats.requests_dropped += 1
+                stats.suppressed_replies += 1
+                continue
+            target = get(peer_id)
+            if target is None:
+                stats.void_requests += 1
+                stats.suppressed_replies += 1
+                continue
+            reply = target.payload()
+            target.merge(request)
+            stats.replies_sent += 1
+            if drop_p and rand() < drop_p:
+                stats.replies_dropped += 1
+                continue
+            view.merge(reply)
+        layer.cycle += 1
+
+    # ------------------------------------------------------------------
+    # Measurement and experiment running (reference API)
+    # ------------------------------------------------------------------
+
+    def measure(self) -> ConvergenceSample:
+        """Measure convergence now (rebuilding the reference first if
+        membership changed)."""
+        if self._membership_dirty:
+            self._refresh_reference()
+        return self.tracker.measure(float(self._boot.cycle))
+
+    def run(
+        self,
+        max_cycles: int = 60,
+        *,
+        stop_when_perfect: bool = True,
+        schedules: Sequence["object"] = (),
+        measure_every: int = 1,
+    ) -> SimulationResult:
+        """Run the experiment (same semantics and parameters as
+        ``BootstrapSimulation.run``)."""
+        if max_cycles < 1:
+            raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
+        if measure_every < 1:
+            raise ValueError(
+                f"measure_every must be >= 1, got {measure_every}"
+            )
+        started_at = self._boot.cycle
+        for cycle_index in range(max_cycles):
+            for schedule in schedules:
+                schedule.apply(self, cycle_index)
+            self.run_cycle()
+            if (cycle_index + 1) % measure_every == 0:
+                sample = self.measure()
+                if stop_when_perfect and sample.is_perfect:
+                    break
+        if not self.tracker.samples:
+            self.measure()
+        return self._result(started_at)
+
+    def _result(self, started_at: int = 0) -> SimulationResult:
+        converged_at = next(
+            (
+                s.cycle
+                for s in self.tracker.samples
+                if s.cycle > started_at and s.is_perfect
+            ),
+            None,
+        )
+        return SimulationResult(
+            samples=tuple(self.tracker.samples),
+            converged_at=converged_at,
+            population=self.population,
+            transport=self._boot.stats.snapshot(),
+            config=self.config,
+            seed=self.seed,
+            cycles_run=self._boot.cycle - started_at,
+            started_at_cycle=started_at,
+            engine="fast",
+        )

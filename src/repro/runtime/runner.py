@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.config import BootstrapConfig, PAPER_CONFIG
-from ..simulator.experiment import ExperimentSpec
+from ..simulator.experiment import ENGINE_KINDS, ExperimentSpec
 from ..simulator.network import NetworkModel, RELIABLE
 from ..simulator.random_source import derive_seed
 from .spec import RunResult, RunSpec, ScheduleSpec, execute_run, replica_seed
@@ -79,6 +79,10 @@ class SweepGrid:
         Peer-sampling backend (``"oracle"`` or ``"newscast"``).
     schedules:
         Failure schedules applied to every run (rebuilt fresh per run).
+    engine:
+        Cycle-engine implementation (``"reference"`` or ``"fast"``);
+        trajectories are engine-independent, so this only changes how
+        fast the sweep runs.
     """
 
     sizes: Tuple[int, ...]
@@ -89,6 +93,7 @@ class SweepGrid:
     config: BootstrapConfig = PAPER_CONFIG
     sampler: str = "oracle"
     schedules: Tuple[ScheduleSpec, ...] = ()
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         if not self.sizes:
@@ -98,6 +103,10 @@ class SweepGrid:
         if self.replicas < 1:
             raise ValueError(
                 f"replicas must be >= 1, got {self.replicas}"
+            )
+        if self.engine not in ENGINE_KINDS:
+            raise ValueError(
+                f"engine must be one of {ENGINE_KINDS}, got {self.engine!r}"
             )
 
     def cell_seed(self, size: int, drop: float) -> int:
@@ -126,6 +135,7 @@ class SweepGrid:
                         sampler=self.sampler,
                         max_cycles=self.max_cycles,
                         label=f"N={size} drop={drop:g}",
+                        engine=self.engine,
                     )
                     specs.append(
                         RunSpec(

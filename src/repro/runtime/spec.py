@@ -122,6 +122,11 @@ class RunSpec:
         """The grid cell ``(size, drop)`` this shard belongs to."""
         return (self.size, self.drop)
 
+    @property
+    def engine(self) -> str:
+        """Cycle-engine implementation this shard runs on."""
+        return self.experiment.engine
+
 
 @dataclass(frozen=True)
 class RunResult:

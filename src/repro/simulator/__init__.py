@@ -12,7 +12,9 @@ from .bootstrap_sim import BootstrapSimulation, SimulationResult
 from .engine import CycleEngine, RequestReplyActor
 from .events import EventDrivenBootstrap, EventScheduler
 from .experiment import (
+    ENGINE_KINDS,
     ExperimentSpec,
+    build_simulation,
     paper_repeat_counts,
     run_experiment,
     run_repeats,
@@ -39,7 +41,9 @@ __all__ = [
     "RequestReplyActor",
     "EventDrivenBootstrap",
     "EventScheduler",
+    "ENGINE_KINDS",
     "ExperimentSpec",
+    "build_simulation",
     "paper_repeat_counts",
     "run_experiment",
     "run_repeats",

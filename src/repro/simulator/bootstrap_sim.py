@@ -65,6 +65,11 @@ class SimulationResult:
     started_at_cycle:
         Engine cycle at which this run began (non-zero when the same
         pool has been run before, e.g. merge/restart scenarios).
+    engine:
+        Which engine implementation produced this result
+        (``"reference"``, ``"fast"``, or ``"event"``); trajectories are
+        engine-independent by contract, the field exists so artefacts
+        record their provenance.
     """
 
     samples: Tuple[ConvergenceSample, ...]
@@ -75,6 +80,7 @@ class SimulationResult:
     seed: int
     cycles_run: int
     started_at_cycle: int = 0
+    engine: str = "reference"
 
     @property
     def cycles_to_converge(self) -> Optional[float]:
@@ -414,4 +420,5 @@ class BootstrapSimulation:
             seed=self.seed,
             cycles_run=self.engine.cycle - started_at,
             started_at_cycle=started_at,
+            engine="reference",
         )

@@ -266,4 +266,5 @@ class EventDrivenBootstrap:
             config=self.config,
             seed=self.seed,
             cycles_run=cycles_run,
+            engine="event",
         )

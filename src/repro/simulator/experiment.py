@@ -18,11 +18,18 @@ from .bootstrap_sim import BootstrapSimulation, SimulationResult
 from .network import NetworkModel, RELIABLE
 
 __all__ = [
+    "ENGINE_KINDS",
     "ExperimentSpec",
+    "build_simulation",
     "run_experiment",
     "run_repeats",
     "paper_repeat_counts",
 ]
+
+#: Selectable cycle-engine implementations.  Both produce bit-identical
+#: trajectories for the same spec (pinned by the differential suite);
+#: ``"fast"`` is the array-backed kernel in :mod:`repro.engine_fast`.
+ENGINE_KINDS = ("reference", "fast")
 
 
 @dataclass(frozen=True)
@@ -30,7 +37,7 @@ class ExperimentSpec:
     """Everything needed to rerun one simulation bit-for-bit.
 
     Attributes mirror :class:`BootstrapSimulation`'s constructor plus
-    the run budget.
+    the run budget and the engine selection.
     """
 
     size: int
@@ -42,10 +49,21 @@ class ExperimentSpec:
     stop_when_perfect: bool = True
     measure_every: int = 1
     label: str = ""
+    engine: str = "reference"
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINE_KINDS:
+            raise ValueError(
+                f"engine must be one of {ENGINE_KINDS}, got {self.engine!r}"
+            )
 
     def with_seed(self, seed: int) -> "ExperimentSpec":
         """This spec under a different master seed."""
         return replace(self, seed=seed)
+
+    def with_engine(self, engine: str) -> "ExperimentSpec":
+        """This spec on a different engine implementation."""
+        return replace(self, engine=engine)
 
     def describe(self) -> Dict[str, object]:
         """Flat summary for trace headers and reports."""
@@ -55,22 +73,41 @@ class ExperimentSpec:
             "drop": self.network.drop_probability,
             "sampler": self.sampler,
             "max_cycles": self.max_cycles,
+            "engine": self.engine,
             **self.config.describe(),
         }
 
 
-def run_experiment(
-    spec: ExperimentSpec,
-    schedules: Sequence[object] = (),
-) -> SimulationResult:
-    """Execute *spec* and return its result."""
-    sim = BootstrapSimulation(
+def build_simulation(spec: ExperimentSpec):
+    """Instantiate the simulation *spec* selects (the engine seam).
+
+    Returns a :class:`BootstrapSimulation` or a
+    :class:`repro.engine_fast.FastBootstrapSimulation`; both expose the
+    same ``run``/``measure``/membership API and produce identical
+    trajectories for identical specs.
+    """
+    if spec.engine == "fast":
+        # Imported lazily: repro.engine_fast builds on this package.
+        from ..engine_fast import FastBootstrapSimulation
+
+        sim_class = FastBootstrapSimulation
+    else:
+        sim_class = BootstrapSimulation
+    return sim_class(
         spec.size,
         config=spec.config,
         seed=spec.seed,
         network=spec.network,
         sampler=spec.sampler,
     )
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    schedules: Sequence[object] = (),
+) -> SimulationResult:
+    """Execute *spec* on its selected engine and return its result."""
+    sim = build_simulation(spec)
     return sim.run(
         spec.max_cycles,
         stop_when_perfect=spec.stop_when_perfect,

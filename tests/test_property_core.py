@@ -1,0 +1,189 @@
+"""Property-based tests for the ``repro.core`` contracts.
+
+These are the invariants the array-backed engine's kernels must
+preserve (see ``tests/test_engine_fast.py`` for the point-for-point
+kernel equivalences); hypothesis explores the input space the
+example-based suites cannot enumerate:
+
+* ``freshest_by_id``/``dedupe_by_id`` idempotence and freshest-wins;
+* ``LeafSet`` size bounds, balanced successor/predecessor split, and
+  update monotonicity;
+* ``PrefixTable`` slot-occupancy bounds and fill-only semantics;
+* kernel/core agreement on arbitrary (not merely random-unique) ids.
+
+Guarded on the optional ``hypothesis`` dependency: the module skips
+cleanly where only the core test requirements are installed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core import IDSpace, LeafSet, NodeDescriptor, PrefixTable  # noqa: E402
+from repro.core.descriptor import dedupe_by_id, freshest_by_id  # noqa: E402
+from repro.core.leafset import select_balanced_ids  # noqa: E402
+from repro.engine_fast import kernels  # noqa: E402
+
+SPACE = IDSpace()  # 64-bit, hex digits (the paper's geometry)
+SMALL_SPACE = IDSpace(bits=8, digit_bits=2)  # dense collisions
+
+ids_64 = st.integers(min_value=0, max_value=SPACE.size - 1)
+ids_8 = st.integers(min_value=0, max_value=SMALL_SPACE.size - 1)
+
+descriptors = st.builds(
+    NodeDescriptor,
+    node_id=ids_8,
+    address=st.integers(min_value=0, max_value=7),
+    timestamp=st.floats(
+        min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+    ),
+)
+
+COMMON = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestDescriptorMerge:
+    @COMMON
+    @given(st.lists(descriptors, max_size=40))
+    def test_freshest_by_id_idempotent(self, descs):
+        once = freshest_by_id(descs)
+        twice = freshest_by_id(once.values())
+        assert once == twice
+
+    @COMMON
+    @given(st.lists(descriptors, max_size=40))
+    def test_freshest_by_id_keeps_maximal_timestamp(self, descs):
+        best = freshest_by_id(descs)
+        for desc in descs:
+            kept = best[desc.node_id]
+            assert kept.timestamp >= desc.timestamp
+            assert kept.node_id == desc.node_id
+
+    @COMMON
+    @given(st.lists(descriptors, max_size=40))
+    def test_dedupe_by_id_idempotent_and_unique(self, descs):
+        deduped = dedupe_by_id(descs)
+        assert len({d.node_id for d in deduped}) == len(deduped)
+        assert dedupe_by_id(deduped) == deduped
+
+
+class TestLeafSetInvariants:
+    @COMMON
+    @given(
+        own=ids_8,
+        batches=st.lists(
+            st.lists(descriptors, max_size=20), min_size=1, max_size=5
+        ),
+        size=st.sampled_from([2, 4, 8]),
+    )
+    def test_update_respects_bounds_and_balance(self, own, batches, size):
+        leaf = LeafSet(SMALL_SPACE, own, size)
+        seen = set()
+        for batch in batches:
+            leaf.update(batch)
+            seen.update(
+                d.node_id for d in batch if d.node_id != own
+            )
+            members = leaf.member_ids()
+            # Size bound and provenance.
+            assert len(members) <= size
+            assert own not in members
+            assert members <= seen
+            # The balanced rule: membership equals the pure selection
+            # function applied to everything ever offered.
+            assert members == select_balanced_ids(
+                SMALL_SPACE, own, seen, size // 2
+            )
+
+    @COMMON
+    @given(own=ids_8, batch=st.lists(descriptors, max_size=30))
+    def test_update_is_idempotent_on_membership(self, own, batch):
+        leaf = LeafSet(SMALL_SPACE, own, 4)
+        leaf.update(batch)
+        first = leaf.member_ids()
+        changed = leaf.update(batch)
+        assert leaf.member_ids() == first
+        assert changed is False
+
+    @COMMON
+    @given(own=ids_8, batch=st.lists(descriptors, max_size=30))
+    def test_closest_half_is_prefix_of_distance_order(self, own, batch):
+        leaf = LeafSet(SMALL_SPACE, own, 8)
+        leaf.update(batch)
+        ordered = [d.node_id for d in leaf.sorted_by_distance()]
+        half = [d.node_id for d in leaf.closest_half()]
+        assert half == ordered[: (len(ordered) + 1) // 2]
+
+
+class TestPrefixTableInvariants:
+    @COMMON
+    @given(
+        own=ids_8,
+        batch=st.lists(descriptors, max_size=60),
+        k=st.sampled_from([1, 2, 3]),
+    )
+    def test_slot_occupancy_bounded_by_k(self, own, batch, k):
+        table = PrefixTable(SMALL_SPACE, own, k)
+        added = table.update(batch)
+        assert added == len(table)
+        assert own not in table
+        for (row, col), count in table.occupancy().items():
+            assert 1 <= count <= k
+            for desc in table.slot_entries(row, col):
+                assert SMALL_SPACE.prefix_slot(own, desc.node_id) == (
+                    row,
+                    col,
+                )
+
+    @COMMON
+    @given(own=ids_8, batch=st.lists(descriptors, max_size=60))
+    def test_update_only_fills_never_evicts(self, own, batch):
+        table = PrefixTable(SMALL_SPACE, own, 2)
+        table.update(batch)
+        before = table.member_ids()
+        table.update(batch)  # replay adds nothing, removes nothing
+        assert table.member_ids() == before
+
+
+class TestKernelCoreAgreement:
+    """The fast engine's kernels against the reference selection
+    functions, over adversarial (clustered, duplicate-free) id sets."""
+
+    @COMMON
+    @given(
+        ids=st.lists(ids_64, unique=True, max_size=80),
+        origin=ids_64,
+        half_capacity=st.sampled_from([1, 5, 10]),
+    )
+    def test_select_balanced_matches_core(self, ids, origin, half_capacity):
+        ids = [i for i in ids if i != origin]
+        assert kernels.select_balanced(
+            ids, origin, SPACE.size - 1, SPACE.half, half_capacity
+        ) == select_balanced_ids(SPACE, origin, ids, half_capacity)
+
+    @COMMON
+    @given(ids=st.lists(ids_64, unique=True, max_size=80), origin=ids_64)
+    def test_rank_matches_idspace(self, ids, origin):
+        assert kernels.rank_ids(ids, origin, SPACE.size - 1) == (
+            SPACE.sort_by_ring_distance(origin, ids)
+        )
+
+    @COMMON
+    @given(ids=st.lists(ids_64, unique=True, max_size=80), origin=ids_64)
+    def test_prefix_slots_match_idspace(self, ids, origin):
+        ids = [i for i in ids if i != origin]
+        packed = kernels.prefix_slots(
+            ids, origin, SPACE.bits, SPACE.digit_bits, SPACE.digit_base - 1
+        )
+        for nid, slot in zip(ids, packed):
+            row, col = SPACE.prefix_slot(origin, nid)
+            assert slot == (row << SPACE.digit_bits) | col

@@ -170,6 +170,77 @@ class TestFailurePropagation:
             SweepRunner(workers=-1)
 
 
+class TestSweepAxes:
+    """Every grid axis exercised through the runner: churn schedules,
+    the NEWSCAST sampler backend, and the engine seam -- each pinned by
+    the same workers-equivalence property as the plain size x drop
+    sweeps."""
+
+    def test_churn_schedule_workers_equivalent(self):
+        grid = fast_grid(
+            sizes=(24,),
+            max_cycles=20,
+            schedules=(ScheduleSpec.of("churn", rate=0.05),),
+        )
+        sequential = merge_results(SweepRunner(workers=1).run_grid(grid))
+        parallel = merge_results(SweepRunner(workers=2).run_grid(grid))
+        assert json.dumps(sequential.to_dict(), sort_keys=True) == (
+            json.dumps(parallel.to_dict(), sort_keys=True)
+        )
+        # Churn actually fired: the population turned over but stayed
+        # stationary in expectation.
+        results = SweepRunner(workers=1).run_grid(grid)
+        assert all(r.result.population > 0 for r in results)
+        assert any(
+            r.result.transport["void_requests"] > 0 for r in results
+        ), "churn never produced a request to a departed node"
+
+    def test_newscast_sampler_workers_equivalent(self):
+        grid = fast_grid(sizes=(24,), replicas=2, sampler="newscast")
+        sequential = merge_results(SweepRunner(workers=1).run_grid(grid))
+        parallel = merge_results(SweepRunner(workers=2).run_grid(grid))
+        assert json.dumps(sequential.to_dict(), sort_keys=True) == (
+            json.dumps(parallel.to_dict(), sort_keys=True)
+        )
+        for cell in sequential.cells:
+            assert cell.converged_runs == cell.runs
+
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_engine_axis_workers_equivalent(self, engine):
+        grid = fast_grid(sizes=(24,), engine=engine)
+        sequential = merge_results(SweepRunner(workers=1).run_grid(grid))
+        parallel = merge_results(SweepRunner(workers=2).run_grid(grid))
+        assert json.dumps(sequential.to_dict(), sort_keys=True) == (
+            json.dumps(parallel.to_dict(), sort_keys=True)
+        )
+
+    def test_full_axis_product_identical_across_engines(self):
+        """size x drop x churn x sampler, both engines, one assertion:
+        the merged sweep statistics agree byte-for-byte."""
+        def run(engine):
+            grid = fast_grid(
+                sizes=(24, 32),
+                replicas=1,
+                max_cycles=15,
+                sampler="newscast",
+                schedules=(ScheduleSpec.of("churn", rate=0.05),),
+                engine=engine,
+            )
+            merged = merge_results(SweepRunner(workers=1).run_grid(grid))
+            return json.dumps(merged.to_dict(), sort_keys=True)
+
+        assert run("reference") == run("fast")
+
+    def test_run_repeats_on_fast_engine(self):
+        spec = ExperimentSpec(
+            size=24, seed=5, config=FAST, max_cycles=30, engine="fast"
+        )
+        reference = run_repeats(spec.with_engine("reference"), 2)
+        fast = run_repeats(spec, 2, workers=2)
+        assert [r.samples for r in reference] == [r.samples for r in fast]
+        assert all(r.engine == "fast" for r in fast)
+
+
 class TestMerge:
     def test_cells_grouped_and_summarized(self):
         grid = fast_grid()
