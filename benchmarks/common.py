@@ -21,12 +21,16 @@ Scale knobs (environment variables):
     Shard each benchmark's independent runs across N worker processes
     (default 1).  Results are byte-identical for any value; only
     wall-clock changes.
-``REPRO_BENCH_ENGINE=reference|fast``
-    Cycle-engine implementation (default ``reference``).  The two are
-    differentially pinned to identical trajectories
-    (``tests/test_engine_fast.py``), so switching only changes the
-    cycles/sec lines; every emitted artefact records which engine
-    produced it (the ``engine`` field of ``results/<name>.json``).
+``REPRO_BENCH_ENGINE=reference|fast|vector``
+    Cycle-engine implementation (default ``reference``).  Reference
+    and fast are differentially pinned to identical trajectories
+    (``tests/test_engine_fast.py``), so switching between them only
+    changes the cycles/sec lines; ``vector`` runs a documented
+    seeded-but-different RNG stream that is statistically equivalent
+    (``tests/test_engine_vector.py``), so its artefacts match in
+    distribution, not byte-for-byte.  Every emitted artefact records
+    which engine produced it (the ``engine`` field of
+    ``results/<name>.json``).
 
 The default sweep (2^10 and 2^12, 4x apart like the paper's sizes)
 preserves every qualitative claim: exponential decay, additive shift

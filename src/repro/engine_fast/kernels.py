@@ -44,10 +44,16 @@ __all__ = [
     "set_backend",
     "rank_ids",
     "select_balanced",
+    "select_balanced_arrays",
     "close_and_rest",
+    "close_and_rest_arrays",
+    "close_and_rest_with_aux",
     "slot_tables",
     "prefix_slots",
+    "prefix_slots_arrays",
     "prefix_part",
+    "prefix_part_arrays",
+    "prefix_part_with_slots",
 ]
 
 #: Candidate-set sizes below which the pure-Python path wins even with
@@ -154,6 +160,40 @@ def _balanced_counts(
     return take_succ, take_pred
 
 
+def select_balanced_arrays(arr, origin: int, mask: int, half_ring: int,
+                           half_capacity: int):
+    """Array-native :func:`select_balanced`: uint64 ids in, uint64 ids
+    out (selection order unspecified).  numpy-only -- the vector engine
+    calls this directly on its resident id arrays; the set-based
+    wrapper below routes through it after conversion."""
+    mu = _np.uint64(mask)
+    fw = (arr - _np.uint64(origin)) & mu
+    succ_mask = fw <= _np.uint64(half_ring)
+    succ_ids = arr[succ_mask]
+    pred_ids = arr[~succ_mask]
+    take_succ, take_pred = _balanced_counts(
+        len(succ_ids), len(pred_ids), half_capacity
+    )
+    parts = []
+    if take_succ:
+        if take_succ < len(succ_ids):
+            d = fw[succ_mask]
+            keep = _np.argpartition(d, take_succ - 1)[:take_succ]
+            parts.append(succ_ids[keep])
+        else:
+            parts.append(succ_ids)
+    if take_pred:
+        if take_pred < len(pred_ids):
+            d = ((-fw) & mu)[~succ_mask]
+            keep = _np.argpartition(d, take_pred - 1)[:take_pred]
+            parts.append(pred_ids[keep])
+        else:
+            parts.append(pred_ids)
+    if not parts:
+        return arr[:0]
+    return _np.concatenate(parts)
+
+
 def select_balanced(
     ids: Iterable[int],
     origin: int,
@@ -172,31 +212,12 @@ def select_balanced(
         ids = list(ids)
     n = len(ids)
     if _use_numpy(n):
-        mu = _np.uint64(mask)
         arr = _np.fromiter(ids, dtype=_np.uint64, count=n)
-        fw = (arr - _np.uint64(origin)) & mu
-        succ_mask = fw <= _np.uint64(half_ring)
-        succ_ids = arr[succ_mask]
-        pred_ids = arr[~succ_mask]
-        take_succ, take_pred = _balanced_counts(
-            len(succ_ids), len(pred_ids), half_capacity
+        return set(
+            select_balanced_arrays(
+                arr, origin, mask, half_ring, half_capacity
+            ).tolist()
         )
-        chosen: Set[int] = set()
-        if take_succ:
-            if take_succ < len(succ_ids):
-                d = fw[succ_mask]
-                keep = _np.argpartition(d, take_succ - 1)[:take_succ]
-                chosen.update(succ_ids[keep].tolist())
-            else:
-                chosen.update(succ_ids.tolist())
-        if take_pred:
-            if take_pred < len(pred_ids):
-                d = ((-fw) & mu)[~succ_mask]
-                keep = _np.argpartition(d, take_pred - 1)[:take_pred]
-                chosen.update(pred_ids[keep].tolist())
-            else:
-                chosen.update(pred_ids.tolist())
-        return chosen
 
     successors: List[Tuple[int, int]] = []
     predecessors: List[Tuple[int, int]] = []
@@ -242,39 +263,10 @@ def close_and_rest(
     n = len(pool)
     if _use_numpy(n):
         arr = _np.fromiter(pool, dtype=_np.uint64, count=n)
-        if mask == 0xFFFFFFFFFFFFFFFF:
-            # 64-bit ring: uint64 arithmetic wraps modulo 2**64 on its
-            # own, the mask ops are no-ops.
-            fw = arr - _np.uint64(peer)
-            bw = -fw
-        else:
-            mu = _np.uint64(mask)
-            fw = (arr - _np.uint64(peer)) & mu
-            bw = (-fw) & mu
-        order = _np.lexsort((arr, _np.minimum(fw, bw)))
-        succ = fw <= _np.uint64(half_ring)
-        n_succ = int(succ.sum())
-        take_succ, take_pred = _balanced_counts(
-            n_succ, n - n_succ, half_capacity
+        close_arr, rest_arr = close_and_rest_arrays(
+            arr, peer, mask, half_ring, half_capacity
         )
-        chosen = _np.zeros(n, dtype=bool)
-        if take_succ == n_succ:
-            chosen |= succ
-        elif take_succ:
-            d = _np.where(succ, fw, ~_np.uint64(0))
-            chosen[_np.argpartition(d, take_succ - 1)[:take_succ]] = True
-        pred_total = n - n_succ
-        if take_pred == pred_total:
-            chosen |= ~succ
-        elif take_pred:
-            d = _np.where(succ, ~_np.uint64(0), bw)
-            chosen[_np.argpartition(d, take_pred - 1)[:take_pred]] = True
-        chosen_sorted = chosen[order]
-        ranked = arr[order]
-        return (
-            ranked[chosen_sorted].tolist(),
-            ranked[~chosen_sorted].tolist(),
-        )
+        return close_arr.tolist(), rest_arr.tolist()
     if not isinstance(pool, (list, tuple)):
         pool = list(pool)
     ranked = rank_ids(pool, peer, mask)
@@ -289,24 +281,120 @@ def close_and_rest(
     return close_part, rest
 
 
+def close_and_rest_arrays(arr, peer: int, mask: int, half_ring: int,
+                          half_capacity: int):
+    """Array-native :func:`close_and_rest`: uint64 ids in, a
+    ``(close, rest)`` pair of uint64 arrays out, both in ``(ring
+    distance to peer, id)`` order.  numpy-only; shared by the set-based
+    wrapper above and the vector engine's resident-array hot path.
+
+    Within one side, ranked order (by ring distance) equals
+    forward/backward-distance order, so the balanced pick is simply
+    "the first ``take`` of each side in ranked order" -- one running
+    count per side instead of per-side ``argpartition`` passes.
+    """
+    n = len(arr)
+    if mask == 0xFFFFFFFFFFFFFFFF:
+        # 64-bit ring: uint64 arithmetic wraps modulo 2**64 on its
+        # own, the mask ops are no-ops.
+        fw = arr - _np.uint64(peer)
+        bw = -fw
+    else:
+        mu = _np.uint64(mask)
+        fw = (arr - _np.uint64(peer)) & mu
+        bw = (-fw) & mu
+    order = _np.lexsort((arr, _np.minimum(fw, bw)))
+    succ_ranked = (fw <= _np.uint64(half_ring))[order]
+    succ_seen = _np.cumsum(succ_ranked)
+    n_succ = int(succ_seen[-1]) if n else 0
+    take_succ, take_pred = _balanced_counts(
+        n_succ, n - n_succ, half_capacity
+    )
+    pred_seen = _arange(n + 1)[1:] - succ_seen
+    keep = _np.where(
+        succ_ranked, succ_seen <= take_succ, pred_seen <= take_pred
+    )
+    ranked = arr[order]
+    return ranked[keep], ranked[~keep]
+
+
+#: Growing shared index buffer: the group-cap and balanced-pick
+#: kernels need a fresh ``arange`` per call only as a *read-only*
+#: ramp, so one cached buffer (sliced per call) removes the hottest
+#: allocation in the vector engine's exchange path.
+_ARANGE = None
+
+
+def _arange(n: int):  # pragma: no cover - numpy-only helper
+    global _ARANGE
+    if _ARANGE is None or _ARANGE.size < n:
+        _ARANGE = _np.arange(max(n, 256))
+    return _ARANGE[:n]
+
+
+def close_and_rest_with_aux(arr, aux, peer: int, mask: int, half_ring: int,
+                            half_capacity: int, drop_peer: bool):
+    """:func:`close_and_rest_arrays` that carries a parallel *aux*
+    array (packed slots) through the same ranking and split, and can
+    drop *peer* itself from the ranking instead of requiring the
+    caller to pre-filter it.
+
+    When ``drop_peer`` is true and *peer* is present in *arr* it ranks
+    first (ring distance zero is unique), so it is excluded by masking
+    rank 0 -- cheaper than an equality scan over the whole union.
+    Returns ``(close, rest, close_aux, rest_aux)``.
+
+    Unlike :func:`close_and_rest_arrays` this ranks by distance alone
+    with a *positional* (stable-sort) tie break instead of the id tie
+    break: exact cross-side distance ties are measure-zero for random
+    64-bit identifiers, and the vector engine -- this variant's only
+    caller -- promises distributional rather than bit-level identity,
+    so the cheaper single-key sort is safe.
+    """
+    n = len(arr)
+    if mask == 0xFFFFFFFFFFFFFFFF:
+        fw = arr - _np.uint64(peer)
+        bw = -fw
+    else:
+        mu = _np.uint64(mask)
+        fw = (arr - _np.uint64(peer)) & mu
+        bw = (-fw) & mu
+    order = _np.argsort(_np.minimum(fw, bw), kind="stable")
+    ranked = arr[order]
+    succ_ranked = (fw <= _np.uint64(half_ring))[order]
+    succ_seen = _np.cumsum(succ_ranked)
+    has_peer = 1 if (drop_peer and n and int(ranked[0]) == peer) else 0
+    n_succ = (int(succ_seen[-1]) if n else 0) - has_peer
+    take_succ, take_pred = _balanced_counts(
+        n_succ, n - has_peer - n_succ, half_capacity
+    )
+    # The peer (when present) is the zero-distance "successor" at rank
+    # 0: discounting it from the running successor count and masking
+    # rank 0 out of both halves removes it from the message.
+    pred_seen = _arange(n + 1)[1:] - succ_seen
+    keep = _np.where(
+        succ_ranked,
+        succ_seen - has_peer <= take_succ,
+        pred_seen <= take_pred,
+    )
+    aux_ranked = aux[order]
+    if has_peer:
+        keep[0] = False
+        rest_mask = ~keep
+        rest_mask[0] = False
+    else:
+        rest_mask = ~keep
+    return (
+        ranked[keep],
+        ranked[rest_mask],
+        aux_ranked[keep],
+        aux_ranked[rest_mask],
+    )
+
+
 # ----------------------------------------------------------------------
 # Prefix-table slot geometry
 # ----------------------------------------------------------------------
-
-
-def _bit_lengths(diff):  # pragma: no cover - numpy-only helper
-    """Vectorised ``int.bit_length`` for nonzero uint64 values.
-
-    Splits each value into 32-bit halves so the float64 conversion is
-    exact, then reads ``frexp``'s exponent (for an exactly-converted
-    integer the exponent *is* the bit length -- no ``log2`` rounding
-    hazards near power-of-two boundaries).
-    """
-    hi = (diff >> _np.uint64(32)).astype(_np.float64)
-    lo = (diff & _np.uint64(0xFFFFFFFF)).astype(_np.float64)
-    hi_bits = _np.frexp(hi)[1]
-    lo_bits = _np.frexp(lo)[1]
-    return _np.where(hi_bits > 0, hi_bits + 32, lo_bits)
 
 
 def slot_tables(bits: int, digit_bits: int) -> Tuple[List[int], List[int]]:
@@ -337,11 +425,9 @@ def prefix_slots(ids: Sequence[int], origin: int, bits: int,
     n = len(ids)
     if n and _use_numpy(n, NUMPY_MIN_SLOTS):
         arr = _np.fromiter(ids, dtype=_np.uint64, count=n)
-        diff = arr ^ _np.uint64(origin)
-        row = (bits - _bit_lengths(diff)) // digit_bits
-        shift = (bits - (row + 1) * digit_bits).astype(_np.uint64)
-        col = (arr >> shift) & _np.uint64(base_mask)
-        return ((row.astype(_np.uint64) << _np.uint64(digit_bits)) | col).tolist()
+        return prefix_slots_arrays(
+            arr, origin, bits, digit_bits, base_mask
+        ).tolist()
     out: List[int] = []
     for nid in ids:
         diff = origin ^ nid
@@ -369,22 +455,10 @@ def prefix_part(rest: List[int], peer: int, bits: int, digit_bits: int,
     n = len(rest)
     if n and _use_numpy(n, NUMPY_MIN_SLOTS):
         arr = _np.fromiter(rest, dtype=_np.uint64, count=n)
-        diff = arr ^ _np.uint64(peer)
-        row = (bits - _bit_lengths(diff)) // digit_bits
-        shift = (bits - (row + 1) * digit_bits).astype(_np.uint64)
-        slots = (row << digit_bits) | (
-            ((arr >> shift) & _np.uint64(base_mask)).astype(_np.int64)
+        ids_arr, slots_arr = prefix_part_arrays(
+            arr, peer, bits, digit_bits, base_mask, k
         )
-        order = _np.argsort(slots, kind="stable")
-        sorted_slots = slots[order]
-        idx = _np.arange(n)
-        new_group = _np.empty(n, dtype=bool)
-        new_group[0] = True
-        _np.not_equal(sorted_slots[1:], sorted_slots[:-1], out=new_group[1:])
-        group_start = _np.maximum.accumulate(_np.where(new_group, idx, 0))
-        keep = _np.empty(n, dtype=bool)
-        keep[order] = (idx - group_start) < k
-        return arr[keep].tolist(), slots[keep].tolist()
+        return ids_arr.tolist(), slots_arr.tolist()
     ids_out: List[int] = []
     slots_out: List[int] = []
     id_append = ids_out.append
@@ -403,3 +477,76 @@ def prefix_part(rest: List[int], peer: int, bits: int, digit_bits: int,
             id_append(nid)
             slot_append(slot)
     return ids_out, slots_out
+
+
+#: Per-geometry digit-boundary tables for the vectorised slot kernel:
+#: ``(bits, digit_bits) -> uint64 array of 2**(digit_bits*m)`` bounds.
+_SLOT_THRESHOLDS: dict = {}
+
+
+def _slot_thresholds(bits: int, digit_bits: int):
+    key = (bits, digit_bits)
+    cached = _SLOT_THRESHOLDS.get(key)
+    if cached is None:
+        rows = bits // digit_bits
+        cached = _SLOT_THRESHOLDS[key] = _np.array(
+            [1 << (digit_bits * m) for m in range(1, rows)],
+            dtype=_np.uint64,
+        )
+    return cached
+
+
+def prefix_slots_arrays(arr, origin: int, bits: int, digit_bits: int,
+                        base_mask: int):
+    """Array-native :func:`prefix_slots`: uint64 ids in, int64 packed
+    slots out.  numpy-only, shared with the vector engine.
+
+    The row of an id is determined by which digit-aligned power-of-two
+    band ``own ^ id`` falls in, so one ``searchsorted`` against the
+    (cached) band boundaries replaces the float ``bit_length``
+    emulation: ``row = rows - 1 - j`` and ``shift = digit_bits * j``
+    where ``j`` counts the boundaries at or below the XOR difference.
+    """
+    if isinstance(origin, _np.ndarray):
+        # Mixed-origin form (the vector engine's paired-message path):
+        # one packed-slot pass over ids belonging to different tables.
+        diff = arr ^ origin
+    else:
+        diff = arr ^ _np.uint64(origin)
+    j = _slot_thresholds(bits, digit_bits).searchsorted(diff, side="right")
+    shift = (j * digit_bits).astype(_np.uint64)
+    col = (arr >> shift) & _np.uint64(base_mask)
+    row = (bits // digit_bits - 1) - j.astype(_np.int64)
+    return (row << digit_bits) | col.astype(_np.int64)
+
+
+def prefix_part_with_slots(rest, slots, k: int):
+    """:func:`prefix_part_arrays` with the packed slots already in
+    hand (computed once for the whole message union): only the
+    first-``k``-per-slot cap in ranked order remains.  Returns
+    ``(kept_ids, kept_slots)``."""
+    n = len(rest)
+    if n == 0:
+        return rest, slots
+    order = _np.argsort(slots, kind="stable")
+    sorted_slots = slots[order]
+    idx = _arange(n)
+    new_group = _np.empty(n, dtype=bool)
+    new_group[0] = True
+    _np.not_equal(sorted_slots[1:], sorted_slots[:-1], out=new_group[1:])
+    group_start = _np.maximum.accumulate(_np.where(new_group, idx, 0))
+    keep = _np.empty(n, dtype=bool)
+    keep[order] = (idx - group_start) < k
+    return rest[keep], slots[keep]
+
+
+def prefix_part_arrays(arr, peer: int, bits: int, digit_bits: int,
+                       base_mask: int, k: int):
+    """Array-native :func:`prefix_part`: a ranked uint64 id array in,
+    ``(kept_ids, kept_slots)`` arrays out (uint64 / int64).  numpy-only,
+    shared by the list wrapper above and the vector engine."""
+    n = len(arr)
+    if n == 0:
+        return arr, _np.empty(0, dtype=_np.int64)
+    slots = prefix_slots_arrays(arr, peer, bits, digit_bits, base_mask)
+    return prefix_part_with_slots(arr, slots, k)

@@ -1,0 +1,31 @@
+"""Vectorised-semantics simulation engine (``engine="vector"``).
+
+This package is the third side of the engine seam.  Unlike
+:mod:`repro.engine_fast` -- which replays the reference engine's RNG
+streams bit-for-bit -- the vector engine relaxes bit-identity to
+**distributional** identity: all of a cycle's randomness is drawn in
+bulk from one ``numpy.random.Generator`` per simulation (a single
+``random.Random`` on the no-numpy fallback leg), and per-node state
+lives in sorted id arrays so whole exchanges run as numpy array
+operations.  Deterministic per ``(seed, backend)``; statistically
+equivalent to the reference engine (mean convergence curves,
+convergence-cycle summaries, transport loss fractions), as pinned by
+``tests/test_engine_vector.py``.  See :mod:`repro.engine_vector.sim`
+for the exact contract and :mod:`repro.engine_vector.rng` for the
+stream semantics and the ``REPRO_VECTOR_BACKEND`` override.
+"""
+
+from .rng import backend, set_backend
+from .sim import (
+    VectorBootstrapSimulation,
+    VectorConvergenceTracker,
+    VectorNewscastView,
+)
+
+__all__ = [
+    "backend",
+    "set_backend",
+    "VectorBootstrapSimulation",
+    "VectorConvergenceTracker",
+    "VectorNewscastView",
+]

@@ -1,0 +1,1514 @@
+"""The vectorised-semantics cycle engine (``engine="vector"``).
+
+:class:`VectorBootstrapSimulation` is the third engine behind the
+engine seam.  It exposes the same constructor, membership-mutation
+surface (``kill_node``/``spawn_node``/``absorb_pool``) and
+``run``/``measure`` API as the reference and fast engines, but it
+deliberately **breaks the bit-identity contract** those two share:
+
+* All exchange randomness comes from **one generator per simulation**
+  (:mod:`repro.engine_vector.rng`): the activation permutation, peer
+  picks, drop coins, and peer-sampling draws of a cycle are bulk
+  draws, not per-node stream consumption.
+* The idealised oracle's ``cr`` fresh samples per message are drawn
+  **with replacement** from the live pool (and may include the
+  sender); duplicates vanish in the message union, so for ``cr << N``
+  the effect is a vanishing reduction of effective fresh samples.
+* On the numpy leg, per-node state lives in sorted ``uint64`` id
+  arrays and every per-exchange operation -- message-union dedup, ring
+  ranking, balanced selection, prefix-slot capping, absorb novelty
+  scans, and convergence measurement -- is an array operation (the
+  geometry kernels are shared with :mod:`repro.engine_fast.kernels`).
+
+What is preserved -- and what the statistical-equivalence harness
+(``tests/test_engine_vector.py``) pins against the reference engine --
+is the *distribution* of trajectories: exchanges stay sequential
+within a cycle in a uniformly random activation order, message
+construction follows the paper's CREATEMESSAGE exactly, UPDATELEAFSET
+and UPDATEPREFIXTABLE semantics are unchanged, and message-drop coins
+are i.i.d. per transmission.  Mean convergence curves,
+convergence-cycle summaries, and transport loss fractions match the
+reference engine within tight tolerances; individual trajectories do
+not (and per-seed results differ between the numpy leg and the
+pure-Python fallback leg, each being deterministic on its own).
+
+Membership randomness (initial identifier draw, spawn identifiers,
+NEWSCAST view seeding) still uses the reference seed tree, so a given
+seed simulates the *same network* on all three engines -- differences
+between engines are purely exchange randomness, which is what makes
+the statistical comparison well-conditioned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.config import BootstrapConfig, PAPER_CONFIG
+from ..core.convergence import ConvergenceSample
+from ..core.reference import ReferenceTables
+from ..engine_fast import kernels
+from ..engine_fast.state import FastRegistry
+from ..simulator.bootstrap_sim import SAMPLER_KINDS, SimulationResult
+from ..simulator.network import NetworkModel, RELIABLE, TransportStats
+from ..simulator.random_source import RandomSource, derive_seed
+from . import rng as vrng
+from .rng import make_draw_source, sample_distinct
+
+try:  # pragma: no cover - exercised via both backend parametrisations
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = [
+    "VectorBootstrapSimulation",
+    "VectorConvergenceTracker",
+    "VectorNewscastView",
+]
+
+
+class _Layer:
+    """One gossip layer's bookkeeping (order cache + transport
+    accounting + cycle counter)."""
+
+    __slots__ = ("stats", "order", "dirty", "cycle")
+
+    def __init__(self) -> None:
+        self.stats = TransportStats()
+        self.order: List[int] = []
+        self.dirty = True
+        self.cycle = 0
+
+
+class VectorNewscastView:
+    """NEWSCAST view for the vector engine: the same freshest-wins
+    merge mechanics as the reference/fast views, but peer picks and
+    view samples are realised from pre-drawn uniforms instead of an
+    owned ``random.Random`` stream."""
+
+    __slots__ = ("own_id", "capacity", "entries", "now")
+
+    def __init__(self, own_id: int, capacity: int) -> None:
+        self.own_id = own_id
+        self.capacity = capacity
+        self.entries: Dict[int, float] = {}
+        self.now = 0.0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def select_peer(self, u: float) -> Optional[int]:
+        """Uniform pick over the view from one pre-drawn float."""
+        if not self.entries:
+            return None
+        keys = list(self.entries)
+        return keys[min(int(u * len(keys)), len(keys) - 1)]
+
+    def payload(self) -> List[Tuple[int, float]]:
+        """The whole view plus the freshly-stamped own advertisement."""
+        pairs = list(self.entries.items())
+        pairs.append((self.own_id, self.now))
+        return pairs
+
+    def merge(self, pairs: List[Tuple[int, float]]) -> None:
+        """Freshest per id, truncated to the ``capacity`` freshest
+        (ties broken by id) -- identical to the reference merge."""
+        entries = self.entries
+        own = self.own_id
+        for nid, ts in pairs:
+            if nid == own:
+                continue
+            current = entries.get(nid)
+            if current is None or ts > current:
+                entries[nid] = ts
+        if len(entries) > self.capacity:
+            survivors = sorted(
+                entries.items(), key=lambda p: (-p[1], p[0])
+            )[: self.capacity]
+            self.entries = dict(survivors)
+
+    def sample(self, count: int, floats: Sequence[float]) -> List[int]:
+        """*count* distinct view members from pre-drawn uniforms."""
+        if count <= 0 or not self.entries:
+            return []
+        return sample_distinct(list(self.entries), count, floats)
+
+    def seed(self, ids: Iterable[int]) -> None:
+        """Install an initial membership sample (timestamp 0)."""
+        self.merge([(nid, 0.0) for nid in ids])
+
+
+# ----------------------------------------------------------------------
+# numpy leg: sorted-array node state + vectorised transitions
+# ----------------------------------------------------------------------
+
+
+class _ArrayState:
+    """One node as sorted numpy arrays.
+
+    ``leaf`` and ``prefix_ids`` are ascending uint64 id arrays (sorted
+    by *id*, which makes novelty scans a ``searchsorted``);
+    ``prefix_slots`` is parallel to ``prefix_ids`` (packed slot of each
+    entry in this node's table) and ``slot_count`` the per-slot
+    occupancy, so capacity checks and convergence measurement are pure
+    fancy indexing.  ``leaf_ranked`` caches the distance-ranked leaf
+    ids between membership changes (SELECTPEER's pick order); the
+    ``succ_*``/``pred_*`` bounds are the UPDATELEAFSET no-op filter
+    (same invariant as the fast engine's ``FastNodeState``).
+    """
+
+    __slots__ = (
+        "node_id",
+        "own_u64",
+        "leaf",
+        "leaf_ranked",
+        "leaf_full",
+        "succ_count",
+        "succ_max",
+        "pred_count",
+        "pred_max",
+        "accept_lo",
+        "accept_hi",
+        "prefix_ids",
+        "prefix_slots",
+        "slot_count",
+        "known",
+        "stats_dirty",
+        "started",
+    )
+
+    def __init__(self, node_id: int, n_slots: int) -> None:
+        self.node_id = node_id
+        self.own_u64 = _np.array([node_id], dtype=_np.uint64)
+        self.leaf = _np.empty(0, dtype=_np.uint64)
+        self.leaf_ranked: Optional["_np.ndarray"] = None
+        self.leaf_full = False
+        self.succ_count = 0
+        self.succ_max = -1
+        self.pred_count = 0
+        self.pred_max = -1
+        # UPDATELEAFSET admission window (valid when ``leaf_full``): a
+        # candidate can change the balanced selection iff its forward
+        # distance is below ``accept_lo`` (successor side) or above
+        # ``accept_hi`` (predecessor side).
+        self.accept_lo = _np.uint64(0)
+        self.accept_hi = _np.uint64(0)
+        self.prefix_ids = _np.empty(0, dtype=_np.uint64)
+        self.prefix_slots = _np.empty(0, dtype=_np.int64)
+        self.slot_count = _np.zeros(n_slots, dtype=_np.int64)
+        # Cached sorted union of leaf + prefix + own id (the message
+        # base); rebuilt lazily after membership changes.
+        self.known: Optional["_np.ndarray"] = None
+        # Measurement cache validity (see VectorConvergenceTracker):
+        # cleared whenever either table mutates.
+        self.stats_dirty = True
+        self.started = False
+
+
+def _not_in_sorted(sorted_arr, values):
+    """Boolean mask of *values* entries absent from *sorted_arr*."""
+    if sorted_arr.size == 0:
+        return _np.ones(values.size, dtype=bool)
+    pos = _np.searchsorted(sorted_arr, values)
+    return sorted_arr[_np.minimum(pos, sorted_arr.size - 1)] != values
+
+
+class _NumpyOps:
+    """Array-native node transitions (the vector engine's fast leg)."""
+
+    kind = "numpy"
+
+    def __init__(self, config: BootstrapConfig) -> None:
+        space = config.space
+        self._mask = space.size - 1
+        self._mu = _np.uint64(self._mask)
+        self._half_ring = space.half
+        self._half_u = _np.uint64(space.half)
+        self._bits = space.bits
+        self._digit_bits = space.digit_bits
+        self._base_mask = space.digit_base - 1
+        self._k = config.entries_per_slot
+        self._c = config.leaf_set_size
+        self._half_c = config.half_leaf_set
+        self._n_slots = space.num_digits * space.digit_base
+        self._row_of, self._shift_of = kernels.slot_tables(
+            space.bits, space.digit_bits
+        )
+
+    # -- state / pool plumbing -----------------------------------------
+
+    def new_state(self, node_id: int) -> _ArrayState:
+        return _ArrayState(node_id, self._n_slots)
+
+    def live_pool(self, ids: List[int]):
+        return _np.fromiter(ids, dtype=_np.uint64, count=len(ids))
+
+    def gather(self, pool, index_matrix):
+        return pool[index_matrix]
+
+    def oracle_samples(self, pool, index_matrix):
+        """Message-sample rows, batch-sorted with duplicate masks so
+        per-message union folding needs no ``np.unique``."""
+        rows = pool[index_matrix]
+        dup = _np.zeros(rows.shape, dtype=bool)
+        if rows.shape[1] > 1:
+            rows.sort(axis=1)
+            _np.equal(rows[:, 1:], rows[:, :-1], out=dup[:, 1:])
+        return rows, dup
+
+    def msg_row(self, buf, i: int):
+        rows, dup = buf
+        return rows[i], dup[i]
+
+    def as_ids(self, ids: List[int]):
+        return _np.fromiter(ids, dtype=_np.uint64, count=len(ids))
+
+    # -- protocol transitions ------------------------------------------
+
+    def start_node(self, state: _ArrayState, samples) -> None:
+        """Protocol start: wipe the prefix table, seed the leaf set."""
+        state.prefix_ids = _np.empty(0, dtype=_np.uint64)
+        state.prefix_slots = _np.empty(0, dtype=_np.int64)
+        state.slot_count[:] = 0
+        state.known = None
+        state.stats_dirty = True
+        fresh = _np.unique(samples)
+        fresh = fresh[fresh != state.own_u64[0]]
+        fresh = fresh[_not_in_sorted(state.leaf, fresh)]
+        if fresh.size:
+            self._merge_fresh(state, fresh)
+        state.started = True
+
+    def select_peer(self, state: _ArrayState, u: float, fallback):
+        """SELECTPEER: uniform over the closest half of the ranked
+        leaf set; an empty leaf set falls back to the first fresh
+        sample that is not the node itself."""
+        ranked = state.leaf_ranked
+        if ranked is None:
+            leaf = state.leaf
+            if leaf.size:
+                fw = (leaf - state.own_u64[0]) & self._mu
+                dist = _np.minimum(fw, (-fw) & self._mu)
+                ranked = leaf[_np.lexsort((leaf, dist))]
+            else:
+                ranked = leaf
+            state.leaf_ranked = ranked
+        if ranked.size:
+            half = (ranked.size + 1) // 2
+            return int(ranked[min(int(u * half), half - 1)])
+        own = state.node_id
+        if type(fallback) is tuple:
+            fallback = fallback[0]
+        for nid in fallback.tolist():
+            if nid != own:
+                return nid
+        return None
+
+    def create_message(self, state: _ArrayState, peer_id: int, samples):
+        """CREATEMESSAGE over resident arrays: the cached known-id
+        union plus the novel fresh samples, then the shared close/rest
+        and prefix-cap kernels.  Returns ``(close, tail, tail_slots)``
+        arrays; the slots are the receiver's UPDATEPREFIXTABLE keys (a
+        message is only absorbed by the peer it was created for)."""
+        union = self._union(state, samples)
+        # One slot pass for the whole union: the tail's capping keys
+        # and the absorb side's close-part keys fall out together.
+        slots = kernels.prefix_slots_arrays(
+            union, peer_id, self._bits, self._digit_bits, self._base_mask
+        )
+        close, rest, close_slots, rest_slots = kernels.close_and_rest_with_aux(
+            union,
+            slots,
+            peer_id,
+            self._mask,
+            self._half_ring,
+            self._half_c,
+            True,
+        )
+        tail, tail_slots = kernels.prefix_part_with_slots(
+            rest, rest_slots, self._k
+        )
+        return (
+            _np.concatenate((close, tail)),
+            _np.concatenate((close_slots, tail_slots)),
+        )
+
+    def _union(self, state: _ArrayState, samples):
+        """The CREATEMESSAGE base: the cached known union plus any
+        fresh samples (unsorted tail; uniqueness is all the kernels
+        need)."""
+        known = state.known
+        if known is None:
+            known = state.known = _np.unique(
+                _np.concatenate(
+                    (state.leaf, state.prefix_ids, state.own_u64)
+                )
+            )
+        if type(samples) is tuple:
+            # Oracle leg: a pre-sorted row plus its duplicate mask
+            # (both produced once per cycle for the whole batch).
+            row, dup = samples
+            pos = _np.minimum(
+                known.searchsorted(row), known.size - 1
+            )
+            fresh = row[(known[pos] != row) & ~dup]
+        elif samples.size:
+            s = _np.unique(samples)
+            pos = _np.minimum(known.searchsorted(s), known.size - 1)
+            fresh = s[known[pos] != s]
+        else:
+            return known
+        if fresh.size:
+            return _np.concatenate((known, fresh))
+        return known
+
+    def create_wave(self, jobs):
+        """CREATEMESSAGE for a whole wave of exchanges in one
+        segmented batch.
+
+        *jobs* is a list of ``(state, peer_id, samples)`` message
+        specifications; the result is the matching list of message
+        tuples.  All messages are built from wave-start state (the
+        cycle loop applies the wave's absorbs afterwards), which is
+        the vector engine's scheduling relaxation: a message cannot
+        see updates applied earlier *within the same wave* -- with
+        wave size ``W`` of ``n`` nodes, the probability that this
+        hides a same-cycle update that the strictly sequential
+        engines would have exposed is about ``W/n`` per exchange.
+        The payoff is that ranking, balanced selection, slot geometry
+        and the prefix cap each run as one segmented numpy pass over
+        every message of the wave, amortising per-call dispatch that
+        otherwise dominates the engine.
+
+        Per message the construction is exactly CREATEMESSAGE: one
+        ``lexsort`` keyed ``(message, ring distance)`` ranks every
+        union at once (segments stay contiguous), the balanced-close
+        thresholds become per-segment running-count offsets, and the
+        first-``k``-per-slot cap runs once with segment-shifted slot
+        keys so equal slots never group across messages.
+        """
+        m_count = len(jobs)
+        unions = [
+            self._union(state, samples) for state, _, samples in jobs
+        ]
+        lens = _np.array([u.size for u in unions], dtype=_np.intp)
+        offs = _np.zeros(m_count + 1, dtype=_np.intp)
+        _np.cumsum(lens, out=offs[1:])
+        u = _np.concatenate(unions)
+        n = u.size
+        peer_list = _np.array(
+            [peer for _, peer, _ in jobs], dtype=_np.uint64
+        )
+        peers = _np.repeat(peer_list, lens)
+        seg_base = kernels._arange(m_count) * self._n_slots
+        if self._mask == 0xFFFFFFFFFFFFFFFF:
+            fw = u - peers
+            bw = -fw
+        else:
+            fw = (u - peers) & self._mu
+            bw = (-fw) & self._mu
+        order = _np.lexsort(
+            (_np.minimum(fw, bw), _np.repeat(kernels._arange(m_count), lens))
+        )
+        ranked = u[order]
+        succ_r = (fw <= self._half_u)[order]
+        cs = _np.cumsum(succ_r)
+        starts = offs[:-1]
+        ends = offs[1:] - 1
+        cs_end = cs[ends]
+        cs_before = _np.zeros(m_count, dtype=cs.dtype)
+        cs_before[1:] = cs_end[:-1]
+        has_p = ranked[starts] == peer_list
+        n_succ_seg = cs_end - cs_before - has_p
+        half_c = self._half_c
+        ts = _np.empty(m_count, dtype=_np.intp)
+        tp = _np.empty(m_count, dtype=_np.intp)
+        balanced = kernels._balanced_counts
+        for m in range(m_count):
+            ts[m], tp[m] = balanced(
+                int(n_succ_seg[m]),
+                int(lens[m]) - int(has_p[m]) - int(n_succ_seg[m]),
+                half_c,
+            )
+        # Per-element thresholds with the segment offsets folded in:
+        # inside segment m the running successor count is
+        # ``cs - cs_before[m]`` and the running predecessor count is
+        # ``pred_seen - (offs[m] - cs_before[m])``.
+        ts_el = _np.repeat(ts + has_p + cs_before, lens)
+        tp_el = _np.repeat(tp + (starts - cs_before), lens)
+        pred_seen = kernels._arange(n + 1)[1:] - cs
+        keep = _np.where(succ_r, cs <= ts_el, pred_seen <= tp_el)
+        rest_mask = ~keep
+        peer_pos = starts[has_p]
+        if peer_pos.size:
+            keep[peer_pos] = False
+            rest_mask[peer_pos] = False
+        slots = kernels.prefix_slots_arrays(
+            ranked,
+            peers[order],
+            self._bits,
+            self._digit_bits,
+            self._base_mask,
+        )
+        # One cap pass over every tail; per-segment key shifts keep
+        # equal slots of different messages in separate groups.  The
+        # cap preserves input order, so kept ids stay grouped by
+        # message and split back on per-segment kept counts.
+        shifted = slots + _np.repeat(seg_base, lens)
+        rest_ids = ranked[rest_mask]
+        rest_keys = shifted[rest_mask]
+        tail_all, tail_keys = kernels.prefix_part_with_slots(
+            rest_ids, rest_keys, self._k
+        )
+        tail_seg = tail_keys // self._n_slots
+        tail_slots = tail_keys - tail_seg * self._n_slots
+        tail_counts = _np.bincount(tail_seg, minlength=m_count)
+        tail_offs = _np.zeros(m_count + 1, dtype=_np.intp)
+        _np.cumsum(tail_counts, out=tail_offs[1:])
+        # Batched per-message assembly: the kept close ids are already
+        # grouped by message inside ``ranked[keep]`` (keep preserves
+        # order and segments are contiguous), so per-message pieces
+        # are pure slice views stitched by one concatenate each.
+        close_all = ranked[keep]
+        close_slots_all = slots[keep]
+        close_counts = _np.add.reduceat(keep.astype(_np.intp), starts)
+        close_offs = _np.zeros(m_count + 1, dtype=_np.intp)
+        _np.cumsum(close_counts, out=close_offs[1:])
+        co = close_offs.tolist()
+        to = tail_offs.tolist()
+        id_pieces = []
+        slot_pieces = []
+        for m in range(m_count):
+            id_pieces.append(close_all[co[m]:co[m + 1]])
+            id_pieces.append(tail_all[to[m]:to[m + 1]])
+            slot_pieces.append(close_slots_all[co[m]:co[m + 1]])
+            slot_pieces.append(tail_slots[to[m]:to[m + 1]])
+        ids_flat = _np.concatenate(id_pieces)
+        slots_flat = _np.concatenate(slot_pieces)
+        bounds = [
+            co[m] + to[m] for m in range(m_count + 1)
+        ]
+        messages = [
+            (
+                ids_flat[bounds[m]:bounds[m + 1]],
+                slots_flat[bounds[m]:bounds[m + 1]],
+            )
+            for m in range(m_count)
+        ]
+        return messages
+
+    def absorb(self, state: _ArrayState, message, sender_id: int) -> None:
+        """UPDATELEAFSET + UPDATEPREFIXTABLE of one message, all in
+        array ops: novelty via ``searchsorted`` on the sorted resident
+        arrays, slot capping via a stable grouped rank against current
+        occupancy (first-come in message order, exactly the reference's
+        sequential fill), then one balanced reselect when a novel id
+        lands inside the admission window (ids outside it provably
+        cannot change the balanced selection).  The envelope sender is
+        processed last on a scalar path (it may duplicate a payload
+        id)."""
+        ids, slots = message
+        if ids.size:
+            prefix_ids = state.prefix_ids
+            if prefix_ids.size:
+                pos = _np.minimum(
+                    prefix_ids.searchsorted(ids), prefix_ids.size - 1
+                )
+                novel = prefix_ids[pos] != ids
+                nids = ids[novel]
+                nslots = slots[novel]
+            else:
+                nids, nslots = ids, slots
+            if nids.size:
+                # Slots already at capacity cannot admit; in the
+                # converged steady state this empties the candidate
+                # set and skips the grouped-rank machinery entirely.
+                open_slot = state.slot_count[nslots] < self._k
+                if open_slot.any():
+                    self._fill_slots(
+                        state, nids[open_slot], nslots[open_slot]
+                    )
+            if state.leaf_full:
+                fw = (ids - state.own_u64[0]) & self._mu
+                cand = ids[
+                    (fw < state.accept_lo) | (fw > state.accept_hi)
+                ]
+                if cand.size:
+                    leaf = state.leaf
+                    pos = _np.minimum(
+                        leaf.searchsorted(cand), leaf.size - 1
+                    )
+                    fresh = cand[leaf[pos] != cand]
+                    if fresh.size:
+                        self._merge_fresh(state, fresh)
+            else:
+                fresh = ids[_not_in_sorted(state.leaf, ids)]
+                if fresh.size:
+                    self._merge_fresh(state, fresh)
+        self._absorb_single(state, sender_id)
+
+    def _fill_slots(self, state: _ArrayState, nids, nslots) -> None:
+        """Admit novel ids into the prefix table, first-come per slot
+        up to ``k``, honouring existing occupancy."""
+        order = _np.argsort(nslots, kind="stable")
+        ss = nslots[order]
+        m = ss.size
+        idx = _np.arange(m)
+        new_group = _np.empty(m, dtype=bool)
+        new_group[0] = True
+        _np.not_equal(ss[1:], ss[:-1], out=new_group[1:])
+        group_start = _np.maximum.accumulate(_np.where(new_group, idx, 0))
+        keep_sorted = (idx - group_start) < (self._k - state.slot_count[ss])
+        if not keep_sorted.any():
+            return
+        kept = order[keep_sorted]
+        kids = nids[kept]
+        kslots = nslots[kept]
+        _np.add.at(state.slot_count, kslots, 1)
+        # Sorted-insert instead of re-sorting the whole table: kids is
+        # small, the resident arrays stay id-sorted.
+        ksort_order = _np.argsort(kids, kind="stable")
+        ksort = kids[ksort_order]
+        pos = state.prefix_ids.searchsorted(ksort)
+        state.prefix_ids = _np.insert(state.prefix_ids, pos, ksort)
+        state.prefix_slots = _np.insert(
+            state.prefix_slots, pos, kslots[ksort_order]
+        )
+        state.stats_dirty = True
+        known = state.known
+        if known is not None:
+            # Admitted ids are novel to the prefix table but may
+            # already sit in the known union via the leaf set.
+            kpos = _np.minimum(known.searchsorted(ksort), known.size - 1)
+            add = known[kpos] != ksort
+            if add.all():
+                state.known = _np.insert(
+                    known, known.searchsorted(ksort), ksort
+                )
+            elif add.any():
+                sub = ksort[add]
+                state.known = _np.insert(
+                    known, known.searchsorted(sub), sub
+                )
+
+    def _merge_fresh(self, state: _ArrayState, fresh) -> None:
+        """Reselect the leaf membership after novel candidates."""
+        candidates = _np.concatenate((state.leaf, fresh))
+        if candidates.size <= self._c:
+            self._set_leaf(state, _np.sort(candidates))
+        else:
+            self._set_leaf(
+                state,
+                _np.sort(
+                    kernels.select_balanced_arrays(
+                        candidates,
+                        state.node_id,
+                        self._mask,
+                        self._half_ring,
+                        self._half_c,
+                    )
+                ),
+            )
+
+    def _set_leaf(self, state: _ArrayState, arr) -> None:
+        state.leaf = arr
+        state.leaf_ranked = None
+        state.known = None
+        state.stats_dirty = True
+        fw = (arr - state.own_u64[0]) & self._mu
+        succ = fw <= self._half_u
+        n_succ = int(succ.sum())
+        state.succ_count = n_succ
+        state.pred_count = arr.size - n_succ
+        state.succ_max = int(fw[succ].max()) if n_succ else -1
+        if arr.size - n_succ:
+            state.pred_max = int((((-fw) & self._mu)[~succ]).max())
+        else:
+            state.pred_max = -1
+        state.leaf_full = arr.size >= self._c
+        if state.leaf_full:
+            # Admission window (see _ArrayState): a short side accepts
+            # its whole half-ring, a full side only below/above its
+            # worst kept distance.
+            if state.succ_count < self._half_c:
+                state.accept_lo = _np.uint64(self._half_ring + 1)
+            else:
+                state.accept_lo = _np.uint64(state.succ_max)
+            if state.pred_count < self._half_c:
+                state.accept_hi = self._half_u
+            else:
+                # pred_max >= 1 when the side is full, so this always
+                # fits the ring's unsigned width.
+                state.accept_hi = _np.uint64(
+                    self._mask - state.pred_max + 1
+                )
+
+    def _absorb_single(self, state: _ArrayState, nid: int) -> None:
+        """Scalar absorb of one id (the envelope sender)."""
+        own = state.node_id
+        if nid == own:
+            return
+        value = _np.uint64(nid)
+        prefix_ids = state.prefix_ids
+        pos = int(prefix_ids.searchsorted(value))
+        if pos == prefix_ids.size or int(prefix_ids[pos]) != nid:
+            row = self._row_of[(own ^ nid).bit_length()]
+            slot = (row << self._digit_bits) | (
+                (nid >> self._shift_of[row]) & self._base_mask
+            )
+            if state.slot_count[slot] < self._k:
+                state.slot_count[slot] += 1
+                state.prefix_ids = _np.insert(prefix_ids, pos, value)
+                state.prefix_slots = _np.insert(
+                    state.prefix_slots, pos, slot
+                )
+                state.stats_dirty = True
+                known = state.known
+                if known is not None:
+                    kpos = int(known.searchsorted(value))
+                    if kpos == known.size or int(known[kpos]) != nid:
+                        state.known = _np.insert(known, kpos, value)
+        fw = (nid - own) & self._mask
+        if state.leaf_full:
+            if not (fw < int(state.accept_lo) or fw > int(state.accept_hi)):
+                return
+        leaf = state.leaf
+        lpos = int(leaf.searchsorted(value))
+        if lpos == leaf.size or int(leaf[lpos]) != nid:
+            self._merge_fresh(state, _np.array([nid], dtype=_np.uint64))
+
+    # -- convergence measurement ---------------------------------------
+
+    def live_view(self, ids: Sequence[int]):
+        return _np.fromiter(ids, dtype=_np.uint64, count=len(ids))
+
+    def pack_perfect(self, reference: ReferenceTables, node_id: int):
+        """Cacheable per-node perfect-table arrays."""
+        leaf = _np.fromiter(
+            sorted(reference.perfect_leaf_ids(node_id)), dtype=_np.uint64
+        )
+        items = reference.perfect_prefix_counts(node_id).items()
+        db = self._digit_bits
+        pslots = _np.array(
+            [(row << db) | col for (row, col), _ in items], dtype=_np.int64
+        )
+        needed = _np.array([need for _, need in items], dtype=_np.int64)
+        return leaf, pslots, needed
+
+    def node_missing(
+        self, state: _ArrayState, packed, live, check_live: bool
+    ) -> Tuple[int, int]:
+        """(missing leaf entries, missing prefix entries) of one node.
+
+        Perfect ids are live by construction, so dead leaf entries
+        never match and need no explicit filtering; prefix occupancy
+        is live-filtered only when the run has ever killed a node.
+        """
+        perfect_leaf, pslots, needed = packed
+        missing_leaf = perfect_leaf.size
+        if state.leaf.size and missing_leaf:
+            pos = _np.searchsorted(state.leaf, perfect_leaf)
+            present = (
+                state.leaf[_np.minimum(pos, state.leaf.size - 1)]
+                == perfect_leaf
+            )
+            missing_leaf -= int(present.sum())
+        if not pslots.size:
+            return missing_leaf, 0
+        have = None
+        if check_live and state.prefix_ids.size:
+            alive = ~_not_in_sorted(live, state.prefix_ids)
+            if not alive.all():
+                counts = _np.bincount(
+                    state.prefix_slots[alive], minlength=self._n_slots
+                )
+                have = counts[pslots]
+        if have is None:
+            have = state.slot_count[pslots]
+        missing_prefix = int(_np.maximum(needed - have, 0).sum())
+        return missing_leaf, missing_prefix
+
+
+# ----------------------------------------------------------------------
+# pure-Python leg: set/dict node state over the shared list kernels
+# ----------------------------------------------------------------------
+
+
+class _SetState:
+    """One node as plain sets and dicts (the no-numpy leg's state;
+    same layout as the fast engine's ``FastNodeState`` minus the
+    per-node RNG plumbing the vector engine replaces)."""
+
+    __slots__ = (
+        "node_id",
+        "leaf_members",
+        "leaf_sorted",
+        "leaf_full",
+        "succ_count",
+        "succ_max",
+        "pred_count",
+        "pred_max",
+        "prefix_slots",
+        "prefix_ids",
+        "stats_dirty",
+        "started",
+    )
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.leaf_members: set = set()
+        self.leaf_sorted: Optional[List[int]] = None
+        self.leaf_full = False
+        self.succ_count = 0
+        self.succ_max = -1
+        self.pred_count = 0
+        self.pred_max = -1
+        self.prefix_slots: Dict[int, List[int]] = {}
+        self.prefix_ids: set = set()
+        # Conservatively re-set on every absorb (the fallback leg does
+        # not track fine-grained mutations); see the tracker cache.
+        self.stats_dirty = True
+        self.started = False
+
+
+class _PythonOps:
+    """The same transitions over set state and the list kernels
+    (which fall back to pure Python when numpy is absent).  Mirrors
+    the fast engine's per-exchange logic with the per-call RNG
+    replaced by pre-drawn samples."""
+
+    kind = "python"
+
+    def __init__(self, config: BootstrapConfig) -> None:
+        space = config.space
+        self._mask = space.size - 1
+        self._half_ring = space.half
+        self._bits = space.bits
+        self._digit_bits = space.digit_bits
+        self._base_mask = space.digit_base - 1
+        self._k = config.entries_per_slot
+        self._c = config.leaf_set_size
+        self._half_c = config.half_leaf_set
+        self._slot_tables = kernels.slot_tables(space.bits, space.digit_bits)
+        self._row_of, self._shift_of = self._slot_tables
+
+    # -- state / pool plumbing -----------------------------------------
+
+    def new_state(self, node_id: int) -> _SetState:
+        return _SetState(node_id)
+
+    def live_pool(self, ids: List[int]) -> List[int]:
+        return ids
+
+    def gather(self, pool: List[int], index_matrix):
+        return [[pool[i] for i in row] for row in index_matrix]
+
+    def oracle_samples(self, pool: List[int], index_matrix):
+        return self.gather(pool, index_matrix)
+
+    def msg_row(self, buf, i: int):
+        return buf[i]
+
+    def as_ids(self, ids: List[int]) -> List[int]:
+        return ids
+
+    # -- protocol transitions ------------------------------------------
+
+    def start_node(self, state: _SetState, samples: List[int]) -> None:
+        state.prefix_slots.clear()
+        state.prefix_ids.clear()
+        state.stats_dirty = True
+        own = state.node_id
+        members = state.leaf_members
+        fresh = [
+            nid for nid in set(samples) if nid != own and nid not in members
+        ]
+        if fresh:
+            self._merge_fresh(state, fresh)
+        state.started = True
+
+    def select_peer(self, state: _SetState, u: float, fallback):
+        ranked = state.leaf_sorted
+        if ranked is None:
+            ranked = state.leaf_sorted = kernels.rank_ids(
+                list(state.leaf_members), state.node_id, self._mask
+            )
+        if ranked:
+            half = (len(ranked) + 1) // 2
+            return ranked[min(int(u * half), half - 1)]
+        own = state.node_id
+        for nid in fallback:
+            if nid != own:
+                return nid
+        return None
+
+    def create_message(self, state: _SetState, peer_id: int, samples):
+        union = set(state.prefix_ids)
+        union |= state.leaf_members
+        union.update(samples)
+        union.add(state.node_id)
+        union.discard(peer_id)
+        close, rest = kernels.close_and_rest(
+            union, peer_id, self._mask, self._half_ring, self._half_c
+        )
+        tail, tail_slots = kernels.prefix_part(
+            rest,
+            peer_id,
+            self._bits,
+            self._digit_bits,
+            self._base_mask,
+            self._k,
+            self._slot_tables,
+        )
+        return close, tail, tail_slots
+
+    def create_wave(self, jobs):
+        """Wave creation on the fallback leg: the same wave-start-state
+        scheduling semantics as the numpy leg, built message by
+        message (there is nothing to batch without numpy)."""
+        return [
+            self.create_message(state, peer_id, samples)
+            for state, peer_id, samples in jobs
+        ]
+
+    def absorb(self, state: _SetState, message, sender_id: int) -> None:
+        close, tail, tail_slots = message
+        state.stats_dirty = True
+        own = state.node_id
+        members = state.leaf_members
+        prefix_ids = state.prefix_ids
+        table = state.prefix_slots
+        digit_bits = self._digit_bits
+        base_mask = self._base_mask
+        row_of = self._row_of
+        shift_of = self._shift_of
+        k = self._k
+        fresh: List[int] = []
+        effective = not state.leaf_full
+
+        def scan_unslotted(ids) -> None:
+            nonlocal effective
+            for nid in ids:
+                if nid not in prefix_ids:
+                    row = row_of[(own ^ nid).bit_length()]
+                    slot = (row << digit_bits) | (
+                        (nid >> shift_of[row]) & base_mask
+                    )
+                    held = table.get(slot)
+                    if held is None:
+                        table[slot] = [nid]
+                        prefix_ids.add(nid)
+                    elif len(held) < k:
+                        held.append(nid)
+                        prefix_ids.add(nid)
+                if nid not in members:
+                    fresh.append(nid)
+                    if not effective:
+                        effective = self._can_affect_leaf(state, nid)
+
+        scan_unslotted(close)
+        for nid, slot in zip(tail, tail_slots):
+            if nid not in prefix_ids:
+                held = table.get(slot)
+                if held is None:
+                    table[slot] = [nid]
+                    prefix_ids.add(nid)
+                elif len(held) < k:
+                    held.append(nid)
+                    prefix_ids.add(nid)
+            if nid not in members:
+                fresh.append(nid)
+                if not effective:
+                    effective = self._can_affect_leaf(state, nid)
+        if sender_id != own:
+            scan_unslotted((sender_id,))
+        if fresh and effective:
+            self._merge_fresh(state, fresh)
+
+    def _can_affect_leaf(self, state: _SetState, nid: int) -> bool:
+        fw = (nid - state.node_id) & self._mask
+        if fw <= self._half_ring:
+            return state.succ_count < self._half_c or fw < state.succ_max
+        return (
+            state.pred_count < self._half_c
+            or self._mask + 1 - fw < state.pred_max
+        )
+
+    def _merge_fresh(self, state: _SetState, fresh: List[int]) -> None:
+        candidates = state.leaf_members | set(fresh)
+        if len(candidates) <= self._c:
+            self._set_leaf(state, candidates)
+        else:
+            self._set_leaf(
+                state,
+                kernels.select_balanced(
+                    candidates,
+                    state.node_id,
+                    self._mask,
+                    self._half_ring,
+                    self._half_c,
+                ),
+            )
+
+    def _set_leaf(self, state: _SetState, members: set) -> None:
+        state.leaf_members = members
+        state.leaf_sorted = None
+        own = state.node_id
+        mask = self._mask
+        half_ring = self._half_ring
+        succ_count = pred_count = 0
+        succ_max = pred_max = -1
+        for nid in members:
+            fw = (nid - own) & mask
+            if fw <= half_ring:
+                succ_count += 1
+                if fw > succ_max:
+                    succ_max = fw
+            else:
+                bw = mask + 1 - fw
+                pred_count += 1
+                if bw > pred_max:
+                    pred_max = bw
+        state.succ_count = succ_count
+        state.succ_max = succ_max
+        state.pred_count = pred_count
+        state.pred_max = pred_max
+        state.leaf_full = len(members) >= self._c
+
+    # -- convergence measurement ---------------------------------------
+
+    def live_view(self, ids: Sequence[int]) -> set:
+        return set(ids)
+
+    def pack_perfect(self, reference: ReferenceTables, node_id: int):
+        db = self._digit_bits
+        packed_slots = [
+            ((row << db) | col, need)
+            for (row, col), need in reference.perfect_prefix_counts(
+                node_id
+            ).items()
+        ]
+        return reference.perfect_leaf_ids(node_id), packed_slots
+
+    def node_missing(
+        self, state: _SetState, packed, live: set, check_live: bool
+    ) -> Tuple[int, int]:
+        perfect_leaf, packed_slots = packed
+        members = state.leaf_members
+        if check_live and not members <= live:
+            members = members & live
+        missing_leaf = len(perfect_leaf - members)
+        missing_prefix = 0
+        slots = state.prefix_slots
+        if check_live and not state.prefix_ids <= live:
+            for slot, needed in packed_slots:
+                held = slots.get(slot)
+                have = sum(1 for nid in held if nid in live) if held else 0
+                if have < needed:
+                    missing_prefix += needed - have
+        else:
+            for slot, needed in packed_slots:
+                held = slots.get(slot)
+                have = len(held) if held else 0
+                if have < needed:
+                    missing_prefix += needed - have
+        return missing_leaf, missing_prefix
+
+
+# ----------------------------------------------------------------------
+# Tracker and simulation
+# ----------------------------------------------------------------------
+
+
+class VectorConvergenceTracker:
+    """Convergence measurement over vector-engine node states.
+
+    Produces the same :class:`ConvergenceSample` metric as the
+    reference tracker; the per-node arithmetic is delegated to the
+    active leg's ops (vectorised on numpy, set-based on the fallback).
+    """
+
+    def __init__(self, ops, reference: ReferenceTables, states) -> None:
+        self._ops = ops
+        self.samples: List[ConvergenceSample] = []
+        self.rebind(reference, states)
+
+    def rebind(self, reference: ReferenceTables, states) -> None:
+        """Swap reference and population, keeping the sample history."""
+        self._reference = reference
+        self._states = [s for s in states if s.node_id in reference]
+        self._live = self._ops.live_view(reference.ids)
+        self._packed: Dict[int, object] = {}
+        # Per-node deficits are cached between measurements and
+        # recomputed only for nodes whose tables changed
+        # (``stats_dirty``); membership events land here and wipe the
+        # cache, so liveness filtering always sees fresh values.
+        self._deficits: Dict[int, Tuple[int, int]] = {}
+
+    def measure(self, cycle: float, check_live: bool) -> ConvergenceSample:
+        """Take one network-wide measurement and append it to
+        :attr:`samples` (same metric as the reference tracker;
+        *check_live* enables dead-entry filtering once any node has
+        been killed)."""
+        ops = self._ops
+        reference = self._reference
+        live = self._live
+        packed_cache = self._packed
+        deficits = self._deficits
+        missing_leaf = 0
+        missing_prefix = 0
+        for state in self._states:
+            node_id = state.node_id
+            if state.stats_dirty or node_id not in deficits:
+                packed = packed_cache.get(node_id)
+                if packed is None:
+                    packed = packed_cache[node_id] = ops.pack_perfect(
+                        reference, node_id
+                    )
+                deficits[node_id] = ops.node_missing(
+                    state, packed, live, check_live
+                )
+                state.stats_dirty = False
+            ml, mp = deficits[node_id]
+            missing_leaf += ml
+            missing_prefix += mp
+        total_leaf, total_prefix = reference.totals()
+        sample = ConvergenceSample(
+            cycle=cycle,
+            missing_leaf=missing_leaf,
+            total_leaf=total_leaf,
+            missing_prefix=missing_prefix,
+            total_prefix=total_prefix,
+        )
+        self.samples.append(sample)
+        return sample
+
+
+class VectorBootstrapSimulation:
+    """Whole-cycle-batched twin of :class:`BootstrapSimulation`.
+
+    Same parameters and experiment surface as the other engines; see
+    the module docstring for the relaxed (distributional) equivalence
+    contract and :mod:`repro.engine_vector.rng` for the RNG stream.
+    """
+
+    engine_name = "vector"
+
+    def __init__(
+        self,
+        size: Optional[int] = None,
+        *,
+        ids: Optional[Sequence[int]] = None,
+        config: BootstrapConfig = PAPER_CONFIG,
+        seed: int = 1,
+        network: NetworkModel = RELIABLE,
+        sampler: str = "oracle",
+        newscast_view_size: int = 30,
+        wave: Optional[int] = None,
+    ) -> None:
+        if sampler not in SAMPLER_KINDS:
+            raise ValueError(
+                f"sampler must be one of {SAMPLER_KINDS}, got {sampler!r}"
+            )
+        if wave is not None and wave < 1:
+            raise ValueError(f"wave must be >= 1, got {wave}")
+        if ids is None:
+            if size is None or size < 2:
+                raise ValueError("need size >= 2 or an explicit id list")
+        self.config = config
+        self.seed = seed
+        self.network = network
+        self.sampler_kind = sampler
+        # Wave size: how many exchanges are message-built together
+        # from wave-start state per batch (None = ``n // 16`` clamped
+        # to [1, 64]); see ``create_wave`` for the staleness bound.
+        self._wave = wave
+        self.backend = vrng.backend()
+        self._ops = (
+            _NumpyOps(config) if self.backend == "numpy"
+            else _PythonOps(config)
+        )
+        self._source = RandomSource(seed)
+        self._draws = make_draw_source(derive_seed(seed, "vector-rng"))
+        space = config.space
+        self._space = space
+        self._c = config.leaf_set_size
+        self._cr = config.random_samples
+
+        if ids is None:
+            id_list = space.random_unique_ids(size, self._source.derive("ids"))
+        else:
+            id_list = list(ids)
+            if len(set(id_list)) != len(id_list):
+                raise ValueError("identifier list contains duplicates")
+            for node_id in id_list:
+                space.validate(node_id)
+            if len(id_list) < 2:
+                raise ValueError("need at least 2 identifiers")
+
+        self.registry = FastRegistry()
+        self.nodes: Dict[int, object] = {}
+        self.newscast: Dict[int, VectorNewscastView] = {}
+        self._next_address = 0
+        self._unstarted: set = set()
+        self._pool = None
+
+        self._boot = _Layer()
+        self._news: Optional[_Layer] = None
+        if sampler == "newscast":
+            self._news = _Layer()
+        self._newscast_view_size = newscast_view_size
+
+        for node_id in id_list:
+            self._admit(node_id)
+        if sampler == "newscast":
+            self._seed_newscast_views()
+
+        self.reference = ReferenceTables(
+            space, id_list, config.leaf_set_size, config.entries_per_slot
+        )
+        self.tracker = VectorConvergenceTracker(
+            self._ops, self.reference, self.nodes.values()
+        )
+        self._membership_dirty = False
+        self._ever_killed = False
+
+    # ------------------------------------------------------------------
+    # Node admission / removal (same seed-tree names as the reference)
+    # ------------------------------------------------------------------
+
+    def _admit(self, node_id: int):
+        self._space.validate(node_id)
+        self._next_address += 1
+        self.registry.add(node_id)
+        if self.sampler_kind == "newscast":
+            self.newscast[node_id] = VectorNewscastView(
+                node_id, self._newscast_view_size
+            )
+            assert self._news is not None
+            self._news.dirty = True
+        state = self._ops.new_state(node_id)
+        self.nodes[node_id] = state
+        self._unstarted.add(node_id)
+        self._boot.dirty = True
+        return state
+
+    def _seed_newscast_views(self) -> None:
+        """Initial NEWSCAST views: same seed-tree derivation as the
+        reference, so all engines start from identical views."""
+        rng = self._source.derive("newscast-seed")
+        for view in self.newscast.values():
+            view.seed(
+                self.registry.sample(
+                    self._newscast_view_size, rng, exclude_id=view.own_id
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Membership mutation (the schedule-facing surface)
+    # ------------------------------------------------------------------
+
+    @property
+    def population(self) -> int:
+        """Current number of live nodes."""
+        return len(self.nodes)
+
+    @property
+    def live_ids(self) -> List[int]:
+        """Identifiers of live nodes (admission order)."""
+        return list(self.nodes)
+
+    def kill_node(self, node_id: int) -> bool:
+        """Crash *node_id* (mirrors ``BootstrapSimulation.kill_node``)."""
+        state = self.nodes.pop(node_id, None)
+        if state is None:
+            return False
+        self.registry.remove(node_id)
+        self._unstarted.discard(node_id)
+        self._boot.dirty = True
+        if self._news is not None:
+            self.newscast.pop(node_id, None)
+            self._news.dirty = True
+        self._membership_dirty = True
+        self._ever_killed = True
+        return True
+
+    def spawn_node(self, node_id: Optional[int] = None):
+        """Join a brand-new node (same seed-tree derivations as the
+        reference, so spawned identifiers match across engines)."""
+        if node_id is None:
+            rng = self._source.derive(("spawn", self._next_address))
+            node_id = self._space.random_id(rng)
+            while node_id in self.nodes:
+                node_id = self._space.random_id(rng)
+        elif node_id in self.nodes:
+            raise ValueError(f"identifier {node_id:#x} already live")
+        state = self._admit(node_id)
+        if self.sampler_kind == "newscast":
+            rng = self._source.derive(("newscast-join", node_id))
+            self.newscast[node_id].seed(
+                self.registry.sample(
+                    self._newscast_view_size, rng, exclude_id=node_id
+                )
+            )
+        self._membership_dirty = True
+        return state
+
+    def absorb_pool(self, ids: Iterable[int]) -> List[object]:
+        """Merge a pool of identifiers into this network."""
+        return [self.spawn_node(node_id) for node_id in ids]
+
+    def _refresh_reference(self) -> None:
+        self.reference = ReferenceTables(
+            self._space,
+            self.nodes.keys(),
+            self.config.leaf_set_size,
+            self.config.entries_per_slot,
+        )
+        self.tracker.rebind(self.reference, self.nodes.values())
+        self._membership_dirty = False
+
+    # ------------------------------------------------------------------
+    # Cycle execution
+    # ------------------------------------------------------------------
+
+    @property
+    def cycle(self) -> int:
+        """Number of completed cycles."""
+        return self._boot.cycle
+
+    def run_cycle(self) -> None:
+        """One Δ interval: NEWSCAST gossips first (when live), then
+        every bootstrap node performs one exchange."""
+        if self._news is not None:
+            self._newscast_cycle()
+        self._bootstrap_cycle()
+
+    def _bootstrap_cycle(self) -> None:
+        layer = self._boot
+        nodes = self.nodes
+        ops = self._ops
+        draws = self._draws
+        if layer.dirty:
+            layer.order = list(nodes)
+            self._pool = ops.live_pool(layer.order)
+            layer.dirty = False
+        order = list(layer.order)
+        draws.shuffle(order)
+        n = len(order)
+        if n == 0:
+            layer.cycle += 1
+            return
+        cr = self._cr
+        oracle = self.sampler_kind == "oracle"
+        peer_u = draws.floats(n)
+        drop_p = self.network.drop_probability
+        req_coins = rep_coins = None
+        if drop_p:
+            req_coins = draws.floats(n)
+            rep_coins = draws.floats(n)
+        n_start = len(self._unstarted)
+        if oracle:
+            start_rows = (
+                ops.gather(self._pool, draws.index_matrix(n, n_start, self._c))
+                if n_start
+                else None
+            )
+            sample_buf = ops.oracle_samples(
+                self._pool, draws.index_matrix(n, 2 * n, cr)
+            )
+        else:
+            start_f = draws.float_matrix(n_start, self._c) if n_start else None
+            sample_f = draws.float_matrix(2 * n, cr)
+        newscast = self.newscast
+        stats = layer.stats
+        get = nodes.get
+        msg_row = ops.msg_row
+        select_peer = ops.select_peer
+        create_wave = ops.create_wave
+        absorb = ops.absorb
+        wave = self._wave or max(1, min(64, n // 16))
+        pending: List[tuple] = []
+
+        def flush() -> None:
+            jobs = []
+            for _, nid_, state_, peer_, target_, rq, rp in pending:
+                jobs.append((state_, peer_, rq))
+                jobs.append((target_, nid_, rp))
+            messages = create_wave(jobs)
+            for j, (i_, nid_, state_, peer_, target_, rq, rp) in enumerate(
+                pending
+            ):
+                if drop_p and req_coins[i_] < drop_p:
+                    stats.requests_dropped += 1
+                    stats.suppressed_replies += 1
+                    continue
+                absorb(target_, messages[2 * j], nid_)
+                stats.replies_sent += 1
+                if drop_p and rep_coins[i_] < drop_p:
+                    stats.replies_dropped += 1
+                    continue
+                absorb(state_, messages[2 * j + 1], peer_)
+            pending.clear()
+
+        start_ptr = 0
+        for i, nid in enumerate(order):
+            state = get(nid)
+            if state is None:
+                continue
+            if oracle:
+                req_row = msg_row(sample_buf, i)
+            else:
+                req_row = ops.as_ids(newscast[nid].sample(cr, sample_f[i]))
+            if not state.started:
+                if oracle:
+                    seeds = start_rows[start_ptr]
+                else:
+                    seeds = ops.as_ids(
+                        newscast[nid].sample(self._c, start_f[start_ptr])
+                    )
+                start_ptr += 1
+                ops.start_node(state, seeds)
+                self._unstarted.discard(nid)
+            peer_id = select_peer(state, peer_u[i], req_row)
+            if peer_id is None:
+                continue
+            target = get(peer_id)
+            stats.exchanges += 1
+            stats.requests_sent += 1
+            if target is None:
+                # Void target: the request's content is unobservable
+                # (nobody absorbs it) and the batched samples are
+                # pre-drawn, so the message build is skipped outright.
+                if drop_p and req_coins[i] < drop_p:
+                    stats.requests_dropped += 1
+                else:
+                    stats.void_requests += 1
+                stats.suppressed_replies += 1
+                continue
+            if oracle:
+                rep_row = msg_row(sample_buf, n + i)
+            else:
+                rep_row = ops.as_ids(
+                    newscast[peer_id].sample(cr, sample_f[n + i])
+                )
+            pending.append((i, nid, state, peer_id, target, req_row, rep_row))
+            if len(pending) >= wave:
+                flush()
+        if pending:
+            flush()
+        layer.cycle += 1
+
+    def _newscast_cycle(self) -> None:
+        layer = self._news
+        views = self.newscast
+        draws = self._draws
+        now = float(layer.cycle)
+        if layer.dirty:
+            layer.order = list(views)
+            layer.dirty = False
+        order = list(layer.order)
+        draws.shuffle(order)
+        n = len(order)
+        if n == 0:
+            layer.cycle += 1
+            return
+        for view in views.values():
+            view.now = now
+        peer_u = draws.floats(n)
+        drop_p = self.network.drop_probability
+        req_coins = rep_coins = None
+        if drop_p:
+            req_coins = draws.floats(n)
+            rep_coins = draws.floats(n)
+        stats = layer.stats
+        get = views.get
+        for i, nid in enumerate(order):
+            view = get(nid)
+            if view is None:
+                continue
+            peer_id = view.select_peer(peer_u[i])
+            if peer_id is None:
+                continue
+            request = view.payload()
+            stats.exchanges += 1
+            stats.requests_sent += 1
+            if drop_p and req_coins[i] < drop_p:
+                stats.requests_dropped += 1
+                stats.suppressed_replies += 1
+                continue
+            target = get(peer_id)
+            if target is None:
+                stats.void_requests += 1
+                stats.suppressed_replies += 1
+                continue
+            reply = target.payload()
+            target.merge(request)
+            stats.replies_sent += 1
+            if drop_p and rep_coins[i] < drop_p:
+                stats.replies_dropped += 1
+                continue
+            view.merge(reply)
+        layer.cycle += 1
+
+    # ------------------------------------------------------------------
+    # Measurement and experiment running (reference API)
+    # ------------------------------------------------------------------
+
+    def measure(self) -> ConvergenceSample:
+        """Measure convergence now (rebuilding the reference first if
+        membership changed)."""
+        if self._membership_dirty:
+            self._refresh_reference()
+        return self.tracker.measure(
+            float(self._boot.cycle), self._ever_killed
+        )
+
+    def run(
+        self,
+        max_cycles: int = 60,
+        *,
+        stop_when_perfect: bool = True,
+        schedules: Sequence["object"] = (),
+        measure_every: int = 1,
+    ) -> SimulationResult:
+        """Run the experiment (same semantics and parameters as
+        ``BootstrapSimulation.run``)."""
+        if max_cycles < 1:
+            raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
+        if measure_every < 1:
+            raise ValueError(
+                f"measure_every must be >= 1, got {measure_every}"
+            )
+        started_at = self._boot.cycle
+        for cycle_index in range(max_cycles):
+            for schedule in schedules:
+                schedule.apply(self, cycle_index)
+            self.run_cycle()
+            if (cycle_index + 1) % measure_every == 0:
+                sample = self.measure()
+                if stop_when_perfect and sample.is_perfect:
+                    break
+        if not self.tracker.samples:
+            self.measure()
+        return self._result(started_at)
+
+    def _result(self, started_at: int = 0) -> SimulationResult:
+        converged_at = next(
+            (
+                s.cycle
+                for s in self.tracker.samples
+                if s.cycle > started_at and s.is_perfect
+            ),
+            None,
+        )
+        return SimulationResult(
+            samples=tuple(self.tracker.samples),
+            converged_at=converged_at,
+            population=self.population,
+            transport=self._boot.stats.snapshot(),
+            config=self.config,
+            seed=self.seed,
+            cycles_run=self._boot.cycle - started_at,
+            started_at_cycle=started_at,
+            engine="vector",
+        )

@@ -80,9 +80,11 @@ class SweepGrid:
     schedules:
         Failure schedules applied to every run (rebuilt fresh per run).
     engine:
-        Cycle-engine implementation (``"reference"`` or ``"fast"``);
-        trajectories are engine-independent, so this only changes how
-        fast the sweep runs.
+        Cycle-engine implementation (``"reference"``, ``"fast"``, or
+        ``"vector"``).  Reference and fast produce identical
+        trajectories, so switching between them only changes how fast
+        the sweep runs; the vector engine is deterministic per seed
+        but statistically rather than bit-level equivalent.
     """
 
     sizes: Tuple[int, ...]
@@ -231,11 +233,17 @@ class SweepRunner:
                 "cross process boundaries; encode schedules as "
                 "ScheduleSpec entries on the RunSpec instead"
             )
+        if not ordered:
+            return []
         factory = self._executor_factory or (
             lambda max_workers: ProcessPoolExecutor(max_workers=max_workers)
         )
+        # Never spawn more processes than there are shards to run: a
+        # sweep of 3 shards on workers=32 costs 3 interpreter starts,
+        # not 32 idle ones.
+        max_workers = min(self.workers, len(ordered))
         results: List[RunResult] = []
-        with factory(self.workers) as pool:  # type: ignore[attr-defined]
+        with factory(max_workers) as pool:  # type: ignore[attr-defined]
             futures = [pool.submit(execute_run, spec) for spec in ordered]
             try:
                 for spec, future in zip(ordered, futures):
@@ -244,11 +252,12 @@ class SweepRunner:
                     except Exception as exc:
                         raise ShardError(spec, exc) from exc
             except ShardError:
-                # Don't sit through the rest of the sweep: queued
-                # shards are cancelled so the error surfaces as soon
-                # as the shards already running finish.
-                for future in futures:
-                    future.cancel()
+                # Fail fast: one shutdown call cancels every queued
+                # shard atomically and refuses new submissions, so the
+                # error surfaces as soon as the shards already running
+                # finish (per-future cancel() would race re-dispatch
+                # and still sit through the queue).
+                pool.shutdown(cancel_futures=True)
                 raise
         return results
 

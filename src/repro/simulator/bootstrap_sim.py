@@ -67,9 +67,10 @@ class SimulationResult:
         pool has been run before, e.g. merge/restart scenarios).
     engine:
         Which engine implementation produced this result
-        (``"reference"``, ``"fast"``, or ``"event"``); trajectories are
-        engine-independent by contract, the field exists so artefacts
-        record their provenance.
+        (``"reference"``, ``"fast"``, or ``"vector"``).  The first two
+        are bit-identical by contract; the vector engine is
+        deterministic per seed but only statistically equivalent, so
+        the provenance field is what keeps artefacts comparable.
     """
 
     samples: Tuple[ConvergenceSample, ...]

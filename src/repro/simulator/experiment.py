@@ -26,10 +26,14 @@ __all__ = [
     "paper_repeat_counts",
 ]
 
-#: Selectable cycle-engine implementations.  Both produce bit-identical
-#: trajectories for the same spec (pinned by the differential suite);
-#: ``"fast"`` is the array-backed kernel in :mod:`repro.engine_fast`.
-ENGINE_KINDS = ("reference", "fast")
+#: Selectable cycle-engine implementations.  ``"reference"`` and
+#: ``"fast"`` (the array-backed kernel in :mod:`repro.engine_fast`)
+#: produce bit-identical trajectories for the same spec, pinned by the
+#: differential suite.  ``"vector"`` (:mod:`repro.engine_vector`)
+#: batches whole cycles in numpy under a documented seeded-but-
+#: different RNG stream: deterministic per seed, *statistically*
+#: equivalent to the other two rather than bit-identical.
+ENGINE_KINDS = ("reference", "fast", "vector")
 
 
 @dataclass(frozen=True)
@@ -81,16 +85,24 @@ class ExperimentSpec:
 def build_simulation(spec: ExperimentSpec):
     """Instantiate the simulation *spec* selects (the engine seam).
 
-    Returns a :class:`BootstrapSimulation` or a
-    :class:`repro.engine_fast.FastBootstrapSimulation`; both expose the
-    same ``run``/``measure``/membership API and produce identical
-    trajectories for identical specs.
+    Returns a :class:`BootstrapSimulation`, a
+    :class:`repro.engine_fast.FastBootstrapSimulation`, or a
+    :class:`repro.engine_vector.VectorBootstrapSimulation`; all expose
+    the same ``run``/``measure``/membership API.  The reference and
+    fast engines produce identical trajectories for identical specs;
+    the vector engine is deterministic per seed but only
+    statistically equivalent (its documented RNG relaxation).
     """
     if spec.engine == "fast":
         # Imported lazily: repro.engine_fast builds on this package.
         from ..engine_fast import FastBootstrapSimulation
 
         sim_class = FastBootstrapSimulation
+    elif spec.engine == "vector":
+        # Imported lazily: repro.engine_vector builds on this package.
+        from ..engine_vector import VectorBootstrapSimulation
+
+        sim_class = VectorBootstrapSimulation
     else:
         sim_class = BootstrapSimulation
     return sim_class(

@@ -45,6 +45,14 @@ class TestSeries:
         s = Series.from_pairs("x", [(1, 1.0), (2, 0.0)])
         assert s.nonzero().points == ((1, 1.0),)
 
+    def test_from_pairs_rejects_duplicate_x(self):
+        """Two points at one x would make step lookup silently pick
+        the later one; the constructor refuses instead."""
+        with pytest.raises(ValueError, match="duplicate x"):
+            Series.from_pairs("x", [(1, 1.0), (2, 0.5), (1, 0.0)])
+        with pytest.raises(ValueError, match="duplicate x"):
+            Series.from_pairs("x", [(3, 1.0), (3, 1.0)])
+
 
 class TestMeanSeries:
     def test_simple_mean(self):
@@ -66,6 +74,23 @@ class TestMeanSeries:
             mean_series("m", [])
         with pytest.raises(ValueError):
             mean_series("m", [Series("e", ())])
+
+    def test_matches_per_point_step_semantics(self):
+        """The hoisted single-pass merge must agree with the
+        per-lookup step definition on ragged, offset curves."""
+        from repro.analysis.series import _step_value
+
+        curves = [
+            Series.from_pairs("a", [(0, 4.0), (2, 2.0), (7, 0.5)]),
+            Series.from_pairs("b", [(1, 3.0), (3, 1.0)]),
+            Series.from_pairs("c", [(2.5, 8.0)]),
+        ]
+        merged = mean_series("m", curves)
+        xs = sorted({x for s in curves for x, _ in s.points})
+        assert merged.xs == tuple(xs)
+        for x, y in merged.points:
+            expected = sum(_step_value(s, x) for s in curves) / len(curves)
+            assert y == pytest.approx(expected)
 
 
 class TestDatFormat:

@@ -211,7 +211,7 @@ class TestEngineSeam:
     """Selection and validation of the engine parameter."""
 
     def test_engine_kinds(self):
-        assert set(ENGINE_KINDS) == {"reference", "fast"}
+        assert set(ENGINE_KINDS) == {"reference", "fast", "vector"}
 
     def test_build_simulation_dispatch(self):
         ref = build_simulation(ExperimentSpec(size=16, config=FAST))

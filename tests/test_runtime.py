@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import pickle
+from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
@@ -136,6 +137,45 @@ class TestDeterminism:
         assert [r.spec.size for r in results] == [32, 32, 24, 24]
 
 
+class RecordingPool:
+    """A real ``ProcessPoolExecutor`` that records its construction
+    size and every ``shutdown`` call (the observability hook the
+    fail-fast tests need)."""
+
+    def __init__(self, max_workers: int) -> None:
+        self.max_workers = max_workers
+        self.shutdown_calls = []
+        self._pool = ProcessPoolExecutor(max_workers=max_workers)
+
+    def submit(self, fn, *args, **kwargs):
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def shutdown(self, wait=True, *, cancel_futures=False):
+        self.shutdown_calls.append(
+            {"wait": wait, "cancel_futures": cancel_futures}
+        )
+        self._pool.shutdown(wait, cancel_futures=cancel_futures)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.shutdown()
+        return False
+
+
+class RecordingFactory:
+    """Executor factory capturing the pools the runner creates."""
+
+    def __init__(self) -> None:
+        self.pools = []
+
+    def __call__(self, max_workers: int) -> RecordingPool:
+        pool = RecordingPool(max_workers)
+        self.pools.append(pool)
+        return pool
+
+
 class TestFailurePropagation:
     def test_sequential_shard_failure(self):
         bad = RunSpec(
@@ -168,6 +208,52 @@ class TestFailurePropagation:
     def test_worker_count_validated(self):
         with pytest.raises(ValueError):
             SweepRunner(workers=-1)
+
+    def test_parallel_failure_provenance_and_prompt_cancellation(self):
+        """A real process-pool sweep with one poisoned shard: the
+        ShardError names that shard and chains the worker exception,
+        and the runner shuts the pool down with ``cancel_futures`` so
+        queued shards never start."""
+        good = ExperimentSpec(size=16, seed=3, config=FAST, max_cycles=15)
+        bad = ExperimentSpec(size=1, seed=3, config=FAST)
+        specs = [
+            RunSpec(experiment=good, shard=0),
+            RunSpec(experiment=bad, shard=1),
+        ] + [
+            RunSpec(experiment=good.with_seed(10 + i), shard=2 + i)
+            for i in range(6)
+        ]
+        factory = RecordingFactory()
+        runner = SweepRunner(workers=2, executor_factory=factory)
+        with pytest.raises(ShardError, match="shard 1") as excinfo:
+            runner.run(specs)
+        assert excinfo.value.spec is specs[1]
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        (pool,) = factory.pools
+        # Fail-fast: the first shutdown is the runner's explicit
+        # cancel-everything call, before the context-manager exit.
+        assert pool.shutdown_calls[0] == {
+            "wait": True, "cancel_futures": True,
+        }
+
+    def test_pool_size_clamped_to_shard_count(self):
+        """workers > shard count must still merge byte-identically
+        while only spawning as many processes as there are shards."""
+        grid = fast_grid(sizes=(24,), drop_rates=(0.0,), replicas=3)
+        factory = RecordingFactory()
+        oversubscribed = SweepRunner(workers=16, executor_factory=factory)
+        parallel = merge_results(oversubscribed.run_grid(grid))
+        sequential = merge_results(SweepRunner(workers=1).run_grid(grid))
+        assert json.dumps(parallel.to_dict(), sort_keys=True) == (
+            json.dumps(sequential.to_dict(), sort_keys=True)
+        )
+        (pool,) = factory.pools
+        assert pool.max_workers == 3
+
+    def test_parallel_empty_sweep(self):
+        factory = RecordingFactory()
+        assert SweepRunner(workers=4, executor_factory=factory).run([]) == []
+        assert factory.pools == []
 
 
 class TestSweepAxes:
