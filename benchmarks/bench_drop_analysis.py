@@ -5,7 +5,8 @@ first message is dropped, then the answer is not sent either.  Taking
 this effect into account, elementary calculation shows that the
 expected overall loss of messages is 28%."
 
-This benchmark sweeps drop probabilities, comparing:
+The ``drop_analysis`` registry scenario sweeps drop probabilities on
+its drop axis; this benchmark compares:
 
 * measured overall loss against the closed form ``(2p + (1-p)p)/2``;
 * measured wire loss against the configured ``p``;
@@ -18,58 +19,41 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import render_table
-from repro.runtime import RunSpec
-from repro.simulator import ExperimentSpec, NetworkModel
+from repro.simulator import NetworkModel
 
-from common import bench_engine, run_specs, throughput_lines
-
-SIZE = 1024
-DROPS = [0.0, 0.1, 0.2, 0.3]
+from common import bench_scenario, emit, run_scenario_bench, throughput_lines
 
 
 def run_sweep():
-    """One run per drop rate, dispatched through the sweep runner
+    """One run per drop rate, dispatched through the scenario layer
     (the per-drop runs are independent, so they shard cleanly)."""
-    networks = [NetworkModel(drop_probability=drop) for drop in DROPS]
-    specs = [
-        RunSpec(
-            experiment=ExperimentSpec(
-                size=SIZE,
-                seed=400,
-                network=network,
-                max_cycles=120,
-                engine=bench_engine(),
-            ),
-            shard=index,
-        )
-        for index, network in enumerate(networks)
-    ]
-    runs = run_specs(specs)
-    outcomes = [
-        (drop, network, run.result)
-        for drop, network, run in zip(DROPS, networks, runs)
-    ]
-    return outcomes, runs
+    return run_scenario_bench(bench_scenario("drop_analysis"))
 
 
 @pytest.mark.benchmark(group="drop-analysis")
 def test_drop_arithmetic_and_slowdown(benchmark):
-    outcomes, runs = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    outcome = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    aggregate = outcome.aggregate
+    size = outcome.spec.grid.sizes[0]
+    drops = outcome.spec.grid.drop_rates
 
-    baseline = outcomes[0][2]
-    assert baseline.converged
+    baseline = aggregate.cell(size, 0.0)
+    assert baseline.all_converged
     rows = []
-    for drop, network, result in outcomes:
-        assert result.converged, f"failed to converge at drop={drop}"
-        expected = network.expected_overall_loss()
-        measured = result.transport["overall_loss_fraction"]
-        wire = result.transport["wire_loss_fraction"]
+    for drop in drops:
+        cell = aggregate.cell(size, drop)
+        assert cell.all_converged, f"failed to converge at drop={drop}"
+        expected = NetworkModel(
+            drop_probability=drop
+        ).expected_overall_loss()
+        measured = cell.overall_loss_fraction
+        wire = cell.wire_loss_fraction
         assert measured == pytest.approx(expected, abs=0.03), (
             f"drop={drop}: measured overall loss {measured:.3f} vs "
             f"closed form {expected:.3f}"
         )
         assert wire == pytest.approx(drop, abs=0.03)
-        slowdown = result.converged_at / baseline.converged_at
+        slowdown = cell.cycles.mean / baseline.cycles.mean
         predicted = 1.0 / (1.0 - expected) if expected < 1 else float("inf")
         rows.append(
             [drop, expected, measured, wire, slowdown, predicted]
@@ -81,8 +65,6 @@ def test_drop_arithmetic_and_slowdown(benchmark):
     # The paper's headline number.
     paper_row = next(r for r in rows if r[0] == 0.2)
     assert paper_row[2] == pytest.approx(0.28, abs=0.03)
-
-    from common import emit
 
     emit(
         "drop_analysis",
@@ -99,13 +81,13 @@ def test_drop_arithmetic_and_slowdown(benchmark):
                     ],
                     rows,
                     title=(
-                        f"message-loss accounting, N={SIZE} "
+                        f"message-loss accounting, N={size} "
                         "(paper: 20% drop => 28% overall loss, "
                         "proportional slowdown)"
                     ),
                 ),
-                throughput_lines(runs),
+                throughput_lines(outcome.columns),
             ]
         ),
-        engine=bench_engine(),
+        engine=outcome.columns[0].engine,
     )

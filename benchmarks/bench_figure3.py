@@ -1,9 +1,10 @@
 """Experiments E1/E2 -- Figure 3: convergence without failures.
 
-Regenerates both panels of the paper's Figure 3: the proportion of
-missing leaf-set entries (top) and missing prefix-table entries
-(bottom) per cycle, one curve per network size, reliable transport,
-paper parameters (b=4, k=3, c=20, cr=30).
+Regenerates both panels of the paper's Figure 3 from the ``figure3``
+registry scenario: the proportion of missing leaf-set entries (top)
+and missing prefix-table entries (bottom) per cycle, one curve per
+network size, reliable transport, paper parameters (b=4, k=3, c=20,
+cr=30).
 
 Checked shape claims:
 
@@ -19,121 +20,109 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import ascii_semilog, mean_series, render_table
-from repro.runtime import expand_repeats
-from repro.simulator import ExperimentSpec
+from repro.analysis import ascii_semilog, render_table
 
 from common import (
-    bench_engine,
+    bench_replicas,
+    bench_scenario,
     bench_sizes,
     emit,
-    leaf_series,
-    prefix_series,
-    repeats_for,
-    run_specs,
+    run_scenario_bench,
     size_label,
     throughput_lines,
 )
 
 
 def run_figure3():
-    """Run the sweep through the sweep runner; returns (per-size
-    results, leaf curves, prefix curves, shard outcomes).
+    """Execute the ``figure3`` scenario at the harness's sizes.
 
-    All shards (every size x repeat) go to the runner in one batch so
-    a parallel run keeps every worker busy across the whole sweep.
+    The whole grid (every size x repeat) goes to the runner in one
+    batch, so a parallel run keeps every worker busy across the sweep.
     """
-    specs = []
-    for size in bench_sizes():
-        spec = ExperimentSpec(
-            size=size,
-            seed=100 + size,
-            max_cycles=60,
-            label=size_label(size),
-            engine=bench_engine(),
+    return run_scenario_bench(
+        bench_scenario(
+            "figure3",
+            sizes=tuple(bench_sizes()),
+            replicas=bench_replicas(),
         )
-        specs.extend(
-            expand_repeats(spec, repeats_for(size), first_shard=len(specs))
-        )
-    runs = run_specs(specs)
-
-    all_results = {}
-    leaf_curves = []
-    prefix_curves = []
-    for size in bench_sizes():
-        results = [o.result for o in runs if o.spec.size == size]
-        all_results[size] = results
-        label = size_label(size)
-        leaf_curves.append(
-            mean_series(
-                label,
-                [leaf_series(r, label) for r in results],
-            )
-        )
-        prefix_curves.append(
-            mean_series(
-                label,
-                [prefix_series(r, label) for r in results],
-            )
-        )
-    return all_results, leaf_curves, prefix_curves, runs
+    )
 
 
 @pytest.mark.benchmark(group="figure3")
 def test_figure3_no_failures(benchmark):
-    all_results, leaf_curves, prefix_curves, runs = benchmark.pedantic(
-        run_figure3, rounds=1, iterations=1
-    )
+    outcome = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+    aggregate = outcome.aggregate
 
     rows = []
-    for size, results in all_results.items():
-        for result in results:
-            assert result.converged, (
-                f"{size_label(size)} run failed to reach perfect tables"
-            )
-        cycles = [r.converged_at for r in results]
+    mean_cycles = {}
+    for cell in aggregate.cells:
+        assert cell.all_converged, (
+            f"{size_label(cell.size)}: "
+            f"{cell.runs - cell.converged_runs} runs failed to reach "
+            "perfect tables"
+        )
+        summary = cell.cycles
+        mean_cycles[cell.size] = summary.mean
         rows.append(
             [
-                size_label(size),
-                len(results),
-                min(cycles),
-                max(cycles),
-                sum(cycles) / len(cycles),
+                size_label(cell.size),
+                cell.runs,
+                summary.minimum,
+                summary.maximum,
+                summary.mean,
             ]
         )
 
     # Exponential decay: the mean leaf curve falls by orders of
     # magnitude over the mid-game (cycle 1 -> cycle 8), as in the
     # paper's log-scale plots.
-    for curve in leaf_curves:
+    for curve in aggregate.leaf_curves():
         points = dict(curve.points)
         start = points.get(1.0)
         later = points.get(8.0, curve.points[-1][1])
         assert start is not None and start > 0
         assert later < start / 50
 
-    # Logarithmic scaling: each 4x size step adds only a small additive
-    # constant (paper: "increases by an additive constant despite a
-    # four-fold increase").
-    sizes = sorted(all_results)
-    mean_cycles = {
-        size: sum(r.converged_at for r in all_results[size])
-        / len(all_results[size])
-        for size in sizes
+    # Logarithmic scaling, on the statistic the paper actually claims
+    # it for: "the time required to reach a desired *quality* of the
+    # leaf sets increases by an additive constant despite a four-fold
+    # increase in the network size".  The bulk-quality crossing of the
+    # mean curve is seed-stable (+1 cycle per 4x step at 1% missing,
+    # +2 at 0.1%, across probed seeds); the exact-perfection cycle is
+    # a max-statistic over thousands of nodes and swings by ~10 cycles
+    # between replicas, so it is reported in the table but only
+    # sanity-bounded here.
+    sizes = sorted(mean_cycles)
+    curves = {
+        cell.size: cell.mean_leaf for cell in aggregate.cells
     }
-    for smaller, larger in zip(sizes, sizes[1:]):
-        delta = mean_cycles[larger] - mean_cycles[smaller]
-        # "Additive constant": a few cycles per 4x step.  A
-        # multiplicative law would cost ~3x the smaller size's cycles
-        # (i.e. +20 or more here); the tail adds a couple of cycles of
-        # run-to-run noise at small repeat counts, hence the slack.
-        assert -2.0 <= delta <= 8.0, (
-            f"4x size step changed convergence by {delta} cycles"
-        )
-        assert delta <= 0.75 * mean_cycles[smaller], (
-            "convergence time grew multiplicatively, not additively"
+    for threshold in (0.01, 0.001):
+        crossings = {
+            size: curves[size].first_x_below(threshold) for size in sizes
+        }
+        for size, crossing in crossings.items():
+            assert crossing is not None, (
+                f"{size_label(size)} never reached {threshold:g} "
+                "missing-leaf quality"
+            )
+        for smaller, larger in zip(sizes, sizes[1:]):
+            delta = crossings[larger] - crossings[smaller]
+            # A power law would roughly double the crossing time per
+            # 4x step (+5 cycles or more here); the additive constant
+            # is 1-2 cycles.
+            assert 0.0 <= delta <= 4.0, (
+                f"4x size step moved the {threshold:g}-quality "
+                f"crossing by {delta} cycles"
+            )
+    for size in sizes:
+        assert 3.0 <= mean_cycles[size] <= 35.0, (
+            f"{size_label(size)}: perfection tail at "
+            f"{mean_cycles[size]} cycles is outside any plausible "
+            "log-law band"
         )
 
+    leaf_curves = aggregate.leaf_curves()
+    prefix_curves = aggregate.prefix_curves()
     text = "\n".join(
         [
             "Figure 3 (top): proportion of missing leaf set entries",
@@ -148,7 +137,12 @@ def test_figure3_no_failures(benchmark):
                 rows,
                 title="cycles to perfect tables (paper: ~17-22 at 2^14..2^18)",
             ),
-            throughput_lines(runs),
+            throughput_lines(outcome.columns),
         ]
     )
-    emit("figure3", text, leaf_curves + prefix_curves, engine=bench_engine())
+    emit(
+        "figure3",
+        text,
+        leaf_curves + prefix_curves,
+        engine=outcome.columns[0].engine,
+    )

@@ -1,9 +1,11 @@
 """Experiments E3/E4 -- Figure 4: convergence under 20% message loss.
 
-Regenerates both panels of Figure 4: the same curves as Figure 3 but
-with every message dropped with probability 0.2 ("unrealistically
-large" by design), including the paper's request/answer coupling (a
-lost request suppresses the answer).
+Regenerates both panels of Figure 4 from the ``figure4`` registry
+scenario: the same curves as Figure 3 but with every message dropped
+with probability 0.2 ("unrealistically large" by design), including
+the paper's request/answer coupling (a lost request suppresses the
+answer).  The scenario's drop axis carries both arms -- lossy and
+reliable -- so the slowdown comparison is one grid.
 
 Checked shape claims:
 
@@ -19,115 +21,66 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import ascii_semilog, mean_series, render_table
-from repro.runtime import expand_repeats
-from repro.simulator import ExperimentSpec, PAPER_LOSSY
+from repro.analysis import ascii_semilog, render_table
 
 from common import (
-    bench_engine,
+    bench_replicas,
+    bench_scenario,
     bench_sizes,
     emit,
-    leaf_series,
-    prefix_series,
-    repeats_for,
-    run_specs,
+    run_scenario_bench,
     size_label,
     throughput_lines,
 )
+
+DROP = 0.2
 
 
 def run_figure4():
     """Both arms (lossy and reliable) of every size go to the runner
     in one batch, so parallel runs keep all workers busy."""
-    specs = []
-    for size in bench_sizes():
-        label = size_label(size)
-        repeats = repeats_for(size)
-        specs.extend(
-            expand_repeats(
-                ExperimentSpec(
-                    size=size,
-                    seed=200 + size,
-                    network=PAPER_LOSSY,
-                    max_cycles=90,
-                    label=label,
-                    engine=bench_engine(),
-                ),
-                repeats,
-                first_shard=len(specs),
-            )
+    return run_scenario_bench(
+        bench_scenario(
+            "figure4",
+            sizes=tuple(bench_sizes()),
+            replicas=bench_replicas(),
         )
-        specs.extend(
-            expand_repeats(
-                ExperimentSpec(
-                    size=size,
-                    seed=200 + size,
-                    max_cycles=60,
-                    label=label,
-                    engine=bench_engine(),
-                ),
-                repeats,
-                first_shard=len(specs),
-            )
-        )
-    runs = run_specs(specs)
-
-    data = {}
-    leaf_curves = []
-    prefix_curves = []
-    for size in bench_sizes():
-        label = size_label(size)
-        lossy = [
-            o.result
-            for o in runs
-            if o.spec.size == size and o.spec.drop > 0.0
-        ]
-        reliable = [
-            o.result
-            for o in runs
-            if o.spec.size == size and o.spec.drop == 0.0
-        ]
-        data[size] = (lossy, reliable)
-        leaf_curves.append(
-            mean_series(label, [leaf_series(r, label) for r in lossy])
-        )
-        prefix_curves.append(
-            mean_series(label, [prefix_series(r, label) for r in lossy])
-        )
-    return data, leaf_curves, prefix_curves, runs
+    )
 
 
 @pytest.mark.benchmark(group="figure4")
 def test_figure4_message_loss(benchmark):
-    data, leaf_curves, prefix_curves, runs = benchmark.pedantic(
-        run_figure4, rounds=1, iterations=1
-    )
+    outcome = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    aggregate = outcome.aggregate
 
     rows = []
-    for size, (lossy, reliable) in data.items():
-        for result in lossy:
-            assert result.converged, (
-                f"{size_label(size)} failed to converge under 20% loss"
-            )
-            loss = result.transport["overall_loss_fraction"]
-            assert loss == pytest.approx(0.28, abs=0.03), (
-                f"overall loss {loss:.3f} deviates from the paper's 28%"
-            )
-        lossy_mean = sum(r.converged_at for r in lossy) / len(lossy)
-        reliable_mean = sum(r.converged_at for r in reliable) / len(reliable)
-        slowdown = lossy_mean / reliable_mean
+    leaf_curves = []
+    prefix_curves = []
+    for size in bench_sizes():
+        lossy = aggregate.cell(size, DROP)
+        reliable = aggregate.cell(size, 0.0)
+        assert lossy.all_converged, (
+            f"{size_label(size)} failed to converge under 20% loss"
+        )
+        loss = lossy.overall_loss_fraction
+        assert loss == pytest.approx(0.28, abs=0.03), (
+            f"overall loss {loss:.3f} deviates from the paper's 28%"
+        )
+        slowdown = lossy.cycles.mean / reliable.cycles.mean
         # Proportional slowdown, not collapse: the paper's Figure 4
         # spans ~1.3-2x more cycles than Figure 3.
         assert 1.0 <= slowdown <= 2.5, f"slowdown {slowdown:.2f} out of band"
         rows.append(
             [
                 size_label(size),
-                reliable_mean,
-                lossy_mean,
+                reliable.cycles.mean,
+                lossy.cycles.mean,
                 slowdown,
-                lossy[0].transport["overall_loss_fraction"],
+                loss,
             ]
         )
+        leaf_curves.append(lossy.mean_leaf)
+        prefix_curves.append(lossy.mean_prefix)
 
     text = "\n".join(
         [
@@ -152,7 +105,12 @@ def test_figure4_message_loss(benchmark):
                     "expected overall loss 28%"
                 ),
             ),
-            throughput_lines(runs),
+            throughput_lines(outcome.columns),
         ]
     )
-    emit("figure4", text, leaf_curves + prefix_curves, engine=bench_engine())
+    emit(
+        "figure4",
+        text,
+        leaf_curves + prefix_curves,
+        engine=outcome.columns[0].engine,
+    )

@@ -6,10 +6,11 @@ despite a four-fold increase in the network size.  This is a strong
 indication that the time needed for convergence is logarithmic in
 network size."
 
-This benchmark sweeps a geometric ladder of sizes, extracts
-cycles-to-perfection, and fits ``cycles = a * log2(N) + b``.  A
-logarithmic law shows up as a high-quality linear fit; a power law
-would bend the curve visibly and destroy the fit.
+The ``scalability`` registry scenario sweeps a geometric ladder of
+sizes; this benchmark extracts cycles-to-perfection from its cells and
+fits ``cycles = a * log2(N) + b``.  A logarithmic law shows up as a
+high-quality linear fit; a power law would bend the curve visibly and
+destroy the fit.
 """
 
 from __future__ import annotations
@@ -20,10 +21,14 @@ import os
 import pytest
 
 from repro.analysis import Series, ascii_linear, linear_fit, render_table
-from repro.runtime import expand_repeats
-from repro.simulator import ExperimentSpec
 
-from common import bench_engine, emit, run_specs, size_label, throughput_lines
+from common import (
+    bench_scenario,
+    emit,
+    run_scenario_bench,
+    size_label,
+    throughput_lines,
+)
 
 
 def ladder():
@@ -36,40 +41,29 @@ def ladder():
 
 
 def run_ladder():
-    # One batch for the whole ladder: parallel runs fill every worker.
-    specs = []
-    for size in ladder():
-        repeats = 3 if size <= 1024 else 2
-        specs.extend(
-            expand_repeats(
-                ExperimentSpec(
-                    size=size,
-                    seed=300 + size,
-                    max_cycles=60,
-                    engine=bench_engine(),
-                ),
-                repeats,
-                first_shard=len(specs),
-            )
+    # One grid for the whole ladder: parallel runs fill every worker.
+    sizes = tuple(ladder())
+    return run_scenario_bench(
+        bench_scenario(
+            "scalability",
+            sizes=sizes,
+            replicas=tuple(3 if size <= 1024 else 2 for size in sizes),
         )
-    runs = run_specs(specs)
-
-    points = []
-    rows = []
-    for size in ladder():
-        results = [o.result for o in runs if o.spec.size == size]
-        assert all(r.converged for r in results)
-        mean_cycles = sum(r.converged_at for r in results) / len(results)
-        points.append((math.log2(size), mean_cycles))
-        rows.append([size_label(size), len(results), mean_cycles])
-    return points, rows, runs
+    )
 
 
 @pytest.mark.benchmark(group="scalability")
 def test_logarithmic_convergence(benchmark):
-    points, rows, runs = benchmark.pedantic(
-        run_ladder, rounds=1, iterations=1
-    )
+    outcome = benchmark.pedantic(run_ladder, rounds=1, iterations=1)
+
+    points = []
+    rows = []
+    for cell in outcome.aggregate.cells:
+        assert cell.all_converged
+        points.append((math.log2(cell.size), cell.cycles.mean))
+        rows.append(
+            [size_label(cell.size), cell.runs, cell.cycles.mean]
+        )
 
     fit = linear_fit([p[0] for p in points], [p[1] for p in points])
     # Strongly linear in log N: the paper's additive-constant claim.
@@ -95,7 +89,7 @@ def test_logarithmic_convergence(benchmark):
             f"linear fit: cycles = {fit.slope:.2f} * log2(N) + "
             f"{fit.intercept:.2f}   (r^2 = {fit.r_squared:.3f})",
             "paper claim: +4x size => +constant cycles (logarithmic).",
-            throughput_lines(runs),
+            throughput_lines(outcome.columns),
         ]
     )
-    emit("scalability", text, [curve], engine=bench_engine())
+    emit("scalability", text, [curve], engine=outcome.columns[0].engine)

@@ -4,7 +4,9 @@ The paper's opening motivation: "massive joins to a large overlay
 network are not supported by known protocols very well".  The classic
 alternative to a bootstrap service is admitting nodes one at a time
 through the overlay's join protocol.  This benchmark builds the same
-overlay both ways and compares:
+overlay both ways -- the gossip arm is the ``massive_join`` registry
+scenario (bootstrapping the whole pool at once), the baseline arm the
+sequential-join network -- and compares:
 
 * serial depth (join operations are inherently sequential: each needs
   the previous overlay state; gossip cycles run network-wide in
@@ -19,29 +21,27 @@ import pytest
 
 from repro.analysis import render_table
 from repro.baselines import SequentialJoinNetwork
-from repro.simulator import BootstrapSimulation
 
-SIZES = [256, 512, 1024]
+from common import bench_scenario, emit, run_scenario_bench
 
 
 def run_comparison():
+    """The gossip arm as one scenario sweep, the join baseline per
+    size (inherently sequential, the point of the comparison)."""
+    gossip = run_scenario_bench(bench_scenario("massive_join"))
     rows = []
-    for size in SIZES:
+    for cell in gossip.aggregate.cells:
+        assert cell.all_converged
         joins = SequentialJoinNetwork(seed=1100)
-        report = joins.build(size)
+        report = joins.build(cell.size)
         join_deficit = joins.leaf_set_deficit()
-
-        gossip = BootstrapSimulation(size, seed=1100).run(60)
-        assert gossip.converged
-        gossip_messages = gossip.transport["sent"]
-
         rows.append(
             [
-                size,
+                cell.size,
                 report.serial_steps,
-                gossip.converged_at,
+                cell.cycles.mean,
                 report.total_messages,
-                gossip_messages,
+                dict(cell.transport)["sent"],
                 join_deficit,
             ]
         )
@@ -64,8 +64,6 @@ def test_sequential_join_baseline(benchmark):
     gap_small = rows[0][1] / rows[0][2]
     gap_large = rows[-1][1] / rows[-1][2]
     assert gap_large > gap_small
-
-    from common import emit
 
     emit(
         "sequential_baseline",

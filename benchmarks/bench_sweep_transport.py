@@ -1,0 +1,131 @@
+"""Transport-layer gate: columnar versus object result transport.
+
+Process-level parallelism pays for every shard twice: once to simulate
+it and once to pickle its outcome across the pool boundary.  With the
+vectorised engines the simulation side has collapsed, so at paper
+sizes the sample-list-laden :class:`RunResult` objects dominate -- the
+transport-bound regime the online-bootstrapping literature reports
+(Qin et al., *Efficient Online Bootstrapping for Large Scale
+Learning*).  The columnar :class:`RunColumns` wire form replaces the
+per-cycle sample objects with flat float64 buffers.
+
+This benchmark runs the ``figure3`` grid once, serialises every
+shard's outcome in both wire forms with the pickle protocol the
+process pool actually uses, and gates:
+
+* **bytes per run**: columnar must be >= 3x smaller (the acceptance
+  target);
+* **merge equivalence**: both forms must fold to byte-identical
+  ``SweepAggregate.to_dict()`` output;
+
+and reports the round-trip wall-clock (serialise + deserialise +
+merge) for both forms alongside.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import time
+
+import pytest
+
+from repro.analysis import render_table
+from repro.runtime import (
+    RunColumns,
+    SweepRunner,
+    merge_columns,
+    merge_results,
+)
+
+from common import bench_replicas, bench_scenario, bench_sizes, emit
+
+#: Acceptance target: pickled bytes-per-run ratio (object / columnar).
+MIN_BYTES_RATIO = 3.0
+
+
+def _round_trip(payloads, merge):
+    """Wall seconds to deserialise *payloads* and merge the outcomes."""
+    start = time.perf_counter()
+    outcomes = [pickle.loads(blob) for blob in payloads]
+    aggregate = merge(outcomes)
+    return time.perf_counter() - start, aggregate
+
+
+def run_transport_comparison():
+    """Simulate the figure3 grid once; weigh both wire forms."""
+    grid = bench_scenario(
+        "figure3",
+        sizes=tuple(bench_sizes()),
+        replicas=bench_replicas(),
+    ).grid
+    # One sequential execution; the rich results are the ground truth
+    # and the columns are derived from them, exactly as a worker would.
+    results = SweepRunner(workers=1).run_grid(grid)
+    columns = [RunColumns.from_run_result(run) for run in results]
+
+    object_blobs = [pickle.dumps(run) for run in results]
+    column_blobs = [pickle.dumps(run) for run in columns]
+    object_seconds, object_aggregate = _round_trip(
+        object_blobs, merge_results
+    )
+    column_seconds, column_aggregate = _round_trip(
+        column_blobs, merge_columns
+    )
+    return {
+        "runs": len(results),
+        "object_bytes": sum(len(blob) for blob in object_blobs),
+        "column_bytes": sum(len(blob) for blob in column_blobs),
+        "object_seconds": object_seconds,
+        "column_seconds": column_seconds,
+        "object_dict": object_aggregate.to_dict(),
+        "column_dict": column_aggregate.to_dict(),
+    }
+
+
+@pytest.mark.benchmark(group="sweep-transport")
+def test_columnar_transport_shrinks_runs(benchmark):
+    stats = benchmark.pedantic(
+        run_transport_comparison, rounds=1, iterations=1
+    )
+
+    runs = stats["runs"]
+    object_per_run = stats["object_bytes"] / runs
+    column_per_run = stats["column_bytes"] / runs
+    ratio = object_per_run / column_per_run
+    assert ratio >= MIN_BYTES_RATIO, (
+        f"columnar transport only {ratio:.2f}x smaller than pickled "
+        f"RunResults ({column_per_run:.0f} vs {object_per_run:.0f} "
+        f"bytes/run); acceptance floor {MIN_BYTES_RATIO}x"
+    )
+
+    # Both wire forms must merge to the same statistics, to the byte.
+    assert json.dumps(stats["object_dict"], sort_keys=True) == json.dumps(
+        stats["column_dict"], sort_keys=True
+    ), "columnar merge diverged from the object merge"
+
+    emit(
+        "sweep_transport",
+        render_table(
+            ["wire form", "bytes/run", "total bytes", "round-trip s"],
+            [
+                [
+                    "RunResult (object)",
+                    f"{object_per_run:.0f}",
+                    stats["object_bytes"],
+                    f"{stats['object_seconds']:.4f}",
+                ],
+                [
+                    "RunColumns (columnar)",
+                    f"{column_per_run:.0f}",
+                    stats["column_bytes"],
+                    f"{stats['column_seconds']:.4f}",
+                ],
+            ],
+            title=(
+                f"result transport over {runs} figure3 shards: "
+                f"columnar is {ratio:.1f}x smaller "
+                f"(gate >= {MIN_BYTES_RATIO}x)"
+            ),
+        ),
+    )

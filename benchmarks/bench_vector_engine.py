@@ -4,14 +4,16 @@ reference.
 Unlike ``bench_fast_engine.py`` -- whose two contestants are
 bit-identical, so a converge-and-stop run is automatically the same
 workload -- the vector engine runs a documented seeded-but-different
-RNG stream.  The protocol therefore fixes the workload explicitly:
-both engines execute the same cycle count on the same seeded network
-(measurement every cycle, no early stop), per-cycle wall times are
-recorded, and throughput is compared on the **sustained** window after
-a warm-up that covers the convergence transient.  Sustained cycles/sec
-is the number that matters for the production north star (long-running
-service, steady churn); the full-run ratio -- transient included -- is
-reported alongside for transparency.
+RNG stream.  The protocol therefore fixes the workload explicitly
+through the scenario layer: the ``engines_shootout`` grid is pinned to
+``stop_when_perfect=False`` and run at two cycle budgets (warm-up, and
+warm-up + sustain) on the *same seeds*, so the longer run's prefix
+replays the shorter run exactly and the difference of their in-worker
+wall times is the cost of the **sustained** window after the
+convergence transient.  Sustained cycles/sec is the number that
+matters for the production north star (long-running service, steady
+churn); the full-run ratio -- transient included -- is reported
+alongside for transparency.
 
 Gate: the sustained ratio must reach ``MIN_SPEEDUP`` for the active
 vector backend (>= 5x on numpy, the acceptance target; the pure-Python
@@ -27,15 +29,14 @@ the fallback floor -- the no-numpy CI leg's smoke configuration.
 from __future__ import annotations
 
 import os
-import time
 
 import pytest
 
 from repro import engine_vector
 from repro.analysis import render_table
-from repro.simulator import ExperimentSpec, build_simulation
+from repro.scenarios import run_scenario
 
-from common import bench_sizes, emit, size_label
+from common import bench_scenario, bench_sizes, emit, size_label
 
 #: Sustained-window floors per vector backend.  numpy: the acceptance
 #: target (measured ~5.5-6x on the bench sizes).  python: the
@@ -59,31 +60,46 @@ def shootout_sizes():
     return [256] if _smoke() else bench_sizes()
 
 
-def _timed_cycles(engine: str, size: int):
-    """Per-cycle wall times plus the final convergence sample for a
-    fixed ``WARMUP + SUSTAIN`` cycle budget."""
-    spec = ExperimentSpec(
-        size=size,
-        seed=100 + size,
-        max_cycles=WARMUP_CYCLES + SUSTAIN_CYCLES,
+def _scenario(size: int, budget: int):
+    """The fixed-budget two-engine grid at one size (every cycle
+    measured, no early stop -- the explicit shared workload)."""
+    return bench_scenario(
+        "engines_shootout",
+        sizes=(size,),
+        replicas=1,
+        engines=("reference", "vector"),
+        max_cycles=budget,
         stop_when_perfect=False,
-        engine=engine,
+        base_seed=100 + size,
     )
-    sim = build_simulation(spec)
-    times = []
-    for _ in range(WARMUP_CYCLES + SUSTAIN_CYCLES):
-        start = time.perf_counter()
-        sim.run_cycle()
-        sample = sim.measure()
-        times.append(time.perf_counter() - start)
-    return times, sample
 
 
-def _ratios(ref_times, vec_times):
-    sustained = sum(ref_times[WARMUP_CYCLES:]) / sum(
-        vec_times[WARMUP_CYCLES:]
+def _timed_windows(size: int):
+    """Per-engine (sustained_wall, full_wall, final_leaf_fraction).
+
+    Two scenario runs on identical seeds: the warm-up budget and the
+    full budget.  Their wall-time difference isolates the sustained
+    window (construction and transient cancel out of the subtraction).
+    """
+    warm = run_scenario(_scenario(size, WARMUP_CYCLES), workers=1)
+    full = run_scenario(
+        _scenario(size, WARMUP_CYCLES + SUSTAIN_CYCLES), workers=1
     )
-    full = sum(ref_times) / sum(vec_times)
+    windows = {}
+    for engine in ("reference", "vector"):
+        warm_run = warm.columns_for(engine=engine)[0]
+        full_run = full.columns_for(engine=engine)[0]
+        windows[engine] = (
+            full_run.wall_seconds - warm_run.wall_seconds,
+            full_run.wall_seconds,
+            warm_run.final_leaf_fraction,
+        )
+    return windows
+
+
+def _ratios(windows):
+    sustained = windows["reference"][0] / windows["vector"][0]
+    full = windows["reference"][1] / windows["vector"][1]
     return sustained, full
 
 
@@ -92,9 +108,8 @@ def run_shootout():
     rows = []
     ratios = {}
     for size in shootout_sizes():
-        ref_times, ref_final = _timed_cycles("reference", size)
-        vec_times, vec_final = _timed_cycles("vector", size)
-        sustained, full = _ratios(ref_times, vec_times)
+        windows = _timed_windows(size)
+        sustained, full = _ratios(windows)
         # Up to two retries keeping the best pair: both engines are
         # timed back-to-back so shared-runner load mostly cancels out
         # of the ratio, and a single-shot wall ratio still absorbs GC
@@ -103,24 +118,23 @@ def run_shootout():
         for _ in range(2):
             if sustained >= floor:
                 break
-            ref_times2, ref_final = _timed_cycles("reference", size)
-            vec_times2, vec_final = _timed_cycles("vector", size)
-            retry_sustained, retry_full = _ratios(ref_times2, vec_times2)
+            retry_windows = _timed_windows(size)
+            retry_sustained, retry_full = _ratios(retry_windows)
             if retry_sustained > sustained:
                 sustained, full = retry_sustained, retry_full
-                ref_times, vec_times = ref_times2, vec_times2
+                windows = retry_windows
         # Statistical sanity: the warm-up really covered convergence
         # on both engines, so the sustained windows are comparable.
-        assert ref_final.leaf_fraction <= 5e-3, (
+        assert windows["reference"][2] <= 5e-3, (
             f"{size_label(size)}: reference not converged after warm-up"
         )
-        assert vec_final.leaf_fraction <= 5e-3, (
+        assert windows["vector"][2] <= 5e-3, (
             f"{size_label(size)}: vector engine not converged after "
             "warm-up (statistical regression, not a speed problem)"
         )
         ratios[size] = sustained
-        sustain_wall = sum(vec_times[WARMUP_CYCLES:])
-        ref_wall = sum(ref_times[WARMUP_CYCLES:])
+        ref_wall = windows["reference"][0]
+        sustain_wall = windows["vector"][0]
         rows.append(
             [
                 size_label(size),

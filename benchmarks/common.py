@@ -36,8 +36,8 @@ The default sweep (2^10 and 2^12, 4x apart like the paper's sizes)
 preserves every qualitative claim: exponential decay, additive shift
 per 4x size, loss-proportional slowdown.
 
-Every artefact emitted through :func:`run_specs` carries an engine
-cycles/sec line (via :func:`throughput_lines`), so hot-loop
+Every artefact emitted by a scenario-backed benchmark carries an
+engine cycles/sec line (via :func:`throughput_lines`), so hot-loop
 optimisations show up as before/after deltas in
 ``benchmarks/results/*.txt``.
 """
@@ -47,11 +47,17 @@ from __future__ import annotations
 import json
 import os
 import pathlib
-from typing import List, Sequence
+from typing import List, Sequence, Tuple, Union
 
 from repro.analysis import Series, format_dat
-from repro.runtime import RunResult, RunSpec, SweepRunner, throughput_summary
-from repro.simulator import ENGINE_KINDS, SimulationResult
+from repro.runtime import RunColumns, throughput_summary
+from repro.scenarios import (
+    ScenarioResult,
+    ScenarioSpec,
+    get_scenario,
+    run_scenario,
+)
+from repro.simulator import ENGINE_KINDS
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -74,6 +80,11 @@ def repeats_for(size: int) -> int:
     return DEFAULT_REPEATS.get(size, 1)
 
 
+def bench_replicas() -> Tuple[int, ...]:
+    """Per-size replica counts aligned with :func:`bench_sizes`."""
+    return tuple(repeats_for(size) for size in bench_sizes())
+
+
 def bench_workers() -> int:
     """Worker-process count for benchmark sweeps (env-controlled)."""
     return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
@@ -91,17 +102,39 @@ def bench_engine() -> str:
     return engine
 
 
-def run_specs(specs: Sequence[RunSpec]) -> List[RunResult]:
-    """Execute shards through the sweep runner.
+def bench_scenario(
+    name: str, **grid_overrides: object
+) -> ScenarioSpec:
+    """A registry scenario rescaled by the harness knobs.
 
-    This is the single entry point all figure benchmarks use, so the
-    sequential CI path and a parallel ``REPRO_BENCH_WORKERS=8`` run
-    exercise the same code and produce identical statistics.
+    Applies ``REPRO_BENCH_ENGINE`` (unless the caller pins engines
+    explicitly) on top of any *grid_overrides*, so every ported
+    benchmark honours the same environment contract the hand-rolled
+    loops did.
     """
-    return SweepRunner(workers=bench_workers()).run(list(specs))
+    spec = get_scenario(name)
+    if "engine" not in grid_overrides and "engines" not in grid_overrides:
+        if spec.grid.engines is None and spec.grid.engine == "reference":
+            grid_overrides["engine"] = bench_engine()
+    if grid_overrides:
+        spec = spec.with_grid(**grid_overrides)
+    return spec
 
 
-def throughput_lines(runs: Sequence[RunResult]) -> str:
+def run_scenario_bench(
+    scenario: Union[str, ScenarioSpec]
+) -> ScenarioResult:
+    """Execute a scenario through the shared runner.
+
+    This is the single entry point all ported benchmarks use, so the
+    sequential CI path and a parallel ``REPRO_BENCH_WORKERS=8`` run
+    exercise the same code (columnar transport included) and produce
+    identical statistics.
+    """
+    return run_scenario(scenario, workers=bench_workers())
+
+
+def throughput_lines(runs: Sequence[RunColumns]) -> str:
     """Render the engine cycles/sec summary of a benchmark's shards.
 
     Appears in every emitted artefact so engine-speed changes are
@@ -116,12 +149,12 @@ def throughput_lines(runs: Sequence[RunResult]) -> str:
     # Sum over the same timed-shard set throughput_summary uses, so
     # the aggregate and the per-shard figures describe one population.
     timed = [r for r in runs if r.wall_seconds > 0]
-    total_cycles = sum(r.result.cycles_run for r in timed)
+    total_cycles = sum(r.cycles_run for r in timed)
     total_wall = sum(r.wall_seconds for r in timed)
     aggregate = total_cycles / total_wall if total_wall > 0 else 0.0
     # Provenance from the shards themselves, not the env var: what ran
     # is what gets recorded.
-    engines = "+".join(sorted({r.result.engine for r in runs}))
+    engines = "+".join(sorted({r.engine for r in runs}))
     return (
         f"engine throughput: {aggregate:.2f} cycles per CPU-second over "
         f"{len(timed)} timed runs (per-shard mean {summary.mean:.2f}, "
@@ -173,13 +206,3 @@ def size_label(size: int) -> str:
     if size == 1 << exponent:
         return f"N=2^{exponent}"
     return f"N={size}"
-
-
-def leaf_series(result: SimulationResult, label: str) -> Series:
-    """The Figure 3/4 top curve of one run."""
-    return Series.from_pairs(label, result.leaf_series())
-
-
-def prefix_series(result: SimulationResult, label: str) -> Series:
-    """The Figure 3/4 bottom curve of one run."""
-    return Series.from_pairs(label, result.prefix_series())

@@ -32,8 +32,13 @@ Package map
     Series handling, statistics, ASCII plotting, table rendering for
     the experiment harness.
 ``repro.runtime``
-    Parallel experiment runtime: sweep grids sharded across a process
-    pool with deterministic seeding and analysis-layer merging.
+    Parallel experiment runtime: multi-axis sweep grids sharded across
+    a process pool with deterministic seeding, columnar result
+    transport, and analysis-layer merging.
+``repro.scenarios``
+    Declarative scenario layer: a JSON-round-trippable registry of the
+    paper's experiments (``figure3`` .. ``paper_scale``) plus the
+    shared executor the CLI and benchmarks use.
 
 Quickstart
 ----------

@@ -8,6 +8,9 @@ Examples
     python -m repro figure3 --exponents 10 12 --workers 4
     python -m repro figure4 --exponents 10
     python -m repro sweep --sizes 256 1024 --drops 0.0 0.2 --replicas 3 --workers 4
+    python -m repro sweep --sizes 512 --schedule churn:rate=0.01
+    python -m repro scenarios list
+    python -m repro scenarios run figure3 --workers 4
     python -m repro churn --size 512 --rate 0.01
     python -m repro aggregate --size 256
     python -m repro broadcast --size 1024 --fanout 3
@@ -15,8 +18,10 @@ Examples
 Every subcommand prints the same artefacts the benchmark harness
 produces (ASCII figures / tables), so quick parameter exploration does
 not require pytest.  Sweep-style commands (``figure3``, ``figure4``,
-``sweep``) accept ``--workers N`` to shard their independent runs
-across a process pool; results are identical for any worker count.
+``sweep``, ``scenarios run``) accept ``--workers N`` to shard their
+independent runs across a process pool; results are identical for any
+worker count.  ``sweep`` and ``scenarios run`` execute through the
+declarative scenario layer on the columnar result transport.
 """
 
 from __future__ import annotations
@@ -27,12 +32,14 @@ from typing import List, Optional
 
 from .analysis import Series, ascii_semilog, render_kv, render_table
 from .components import AggregationExperiment, BroadcastConfig, GossipBroadcast
-from .runtime import (
-    RunSpec,
-    SweepGrid,
-    SweepRunner,
-    merge_results,
-    throughput_summary,
+from .runtime import RunSpec, ScheduleSpec, SweepGrid, SweepRunner
+from .scenarios import (
+    ScenarioSpec,
+    all_scenarios,
+    convergence_rows,
+    get_scenario,
+    render_scenario_report,
+    run_scenario,
 )
 from .simulator import (
     ENGINE_KINDS,
@@ -192,8 +199,28 @@ def cmd_figure(args: argparse.Namespace, lossy: bool) -> int:
     return 0
 
 
+def _schedule_arg(text: str) -> ScheduleSpec:
+    """argparse type hook for ``--schedule kind:key=val,...``.
+
+    Re-raises parse failures as ``ArgumentTypeError`` so argparse
+    prints the real message -- including the
+    :data:`~repro.runtime.SCHEDULE_KINDS` listing on a bad kind --
+    instead of a generic "invalid value".
+    """
+    try:
+        return ScheduleSpec.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Run a full experiment grid and print merged statistics."""
+    """Run a full experiment grid and print merged statistics.
+
+    The grid travels through the scenario layer: an ad-hoc
+    :class:`ScenarioSpec` executed by :func:`run_scenario` on the
+    columnar transport -- the same path the registry scenarios and the
+    benchmarks use.
+    """
     grid = SweepGrid(
         sizes=tuple(args.sizes),
         drop_rates=tuple(args.drops),
@@ -201,29 +228,28 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         base_seed=args.seed,
         max_cycles=args.max_cycles,
         engine=args.engine,
+        schedules=tuple(args.schedule or ()),
     )
-    results = SweepRunner(workers=args.workers).run_grid(grid)
-    aggregate = merge_results(results)
+    scenario = ScenarioSpec(
+        name="sweep",
+        title="ad-hoc CLI sweep",
+        claim="",
+        grid=grid,
+        analyses=("convergence",),
+    )
+    result = run_scenario(scenario, workers=args.workers)
+    aggregate = result.aggregate
 
-    rows = []
-    for cell in aggregate.cells:
-        cycles = cell.cycles
-        rows.append(
-            [
-                cell.size,
-                cell.drop,
-                f"{cell.converged_runs}/{cell.runs}",
-                "-" if cycles is None else f"{cycles.mean:.1f}",
-                "-" if cycles is None else f"{cycles.minimum:g}",
-                "-" if cycles is None else f"{cycles.maximum:g}",
-                f"{cell.overall_loss_fraction:.3f}",
-            ]
-        )
+    # The scenario layer's convergence rows plus the sweep-specific
+    # loss column (cells in aggregate order, same as the rows).
+    rows = [
+        row + [f"{cell.overall_loss_fraction:.3f}"]
+        for row, cell in zip(convergence_rows(aggregate), aggregate.cells)
+    ]
     print(
         render_table(
             [
-                "size",
-                "drop",
+                "cell",
                 "converged",
                 "mean cycles",
                 "min",
@@ -232,13 +258,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             ],
             rows,
             title=(
-                f"sweep: {len(results)} runs "
+                f"sweep: {len(result.columns)} runs "
                 f"({len(grid.sizes)} sizes x {len(grid.drop_rates)} drops "
+                f"x {len(grid.schedule_axis)} schedule sets "
                 f"x {grid.replicas} replicas), workers={args.workers}"
             ),
         )
     )
-    throughput = throughput_summary(results)
+    throughput = result.throughput
     if throughput is not None:
         print(
             f"engine throughput per shard: mean {throughput.mean:.2f} "
@@ -251,6 +278,62 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             title="mean missing leaf-set entries per cell",
         )
     )
+    return 0
+
+
+def cmd_scenarios_list(args: argparse.Namespace) -> int:
+    """Print the scenario catalogue."""
+    rows = [
+        [
+            spec.name,
+            len(spec.grid),
+            spec.claim,
+        ]
+        for spec in all_scenarios()
+    ]
+    print(
+        render_table(
+            ["scenario", "runs", "paper claim"],
+            rows,
+            title="registered scenarios (repro scenarios run <name>)",
+        )
+    )
+    return 0
+
+
+def _resolve_scenario(args: argparse.Namespace) -> Optional[ScenarioSpec]:
+    """Registry lookup with the not-found error on stderr."""
+    try:
+        return get_scenario(args.name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return None
+
+
+def cmd_scenarios_show(args: argparse.Namespace) -> int:
+    """Dump one scenario's declarative JSON form."""
+    spec = _resolve_scenario(args)
+    if spec is None:
+        return 2
+    print(spec.to_json(indent=2))
+    return 0
+
+
+def cmd_scenarios_run(args: argparse.Namespace) -> int:
+    """Execute one registry scenario and print its report."""
+    spec = _resolve_scenario(args)
+    if spec is None:
+        return 2
+    if args.engine is not None:
+        # Respect the axis form: a grid that sweeps engines is pinned
+        # to the single requested engine, a single-engine grid is
+        # simply switched.
+        if spec.grid.engines is not None:
+            spec = spec.with_grid(engines=(args.engine,))
+        else:
+            spec = spec.with_grid(engine=args.engine)
+    result = run_scenario(spec, workers=args.workers, smoke=args.smoke)
+    print(render_scenario_report(result))
     return 0
 
 
@@ -386,9 +469,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-cycles", type=int, default=60, help="cycle budget"
     )
+    p.add_argument(
+        "--schedule",
+        type=_schedule_arg,
+        action="append",
+        metavar="KIND:KEY=VAL,...",
+        help=(
+            "failure schedule applied to every run, e.g. "
+            "churn:rate=0.01 or catastrophe:at_cycle=5,fraction=0.5 "
+            "(repeatable)"
+        ),
+    )
     _add_engine(p)
     _add_workers(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "scenarios",
+        help="list, inspect, and run the declarative scenario registry",
+    )
+    scenario_sub = p.add_subparsers(dest="scenarios_command", required=True)
+
+    sp = scenario_sub.add_parser("list", help="print the scenario catalogue")
+    sp.set_defaults(func=cmd_scenarios_list)
+
+    sp = scenario_sub.add_parser(
+        "show", help="dump one scenario's declarative JSON"
+    )
+    sp.add_argument("name", help="registry name (see `scenarios list`)")
+    sp.set_defaults(func=cmd_scenarios_show)
+
+    sp = scenario_sub.add_parser(
+        "run", help="execute one scenario and print its report"
+    )
+    sp.add_argument("name", help="registry name (see `scenarios list`)")
+    sp.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the seconds-scale smoke rescaling (axes preserved)",
+    )
+    sp.add_argument(
+        "--engine",
+        choices=ENGINE_KINDS,
+        default=None,
+        help="pin every run to one cycle engine (overrides the grid)",
+    )
+    _add_workers(sp)
+    sp.set_defaults(func=cmd_scenarios_run)
 
     p = sub.add_parser("churn", help="steady-state quality under churn")
     p.add_argument("--size", type=int, default=512)

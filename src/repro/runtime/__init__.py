@@ -1,25 +1,40 @@
 """Parallel experiment runtime.
 
-Shards an experiment grid (population sizes x drop rates x replicas)
-across a process pool with deterministic per-replica seeding, then
-merges shard results into the analysis-layer aggregates.  Sequential
-(``workers=1``) and parallel (``workers=N``) execution share one code
-path and produce byte-identical merged statistics for the same base
-seed.
+Shards a multi-axis experiment grid (population sizes x drop rates x
+samplers x schedule sets x engines x replicas) across a process pool
+with deterministic per-replica seeding, then merges shard results into
+the analysis-layer aggregates.  Sequential (``workers=1``) and
+parallel (``workers=N``) execution share one code path and produce
+byte-identical merged statistics for the same base seed, on every
+axis.
+
+Results cross process boundaries in one of two forms: rich
+:class:`RunResult` objects (the legacy transport) or compact
+:class:`RunColumns` float64 buffers (the columnar transport --
+several times fewer pickled bytes per run, the default for scenario
+sweeps).  Both merge byte-identically.
 
 Typical use::
 
-    from repro.runtime import SweepGrid, SweepRunner, merge_results
+    from repro.runtime import SweepGrid, SweepRunner, merge_columns
 
     grid = SweepGrid(sizes=(1024, 4096), drop_rates=(0.0, 0.2),
-                     replicas=4, base_seed=7)
-    results = SweepRunner(workers=4).run_grid(grid)
-    aggregate = merge_results(results)
+                     replicas=4, base_seed=7,
+                     engines=("reference", "vector"))
+    columns = SweepRunner(workers=4).run_grid_columns(grid)
+    aggregate = merge_columns(columns)
 """
 
+from .columns import (
+    TRANSPORT_COUNTERS,
+    RunColumns,
+    execute_run_columns,
+)
 from .merge import (
     CellAggregate,
     SweepAggregate,
+    cell_label,
+    merge_columns,
     merge_results,
     throughput_summary,
 )
@@ -31,11 +46,14 @@ from .spec import (
     ScheduleSpec,
     execute_run,
     replica_seed,
+    schedule_key,
 )
 
 __all__ = [
     "SCHEDULE_KINDS",
+    "TRANSPORT_COUNTERS",
     "CellAggregate",
+    "RunColumns",
     "RunResult",
     "RunSpec",
     "ScheduleSpec",
@@ -43,9 +61,13 @@ __all__ = [
     "SweepAggregate",
     "SweepGrid",
     "SweepRunner",
+    "cell_label",
     "execute_run",
+    "execute_run_columns",
     "expand_repeats",
+    "merge_columns",
     "merge_results",
     "replica_seed",
+    "schedule_key",
     "throughput_summary",
 ]

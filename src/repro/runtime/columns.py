@@ -1,0 +1,288 @@
+"""Columnar result transport: what worker processes send back.
+
+A :class:`~repro.runtime.spec.RunResult` is the *rich* outcome of one
+shard: a tuple of per-cycle :class:`ConvergenceSample` objects, the
+full transport-counter snapshot, the config, and the complete
+:class:`RunSpec` -- thousands of pickled bytes per run, nearly all of
+it object overhead.  At paper scale (hundreds of replicas per sweep)
+the process pool spends more wall-clock pickling and unpickling those
+objects than the vectorised engines spend simulating; the same
+transport-bound regime the online-bootstrapping literature reports
+once the inner loop is fast (Qin et al., *Efficient Online
+Bootstrapping for Large Scale Learning*).
+
+:class:`RunColumns` is the compact wire form: the three plotted curves
+as flat float64 buffers (numpy arrays when numpy is installed, stdlib
+``array('d')`` on the fallback leg -- both pickle as raw machine
+bytes), the summable transport counters as one integer tuple, and the
+scalar summary fields.  Everything the merge step
+(:func:`repro.runtime.merge.merge_columns`) folds comes straight from
+these columns; no per-cycle objects are ever rebuilt.
+
+``REPRO_COLUMNS_BACKEND=numpy|python`` forces the buffer backend (the
+same convention as ``REPRO_FAST_BACKEND`` / ``REPRO_VECTOR_BACKEND``).
+Both backends hold identical float64 values, so merged statistics are
+byte-identical across them -- and byte-identical to the legacy
+object-transport path, which is pinned by the test suite.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .spec import RunResult, RunSpec, ScheduleSpec, execute_run
+
+try:  # numpy is an optional extra throughout this package
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on the no-numpy leg
+    _np = None
+
+__all__ = [
+    "TRANSPORT_COUNTERS",
+    "RunColumns",
+    "backend",
+    "execute_run_columns",
+]
+
+#: Transport counters that sum exactly across shards (integers only;
+#: derived fractions are recomputed from the sums at merge time).
+#: Order is part of the wire format of :attr:`RunColumns.transport`.
+TRANSPORT_COUNTERS = (
+    "exchanges",
+    "requests_sent",
+    "requests_dropped",
+    "replies_sent",
+    "replies_dropped",
+    "suppressed_replies",
+    "void_requests",
+    "intended",
+    "sent",
+    "delivered",
+)
+
+
+def backend() -> str:
+    """The active column-buffer backend (``"numpy"`` or ``"python"``).
+
+    Resolution mirrors the engine kernels: ``REPRO_COLUMNS_BACKEND``
+    forces a backend (raising if numpy is requested but missing),
+    otherwise numpy is used when importable.
+    """
+    forced = os.environ.get("REPRO_COLUMNS_BACKEND")
+    if forced:
+        if forced not in ("numpy", "python"):
+            raise ValueError(
+                "REPRO_COLUMNS_BACKEND must be 'numpy' or 'python', "
+                f"got {forced!r}"
+            )
+        if forced == "numpy" and _np is None:
+            raise RuntimeError(
+                "REPRO_COLUMNS_BACKEND=numpy but numpy is not installed"
+            )
+        return forced
+    return "numpy" if _np is not None else "python"
+
+
+def _pack(values: Sequence[float]):
+    """Pack floats into the active backend's flat float64 buffer."""
+    if backend() == "numpy":
+        return _np.asarray(values, dtype=_np.float64)
+    return array("d", values)
+
+
+def _buffer_bytes(buffer) -> bytes:
+    """A buffer's raw float64 machine bytes (both backends)."""
+    return buffer.tobytes()
+
+
+def _buffer_from_bytes(raw: bytes):
+    """Rebuild a buffer from :func:`_buffer_bytes` output."""
+    if backend() == "numpy":
+        return _np.frombuffer(raw, dtype=_np.float64)
+    rebuilt = array("d")
+    rebuilt.frombytes(raw)
+    return rebuilt
+
+
+@dataclass(frozen=True, eq=False)
+class RunColumns:
+    """One shard's outcome as flat columns plus scalar summaries.
+
+    Attributes
+    ----------
+    shard / replica:
+        Position in the sweep, exactly as on :class:`RunSpec`.
+    size / drop / sampler / schedules / engine:
+        The full grid-cell coordinate (every sweepable axis), so the
+        merge step can group replicas without the originating
+        :class:`RunSpec`.
+    seed:
+        The run's master seed (provenance).
+    converged_at / population / cycles_run / started_at_cycle:
+        Scalar summary fields of the underlying
+        :class:`SimulationResult`.
+    cycles / leaf / prefix:
+        The measurement curves as flat float64 buffers: measurement
+        cycle, missing-leaf fraction, missing-prefix fraction.
+    transport:
+        The summable counters, in :data:`TRANSPORT_COUNTERS` order.
+    wall_seconds:
+        In-worker wall time (excluded from merged statistics, exactly
+        like on :class:`RunResult`).
+    """
+
+    shard: int
+    replica: int
+    size: int
+    drop: float
+    sampler: str
+    schedules: Tuple[ScheduleSpec, ...]
+    engine: str
+    seed: int
+    converged_at: Optional[float]
+    population: int
+    cycles_run: int
+    started_at_cycle: int
+    cycles: Sequence[float]
+    leaf: Sequence[float]
+    prefix: Sequence[float]
+    transport: Tuple[int, ...]
+    wall_seconds: float
+
+    @classmethod
+    def from_run_result(cls, run: RunResult) -> "RunColumns":
+        """Flatten one rich :class:`RunResult` into columns.
+
+        This is the worker-side conversion: the rich object never
+        crosses the process boundary.  It is also the *only* path from
+        results to columns, so the legacy and columnar merge paths are
+        equivalent by construction.
+        """
+        spec = run.spec
+        result = run.result
+        samples = result.samples
+        return cls(
+            shard=spec.shard,
+            replica=spec.replica,
+            size=spec.size,
+            drop=spec.drop,
+            sampler=spec.sampler,
+            schedules=spec.schedules,
+            engine=spec.engine,
+            seed=spec.experiment.seed,
+            converged_at=result.converged_at,
+            population=result.population,
+            cycles_run=result.cycles_run,
+            started_at_cycle=result.started_at_cycle,
+            cycles=_pack([s.cycle for s in samples]),
+            leaf=_pack([s.leaf_fraction for s in samples]),
+            prefix=_pack([s.prefix_fraction for s in samples]),
+            transport=tuple(
+                int(result.transport[name]) for name in TRANSPORT_COUNTERS
+            ),
+            wall_seconds=run.wall_seconds,
+        )
+
+    def __reduce__(self):
+        """Compact wire form: positional values, raw curve bytes.
+
+        The default dataclass pickle repeats every field name per
+        instance and carries each buffer's constructor overhead; for a
+        payload whose whole point is being small, that roughly halves
+        the win.  Reducing to a positional tuple with the three curves
+        as raw float64 machine bytes keeps the pickled run at "data
+        plus a few dozen framing bytes".
+        """
+        return (
+            _rebuild_columns,
+            (
+                self.shard,
+                self.replica,
+                self.size,
+                self.drop,
+                self.sampler,
+                self.schedules,
+                self.engine,
+                self.seed,
+                self.converged_at,
+                self.population,
+                self.cycles_run,
+                self.started_at_cycle,
+                _buffer_bytes(self.cycles),
+                _buffer_bytes(self.leaf),
+                _buffer_bytes(self.prefix),
+                self.transport,
+                self.wall_seconds,
+            ),
+        )
+
+    # -- the same summary surface RunResult exposes --------------------
+
+    @property
+    def cell(self) -> Tuple[int, float, str, Tuple[ScheduleSpec, ...], str]:
+        """The grid cell this shard belongs to (all five axes)."""
+        return (self.size, self.drop, self.sampler, self.schedules,
+                self.engine)
+
+    @property
+    def converged(self) -> bool:
+        """Whether the run reached perfect tables."""
+        return self.converged_at is not None
+
+    @property
+    def cycles_to_converge(self) -> Optional[float]:
+        """Cycles from the run's start to perfection, or ``None``."""
+        if self.converged_at is None:
+            return None
+        return self.converged_at - self.started_at_cycle
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Engine throughput of this shard (0 for instant runs)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.cycles_run / self.wall_seconds
+
+    @property
+    def final_leaf_fraction(self) -> float:
+        """Missing-leaf fraction at the last measurement."""
+        return float(self.leaf[-1])
+
+    @property
+    def final_prefix_fraction(self) -> float:
+        """Missing-prefix fraction at the last measurement."""
+        return float(self.prefix[-1])
+
+    def transport_counters(self) -> dict:
+        """The summable counters as a name -> value mapping."""
+        return dict(zip(TRANSPORT_COUNTERS, self.transport))
+
+    def leaf_series(self) -> List[Tuple[float, float]]:
+        """``(cycle, missing-leaf fraction)`` pairs."""
+        return list(zip(map(float, self.cycles), map(float, self.leaf)))
+
+    def prefix_series(self) -> List[Tuple[float, float]]:
+        """``(cycle, missing-prefix fraction)`` pairs."""
+        return list(zip(map(float, self.cycles), map(float, self.prefix)))
+
+
+def _rebuild_columns(*values) -> RunColumns:
+    """Unpickle hook for :meth:`RunColumns.__reduce__`."""
+    fields = list(values)
+    for index in (12, 13, 14):  # cycles, leaf, prefix
+        fields[index] = _buffer_from_bytes(fields[index])
+    return RunColumns(*fields)
+
+
+def execute_run_columns(spec: RunSpec) -> RunColumns:
+    """Execute one shard and return its columnar outcome.
+
+    This is the function worker processes run on the columnar
+    transport path: the simulation executes exactly as under
+    :func:`~repro.runtime.spec.execute_run`, and only the flattened
+    columns are pickled back.
+    """
+    return RunColumns.from_run_result(execute_run(spec))

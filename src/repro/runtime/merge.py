@@ -1,9 +1,9 @@
 """Merging shard results into analysis-layer aggregates.
 
 The merge step is the deterministic tail of a sweep: it takes the
-:class:`~repro.runtime.spec.RunResult` list (already in shard order --
-the runner guarantees that regardless of worker count) and folds it
-into the existing analysis primitives:
+shard outcomes (already in shard order -- the runner guarantees that
+regardless of worker count) and folds them into the existing analysis
+primitives:
 
 * per-cell convergence-time :class:`~repro.analysis.stats.Summary`
   (via :func:`repro.analysis.stats.summarize`);
@@ -11,11 +11,25 @@ into the existing analysis primitives:
   :func:`repro.analysis.series.mean_series`);
 * per-cell transport-counter totals and the derived loss fractions.
 
-Wall-clock timing is deliberately *not* merged: it is the one
-nondeterministic field of a :class:`RunResult`, and keeping it out of
-:meth:`SweepAggregate.to_dict` is what makes "same base seed, any
-worker count => byte-identical merged statistics" a testable property.
-Throughput lives in :func:`throughput_summary` instead.
+The canonical input is the columnar wire form,
+:class:`~repro.runtime.columns.RunColumns` -- the fold consumes flat
+curve buffers and counter tuples directly and never rebuilds per-cycle
+sample objects.  :func:`merge_results` accepts the legacy rich
+:class:`~repro.runtime.spec.RunResult` list by flattening each result
+through :meth:`RunColumns.from_run_result` first, so both transports
+share one fold and produce byte-identical aggregates (a pinned test
+property).
+
+A cell is the full multi-axis coordinate ``(size, drop, sampler,
+schedules, engine)``.  Two fields stay out of
+:meth:`SweepAggregate.to_dict` by design:
+
+* wall-clock timing, so "same base seed, any worker count =>
+  byte-identical merged statistics" holds (throughput lives in
+  :func:`throughput_summary`);
+* the engine coordinate, so "reference and fast engines => identical
+  merged trajectories" stays a byte-comparable property (engine
+  provenance lives on the :class:`CellAggregate` dataclass itself).
 """
 
 from __future__ import annotations
@@ -25,34 +39,46 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.series import Series, mean_series
 from ..analysis.stats import Summary, summarize
-from .spec import RunResult
+from .columns import RunColumns, TRANSPORT_COUNTERS
+from .spec import RunResult, ScheduleSpec, schedule_key
 
 __all__ = [
     "CellAggregate",
     "SweepAggregate",
+    "cell_label",
+    "merge_columns",
     "merge_results",
     "throughput_summary",
 ]
 
-#: Transport counters that sum exactly across shards (integers only;
-#: the derived fractions are recomputed from the sums).
-_TRANSPORT_COUNTERS = (
-    "exchanges",
-    "requests_sent",
-    "requests_dropped",
-    "replies_sent",
-    "replies_dropped",
-    "suppressed_replies",
-    "void_requests",
-    "intended",
-    "sent",
-    "delivered",
-)
+
+def cell_label(
+    size: int,
+    drop: float,
+    sampler: str = "oracle",
+    schedules: Tuple[ScheduleSpec, ...] = (),
+    engine: str = "reference",
+) -> str:
+    """Human-readable cell coordinate for curve labels and tables.
+
+    The historical ``N=<size>[ drop=<p>]`` prefix is kept verbatim;
+    non-default variant axes append their coordinate, so legacy
+    size x drop sweeps keep their exact labels.
+    """
+    label = f"N={size}" if drop == 0.0 else f"N={size} drop={drop:g}"
+    if sampler != "oracle":
+        label += f" {sampler}"
+    if schedules:
+        label += f" {schedule_key(schedules)}"
+    if engine != "reference":
+        label += f" [{engine}]"
+    return label
 
 
 @dataclass(frozen=True)
 class CellAggregate:
-    """Merged statistics of one grid cell (size x drop)."""
+    """Merged statistics of one grid cell (one point of the
+    size x drop x sampler x schedules x engine product)."""
 
     size: int
     drop: float
@@ -62,6 +88,16 @@ class CellAggregate:
     mean_leaf: Series
     mean_prefix: Series
     transport: Tuple[Tuple[str, int], ...]
+    sampler: str = "oracle"
+    schedules: Tuple[ScheduleSpec, ...] = ()
+    engine: str = "reference"
+
+    @property
+    def label(self) -> str:
+        """The cell's display label (same as its curve labels)."""
+        return cell_label(
+            self.size, self.drop, self.sampler, self.schedules, self.engine
+        )
 
     @property
     def all_converged(self) -> bool:
@@ -90,10 +126,17 @@ class CellAggregate:
         return dropped / sent
 
     def to_dict(self) -> dict:
-        """Stable primitive representation (no timing, no objects)."""
+        """Stable primitive representation (no timing, no objects).
+
+        The engine coordinate is deliberately omitted: reference and
+        fast runs of the same seeds must serialize identically (the
+        cross-engine golden property), just as any worker count must.
+        """
         return {
             "size": self.size,
             "drop": self.drop,
+            "sampler": self.sampler,
+            "schedules": [spec.to_dict() for spec in self.schedules],
             "runs": self.runs,
             "converged_runs": self.converged_runs,
             "cycles": (
@@ -122,12 +165,39 @@ class SweepAggregate:
 
     cells: Tuple[CellAggregate, ...]
 
-    def cell(self, size: int, drop: float = 0.0) -> CellAggregate:
-        """The aggregate for grid cell ``(size, drop)``."""
+    def cell(
+        self,
+        size: int,
+        drop: float = 0.0,
+        *,
+        sampler: Optional[str] = None,
+        schedules: Optional[Tuple[ScheduleSpec, ...]] = None,
+        engine: Optional[str] = None,
+    ) -> CellAggregate:
+        """The first aggregate matching the given coordinates.
+
+        The variant axes are filters: ``None`` matches any value, so
+        single-variant sweeps keep the historical two-argument lookup.
+        """
         for cell in self.cells:
-            if cell.size == size and cell.drop == drop:
-                return cell
-        raise KeyError(f"no cell (size={size}, drop={drop}) in sweep")
+            if cell.size != size or cell.drop != drop:
+                continue
+            if sampler is not None and cell.sampler != sampler:
+                continue
+            if schedules is not None and cell.schedules != schedules:
+                continue
+            if engine is not None and cell.engine != engine:
+                continue
+            return cell
+        coordinate = f"size={size}, drop={drop}"
+        for name, value in (
+            ("sampler", sampler),
+            ("schedules", schedules),
+            ("engine", engine),
+        ):
+            if value is not None:
+                coordinate += f", {name}={value!r}"
+        raise KeyError(f"no cell ({coordinate}) in sweep")
 
     def leaf_curves(self) -> List[Series]:
         """Mean missing-leaf curves, one per cell (figure order)."""
@@ -147,50 +217,53 @@ class SweepAggregate:
         return {"cells": [cell.to_dict() for cell in self.cells]}
 
 
-def merge_results(results: Sequence[RunResult]) -> SweepAggregate:
-    """Fold shard results into per-cell aggregates.
+def merge_columns(columns: Sequence[RunColumns]) -> SweepAggregate:
+    """Fold columnar shard outcomes into per-cell aggregates.
 
-    Shards are grouped by grid cell ``(size, drop)``; cells appear in
+    Shards are grouped by their full grid cell; cells appear in
     first-shard order and replicas within a cell in shard order, so the
     output is a pure function of the (deterministically seeded) inputs.
+    The fold reads flat buffers and counter tuples only -- per-cycle
+    sample objects are never rebuilt.
     """
-    if not results:
+    if not columns:
         raise ValueError("cannot merge an empty result list")
-    ordered = sorted(results, key=lambda r: r.spec.shard)
-    by_cell: Dict[Tuple[int, float], List[RunResult]] = {}
+    ordered = sorted(columns, key=lambda c: c.shard)
+    by_cell: Dict[tuple, List[RunColumns]] = {}
     for run in ordered:
-        by_cell.setdefault(run.spec.cell, []).append(run)
+        by_cell.setdefault(run.cell, []).append(run)
 
     cells: List[CellAggregate] = []
-    for (size, drop), runs in by_cell.items():
-        label = f"N={size}" if drop == 0.0 else f"N={size} drop={drop:g}"
+    for (size, drop, sampler, schedules, engine), runs in by_cell.items():
+        label = cell_label(size, drop, sampler, schedules, engine)
         converged = [
-            r.result.cycles_to_converge
-            for r in runs
-            if r.result.converged
+            r.cycles_to_converge for r in runs if r.converged
         ]
-        counters = {name: 0 for name in _TRANSPORT_COUNTERS}
+        counters = {name: 0 for name in TRANSPORT_COUNTERS}
         for run in runs:
-            for name in _TRANSPORT_COUNTERS:
-                counters[name] += run.result.transport[name]
+            for name, value in zip(TRANSPORT_COUNTERS, run.transport):
+                counters[name] += value
         cells.append(
             CellAggregate(
                 size=size,
                 drop=drop,
+                sampler=sampler,
+                schedules=schedules,
+                engine=engine,
                 runs=len(runs),
                 converged_runs=len(converged),
                 cycles=summarize(converged) if converged else None,
                 mean_leaf=mean_series(
                     label,
                     [
-                        Series.from_pairs(label, r.result.leaf_series())
+                        Series.from_pairs(label, r.leaf_series())
                         for r in runs
                     ],
                 ),
                 mean_prefix=mean_series(
                     label,
                     [
-                        Series.from_pairs(label, r.result.prefix_series())
+                        Series.from_pairs(label, r.prefix_series())
                         for r in runs
                     ],
                 ),
@@ -200,13 +273,37 @@ def merge_results(results: Sequence[RunResult]) -> SweepAggregate:
     return SweepAggregate(cells=tuple(cells))
 
 
-def throughput_summary(results: Sequence[RunResult]) -> Optional[Summary]:
+def merge_results(results: Sequence[RunResult]) -> SweepAggregate:
+    """Fold rich shard results into per-cell aggregates.
+
+    The legacy object-transport entry point: each
+    :class:`RunResult` is flattened through
+    :meth:`RunColumns.from_run_result` and folded by
+    :func:`merge_columns`, so both transports share one merge and
+    produce byte-identical aggregates.
+    """
+    if not results:
+        raise ValueError("cannot merge an empty result list")
+    return merge_columns(
+        [RunColumns.from_run_result(run) for run in results]
+    )
+
+
+def throughput_summary(
+    results: Sequence[object],
+) -> Optional[Summary]:
     """Per-shard cycles/sec summary (``None`` for empty input).
 
-    Reported separately from :func:`merge_results` because wall-clock
-    timing must not contaminate the deterministic aggregates.
+    Accepts both :class:`RunResult` and :class:`RunColumns` sequences
+    (each exposes ``wall_seconds`` and ``cycles_per_second``).
+    Reported separately from the merge because wall-clock timing must
+    not contaminate the deterministic aggregates.
     """
-    rates = [r.cycles_per_second for r in results if r.wall_seconds > 0]
+    rates = [
+        r.cycles_per_second  # type: ignore[attr-defined]
+        for r in results
+        if r.wall_seconds > 0  # type: ignore[attr-defined]
+    ]
     if not rates:
         return None
     return summarize(rates)

@@ -24,12 +24,23 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core.config import BootstrapConfig, PAPER_CONFIG
+from ..simulator.bootstrap_sim import SAMPLER_KINDS
 from ..simulator.experiment import ENGINE_KINDS, ExperimentSpec
 from ..simulator.network import NetworkModel, RELIABLE
 from ..simulator.random_source import derive_seed
+from .columns import RunColumns, execute_run_columns
 from .spec import RunResult, RunSpec, ScheduleSpec, execute_run, replica_seed
 
 __all__ = [
@@ -57,7 +68,14 @@ class ShardError(RuntimeError):
 
 @dataclass(frozen=True)
 class SweepGrid:
-    """A declarative experiment grid: sizes x drop rates x replicas.
+    """A declarative multi-axis experiment grid.
+
+    The full cartesian product is
+    ``sizes x drop_rates x samplers x schedule_sets x engines x
+    replicas``; every point becomes one :class:`RunSpec`.  The three
+    variant axes (samplers, schedule sets, engines) default to a single
+    value each, given by the legacy singular fields, so the historical
+    ``sizes x drops x replicas`` grids keep their exact expansion.
 
     Parameters
     ----------
@@ -67,7 +85,9 @@ class SweepGrid:
         Uniform message-drop probabilities to sweep (0.0 = reliable).
     replicas:
         Independent repeats per grid cell (the paper's "independent
-        experiments").
+        experiments").  Either one count for every size, or a tuple
+        aligned with *sizes* (the paper scales repeats down with size:
+        50/10/4 at 2^14/2^16/2^18).
     base_seed:
         Master seed; every cell and replica derives its own seed from
         it deterministically.
@@ -76,51 +96,176 @@ class SweepGrid:
     config:
         Protocol parameters shared by all runs.
     sampler:
-        Peer-sampling backend (``"oracle"`` or ``"newscast"``).
+        Peer-sampling backend (``"oracle"`` or ``"newscast"``) when the
+        sampler axis is not swept.
     schedules:
-        Failure schedules applied to every run (rebuilt fresh per run).
+        Failure schedules applied to every run (rebuilt fresh per run)
+        when the schedule axis is not swept.
     engine:
         Cycle-engine implementation (``"reference"``, ``"fast"``, or
-        ``"vector"``).  Reference and fast produce identical
-        trajectories, so switching between them only changes how fast
-        the sweep runs; the vector engine is deterministic per seed
-        but statistically rather than bit-level equivalent.
+        ``"vector"``) when the engine axis is not swept.  Reference and
+        fast produce identical trajectories, so switching between them
+        only changes how fast the sweep runs; the vector engine is
+        deterministic per seed but statistically rather than bit-level
+        equivalent.
+    samplers:
+        Sweep the sampler axis over these backends (mutually exclusive
+        with a non-default *sampler*).
+    schedule_sets:
+        Sweep the schedule axis: each element is one complete schedule
+        set -- possibly empty, e.g. ``((), (churn_spec,))`` for a
+        with/without-churn comparison (mutually exclusive with a
+        non-empty *schedules*).
+    engines:
+        Sweep the engine axis over these implementations (mutually
+        exclusive with a non-default *engine*).
+    stop_when_perfect:
+        Whether runs end at the first perfect measurement (the paper's
+        convergence plots) or exhaust the cycle budget (steady-state
+        quality measurements, e.g. under churn).
+
+    Seeds derive from the *stochastic* coordinates only (size, drop,
+    replica).  The variant axes deliberately share them: sweeping
+    samplers, schedules, or engines compares variants on identical
+    seeded populations (paired comparisons), and a legacy grid keeps
+    its historical seeds no matter how many variant axes exist.
     """
 
     sizes: Tuple[int, ...]
     drop_rates: Tuple[float, ...] = (0.0,)
-    replicas: int = 1
+    replicas: Union[int, Tuple[int, ...]] = 1
     base_seed: int = 1
     max_cycles: int = 60
     config: BootstrapConfig = PAPER_CONFIG
     sampler: str = "oracle"
     schedules: Tuple[ScheduleSpec, ...] = ()
     engine: str = "reference"
+    samplers: Optional[Tuple[str, ...]] = None
+    schedule_sets: Optional[Tuple[Tuple[ScheduleSpec, ...], ...]] = None
+    engines: Optional[Tuple[str, ...]] = None
+    stop_when_perfect: bool = True
 
     def __post_init__(self) -> None:
         if not self.sizes:
             raise ValueError("grid needs at least one size")
+        if len(set(self.sizes)) != len(self.sizes):
+            # Duplicate sizes would share cell seeds (identical runs)
+            # and collapse into one merged cell -- never what a sweep
+            # means -- and would break the positional replicas-per-size
+            # mapping silently.
+            raise ValueError(f"grid sizes must be distinct, got {self.sizes}")
         if not self.drop_rates:
             raise ValueError("grid needs at least one drop rate")
-        if self.replicas < 1:
+        self._validate_replicas()
+        self._validate_axis(
+            "sampler", self.sampler, "oracle", "samplers", self.samplers,
+            SAMPLER_KINDS,
+        )
+        self._validate_axis(
+            "engine", self.engine, "reference", "engines", self.engines,
+            ENGINE_KINDS,
+        )
+        if self.schedule_sets is not None:
+            if self.schedules:
+                raise ValueError(
+                    "give either schedules (one set for every run) or "
+                    "schedule_sets (the swept axis), not both"
+                )
+            if not self.schedule_sets:
+                raise ValueError("schedule_sets needs at least one set")
+
+    def _validate_replicas(self) -> None:
+        """Replicas: one count, or one count per size."""
+        if isinstance(self.replicas, int):
+            if self.replicas < 1:
+                raise ValueError(
+                    f"replicas must be >= 1, got {self.replicas}"
+                )
+            return
+        counts = tuple(self.replicas)  # type: ignore[arg-type]
+        if len(counts) != len(self.sizes):
             raise ValueError(
-                f"replicas must be >= 1, got {self.replicas}"
+                f"per-size replicas must align with sizes: got "
+                f"{len(counts)} counts for {len(self.sizes)} sizes"
             )
-        if self.engine not in ENGINE_KINDS:
+        if any((not isinstance(c, int)) or c < 1 for c in counts):
             raise ValueError(
-                f"engine must be one of {ENGINE_KINDS}, got {self.engine!r}"
+                f"per-size replicas must be integers >= 1, got {counts!r}"
             )
+
+    @staticmethod
+    def _validate_axis(
+        singular_name: str,
+        singular: str,
+        default: str,
+        plural_name: str,
+        plural: Optional[Tuple[str, ...]],
+        kinds: Sequence[str],
+    ) -> None:
+        """One variant axis: the singular field or the swept tuple."""
+        if plural is None:
+            values: Tuple[str, ...] = (singular,)
+        else:
+            if singular != default:
+                raise ValueError(
+                    f"give either {singular_name}= or {plural_name}=, "
+                    "not both"
+                )
+            if not plural:
+                raise ValueError(
+                    f"{plural_name} needs at least one entry"
+                )
+            values = plural
+        for value in values:
+            if value not in kinds:
+                raise ValueError(
+                    f"{singular_name} must be one of {tuple(kinds)}, "
+                    f"got {value!r}"
+                )
+
+    # -- effective axes ------------------------------------------------
+
+    @property
+    def sampler_axis(self) -> Tuple[str, ...]:
+        """The sampler variants this grid sweeps."""
+        return self.samplers if self.samplers is not None else (self.sampler,)
+
+    @property
+    def schedule_axis(self) -> Tuple[Tuple[ScheduleSpec, ...], ...]:
+        """The schedule-set variants this grid sweeps."""
+        if self.schedule_sets is not None:
+            return self.schedule_sets
+        return (self.schedules,)
+
+    @property
+    def engine_axis(self) -> Tuple[str, ...]:
+        """The engine variants this grid sweeps."""
+        return self.engines if self.engines is not None else (self.engine,)
+
+    def replicas_for(self, size: int) -> int:
+        """Replica count of *size*'s cells (per-size or uniform)."""
+        if isinstance(self.replicas, int):
+            return self.replicas
+        return tuple(self.replicas)[self.sizes.index(size)]  # type: ignore
 
     def cell_seed(self, size: int, drop: float) -> int:
         """Deterministic per-cell seed (independent of expansion
-        order and worker count)."""
+        order and worker count).  Variant axes share it -- see the
+        class docstring's paired-comparison rule."""
         return derive_seed(self.base_seed, f"sweep:{size}:{drop!r}")
 
     def expand(self) -> List[RunSpec]:
-        """Expand the grid into its ordered list of shards."""
+        """Expand the grid into its ordered list of shards.
+
+        Axis nesting, outermost first: size, drop, sampler, schedule
+        set, engine, replica.  The order is part of the contract --
+        shard indices, and therefore merged-cell order, are a pure
+        function of the grid.
+        """
         specs: List[RunSpec] = []
         shard = 0
         for size in self.sizes:
+            replicas = self.replicas_for(size)
             for drop in self.drop_rates:
                 cell_seed = self.cell_seed(size, drop)
                 network = (
@@ -128,30 +273,127 @@ class SweepGrid:
                     if drop == 0.0
                     else NetworkModel(drop_probability=drop)
                 )
-                for replica in range(self.replicas):
-                    experiment = ExperimentSpec(
-                        size=size,
-                        seed=replica_seed(cell_seed, replica),
-                        config=self.config,
-                        network=network,
-                        sampler=self.sampler,
-                        max_cycles=self.max_cycles,
-                        label=f"N={size} drop={drop:g}",
-                        engine=self.engine,
-                    )
-                    specs.append(
-                        RunSpec(
-                            experiment=experiment,
-                            shard=shard,
-                            replica=replica,
-                            schedules=self.schedules,
-                        )
-                    )
-                    shard += 1
+                for sampler in self.sampler_axis:
+                    for schedules in self.schedule_axis:
+                        for engine in self.engine_axis:
+                            for replica in range(replicas):
+                                experiment = ExperimentSpec(
+                                    size=size,
+                                    seed=replica_seed(cell_seed, replica),
+                                    config=self.config,
+                                    network=network,
+                                    sampler=sampler,
+                                    max_cycles=self.max_cycles,
+                                    stop_when_perfect=(
+                                        self.stop_when_perfect
+                                    ),
+                                    label=f"N={size} drop={drop:g}",
+                                    engine=engine,
+                                )
+                                specs.append(
+                                    RunSpec(
+                                        experiment=experiment,
+                                        shard=shard,
+                                        replica=replica,
+                                        schedules=schedules,
+                                    )
+                                )
+                                shard += 1
         return specs
 
     def __len__(self) -> int:
-        return len(self.sizes) * len(self.drop_rates) * self.replicas
+        per_cell = (
+            len(self.sampler_axis)
+            * len(self.schedule_axis)
+            * len(self.engine_axis)
+        )
+        total_replicas = sum(
+            self.replicas_for(size) for size in self.sizes
+        )
+        return total_replicas * len(self.drop_rates) * per_cell
+
+    # -- declarative round-trip ----------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        data: Dict[str, object] = {
+            "sizes": list(self.sizes),
+            "drop_rates": list(self.drop_rates),
+            "replicas": (
+                self.replicas
+                if isinstance(self.replicas, int)
+                else list(self.replicas)  # type: ignore[arg-type]
+            ),
+            "base_seed": self.base_seed,
+            "max_cycles": self.max_cycles,
+            "config": {
+                "id_bits": self.config.id_bits,
+                "digit_bits": self.config.digit_bits,
+                "entries_per_slot": self.config.entries_per_slot,
+                "leaf_set_size": self.config.leaf_set_size,
+                "random_samples": self.config.random_samples,
+                "cycle_length": self.config.cycle_length,
+            },
+            "samplers": list(self.sampler_axis),
+            "schedule_sets": [
+                [spec.to_dict() for spec in schedule_set]
+                for schedule_set in self.schedule_axis
+            ],
+            "engines": list(self.engine_axis),
+            "stop_when_perfect": self.stop_when_perfect,
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepGrid":
+        """Rebuild a grid from :meth:`to_dict` output.
+
+        The round-trip normalises the legacy singular fields onto the
+        swept axes, so ``from_dict(g.to_dict())`` expands identically
+        to ``g`` (shard list equality), though it need not compare
+        equal as a dataclass when ``g`` used the singular spelling.
+        """
+        replicas = data.get("replicas", 1)
+        if not isinstance(replicas, int):
+            replicas = tuple(replicas)  # type: ignore[arg-type]
+        config = BootstrapConfig(**data.get("config", {}))  # type: ignore
+        # Hand-authored documents may use the singular constructor
+        # spellings; honour them rather than silently defaulting (a
+        # {"engine": "vector"} grid must not quietly come back as a
+        # reference-engine grid), with the same both-given rejection
+        # the constructor applies.
+        for singular, plural in (
+            ("sampler", "samplers"),
+            ("engine", "engines"),
+            ("schedules", "schedule_sets"),
+        ):
+            if singular in data:
+                if plural in data:
+                    raise ValueError(
+                        f"give either {singular!r} or {plural!r} in a "
+                        "grid document, not both"
+                    )
+                # One singular value is a one-variant axis ("engine":
+                # "vector" -> engines: ["vector"]; a "schedules" list
+                # is one schedule set -> schedule_sets: [that list]).
+                data = {**data, plural: [data[singular]]}
+        return cls(
+            sizes=tuple(data["sizes"]),  # type: ignore[arg-type]
+            drop_rates=tuple(data.get("drop_rates", (0.0,))),  # type: ignore
+            replicas=replicas,
+            base_seed=int(data.get("base_seed", 1)),  # type: ignore
+            max_cycles=int(data.get("max_cycles", 60)),  # type: ignore
+            config=config,
+            samplers=tuple(data.get("samplers", ("oracle",))),  # type: ignore
+            schedule_sets=tuple(
+                tuple(ScheduleSpec.from_dict(spec) for spec in schedule_set)
+                for schedule_set in data.get("schedule_sets", [[]])
+            ),  # type: ignore[arg-type]
+            engines=tuple(
+                data.get("engines", ("reference",))  # type: ignore
+            ),
+            stop_when_perfect=bool(data.get("stop_when_perfect", True)),
+        )
 
 
 def expand_repeats(
@@ -233,6 +475,33 @@ class SweepRunner:
                 "cross process boundaries; encode schedules as "
                 "ScheduleSpec entries on the RunSpec instead"
             )
+        return self._run_pool(ordered, execute_run)
+
+    def run_columns(self, specs: Iterable[RunSpec]) -> List[RunColumns]:
+        """Execute every shard on the columnar transport path.
+
+        Identical scheduling, ordering, and failure semantics to
+        :meth:`run`; the difference is what crosses the process
+        boundary -- workers flatten their
+        :class:`~repro.runtime.spec.RunResult` into
+        :class:`~repro.runtime.columns.RunColumns` before pickling, so
+        a sweep ships flat float64 buffers instead of per-cycle sample
+        objects (several times fewer bytes per run; see
+        ``benchmarks/bench_sweep_transport.py``).
+        """
+        ordered = list(specs)
+        if not self.parallel:
+            results: List[RunColumns] = []
+            for spec in ordered:
+                try:
+                    results.append(execute_run_columns(spec))
+                except Exception as exc:
+                    raise ShardError(spec, exc) from exc
+            return results
+        return self._run_pool(ordered, execute_run_columns)
+
+    def _run_pool(self, ordered: List[RunSpec], worker: Callable) -> list:
+        """Fan *ordered* out over a process pool running *worker*."""
         if not ordered:
             return []
         factory = self._executor_factory or (
@@ -242,9 +511,9 @@ class SweepRunner:
         # sweep of 3 shards on workers=32 costs 3 interpreter starts,
         # not 32 idle ones.
         max_workers = min(self.workers, len(ordered))
-        results: List[RunResult] = []
+        results: list = []
         with factory(max_workers) as pool:  # type: ignore[attr-defined]
-            futures = [pool.submit(execute_run, spec) for spec in ordered]
+            futures = [pool.submit(worker, spec) for spec in ordered]
             try:
                 for spec, future in zip(ordered, futures):
                     try:
@@ -264,6 +533,10 @@ class SweepRunner:
     def run_grid(self, grid: SweepGrid) -> List[RunResult]:
         """Expand *grid* and run every shard."""
         return self.run(grid.expand())
+
+    def run_grid_columns(self, grid: SweepGrid) -> List[RunColumns]:
+        """Expand *grid* and run every shard on the columnar path."""
+        return self.run_columns(grid.expand())
 
     @staticmethod
     def _guarded(

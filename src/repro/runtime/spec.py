@@ -40,6 +40,7 @@ __all__ = [
     "RunResult",
     "replica_seed",
     "execute_run",
+    "schedule_key",
 ]
 
 #: Registry of schedule kinds a :class:`ScheduleSpec` can instantiate.
@@ -48,6 +49,13 @@ SCHEDULE_KINDS: Dict[str, Type] = {
     "catastrophe": CatastrophicFailure,
     "massive_join": MassiveJoin,
 }
+
+#: Parameter values a :class:`ScheduleSpec` accepts: the JSON scalars.
+#: Anything richer (lists, dicts, arbitrary objects) would pickle and
+#: hash fine but break the declarative contract -- specs must survive a
+#: JSON round-trip (scenario files, CLI) and fail loudly at
+#: construction, not deep inside a worker process.
+_JSON_SCALARS = (bool, int, float, str)
 
 
 @dataclass(frozen=True)
@@ -61,7 +69,9 @@ class ScheduleSpec:
         ``"catastrophe"``, ``"massive_join"``).
     params:
         Constructor keyword arguments as a sorted tuple of pairs
-        (tuples rather than a dict so the spec is hashable).
+        (tuples rather than a dict so the spec is hashable).  Values
+        must be JSON scalars (``bool``/``int``/``float``/``str`` or
+        ``None``); richer values are rejected at construction.
     """
 
     kind: str
@@ -73,15 +83,99 @@ class ScheduleSpec:
                 f"unknown schedule kind {self.kind!r}; "
                 f"expected one of {sorted(SCHEDULE_KINDS)}"
             )
+        for pair in self.params:
+            if not (isinstance(pair, tuple) and len(pair) == 2):
+                raise ValueError(
+                    f"schedule params must be (name, value) pairs, "
+                    f"got {pair!r}"
+                )
+            name, value = pair
+            if not isinstance(name, str):
+                raise ValueError(
+                    f"schedule param names must be strings, got {name!r}"
+                )
+            if value is not None and not isinstance(value, _JSON_SCALARS):
+                raise ValueError(
+                    f"schedule param {name}={value!r} of kind "
+                    f"{self.kind!r} is not a JSON scalar "
+                    f"(bool/int/float/str/None), got "
+                    f"{type(value).__name__}; declarative specs must "
+                    "survive a JSON round-trip"
+                )
 
     @classmethod
     def of(cls, kind: str, **params: object) -> "ScheduleSpec":
         """Build a spec from keyword arguments."""
         return cls(kind=kind, params=tuple(sorted(params.items())))
 
+    @classmethod
+    def parse(cls, text: str) -> "ScheduleSpec":
+        """Parse the CLI shorthand ``kind:key=val,...``.
+
+        Examples: ``churn:rate=0.01``,
+        ``catastrophe:at_cycle=5,fraction=0.5``, ``massive_join``
+        (no parameters).  Values are coerced ``int`` -> ``float`` ->
+        ``str`` in that order; unknown kinds raise the same
+        kinds-listing :class:`ValueError` as direct construction.
+        """
+        kind, _, body = text.strip().partition(":")
+        params: Dict[str, object] = {}
+        if body:
+            for item in body.split(","):
+                name, eq, raw = item.partition("=")
+                name = name.strip()
+                if not name or not eq:
+                    raise ValueError(
+                        f"bad schedule parameter {item!r} in {text!r}; "
+                        "expected kind:key=val,key=val,..."
+                    )
+                params[name] = _coerce_scalar(raw.strip())
+        return cls.of(kind, **params)
+
     def build(self) -> object:
         """Instantiate a fresh schedule object for one run."""
         return SCHEDULE_KINDS[self.kind](**dict(self.params))
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScheduleSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        params = data.get("params", {})
+        if not isinstance(params, dict):
+            raise ValueError(f"schedule params must be a dict, got {params!r}")
+        return cls.of(str(data["kind"]), **params)
+
+
+def _coerce_scalar(raw: str) -> object:
+    """CLI value coercion: ``int``, else ``float``, else ``str``."""
+    for convert in (int, float):
+        try:
+            return convert(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def schedule_key(schedules: Sequence[ScheduleSpec]) -> str:
+    """Canonical compact rendering of one schedule set.
+
+    Used as the schedules coordinate in cell labels and reports:
+    ``"-"`` for the empty set, else ``kind:key=val,...`` fragments
+    joined with ``+`` (e.g. ``churn:rate=0.01``).
+    """
+    if not schedules:
+        return "-"
+    fragments = []
+    for spec in schedules:
+        if spec.params:
+            body = ",".join(f"{k}={v}" for k, v in spec.params)
+            fragments.append(f"{spec.kind}:{body}")
+        else:
+            fragments.append(spec.kind)
+    return "+".join(fragments)
 
 
 @dataclass(frozen=True)
@@ -118,9 +212,26 @@ class RunSpec:
         return self.experiment.network.drop_probability
 
     @property
-    def cell(self) -> Tuple[int, float]:
-        """The grid cell ``(size, drop)`` this shard belongs to."""
-        return (self.size, self.drop)
+    def sampler(self) -> str:
+        """Peer-sampling backend of this shard's grid cell."""
+        return self.experiment.sampler
+
+    @property
+    def cell(self) -> Tuple[int, float, str, Tuple[ScheduleSpec, ...], str]:
+        """The full grid-cell coordinate of this shard:
+        ``(size, drop, sampler, schedules, engine)``.
+
+        Every axis a multi-axis :class:`~repro.runtime.SweepGrid` can
+        sweep appears here, so the merge step groups replicas correctly
+        no matter which axes vary.
+        """
+        return (
+            self.size,
+            self.drop,
+            self.sampler,
+            self.schedules,
+            self.engine,
+        )
 
     @property
     def engine(self) -> str:

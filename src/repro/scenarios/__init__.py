@@ -1,0 +1,50 @@
+"""Declarative scenario layer: the paper's experiments as data.
+
+Three pieces:
+
+* :class:`ScenarioSpec` -- a frozen, JSON-round-trippable description
+  of one experiment scenario (a multi-axis
+  :class:`~repro.runtime.SweepGrid` plus analysis selection and the
+  paper claim it reproduces);
+* the named **registry** (``figure3``, ``figure4``, ``churn``,
+  ``drop_analysis``, ``catastrophe``, ``massive_join``, ``join_burst``,
+  ``newscast``, ``engines_shootout``, ``scalability``,
+  ``paper_scale``) -- what each historical hand-rolled benchmark loop
+  encoded imperatively;
+* :func:`run_scenario` -- the shared executor: expand, shard across
+  the parallel runner on the columnar transport, merge.
+
+Typical use::
+
+    from repro.scenarios import get_scenario, run_scenario
+
+    result = run_scenario("figure3", workers=4)
+    for cell in result.aggregate.cells:
+        print(cell.label, cell.cycles.mean)
+
+    # rescaled variants keep the declarative shape:
+    spec = get_scenario("figure3").with_grid(engine="vector")
+    result = run_scenario(spec.smoke())
+"""
+
+from .registry import all_scenarios, get_scenario, register, scenario_names
+from .run import (
+    ScenarioResult,
+    convergence_rows,
+    render_scenario_report,
+    run_scenario,
+)
+from .spec import ANALYSIS_KINDS, ScenarioSpec
+
+__all__ = [
+    "ANALYSIS_KINDS",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "all_scenarios",
+    "convergence_rows",
+    "get_scenario",
+    "register",
+    "render_scenario_report",
+    "run_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,286 @@
+"""The named scenario registry: the paper's experiments as data.
+
+Every entry captures what one of the historical hand-rolled benchmark
+loops encoded imperatively -- the benchmarks now call
+:func:`repro.scenarios.run_scenario` on (possibly rescaled) registry
+entries, and the CLI exposes the same catalogue via ``repro scenarios
+list/show/run``.
+
+Grid shapes are the *canonical* ones: paper-faithful axes at sizes
+that run in seconds-to-minutes on a laptop.  Harness knobs
+(``REPRO_BENCH_FULL``/``REPRO_BENCH_PAPER`` sizes, engine selection,
+repeat budgets) are layered on by the consumers through
+:meth:`ScenarioSpec.with_grid`; CI and the test suite run
+:meth:`ScenarioSpec.smoke` variants, which preserve every axis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..runtime.runner import SweepGrid
+from ..runtime.spec import ScheduleSpec
+from .spec import ScenarioSpec
+
+__all__ = [
+    "all_scenarios",
+    "get_scenario",
+    "register",
+    "scenario_names",
+]
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add *spec* to the registry (rejecting duplicate names)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name.
+
+    Raises ``KeyError`` naming the known scenarios, so a typo on the
+    CLI reads like the ``repro scenarios list`` output.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known scenarios: "
+            f"{', '.join(scenario_names())}"
+        ) from None
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """Registered scenario names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def all_scenarios() -> Tuple[ScenarioSpec, ...]:
+    """Every registered scenario, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def _churn(rate: float) -> Tuple[ScheduleSpec, ...]:
+    return (ScheduleSpec.of("churn", rate=rate),)
+
+
+register(
+    ScenarioSpec(
+        name="figure3",
+        title="Convergence without failures, one curve per size",
+        claim=(
+            "Fig. 3 / E1-E2: exponential decay; +4x size costs only an "
+            "additive constant of cycles"
+        ),
+        grid=SweepGrid(
+            sizes=(1024, 4096),
+            replicas=(3, 2),
+            base_seed=103,
+            max_cycles=60,
+        ),
+        analyses=("curves", "convergence"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="figure4",
+        title="Convergence under 20% uniform message loss",
+        claim=(
+            "Fig. 4 / E3-E4: 20% drop => 28% overall loss; convergence "
+            "'slowed down proportionally'"
+        ),
+        grid=SweepGrid(
+            sizes=(1024, 4096),
+            drop_rates=(0.0, 0.2),
+            replicas=(3, 2),
+            base_seed=104,
+            max_cycles=90,
+        ),
+        analyses=("curves", "convergence", "loss"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="drop_analysis",
+        title="Message-loss arithmetic across drop probabilities",
+        claim=(
+            "E6: measured overall loss matches (2p + (1-p)p)/2; slowdown "
+            "tracks 1/(1-loss)"
+        ),
+        grid=SweepGrid(
+            sizes=(1024,),
+            drop_rates=(0.0, 0.1, 0.2, 0.3),
+            base_seed=400,
+            max_cycles=120,
+        ),
+        analyses=("loss", "convergence"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="churn",
+        title="Table quality at the bootstrap window under churn rates",
+        claim=(
+            "E7: churn 'during this short time is naturally limited' -- "
+            "quality degrades smoothly with the churn rate"
+        ),
+        grid=SweepGrid(
+            sizes=(1024,),
+            base_seed=500,
+            max_cycles=20,
+            schedule_sets=(
+                (),
+                _churn(0.001),
+                _churn(0.01),
+                _churn(0.05),
+            ),
+            stop_when_perfect=False,
+        ),
+        analyses=("quality",),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="catastrophe",
+        title="Catastrophic mid-bootstrap failure of 30-70% of nodes",
+        claim=(
+            "Sections 1+3 ('up to 70% nodes may fail'): survivors' "
+            "quality plateaus at the dead-entry residue -- the protocol "
+            "never evicts, so recovery is one fresh bootstrap (see "
+            "examples/catastrophic_recovery.py)"
+        ),
+        grid=SweepGrid(
+            sizes=(1024,),
+            base_seed=600,
+            max_cycles=25,
+            schedule_sets=(
+                (),
+                (ScheduleSpec.of("catastrophe", at_cycle=5, fraction=0.3),),
+                (ScheduleSpec.of("catastrophe", at_cycle=5, fraction=0.5),),
+                (ScheduleSpec.of("catastrophe", at_cycle=5, fraction=0.7),),
+            ),
+            stop_when_perfect=False,
+        ),
+        analyses=("quality", "curves"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="massive_join",
+        title="Bootstrapping a whole pool at once (the massive join)",
+        claim=(
+            "E13 / Section 1: massive simultaneous joins cost O(log N) "
+            "parallel cycles (vs N serial join steps)"
+        ),
+        grid=SweepGrid(
+            sizes=(256, 512, 1024),
+            base_seed=1100,
+            max_cycles=60,
+        ),
+        analyses=("convergence",),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="join_burst",
+        title="A mid-run burst of simultaneous joins",
+        claim=(
+            "Section 1: joins arriving as one burst are absorbed and the "
+            "grown pool still reaches perfect tables"
+        ),
+        grid=SweepGrid(
+            sizes=(1024,),
+            base_seed=1150,
+            max_cycles=60,
+            schedule_sets=(
+                (),
+                (ScheduleSpec.of("massive_join", at_cycle=3, count=256),),
+                (ScheduleSpec.of("massive_join", at_cycle=3, count=1024),),
+            ),
+        ),
+        analyses=("convergence", "quality"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="newscast",
+        title="Live NEWSCAST sampling layer versus the idealised oracle",
+        claim=(
+            "Section 3: the protocol works over the real gossiping "
+            "sampling service, not just the oracle assumption"
+        ),
+        grid=SweepGrid(
+            sizes=(1024,),
+            replicas=2,
+            base_seed=800,
+            max_cycles=60,
+            samplers=("oracle", "newscast"),
+        ),
+        analyses=("convergence", "curves"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="engines_shootout",
+        title="All cycle engines on identical seeded workloads",
+        claim=(
+            "engine seam: reference/fast bit-identical, vector "
+            "statistically equivalent at >=5x throughput"
+        ),
+        grid=SweepGrid(
+            sizes=(1024,),
+            replicas=2,
+            base_seed=900,
+            max_cycles=60,
+            engines=("reference", "fast", "vector"),
+        ),
+        analyses=("convergence", "throughput"),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="scalability",
+        title="Convergence time across a geometric ladder of sizes",
+        claim="E5: cycles-to-perfect ~ a*log2(N) + b (logarithmic)",
+        grid=SweepGrid(
+            sizes=(256, 512, 1024, 2048),
+            replicas=(3, 3, 3, 2),
+            base_seed=300,
+            max_cycles=60,
+        ),
+        analyses=("convergence",),
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="paper_scale",
+        title="The paper's full sweep (2^14..2^18) on the vector engine",
+        claim=(
+            "Section 5 headline: 50/10/4 independent experiments at "
+            "2^14/2^16/2^18 nodes (the REPRO_BENCH_PAPER artefact set)"
+        ),
+        grid=SweepGrid(
+            sizes=(2**14, 2**16, 2**18),
+            replicas=(50, 10, 4),
+            base_seed=1000,
+            max_cycles=60,
+            engine="vector",
+        ),
+        analyses=("curves", "convergence", "throughput"),
+    )
+)

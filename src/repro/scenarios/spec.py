@@ -1,0 +1,175 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` captures *what a benchmark runs* as frozen
+data: a multi-axis :class:`~repro.runtime.SweepGrid` (which carries
+the cycle budget), plus the selection of analyses the scenario's
+report cares about and the paper claim it reproduces.  Everything the
+hand-rolled benchmark loops used to encode imperatively -- which
+sizes, which drop rates, which churn rates, which engines, how many
+repeats, stop-at-perfection or fixed window -- lives in the spec, so a
+scenario can be listed, serialised to JSON, rescaled to a smoke size,
+and executed by one shared runner (:func:`repro.scenarios.run_scenario`).
+
+Specs round-trip through JSON exactly:
+``ScenarioSpec.from_dict(spec.to_dict())`` expands to the same shard
+list, which is the contract the registry tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from ..runtime.runner import SweepGrid
+from ..runtime.spec import ScheduleSpec
+
+__all__ = ["ANALYSIS_KINDS", "ScenarioSpec"]
+
+#: Analyses a scenario can select for its report:
+#:
+#: ``convergence``
+#:     Per-cell cycles-to-perfect-tables summary table.
+#: ``curves``
+#:     Mean missing-leaf / missing-prefix curves (the Figure 3/4 form).
+#: ``loss``
+#:     Message-accounting table (overall and wire loss fractions).
+#: ``quality``
+#:     Final table-quality fractions (steady-state scenarios that never
+#:     reach perfection, e.g. under churn).
+#: ``throughput``
+#:     Per-engine cycles/sec lines (wall-clock; never merged into the
+#:     deterministic statistics).
+ANALYSIS_KINDS = (
+    "convergence",
+    "curves",
+    "loss",
+    "quality",
+    "throughput",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, declarative experiment scenario.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``repro scenarios run <name>``).
+    title:
+        One-line human description.
+    claim:
+        The paper figure/claim this scenario reproduces.
+    grid:
+        The multi-axis sweep to execute (includes the cycle budget).
+    analyses:
+        Which report sections apply, from :data:`ANALYSIS_KINDS`.
+    """
+
+    name: str
+    title: str
+    claim: str
+    grid: SweepGrid
+    analyses: Tuple[str, ...] = ("convergence",)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario needs a non-empty name")
+        if not self.analyses:
+            raise ValueError("scenario needs at least one analysis")
+        for analysis in self.analyses:
+            if analysis not in ANALYSIS_KINDS:
+                raise ValueError(
+                    f"unknown analysis {analysis!r}; expected one of "
+                    f"{ANALYSIS_KINDS}"
+                )
+
+    def with_grid(self, **overrides: object) -> "ScenarioSpec":
+        """This scenario with grid fields replaced (validated).
+
+        The porting hook for benchmarks: the registry entry pins the
+        canonical shape, and harness knobs (``REPRO_BENCH_FULL`` sizes,
+        ``REPRO_BENCH_ENGINE``, repeat budgets) are layered on top.
+        """
+        return replace(self, grid=replace(self.grid, **overrides))
+
+    def smoke(self, max_size: int = 64, max_cycles: int = 30) -> "ScenarioSpec":
+        """A seconds-scale variant preserving the scenario's axes.
+
+        Sizes are clamped to *max_size* (deduplicated, order kept),
+        replicas drop to 1, the cycle budget is clamped, and
+        ``massive_join`` bursts are rescaled so the burst stays
+        proportionate to the smoke pool.  Every axis survives -- a
+        smoke run still sweeps the same samplers/schedules/engines --
+        so CI exercises the real cartesian structure cheaply.
+        """
+        sizes: Tuple[int, ...] = tuple(
+            dict.fromkeys(min(size, max_size) for size in self.grid.sizes)
+        )
+        schedule_sets = tuple(
+            tuple(_clamp_schedule(spec, max_size) for spec in schedule_set)
+            for schedule_set in self.grid.schedule_axis
+        )
+        grid = replace(
+            self.grid,
+            sizes=sizes,
+            replicas=1,
+            max_cycles=min(self.grid.max_cycles, max_cycles),
+            schedules=(),
+            schedule_sets=schedule_sets,
+        )
+        return replace(self, grid=grid)
+
+    # -- JSON round-trip ----------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "claim": self.claim,
+            "grid": self.grid.to_dict(),
+            "analyses": list(self.analyses),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        """Rebuild a scenario from :meth:`to_dict` output."""
+        return cls(
+            name=str(data["name"]),
+            title=str(data.get("title", "")),
+            claim=str(data.get("claim", "")),
+            grid=SweepGrid.from_dict(data["grid"]),  # type: ignore[arg-type]
+            analyses=tuple(
+                data.get("analyses", ("convergence",))  # type: ignore
+            ),
+        )
+
+    def to_json(self, indent: int = 1) -> str:
+        """Serialise to a stable JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Parse a :meth:`to_json` document."""
+        return cls.from_dict(json.loads(text))
+
+
+def _clamp_schedule(spec: ScheduleSpec, max_size: int) -> ScheduleSpec:
+    """Rescale absolute schedule params for a smoke-sized pool.
+
+    Join bursts shrink with the pool, and one-shot trigger cycles move
+    before the smoke pool's convergence (~3 cycles at 64 nodes) so the
+    event still *fires* inside a converge-and-stop smoke run.
+    """
+    if spec.kind not in ("massive_join", "catastrophe"):
+        return spec
+    params = dict(spec.params)
+    count = params.get("count")
+    if isinstance(count, int):
+        params["count"] = max(1, min(count, max_size // 2))
+    at_cycle = params.get("at_cycle")
+    if isinstance(at_cycle, int):
+        params["at_cycle"] = min(at_cycle, 2)
+    return ScheduleSpec.of(spec.kind, **params)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -102,6 +104,24 @@ class TestCommands:
 
         assert statistics(sequential) == statistics(parallel)
 
+    def test_sweep_schedule_flag(self, capsys):
+        code = main(
+            ["sweep", "--sizes", "48", "--replicas", "1",
+             "--max-cycles", "10", "--seed", "3",
+             "--schedule", "churn:rate=0.02"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # The schedule shows up as part of the cell coordinate.
+        assert "churn:rate=0.02" in out
+
+    def test_sweep_bad_schedule_kind_lists_registry(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--schedule", "meteor_strike:rate=1"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "catastrophe" in err and "churn" in err
+
     def test_aggregate_runs(self, capsys):
         code = main(["aggregate", "--size", "32", "--max-cycles", "20"])
         out = capsys.readouterr().out
@@ -113,3 +133,50 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "reliability" in out
+
+
+class TestScenariosCLI:
+    def test_list_prints_catalogue(self, capsys):
+        code = main(["scenarios", "list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "figure3" in out
+        assert "paper_scale" in out
+        assert "paper claim" in out
+
+    def test_show_emits_round_trippable_json(self, capsys):
+        code = main(["scenarios", "show", "churn"])
+        out = capsys.readouterr().out
+        assert code == 0
+        data = json.loads(out)
+        assert data["name"] == "churn"
+        assert len(data["grid"]["schedule_sets"]) == 4
+
+    def test_show_unknown_scenario(self, capsys):
+        code = main(["scenarios", "show", "bogus"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "known scenarios" in captured.err
+
+    def test_run_smoke(self, capsys):
+        code = main(["scenarios", "run", "engines_shootout", "--smoke"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario engines_shootout" in out
+        assert "cycles to perfect tables" in out
+        assert "cycles per CPU-second" in out
+
+    def test_run_engine_override(self, capsys):
+        code = main(
+            ["scenarios", "run", "figure3", "--smoke",
+             "--engine", "fast"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "claim:" in out
+
+    def test_run_unknown_scenario(self, capsys):
+        code = main(["scenarios", "run", "bogus"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "known scenarios" in captured.err

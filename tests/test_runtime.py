@@ -18,6 +18,7 @@ import pytest
 
 from repro.core import BootstrapConfig
 from repro.runtime import (
+    RunColumns,
     RunSpec,
     ScheduleSpec,
     ShardError,
@@ -25,6 +26,7 @@ from repro.runtime import (
     SweepRunner,
     execute_run,
     expand_repeats,
+    merge_columns,
     merge_results,
     replica_seed,
     throughput_summary,
@@ -135,6 +137,269 @@ class TestDeterminism:
         results = SweepRunner(workers=2).run_grid(grid)
         assert [r.spec.shard for r in results] == list(range(len(results)))
         assert [r.spec.size for r in results] == [32, 32, 24, 24]
+
+
+class TestScheduleSpecParams:
+    def test_non_scalar_params_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="not a JSON scalar"):
+            ScheduleSpec.of("churn", rate=[0.01])
+        with pytest.raises(ValueError, match="not a JSON scalar"):
+            ScheduleSpec.of(
+                "catastrophe", at_cycle=1, fraction=complex(0.5)
+            )
+
+    def test_error_names_param_and_type(self):
+        with pytest.raises(
+            ValueError, match=r"rate=\{.*\}.*churn.*got dict"
+        ):
+            ScheduleSpec.of("churn", rate={"value": 0.01})
+
+    def test_scalars_and_none_accepted(self):
+        spec = ScheduleSpec.of(
+            "churn", rate=0.25, start_cycle=1, end_cycle=None
+        )
+        churn = spec.build()
+        assert churn.rate == 0.25 and churn.end_cycle is None
+
+    def test_dict_round_trip(self):
+        spec = ScheduleSpec.of("massive_join", at_cycle=2, count=8)
+        assert ScheduleSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestScheduleSpecParse:
+    def test_parse_with_params(self):
+        spec = ScheduleSpec.parse("churn:rate=0.01,start_cycle=2")
+        assert spec.kind == "churn"
+        assert dict(spec.params) == {"rate": 0.01, "start_cycle": 2}
+
+    def test_parse_without_params(self):
+        assert ScheduleSpec.parse("churn") == ScheduleSpec.of("churn")
+
+    def test_parse_unknown_kind_lists_registry(self):
+        with pytest.raises(ValueError, match="catastrophe"):
+            ScheduleSpec.parse("meteor_strike:size=1")
+
+    def test_parse_malformed_pair(self):
+        with pytest.raises(ValueError, match="kind:key=val"):
+            ScheduleSpec.parse("churn:rate")
+
+
+class TestMultiAxisGrid:
+    def axes_grid(self, **overrides) -> SweepGrid:
+        defaults = dict(
+            sizes=(24,),
+            replicas=2,
+            base_seed=9,
+            max_cycles=15,
+            config=FAST,
+            samplers=("oracle", "newscast"),
+            schedule_sets=((), (ScheduleSpec.of("churn", rate=0.05),)),
+            engines=("reference", "fast"),
+        )
+        defaults.update(overrides)
+        return SweepGrid(**defaults)
+
+    def test_cartesian_expansion_order(self):
+        """Axis nesting is documented and pinned: size, drop, sampler,
+        schedule set, engine, replica -- innermost last."""
+        grid = self.axes_grid()
+        specs = grid.expand()
+        assert len(specs) == len(grid) == 16
+        assert [s.shard for s in specs] == list(range(16))
+        coords = [
+            (s.sampler, s.schedules, s.engine, s.replica) for s in specs
+        ]
+        expected = [
+            (sampler, schedules, engine, replica)
+            for sampler in grid.sampler_axis
+            for schedules in grid.schedule_axis
+            for engine in grid.engine_axis
+            for replica in range(2)
+        ]
+        assert coords == expected
+        assert specs == grid.expand()
+
+    def test_variant_axes_share_seeds(self):
+        """Paired comparisons: the same (size, drop, replica) keeps
+        one seed across every sampler/schedule/engine variant, and the
+        seed matches the single-variant legacy grid's."""
+        grid = self.axes_grid()
+        legacy = SweepGrid(
+            sizes=(24,), replicas=2, base_seed=9, max_cycles=15,
+            config=FAST,
+        )
+        legacy_seeds = {
+            s.replica: s.experiment.seed for s in legacy.expand()
+        }
+        for spec in grid.expand():
+            assert spec.experiment.seed == legacy_seeds[spec.replica]
+
+    def test_full_cell_coordinate(self):
+        spec = self.axes_grid().expand()[-1]
+        size, drop, sampler, schedules, engine = spec.cell
+        assert (size, drop) == (24, 0.0)
+        assert sampler == "newscast" and engine == "fast"
+        assert schedules == (ScheduleSpec.of("churn", rate=0.05),)
+
+    def test_every_axis_workers_byte_identical(self):
+        """The acceptance property on the full product: workers=4
+        equals workers=1 to the byte when samplers, schedule sets, and
+        engines are all swept at once."""
+        grid = self.axes_grid()
+        sequential = merge_results(SweepRunner(workers=1).run_grid(grid))
+        parallel = merge_results(SweepRunner(workers=4).run_grid(grid))
+        assert json.dumps(sequential.to_dict(), sort_keys=True) == (
+            json.dumps(parallel.to_dict(), sort_keys=True)
+        )
+        assert len(sequential.cells) == 8
+
+    def test_conflicting_axis_spellings_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            fast_grid(sampler="newscast", samplers=("oracle",))
+        with pytest.raises(ValueError, match="not both"):
+            fast_grid(engine="fast", engines=("vector",))
+        with pytest.raises(ValueError, match="not both"):
+            fast_grid(
+                schedules=(ScheduleSpec.of("churn", rate=0.1),),
+                schedule_sets=((),),
+            )
+        with pytest.raises(ValueError):
+            fast_grid(engines=())
+        with pytest.raises(ValueError):
+            fast_grid(samplers=("psychic",))
+
+    def test_duplicate_sizes_rejected(self):
+        """Duplicate sizes would share cell seeds and silently break
+        the positional replicas-per-size mapping."""
+        with pytest.raises(ValueError, match="distinct"):
+            fast_grid(sizes=(24, 24))
+        with pytest.raises(ValueError, match="distinct"):
+            fast_grid(sizes=(24, 24), replicas=(2, 5))
+
+    def test_per_size_replicas(self):
+        grid = fast_grid(
+            sizes=(24, 32), drop_rates=(0.0,), replicas=(2, 1)
+        )
+        assert len(grid) == 3
+        assert [s.size for s in grid.expand()] == [24, 24, 32]
+        assert grid.replicas_for(24) == 2 and grid.replicas_for(32) == 1
+        with pytest.raises(ValueError, match="align with sizes"):
+            fast_grid(replicas=(2,))
+
+    def test_grid_dict_round_trip_preserves_expansion(self):
+        grid = self.axes_grid(drop_rates=(0.0, 0.2), replicas=(2,))
+        clone = SweepGrid.from_dict(
+            json.loads(json.dumps(grid.to_dict()))
+        )
+        assert clone.expand() == grid.expand()
+        assert len(clone) == len(grid)
+
+    def test_grid_from_dict_accepts_singular_spellings(self):
+        """Hand-authored documents may use the constructor's singular
+        field names; they must not silently fall back to defaults."""
+        grid = SweepGrid.from_dict(
+            {
+                "sizes": [24],
+                "engine": "vector",
+                "sampler": "newscast",
+                "schedules": [
+                    {"kind": "churn", "params": {"rate": 0.01}}
+                ],
+            }
+        )
+        assert grid.engine_axis == ("vector",)
+        assert grid.sampler_axis == ("newscast",)
+        assert grid.schedule_axis == (
+            (ScheduleSpec.of("churn", rate=0.01),),
+        )
+        with pytest.raises(ValueError, match="not both"):
+            SweepGrid.from_dict(
+                {"sizes": [24], "engine": "fast", "engines": ["vector"]}
+            )
+
+    def test_cell_lookup_error_names_variant_filters(self):
+        grid = fast_grid(sizes=(24,), drop_rates=(0.0,), replicas=1)
+        aggregate = merge_results(SweepRunner(workers=1).run_grid(grid))
+        with pytest.raises(KeyError, match="engine='vector'"):
+            aggregate.cell(24, 0.0, engine="vector")
+
+    def test_stop_when_perfect_flows_to_experiments(self):
+        grid = fast_grid(stop_when_perfect=False)
+        assert all(
+            not s.experiment.stop_when_perfect for s in grid.expand()
+        )
+
+
+class TestColumnarTransport:
+    """The transport satellite: columnar and legacy merges are
+    byte-identical, across worker counts and buffer backends."""
+
+    def test_columnar_matches_legacy_merge(self):
+        grid = fast_grid()
+        runner = SweepRunner(workers=1)
+        legacy = merge_results(runner.run_grid(grid))
+        columnar = merge_columns(runner.run_grid_columns(grid))
+        assert json.dumps(legacy.to_dict(), sort_keys=True) == (
+            json.dumps(columnar.to_dict(), sort_keys=True)
+        )
+
+    def test_columnar_parallel_byte_identical(self):
+        grid = fast_grid(schedules=(ScheduleSpec.of("churn", rate=0.05),))
+        sequential = merge_columns(
+            SweepRunner(workers=1).run_grid_columns(grid)
+        )
+        parallel = merge_columns(
+            SweepRunner(workers=4).run_grid_columns(grid)
+        )
+        assert json.dumps(sequential.to_dict(), sort_keys=True) == (
+            json.dumps(parallel.to_dict(), sort_keys=True)
+        )
+
+    def test_columns_pickle_round_trip(self):
+        grid = fast_grid(sizes=(24,), drop_rates=(0.2,), replicas=1)
+        (columns,) = SweepRunner(workers=1).run_grid_columns(grid)
+        clone = pickle.loads(pickle.dumps(columns))
+        assert clone.leaf_series() == columns.leaf_series()
+        assert clone.prefix_series() == columns.prefix_series()
+        assert clone.transport == columns.transport
+        assert clone.cell == columns.cell
+        assert clone.converged_at == columns.converged_at
+
+    def test_columns_are_compact_on_the_wire(self):
+        """The transport claim at unit scale: a pickled RunColumns is
+        at least 2x smaller than the pickled RunResult it flattens
+        (the benchmark gates 3x at figure3 sizes, where the sample
+        list is longer)."""
+        grid = fast_grid(sizes=(32,), drop_rates=(0.0,), replicas=1)
+        (result,) = SweepRunner(workers=1).run_grid(grid)
+        columns = RunColumns.from_run_result(result)
+        assert len(pickle.dumps(columns)) * 2 < len(pickle.dumps(result))
+
+    def test_python_backend_merges_identically(self, monkeypatch):
+        grid = fast_grid(sizes=(24,), replicas=2)
+        default = merge_columns(
+            SweepRunner(workers=1).run_grid_columns(grid)
+        )
+        monkeypatch.setenv("REPRO_COLUMNS_BACKEND", "python")
+        fallback = merge_columns(
+            SweepRunner(workers=1).run_grid_columns(grid)
+        )
+        assert json.dumps(default.to_dict(), sort_keys=True) == (
+            json.dumps(fallback.to_dict(), sort_keys=True)
+        )
+
+    def test_backend_env_validated(self, monkeypatch):
+        from repro.runtime import columns as columns_module
+
+        monkeypatch.setenv("REPRO_COLUMNS_BACKEND", "fortran")
+        with pytest.raises(ValueError, match="REPRO_COLUMNS_BACKEND"):
+            columns_module.backend()
+
+    def test_throughput_summary_accepts_columns(self):
+        grid = fast_grid(sizes=(24,), drop_rates=(0.0,), replicas=2)
+        columns = SweepRunner(workers=1).run_grid_columns(grid)
+        summary = throughput_summary(columns)
+        assert summary is not None and summary.mean > 0
 
 
 class RecordingPool:
