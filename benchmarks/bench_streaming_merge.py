@@ -1,0 +1,168 @@
+"""Collector-memory gate: streaming versus batch sweep merge.
+
+The batch fold (:func:`merge_columns`) needs every shard's
+:class:`RunColumns` alive at once, so collector memory grows linearly
+in replicas -- the term that caps 10^5-replica grids.  The streaming
+fold (:class:`StreamingMerge`) folds each arriving outcome into
+per-cell accumulators and drops it, keeping only the merged curve
+grid, counter sums, and one scalar per converged replica.
+
+This benchmark feeds an identical replica-heavy cell (synthetic
+curves; no simulation, so the measurement isolates the *collector*)
+through both paths under ``tracemalloc`` and gates:
+
+* **peak memory**: the streaming collector's peak must be at most
+  ``MAX_PEAK_FRACTION`` of the batch collector's;
+* **byte identity**: both folds must produce identical
+  ``SweepAggregate.to_dict()`` output.
+"""
+
+from __future__ import annotations
+
+import json
+import tracemalloc
+from array import array
+
+import pytest
+
+from repro.analysis import render_table
+from repro.runtime import (
+    RunColumns,
+    StreamingMerge,
+    merge_columns,
+)
+
+from common import emit
+
+#: Acceptance target: streaming peak / batch peak.
+MAX_PEAK_FRACTION = 0.25
+
+#: A replica-heavy single cell: the regime the streaming fold exists
+#: for (paper-scale sweeps put hundreds of replicas behind each curve).
+REPLICAS = 384
+POINTS = 96
+
+
+def synth_run(replica: int) -> RunColumns:
+    """One synthetic shard outcome (deterministic in *replica*).
+
+    The curves mimic a convergence run -- positive, decaying, slightly
+    different per replica so the fold does real arithmetic -- and use
+    the stdlib ``array('d')`` buffers so tracemalloc sees every byte
+    either path retains.
+    """
+    jitter = ((replica * 2654435761) % 997) / 997.0
+    cycles = array("d", (float(c) for c in range(POINTS)))
+    leaf = array(
+        "d",
+        (
+            (1.0 + 0.5 * jitter) * (0.9 ** c)
+            for c in range(POINTS)
+        ),
+    )
+    prefix = array(
+        "d",
+        (
+            (2.0 + jitter) * (0.85 ** c)
+            for c in range(POINTS)
+        ),
+    )
+    return RunColumns(
+        shard=replica,
+        replica=replica,
+        size=4096,
+        drop=0.0,
+        sampler="oracle",
+        schedules=(),
+        engine="reference",
+        seed=1000 + replica,
+        converged_at=float(POINTS - 1) if replica % 3 else None,
+        population=4096,
+        cycles_run=POINTS,
+        started_at_cycle=0.0,
+        cycles=cycles,
+        leaf=leaf,
+        prefix=prefix,
+        transport=(10, 9, 1, 8, 1, 0, 0, 10, 9, 8),
+        wall_seconds=0.5 + jitter,
+    )
+
+
+def measure_batch():
+    """Peak traced bytes while collecting every run, then merging."""
+    tracemalloc.reset_peak()
+    collected = [synth_run(replica) for replica in range(REPLICAS)]
+    aggregate = merge_columns(collected)
+    peak = tracemalloc.get_traced_memory()[1]
+    return peak, json.dumps(aggregate.to_dict(), sort_keys=True)
+
+
+def measure_streaming():
+    """Peak traced bytes while folding each run as it arrives."""
+    tracemalloc.reset_peak()
+    merge = StreamingMerge()
+    for replica in range(REPLICAS):
+        merge.add(synth_run(replica))
+    aggregate = merge.finalize()
+    peak = tracemalloc.get_traced_memory()[1]
+    return peak, json.dumps(aggregate.to_dict(), sort_keys=True)
+
+
+def run_memory_comparison():
+    tracemalloc.start()
+    try:
+        batch_peak, batch_bytes = measure_batch()
+        streaming_peak, streaming_bytes = measure_streaming()
+    finally:
+        tracemalloc.stop()
+    return {
+        "batch_peak": batch_peak,
+        "streaming_peak": streaming_peak,
+        "batch_bytes": batch_bytes,
+        "streaming_bytes": streaming_bytes,
+    }
+
+
+@pytest.mark.benchmark(group="streaming-merge")
+def test_streaming_collector_memory_is_constant(benchmark):
+    stats = benchmark.pedantic(
+        run_memory_comparison, rounds=1, iterations=1
+    )
+
+    fraction = stats["streaming_peak"] / stats["batch_peak"]
+    assert fraction <= MAX_PEAK_FRACTION, (
+        f"streaming collector peaked at {stats['streaming_peak']} bytes "
+        f"= {fraction:.2f}x the batch collector's "
+        f"{stats['batch_peak']} bytes over {REPLICAS} replicas; "
+        f"acceptance ceiling {MAX_PEAK_FRACTION}x"
+    )
+
+    # Constant memory is worthless if the numbers move: both folds
+    # must agree to the byte.
+    assert stats["streaming_bytes"] == stats["batch_bytes"], (
+        "streaming fold diverged from the batch merge"
+    )
+
+    emit(
+        "streaming_merge",
+        render_table(
+            ["collector", "peak bytes", "bytes/replica"],
+            [
+                [
+                    "batch (list + merge_columns)",
+                    stats["batch_peak"],
+                    f"{stats['batch_peak'] / REPLICAS:.0f}",
+                ],
+                [
+                    "streaming (StreamingMerge)",
+                    stats["streaming_peak"],
+                    f"{stats['streaming_peak'] / REPLICAS:.0f}",
+                ],
+            ],
+            title=(
+                f"collector peak memory over {REPLICAS} replicas x "
+                f"{POINTS}-point curves: streaming is {fraction:.3f}x "
+                f"of batch (gate <= {MAX_PEAK_FRACTION}x)"
+            ),
+        ),
+    )

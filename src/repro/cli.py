@@ -27,12 +27,19 @@ declarative scenario layer on the columnar result transport.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from .analysis import Series, ascii_semilog, render_kv, render_table
 from .components import AggregationExperiment, BroadcastConfig, GossipBroadcast
-from .runtime import RunSpec, ScheduleSpec, SweepGrid, SweepRunner
+from .runtime import (
+    CheckpointError,
+    RunSpec,
+    ScheduleSpec,
+    SweepGrid,
+    SweepRunner,
+)
 from .scenarios import (
     ScenarioSpec,
     all_scenarios,
@@ -302,7 +309,27 @@ def cmd_scenarios_list(args: argparse.Namespace) -> int:
 
 
 def _resolve_scenario(args: argparse.Namespace) -> Optional[ScenarioSpec]:
-    """Registry lookup with the not-found error on stderr."""
+    """Registry lookup (or ``--spec-file`` load) with errors on stderr."""
+    spec_file = getattr(args, "spec_file", None)
+    if spec_file is not None:
+        if args.name is not None:
+            print(
+                "give either a registry name or --spec-file, not both",
+                file=sys.stderr,
+            )
+            return None
+        try:
+            return ScenarioSpec.from_path(spec_file)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return None
+    if args.name is None:
+        print(
+            "a registry name (see `scenarios list`) or --spec-file "
+            "is required",
+            file=sys.stderr,
+        )
+        return None
     try:
         return get_scenario(args.name)
     except KeyError as exc:
@@ -320,9 +347,12 @@ def cmd_scenarios_show(args: argparse.Namespace) -> int:
 
 
 def cmd_scenarios_run(args: argparse.Namespace) -> int:
-    """Execute one registry scenario and print its report."""
+    """Execute one scenario (registry or spec file), print its report."""
     spec = _resolve_scenario(args)
     if spec is None:
+        return 2
+    if args.resume and args.checkpoint_dir is None:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
     if args.engine is not None:
         # Respect the axis form: a grid that sweeps engines is pinned
@@ -332,7 +362,31 @@ def cmd_scenarios_run(args: argparse.Namespace) -> int:
             spec = spec.with_grid(engines=(args.engine,))
         else:
             spec = spec.with_grid(engine=args.engine)
-    result = run_scenario(spec, workers=args.workers, smoke=args.smoke)
+    try:
+        result = run_scenario(
+            spec,
+            workers=args.workers,
+            smoke=args.smoke,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+        )
+    except CheckpointError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.checkpoint_dir is not None:
+        # result.spec is the grid actually run (--smoke rescales it).
+        total = len({shard.cell for shard in result.spec.grid.expand()})
+        print(
+            f"checkpoint: {result.resumed_cells}/{total} cells restored "
+            f"from {args.checkpoint_dir}, "
+            f"{total - result.resumed_cells} computed"
+        )
+    if args.aggregate_out is not None:
+        with open(args.aggregate_out, "w", encoding="utf-8") as stream:
+            stream.write(
+                json.dumps(result.aggregate.to_dict(), sort_keys=True)
+            )
+        print(f"aggregate written to {args.aggregate_out}")
     print(render_scenario_report(result))
     return 0
 
@@ -502,11 +556,49 @@ def build_parser() -> argparse.ArgumentParser:
     sp = scenario_sub.add_parser(
         "run", help="execute one scenario and print its report"
     )
-    sp.add_argument("name", help="registry name (see `scenarios list`)")
+    sp.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="registry name (see `scenarios list`)",
+    )
+    sp.add_argument(
+        "--spec-file",
+        default=None,
+        help=(
+            "run a scenario from a JSON spec document "
+            "(`scenarios show <name>` emits the format) instead of "
+            "the registry"
+        ),
+    )
     sp.add_argument(
         "--smoke",
         action="store_true",
         help="run the seconds-scale smoke rescaling (axes preserved)",
+    )
+    sp.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "stream the sweep and journal each completed cell to this "
+            "directory (kill-safe; see README: checkpointed sweeps)"
+        ),
+    )
+    sp.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "restore journalled cells from --checkpoint-dir and "
+            "re-dispatch only the missing shards"
+        ),
+    )
+    sp.add_argument(
+        "--aggregate-out",
+        default=None,
+        help=(
+            "write the merged aggregate as canonical JSON to this "
+            "file (byte-comparable across runs and worker counts)"
+        ),
     )
     sp.add_argument(
         "--engine",

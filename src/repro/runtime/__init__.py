@@ -23,15 +23,29 @@ Typical use::
                      engines=("reference", "vector"))
     columns = SweepRunner(workers=4).run_grid_columns(grid)
     aggregate = merge_columns(columns)
+
+For replica-heavy grids, the streaming path folds each shard outcome
+as it arrives (constant collector memory) and can journal completed
+cells to a checkpoint directory for kill-safe resume::
+
+    from repro.runtime import CheckpointStore, StreamingMerge
+
+    merge = StreamingMerge()
+    SweepRunner(workers=4).stream_columns(grid.expand(), merge.add)
+    aggregate = merge.finalize()   # byte-identical to merge_columns
 """
 
+from .checkpoint import CheckpointError, CheckpointStore, grid_digest
 from .columns import (
     TRANSPORT_COUNTERS,
     RunColumns,
+    RunTiming,
     execute_run_columns,
 )
 from .merge import (
     CellAggregate,
+    CellFold,
+    StreamingMerge,
     SweepAggregate,
     cell_label,
     merge_columns,
@@ -53,11 +67,16 @@ __all__ = [
     "SCHEDULE_KINDS",
     "TRANSPORT_COUNTERS",
     "CellAggregate",
+    "CellFold",
+    "CheckpointError",
+    "CheckpointStore",
     "RunColumns",
     "RunResult",
     "RunSpec",
+    "RunTiming",
     "ScheduleSpec",
     "ShardError",
+    "StreamingMerge",
     "SweepAggregate",
     "SweepGrid",
     "SweepRunner",
@@ -65,6 +84,7 @@ __all__ = [
     "execute_run",
     "execute_run_columns",
     "expand_repeats",
+    "grid_digest",
     "merge_columns",
     "merge_results",
     "replica_seed",

@@ -1,0 +1,293 @@
+"""Crash-safe journaling of completed sweep cells.
+
+A long sweep (``paper_scale`` overnight, preemptible workers) must not
+lose completed work to a kill signal.  :class:`CheckpointStore` is the
+journal: every time the streaming merge completes a grid cell, the
+cell's full :class:`~repro.runtime.merge.CellAggregate` is written to
+its own file under the checkpoint directory.  A resumed run loads the
+journalled cells, re-dispatches only the shards of missing cells, and
+produces an aggregate **byte-identical** to an uninterrupted run (the
+JSON float round-trip is exact: ``float(repr(x)) == x``).
+
+Three properties carry the crash-safety claim:
+
+* **atomicity** -- every record is written to a temporary file,
+  fsynced, then ``os.replace``d into place.  A SIGKILL mid-write
+  leaves at worst an ignored ``*.tmp`` file, never a truncated
+  record;
+* **keyed by grid digest** -- the journal records the sha256 of the
+  grid's :meth:`~repro.runtime.runner.SweepGrid.to_dict` form.  A
+  resume against a *different* grid (changed sizes, seeds, schedules,
+  anything) refuses with a clear error instead of silently merging
+  incompatible cells;
+* **keyed by full cell coordinate** -- records are named by the
+  5-axis cell coordinate ``(size, drop, sampler, schedules, engine)``,
+  so every cell of a multi-axis sweep journals independently.
+
+The worker count is deliberately *not* part of the digest: a sweep
+killed under ``--workers 4`` may resume under ``--workers 1`` (or vice
+versa) because merged statistics are worker-count invariant.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from .merge import CellAggregate, CellKey, cell_label
+from .runner import SweepGrid
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointStore",
+    "grid_digest",
+]
+
+#: Journal format version, bumped on any incompatible layout change.
+FORMAT_VERSION = 1
+
+_META_NAME = "grid.json"
+_CELL_PREFIX = "cell-"
+_CELL_SUFFIX = ".json"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint directory cannot be used as requested.
+
+    Raised for stale grid digests, corrupt or truncated records, and
+    journals that exist where a fresh run was requested.  Never
+    silently recovered from: a checkpoint problem must surface to the
+    operator, not merge partial state.
+    """
+
+
+def grid_digest(grid: SweepGrid) -> str:
+    """The sha256 hex digest of a grid's canonical dict form.
+
+    Built on :meth:`SweepGrid.to_dict` with sorted keys, so any change
+    to any axis -- sizes, seeds, schedules, engines, config --
+    produces a different digest and invalidates existing journals.
+    """
+    canonical = json.dumps(grid.to_dict(), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _cell_key_dict(cell: CellKey) -> dict:
+    """The 5-axis coordinate as JSON primitives."""
+    size, drop, sampler, schedules, engine = cell
+    return {
+        "size": size,
+        "drop": drop,
+        "sampler": sampler,
+        "schedules": [spec.to_dict() for spec in schedules],
+        "engine": engine,
+    }
+
+
+def _cell_filename(cell: CellKey) -> str:
+    """The record filename for one cell coordinate.
+
+    A content hash of the canonical coordinate keeps filenames short,
+    filesystem-safe, and injective over the coordinate space.
+    """
+    canonical = json.dumps(_cell_key_dict(cell), sort_keys=True)
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return f"{_CELL_PREFIX}{digest[:16]}{_CELL_SUFFIX}"
+
+
+class CheckpointStore:
+    """One sweep's on-disk journal of completed cells.
+
+    Use :meth:`open` (not the constructor) -- it validates the
+    directory against the grid before anything is read or written.
+    """
+
+    def __init__(self, directory: Path, digest: str) -> None:
+        self.directory = directory
+        self.digest = digest
+
+    # -- opening -------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: Union[str, Path],
+        grid: SweepGrid,
+        *,
+        resume: bool = False,
+    ) -> "CheckpointStore":
+        """Open (creating if needed) a checkpoint directory for *grid*.
+
+        Fresh directory: writes the grid metadata and returns an empty
+        store.  Existing journal: requires ``resume=True`` (refusing
+        to silently reuse state a fresh run did not ask for) and a
+        matching grid digest (refusing to resume a *different* sweep).
+        """
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        digest = grid_digest(grid)
+        meta_path = path / _META_NAME
+        if meta_path.exists():
+            meta = cls._read_json(meta_path)
+            recorded = meta.get("digest")
+            if recorded != digest:
+                raise CheckpointError(
+                    f"checkpoint directory {path} was written for a "
+                    f"different grid (digest {recorded!r}, this sweep "
+                    f"is {digest!r}); the grid changed, so its journal "
+                    "is stale -- use a fresh --checkpoint-dir"
+                )
+            if not resume:
+                raise CheckpointError(
+                    f"checkpoint directory {path} already holds a "
+                    "journal for this grid; pass --resume to continue "
+                    "it or use a fresh --checkpoint-dir"
+                )
+        else:
+            if any(cls._cell_paths(path)):
+                raise CheckpointError(
+                    f"checkpoint directory {path} holds cell records "
+                    f"but no {_META_NAME}; it is corrupt or not a "
+                    "checkpoint directory"
+                )
+            store = cls(path, digest)
+            store._atomic_write(
+                meta_path,
+                json.dumps(
+                    {
+                        "format": FORMAT_VERSION,
+                        "digest": digest,
+                        "grid": grid.to_dict(),
+                    },
+                    sort_keys=True,
+                    indent=2,
+                ),
+            )
+            return store
+        return cls(path, digest)
+
+    # -- reading -------------------------------------------------------
+
+    def load_cells(self) -> Dict[CellKey, Tuple[int, CellAggregate]]:
+        """Every journalled cell: coordinate -> (first_shard, aggregate).
+
+        Corrupt records (truncated JSON, missing fields, digest
+        mismatch) raise :class:`CheckpointError` naming the offending
+        file -- a damaged journal is reported, never silently merged.
+        """
+        cells: Dict[CellKey, Tuple[int, CellAggregate]] = {}
+        for record_path in sorted(self._cell_paths(self.directory)):
+            record = self._read_json(record_path)
+            for field in ("digest", "first_shard", "engine", "aggregate"):
+                if field not in record:
+                    raise CheckpointError(
+                        f"checkpoint record {record_path} is missing "
+                        f"field {field!r}; the journal is corrupt"
+                    )
+            if record["digest"] != self.digest:
+                raise CheckpointError(
+                    f"checkpoint record {record_path} was written for "
+                    f"a different grid (digest {record['digest']!r}, "
+                    f"this sweep is {self.digest!r})"
+                )
+            try:
+                aggregate = CellAggregate.from_dict(
+                    record["aggregate"], engine=str(record["engine"])
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise CheckpointError(
+                    f"checkpoint record {record_path} does not decode "
+                    f"to a cell aggregate: {exc!r}"
+                ) from exc
+            cell: CellKey = (
+                aggregate.size,
+                aggregate.drop,
+                aggregate.sampler,
+                aggregate.schedules,
+                aggregate.engine,
+            )
+            expected_name = _cell_filename(cell)
+            if record_path.name != expected_name:
+                raise CheckpointError(
+                    f"checkpoint record {record_path} holds cell "
+                    f"{cell_label(*cell)!r}, which belongs in "
+                    f"{expected_name}; the journal is corrupt"
+                )
+            cells[cell] = (int(record["first_shard"]), aggregate)
+        return cells
+
+    # -- writing -------------------------------------------------------
+
+    def write_cell(
+        self, cell: CellKey, first_shard: int, aggregate: CellAggregate
+    ) -> None:
+        """Journal one completed cell (atomic write-then-rename).
+
+        Matches the ``on_cell`` callback signature of
+        :class:`~repro.runtime.merge.StreamingMerge`.
+        """
+        record = {
+            "format": FORMAT_VERSION,
+            "digest": self.digest,
+            "first_shard": first_shard,
+            "engine": cell[4],
+            "cell_key": _cell_key_dict(cell),
+            "aggregate": aggregate.to_dict(),
+        }
+        self._atomic_write(
+            self.directory / _cell_filename(cell),
+            json.dumps(record, sort_keys=True),
+        )
+
+    # -- plumbing ------------------------------------------------------
+
+    @staticmethod
+    def _cell_paths(directory: Path) -> List[Path]:
+        """The cell record files (``*.tmp`` leftovers never match)."""
+        return list(directory.glob(f"{_CELL_PREFIX}*{_CELL_SUFFIX}"))
+
+    @staticmethod
+    def _read_json(path: Path) -> dict:
+        """Read one JSON record, translating damage to
+        :class:`CheckpointError`."""
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                data = json.load(stream)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint record {path}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"checkpoint record {path} is not valid JSON "
+                f"(truncated write or foreign file): {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise CheckpointError(
+                f"checkpoint record {path} is not a JSON object"
+            )
+        return data
+
+    @staticmethod
+    def _atomic_write(path: Path, text: str) -> None:
+        """Write *text* to *path* via tmp-file + fsync + rename.
+
+        ``os.replace`` is atomic on POSIX, so a reader (or a resumed
+        run) only ever sees the old state or the complete new record
+        -- never a partial write, even across SIGKILL.
+        """
+        tmp_path = path.with_name(path.name + ".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as stream:
+            stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp_path, path)
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckpointStore(directory={str(self.directory)!r}, "
+            f"digest={self.digest[:12]!r}...)"
+        )

@@ -43,6 +43,7 @@ except ImportError:  # pragma: no cover - exercised on the no-numpy leg
 __all__ = [
     "TRANSPORT_COUNTERS",
     "RunColumns",
+    "RunTiming",
     "backend",
     "execute_run_columns",
 ]
@@ -267,6 +268,43 @@ class RunColumns:
     def prefix_series(self) -> List[Tuple[float, float]]:
         """``(cycle, missing-prefix fraction)`` pairs."""
         return list(zip(map(float, self.cycles), map(float, self.prefix)))
+
+    def timing(self) -> "RunTiming":
+        """The shard's throughput scalars, detached from the buffers.
+
+        The streaming collector keeps these (a few machine words per
+        shard) after dropping the curve columns, so throughput
+        reporting survives the constant-memory fold.
+        """
+        return RunTiming(
+            shard=self.shard,
+            engine=self.engine,
+            cycles_run=self.cycles_run,
+            wall_seconds=self.wall_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class RunTiming:
+    """One shard's wall-clock scalars (never merged into aggregates).
+
+    Carries exactly what :func:`repro.runtime.merge.throughput_summary`
+    reads -- ``wall_seconds`` and the derived ``cycles_per_second`` --
+    so the streaming path can report throughput without retaining the
+    full :class:`RunColumns`.
+    """
+
+    shard: int
+    engine: str
+    cycles_run: int
+    wall_seconds: float
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Engine throughput of this shard (0 for instant runs)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.cycles_run / self.wall_seconds
 
 
 def _rebuild_columns(*values) -> RunColumns:

@@ -30,12 +30,27 @@ schedules, engine)``.  Two fields stay out of
 * the engine coordinate, so "reference and fast engines => identical
   merged trajectories" stays a byte-comparable property (engine
   provenance lives on the :class:`CellAggregate` dataclass itself).
+
+Two fold entry points share these semantics:
+
+* :func:`merge_columns` -- the batch fold: all shard outcomes in
+  memory at once;
+* :class:`StreamingMerge` -- the incremental fold: each arriving
+  :class:`RunColumns` is folded into per-cell accumulators
+  (:class:`CellFold`) and dropped, so collector memory is constant in
+  the replica count (the online-bootstrap trick of Qin et al.,
+  *Efficient Online Bootstrapping for Large Scale Learning*).  The
+  streaming fold is **byte-identical** to the batch fold for any
+  arrival order: within a cell, runs are folded strictly in replica
+  order (out-of-order arrivals wait in a small pending window), so
+  every floating-point operation happens in exactly the sequence the
+  batch fold performs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.series import Series, mean_series
 from ..analysis.stats import Summary, summarize
@@ -44,12 +59,18 @@ from .spec import RunResult, ScheduleSpec, schedule_key
 
 __all__ = [
     "CellAggregate",
+    "CellFold",
+    "StreamingMerge",
     "SweepAggregate",
     "cell_label",
     "merge_columns",
     "merge_results",
     "throughput_summary",
 ]
+
+#: The full grid-cell coordinate: (size, drop, sampler, schedules,
+#: engine) -- the key both folds group replicas by.
+CellKey = Tuple[int, float, str, Tuple[ScheduleSpec, ...], str]
 
 
 def cell_label(
@@ -157,6 +178,68 @@ class CellAggregate:
             "overall_loss_fraction": self.overall_loss_fraction,
             "wire_loss_fraction": self.wire_loss_fraction,
         }
+
+    @classmethod
+    def from_dict(
+        cls, data: dict, *, engine: str = "reference"
+    ) -> "CellAggregate":
+        """Rebuild an aggregate from :meth:`to_dict` output.
+
+        The checkpoint-restore path: every float survives the JSON
+        round-trip exactly (``json`` serialises via ``repr`` and
+        ``float(repr(x)) == x`` for finite values), so a restored cell
+        serialises back to byte-identical :meth:`to_dict` output.  The
+        engine coordinate is deliberately absent from the dict (see
+        :meth:`to_dict`); checkpoint records carry it separately.
+        """
+        size = int(data["size"])
+        drop = float(data["drop"])
+        sampler = str(data["sampler"])
+        schedules = tuple(
+            ScheduleSpec.from_dict(spec) for spec in data["schedules"]
+        )
+        label = cell_label(size, drop, sampler, schedules, engine)
+        raw = data["cycles"]
+        cycles = (
+            None
+            if raw is None
+            else Summary(
+                count=int(raw["count"]),
+                mean=raw["mean"],
+                std=raw["std"],
+                minimum=raw["min"],
+                maximum=raw["max"],
+                median=raw["median"],
+            )
+        )
+        return cls(
+            size=size,
+            drop=drop,
+            sampler=sampler,
+            schedules=schedules,
+            engine=engine,
+            runs=int(data["runs"]),
+            converged_runs=int(data["converged_runs"]),
+            cycles=cycles,
+            mean_leaf=Series(
+                label=label,
+                points=tuple(
+                    (float(x), float(y)) for x, y in data["mean_leaf"]
+                ),
+            ),
+            mean_prefix=Series(
+                label=label,
+                points=tuple(
+                    (float(x), float(y)) for x, y in data["mean_prefix"]
+                ),
+            ),
+            transport=tuple(
+                sorted(
+                    (str(name), int(value))
+                    for name, value in data["transport"].items()
+                )
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -307,3 +390,341 @@ def throughput_summary(
     if not rates:
         return None
     return summarize(rates)
+
+
+class _CurveFold:
+    """Incremental pointwise-mean accumulator for one cell's curves.
+
+    Reproduces :func:`~repro.analysis.series.mean_series` bit-for-bit
+    while holding only the merged x grid and one running total per
+    grid point -- never the folded curves themselves.
+
+    The exactness argument: the batch fold adds each curve's step
+    value at every union x, in curve order.  Folding curve k before
+    the union grid is complete is safe because a grid point introduced
+    later lies strictly between two existing grid points (or outside
+    the grid), where every already-folded curve's step function is
+    constant -- so the running total at the new point is bitwise equal
+    to the total at its predecessor (same floats added in the same
+    order), and can simply be copied.
+    """
+
+    __slots__ = ("xs", "totals", "count")
+
+    def __init__(self) -> None:
+        self.xs: List[float] = []
+        self.totals: List[float] = []
+        self.count = 0
+
+    def fold(self, label: str, pairs: Sequence[Tuple[float, float]]) -> None:
+        """Fold one curve (mirrors ``Series.from_pairs`` validation)."""
+        points = sorted(pairs)
+        if not points:
+            raise ValueError(f"series {label!r} is empty")
+        for before, after in zip(points, points[1:]):
+            if before[0] == after[0]:
+                raise ValueError(
+                    f"series {label!r} has duplicate x value {before[0]!r}"
+                )
+        self._extend_grid(points)
+        pos = 0  # points consumed: points[pos-1] is the step value
+        n = len(points)
+        for i, x in enumerate(self.xs):
+            while pos < n and points[pos][0] <= x:
+                pos += 1
+            self.totals[i] += points[pos - 1][1] if pos else points[0][1]
+        self.count += 1
+
+    def _extend_grid(self, points: List[Tuple[float, float]]) -> None:
+        """Merge the new curve's x values into the grid, copying the
+        step-equivalent running totals for inserted points."""
+        if not self.xs:
+            self.xs = [x for x, _ in points]
+            self.totals = [0.0] * len(points)
+            return
+        xs, totals = self.xs, self.totals
+        merged_x: List[float] = []
+        merged_t: List[float] = []
+        i = j = 0
+        while i < len(xs) or j < len(points):
+            if i < len(xs) and (
+                j >= len(points) or xs[i] <= points[j][0]
+            ):
+                if j < len(points) and xs[i] == points[j][0]:
+                    j += 1
+                merged_x.append(xs[i])
+                merged_t.append(totals[i])
+                i += 1
+            else:
+                # New grid point: before the first old point every
+                # folded curve clamps to its first y, which is exactly
+                # the total at the old first point; anywhere else the
+                # step values equal those at the predecessor.
+                merged_x.append(points[j][0])
+                merged_t.append(merged_t[-1] if merged_t else totals[0])
+                j += 1
+        self.xs, self.totals = merged_x, merged_t
+
+    def mean(self, label: str) -> Series:
+        """The folded mean curve (identical to ``mean_series``)."""
+        scale = 1.0 / self.count
+        return Series(
+            label=label,
+            points=tuple(
+                (x, total * scale)
+                for x, total in zip(self.xs, self.totals)
+            ),
+        )
+
+
+class CellFold:
+    """Streaming fold of one grid cell's replicas.
+
+    Runs are *folded* strictly in replica order (the order the batch
+    fold processes them, since replicas are the innermost expansion
+    axis); arrivals that overtake a slower earlier replica wait in a
+    pending window sized by the scheduling skew, not the replica
+    count.  Once folded, a run's buffers are dropped -- the fold holds
+    the merged curve grid, the transport counter sums, and one scalar
+    per converged replica (the exact median needs the values).
+
+    Degenerate grids can expand two *identical* cell coordinates (e.g.
+    a smoke rescaling clamping distinct join-burst schedules to the
+    same spec), so one fold may legitimately see replicas ``0..R-1``
+    several times.  Such blocks carry identical seeds -- the cell seed
+    depends only on size/drop/replica -- hence byte-identical run
+    values, so the fold cycles the replica cursor back to 0 for each
+    block and stays bitwise equal to the batch fold's shard order.
+    The wrap only happens once the cell is known complete (at
+    :meth:`finalize`, or when the expected arrival count is reached),
+    because mid-sweep there is no way to tell "the block ended" from
+    "a replica is still in flight".
+    """
+
+    def __init__(self, cell: CellKey) -> None:
+        self.cell = cell
+        self.first_shard: Optional[int] = None
+        #: replica index -> runs waiting to fold (more than one entry
+        #: per replica only for collapsed duplicate-coordinate cells).
+        self._pending: Dict[int, List[RunColumns]] = {}
+        self._pending_count = 0
+        self._seen_shards: set = set()
+        self._next = 0
+        self._folded = 0
+        self._converged: List[float] = []
+        self._counters = {name: 0 for name in TRANSPORT_COUNTERS}
+        self._leaf = _CurveFold()
+        self._prefix = _CurveFold()
+        self._final: Optional[CellAggregate] = None
+
+    @property
+    def label(self) -> str:
+        """The cell's display label."""
+        return cell_label(*self.cell)
+
+    @property
+    def runs(self) -> int:
+        """Runs folded so far (pending arrivals excluded)."""
+        return self._folded
+
+    @property
+    def arrivals(self) -> int:
+        """Runs accepted so far (folded plus pending)."""
+        return self._folded + self._pending_count
+
+    @property
+    def pending(self) -> Tuple[int, ...]:
+        """Replica indices waiting for an earlier replica to arrive."""
+        return tuple(sorted(self._pending))
+
+    def add(self, run: RunColumns) -> None:
+        """Accept one replica (any arrival order)."""
+        if run.cell != self.cell:
+            raise ValueError(
+                f"run from cell {cell_label(*run.cell)!r} folded into "
+                f"cell {self.label!r}"
+            )
+        if self._final is not None:
+            raise ValueError(f"cell {self.label!r} is already finalized")
+        if run.shard in self._seen_shards:
+            raise ValueError(
+                f"duplicate replica {run.replica} (shard {run.shard}) "
+                f"for cell {self.label!r}"
+            )
+        self._seen_shards.add(run.shard)
+        self._pending.setdefault(run.replica, []).append(run)
+        self._pending_count += 1
+        self._drain(allow_wrap=False)
+
+    def _drain(self, *, allow_wrap: bool) -> None:
+        """Fold every pending run whose turn has come.
+
+        The cursor advances through replica indices; with *allow_wrap*
+        (cell known complete) it cycles back to 0 for the next
+        duplicate-coordinate block instead of stopping.
+        """
+        while self._pending:
+            bucket = self._pending.get(self._next)
+            if bucket:
+                bucket.sort(key=lambda run: run.shard)
+                self._fold(bucket.pop(0))
+                if not bucket:
+                    del self._pending[self._next]
+                self._next += 1
+                continue
+            if not allow_wrap:
+                return
+            if max(self._pending) >= self._next:
+                raise ValueError(
+                    f"cell {self.label!r} is incomplete: replica "
+                    f"{self._next} never arrived but replicas "
+                    f"{self.pending} did"
+                )
+            self._next = 0
+
+    def _fold(self, run: RunColumns) -> None:
+        shard = run.shard
+        if self.first_shard is None or shard < self.first_shard:
+            self.first_shard = shard
+        if run.converged:
+            self._converged.append(run.cycles_to_converge)
+        for name, value in zip(TRANSPORT_COUNTERS, run.transport):
+            self._counters[name] += value
+        label = self.label
+        self._leaf.fold(label, run.leaf_series())
+        self._prefix.fold(label, run.prefix_series())
+        self._folded += 1
+        self._pending_count -= 1
+
+    def finalize(self) -> CellAggregate:
+        """The cell's merged statistics (idempotent once complete)."""
+        if self._final is not None:
+            return self._final
+        self._drain(allow_wrap=True)
+        if not self._folded:
+            raise ValueError(f"cell {self.label!r} has no runs to merge")
+        size, drop, sampler, schedules, engine = self.cell
+        self._final = CellAggregate(
+            size=size,
+            drop=drop,
+            sampler=sampler,
+            schedules=schedules,
+            engine=engine,
+            runs=self._folded,
+            converged_runs=len(self._converged),
+            cycles=(
+                summarize(self._converged) if self._converged else None
+            ),
+            mean_leaf=self._leaf.mean(self.label),
+            mean_prefix=self._prefix.mean(self.label),
+            transport=tuple(sorted(self._counters.items())),
+        )
+        return self._final
+
+
+class StreamingMerge:
+    """Incremental sweep merge: fold shard outcomes as they arrive.
+
+    Feed every arriving :class:`RunColumns` to :meth:`add` (any
+    order); :meth:`finalize` returns a :class:`SweepAggregate`
+    byte-identical to :func:`merge_columns` over the same runs.
+
+    Parameters
+    ----------
+    expected:
+        Optional map of cell coordinate -> run count (derived from the
+        grid expansion).  Required for cell-completion callbacks: a
+        cell completes when its arrival count reaches the expected
+        count.  When given, arrivals from unknown cells are rejected.
+    on_cell:
+        Called as ``on_cell(cell, first_shard, aggregate)`` the moment
+        a cell completes -- the checkpoint journal hook.  Requires
+        *expected*.
+    """
+
+    def __init__(
+        self,
+        *,
+        expected: Optional[Dict[CellKey, int]] = None,
+        on_cell: Optional[
+            Callable[[CellKey, int, CellAggregate], None]
+        ] = None,
+    ) -> None:
+        if on_cell is not None and expected is None:
+            raise ValueError(
+                "on_cell needs expected replica counts: completion is "
+                "unknowable without them"
+            )
+        self._expected = dict(expected) if expected is not None else None
+        self._on_cell = on_cell
+        self._folds: Dict[CellKey, CellFold] = {}
+        self._preloaded: Dict[CellKey, Tuple[int, CellAggregate]] = {}
+
+    @property
+    def preloaded_cells(self) -> int:
+        """Cells restored via :meth:`preload` (checkpoint resume)."""
+        return len(self._preloaded)
+
+    def preload(self, first_shard: int, aggregate: CellAggregate) -> None:
+        """Install an already-merged cell (restored from a checkpoint).
+
+        *first_shard* is the cell's first shard index in the original
+        grid expansion; it restores the cell's position in the final
+        aggregate's cell order.
+        """
+        cell: CellKey = (
+            aggregate.size,
+            aggregate.drop,
+            aggregate.sampler,
+            aggregate.schedules,
+            aggregate.engine,
+        )
+        if cell in self._preloaded or cell in self._folds:
+            raise ValueError(
+                f"cell {cell_label(*cell)!r} is already present"
+            )
+        self._preloaded[cell] = (first_shard, aggregate)
+
+    def add(self, run: RunColumns) -> None:
+        """Fold one arriving shard outcome."""
+        cell = run.cell
+        if cell in self._preloaded:
+            raise ValueError(
+                f"cell {cell_label(*cell)!r} was restored from a "
+                "checkpoint; refusing to fold new runs into it"
+            )
+        if self._expected is not None and cell not in self._expected:
+            raise ValueError(
+                f"unexpected cell {cell_label(*cell)!r}: not in the "
+                "expected grid"
+            )
+        fold = self._folds.get(cell)
+        if fold is None:
+            fold = self._folds[cell] = CellFold(cell)
+        fold.add(run)
+        if (
+            self._expected is not None
+            and fold.arrivals == self._expected[cell]
+        ):
+            aggregate = fold.finalize()
+            if self._on_cell is not None:
+                self._on_cell(cell, fold.first_shard, aggregate)
+
+    def finalize(self) -> SweepAggregate:
+        """Merge everything folded so far, in first-shard cell order.
+
+        Raises if nothing was folded (mirroring
+        :func:`merge_columns`) or if any cell has an out-of-order gap
+        (a replica that never arrived while later ones did).
+        """
+        entries: List[Tuple[int, CellAggregate]] = list(
+            self._preloaded.values()
+        )
+        for fold in self._folds.values():
+            entries.append((fold.first_shard, fold.finalize()))
+        if not entries:
+            raise ValueError("cannot merge an empty result list")
+        entries.sort(key=lambda entry: entry[0])
+        return SweepAggregate(
+            cells=tuple(aggregate for _, aggregate in entries)
+        )

@@ -22,7 +22,7 @@ shard and preserving the original exception as ``__cause__``.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -461,8 +461,9 @@ class SweepRunner:
         """Execute every shard and return results in shard order.
 
         Sequential and parallel paths share :func:`execute_run`; the
-        only difference is where it runs.  The first failing shard (in
-        submission order) raises :class:`ShardError`.
+        only difference is where it runs.  The first shard to *fail*
+        (in completion order) raises :class:`ShardError` -- a slow
+        healthy shard submitted earlier never delays fail-fast.
         """
         ordered = list(specs)
         if not self.parallel:
@@ -500,10 +501,71 @@ class SweepRunner:
             return results
         return self._run_pool(ordered, execute_run_columns)
 
+    def stream_columns(
+        self,
+        specs: Iterable[RunSpec],
+        sink: Callable[[RunColumns], None],
+    ) -> int:
+        """Execute shards, feeding each outcome to *sink* as it lands.
+
+        The streaming collection path: nothing is buffered here, so
+        collector memory is whatever *sink* retains (a
+        :class:`~repro.runtime.merge.StreamingMerge` keeps per-cell
+        folds -- constant in the replica count).  On the parallel path
+        outcomes arrive in **completion order**, not shard order; the
+        streaming merge folds replicas back into shard order
+        internally, so merged statistics stay byte-identical to
+        :meth:`run_columns` + batch merge.  Returns the number of
+        shards delivered; failures raise :class:`ShardError` and
+        cancel queued shards.
+        """
+        ordered = list(specs)
+        if not ordered:
+            return 0
+        if not self.parallel:
+            for spec in ordered:
+                try:
+                    outcome = execute_run_columns(spec)
+                except Exception as exc:
+                    raise ShardError(spec, exc) from exc
+                sink(outcome)
+            return len(ordered)
+        self._pool_as_completed(
+            ordered,
+            execute_run_columns,
+            lambda index, outcome: sink(outcome),
+        )
+        return len(ordered)
+
     def _run_pool(self, ordered: List[RunSpec], worker: Callable) -> list:
-        """Fan *ordered* out over a process pool running *worker*."""
+        """Fan *ordered* out over a process pool running *worker*.
+
+        Results come back in submission (shard) order regardless of
+        completion order -- the determinism contract.
+        """
         if not ordered:
             return []
+        results: list = [None] * len(ordered)
+        self._pool_as_completed(
+            ordered,
+            worker,
+            lambda index, outcome: results.__setitem__(index, outcome),
+        )
+        return results
+
+    def _pool_as_completed(
+        self,
+        ordered: List[RunSpec],
+        worker: Callable,
+        deliver: Callable[[int, object], None],
+    ) -> None:
+        """Dispatch *ordered* to a pool, delivering ``(index, outcome)``
+        pairs in completion order.
+
+        The first shard to fail raises :class:`ShardError` as soon as
+        its future resolves -- collection never blocks on a slower,
+        earlier-submitted shard before surfacing the error.
+        """
         factory = self._executor_factory or (
             lambda max_workers: ProcessPoolExecutor(max_workers=max_workers)
         )
@@ -511,24 +573,28 @@ class SweepRunner:
         # sweep of 3 shards on workers=32 costs 3 interpreter starts,
         # not 32 idle ones.
         max_workers = min(self.workers, len(ordered))
-        results: list = []
         with factory(max_workers) as pool:  # type: ignore[attr-defined]
-            futures = [pool.submit(worker, spec) for spec in ordered]
+            futures = {
+                pool.submit(worker, spec): index
+                for index, spec in enumerate(ordered)
+            }
             try:
-                for spec, future in zip(ordered, futures):
+                for future in as_completed(futures):
+                    index = futures[future]
                     try:
-                        results.append(future.result())
+                        outcome = future.result()
                     except Exception as exc:
-                        raise ShardError(spec, exc) from exc
-            except ShardError:
+                        raise ShardError(ordered[index], exc) from exc
+                    deliver(index, outcome)
+            except BaseException:
                 # Fail fast: one shutdown call cancels every queued
                 # shard atomically and refuses new submissions, so the
                 # error surfaces as soon as the shards already running
                 # finish (per-future cancel() would race re-dispatch
-                # and still sit through the queue).
+                # and still sit through the queue).  BaseException also
+                # covers a failing *sink* on the streaming path.
                 pool.shutdown(cancel_futures=True)
                 raise
-        return results
 
     def run_grid(self, grid: SweepGrid) -> List[RunResult]:
         """Expand *grid* and run every shard."""

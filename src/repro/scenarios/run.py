@@ -7,17 +7,32 @@ into the analysis-layer aggregate.  The returned
 :class:`ScenarioResult` keeps the raw columns (for consumers that need
 per-run values: wall times, populations, trajectory equality checks)
 next to the merged :class:`~repro.runtime.SweepAggregate`.
+
+With ``checkpoint_dir=`` the execution switches to the streaming,
+journalled path: shard outcomes fold into per-cell accumulators as
+they arrive (constant collector memory -- raw columns are *not*
+retained), every completed cell is journalled to disk, and
+``resume=True`` skips journalled cells, re-dispatching only the
+missing shards.  Both paths produce byte-identical aggregates.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..analysis import ascii_semilog, render_table
 from ..analysis.stats import Summary
-from ..runtime.columns import RunColumns
-from ..runtime.merge import SweepAggregate, merge_columns, throughput_summary
+from ..runtime.checkpoint import CheckpointError, CheckpointStore
+from ..runtime.columns import RunColumns, RunTiming
+from ..runtime.merge import (
+    CellKey,
+    StreamingMerge,
+    SweepAggregate,
+    cell_label,
+    merge_columns,
+    throughput_summary,
+)
 from ..runtime.runner import SweepRunner
 from .registry import get_scenario
 from .spec import ScenarioSpec
@@ -53,17 +68,25 @@ def convergence_rows(aggregate: SweepAggregate) -> List[List[str]]:
 
 @dataclass(frozen=True)
 class ScenarioResult:
-    """Outcome of one scenario run: raw columns plus merged cells."""
+    """Outcome of one scenario run: raw columns plus merged cells.
+
+    On the streaming/checkpointed path ``columns`` is empty (retaining
+    them would defeat the constant-memory fold); ``timings`` carries
+    the per-shard wall-clock scalars instead, and ``resumed_cells``
+    counts the cells restored from the journal rather than re-run.
+    """
 
     spec: ScenarioSpec
     columns: Tuple[RunColumns, ...]
     aggregate: SweepAggregate
     workers: int
+    timings: Tuple[RunTiming, ...] = field(default=())
+    resumed_cells: int = 0
 
     @property
     def throughput(self) -> Optional[Summary]:
         """Per-shard cycles/sec summary (wall-clock; non-merged)."""
-        return throughput_summary(self.columns)
+        return throughput_summary(self.timings or self.columns)
 
     def columns_for(self, **coords: object) -> List[RunColumns]:
         """The raw runs matching the given cell coordinates.
@@ -87,6 +110,8 @@ def run_scenario(
     *,
     workers: int = 1,
     smoke: bool = False,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> ScenarioResult:
     """Execute a scenario (by registry name or explicit spec).
 
@@ -94,16 +119,93 @@ def run_scenario(
     statistics are byte-identical for any worker count.  ``smoke=True``
     runs the :meth:`ScenarioSpec.smoke` rescaling instead (every axis
     kept, sizes clamped).
+
+    ``checkpoint_dir=`` switches to the streaming, journalled path:
+    each completed grid cell is written to the directory as it
+    finishes, and ``resume=True`` restores journalled cells instead of
+    re-running their shards.  The aggregate stays byte-identical to an
+    uninterrupted (or un-checkpointed) run; a directory written for a
+    different grid refuses with :class:`CheckpointError`.
     """
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
     if smoke:
         spec = spec.smoke()
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires a checkpoint_dir")
+    if checkpoint_dir is not None:
+        return _run_checkpointed(
+            spec, workers=workers, checkpoint_dir=checkpoint_dir,
+            resume=resume,
+        )
     columns = SweepRunner(workers=workers).run_grid_columns(spec.grid)
     return ScenarioResult(
         spec=spec,
         columns=tuple(columns),
         aggregate=merge_columns(columns),
         workers=workers,
+    )
+
+
+def _run_checkpointed(
+    spec: ScenarioSpec,
+    *,
+    workers: int,
+    checkpoint_dir: str,
+    resume: bool,
+) -> ScenarioResult:
+    """The streaming, journalled execution path of :func:`run_scenario`.
+
+    Shard outcomes fold as they arrive and are then dropped; each cell
+    is journalled the moment its last replica folds.  On resume,
+    journalled cells are preloaded and only the missing cells' shards
+    are dispatched.
+    """
+    store = CheckpointStore.open(checkpoint_dir, spec.grid, resume=resume)
+    shards = spec.grid.expand()
+    expected: Dict[CellKey, int] = {}
+    first_shard: Dict[CellKey, int] = {}
+    for shard in shards:
+        cell = shard.cell
+        expected[cell] = expected.get(cell, 0) + 1
+        first_shard.setdefault(cell, shard.shard)
+
+    done = store.load_cells()
+    for cell, (shard0, _) in done.items():
+        if cell not in expected:
+            raise CheckpointError(
+                f"checkpoint directory {store.directory} journals cell "
+                f"{cell_label(*cell)!r}, which is not in this grid; "
+                "the journal is corrupt"
+            )
+        if shard0 != first_shard[cell]:
+            raise CheckpointError(
+                f"checkpoint record for cell {cell_label(*cell)!r} "
+                f"claims first shard {shard0}, but the grid expands it "
+                f"at shard {first_shard[cell]}; the journal is corrupt"
+            )
+
+    merge = StreamingMerge(expected=expected, on_cell=store.write_cell)
+    for shard0, aggregate in done.values():
+        merge.preload(shard0, aggregate)
+
+    timings: List[RunTiming] = []
+
+    def sink(run: RunColumns) -> None:
+        timings.append(run.timing())
+        merge.add(run)
+
+    remaining = [shard for shard in shards if shard.cell not in done]
+    SweepRunner(workers=workers).stream_columns(remaining, sink)
+    # Arrival order is nondeterministic on the parallel path; shard
+    # order keeps the throughput report stable.
+    timings.sort(key=lambda timing: timing.shard)
+    return ScenarioResult(
+        spec=spec,
+        columns=(),
+        aggregate=merge.finalize(),
+        workers=workers,
+        timings=tuple(timings),
+        resumed_cells=len(done),
     )
 
 
@@ -208,13 +310,14 @@ def _throughput_section(result: ScenarioResult) -> str:
     """Per-engine cycles-per-CPU-second lines (wall-clock)."""
     lines = []
     engines = []
-    for run in result.columns:
+    runs = result.timings or result.columns
+    for run in runs:
         if run.engine not in engines:
             engines.append(run.engine)
     for engine in engines:
         timed = [
             run
-            for run in result.columns
+            for run in runs
             if run.engine == engine and run.wall_seconds > 0
         ]
         if not timed:

@@ -155,6 +155,30 @@ class ScenarioSpec:
         """Parse a :meth:`to_json` document."""
         return cls.from_dict(json.loads(text))
 
+    @classmethod
+    def from_path(cls, path: object) -> "ScenarioSpec":
+        """Load a scenario spec from a JSON file on disk.
+
+        The CLI's ``--spec-file`` entry point: ad-hoc sweeps (a
+        kill-and-resume gate, a custom grid) run without touching the
+        registry.  Unreadable or malformed files raise ``ValueError``
+        naming the file, not a bare parser traceback.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                text = stream.read()
+        except OSError as exc:
+            raise ValueError(
+                f"cannot read scenario spec {path}: {exc}"
+            ) from exc
+        try:
+            return cls.from_json(text)
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ValueError(
+                f"scenario spec {path} is not a valid spec document: "
+                f"{exc!r}"
+            ) from exc
+
 
 def _clamp_schedule(spec: ScheduleSpec, max_size: int) -> ScheduleSpec:
     """Rescale absolute schedule params for a smoke-sized pool.

@@ -1,0 +1,272 @@
+"""Tests for checkpointed, resumable sweeps.
+
+Crash-safety has two halves, both pinned here:
+
+* **exactness** -- a journalled cell restores byte-identically (JSON
+  float round-trips are exact), so a resumed sweep's aggregate equals
+  an uninterrupted run's, on sequential and parallel paths;
+* **refusal** -- damaged or mismatched journals (truncated JSON, stale
+  grid digest, foreign records, missing metadata) raise
+  :class:`CheckpointError` naming the problem; partial state is never
+  silently merged.
+
+The subprocess SIGKILL gate lives in ``tests/test_kill_resume.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core import BootstrapConfig
+from repro.runtime import (
+    CheckpointError,
+    CheckpointStore,
+    ScheduleSpec,
+    SweepGrid,
+    SweepRunner,
+    grid_digest,
+    merge_columns,
+)
+from repro.scenarios import ScenarioSpec, run_scenario
+
+FAST = BootstrapConfig(leaf_set_size=8, entries_per_slot=2, random_samples=10)
+
+
+def small_grid(**overrides) -> SweepGrid:
+    params = dict(
+        sizes=(16, 24),
+        drop_rates=(0.0,),
+        replicas=2,
+        base_seed=5,
+        max_cycles=15,
+        config=FAST,
+    )
+    params.update(overrides)
+    return SweepGrid(**params)
+
+
+def scenario(grid: SweepGrid) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="probe",
+        title="checkpoint probe",
+        claim="",
+        grid=grid,
+        analyses=("convergence", "throughput"),
+    )
+
+
+def canonical(aggregate) -> str:
+    return json.dumps(aggregate.to_dict(), sort_keys=True)
+
+
+class TestGridDigest:
+    def test_digest_is_stable(self):
+        assert grid_digest(small_grid()) == grid_digest(small_grid())
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"sizes": (16,)},
+            {"base_seed": 6},
+            {"max_cycles": 16},
+            {"drop_rates": (0.0, 0.1)},
+            {"schedule_sets": ((ScheduleSpec.of("churn", rate=0.01),),)},
+        ],
+        ids=["sizes", "seed", "cycles", "drops", "schedules"],
+    )
+    def test_any_axis_change_invalidates(self, change):
+        assert grid_digest(small_grid(**change)) != grid_digest(
+            small_grid()
+        )
+
+
+class TestStoreRoundTrip:
+    def test_cells_round_trip_exactly(self, tmp_path):
+        grid = small_grid()
+        columns = SweepRunner(workers=1).run_grid_columns(grid)
+        batch = merge_columns(columns)
+        firsts = {}
+        for run in columns:
+            firsts.setdefault(run.cell, run.shard)
+
+        store = CheckpointStore.open(tmp_path, grid)
+        for cell_aggregate in batch.cells:
+            key = (
+                cell_aggregate.size,
+                cell_aggregate.drop,
+                cell_aggregate.sampler,
+                cell_aggregate.schedules,
+                cell_aggregate.engine,
+            )
+            store.write_cell(key, firsts[key], cell_aggregate)
+
+        loaded = CheckpointStore.open(
+            tmp_path, grid, resume=True
+        ).load_cells()
+        assert len(loaded) == len(batch.cells)
+        for cell_aggregate in batch.cells:
+            key = (
+                cell_aggregate.size,
+                cell_aggregate.drop,
+                cell_aggregate.sampler,
+                cell_aggregate.schedules,
+                cell_aggregate.engine,
+            )
+            first_shard, restored = loaded[key]
+            assert first_shard == firsts[key]
+            assert json.dumps(
+                restored.to_dict(), sort_keys=True
+            ) == json.dumps(cell_aggregate.to_dict(), sort_keys=True)
+            assert restored.engine == cell_aggregate.engine
+
+    def test_empty_directory_loads_nothing(self, tmp_path):
+        store = CheckpointStore.open(tmp_path, small_grid())
+        assert store.load_cells() == {}
+
+    def test_tmp_leftovers_ignored(self, tmp_path):
+        store = CheckpointStore.open(tmp_path, small_grid())
+        # A SIGKILL mid-write leaves exactly this artefact behind.
+        (tmp_path / "cell-0123456789abcdef.json.tmp").write_text(
+            '{"trunc'
+        )
+        assert store.load_cells() == {}
+
+
+class TestRefusals:
+    def test_existing_journal_requires_resume(self, tmp_path):
+        CheckpointStore.open(tmp_path, small_grid())
+        with pytest.raises(CheckpointError, match="resume"):
+            CheckpointStore.open(tmp_path, small_grid())
+
+    def test_stale_digest_refused(self, tmp_path):
+        CheckpointStore.open(tmp_path, small_grid())
+        with pytest.raises(CheckpointError, match="different grid"):
+            CheckpointStore.open(
+                tmp_path, small_grid(base_seed=99), resume=True
+            )
+
+    def test_truncated_cell_record_reported(self, tmp_path):
+        grid = small_grid()
+        spec = scenario(grid)
+        run_scenario(spec, checkpoint_dir=str(tmp_path))
+        record = sorted(tmp_path.glob("cell-*.json"))[0]
+        record.write_text(record.read_text()[:40])  # truncate mid-JSON
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            run_scenario(spec, checkpoint_dir=str(tmp_path), resume=True)
+
+    def test_record_with_missing_fields_reported(self, tmp_path):
+        grid = small_grid()
+        store = CheckpointStore.open(tmp_path, grid)
+        (tmp_path / "cell-0000000000000000.json").write_text(
+            json.dumps({"digest": store.digest})
+        )
+        with pytest.raises(CheckpointError, match="missing field"):
+            store.load_cells()
+
+    def test_record_from_other_grid_reported(self, tmp_path):
+        grid = small_grid()
+        other = small_grid(base_seed=99)
+        other_dir = tmp_path / "other"
+        spec = scenario(other)
+        run_scenario(spec, checkpoint_dir=str(other_dir))
+        store = CheckpointStore.open(tmp_path / "mine", grid)
+        record = sorted(other_dir.glob("cell-*.json"))[0]
+        foreign = tmp_path / "mine" / record.name
+        foreign.write_text(record.read_text())
+        with pytest.raises(CheckpointError, match="different grid"):
+            store.load_cells()
+
+    def test_cells_without_metadata_reported(self, tmp_path):
+        (tmp_path / "cell-0000000000000000.json").write_text("{}")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            CheckpointStore.open(tmp_path, small_grid())
+
+    def test_corrupt_metadata_reported(self, tmp_path):
+        (tmp_path / "grid.json").write_text('{"digest": "x"')
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            CheckpointStore.open(tmp_path, small_grid(), resume=True)
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            run_scenario(scenario(small_grid()), resume=True)
+
+
+class TestResumeByteIdentity:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        spec = scenario(small_grid())
+        return spec, canonical(run_scenario(spec).aggregate)
+
+    def test_checkpointed_cold_run_matches(self, tmp_path, reference):
+        spec, ref = reference
+        result = run_scenario(spec, checkpoint_dir=str(tmp_path))
+        assert canonical(result.aggregate) == ref
+        assert result.resumed_cells == 0
+        assert result.columns == ()
+        assert len(result.timings) == len(spec.grid)
+        assert result.throughput is not None
+
+    def test_full_resume_recomputes_nothing(self, tmp_path, reference):
+        spec, ref = reference
+        run_scenario(spec, checkpoint_dir=str(tmp_path))
+        resumed = run_scenario(
+            spec, checkpoint_dir=str(tmp_path), resume=True
+        )
+        assert canonical(resumed.aggregate) == ref
+        assert resumed.resumed_cells == 2
+        assert resumed.timings == ()  # no shard was re-dispatched
+
+    @pytest.mark.parametrize("workers", [1, 2], ids=["seq", "pool"])
+    def test_partial_resume_matches(self, tmp_path, reference, workers):
+        """Drop one journalled cell: only its shards re-run, and the
+        final aggregate is byte-identical to the uninterrupted one."""
+        spec, ref = reference
+        run_scenario(spec, checkpoint_dir=str(tmp_path))
+        records = sorted(pathlib.Path(tmp_path).glob("cell-*.json"))
+        assert len(records) == 2
+        records[0].unlink()
+        resumed = run_scenario(
+            spec,
+            workers=workers,
+            checkpoint_dir=str(tmp_path),
+            resume=True,
+        )
+        assert canonical(resumed.aggregate) == ref
+        assert resumed.resumed_cells == 1
+        assert len(resumed.timings) == 2  # one cell x two replicas
+
+    def test_resume_repairs_the_journal(self, tmp_path, reference):
+        """A resumed run re-journals the cells it recomputed, so a
+        second resume restores everything."""
+        spec, ref = reference
+        run_scenario(spec, checkpoint_dir=str(tmp_path))
+        sorted(pathlib.Path(tmp_path).glob("cell-*.json"))[0].unlink()
+        run_scenario(spec, checkpoint_dir=str(tmp_path), resume=True)
+        again = run_scenario(
+            spec, checkpoint_dir=str(tmp_path), resume=True
+        )
+        assert again.resumed_cells == 2
+        assert canonical(again.aggregate) == ref
+
+
+class TestMultiAxisResume:
+    def test_engine_axis_cells_journal_independently(self, tmp_path):
+        """A multi-engine grid: every (size, engine) cell journals on
+        its own, and resume restores engine provenance."""
+        grid = small_grid(
+            sizes=(16,), engines=("reference", "fast"), replicas=2
+        )
+        spec = scenario(grid)
+        ref = canonical(run_scenario(spec).aggregate)
+        run_scenario(spec, checkpoint_dir=str(tmp_path))
+        records = sorted(pathlib.Path(tmp_path).glob("cell-*.json"))
+        assert len(records) == 2
+        resumed = run_scenario(
+            spec, checkpoint_dir=str(tmp_path), resume=True
+        )
+        assert canonical(resumed.aggregate) == ref
+        engines = sorted(c.engine for c in resumed.aggregate.cells)
+        assert engines == ["fast", "reference"]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 
 import pytest
 
@@ -500,6 +500,71 @@ class TestFailurePropagation:
         assert pool.shutdown_calls[0] == {
             "wait": True, "cancel_futures": True,
         }
+
+    def test_late_failing_shard_surfaces_before_slow_early_shard(self):
+        """Error surfacing follows *completion* order: a failing shard
+        submitted late raises immediately even while an
+        earlier-submitted shard is still running -- collection must
+        not sit in ``future.result()`` on the slow healthy one.  The
+        fake pool makes this deterministic: shard 0's future never
+        resolves at all, so any submission-order collection would
+        block forever."""
+
+        class StalledFirstPool:
+            """Fake executor: the first submitted future never
+            resolves; the last one fails at submit time."""
+
+            def __init__(self, max_workers: int) -> None:
+                self.futures = []
+                self.shutdown_calls = []
+
+            def submit(self, fn, spec):
+                future = Future()
+                index = len(self.futures)
+                self.futures.append(future)
+                if index == 1:
+                    future.set_exception(
+                        ValueError("poisoned late shard")
+                    )
+                elif index > 1:
+                    future.set_result(None)
+                # index 0 stays pending forever: the slow shard.
+                return future
+
+            def shutdown(self, wait=True, *, cancel_futures=False):
+                self.shutdown_calls.append(
+                    {"wait": wait, "cancel_futures": cancel_futures}
+                )
+                if cancel_futures:
+                    for future in self.futures:
+                        future.cancel()
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                self.shutdown()
+                return False
+
+        spec = ExperimentSpec(size=16, seed=3, config=FAST)
+        specs = expand_repeats(spec, 3)
+        pools = []
+
+        def factory(max_workers):
+            pool = StalledFirstPool(max_workers)
+            pools.append(pool)
+            return pool
+
+        runner = SweepRunner(workers=3, executor_factory=factory)
+        with pytest.raises(ShardError, match="shard 1") as excinfo:
+            runner.run(specs)
+        assert excinfo.value.spec is specs[1]
+        (pool,) = pools
+        assert pool.shutdown_calls[0] == {
+            "wait": True, "cancel_futures": True,
+        }
+        # The never-resolved slow shard was cancelled, not awaited.
+        assert pool.futures[0].cancelled()
 
     def test_pool_size_clamped_to_shard_count(self):
         """workers > shard count must still merge byte-identically
