@@ -1,0 +1,158 @@
+"""Shared-memory transport gate: descriptor versus pickled curves.
+
+The columnar transport already collapsed the object overhead of
+:class:`RunResult`; what is left on the wire is almost pure curve
+payload -- three float64 buffers per run, serialised into the pool's
+result pipe and copied back out.  ``REPRO_TRANSPORT=shm`` moves those
+buffers through a :class:`multiprocessing.shared_memory` ring and
+pickles only a :class:`ShmSlot` descriptor (scalars + curve lengths +
+slot index), so the bytes crossing the pickle boundary no longer scale
+with the cycle budget at all.
+
+This benchmark runs a fixed-budget sweep (``stop_when_perfect=False``,
+so every run carries the full ``max_cycles`` curve -- the regime long
+churn and catastrophe sweeps live in) and gates:
+
+* **bytes per run**: the pickled descriptor must be >= 5x smaller
+  than the pickled :class:`RunColumns` it replaces (the acceptance
+  target);
+* **merge identity**: a ``workers=2`` sweep through the ring must
+  merge byte-identically to the sequential pickled path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import BootstrapConfig
+from repro.runtime import (
+    SweepGrid,
+    SweepRunner,
+    merge_columns,
+    shm_available,
+)
+from repro.runtime.shm import ShmSlot
+
+from common import emit
+
+#: Acceptance target: pickled bytes-per-run ratio (columns/descriptor).
+MIN_BYTES_RATIO = 5.0
+
+FAST = BootstrapConfig(leaf_set_size=8, entries_per_slot=2, random_samples=10)
+
+#: Fixed-budget grid: every run measures all ``max_cycles`` cycles, so
+#: the curve payload is the same one a long churn sweep ships.
+GATE_GRID = SweepGrid(
+    sizes=(128,),
+    drop_rates=(0.0, 0.2),
+    replicas=2,
+    base_seed=13,
+    max_cycles=110,
+    stop_when_perfect=False,
+    config=FAST,
+    engine="vector",
+)
+
+
+def descriptor_for(columns) -> ShmSlot:
+    """The exact descriptor a worker pickles back for *columns* (the
+    curves themselves cross through the ring, not the pickle stream)."""
+    return ShmSlot(
+        slot=0,
+        lengths=(
+            len(columns.cycles), len(columns.leaf), len(columns.prefix)
+        ),
+        fields=(
+            columns.shard,
+            columns.replica,
+            columns.size,
+            columns.drop,
+            columns.sampler,
+            columns.schedules,
+            columns.engine,
+            columns.seed,
+            columns.converged_at,
+            columns.population,
+            columns.cycles_run,
+            columns.started_at_cycle,
+            columns.transport,
+            columns.wall_seconds,
+        ),
+    )
+
+
+def run_shm_comparison():
+    """Simulate the gate grid once; weigh both wire forms and check
+    the pooled ring path merges identically."""
+    columns = SweepRunner(workers=1).run_grid_columns(GATE_GRID)
+    column_blobs = [pickle.dumps(run) for run in columns]
+    descriptor_blobs = [
+        pickle.dumps(descriptor_for(run)) for run in columns
+    ]
+    os.environ["REPRO_TRANSPORT"] = "shm"
+    try:
+        pooled = SweepRunner(workers=2).run_grid_columns(GATE_GRID)
+    finally:
+        os.environ.pop("REPRO_TRANSPORT", None)
+    return {
+        "runs": len(columns),
+        "column_bytes": sum(len(blob) for blob in column_blobs),
+        "descriptor_bytes": sum(len(blob) for blob in descriptor_blobs),
+        "sequential_dict": merge_columns(columns).to_dict(),
+        "pooled_dict": merge_columns(pooled).to_dict(),
+    }
+
+
+@pytest.mark.skipif(
+    not shm_available(), reason="shm transport needs numpy + shared_memory"
+)
+@pytest.mark.benchmark(group="shm-transport")
+def test_shm_transport_shrinks_copied_bytes(benchmark):
+    stats = benchmark.pedantic(run_shm_comparison, rounds=1, iterations=1)
+
+    runs = stats["runs"]
+    column_per_run = stats["column_bytes"] / runs
+    descriptor_per_run = stats["descriptor_bytes"] / runs
+    ratio = column_per_run / descriptor_per_run
+    assert ratio >= MIN_BYTES_RATIO, (
+        f"shm descriptors only {ratio:.2f}x smaller than pickled "
+        f"RunColumns ({descriptor_per_run:.0f} vs {column_per_run:.0f} "
+        f"bytes/run); acceptance floor {MIN_BYTES_RATIO}x"
+    )
+
+    # The ring path must change the wire form only, never the values.
+    assert json.dumps(
+        stats["sequential_dict"], sort_keys=True
+    ) == json.dumps(stats["pooled_dict"], sort_keys=True), (
+        "shm-pooled merge diverged from the sequential pickled merge"
+    )
+
+    emit(
+        "shm_transport",
+        render_table(
+            ["wire form", "bytes/run", "total bytes"],
+            [
+                [
+                    "RunColumns (pickled curves)",
+                    f"{column_per_run:.0f}",
+                    stats["column_bytes"],
+                ],
+                [
+                    "ShmSlot (ring descriptor)",
+                    f"{descriptor_per_run:.0f}",
+                    stats["descriptor_bytes"],
+                ],
+            ],
+            title=(
+                f"shm transport over {runs} fixed-budget shards: "
+                f"descriptors are {ratio:.1f}x smaller "
+                f"(gate >= {MIN_BYTES_RATIO}x)"
+            ),
+        ),
+        engine="vector",
+    )

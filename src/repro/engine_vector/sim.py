@@ -41,6 +41,7 @@ the statistical comparison well-conditioned.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.config import BootstrapConfig, PAPER_CONFIG
@@ -60,10 +61,36 @@ except ImportError:  # pragma: no cover
     _np = None
 
 __all__ = [
+    "ABSORB_MODES",
     "VectorBootstrapSimulation",
     "VectorConvergenceTracker",
     "VectorNewscastView",
+    "absorb_mode",
 ]
+
+#: Absorb dispatch modes: ``batch`` drains each wave's surviving
+#: absorbs through one segmented slab pass (``absorb_wave``);
+#: ``single`` replays the per-exchange scalar path.  The two are
+#: **bit-identical** (pinned by ``tests/test_engine_vector.py``); the
+#: seam exists so the equivalence stays testable and the scalar path
+#: stays debuggable.
+ABSORB_MODES = ("batch", "single")
+
+
+def absorb_mode(override: Optional[str] = None) -> str:
+    """Resolve the absorb dispatch mode (``REPRO_VECTOR_ABSORB``).
+
+    *override* (a constructor argument) wins over the environment;
+    unset means ``batch``.
+    """
+    mode = override
+    if mode is None:
+        mode = os.environ.get("REPRO_VECTOR_ABSORB", "batch").strip().lower()
+    if mode not in ABSORB_MODES:
+        raise ValueError(
+            f"absorb mode must be one of {ABSORB_MODES}, got {mode!r}"
+        )
+    return mode
 
 
 class _Layer:
@@ -546,6 +573,209 @@ class _NumpyOps:
                     self._merge_fresh(state, fresh)
         self._absorb_single(state, sender_id)
 
+    def absorb_wave(self, jobs, universe) -> None:
+        """One wave's surviving absorbs as a segmented slab pass.
+
+        *jobs* is the arrival-ordered list of ``(state, message,
+        sender_id)`` absorbs of one wave; *universe* is the sorted
+        uint64 array of **every identifier ever admitted** to the
+        network (dead ids stay: they persist in tables and messages).
+        The wave's candidates are laid out as one contiguous id slab
+        with per-segment offset/length arrays -- a segment is one
+        receiving node, its messages kept in arrival order -- and the
+        per-exchange novelty/dedup/cap scans become whole-wave kernel
+        calls:
+
+        * every id maps to its dense ``universe`` index, so the
+          composite key ``segment * len(universe) + dense`` makes the
+          concatenated (per-node sorted) resident tables a *globally*
+          sorted slab -- novelty for the whole wave is a single
+          ``searchsorted``, not one per message;
+        * first-occurrence dedup per ``(segment, id)`` via one
+          ``lexsort`` reproduces the sequential scan exactly: a
+          repeated id is always a no-op on the scalar path (admitted
+          ids are resident, rejected ids face the same full slot);
+        * slot capping is the same stable grouped rank as the scalar
+          fill, keyed by ``segment * n_slots + slot`` against a
+          concatenated occupancy slab, so first-come order within a
+          receiver is preserved across its messages;
+        * UPDATELEAFSET applies the wave-start admission windows and
+          folds each segment's surviving candidates through one
+          balanced reselect.  This is bit-identical to the sequential
+          merges because balanced selection is an associative fold:
+          take-counts are monotone in the candidate set, so an id a
+          sequential intermediate window would have dropped is dropped
+          by the final reselect too (and ids the stale wave-start
+          window over-admits are exactly those, see ``_ArrayState``).
+
+        The result is bit-identical to replaying ``absorb`` per job
+        (the ``single`` mode; pinned by the engine test suite).
+        """
+        if not jobs:
+            return
+        # Group jobs by receiver, first-appearance segment order;
+        # each receiver's messages stay in wave order.
+        seg_of: Dict[int, int] = {}
+        per_seg: List[Tuple[_ArrayState, List[tuple]]] = []
+        for state, message, sender in jobs:
+            s = seg_of.get(id(state))
+            if s is None:
+                s = seg_of[id(state)] = len(per_seg)
+                per_seg.append((state, []))
+            per_seg[s][1].append((message, sender))
+        n_seg = len(per_seg)
+        # Envelope senders join the candidate stream after their
+        # message's payload; their slots are one batched mixed-origin
+        # kernel call (the scalar path computes them one at a time).
+        sender_ids: List[int] = []
+        sender_owner: List[int] = []
+        for state, msgs in per_seg:
+            own = state.node_id
+            for _, sender in msgs:
+                if sender != own:
+                    sender_ids.append(sender)
+                    sender_owner.append(own)
+        s_ids = _np.array(sender_ids, dtype=_np.uint64)
+        s_slots = kernels.prefix_slots_arrays(
+            s_ids,
+            _np.array(sender_owner, dtype=_np.uint64),
+            self._bits,
+            self._digit_bits,
+            self._base_mask,
+        )
+        id_pieces: List["_np.ndarray"] = []
+        slot_pieces: List["_np.ndarray"] = []
+        seg_len = _np.zeros(n_seg, dtype=_np.intp)
+        si = 0
+        for s, (state, msgs) in enumerate(per_seg):
+            own = state.node_id
+            total = 0
+            for (ids, slots), sender in msgs:
+                id_pieces.append(ids)
+                slot_pieces.append(slots)
+                total += ids.size
+                if sender != own:
+                    id_pieces.append(s_ids[si:si + 1])
+                    slot_pieces.append(s_slots[si:si + 1])
+                    si += 1
+                    total += 1
+            seg_len[s] = total
+        cand_ids = _np.concatenate(id_pieces)
+        m = cand_ids.size
+        if not m:
+            return
+        cand_slots = _np.concatenate(slot_pieces)
+        cand_seg = _np.repeat(kernels._arange(n_seg), seg_len)
+        u_size = universe.size
+        ckey = cand_seg * u_size + universe.searchsorted(cand_ids).astype(
+            _np.intp
+        )
+        # First occurrence per (segment, id), kept in arrival order.
+        order = _np.lexsort((kernels._arange(m), ckey))
+        ck_sorted = ckey[order]
+        first = _np.empty(m, dtype=bool)
+        first[0] = True
+        _np.not_equal(ck_sorted[1:], ck_sorted[:-1], out=first[1:])
+        keep = _np.zeros(m, dtype=bool)
+        keep[order[first]] = True
+        u_ids = cand_ids[keep]
+        u_slots = cand_slots[keep]
+        u_seg = cand_seg[keep]
+        u_key = ckey[keep]
+        # UPDATEPREFIXTABLE: novelty against the resident slab, then
+        # the grouped first-come cap against the occupancy slab.
+        res_pieces = [state.prefix_ids for state, _ in per_seg]
+        res_lens = _np.array([p.size for p in res_pieces], dtype=_np.intp)
+        res = _np.concatenate(res_pieces)
+        if res.size:
+            res_key = _np.repeat(
+                kernels._arange(n_seg), res_lens
+            ) * u_size + universe.searchsorted(res).astype(_np.intp)
+            pos = _np.minimum(
+                res_key.searchsorted(u_key), res_key.size - 1
+            )
+            novel = res_key[pos] != u_key
+        else:
+            novel = _np.ones(u_key.size, dtype=bool)
+        occ_slab = _np.concatenate(
+            [state.slot_count for state, _ in per_seg]
+        )
+        slot_key = u_seg * self._n_slots + u_slots
+        cand_mask = novel & (occ_slab[slot_key] < self._k)
+        if cand_mask.any():
+            c_key = slot_key[cand_mask]
+            order2 = _np.argsort(c_key, kind="stable")
+            ss = c_key[order2]
+            cm = ss.size
+            idx = _np.arange(cm)
+            new_group = _np.empty(cm, dtype=bool)
+            new_group[0] = True
+            _np.not_equal(ss[1:], ss[:-1], out=new_group[1:])
+            group_start = _np.maximum.accumulate(
+                _np.where(new_group, idx, 0)
+            )
+            keep_sorted = (idx - group_start) < (self._k - occ_slab[ss])
+            if keep_sorted.any():
+                cand_idx = _np.nonzero(cand_mask)[0]
+                adm_idx = cand_idx[_np.sort(order2[keep_sorted])]
+                a_seg = u_seg[adm_idx]
+                bounds = _np.searchsorted(
+                    a_seg, kernels._arange(n_seg + 1)
+                )
+                segs = _np.nonzero(bounds[1:] > bounds[:-1])[0]
+                a_ids = u_ids[adm_idx]
+                a_slots = u_slots[adm_idx]
+                for s in segs.tolist():
+                    lo, hi = bounds[s], bounds[s + 1]
+                    self._apply_admitted(
+                        per_seg[s][0], a_ids[lo:hi], a_slots[lo:hi]
+                    )
+        # UPDATELEAFSET: wave-start admission windows, one leaf-slab
+        # novelty scan, one balanced reselect per touched segment.
+        own_arr = _np.array(
+            [state.node_id for state, _ in per_seg], dtype=_np.uint64
+        )
+        full_arr = _np.array(
+            [state.leaf_full for state, _ in per_seg], dtype=bool
+        )
+        lo_arr = _np.array(
+            [state.accept_lo for state, _ in per_seg], dtype=_np.uint64
+        )
+        hi_arr = _np.array(
+            [state.accept_hi for state, _ in per_seg], dtype=_np.uint64
+        )
+        fw = (u_ids - own_arr[u_seg]) & self._mu
+        leaf_cand = ~full_arr[u_seg] | (fw < lo_arr[u_seg]) | (
+            fw > hi_arr[u_seg]
+        )
+        if not leaf_cand.any():
+            return
+        leaf_pieces = [state.leaf for state, _ in per_seg]
+        leaf_lens = _np.array(
+            [p.size for p in leaf_pieces], dtype=_np.intp
+        )
+        lf = _np.concatenate(leaf_pieces)
+        if lf.size:
+            lf_key = _np.repeat(
+                kernels._arange(n_seg), leaf_lens
+            ) * u_size + universe.searchsorted(lf).astype(_np.intp)
+            pos = _np.minimum(
+                lf_key.searchsorted(u_key), lf_key.size - 1
+            )
+            fresh_mask = leaf_cand & (lf_key[pos] != u_key)
+        else:
+            fresh_mask = leaf_cand
+        if not fresh_mask.any():
+            return
+        f_idx = _np.nonzero(fresh_mask)[0]
+        f_seg = u_seg[f_idx]
+        fbounds = _np.searchsorted(f_seg, kernels._arange(n_seg + 1))
+        fsegs = _np.nonzero(fbounds[1:] > fbounds[:-1])[0]
+        f_ids = u_ids[f_idx]
+        for s in fsegs.tolist():
+            lo, hi = fbounds[s], fbounds[s + 1]
+            self._merge_fresh(per_seg[s][0], f_ids[lo:hi])
+
     def _fill_slots(self, state: _ArrayState, nids, nslots) -> None:
         """Admit novel ids into the prefix table, first-come per slot
         up to ``k``, honouring existing occupancy."""
@@ -561,8 +791,11 @@ class _NumpyOps:
         if not keep_sorted.any():
             return
         kept = order[keep_sorted]
-        kids = nids[kept]
-        kslots = nslots[kept]
+        self._apply_admitted(state, nids[kept], nslots[kept])
+
+    def _apply_admitted(self, state: _ArrayState, kids, kslots) -> None:
+        """Install already-capped admissions into the resident arrays
+        (shared by the scalar fill and the segmented wave absorb)."""
         _np.add.at(state.slot_count, kslots, 1)
         # Sorted-insert instead of re-sorting the whole table: kids is
         # small, the resident arrays stay id-sorted.
@@ -610,6 +843,11 @@ class _NumpyOps:
             )
 
     def _set_leaf(self, state: _ArrayState, arr) -> None:
+        if arr.size == state.leaf.size and _np.array_equal(arr, state.leaf):
+            # The balanced reselect rejected every candidate: nothing
+            # changed, so the ranked/known caches and the tracker's
+            # cached deficit all stay valid.
+            return
         state.leaf = arr
         state.leaf_ranked = None
         state.known = None
@@ -764,8 +1002,9 @@ class _SetState:
         self.pred_max = -1
         self.prefix_slots: Dict[int, List[int]] = {}
         self.prefix_ids: set = set()
-        # Conservatively re-set on every absorb (the fallback leg does
-        # not track fine-grained mutations); see the tracker cache.
+        # Set when either table actually mutates (prefix admission or
+        # leaf membership change), cleared by the tracker when it
+        # recomputes this node's deficit; see the tracker cache.
         self.stats_dirty = True
         self.started = False
 
@@ -870,9 +1109,15 @@ class _PythonOps:
             for state, peer_id, samples in jobs
         ]
 
+    def absorb_wave(self, jobs, universe=None) -> None:
+        """Wave absorb on the fallback leg: the scalar path per job
+        (there is nothing to batch without numpy; *universe* is the
+        numpy leg's dense id map and is unused here)."""
+        for state, message, sender in jobs:
+            self.absorb(state, message, sender)
+
     def absorb(self, state: _SetState, message, sender_id: int) -> None:
         close, tail, tail_slots = message
-        state.stats_dirty = True
         own = state.node_id
         members = state.leaf_members
         prefix_ids = state.prefix_ids
@@ -884,6 +1129,7 @@ class _PythonOps:
         k = self._k
         fresh: List[int] = []
         effective = not state.leaf_full
+        resident_before = len(prefix_ids)
 
         def scan_unslotted(ids) -> None:
             nonlocal effective
@@ -921,6 +1167,11 @@ class _PythonOps:
                     effective = self._can_affect_leaf(state, nid)
         if sender_id != own:
             scan_unslotted((sender_id,))
+        if len(prefix_ids) != resident_before:
+            # Admissions only ever add, so a length change is exactly
+            # "the table mutated" -- the tracker's cached deficit for
+            # this node is stale.  Leaf changes dirty via _set_leaf.
+            state.stats_dirty = True
         if fresh and effective:
             self._merge_fresh(state, fresh)
 
@@ -950,8 +1201,13 @@ class _PythonOps:
             )
 
     def _set_leaf(self, state: _SetState, members: set) -> None:
+        if members == state.leaf_members:
+            # Reselect kept the same membership: caches and the
+            # tracker's cached deficit stay valid.
+            return
         state.leaf_members = members
         state.leaf_sorted = None
+        state.stats_dirty = True
         own = state.node_id
         mask = self._mask
         half_ring = self._half_ring
@@ -1104,6 +1360,7 @@ class VectorBootstrapSimulation:
         sampler: str = "oracle",
         newscast_view_size: int = 30,
         wave: Optional[int] = None,
+        absorb: Optional[str] = None,
     ) -> None:
         if sampler not in SAMPLER_KINDS:
             raise ValueError(
@@ -1122,6 +1379,9 @@ class VectorBootstrapSimulation:
         # from wave-start state per batch (None = ``n // 16`` clamped
         # to [1, 64]); see ``create_wave`` for the staleness bound.
         self._wave = wave
+        # Absorb dispatch: ``batch`` drains each wave through the
+        # segmented slab pass (bit-identical to ``single``).
+        self.absorb_mode = absorb_mode(absorb)
         self.backend = vrng.backend()
         self._ops = (
             _NumpyOps(config) if self.backend == "numpy"
@@ -1151,6 +1411,11 @@ class VectorBootstrapSimulation:
         self._next_address = 0
         self._unstarted: set = set()
         self._pool = None
+        # Every identifier ever admitted, in admission order; the
+        # sorted numpy form is the wave absorb's dense id universe
+        # (dead ids stay -- they persist in tables and messages).
+        self._ids_ever: List[int] = []
+        self._universe = None
 
         self._boot = _Layer()
         self._news: Optional[_Layer] = None
@@ -1179,6 +1444,8 @@ class VectorBootstrapSimulation:
     def _admit(self, node_id: int):
         self._space.validate(node_id)
         self._next_address += 1
+        self._ids_ever.append(node_id)
+        self._universe = None
         self.registry.add(node_id)
         if self.sampler_kind == "newscast":
             self.newscast[node_id] = VectorNewscastView(
@@ -1257,6 +1524,19 @@ class VectorBootstrapSimulation:
         """Merge a pool of identifiers into this network."""
         return [self.spawn_node(node_id) for node_id in ids]
 
+    def _wave_universe(self):
+        """The sorted dense id universe for the wave absorb (numpy
+        leg; the fallback leg's wave loop ignores it)."""
+        if self.backend != "numpy":
+            return None
+        universe = self._universe
+        if universe is None:
+            count = len(self._ids_ever)
+            universe = self._universe = _np.sort(
+                _np.fromiter(self._ids_ever, dtype=_np.uint64, count=count)
+            )
+        return universe
+
     def _refresh_reference(self) -> None:
         self.reference = ReferenceTables(
             self._space,
@@ -1327,6 +1607,7 @@ class VectorBootstrapSimulation:
         create_wave = ops.create_wave
         absorb = ops.absorb
         wave = self._wave or max(1, min(64, n // 16))
+        batch = self.absorb_mode == "batch"
         pending: List[tuple] = []
 
         def flush() -> None:
@@ -1335,6 +1616,11 @@ class VectorBootstrapSimulation:
                 jobs.append((state_, peer_, rq))
                 jobs.append((target_, nid_, rp))
             messages = create_wave(jobs)
+            # Drop coins decide which absorbs survive; the survivors
+            # are collected in arrival order and drained in one wave
+            # (the segmented slab pass, bit-identical to replaying
+            # ``absorb`` per survivor -- the ``single`` mode).
+            absorbs: List[tuple] = []
             for j, (i_, nid_, state_, peer_, target_, rq, rp) in enumerate(
                 pending
             ):
@@ -1342,12 +1628,17 @@ class VectorBootstrapSimulation:
                     stats.requests_dropped += 1
                     stats.suppressed_replies += 1
                     continue
-                absorb(target_, messages[2 * j], nid_)
+                absorbs.append((target_, messages[2 * j], nid_))
                 stats.replies_sent += 1
                 if drop_p and rep_coins[i_] < drop_p:
                     stats.replies_dropped += 1
                     continue
-                absorb(state_, messages[2 * j + 1], peer_)
+                absorbs.append((state_, messages[2 * j + 1], peer_))
+            if batch and len(absorbs) > 1:
+                ops.absorb_wave(absorbs, self._wave_universe())
+            else:
+                for state_, message_, sender_ in absorbs:
+                    absorb(state_, message_, sender_)
             pending.clear()
 
         start_ptr = 0

@@ -53,6 +53,13 @@ from .merge import (
     throughput_summary,
 )
 from .runner import ShardError, SweepGrid, SweepRunner, expand_repeats
+from .shm import (
+    TRANSPORT_KINDS,
+    ShmRing,
+    execute_run_columns_shm,
+    shm_available,
+    transport,
+)
 from .spec import (
     SCHEDULE_KINDS,
     RunResult,
@@ -66,6 +73,7 @@ from .spec import (
 __all__ = [
     "SCHEDULE_KINDS",
     "TRANSPORT_COUNTERS",
+    "TRANSPORT_KINDS",
     "CellAggregate",
     "CellFold",
     "CheckpointError",
@@ -76,6 +84,7 @@ __all__ = [
     "RunTiming",
     "ScheduleSpec",
     "ShardError",
+    "ShmRing",
     "StreamingMerge",
     "SweepAggregate",
     "SweepGrid",
@@ -83,11 +92,14 @@ __all__ = [
     "cell_label",
     "execute_run",
     "execute_run_columns",
+    "execute_run_columns_shm",
     "expand_repeats",
     "grid_digest",
     "merge_columns",
     "merge_results",
     "replica_seed",
     "schedule_key",
+    "shm_available",
     "throughput_summary",
+    "transport",
 ]

@@ -202,6 +202,18 @@ class CheckpointStore:
                     f"checkpoint record {record_path} does not decode "
                     f"to a cell aggregate: {exc!r}"
                 ) from exc
+            if aggregate.runs < 1 or not aggregate.mean_leaf.points:
+                # A structurally valid but empty aggregate (zero runs
+                # or an empty curve) can only come from a damaged or
+                # hand-edited journal: StreamingMerge journals a cell
+                # strictly after its last replica folds.  Treating it
+                # as restored would silently drop the cell's shards.
+                raise CheckpointError(
+                    f"checkpoint record {record_path} holds an empty "
+                    "cell aggregate (zero runs); the journal is "
+                    "corrupt -- delete the record or use a fresh "
+                    "--checkpoint-dir"
+                )
             cell: CellKey = (
                 aggregate.size,
                 aggregate.drop,

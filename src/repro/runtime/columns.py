@@ -100,9 +100,16 @@ def _buffer_bytes(buffer) -> bytes:
 
 
 def _buffer_from_bytes(raw: bytes):
-    """Rebuild a buffer from :func:`_buffer_bytes` output."""
+    """Rebuild a buffer from :func:`_buffer_bytes` output.
+
+    The numpy leg must copy: ``frombuffer`` over a ``bytes`` object is
+    a *read-only* view, and restored columns feed in-place folds (the
+    streaming merge, analysis consumers) exactly like freshly-built
+    ones -- a frozen buffer would raise only on the numpy backend,
+    after transport, which is the worst kind of latent asymmetry.
+    """
     if backend() == "numpy":
-        return _np.frombuffer(raw, dtype=_np.float64)
+        return _np.frombuffer(raw, dtype=_np.float64).copy()
     rebuilt = array("d")
     rebuilt.frombytes(raw)
     return rebuilt

@@ -22,7 +22,12 @@ shard and preserving the original exception as ``__cause__``.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -41,6 +46,14 @@ from ..simulator.experiment import ENGINE_KINDS, ExperimentSpec
 from ..simulator.network import NetworkModel, RELIABLE
 from ..simulator.random_source import derive_seed
 from .columns import RunColumns, execute_run_columns
+from .shm import (
+    ShmRing,
+    execute_run_columns_shm,
+    ring_slots,
+    shm_available,
+    slot_bytes_for,
+    transport,
+)
 from .spec import RunResult, RunSpec, ScheduleSpec, execute_run, replica_seed
 
 __all__ = [
@@ -565,7 +578,20 @@ class SweepRunner:
         The first shard to fail raises :class:`ShardError` as soon as
         its future resolves -- collection never blocks on a slower,
         earlier-submitted shard before surfacing the error.
+
+        Columnar dispatch honours the ``REPRO_TRANSPORT`` seam: when
+        ``shm`` is requested and available, workers write their curve
+        buffers into a shared-memory ring instead of pickling them
+        (see :mod:`repro.runtime.shm`); otherwise -- including the
+        no-numpy leg -- outcomes pickle exactly as before.
         """
+        if (
+            worker is execute_run_columns
+            and transport() == "shm"
+            and shm_available()
+        ):
+            self._pool_shm(ordered, deliver)
+            return
         factory = self._executor_factory or (
             lambda max_workers: ProcessPoolExecutor(max_workers=max_workers)
         )
@@ -595,6 +621,70 @@ class SweepRunner:
                 # covers a failing *sink* on the streaming path.
                 pool.shutdown(cancel_futures=True)
                 raise
+
+    def _pool_shm(
+        self,
+        ordered: List[RunSpec],
+        deliver: Callable[[int, object], None],
+    ) -> None:
+        """Columnar pool dispatch over the shared-memory ring.
+
+        Scheduling differs from the pickled path in exactly one way:
+        a shard is only submitted once a ring slot is free (the
+        parent assigns slots, so no cross-process locking exists to
+        get wrong), which makes ring exhaustion plain back-pressure.
+        Completion-order delivery, fail-fast :class:`ShardError`, and
+        queued-shard cancellation are identical.  The ring is
+        destroyed on every exit path -- clean drain, worker crash,
+        failing sink -- so no segment outlives the sweep.
+        """
+        factory = self._executor_factory or (
+            lambda max_workers: ProcessPoolExecutor(max_workers=max_workers)
+        )
+        max_workers = min(self.workers, len(ordered))
+        slots = min(ring_slots(max_workers), len(ordered))
+        ring = ShmRing.create(slots, slot_bytes_for(ordered))
+        try:
+            with factory(max_workers) as pool:  # type: ignore[attr-defined]
+                try:
+                    pending: Dict[object, Tuple[int, int]] = {}
+                    free = list(range(ring.slots))
+                    queue = iter(enumerate(ordered))
+                    head = next(queue, None)
+                    while pending or head is not None:
+                        while head is not None and free:
+                            index, spec = head
+                            slot = free.pop()
+                            future = pool.submit(
+                                execute_run_columns_shm,
+                                spec,
+                                ring.name,
+                                slot,
+                                ring.slot_bytes,
+                            )
+                            pending[future] = (index, slot)
+                            head = next(queue, None)
+                        done, _ = wait(
+                            pending, return_when=FIRST_COMPLETED
+                        )
+                        for future in done:
+                            index, slot = pending.pop(future)
+                            try:
+                                outcome = future.result()
+                            except Exception as exc:
+                                raise ShardError(
+                                    ordered[index], exc
+                                ) from exc
+                            # Copy the curves out before reusing the
+                            # slot; delivery may fold or discard them.
+                            columns = ring.restore(outcome)
+                            free.append(slot)
+                            deliver(index, columns)
+                except BaseException:
+                    pool.shutdown(cancel_futures=True)
+                    raise
+        finally:
+            ring.destroy()
 
     def run_grid(self, grid: SweepGrid) -> List[RunResult]:
         """Expand *grid* and run every shard."""

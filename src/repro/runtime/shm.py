@@ -1,0 +1,307 @@
+"""Zero-copy shared-memory result transport (``REPRO_TRANSPORT=shm``).
+
+On the pickled path every worker outcome crosses the process boundary
+as a full :meth:`RunColumns.__reduce__` payload: the three float64
+curve buffers are serialised into the pickle stream, copied into the
+pool's result pipe, read back, and copied again into rebuilt buffers
+-- the transport-bound regime "Parallel Optimisation of Bootstrapping
+in R" measures once the per-run compute is fast.  This module replaces
+the wire form with a :class:`multiprocessing.shared_memory` **ring of
+float64 blocks**: a worker writes its curves straight into the slot
+the parent assigned it, and only a tiny :class:`ShmSlot` descriptor
+(scalars + curve lengths + slot index) is pickled back.  Bytes copied
+per run drop by the curve payload (gated by
+``benchmarks/bench_shm_transport.py``); merged aggregates stay
+**byte-identical** to the pickled path, which the test suite pins.
+
+Design notes:
+
+* **Parent-assigned slots, no cross-process locks.**  The parent only
+  submits a shard when a free slot exists and reclaims the slot after
+  copying the curves out, so ring exhaustion is natural back-pressure
+  and two workers can never race for a block.
+* **Fallbacks keep the seam total.**  ``shm`` is only active when
+  numpy and ``multiprocessing.shared_memory`` are importable and the
+  runner actually crosses a process boundary; anything else silently
+  uses the pickled path (the no-numpy leg's contract).  A single run
+  whose curves overflow the slot (more measurements than the grid's
+  cycle budget implies) falls back to pickling just that run.
+* **Crash safety.**  The ring is unlinked in a ``finally`` around the
+  dispatch loop: worker crashes (``BrokenProcessPool`` ->
+  :class:`~repro.runtime.runner.ShardError`), sink failures, and
+  cancellation all release the segment.  Workers attach untracked
+  (or unregister immediately on Python < 3.13) so a worker's
+  resource tracker can never unlink the parent's live segment.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+from .columns import RunColumns, _buffer_from_bytes
+from .spec import RunSpec, execute_run
+
+try:  # numpy is an optional extra throughout this package
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on the no-numpy leg
+    _np = None
+
+try:  # pragma: no cover - absent on exotic platforms only
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+__all__ = [
+    "TRANSPORT_KINDS",
+    "ShmRing",
+    "ShmSlot",
+    "execute_run_columns_shm",
+    "ring_slots",
+    "slot_bytes_for",
+    "shm_available",
+    "transport",
+]
+
+#: Result-transport kinds behind ``REPRO_TRANSPORT``: ``pickle`` ships
+#: full :class:`RunColumns` payloads (the default, and the only option
+#: without numpy); ``shm`` ships curve buffers through a shared-memory
+#: ring and pickles only descriptors.
+TRANSPORT_KINDS = ("pickle", "shm")
+
+_FLOAT = 8  # bytes per float64 curve element
+
+
+def transport() -> str:
+    """Resolve the requested result transport (``REPRO_TRANSPORT``)."""
+    kind = os.environ.get("REPRO_TRANSPORT", "pickle").strip().lower()
+    if kind not in TRANSPORT_KINDS:
+        raise ValueError(
+            f"REPRO_TRANSPORT must be one of {TRANSPORT_KINDS}, "
+            f"got {kind!r}"
+        )
+    return kind
+
+
+def shm_available() -> bool:
+    """Whether the shm transport can run here (numpy + shared_memory).
+
+    When it cannot, a requested ``shm`` transport silently degrades to
+    the pickled path -- the documented no-numpy fallback semantics.
+    """
+    return _np is not None and _shared_memory is not None
+
+
+def ring_slots(workers: int) -> int:
+    """Ring capacity in blocks: enough for every worker to be writing
+    while the parent drains, bounded away from tiny rings.
+
+    ``REPRO_SHM_BLOCKS`` overrides (tests pin it to 1 to exercise the
+    back-pressure path).
+    """
+    forced = os.environ.get("REPRO_SHM_BLOCKS")
+    if forced:
+        blocks = int(forced)
+        if blocks < 1:
+            raise ValueError(
+                f"REPRO_SHM_BLOCKS must be >= 1, got {blocks}"
+            )
+        return blocks
+    return max(2 * workers, 4)
+
+
+def slot_bytes_for(specs: Sequence[RunSpec]) -> int:
+    """Block size covering any shard of *specs*: three float64 curves
+    of at most ``max_cycles + 2`` measurements each (one measurement
+    per cycle plus the initial and safety measurements)."""
+    budget = max(spec.experiment.max_cycles for spec in specs)
+    return 3 * (budget + 2) * _FLOAT
+
+
+@dataclass(frozen=True)
+class ShmSlot:
+    """The pickled descriptor of one run whose curves live in the ring.
+
+    ``fields`` carries the scalar positional fields of
+    :meth:`RunColumns.__reduce__` (everything except the three curve
+    buffers); ``lengths`` the element counts of the cycles/leaf/prefix
+    curves, laid out back-to-back at ``slot * slot_bytes``.
+    """
+
+    slot: int
+    lengths: Tuple[int, int, int]
+    fields: tuple
+
+
+def _attach(name: str):
+    """Attach to the parent's segment without resource tracking.
+
+    A tracked attach would register the segment with this process's
+    resource tracker, which unlinks it when the worker exits -- the
+    classic premature-unlink hazard (`track=False` exists from Python
+    3.13; earlier versions need the unregister workaround).
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # Python < 3.13: no track= parameter.  Suppress registration
+        # for the duration of the attach -- unregistering *after* the
+        # fact would corrupt a fork-shared tracker's cache (the
+        # parent's own registration lives in the same set).
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return _shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+#: Worker-side attach cache: one mapping per (process, ring) pair.
+_ATTACHED: dict = {}
+
+
+def _worker_segment(name: str):
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        segment = _ATTACHED[name] = _attach(name)
+    return segment
+
+
+def execute_run_columns_shm(
+    spec: RunSpec, ring_name: str, slot: int, slot_bytes: int
+) -> Union[ShmSlot, RunColumns]:
+    """Worker entry point of the shm transport.
+
+    Executes the shard exactly like
+    :func:`~repro.runtime.columns.execute_run_columns`, then writes
+    the three curves into the assigned ring slot and returns the
+    :class:`ShmSlot` descriptor.  Curves too large for the slot fall
+    back to returning the full :class:`RunColumns` (pickled path) for
+    just this run.
+    """
+    columns = RunColumns.from_run_result(execute_run(spec))
+    crash_after = os.environ.get("REPRO_SHM_TEST_CRASH_BYTES")
+    curves = (columns.cycles, columns.leaf, columns.prefix)
+    lengths = tuple(len(curve) for curve in curves)
+    total = sum(lengths)
+    if total * _FLOAT > slot_bytes:
+        return columns
+    segment = _worker_segment(ring_name)
+    view = _np.ndarray(
+        (total,),
+        dtype=_np.float64,
+        buffer=segment.buf,
+        offset=slot * slot_bytes,
+    )
+    cursor = 0
+    for curve, length in zip(curves, lengths):
+        view[cursor:cursor + length] = curve
+        cursor += length
+        if crash_after is not None and cursor * _FLOAT >= int(crash_after):
+            # Test hook: die mid-write the way a preempted worker
+            # does -- no cleanup, a half-written slot left behind.
+            os.kill(os.getpid(), 9)
+    scalars = (
+        columns.shard,
+        columns.replica,
+        columns.size,
+        columns.drop,
+        columns.sampler,
+        columns.schedules,
+        columns.engine,
+        columns.seed,
+        columns.converged_at,
+        columns.population,
+        columns.cycles_run,
+        columns.started_at_cycle,
+        columns.transport,
+        columns.wall_seconds,
+    )
+    return ShmSlot(slot=slot, lengths=lengths, fields=scalars)
+
+
+class ShmRing:
+    """The parent-side ring: one shared segment of equal float64 blocks.
+
+    Created once per pooled sweep, unlinked in the dispatch loop's
+    ``finally`` (crash, cancellation, and clean paths alike).
+    """
+
+    def __init__(self, segment, slots: int, slot_bytes: int) -> None:
+        self._segment = segment
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+
+    @classmethod
+    def create(cls, slots: int, slot_bytes: int) -> "ShmRing":
+        """Allocate a fresh ring of *slots* blocks of *slot_bytes*."""
+        if slots < 1:
+            raise ValueError(f"ring needs >= 1 slot, got {slots}")
+        if slot_bytes < _FLOAT:
+            raise ValueError(
+                f"slot_bytes must hold at least one float64, "
+                f"got {slot_bytes}"
+            )
+        segment = _shared_memory.SharedMemory(
+            create=True, size=slots * slot_bytes
+        )
+        return cls(segment, slots, slot_bytes)
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach to."""
+        return self._segment.name
+
+    def restore(
+        self, outcome: Union[ShmSlot, RunColumns]
+    ) -> RunColumns:
+        """Rebuild a worker outcome into a standalone
+        :class:`RunColumns`.
+
+        Descriptor outcomes copy their curves out of the ring (the
+        slot is reusable the moment this returns); overflow fallbacks
+        are already complete and pass through.  Buffers are rebuilt
+        through the same :func:`_buffer_from_bytes` as the pickled
+        path, so the two transports are byte-identical by
+        construction.
+        """
+        if isinstance(outcome, RunColumns):
+            return outcome
+        total = sum(outcome.lengths)
+        view = _np.ndarray(
+            (total,),
+            dtype=_np.float64,
+            buffer=self._segment.buf,
+            offset=outcome.slot * self.slot_bytes,
+        )
+        buffers = []
+        cursor = 0
+        for length in outcome.lengths:
+            buffers.append(
+                _buffer_from_bytes(view[cursor:cursor + length].tobytes())
+            )
+            cursor += length
+        fields = (
+            outcome.fields[:12] + tuple(buffers) + outcome.fields[12:]
+        )
+        return RunColumns(*fields)
+
+    def destroy(self) -> None:
+        """Release and unlink the segment (idempotent)."""
+        try:
+            self._segment.close()
+        except (OSError, BufferError):  # pragma: no cover
+            pass
+        try:
+            self._segment.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ShmRing(name={self.name!r}, slots={self.slots}, "
+            f"slot_bytes={self.slot_bytes})"
+        )

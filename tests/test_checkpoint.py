@@ -179,6 +179,21 @@ class TestRefusals:
         with pytest.raises(CheckpointError, match="different grid"):
             store.load_cells()
 
+    def test_empty_cell_aggregate_reported(self, tmp_path):
+        """A structurally valid record holding a zero-run aggregate is
+        journal damage, not restorable state: cells journal strictly
+        after their last replica folds, so restoring an empty cell
+        would silently drop its shards from the resumed sweep."""
+        grid = small_grid()
+        spec = scenario(grid)
+        run_scenario(spec, checkpoint_dir=str(tmp_path))
+        record = sorted(tmp_path.glob("cell-*.json"))[0]
+        data = json.loads(record.read_text())
+        data["aggregate"]["runs"] = 0
+        record.write_text(json.dumps(data, sort_keys=True))
+        with pytest.raises(CheckpointError, match="empty"):
+            run_scenario(spec, checkpoint_dir=str(tmp_path), resume=True)
+
     def test_cells_without_metadata_reported(self, tmp_path):
         (tmp_path / "cell-0000000000000000.json").write_text("{}")
         with pytest.raises(CheckpointError, match="corrupt"):

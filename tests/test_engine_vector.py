@@ -462,6 +462,145 @@ class TestBatchedConstructionExactness:
             )
 
 
+class TestBatchedAbsorbExactness:
+    """The segmented slab absorb (``absorb_wave``) must be
+    *bit-identical* to draining the same wave through the scalar
+    absorb loop, on both legs.
+
+    The comparison is over observable content -- leaf members, the
+    resident ``(id, slot)`` prefix pairs, measurements, and transport
+    counters -- never over internal cache flags: the no-change leaf
+    short-circuit means batch and single may legitimately disagree
+    about ``stats_dirty`` while every table and every statistic is
+    equal."""
+
+    CONFIGS = [
+        dict(size=48, drop=0.0, sampler="oracle", churn=False),
+        dict(size=40, drop=0.2, sampler="oracle", churn=True),
+        dict(size=40, drop=0.1, sampler="newscast", churn=True),
+    ]
+
+    @staticmethod
+    def _snapshot(sim):
+        """Normalised table content per node (backend-agnostic)."""
+        nodes = {}
+        for node_id, state in sim.nodes.items():
+            if sim.backend == "numpy":
+                leaf = state.leaf.tolist()
+                pairs = sorted(
+                    zip(
+                        state.prefix_ids.tolist(),
+                        state.prefix_slots.tolist(),
+                    )
+                )
+            else:
+                leaf = sorted(state.leaf_members)
+                pairs = sorted(
+                    (nid, slot)
+                    for slot, members in state.prefix_slots.items()
+                    for nid in members
+                )
+            nodes[node_id] = (leaf, pairs)
+        return nodes
+
+    def _trace(self, mode, *, size, drop, sampler, churn, seed=21,
+               cycles=25):
+        sim = VectorBootstrapSimulation(
+            size,
+            seed=seed,
+            config=FAST,
+            network=NetworkModel(drop_probability=drop),
+            sampler=sampler,
+            absorb=mode,
+        )
+        assert sim.absorb_mode == mode
+        snaps = []
+        for cycle in range(cycles):
+            if churn and cycle == 8:
+                sim.kill_node(sim.live_ids[0])
+                sim.spawn_node()
+            sim.run_cycle()
+            if cycle % 5 == 4:
+                snaps.append((self._snapshot(sim), sim.measure()))
+        snaps.append(sim._boot.stats.snapshot())
+        return snaps
+
+    @pytest.mark.parametrize(
+        "config", CONFIGS,
+        ids=lambda c: f"n{c['size']}-d{c['drop']}-{c['sampler']}"
+            + ("-churn" if c["churn"] else ""),
+    )
+    def test_batch_equals_single(self, config, backend):
+        assert self._trace("batch", **config) == (
+            self._trace("single", **config)
+        )
+
+
+class TestAbsorbSeam:
+    def test_default_is_batch(self, monkeypatch):
+        from repro.engine_vector.sim import absorb_mode
+
+        monkeypatch.delenv("REPRO_VECTOR_ABSORB", raising=False)
+        assert absorb_mode() == "batch"
+
+    def test_env_selects_single(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_ABSORB", "single")
+        sim = VectorBootstrapSimulation(16, seed=3, config=FAST)
+        assert sim.absorb_mode == "single"
+
+    def test_constructor_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_ABSORB", "single")
+        sim = VectorBootstrapSimulation(
+            16, seed=3, config=FAST, absorb="batch"
+        )
+        assert sim.absorb_mode == "batch"
+
+    def test_invalid_mode_rejected(self, monkeypatch):
+        from repro.engine_vector.sim import absorb_mode
+
+        monkeypatch.setenv("REPRO_VECTOR_ABSORB", "vectorised")
+        with pytest.raises(ValueError, match="absorb mode"):
+            absorb_mode()
+        with pytest.raises(ValueError, match="absorb mode"):
+            VectorBootstrapSimulation(
+                16, seed=3, config=FAST, absorb="slab"
+            )
+
+
+class TestTrackerRecomputationRegression:
+    """Absorbs that change nothing must not dirty the convergence
+    cache.
+
+    Before the incremental dirty tracking, *every* absorbed message
+    re-flagged its receiver, so each post-convergence measurement
+    recomputed ~all per-node deficits even though no table had
+    changed.  Now a steady-state cycle (perfect tables, reliable
+    network: every admission is a duplicate, every leaf reselect is a
+    no-op) must recompute exactly zero."""
+
+    def test_steady_state_measures_hit_the_cache(self, backend):
+        sim = VectorBootstrapSimulation(32, seed=9, config=FAST)
+        result = sim.run(40)
+        assert result.converged_at is not None
+        ops = sim._ops
+        calls = []
+        original = ops.node_missing
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return original(*args, **kwargs)
+
+        ops.node_missing = counting
+        try:
+            for _ in range(5):
+                sim.run_cycle()
+                sample = sim.measure()
+                assert sample.is_perfect
+        finally:
+            del ops.node_missing
+        assert calls == []
+
+
 class TestVectorNewscastView:
     def test_merge_keeps_freshest_with_id_tiebreak(self):
         view = VectorNewscastView(own_id=1, capacity=2)

@@ -388,6 +388,32 @@ class TestColumnarTransport:
             json.dumps(fallback.to_dict(), sort_keys=True)
         )
 
+    @pytest.mark.parametrize("buffers", ["numpy", "python"])
+    def test_round_tripped_columns_stay_foldable(
+        self, buffers, monkeypatch
+    ):
+        """Transported buffers must behave exactly like fresh ones.
+
+        The regression: ``numpy.frombuffer`` over pickled bytes is a
+        *read-only* view, so a restored run would raise on any
+        in-place consumer -- only on the numpy leg, and only after
+        transport.  Pin writability and fold identity on both buffer
+        backends."""
+        if buffers == "numpy":
+            pytest.importorskip("numpy")
+        monkeypatch.setenv("REPRO_COLUMNS_BACKEND", buffers)
+        grid = fast_grid(sizes=(24,), drop_rates=(0.2,), replicas=2)
+        columns = SweepRunner(workers=1).run_grid_columns(grid)
+        clones = [pickle.loads(pickle.dumps(run)) for run in columns]
+        for clone in clones:
+            for buffer in (clone.cycles, clone.leaf, clone.prefix):
+                buffer[0] = buffer[0]  # raises on a read-only view
+        assert json.dumps(
+            merge_columns(clones).to_dict(), sort_keys=True
+        ) == json.dumps(
+            merge_columns(columns).to_dict(), sort_keys=True
+        )
+
     def test_backend_env_validated(self, monkeypatch):
         from repro.runtime import columns as columns_module
 

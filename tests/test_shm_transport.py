@@ -1,0 +1,224 @@
+"""Tests for the shared-memory result transport (``REPRO_TRANSPORT=shm``).
+
+Three load-bearing properties:
+
+* **byte identity** -- merged statistics through the shm ring are
+  byte-identical to the pickled transport (the transport changes how
+  curves cross the process boundary, never their values);
+* **lifecycle** -- the ring segment is unlinked on every exit path:
+  clean drain, worker SIGKILL mid-write, failing sink.  No sweep may
+  leak ``/dev/shm`` segments;
+* **back-pressure** -- a starved ring (``REPRO_SHM_BLOCKS=1``) only
+  slows dispatch down; results stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core import BootstrapConfig
+from repro.runtime import (
+    ShardError,
+    ShmRing,
+    SweepGrid,
+    SweepRunner,
+    execute_run_columns,
+    execute_run_columns_shm,
+    merge_columns,
+    shm_available,
+    transport,
+)
+from repro.runtime.merge import StreamingMerge
+from repro.runtime.shm import (
+    ShmSlot,
+    _ATTACHED,
+    ring_slots,
+    slot_bytes_for,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="shm transport needs numpy + shared_memory"
+)
+
+FAST = BootstrapConfig(leaf_set_size=8, entries_per_slot=2, random_samples=10)
+
+_SHM_DIR = "/dev/shm"
+
+
+def fast_grid(**overrides) -> SweepGrid:
+    defaults = dict(
+        sizes=(24,),
+        drop_rates=(0.0, 0.2),
+        replicas=2,
+        base_seed=9,
+        max_cycles=40,
+        config=FAST,
+    )
+    defaults.update(overrides)
+    return SweepGrid(**defaults)
+
+
+def shm_segments() -> set:
+    """The shared-memory segments visible right now (POSIX name set)."""
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux
+        pytest.skip("no /dev/shm to observe")
+    return {
+        name for name in os.listdir(_SHM_DIR) if name.startswith("psm_")
+    }
+
+
+def canonical(aggregate) -> str:
+    return json.dumps(aggregate.to_dict(), sort_keys=True)
+
+
+def wire_values(columns) -> tuple:
+    """A run's deterministic wire form: the reduce tuple minus the
+    trailing ``wall_seconds`` (in-worker timing, never merged)."""
+    values = columns.__reduce__()[1]
+    return values[:-1]
+
+
+class TestSeam:
+    def test_default_transport_is_pickle(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRANSPORT", raising=False)
+        assert transport() == "pickle"
+
+    def test_env_selects_shm(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT", "shm")
+        assert transport() == "shm"
+
+    def test_invalid_transport_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT", "carrier-pigeon")
+        with pytest.raises(ValueError, match="REPRO_TRANSPORT"):
+            transport()
+
+    def test_ring_slots_scale_with_workers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHM_BLOCKS", raising=False)
+        assert ring_slots(1) == 4   # bounded away from tiny rings
+        assert ring_slots(4) == 8   # every worker writing + drain slack
+
+    def test_ring_slots_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM_BLOCKS", "1")
+        assert ring_slots(8) == 1
+        monkeypatch.setenv("REPRO_SHM_BLOCKS", "0")
+        with pytest.raises(ValueError, match="REPRO_SHM_BLOCKS"):
+            ring_slots(8)
+
+    def test_slot_bytes_cover_the_cycle_budget(self):
+        specs = fast_grid(max_cycles=50).expand()
+        # Three float64 curves of at most max_cycles + 2 points each.
+        assert slot_bytes_for(specs) == 3 * 52 * 8
+
+
+class TestRing:
+    def test_create_validates(self):
+        with pytest.raises(ValueError, match="slot"):
+            ShmRing.create(0, 64)
+        with pytest.raises(ValueError, match="slot_bytes"):
+            ShmRing.create(2, 4)
+
+    def test_destroy_is_idempotent(self):
+        before = shm_segments()
+        ring = ShmRing.create(2, 64)
+        assert shm_segments() - before == {ring.name}
+        ring.destroy()
+        ring.destroy()
+        assert shm_segments() - before == set()
+
+    def test_worker_write_restores_byte_identically(self):
+        """The in-process round trip: a worker-side write followed by
+        a parent-side restore pickles identically to the pickled
+        transport's outcome for the same shard."""
+        (spec,) = fast_grid(drop_rates=(0.2,), replicas=1).expand()
+        expected = execute_run_columns(spec)
+        ring = ShmRing.create(1, slot_bytes_for([spec]))
+        try:
+            outcome = execute_run_columns_shm(
+                spec, ring.name, 0, ring.slot_bytes
+            )
+            assert isinstance(outcome, ShmSlot)
+            restored = ring.restore(outcome)
+            assert wire_values(restored) == wire_values(expected)
+        finally:
+            attached = _ATTACHED.pop(ring.name, None)
+            if attached is not None:
+                attached.close()
+            ring.destroy()
+
+    def test_overflowing_curves_fall_back_to_pickle(self):
+        """A run whose curves exceed the slot returns the full
+        RunColumns (per-run pickled fallback); restore passes it
+        through untouched."""
+        (spec,) = fast_grid(drop_rates=(0.2,), replicas=1).expand()
+        ring = ShmRing.create(1, 8)  # one float64: any curve overflows
+        try:
+            outcome = execute_run_columns_shm(spec, ring.name, 0, 8)
+            assert not isinstance(outcome, ShmSlot)
+            assert ring.restore(outcome) is outcome
+            assert wire_values(outcome) == wire_values(
+                execute_run_columns(spec)
+            )
+        finally:
+            ring.destroy()
+
+
+class TestPooledShm:
+    def test_pooled_shm_matches_sequential_pickle(self, monkeypatch):
+        """The headline identity: a workers=2 sweep through the ring
+        merges byte-identically to the sequential pickled path, on
+        both the batch and the streaming collection paths."""
+        grid = fast_grid()
+        reference = canonical(
+            merge_columns(SweepRunner(workers=1).run_grid_columns(grid))
+        )
+        before = shm_segments()
+        monkeypatch.setenv("REPRO_TRANSPORT", "shm")
+        batch = SweepRunner(workers=2).run_grid_columns(grid)
+        merge = StreamingMerge()
+        SweepRunner(workers=2).stream_columns(grid.expand(), merge.add)
+        assert canonical(merge_columns(batch)) == reference
+        assert canonical(merge.finalize()) == reference
+        assert shm_segments() - before == set()
+
+    def test_starved_ring_is_back_pressure_not_failure(self, monkeypatch):
+        grid = fast_grid()
+        reference = canonical(
+            merge_columns(SweepRunner(workers=1).run_grid_columns(grid))
+        )
+        monkeypatch.setenv("REPRO_TRANSPORT", "shm")
+        monkeypatch.setenv("REPRO_SHM_BLOCKS", "1")
+        before = shm_segments()
+        merged = merge_columns(
+            SweepRunner(workers=3).run_grid_columns(grid)
+        )
+        assert canonical(merged) == reference
+        assert shm_segments() - before == set()
+
+    def test_worker_crash_surfaces_and_unlinks(self, monkeypatch):
+        """A worker SIGKILLed mid-write (half-written slot left
+        behind) surfaces as ShardError and still unlinks the ring."""
+        monkeypatch.setenv("REPRO_TRANSPORT", "shm")
+        monkeypatch.setenv("REPRO_SHM_TEST_CRASH_BYTES", "8")
+        before = shm_segments()
+        with pytest.raises(ShardError):
+            SweepRunner(workers=2).run_grid_columns(fast_grid())
+        assert shm_segments() - before == set()
+
+    def test_failing_sink_cancels_and_unlinks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT", "shm")
+        before = shm_segments()
+        delivered = []
+
+        def sink(columns):
+            delivered.append(columns)
+            raise RuntimeError("collector rejected the fold")
+
+        with pytest.raises(RuntimeError, match="collector rejected"):
+            SweepRunner(workers=2).stream_columns(
+                fast_grid().expand(), sink
+            )
+        assert len(delivered) == 1
+        assert shm_segments() - before == set()
