@@ -105,7 +105,7 @@ def test_figure3_no_failures(benchmark):
                 f"{size_label(size)} never reached {threshold:g} "
                 "missing-leaf quality"
             )
-        for smaller, larger in zip(sizes, sizes[1:]):
+        for smaller, larger in zip(sizes, sizes[1:], strict=False):
             delta = crossings[larger] - crossings[smaller]
             # A power law would roughly double the crossing time per
             # 4x step (+5 cycles or more here); the additive constant

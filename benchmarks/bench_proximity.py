@@ -66,7 +66,7 @@ def run_proximity_study():
         latencies = []
         hops = []
         failures = 0
-        for key, start in zip(keys, starts):
+        for key, start in zip(keys, starts, strict=True):
             result = network.lookup(key, start)
             if not result.success:
                 failures += 1

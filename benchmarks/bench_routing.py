@@ -52,7 +52,7 @@ def run_routing():
     }
     iterative_hits = 0
     iterative_msgs = 0
-    for key, start in zip(keys[:100], starts[:100]):
+    for key, start in zip(keys[:100], starts[:100], strict=True):
         outcome = kademlia.iterative_find(start, key, alpha=3, k=20)
         iterative_hits += outcome.found_target
         iterative_msgs += outcome.messages

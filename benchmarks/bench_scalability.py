@@ -16,10 +16,10 @@ destroy the fit.
 from __future__ import annotations
 
 import math
-import os
 
 import pytest
 
+from repro import seams
 from repro.analysis import Series, ascii_linear, linear_fit, render_table
 
 from common import (
@@ -33,9 +33,7 @@ from common import (
 
 def ladder():
     sizes = [256, 512, 1024, 2048]
-    if os.environ.get("REPRO_BENCH_FULL") or os.environ.get(
-        "REPRO_BENCH_PAPER"
-    ):
+    if seams.flag("REPRO_BENCH_FULL") or seams.flag("REPRO_BENCH_PAPER"):
         sizes += [4096, 8192]
     return sizes
 

@@ -52,7 +52,7 @@ def run_comparison():
 def test_sequential_join_baseline(benchmark):
     rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
 
-    for size, serial_steps, gossip_cycles, join_msgs, gossip_msgs, deficit in rows:
+    for size, serial_steps, gossip_cycles, _join_msgs, _gossip_msgs, deficit in rows:
         # Serial depth: N versus O(log N) -- the headline gap.
         assert serial_steps == size
         assert gossip_cycles < size / 8

@@ -28,11 +28,9 @@ the fallback floor -- the no-numpy CI leg's smoke configuration.
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-from repro import engine_vector
+from repro import engine_vector, seams
 from repro.analysis import render_table
 from repro.scenarios import run_scenario
 
@@ -53,7 +51,7 @@ SUSTAIN_CYCLES = 10
 
 
 def _smoke() -> bool:
-    return bool(os.environ.get("REPRO_BENCH_VECTOR_SMOKE"))
+    return seams.flag("REPRO_BENCH_VECTOR_SMOKE")
 
 
 def shootout_sizes():

@@ -45,10 +45,10 @@ optimisations show up as before/after deltas in
 from __future__ import annotations
 
 import json
-import os
 import pathlib
-from typing import List, Sequence, Tuple, Union
+from collections.abc import Sequence
 
+from repro import seams
 from repro.analysis import Series, format_dat
 from repro.runtime import RunColumns, throughput_summary
 from repro.scenarios import (
@@ -65,12 +65,12 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 DEFAULT_REPEATS = {1024: 3, 4096: 2, 16384: 1, 65536: 1, 262144: 1}
 
 
-def bench_sizes() -> List[int]:
+def bench_sizes() -> list[int]:
     """The network-size sweep for figure benchmarks."""
-    if os.environ.get("REPRO_BENCH_PAPER"):
+    if seams.flag("REPRO_BENCH_PAPER"):
         return [2**14, 2**16, 2**18]
     sizes = [2**10, 2**12]
-    if os.environ.get("REPRO_BENCH_FULL"):
+    if seams.flag("REPRO_BENCH_FULL"):
         sizes.append(2**14)
     return sizes
 
@@ -80,20 +80,20 @@ def repeats_for(size: int) -> int:
     return DEFAULT_REPEATS.get(size, 1)
 
 
-def bench_replicas() -> Tuple[int, ...]:
+def bench_replicas() -> tuple[int, ...]:
     """Per-size replica counts aligned with :func:`bench_sizes`."""
     return tuple(repeats_for(size) for size in bench_sizes())
 
 
 def bench_workers() -> int:
     """Worker-process count for benchmark sweeps (env-controlled)."""
-    return max(1, int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+    return max(1, seams.integer("REPRO_BENCH_WORKERS"))
 
 
 def bench_engine() -> str:
     """Cycle-engine implementation for benchmark sweeps
     (``REPRO_BENCH_ENGINE``, default the reference engine)."""
-    engine = os.environ.get("REPRO_BENCH_ENGINE", "reference")
+    engine = seams.get("REPRO_BENCH_ENGINE") or "reference"
     if engine not in ENGINE_KINDS:
         raise ValueError(
             f"REPRO_BENCH_ENGINE must be one of {ENGINE_KINDS}, "
@@ -122,7 +122,7 @@ def bench_scenario(
 
 
 def run_scenario_bench(
-    scenario: Union[str, ScenarioSpec]
+    scenario: str | ScenarioSpec
 ) -> ScenarioResult:
     """Execute a scenario through the shared runner.
 

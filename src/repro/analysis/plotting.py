@@ -9,7 +9,7 @@ reproduces that layout with one glyph per curve.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from .series import Series
 
@@ -44,7 +44,7 @@ def _render(
     span_x = max_x - min_x or 1.0
     span_y = max_y - min_y or 1.0
 
-    grid: List[List[str]] = [
+    grid: list[list[str]] = [
         [" "] * width for _ in range(height)
     ]
     for x, ty, index in points:

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, TextIO, Tuple
+from collections.abc import Iterable, Sequence
+from typing import TextIO
 
 __all__ = ["Series", "mean_series", "write_dat", "format_dat"]
 
@@ -22,17 +23,17 @@ class Series:
     """One labelled curve: ``(x, y)`` points in x order."""
 
     label: str
-    points: Tuple[Tuple[float, float], ...]
+    points: tuple[tuple[float, float], ...]
 
     @classmethod
     def from_pairs(
-        cls, label: str, pairs: Iterable[Tuple[float, float]]
-    ) -> "Series":
+        cls, label: str, pairs: Iterable[tuple[float, float]]
+    ) -> Series:
         """Build a series, sorting by x and rejecting duplicate x
         values (step lookup over a curve with two points at one x
         would silently pick the later one)."""
         points = tuple(sorted(pairs))
-        for before, after in zip(points, points[1:]):
+        for before, after in zip(points, points[1:], strict=False):
             if before[0] == after[0]:
                 raise ValueError(
                     f"series {label!r} has duplicate x value {before[0]!r}"
@@ -40,23 +41,23 @@ class Series:
         return cls(label=label, points=points)
 
     @property
-    def xs(self) -> Tuple[float, ...]:
+    def xs(self) -> tuple[float, ...]:
         """The x coordinates."""
         return tuple(p[0] for p in self.points)
 
     @property
-    def ys(self) -> Tuple[float, ...]:
+    def ys(self) -> tuple[float, ...]:
         """The y coordinates."""
         return tuple(p[1] for p in self.points)
 
     def __len__(self) -> int:
         return len(self.points)
 
-    def final_y(self) -> Optional[float]:
+    def final_y(self) -> float | None:
         """The last y value, or ``None`` for an empty series."""
         return self.points[-1][1] if self.points else None
 
-    def first_x_below(self, threshold: float) -> Optional[float]:
+    def first_x_below(self, threshold: float) -> float | None:
         """Smallest x whose y is <= *threshold* (convergence-time
         extraction for the scalability analysis)."""
         for x, y in self.points:
@@ -64,7 +65,7 @@ class Series:
                 return x
         return None
 
-    def nonzero(self) -> "Series":
+    def nonzero(self) -> Series:
         """The series restricted to y > 0 (log-plot safe)."""
         return Series(
             label=self.label,
@@ -116,13 +117,13 @@ def mean_series(label: str, series: Sequence[Series]) -> Series:
     scale = 1.0 / len(series)
     return Series(
         label=label,
-        points=tuple((x, total * scale) for x, total in zip(xs, totals)),
+        points=tuple((x, total * scale) for x, total in zip(xs, totals, strict=True)),
     )
 
 
 def format_dat(series: Sequence[Series]) -> str:
     """Render curves as a gnuplot-style multi-block ``.dat`` string."""
-    blocks: List[str] = []
+    blocks: list[str] = []
     for s in series:
         lines = [f"# {s.label}"]
         lines.extend(f"{x:g}\t{y:.10g}" for x, y in s.points)

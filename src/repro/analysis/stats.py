@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 __all__ = [
     "Summary",
@@ -114,7 +114,7 @@ def linear_fit(
     sxx = sum((x - mean_x) ** 2 for x in xs)
     if sxx == 0:
         raise ValueError("degenerate fit: all x values identical")
-    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys, strict=True))
     slope = sxy / sxx
     intercept = mean_y - slope * mean_x
     syy = sum((y - mean_y) ** 2 for y in ys)
@@ -122,7 +122,7 @@ def linear_fit(
         r_squared = 1.0
     else:
         residual = sum(
-            (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+            (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys, strict=True)
         )
         r_squared = 1.0 - residual / syy
     return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared)

@@ -6,7 +6,8 @@ renderer so the harness output stays uniform and greppable.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 __all__ = ["render_table", "render_kv"]
 
@@ -59,7 +60,7 @@ def render_table(
                 parts.append(value.ljust(widths[index]))
         return "  ".join(parts).rstrip()
 
-    lines: List[str] = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     lines.append(fmt_row(list(headers)))
@@ -68,7 +69,7 @@ def render_table(
     return "\n".join(lines) + "\n"
 
 
-def render_kv(pairs: Dict[str, Any], *, title: str = "") -> str:
+def render_kv(pairs: dict[str, Any], *, title: str = "") -> str:
     """Render a key/value block (experiment headers, summaries)."""
     width = max((len(k) for k in pairs), default=0)
     lines = [title] if title else []

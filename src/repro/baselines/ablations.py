@@ -20,7 +20,6 @@ contribution to convergence speed.
 
 from __future__ import annotations
 
-from typing import Dict, Type
 
 from ..core.descriptor import NodeDescriptor
 from ..core.messages import BootstrapMessage
@@ -76,7 +75,7 @@ class UnoptimizedCloseNode(BootstrapNode):
 
 #: Name -> node class, for harness parameterisation.  ``"full"`` is the
 #: unmodified protocol.
-ABLATION_VARIANTS: Dict[str, Type[BootstrapNode]] = {
+ABLATION_VARIANTS: dict[str, type[BootstrapNode]] = {
     "full": BootstrapNode,
     "no-feedback": NoFeedbackNode,
     "no-prefix-part": NoPrefixPartNode,

@@ -16,7 +16,6 @@ times is a handful of gossip rounds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
 
 from ..simulator.random_source import RandomSource
 
@@ -41,10 +40,10 @@ class FloodResult:
         Per-node round of first reception, keyed by node index.
     """
 
-    rounds_to_full: Optional[int]
+    rounds_to_full: int | None
     messages: int
-    coverage_series: Tuple[int, ...]
-    first_reception_round: Dict[int, int]
+    coverage_series: tuple[int, ...]
+    first_reception_round: dict[int, int]
 
     @property
     def population(self) -> int:
@@ -82,7 +81,7 @@ def simulate_start_flood(
     informed = {0: 0}  # node index -> round of first reception
     coverage = [1]
     messages = 0
-    rounds_to_full: Optional[int] = None
+    rounds_to_full: int | None = None
     for round_index in range(1, max_rounds + 1):
         # Snapshot: only nodes informed before this round push in it.
         pushers = [n for n, r in informed.items() if r < round_index]

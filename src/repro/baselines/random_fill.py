@@ -16,7 +16,7 @@ plots both.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from ..core.config import BootstrapConfig, PAPER_CONFIG
 from ..core.convergence import ConvergenceSample, ConvergenceTracker
@@ -74,9 +74,9 @@ class RandomFillSimulation:
 
     def __init__(
         self,
-        size: Optional[int] = None,
+        size: int | None = None,
         *,
-        ids: Optional[Sequence[int]] = None,
+        ids: Sequence[int] | None = None,
         config: BootstrapConfig = PAPER_CONFIG,
         seed: int = 1,
     ) -> None:
@@ -92,7 +92,7 @@ class RandomFillSimulation:
             id_list = list(ids)
 
         self.registry = MembershipRegistry()
-        self.nodes: Dict[int, RandomFillNode] = {}
+        self.nodes: dict[int, RandomFillNode] = {}
         for address, node_id in enumerate(id_list):
             descriptor = NodeDescriptor(node_id=node_id, address=address)
             self.registry.add(descriptor)
@@ -120,7 +120,7 @@ class RandomFillSimulation:
 
     def run(
         self, max_cycles: int = 60, *, stop_when_perfect: bool = True
-    ) -> List[ConvergenceSample]:
+    ) -> list[ConvergenceSample]:
         """Run and return the per-cycle convergence series."""
         for _ in range(max_cycles):
             self.run_cycle()

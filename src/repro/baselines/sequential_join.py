@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from ..core.config import BootstrapConfig, PAPER_CONFIG
 from ..core.descriptor import NodeDescriptor
@@ -56,7 +55,7 @@ class _LiveNode:
         self.leaf_set.update([descriptor])
         self.prefix_table.add(descriptor)
 
-    def next_hop(self, target_id: int) -> Optional[int]:
+    def next_hop(self, target_id: int) -> int | None:
         """Pastry routing step over the live tables."""
         own = self.node_id
         if target_id == own:
@@ -150,10 +149,10 @@ class SequentialJoinNetwork:
         self._space = config.space
         self._source = RandomSource(seed)
         self._rng = self._source.derive("joins")
-        self._nodes: Dict[int, _LiveNode] = {}
-        self._descriptors: Dict[int, NodeDescriptor] = {}
-        self._sorted_ids: List[int] = []
-        self._route_hops: List[int] = []
+        self._nodes: dict[int, _LiveNode] = {}
+        self._descriptors: dict[int, NodeDescriptor] = {}
+        self._sorted_ids: list[int] = []
+        self._route_hops: list[int] = []
         self._messages = 0
 
     @property
@@ -162,7 +161,7 @@ class SequentialJoinNetwork:
         return len(self._nodes)
 
     @property
-    def ids(self) -> List[int]:
+    def ids(self) -> list[int]:
         """Live identifiers, ascending."""
         return list(self._sorted_ids)
 
@@ -174,7 +173,7 @@ class SequentialJoinNetwork:
     # Join protocol
     # ------------------------------------------------------------------
 
-    def join(self, node_id: Optional[int] = None) -> int:
+    def join(self, node_id: int | None = None) -> int:
         """Admit one node via the Pastry join protocol; returns its id."""
         if node_id is None:
             node_id = self._space.random_id(self._rng)
@@ -195,7 +194,7 @@ class SequentialJoinNetwork:
             # ...one state-transfer reply per visited node (row i from
             # hop i, leaf set from the last hop)...
             self._messages += len(path)
-            for row_index, visited_id in enumerate(path):
+            for visited_id in path:
                 visited = self._nodes[visited_id]
                 newcomer.learn(self._descriptors[visited_id])
                 for _slot, descs in visited.prefix_table.iter_slots():
@@ -220,7 +219,7 @@ class SequentialJoinNetwork:
         bisect.insort(self._sorted_ids, node_id)
         return node_id
 
-    def _route_join(self, start_id: int, target_id: int) -> List[int]:
+    def _route_join(self, start_id: int, target_id: int) -> list[int]:
         """Route the join request; returns the visited path."""
         path = [start_id]
         current = self._nodes[start_id]

@@ -29,10 +29,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
 
 from .analysis import Series, ascii_semilog, render_kv, render_table
 from .components import AggregationExperiment, BroadcastConfig, GossipBroadcast
+from .devtools import main as devtools_main
 from .runtime import (
     CheckpointError,
     RunSpec,
@@ -122,7 +122,7 @@ def _print_run(size: int, result, label: str) -> None:
     )
 
 
-def _run_one(size: int, args: argparse.Namespace) -> "tuple[Series, Series]":
+def _run_one(size: int, args: argparse.Namespace) -> tuple[Series, Series]:
     sim = build_simulation(
         ExperimentSpec(
             size=size,
@@ -177,8 +177,8 @@ def cmd_figure(args: argparse.Namespace, lossy: bool) -> int:
         specs.append(RunSpec(experiment=spec, shard=index))
     outcomes = SweepRunner(workers=args.workers).run(specs)
 
-    leaf_curves: List[Series] = []
-    prefix_curves: List[Series] = []
+    leaf_curves: list[Series] = []
+    prefix_curves: list[Series] = []
     for outcome in outcomes:
         result = outcome.result
         label = outcome.spec.experiment.label
@@ -251,7 +251,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # loss column (cells in aggregate order, same as the rows).
     rows = [
         row + [f"{cell.overall_loss_fraction:.3f}"]
-        for row, cell in zip(convergence_rows(aggregate), aggregate.cells)
+        for row, cell in zip(convergence_rows(aggregate), aggregate.cells, strict=True)
     ]
     print(
         render_table(
@@ -308,7 +308,7 @@ def cmd_scenarios_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _resolve_scenario(args: argparse.Namespace) -> Optional[ScenarioSpec]:
+def _resolve_scenario(args: argparse.Namespace) -> ScenarioSpec | None:
     """Registry lookup (or ``--spec-file`` load) with errors on stderr."""
     spec_file = getattr(args, "spec_file", None)
     if spec_file is not None:
@@ -609,6 +609,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers(sp)
     sp.set_defaults(func=cmd_scenarios_run)
 
+    p = sub.add_parser(
+        "check",
+        help=(
+            "statically check determinism, seam, layering, and "
+            "lifecycle invariants (see README: invariants)"
+        ),
+        add_help=False,
+    )
+    # The analyzer owns its own argparse surface (--rule, --list-rules,
+    # --format, --root); main() forwards everything after `check`
+    # before parsing, since REMAINDER cannot capture leading options.
+    p.add_argument("check_args", nargs=argparse.REMAINDER)
+    p.set_defaults(func=lambda a: devtools_main(a.check_args))
+
     p = sub.add_parser("churn", help="steady-state quality under churn")
     p.add_argument("--size", type=int, default=512)
     p.add_argument("--rate", type=float, default=0.01)
@@ -631,10 +645,13 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments[:1] == ["check"]:
+        return devtools_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     return args.func(args)
 
 

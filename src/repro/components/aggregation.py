@@ -18,8 +18,7 @@ tricks (e.g. network size = 1 / mean of an indicator).
 
 from __future__ import annotations
 
-import random
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 from ..core.protocol import Sampler
 
@@ -46,7 +45,7 @@ class AggregationNode:
         self.estimate = float(value)
         self._sampler = sampler
 
-    def select_peer(self) -> Optional[int]:
+    def select_peer(self) -> int | None:
         """A uniform random peer id from the sampling service."""
         sample = self._sampler.sample(1)
         return sample[0].node_id if sample else None
@@ -87,8 +86,8 @@ class AggregationExperiment:
         source = RandomSource(seed)
         self._order_rng = source.derive("order")
         self.registry = MembershipRegistry()
-        self.nodes: Dict[int, AggregationNode] = {}
-        for index, value in enumerate(values):
+        self.nodes: dict[int, AggregationNode] = {}
+        for index in range(len(values)):
             self.registry.add(NodeDescriptor(node_id=index, address=index))
         for index, value in enumerate(values):
             sampler = OracleSampler(
@@ -130,8 +129,8 @@ class AggregationExperiment:
         )
 
     def run(
-        self, cycles: int, *, tolerance: Optional[float] = None
-    ) -> List[Tuple[int, float]]:
+        self, cycles: int, *, tolerance: float | None = None
+    ) -> list[tuple[int, float]]:
         """Run for *cycles* (or until max error <= tolerance); returns
         the ``(cycle, variance)`` trace."""
         trace = [(self.cycle, self.variance())]

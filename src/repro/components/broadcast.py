@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Set, Tuple
 
 __all__ = ["BroadcastConfig", "BroadcastResult", "GossipBroadcast"]
 
@@ -78,7 +77,7 @@ class BroadcastResult:
     population: int
     rounds: int
     messages: int
-    coverage_series: Tuple[int, ...]
+    coverage_series: tuple[int, ...]
 
     @property
     def reliability(self) -> float:
@@ -114,15 +113,15 @@ class GossipBroadcast:
             raise ValueError(f"origin {origin} outside [0, {self.size})")
         config = self.config
         rng = self._rng
-        informed: Set[int] = {origin}
+        informed: set[int] = {origin}
         # node -> remaining active rounds
-        active: Dict[int, int] = {origin: config.rounds_active}
+        active: dict[int, int] = {origin: config.rounds_active}
         coverage = [1]
         messages = 0
         rounds = 0
         while active:
             rounds += 1
-            next_active: Dict[int, int] = {}
+            next_active: dict[int, int] = {}
             for node, remaining in active.items():
                 for _ in range(config.fanout):
                     target = rng.randrange(self.size)

@@ -17,7 +17,7 @@ paper's Section 5 experimental values as defaults: ``b = 4``, ``k = 3``,
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Dict
+from typing import Any
 
 from .idspace import IDSpace
 
@@ -109,11 +109,11 @@ class BootstrapConfig:
             space.num_digits * (space.digit_base - 1) * self.entries_per_slot
         )
 
-    def with_overrides(self, **changes: Any) -> "BootstrapConfig":
+    def with_overrides(self, **changes: Any) -> BootstrapConfig:
         """Return a copy with the given fields replaced (validated)."""
         return replace(self, **changes)
 
-    def describe(self) -> Dict[str, Any]:
+    def describe(self) -> dict[str, Any]:
         """Return the parameter set as a plain dict (for trace headers)."""
         return {
             "id_bits": self.id_bits,

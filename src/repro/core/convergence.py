@@ -15,7 +15,7 @@ pointing at departed nodes are not counted as present.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 from .protocol import BootstrapNode
 from .reference import ReferenceTables
@@ -56,7 +56,7 @@ class ConvergenceSample:
         """Whether every node's tables match the reference exactly."""
         return self.missing_leaf == 0 and self.missing_prefix == 0
 
-    def as_row(self) -> Dict[str, float]:
+    def as_row(self) -> dict[str, float]:
         """Flat representation for traces and data files."""
         return {
             "cycle": self.cycle,
@@ -86,11 +86,11 @@ class ConvergenceTracker:
         nodes: Iterable[BootstrapNode],
     ) -> None:
         self._reference = reference
-        self._nodes: List[BootstrapNode] = [
+        self._nodes: list[BootstrapNode] = [
             node for node in nodes if node.node_id in reference
         ]
         self._live_ids = set(reference.ids)
-        self.samples: List[ConvergenceSample] = []
+        self.samples: list[ConvergenceSample] = []
 
     @property
     def reference(self) -> ReferenceTables:
@@ -134,12 +134,12 @@ class ConvergenceTracker:
 
     def _live_occupancy(
         self, node: BootstrapNode
-    ) -> Dict[Tuple[int, int], int]:
+    ) -> dict[tuple[int, int], int]:
         """Slot occupancy counting only entries that are still live."""
         table = node.prefix_table
         if node.prefix_table.member_ids() <= self._live_ids:
             return table.occupancy()
-        occupancy: Dict[Tuple[int, int], int] = {}
+        occupancy: dict[tuple[int, int], int] = {}
         for slot, descriptors in table.iter_slots():
             live_count = sum(
                 1 for d in descriptors if d.node_id in self._live_ids
@@ -153,24 +153,24 @@ class ConvergenceTracker:
     # ------------------------------------------------------------------
 
     @property
-    def converged_at(self) -> Optional[float]:
+    def converged_at(self) -> float | None:
         """Cycle of the first perfect sample, or ``None``."""
         for sample in self.samples:
             if sample.is_perfect:
                 return sample.cycle
         return None
 
-    def leaf_series(self) -> "List[Tuple[float, float]]":
+    def leaf_series(self) -> list[tuple[float, float]]:
         """``(cycle, leaf_fraction)`` pairs -- Figure 3/4 top curve."""
         return [(s.cycle, s.leaf_fraction) for s in self.samples]
 
-    def prefix_series(self) -> "List[Tuple[float, float]]":
+    def prefix_series(self) -> list[tuple[float, float]]:
         """``(cycle, prefix_fraction)`` pairs -- Figure 3/4 bottom curve."""
         return [(s.cycle, s.prefix_fraction) for s in self.samples]
 
     def cycles_to_reach(
         self, leaf_threshold: float = 0.0, prefix_threshold: float = 0.0
-    ) -> Optional[float]:
+    ) -> float | None:
         """First cycle at which both fractions are at or below the given
         thresholds (used by the scalability analysis, experiment E5)."""
         for sample in self.samples:

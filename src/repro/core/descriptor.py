@@ -15,7 +15,7 @@ hashable value works.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Hashable, Iterable, List
+from collections.abc import Hashable, Iterable
 
 __all__ = ["NodeDescriptor", "freshest_by_id", "dedupe_by_id"]
 
@@ -42,11 +42,11 @@ class NodeDescriptor:
     address: Hashable
     timestamp: float = 0.0
 
-    def refreshed(self, timestamp: float) -> "NodeDescriptor":
+    def refreshed(self, timestamp: float) -> NodeDescriptor:
         """Return a copy of this descriptor stamped with *timestamp*."""
         return replace(self, timestamp=timestamp)
 
-    def is_fresher_than(self, other: "NodeDescriptor") -> bool:
+    def is_fresher_than(self, other: NodeDescriptor) -> bool:
         """Return whether this descriptor supersedes *other*.
 
         Only meaningful for descriptors of the same node; the caller is
@@ -63,14 +63,14 @@ class NodeDescriptor:
 
 def freshest_by_id(
     descriptors: Iterable[NodeDescriptor],
-) -> Dict[int, NodeDescriptor]:
+) -> dict[int, NodeDescriptor]:
     """Collapse *descriptors* to one per node id, keeping the freshest.
 
     This is the merge rule shared by NEWSCAST views and the bootstrap
     protocol's local caches: stale advertisements of a node never
     overwrite newer ones.
     """
-    best: Dict[int, NodeDescriptor] = {}
+    best: dict[int, NodeDescriptor] = {}
     for desc in descriptors:
         current = best.get(desc.node_id)
         if current is None or desc.timestamp > current.timestamp:
@@ -80,7 +80,7 @@ def freshest_by_id(
 
 def dedupe_by_id(
     descriptors: Iterable[NodeDescriptor],
-) -> List[NodeDescriptor]:
+) -> list[NodeDescriptor]:
     """Return *descriptors* with duplicate node ids removed (freshest
     wins), preserving no particular order guarantees beyond determinism
     for a deterministic input order."""

@@ -22,7 +22,7 @@ path).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 import random
 
@@ -107,7 +107,7 @@ class IDSpace:
         """Draw a uniform identifier using the supplied RNG."""
         return rng.getrandbits(self.bits)
 
-    def random_unique_ids(self, count: int, rng: random.Random) -> List[int]:
+    def random_unique_ids(self, count: int, rng: random.Random) -> list[int]:
         """Draw *count* distinct uniform identifiers.
 
         The paper assumes "all nodes have unique numeric IDs"; collisions
@@ -122,7 +122,7 @@ class IDSpace:
                 f"of size 2**{self.bits}"
             )
         seen = set()
-        out: List[int] = []
+        out: list[int] = []
         while len(out) < count:
             candidate = rng.getrandbits(self.bits)
             if candidate not in seen:
@@ -179,7 +179,7 @@ class IDSpace:
         shift = self.bits - (index + 1) * self.digit_bits
         return (node_id >> shift) & (self.digit_base - 1)
 
-    def digits(self, node_id: int) -> List[int]:
+    def digits(self, node_id: int) -> list[int]:
         """Return all digits of *node_id*, most significant first."""
         base_mask = self.digit_base - 1
         bits = self.bits
@@ -206,7 +206,7 @@ class IDSpace:
         """Kademlia's XOR metric over the same identifier space."""
         return a ^ b
 
-    def prefix_slot(self, own: int, other: int) -> "tuple[int, int]":
+    def prefix_slot(self, own: int, other: int) -> tuple[int, int]:
         """Return the prefix-table slot ``(row, column)`` that *other*
         occupies in *own*'s table.
 
@@ -261,13 +261,13 @@ class IDSpace:
 
     def sort_by_ring_distance(
         self, origin: int, ids: Iterable[int]
-    ) -> List[int]:
+    ) -> list[int]:
         """Return *ids* sorted by ring distance from *origin* (closest
         first).  Ties are broken by the identifier value so the order is
         deterministic."""
         size_mask = self.size - 1
 
-        def key(node_id: int) -> "tuple[int, int]":
+        def key(node_id: int) -> tuple[int, int]:
             forward = (node_id - origin) & size_mask
             backward = (origin - node_id) & size_mask
             return (forward if forward < backward else backward, node_id)

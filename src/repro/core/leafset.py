@@ -23,7 +23,7 @@ element from the first half of the sorted list").
 from __future__ import annotations
 
 from heapq import nsmallest
-from typing import Dict, Iterable, List, Optional, Set
+from collections.abc import Iterable
 
 from .descriptor import NodeDescriptor
 from .idspace import IDSpace
@@ -33,7 +33,7 @@ __all__ = ["LeafSet", "select_balanced_ids"]
 
 def select_balanced_ids(
     space: IDSpace, own_id: int, candidate_ids: Iterable[int], half_capacity: int
-) -> Set[int]:
+) -> set[int]:
     """The paper's leaf-set selection rule, as a pure function on ids.
 
     Keeps the *half_capacity* closest successors and *half_capacity*
@@ -46,8 +46,8 @@ def select_balanced_ids(
     mask = space.size - 1
     half_ring = space.half
 
-    successors: List["tuple[int, int]"] = []
-    predecessors: List["tuple[int, int]"] = []
+    successors: list[tuple[int, int]] = []
+    predecessors: list[tuple[int, int]] = []
     for node_id in candidate_ids:
         if node_id == own_id:
             continue
@@ -102,7 +102,7 @@ class LeafSet:
         self._size = size
         self._half = size // 2
         self._mask = space.size - 1
-        self._members: Dict[int, NodeDescriptor] = {}
+        self._members: dict[int, NodeDescriptor] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -127,15 +127,15 @@ class LeafSet:
     def __iter__(self):
         return iter(self._members.values())
 
-    def member_ids(self) -> Set[int]:
+    def member_ids(self) -> set[int]:
         """The identifiers currently held (a fresh set)."""
         return set(self._members)
 
-    def descriptors(self) -> List[NodeDescriptor]:
+    def descriptors(self) -> list[NodeDescriptor]:
         """All member descriptors, in unspecified (but stable) order."""
         return list(self._members.values())
 
-    def get(self, node_id: int) -> Optional[NodeDescriptor]:
+    def get(self, node_id: int) -> NodeDescriptor | None:
         """Return the descriptor held for *node_id*, or ``None``."""
         return self._members.get(node_id)
 
@@ -160,7 +160,7 @@ class LeafSet:
         signal for experiments; the protocol itself never needs it).
         """
         own = self._own_id
-        merged: Dict[int, NodeDescriptor] = dict(self._members)
+        merged: dict[int, NodeDescriptor] = dict(self._members)
         new_candidates = False
         refreshed = False
         for desc in descriptors:
@@ -187,8 +187,8 @@ class LeafSet:
         return changed
 
     def _select(
-        self, candidates: Dict[int, NodeDescriptor]
-    ) -> Dict[int, NodeDescriptor]:
+        self, candidates: dict[int, NodeDescriptor]
+    ) -> dict[int, NodeDescriptor]:
         """Keep the c/2 closest successors and c/2 closest predecessors,
         backfilling from the other direction when one side runs short."""
         chosen_ids = select_balanced_ids(
@@ -200,20 +200,20 @@ class LeafSet:
     # Views used by the protocol
     # ------------------------------------------------------------------
 
-    def sorted_by_distance(self) -> List[NodeDescriptor]:
+    def sorted_by_distance(self) -> list[NodeDescriptor]:
         """Members ordered by ring distance from the owner (closest
         first, ties broken by identifier)."""
         own = self._own_id
         mask = self._mask
 
-        def key(desc: NodeDescriptor) -> "tuple[int, int]":
+        def key(desc: NodeDescriptor) -> tuple[int, int]:
             forward = (desc.node_id - own) & mask
             backward = (own - desc.node_id) & mask
             return (min(forward, backward), desc.node_id)
 
         return sorted(self._members.values(), key=key)
 
-    def closest_half(self) -> List[NodeDescriptor]:
+    def closest_half(self) -> list[NodeDescriptor]:
         """The first half of :meth:`sorted_by_distance`.
 
         ``SELECTPEER`` draws uniformly from this list.  We round the
@@ -226,7 +226,7 @@ class LeafSet:
         half = (len(ordered) + 1) // 2
         return ordered[:half]
 
-    def successors(self) -> List[NodeDescriptor]:
+    def successors(self) -> list[NodeDescriptor]:
         """Members in the increasing direction, closest first."""
         own = self._own_id
         mask = self._mask
@@ -239,7 +239,7 @@ class LeafSet:
         out.sort(key=lambda d: (d.node_id - own) & mask)
         return out
 
-    def predecessors(self) -> List[NodeDescriptor]:
+    def predecessors(self) -> list[NodeDescriptor]:
         """Members in the decreasing direction, closest first."""
         own = self._own_id
         mask = self._mask

@@ -13,7 +13,7 @@ and it is itself useful routing information).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from collections.abc import Iterator
 
 from .descriptor import NodeDescriptor
 
@@ -40,7 +40,7 @@ class BootstrapMessage:
     """
 
     sender: NodeDescriptor
-    descriptors: Tuple[NodeDescriptor, ...]
+    descriptors: tuple[NodeDescriptor, ...]
     is_reply: bool = False
 
     def all_descriptors(self) -> Iterator[NodeDescriptor]:

@@ -24,7 +24,7 @@ table, not to the bootstrap.)
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from collections.abc import Iterable, Iterator
 
 from .descriptor import NodeDescriptor
 from .idspace import IDSpace
@@ -62,8 +62,8 @@ class PrefixTable:
         self._k = entries_per_slot
         # slot -> {node_id: descriptor}; slots created lazily since only
         # ~log_base(N) rows are ever populated in practice.
-        self._slots: Dict[Tuple[int, int], Dict[int, NodeDescriptor]] = {}
-        self._ids: Set[int] = set()
+        self._slots: dict[tuple[int, int], dict[int, NodeDescriptor]] = {}
+        self._ids: set[int] = set()
         # Cached geometry for the hot path.
         self._bits = space.bits
         self._digit_bits = space.digit_bits
@@ -90,11 +90,11 @@ class PrefixTable:
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._ids
 
-    def member_ids(self) -> Set[int]:
+    def member_ids(self) -> set[int]:
         """All identifiers stored anywhere in the table (fresh set)."""
         return set(self._ids)
 
-    def descriptors(self) -> List[NodeDescriptor]:
+    def descriptors(self) -> list[NodeDescriptor]:
         """Every stored descriptor (all slots flattened)."""
         return [
             desc
@@ -104,17 +104,17 @@ class PrefixTable:
 
     def iter_slots(
         self,
-    ) -> Iterator[Tuple[Tuple[int, int], List[NodeDescriptor]]]:
+    ) -> Iterator[tuple[tuple[int, int], list[NodeDescriptor]]]:
         """Yield ``((row, column), descriptors)`` for each non-empty slot."""
         for key, slot in self._slots.items():
             yield key, list(slot.values())
 
-    def slot_entries(self, row: int, column: int) -> List[NodeDescriptor]:
+    def slot_entries(self, row: int, column: int) -> list[NodeDescriptor]:
         """Descriptors stored at ``(row, column)`` (possibly empty)."""
         slot = self._slots.get((row, column))
         return list(slot.values()) if slot else []
 
-    def occupancy(self) -> Dict[Tuple[int, int], int]:
+    def occupancy(self) -> dict[tuple[int, int], int]:
         """Map of slot -> number of stored entries, for convergence
         accounting against the reference tables."""
         return {key: len(slot) for key, slot in self._slots.items() if slot}
@@ -123,7 +123,7 @@ class PrefixTable:
     # Slot geometry
     # ------------------------------------------------------------------
 
-    def slot_for(self, node_id: int) -> Tuple[int, int]:
+    def slot_for(self, node_id: int) -> tuple[int, int]:
         """The ``(row, column)`` where *node_id* belongs in this table."""
         own = self._own_id
         diff = own ^ node_id
@@ -200,7 +200,7 @@ class PrefixTable:
     # Routing view
     # ------------------------------------------------------------------
 
-    def route_candidates(self, target_id: int) -> List[NodeDescriptor]:
+    def route_candidates(self, target_id: int) -> list[NodeDescriptor]:
         """Descriptors in the slot matching *target_id*'s next digit.
 
         This is the prefix-routing step: the slot at
@@ -217,11 +217,11 @@ class PrefixTable:
         row, column = self.slot_for(target_id)
         return self.slot_entries(row, column)
 
-    def best_match(self, target_id: int) -> Optional[NodeDescriptor]:
+    def best_match(self, target_id: int) -> NodeDescriptor | None:
         """The stored descriptor sharing the longest prefix with
         *target_id* (ties broken by smaller ring distance is unnecessary
         here; any maximal-prefix entry works for greedy routing)."""
-        best: Optional[NodeDescriptor] = None
+        best: NodeDescriptor | None = None
         best_len = -1
         space = self._space
         for slot in self._slots.values():

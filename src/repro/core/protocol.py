@@ -40,7 +40,7 @@ Design notes / faithful-reading decisions
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Protocol
+from typing import Protocol
 
 from .config import BootstrapConfig
 from .descriptor import NodeDescriptor
@@ -58,7 +58,7 @@ class Sampler(Protocol):
     this structurally (no inheritance required).
     """
 
-    def sample(self, count: int) -> List[NodeDescriptor]:
+    def sample(self, count: int) -> list[NodeDescriptor]:
         """Return up to *count* descriptors of (approximately) uniform
         random live peers.  May return fewer when the underlying view is
         small; must never include duplicates of the same node id."""
@@ -208,7 +208,7 @@ class BootstrapNode:
     # SELECTPEER
     # ------------------------------------------------------------------
 
-    def select_peer(self) -> Optional[NodeDescriptor]:
+    def select_peer(self) -> NodeDescriptor | None:
         """Pick the next gossip partner (paper's SELECTPEER).
 
         "sorts the leaf set according to distance from the node's own ID
@@ -342,14 +342,14 @@ class BootstrapNode:
         # above), so "does this descriptor land in a slot?" reduces to
         # counting occupancy per (row, column) up to k -- the dominant
         # allocation in the exchange hot path before this rewrite.
-        prefix_part: List[NodeDescriptor] = []
+        prefix_part: list[NodeDescriptor] = []
         if include_prefix_part:
             space = self._space
             bits = space.bits
             digit_bits = space.digit_bits
             base_mask = space.digit_base - 1
             k = config.entries_per_slot
-            occupancy: Dict[int, int] = {}
+            occupancy: dict[int, int] = {}
             for desc in rest:
                 nid = desc.node_id
                 diff = peer_id ^ nid
@@ -387,7 +387,7 @@ class BootstrapNode:
 
     def initiate_exchange(
         self,
-    ) -> "Optional[tuple[NodeDescriptor, BootstrapMessage]]":
+    ) -> tuple[NodeDescriptor, BootstrapMessage] | None:
         """One iteration of the active thread, up to the send.
 
         Returns ``(peer, request)`` for the engine to deliver, or

@@ -21,7 +21,7 @@ checks stay cheap even for large networks.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 from .idspace import IDSpace
 from .leafset import select_balanced_ids
@@ -41,8 +41,8 @@ class _TrieNode:
 
     def __init__(self) -> None:
         self.count = 0
-        self.children: Optional[Dict[int, "_TrieNode"]] = None
-        self.sole_id: Optional[int] = None
+        self.children: dict[int, _TrieNode] | None = None
+        self.sole_id: int | None = None
 
 
 class DigitTrie:
@@ -111,8 +111,8 @@ class DigitTrie:
         return counts.get((depth, digit), 0)
 
     def slot_counts_for(
-        self, node_id: int, cap: Optional[int]
-    ) -> Dict[Tuple[int, int], int]:
+        self, node_id: int, cap: int | None
+    ) -> dict[tuple[int, int], int]:
         """All non-empty slot populations for *node_id*'s prefix table.
 
         Walks the path of *node_id* through the trie; at depth ``i`` the
@@ -128,7 +128,7 @@ class DigitTrie:
             the result is directly the *perfect occupancy*.
         """
         space = self._space
-        counts: Dict[Tuple[int, int], int] = {}
+        counts: dict[tuple[int, int], int] = {}
         node = self._root
         depth = 0
         while depth < space.num_digits:
@@ -187,15 +187,15 @@ class ReferenceTables:
         self._space = space
         self._c = leaf_set_size
         self._k = entries_per_slot
-        self._sorted_ids: List[int] = sorted(set(ids))
+        self._sorted_ids: list[int] = sorted(set(ids))
         if not self._sorted_ids:
             raise ValueError("reference tables need at least one identifier")
-        self._index: Dict[int, int] = {
+        self._index: dict[int, int] = {
             node_id: i for i, node_id in enumerate(self._sorted_ids)
         }
         self._trie = DigitTrie(space, self._sorted_ids)
-        self._leaf_cache: Dict[int, FrozenSet[int]] = {}
-        self._totals: Optional[Tuple[int, int]] = None
+        self._leaf_cache: dict[int, frozenset[int]] = {}
+        self._totals: tuple[int, int] | None = None
 
     # ------------------------------------------------------------------
     # Membership
@@ -223,7 +223,7 @@ class ReferenceTables:
     # Perfect leaf sets
     # ------------------------------------------------------------------
 
-    def perfect_leaf_ids(self, node_id: int) -> FrozenSet[int]:
+    def perfect_leaf_ids(self, node_id: int) -> frozenset[int]:
         """The converged leaf-set membership for *node_id*.
 
         Computed by applying the protocol's own selection rule to the
@@ -254,7 +254,7 @@ class ReferenceTables:
     # Perfect prefix tables
     # ------------------------------------------------------------------
 
-    def perfect_prefix_counts(self, node_id: int) -> Dict[Tuple[int, int], int]:
+    def perfect_prefix_counts(self, node_id: int) -> dict[tuple[int, int], int]:
         """Perfect occupancy ``slot -> min(k, available)`` for *node_id*."""
         if node_id not in self._index:
             raise KeyError(f"{node_id:#x} is not a live identifier")
@@ -264,7 +264,7 @@ class ReferenceTables:
     # Network-wide totals (denominators of the paper's metric)
     # ------------------------------------------------------------------
 
-    def totals(self) -> Tuple[int, int]:
+    def totals(self) -> tuple[int, int]:
         """``(total perfect leaf entries, total perfect prefix entries)``
         summed over every live node.  Cached after the first call."""
         if self._totals is None:
@@ -282,12 +282,12 @@ class ReferenceTables:
     # Per-node deficit measurement
     # ------------------------------------------------------------------
 
-    def leaf_missing(self, node_id: int, current_ids: "set[int]") -> int:
+    def leaf_missing(self, node_id: int, current_ids: set[int]) -> int:
         """Number of perfect leaf-set members absent from *current_ids*."""
         return len(self.perfect_leaf_ids(node_id) - current_ids)
 
     def prefix_missing(
-        self, node_id: int, occupancy: Dict[Tuple[int, int], int]
+        self, node_id: int, occupancy: dict[tuple[int, int], int]
     ) -> int:
         """Total slot deficit of a prefix table versus perfection.
 

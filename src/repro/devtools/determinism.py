@@ -1,0 +1,184 @@
+"""Determinism lint: the AST patterns that break bit-identity.
+
+The engines' reproducibility contract is that every byte of a
+trajectory is a function of ``(seed, spec)``.  Four patterns break it
+without failing a single unit test:
+
+* **module-level RNG draws** (``random.random()``,
+  ``numpy.random.rand()``): global-stream state shared across
+  simulations, order-dependent across refactors.  Randomness must
+  flow through injected ``random.Random`` / ``numpy.random.Generator``
+  instances (constructing those *is* allowed).
+* **wall-clock reads**: any value derived from the host clock differs
+  between runs by construction.  Timing *measurement* is legitimate --
+  mark the measuring function ``# repro-check: timing -- reason``.
+* **``os.urandom``**: entropy that cannot be replayed.
+* **iteration over set expressions**: CPython string/object hashing is
+  seed-randomised, so ``for x in {a, b}`` (or ``set(...)``) visits
+  elements in a process-dependent order.  Sort before iterating.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from .findings import Finding, SourceFile
+
+#: random-module functions that *construct* generators instead of
+#: drawing from the global stream: always allowed.
+_RNG_CONSTRUCTORS = frozenset(
+    {"Random", "default_rng", "Generator", "SeedSequence", "PCG64"}
+)
+
+#: Wall-clock attribute reads, by module alias.
+_CLOCK_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "now",
+        "utcnow",
+        "today",
+    }
+)
+_CLOCK_MODULES = frozenset({"time", "datetime", "date"})
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` -> ``["a", "b", "c"]`` (empty when not a pure chain)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def check_module_random(src: SourceFile) -> Iterator[Finding]:
+    """Flag draws from module-level RNG streams."""
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attr_chain(node.func)
+        if len(chain) < 2:
+            continue
+        dotted = ".".join(chain)
+        # random.<draw>(...) on the stdlib module.  SystemRandom is a
+        # constructor but an OS-entropy one, so it stays flagged.
+        if chain[0] == "random" and len(chain) == 2:
+            if chain[1] not in _RNG_CONSTRUCTORS:
+                yield Finding(
+                    "module-random",
+                    src.rel,
+                    node.lineno,
+                    f"{dotted}() draws from the global random stream; "
+                    "inject a random.Random instead",
+                )
+        # <numpy alias>.random.<draw>(...): everything except
+        # generator construction taps numpy's legacy global state.
+        elif "random" in chain[:-1] and chain[0] in ("np", "numpy", "_np"):
+            if chain[-1] not in _RNG_CONSTRUCTORS:
+                yield Finding(
+                    "module-random",
+                    src.rel,
+                    node.lineno,
+                    f"{dotted}() uses numpy's global random state; "
+                    "use a numpy.random.Generator instance",
+                )
+
+
+def check_wall_clock(src: SourceFile) -> Iterator[Finding]:
+    """Flag host-clock reads outside timing-marked functions."""
+    # Names bound by `from time import perf_counter`-style imports.
+    from_imports: dict[str, str] = {}
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.ImportFrom) and node.module in _CLOCK_MODULES:
+            for alias in node.names:
+                if alias.name in _CLOCK_ATTRS:
+                    from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+    for node in ast.walk(src.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if src.in_timing_code(node.lineno):
+            continue
+        chain = _attr_chain(node.func)
+        dotted = None
+        if (
+            len(chain) >= 2
+            and chain[0] in _CLOCK_MODULES
+            and chain[-1] in _CLOCK_ATTRS
+        ):
+            dotted = ".".join(chain)
+        elif (
+            isinstance(node.func, ast.Name) and node.func.id in from_imports
+        ):
+            dotted = from_imports[node.func.id]
+        if dotted is not None:
+            yield Finding(
+                "wall-clock",
+                src.rel,
+                node.lineno,
+                f"{dotted}() reads the host clock; results must be a "
+                "function of (seed, spec) -- mark the function "
+                "'# repro-check: timing -- reason' if this measures "
+                "elapsed time",
+            )
+
+
+def check_urandom(src: SourceFile) -> Iterator[Finding]:
+    """Flag ``os.urandom`` anywhere."""
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.Call) and _attr_chain(node.func) == [
+            "os",
+            "urandom",
+        ]:
+            yield Finding(
+                "urandom",
+                src.rel,
+                node.lineno,
+                "os.urandom() is unreplayable entropy; derive "
+                "randomness from the run's seed",
+            )
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def check_set_order(src: SourceFile) -> Iterator[Finding]:
+    """Flag loops and comprehensions that iterate a set expression."""
+    def flag(iter_node: ast.AST) -> Iterator[Finding]:
+        if _is_set_expression(iter_node):
+            yield Finding(
+                "set-order",
+                src.rel,
+                iter_node.lineno,
+                "iterating a set expression: element order depends on "
+                "the process hash seed; iterate sorted(...) instead",
+            )
+
+    for node in ast.walk(src.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield from flag(node.iter)
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for generator in node.generators:
+                yield from flag(generator.iter)

@@ -1,0 +1,262 @@
+"""Shared analyzer infrastructure: findings, loaded sources, waivers.
+
+A :class:`Finding` is one rule violation at one source line.  A
+:class:`SourceFile` is a parsed module plus its comment table -- every
+pass consumes these, so each file is read and parsed exactly once per
+analyzer run.
+
+Waiver grammar (one comment, on the offending line or the line
+directly above it)::
+
+    # repro-check: ignore[rule] -- reason
+    # repro-check: ignore[rule-a,rule-b] -- reason
+    # repro-check: timing -- reason            (def lines only)
+
+The reason is **mandatory**: a waiver without one -- or naming an
+unknown rule -- is itself reported under the ``waiver`` rule, so
+unexplained suppressions cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Every rule the analyzer knows, with its one-line contract.
+RULES: dict[str, str] = {
+    "module-random": (
+        "engine code must not draw from module-level random.* / "
+        "numpy.random.* (RNG flows through injected Random/Generator "
+        "instances)"
+    ),
+    "wall-clock": (
+        "library code must not read wall clocks (time.time, "
+        "datetime.now, perf_counter, ...) outside functions marked "
+        "'# repro-check: timing -- reason'"
+    ),
+    "urandom": "os.urandom is never an acceptable randomness source here",
+    "set-order": (
+        "engine code must not iterate over set expressions (set "
+        "iteration order is hash-seed dependent; sort first)"
+    ),
+    "env-read": (
+        "os.environ/os.getenv reads belong in repro.seams; everything "
+        "else uses the typed accessors"
+    ),
+    "seam-literal": (
+        "every REPRO_* string literal must name a seam declared in "
+        "repro.seams.SEAMS"
+    ),
+    "seam-doc": (
+        "every declared seam must appear in the README seam catalog"
+    ),
+    "layering": (
+        "module-level imports must follow the declared layer DAG "
+        "(function-local imports are the sanctioned escape hatch)"
+    ),
+    "lifecycle": (
+        "SharedMemory(create=True)/ProcessPoolExecutor construction "
+        "must be guarded by a context manager or try/finally in the "
+        "same function (or ownership returned to the caller)"
+    ),
+    "waiver": "waivers need a known rule name and a reason string",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source position."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        """One report line: ``path:line: [rule] message``."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (``--format json``)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+_WAIVER = re.compile(
+    r"repro-check:\s*(?P<kind>ignore|timing)"
+    r"(?:\[(?P<rules>[^\]]*)\])?"
+    r"(?:\s*--\s*(?P<reason>.*\S))?"
+)
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One parsed ``repro-check:`` comment."""
+
+    kind: str
+    rules: tuple[str, ...]
+    reason: str | None
+    line: int
+
+
+@dataclass
+class SourceFile:
+    """One parsed module: AST, comments, waivers, timing spans."""
+
+    path: Path
+    rel: str
+    text: str
+    tree: ast.Module
+    comments: dict[int, str] = field(default_factory=dict)
+    waivers: list[Waiver] = field(default_factory=list)
+    #: Inclusive (first, last) line spans of functions whose ``def``
+    #: line carries a ``timing`` marker.
+    timing_spans: list[tuple[int, int]] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path, rel: str) -> SourceFile:
+        """Read and parse *path*, collecting comments and waivers."""
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=rel)
+        src = cls(path=path, rel=rel, text=text, tree=tree)
+        src._collect_comments()
+        src._collect_waivers()
+        src._collect_timing_spans()
+        return src
+
+    def _collect_comments(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    self.comments[token.start[0]] = token.string
+        except tokenize.TokenError:  # pragma: no cover - parse succeeded above
+            pass
+
+    def _collect_waivers(self) -> None:
+        for line, comment in sorted(self.comments.items()):
+            match = _WAIVER.search(comment)
+            if match is None:
+                continue
+            rules = tuple(
+                name.strip()
+                for name in (match.group("rules") or "").split(",")
+                if name.strip()
+            )
+            self.waivers.append(
+                Waiver(
+                    kind=match.group("kind"),
+                    rules=rules,
+                    reason=match.group("reason"),
+                    line=line,
+                )
+            )
+
+    def _collect_timing_spans(self) -> None:
+        markers = {
+            w.line for w in self.waivers if w.kind == "timing" and w.reason
+        }
+        if not markers:
+            return
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # The marker sits on the def line or directly above it
+                # (above the decorators, when there are any).
+                first = min(
+                    [node.lineno]
+                    + [d.lineno for d in node.decorator_list]
+                )
+                if {node.lineno, first - 1} & markers:
+                    self.timing_spans.append((node.lineno, node.end_lineno))
+
+    # -- queries -------------------------------------------------------
+
+    def is_waived(self, rule: str, line: int) -> bool:
+        """A complete ``ignore`` waiver for *rule* on *line* or the
+        line above it."""
+        for waiver in self.waivers:
+            if (
+                waiver.kind == "ignore"
+                and waiver.reason
+                and rule in waiver.rules
+                and waiver.line in (line, line - 1)
+            ):
+                return True
+        return False
+
+    def in_timing_code(self, line: int) -> bool:
+        """Whether *line* sits inside a timing-marked function."""
+        return any(first <= line <= last for first, last in self.timing_spans)
+
+    def waiver_findings(self) -> list[Finding]:
+        """Hygiene findings: malformed or reason-less waivers."""
+        findings = []
+        for waiver in self.waivers:
+            if not waiver.reason:
+                findings.append(
+                    Finding(
+                        "waiver",
+                        self.rel,
+                        waiver.line,
+                        f"repro-check {waiver.kind} waiver needs a "
+                        "'-- reason' clause",
+                    )
+                )
+            if waiver.kind == "ignore" and not waiver.rules:
+                findings.append(
+                    Finding(
+                        "waiver",
+                        self.rel,
+                        waiver.line,
+                        "ignore waiver names no rule: use "
+                        "ignore[rule] -- reason",
+                    )
+                )
+            for rule in waiver.rules:
+                if rule not in RULES:
+                    findings.append(
+                        Finding(
+                            "waiver",
+                            self.rel,
+                            waiver.line,
+                            f"unknown rule {rule!r} (see repro check "
+                            "--list-rules)",
+                        )
+                    )
+        return findings
+
+    def docstring_positions(self) -> set[tuple[int, int]]:
+        """``(lineno, col_offset)`` of every docstring constant."""
+        positions: set[tuple[int, int]] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(
+                node,
+                (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef),
+            ):
+                body = node.body
+                if (
+                    body
+                    and isinstance(body[0], ast.Expr)
+                    and isinstance(body[0].value, ast.Constant)
+                    and isinstance(body[0].value.value, str)
+                ):
+                    doc = body[0].value
+                    positions.add((doc.lineno, doc.col_offset))
+        return positions
+
+
+def apply_waivers(src: SourceFile, findings: list[Finding]) -> list[Finding]:
+    """Drop findings covered by a complete inline waiver."""
+    return [
+        finding
+        for finding in findings
+        if not src.is_waived(finding.rule, finding.line)
+    ]

@@ -1,0 +1,231 @@
+"""Analyzer orchestration: scopes, waivers, report, CLI entry point.
+
+Pass scopes (relative to the repo root):
+
+=================  ====================================================
+rule               scanned files
+=================  ====================================================
+module-random      ``src/repro/{core,simulator,sampling,engine_fast,
+set-order          engine_vector}/**`` (the bit-identity surface)
+wall-clock         all of ``src/repro/**`` (benchmarks are timing code
+                   by definition and are exempt)
+urandom            ``src/repro/**`` and ``benchmarks/*.py``
+env-read           ``src/repro/**`` and ``benchmarks/*.py``
+seam-literal       ``src/repro/**`` and ``benchmarks/*.py``
+seam-doc           ``README.md`` against :func:`repro.seams.catalog`
+layering           module-level imports across ``src/repro``
+lifecycle          ``src/repro/**`` and ``benchmarks/*.py``
+=================  ====================================================
+
+Waivers are applied last, and waiver hygiene problems (missing
+reasons, unknown rules) are themselves findings, so ``repro check``
+exits non-zero until every suppression is complete and explained.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from collections.abc import Iterable, Sequence
+
+from .. import seams
+from . import determinism, layering, lifecycle, seam_check
+from .findings import RULES, Finding, SourceFile
+
+#: Units whose randomness and iteration order feed bit-identical
+#: trajectories: the determinism lint's scope.
+ENGINE_UNITS = (
+    "core",
+    "simulator",
+    "sampling",
+    "engine_fast",
+    "engine_vector",
+)
+
+
+def find_repo_root(start: Path | None = None) -> Path:
+    """Walk up from *start* (default: cwd) to the checkout root.
+
+    The root is recognised by its ``src/repro`` package directory.
+    """
+    probe = (start or Path.cwd()).resolve()
+    for candidate in (probe, *probe.parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    raise FileNotFoundError(
+        f"no src/repro package found above {probe}; run from the "
+        "checkout or pass --root"
+    )
+
+
+def _load_sources(root: Path) -> list[SourceFile]:
+    sources = []
+    package = root / "src" / "repro"
+    for path in sorted(package.rglob("*.py")):
+        rel = str(path.relative_to(root))
+        sources.append(SourceFile.load(path, rel))
+    benchmarks = root / "benchmarks"
+    if benchmarks.is_dir():
+        for path in sorted(benchmarks.glob("*.py")):
+            rel = str(path.relative_to(root))
+            sources.append(SourceFile.load(path, rel))
+    return sources
+
+
+def _unit_of(src: SourceFile) -> str | None:
+    parts = Path(src.rel).parts
+    if len(parts) >= 3 and parts[0] == "src" and parts[1] == "repro":
+        return Path(parts[2]).stem
+    return None
+
+
+def check_source(
+    src: SourceFile, rules: Iterable[str] | None = None
+) -> list[Finding]:
+    """Run every per-file pass that is in scope for *src*.
+
+    Waivers are *not* applied here -- callers (tests, the runner)
+    decide; :func:`run_checks` applies them.
+    """
+    active = set(RULES) if rules is None else set(rules)
+    unit = _unit_of(src)
+    in_benchmarks = src.rel.startswith("benchmarks")
+    findings: list[Finding] = []
+    if unit in ENGINE_UNITS:
+        if "module-random" in active:
+            findings.extend(determinism.check_module_random(src))
+        if "set-order" in active:
+            findings.extend(determinism.check_set_order(src))
+    if not in_benchmarks and "wall-clock" in active:
+        findings.extend(determinism.check_wall_clock(src))
+    if "urandom" in active:
+        findings.extend(determinism.check_urandom(src))
+    if "env-read" in active:
+        findings.extend(seam_check.check_env_read(src))
+    if "seam-literal" in active:
+        findings.extend(
+            seam_check.check_seam_literals(src, seams.SEAMS)
+        )
+    if "lifecycle" in active:
+        findings.extend(lifecycle.check_lifecycle(src))
+    return findings
+
+
+def run_checks(
+    root: Path | None = None,
+    rules: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run the full analyzer over the checkout at *root*.
+
+    Returns the surviving findings (waivers applied, hygiene problems
+    included), sorted by path and line.  An empty list is a clean
+    repo.
+    """
+    root = find_repo_root() if root is None else root
+    active = set(RULES) if rules is None else set(rules)
+    unknown = active - set(RULES)
+    if unknown:
+        raise ValueError(
+            f"unknown rule(s) {sorted(unknown)}; known: {sorted(RULES)}"
+        )
+    findings: list[Finding] = []
+    for src in _load_sources(root):
+        per_file = check_source(src, active)
+        per_file = [
+            finding
+            for finding in per_file
+            if not src.is_waived(finding.rule, finding.line)
+        ]
+        findings.extend(per_file)
+        if "waiver" in active:
+            findings.extend(src.waiver_findings())
+    if "layering" in active:
+        findings.extend(layering.check_layering(root / "src" / "repro"))
+    if "seam-doc" in active:
+        readme = root / "README.md"
+        text = readme.read_text(encoding="utf-8") if readme.exists() else ""
+        findings.extend(
+            seam_check.check_readme(seams.SEAMS, text, "README.md")
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def render_report(findings: Sequence[Finding]) -> str:
+    """The human-readable report ``repro check`` prints."""
+    if not findings:
+        return "repro check: clean (0 findings)"
+    lines = [finding.render() for finding in findings]
+    by_rule: dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    summary = ", ".join(
+        f"{count} {rule}" for rule, count in sorted(by_rule.items())
+    )
+    lines.append(
+        f"repro check: {len(findings)} finding"
+        f"{'s' if len(findings) != 1 else ''} ({summary})"
+    )
+    return "\n".join(lines)
+
+
+def list_rules() -> str:
+    """The aligned rule catalogue ``--list-rules`` prints."""
+    width = max(len(rule) for rule in RULES)
+    return "\n".join(
+        f"{rule:<{width}}  {contract}" for rule, contract in RULES.items()
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``repro check`` entry point; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description=(
+            "statically check the repo's determinism, seam, layering, "
+            "and resource-lifecycle invariants"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="checkout root (default: discovered from the cwd)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        metavar="RULE",
+        help="run only this rule (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json emits one object per finding)",
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    try:
+        findings = run_checks(root=args.root, rules=args.rule)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(
+            json.dumps(
+                [finding.to_dict() for finding in findings], indent=1
+            )
+        )
+    else:
+        print(render_report(findings))
+    return 1 if findings else 0

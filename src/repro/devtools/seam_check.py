@@ -1,0 +1,128 @@
+"""Seam lint: every environment seam is declared, typed, documented.
+
+Three sub-rules close the loop around :mod:`repro.seams`:
+
+* ``env-read`` -- ``os.environ`` / ``os.getenv`` *reads* belong in
+  ``seams.py`` (its single accessor line carries the one sanctioned
+  waiver).  Writes -- ``os.environ[k] = v``, ``del os.environ[k]``,
+  ``.pop``/``.update`` -- stay legal everywhere: benchmarks and tests
+  legitimately *configure* seams for subprocesses; the invariant is
+  only that nobody *consults* the environment ad hoc.
+* ``seam-literal`` -- any ``REPRO_*`` string constant outside a
+  docstring must name a seam declared in :data:`repro.seams.SEAMS`,
+  so a typo'd or undeclared variable cannot hide in a call site.
+* ``seam-doc`` -- every declared seam must appear in the README (the
+  catalog table is the operator-facing contract).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator
+
+from .findings import Finding, SourceFile
+
+#: ``os.environ`` methods that only mutate (configuration, cleanup).
+_WRITE_METHODS = frozenset({"pop", "update", "clear", "setdefault"})
+
+_SEAM_LITERAL = re.compile(r"\bREPRO_[A-Z][A-Z0-9_]*\b")
+
+
+def _is_environ(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "environ"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "os"
+    )
+
+
+def check_env_read(src: SourceFile) -> Iterator[Finding]:
+    """Flag environment *reads* outside :mod:`repro.seams`."""
+    # Subscript/method parents of each environ node, to classify
+    # read vs write usage.
+    parents: dict[int, ast.AST] = {}
+    for parent in ast.walk(src.tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[id(child)] = parent
+
+    for node in ast.walk(src.tree):
+        # os.getenv(...) is always a read.
+        if isinstance(node, ast.Call):
+            chain = node.func
+            if (
+                isinstance(chain, ast.Attribute)
+                and chain.attr == "getenv"
+                and isinstance(chain.value, ast.Name)
+                and chain.value.id == "os"
+            ):
+                yield Finding(
+                    "env-read",
+                    src.rel,
+                    node.lineno,
+                    "os.getenv() outside repro.seams; declare the seam "
+                    "and use the typed accessors",
+                )
+            continue
+        if not _is_environ(node):
+            continue
+        parent = parents.get(id(node))
+        # os.environ[k] = v  /  del os.environ[k]: writes, allowed.
+        if isinstance(parent, ast.Subscript) and isinstance(
+            parent.ctx, (ast.Store, ast.Del)
+        ):
+            continue
+        # os.environ.pop/update/clear(...): writes, allowed.
+        if (
+            isinstance(parent, ast.Attribute)
+            and parent.attr in _WRITE_METHODS
+        ):
+            continue
+        yield Finding(
+            "env-read",
+            src.rel,
+            node.lineno,
+            "os.environ read outside repro.seams; declare the seam "
+            "and use the typed accessors",
+        )
+
+
+def check_seam_literals(
+    src: SourceFile, registered: Iterable[str]
+) -> Iterator[Finding]:
+    """Flag ``REPRO_*`` literals that are not declared seams."""
+    names = set(registered)
+    docstrings = src.docstring_positions()
+    for node in ast.walk(src.tree):
+        if not (
+            isinstance(node, ast.Constant) and isinstance(node.value, str)
+        ):
+            continue
+        if (node.lineno, node.col_offset) in docstrings:
+            continue
+        for match in _SEAM_LITERAL.finditer(node.value):
+            name = match.group(0)
+            if name not in names:
+                yield Finding(
+                    "seam-literal",
+                    src.rel,
+                    node.lineno,
+                    f"{name} is not declared in repro.seams.SEAMS; "
+                    "register it (name, kind, default, doc) first",
+                )
+
+
+def check_readme(
+    registered: Iterable[str], readme_text: str, readme_rel: str
+) -> Iterator[Finding]:
+    """Flag declared seams absent from the README catalog."""
+    for name in registered:
+        if name not in readme_text:
+            yield Finding(
+                "seam-doc",
+                readme_rel,
+                1,
+                f"declared seam {name} is missing from the README "
+                "seam catalog",
+            )

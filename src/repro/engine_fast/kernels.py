@@ -29,9 +29,10 @@ numpy is installed.
 
 from __future__ import annotations
 
-import os
 from heapq import nsmallest
-from typing import Iterable, List, Sequence, Set, Tuple
+from collections.abc import Iterable, Sequence
+
+from .. import seams
 
 try:  # pragma: no cover - exercised via both backend parametrisations
     import numpy as _np
@@ -69,12 +70,7 @@ NUMPY_MIN_SLOTS = 192
 #: ``set_backend("auto")`` restores *this* (so a test that forces a
 #: backend and then resets does not silently undo an operator's
 #: ``REPRO_FAST_BACKEND`` pin).
-_DEFAULT_BACKEND = os.environ.get("REPRO_FAST_BACKEND", "auto")
-if _DEFAULT_BACKEND not in ("auto", "numpy", "python"):
-    raise ValueError(
-        "REPRO_FAST_BACKEND must be auto|numpy|python, "
-        f"got {_DEFAULT_BACKEND!r}"
-    )
+_DEFAULT_BACKEND = seams.enum("REPRO_FAST_BACKEND")
 if _DEFAULT_BACKEND == "numpy" and _np is None:
     raise ImportError("REPRO_FAST_BACKEND=numpy but numpy is not installed")
 _backend = _DEFAULT_BACKEND
@@ -113,7 +109,7 @@ def _use_numpy(n: int, min_n: int = NUMPY_MIN_SIZE) -> bool:
 # ----------------------------------------------------------------------
 
 
-def rank_ids(ids: Sequence[int], origin: int, mask: int) -> List[int]:
+def rank_ids(ids: Sequence[int], origin: int, mask: int) -> list[int]:
     """*ids* sorted by ``(ring distance from origin, id)``.
 
     *mask* is ``space.size - 1``; distances are computed modulo
@@ -146,7 +142,7 @@ def rank_ids(ids: Sequence[int], origin: int, mask: int) -> List[int]:
 
 def _balanced_counts(
     n_succ: int, n_pred: int, half_capacity: int
-) -> Tuple[int, int]:
+) -> tuple[int, int]:
     """How many successors/predecessors to keep, with the paper's
     backfill rule when one side runs short."""
     take_succ = min(half_capacity, n_succ)
@@ -200,7 +196,7 @@ def select_balanced(
     mask: int,
     half_ring: int,
     half_capacity: int,
-) -> Set[int]:
+) -> set[int]:
     """The paper's UPDATELEAFSET selection over plain ids.
 
     Equivalent to :func:`repro.core.leafset.select_balanced_ids` for
@@ -219,8 +215,8 @@ def select_balanced(
             ).tolist()
         )
 
-    successors: List[Tuple[int, int]] = []
-    predecessors: List[Tuple[int, int]] = []
+    successors: list[tuple[int, int]] = []
+    predecessors: list[tuple[int, int]] = []
     for nid in ids:
         forward = (nid - origin) & mask
         if forward <= half_ring:
@@ -246,7 +242,7 @@ def close_and_rest(
     mask: int,
     half_ring: int,
     half_capacity: int,
-) -> Tuple[List[int], List[int]]:
+) -> tuple[list[int], list[int]]:
     """Partition a CREATEMESSAGE union around the destination *peer*.
 
     Returns ``(close_part, rest)``: the balanced-closest selection
@@ -271,8 +267,8 @@ def close_and_rest(
         pool = list(pool)
     ranked = rank_ids(pool, peer, mask)
     chosen = select_balanced(pool, peer, mask, half_ring, half_capacity)
-    close_part: List[int] = []
-    rest: List[int] = []
+    close_part: list[int] = []
+    rest: list[int] = []
     for nid in ranked:
         if nid in chosen:
             close_part.append(nid)
@@ -397,7 +393,7 @@ def close_and_rest_with_aux(arr, aux, peer: int, mask: int, half_ring: int,
 # ----------------------------------------------------------------------
 
 
-def slot_tables(bits: int, digit_bits: int) -> Tuple[List[int], List[int]]:
+def slot_tables(bits: int, digit_bits: int) -> tuple[list[int], list[int]]:
     """Lookup tables for the packed-slot computation.
 
     ``row_of[bit_length(own ^ id)]`` is the prefix-table row, and
@@ -412,7 +408,7 @@ def slot_tables(bits: int, digit_bits: int) -> Tuple[List[int], List[int]]:
 
 
 def prefix_slots(ids: Sequence[int], origin: int, bits: int,
-                 digit_bits: int, base_mask: int) -> List[int]:
+                 digit_bits: int, base_mask: int) -> list[int]:
     """Packed prefix-table slots ``(row << digit_bits) | column`` of
     every id relative to *origin* (ids must differ from *origin*).
 
@@ -428,7 +424,7 @@ def prefix_slots(ids: Sequence[int], origin: int, bits: int,
         return prefix_slots_arrays(
             arr, origin, bits, digit_bits, base_mask
         ).tolist()
-    out: List[int] = []
+    out: list[int] = []
     for nid in ids:
         diff = origin ^ nid
         row = (bits - diff.bit_length()) // digit_bits
@@ -437,10 +433,10 @@ def prefix_slots(ids: Sequence[int], origin: int, bits: int,
     return out
 
 
-def prefix_part(rest: List[int], peer: int, bits: int, digit_bits: int,
+def prefix_part(rest: list[int], peer: int, bits: int, digit_bits: int,
                 base_mask: int, k: int,
-                tables: "Tuple[List[int], List[int]] | None" = None,
-                ) -> Tuple[List[int], List[int]]:
+                tables: tuple[list[int], list[int]] | None = None,
+                ) -> tuple[list[int], list[int]]:
     """CREATEMESSAGE's prefix-targeted part: walk *rest* (already in
     ranked order) and keep the first *k* ids landing in each slot of a
     hypothetical table centred on *peer* -- the paper's "potentially
@@ -459,8 +455,8 @@ def prefix_part(rest: List[int], peer: int, bits: int, digit_bits: int,
             arr, peer, bits, digit_bits, base_mask, k
         )
         return ids_arr.tolist(), slots_arr.tolist()
-    ids_out: List[int] = []
-    slots_out: List[int] = []
+    ids_out: list[int] = []
+    slots_out: list[int] = []
     id_append = ids_out.append
     slot_append = slots_out.append
     occupancy = {}

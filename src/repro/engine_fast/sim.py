@@ -36,7 +36,7 @@ path.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..core.config import BootstrapConfig, PAPER_CONFIG
 from ..core.convergence import ConvergenceSample
@@ -64,8 +64,8 @@ class _Layer:
     def __init__(self, rng: random.Random) -> None:
         self.rng = rng
         self.stats = TransportStats()
-        self.order: List[int] = []
-        self.scratch: List[int] = []
+        self.order: list[int] = []
+        self.scratch: list[int] = []
         self.dirty = False
         self.cycle = 0
 
@@ -85,7 +85,7 @@ class FastConvergenceTracker:
         digit_bits: int,
     ) -> None:
         self._digit_bits = digit_bits
-        self.samples: List[ConvergenceSample] = []
+        self.samples: list[ConvergenceSample] = []
         self.rebind(reference, states)
 
     def rebind(
@@ -98,9 +98,9 @@ class FastConvergenceTracker:
         # node_id -> [(packed slot, perfect count)]; membership is
         # static between rebinds, so the trie walk and the slot packing
         # are paid once per node instead of once per measurement.
-        self._packed_perfect: Dict[int, List] = {}
+        self._packed_perfect: dict[int, list] = {}
 
-    def _perfect_slots(self, node_id: int) -> List:
+    def _perfect_slots(self, node_id: int) -> list:
         packed = self._packed_perfect.get(node_id)
         if packed is None:
             digit_bits = self._digit_bits
@@ -165,9 +165,9 @@ class FastBootstrapSimulation:
 
     def __init__(
         self,
-        size: Optional[int] = None,
+        size: int | None = None,
         *,
-        ids: Optional[Sequence[int]] = None,
+        ids: Sequence[int] | None = None,
         config: BootstrapConfig = PAPER_CONFIG,
         seed: int = 1,
         network: NetworkModel = RELIABLE,
@@ -213,12 +213,12 @@ class FastBootstrapSimulation:
                 raise ValueError("need at least 2 identifiers")
 
         self.registry = FastRegistry()
-        self.nodes: Dict[int, FastNodeState] = {}
-        self.newscast: Dict[int, FastNewscastView] = {}
+        self.nodes: dict[int, FastNodeState] = {}
+        self.newscast: dict[int, FastNewscastView] = {}
         self._next_address = 0
 
         self._boot = _Layer(self._source.derive("bootstrap-engine"))
-        self._news: Optional[_Layer] = None
+        self._news: _Layer | None = None
         if sampler == "newscast":
             self._news = _Layer(self._source.derive("newscast-engine"))
         self._newscast_view_size = newscast_view_size
@@ -288,7 +288,7 @@ class FastBootstrapSimulation:
         return len(self.nodes)
 
     @property
-    def live_ids(self) -> List[int]:
+    def live_ids(self) -> list[int]:
         """Identifiers of live nodes (admission order, like the
         reference's node dict)."""
         return list(self.nodes)
@@ -306,7 +306,7 @@ class FastBootstrapSimulation:
         self._membership_dirty = True
         return True
 
-    def spawn_node(self, node_id: Optional[int] = None) -> FastNodeState:
+    def spawn_node(self, node_id: int | None = None) -> FastNodeState:
         """Join a brand-new node (mirrors the reference's seed-stream
         derivation: ``("spawn", next_address)`` before admission)."""
         if node_id is None:
@@ -326,7 +326,7 @@ class FastBootstrapSimulation:
         self._membership_dirty = True
         return state
 
-    def absorb_pool(self, ids: Iterable[int]) -> List[FastNodeState]:
+    def absorb_pool(self, ids: Iterable[int]) -> list[FastNodeState]:
         """Merge a pool of identifiers into this network."""
         return [self.spawn_node(node_id) for node_id in ids]
 
@@ -355,7 +355,7 @@ class FastBootstrapSimulation:
         self._leaf_update(state, state.sampler.sample(self._c), None)
         state.started = True
 
-    def _select_peer(self, state: FastNodeState) -> Optional[int]:
+    def _select_peer(self, state: FastNodeState) -> int | None:
         """SELECTPEER: uniform pick from the closest half of the
         distance-ranked leaf set (ranking cached between updates; the
         pick consumes the same bits as the reference's ``choice``)."""
@@ -372,7 +372,7 @@ class FastBootstrapSimulation:
 
     def _create_message(
         self, state: FastNodeState, peer_id: int
-    ) -> "tuple[List[int], List[int], List[int]]":
+    ) -> tuple[list[int], list[int], list[int]]:
         """CREATEMESSAGE as a batch kernel: union of leaf ids, prefix
         ids, ``cr`` fresh samples and the own id; balanced-closest part
         first, then the prefix-useful part (first ``k`` per peer slot in
@@ -408,8 +408,8 @@ class FastBootstrapSimulation:
     def _leaf_update(
         self,
         state: FastNodeState,
-        incoming: List[int],
-        sender_id: Optional[int],
+        incoming: list[int],
+        sender_id: int | None,
     ) -> None:
         """UPDATELEAFSET membership semantics: reselect only when the
         merge introduces at least one new identifier."""
@@ -427,7 +427,7 @@ class FastBootstrapSimulation:
         self._merge_fresh(state, members, fresh)
 
     def _merge_fresh(
-        self, state: FastNodeState, members: set, fresh: List[int]
+        self, state: FastNodeState, members: set, fresh: list[int]
     ) -> None:
         """Reselect the leaf membership after *fresh* novel ids joined
         the candidate pool (shared tail of UPDATELEAFSET)."""
@@ -479,7 +479,7 @@ class FastBootstrapSimulation:
     def _absorb(
         self,
         state: FastNodeState,
-        message: "tuple[List[int], List[int], List[int]]",
+        message: tuple[list[int], list[int], list[int]],
         sender_id: int,
     ) -> None:
         """UPDATELEAFSET then UPDATEPREFIXTABLE over payload + envelope
@@ -509,7 +509,7 @@ class FastBootstrapSimulation:
         succ_max = state.succ_max
         pred_short = state.pred_count < half_c
         pred_max = state.pred_max
-        fresh: List[int] = []
+        fresh: list[int] = []
         # `effective` tracks whether any novel id can actually change
         # the balanced selection (see FastNodeState's bound fields);
         # when none can, the reselect below is provably a no-op and is
@@ -550,7 +550,7 @@ class FastBootstrapSimulation:
                         effective = can_affect_leaf(nid)
 
         scan_unslotted(close)
-        for nid, slot in zip(tail, tail_slots):
+        for nid, slot in zip(tail, tail_slots, strict=True):
             if nid not in prefix_ids:
                 held = table.get(slot)
                 if held is None:
@@ -696,7 +696,7 @@ class FastBootstrapSimulation:
         max_cycles: int = 60,
         *,
         stop_when_perfect: bool = True,
-        schedules: Sequence["object"] = (),
+        schedules: Sequence[object] = (),
         measure_every: int = 1,
     ) -> SimulationResult:
         """Run the experiment (same semantics and parameters as

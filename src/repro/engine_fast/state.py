@@ -19,7 +19,6 @@ below name the mirrored reference method for each such site.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
 
 __all__ = [
     "randbelow_of",
@@ -55,8 +54,8 @@ class FastRegistry:
     __slots__ = ("_ids", "_positions")
 
     def __init__(self) -> None:
-        self._ids: List[int] = []
-        self._positions: Dict[int, int] = {}
+        self._ids: list[int] = []
+        self._positions: dict[int, int] = {}
 
     def __len__(self) -> int:
         return len(self._ids)
@@ -88,8 +87,8 @@ class FastRegistry:
         self,
         count: int,
         rng: random.Random,
-        exclude_id: Optional[int] = None,
-    ) -> List[int]:
+        exclude_id: int | None = None,
+    ) -> list[int]:
         """Uniform distinct live ids; branch-for-branch replica of
         ``MembershipRegistry.sample_descriptors`` (including the
         no-randomness whole-pool path) so RNG consumption matches."""
@@ -105,7 +104,7 @@ class FastRegistry:
             return []
         if count >= available:
             return [nid for nid in pool if nid != exclude_id]
-        out: List[int] = []
+        out: list[int] = []
         seen = set()
         # Inlined ``Random._randbelow_with_getrandbits`` (draw k bits,
         # reject >= n): the pool size is fixed across this call's
@@ -141,7 +140,7 @@ class FastOracleSampler:
         self._own_id = own_id
         self._rng = rng
 
-    def sample(self, count: int) -> List[int]:
+    def sample(self, count: int) -> list[int]:
         """Uniform random live peer ids, excluding the owner."""
         return self._registry.sample(count, self._rng, exclude_id=self._own_id)
 
@@ -163,7 +162,7 @@ class FastNewscastView:
     def __init__(self, own_id: int, capacity: int, rng: random.Random) -> None:
         self.own_id = own_id
         self.capacity = capacity
-        self.entries: Dict[int, float] = {}
+        self.entries: dict[int, float] = {}
         self.rng = rng
         self.now = 0.0
         self._randbelow = randbelow_of(rng)
@@ -171,7 +170,7 @@ class FastNewscastView:
     def __len__(self) -> int:
         return len(self.entries)
 
-    def select_peer(self) -> Optional[int]:
+    def select_peer(self) -> int | None:
         """Mirror of ``NewscastNode.select_peer`` (one ``choice`` over
         the materialised view)."""
         if not self.entries:
@@ -179,14 +178,14 @@ class FastNewscastView:
         keys = list(self.entries)
         return keys[self._randbelow(len(keys))]
 
-    def payload(self) -> List[Tuple[int, float]]:
+    def payload(self) -> list[tuple[int, float]]:
         """Mirror of ``NewscastNode.gossip_payload``: the whole view in
         insertion order plus the freshly-stamped own advertisement."""
         pairs = list(self.entries.items())
         pairs.append((self.own_id, self.now))
         return pairs
 
-    def merge(self, pairs: List[Tuple[int, float]]) -> None:
+    def merge(self, pairs: list[tuple[int, float]]) -> None:
         """Mirror of ``PartialView.merge`` (freshest per id, truncate to
         the ``capacity`` freshest, ties broken by id)."""
         entries = self.entries
@@ -203,7 +202,7 @@ class FastNewscastView:
             )[: self.capacity]
             self.entries = dict(survivors)
 
-    def sample(self, count: int) -> List[int]:
+    def sample(self, count: int) -> list[int]:
         """Mirror of ``PartialView.random_sample`` (the bootstrap layer's
         ``cr`` source when ``sampler="newscast"``)."""
         if count <= 0 or not self.entries:
@@ -247,7 +246,7 @@ class FastNodeState:
         self.randbelow = randbelow_of(rng)
         self.sampler = sampler
         self.leaf_members: set = set()
-        self.leaf_sorted: Optional[List[int]] = None
+        self.leaf_sorted: list[int] | None = None
         # Per-side admission bounds (valid only when ``leaf_full``): a
         # non-member can change the balanced selection only if its side
         # is below half capacity or it is closer than that side's worst
@@ -259,6 +258,6 @@ class FastNodeState:
         self.succ_max = -1
         self.pred_count = 0
         self.pred_max = -1
-        self.prefix_slots: Dict[int, List[int]] = {}
+        self.prefix_slots: dict[int, list[int]] = {}
         self.prefix_ids: set = set()
         self.started = False

@@ -30,9 +30,10 @@ per-call.
 
 from __future__ import annotations
 
-import os
 import random
-from typing import List, Sequence
+from collections.abc import Sequence
+
+from .. import seams
 
 try:  # pragma: no cover - exercised via both backend parametrisations
     import numpy as _np
@@ -48,12 +49,7 @@ __all__ = [
     "sample_distinct",
 ]
 
-_DEFAULT_BACKEND = os.environ.get("REPRO_VECTOR_BACKEND", "auto")
-if _DEFAULT_BACKEND not in ("auto", "numpy", "python"):
-    raise ValueError(
-        "REPRO_VECTOR_BACKEND must be auto|numpy|python, "
-        f"got {_DEFAULT_BACKEND!r}"
-    )
+_DEFAULT_BACKEND = seams.enum("REPRO_VECTOR_BACKEND")
 if _DEFAULT_BACKEND == "numpy" and _np is None:
     raise ImportError(
         "REPRO_VECTOR_BACKEND=numpy but numpy is not installed"
@@ -94,7 +90,7 @@ class NumpyDrawSource:
     def __init__(self, seed: int) -> None:
         self._rng = _np.random.default_rng(seed)
 
-    def shuffle(self, items: List[int]) -> None:
+    def shuffle(self, items: list[int]) -> None:
         """Shuffle a Python list in place (one ``permutation`` draw)."""
         order = self._rng.permutation(len(items))
         items[:] = [items[i] for i in order]
@@ -126,11 +122,11 @@ class PythonDrawSource:
     def __init__(self, seed: int) -> None:
         self._rng = random.Random(seed)
 
-    def shuffle(self, items: List[int]) -> None:
+    def shuffle(self, items: list[int]) -> None:
         """Shuffle a Python list in place."""
         self._rng.shuffle(items)
 
-    def floats(self, count: int) -> List[float]:
+    def floats(self, count: int) -> list[float]:
         """*count* uniform floats in ``[0, 1)`` as a list."""
         rand = self._rng.random
         return [rand() for _ in range(count)]
@@ -162,7 +158,7 @@ def make_draw_source(seed: int):
 
 def sample_distinct(
     pool: Sequence[int], count: int, floats: Sequence[float]
-) -> List[int]:
+) -> list[int]:
     """*count* distinct elements of *pool* via a partial Fisher-Yates
     walk consuming ``floats[:count]`` -- the distribution of
     ``random.sample`` realised from pre-drawn uniforms (used for
@@ -173,7 +169,7 @@ def sample_distinct(
     if count >= n:
         return list(pool)
     scratch = list(pool)
-    out: List[int] = []
+    out: list[int] = []
     for j in range(count):
         span = n - j
         i = j + min(int(floats[j] * span), span - 1)

@@ -41,9 +41,9 @@ the statistical comparison well-conditioned.
 
 from __future__ import annotations
 
-import os
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
+from .. import seams
 from ..core.config import BootstrapConfig, PAPER_CONFIG
 from ..core.convergence import ConvergenceSample
 from ..core.reference import ReferenceTables
@@ -77,7 +77,7 @@ __all__ = [
 ABSORB_MODES = ("batch", "single")
 
 
-def absorb_mode(override: Optional[str] = None) -> str:
+def absorb_mode(override: str | None = None) -> str:
     """Resolve the absorb dispatch mode (``REPRO_VECTOR_ABSORB``).
 
     *override* (a constructor argument) wins over the environment;
@@ -85,7 +85,7 @@ def absorb_mode(override: Optional[str] = None) -> str:
     """
     mode = override
     if mode is None:
-        mode = os.environ.get("REPRO_VECTOR_ABSORB", "batch").strip().lower()
+        mode = seams.get("REPRO_VECTOR_ABSORB") or "batch"
     if mode not in ABSORB_MODES:
         raise ValueError(
             f"absorb mode must be one of {ABSORB_MODES}, got {mode!r}"
@@ -101,7 +101,7 @@ class _Layer:
 
     def __init__(self) -> None:
         self.stats = TransportStats()
-        self.order: List[int] = []
+        self.order: list[int] = []
         self.dirty = True
         self.cycle = 0
 
@@ -117,26 +117,26 @@ class VectorNewscastView:
     def __init__(self, own_id: int, capacity: int) -> None:
         self.own_id = own_id
         self.capacity = capacity
-        self.entries: Dict[int, float] = {}
+        self.entries: dict[int, float] = {}
         self.now = 0.0
 
     def __len__(self) -> int:
         return len(self.entries)
 
-    def select_peer(self, u: float) -> Optional[int]:
+    def select_peer(self, u: float) -> int | None:
         """Uniform pick over the view from one pre-drawn float."""
         if not self.entries:
             return None
         keys = list(self.entries)
         return keys[min(int(u * len(keys)), len(keys) - 1)]
 
-    def payload(self) -> List[Tuple[int, float]]:
+    def payload(self) -> list[tuple[int, float]]:
         """The whole view plus the freshly-stamped own advertisement."""
         pairs = list(self.entries.items())
         pairs.append((self.own_id, self.now))
         return pairs
 
-    def merge(self, pairs: List[Tuple[int, float]]) -> None:
+    def merge(self, pairs: list[tuple[int, float]]) -> None:
         """Freshest per id, truncated to the ``capacity`` freshest
         (ties broken by id) -- identical to the reference merge."""
         entries = self.entries
@@ -153,7 +153,7 @@ class VectorNewscastView:
             )[: self.capacity]
             self.entries = dict(survivors)
 
-    def sample(self, count: int, floats: Sequence[float]) -> List[int]:
+    def sample(self, count: int, floats: Sequence[float]) -> list[int]:
         """*count* distinct view members from pre-drawn uniforms."""
         if count <= 0 or not self.entries:
             return []
@@ -207,7 +207,7 @@ class _ArrayState:
         self.node_id = node_id
         self.own_u64 = _np.array([node_id], dtype=_np.uint64)
         self.leaf = _np.empty(0, dtype=_np.uint64)
-        self.leaf_ranked: Optional["_np.ndarray"] = None
+        self.leaf_ranked: _np.ndarray | None = None
         self.leaf_full = False
         self.succ_count = 0
         self.succ_max = -1
@@ -224,7 +224,7 @@ class _ArrayState:
         self.slot_count = _np.zeros(n_slots, dtype=_np.int64)
         # Cached sorted union of leaf + prefix + own id (the message
         # base); rebuilt lazily after membership changes.
-        self.known: Optional["_np.ndarray"] = None
+        self.known: _np.ndarray | None = None
         # Measurement cache validity (see VectorConvergenceTracker):
         # cleared whenever either table mutates.
         self.stats_dirty = True
@@ -266,7 +266,7 @@ class _NumpyOps:
     def new_state(self, node_id: int) -> _ArrayState:
         return _ArrayState(node_id, self._n_slots)
 
-    def live_pool(self, ids: List[int]):
+    def live_pool(self, ids: list[int]):
         return _np.fromiter(ids, dtype=_np.uint64, count=len(ids))
 
     def gather(self, pool, index_matrix):
@@ -286,7 +286,7 @@ class _NumpyOps:
         rows, dup = buf
         return rows[i], dup[i]
 
-    def as_ids(self, ids: List[int]):
+    def as_ids(self, ids: list[int]):
         return _np.fromiter(ids, dtype=_np.uint64, count=len(ids))
 
     # -- protocol transitions ------------------------------------------
@@ -615,8 +615,8 @@ class _NumpyOps:
             return
         # Group jobs by receiver, first-appearance segment order;
         # each receiver's messages stay in wave order.
-        seg_of: Dict[int, int] = {}
-        per_seg: List[Tuple[_ArrayState, List[tuple]]] = []
+        seg_of: dict[int, int] = {}
+        per_seg: list[tuple[_ArrayState, list[tuple]]] = []
         for state, message, sender in jobs:
             s = seg_of.get(id(state))
             if s is None:
@@ -627,8 +627,8 @@ class _NumpyOps:
         # Envelope senders join the candidate stream after their
         # message's payload; their slots are one batched mixed-origin
         # kernel call (the scalar path computes them one at a time).
-        sender_ids: List[int] = []
-        sender_owner: List[int] = []
+        sender_ids: list[int] = []
+        sender_owner: list[int] = []
         for state, msgs in per_seg:
             own = state.node_id
             for _, sender in msgs:
@@ -643,8 +643,8 @@ class _NumpyOps:
             self._digit_bits,
             self._base_mask,
         )
-        id_pieces: List["_np.ndarray"] = []
-        slot_pieces: List["_np.ndarray"] = []
+        id_pieces: list[_np.ndarray] = []
+        slot_pieces: list[_np.ndarray] = []
         seg_len = _np.zeros(n_seg, dtype=_np.intp)
         si = 0
         for s, (state, msgs) in enumerate(per_seg):
@@ -934,7 +934,7 @@ class _NumpyOps:
 
     def node_missing(
         self, state: _ArrayState, packed, live, check_live: bool
-    ) -> Tuple[int, int]:
+    ) -> tuple[int, int]:
         """(missing leaf entries, missing prefix entries) of one node.
 
         Perfect ids are live by construction, so dead leaf entries
@@ -994,13 +994,13 @@ class _SetState:
     def __init__(self, node_id: int) -> None:
         self.node_id = node_id
         self.leaf_members: set = set()
-        self.leaf_sorted: Optional[List[int]] = None
+        self.leaf_sorted: list[int] | None = None
         self.leaf_full = False
         self.succ_count = 0
         self.succ_max = -1
         self.pred_count = 0
         self.pred_max = -1
-        self.prefix_slots: Dict[int, List[int]] = {}
+        self.prefix_slots: dict[int, list[int]] = {}
         self.prefix_ids: set = set()
         # Set when either table actually mutates (prefix admission or
         # leaf membership change), cleared by the tracker when it
@@ -1035,31 +1035,35 @@ class _PythonOps:
     def new_state(self, node_id: int) -> _SetState:
         return _SetState(node_id)
 
-    def live_pool(self, ids: List[int]) -> List[int]:
+    def live_pool(self, ids: list[int]) -> list[int]:
         return ids
 
-    def gather(self, pool: List[int], index_matrix):
+    def gather(self, pool: list[int], index_matrix):
         return [[pool[i] for i in row] for row in index_matrix]
 
-    def oracle_samples(self, pool: List[int], index_matrix):
+    def oracle_samples(self, pool: list[int], index_matrix):
         return self.gather(pool, index_matrix)
 
     def msg_row(self, buf, i: int):
         return buf[i]
 
-    def as_ids(self, ids: List[int]) -> List[int]:
+    def as_ids(self, ids: list[int]) -> list[int]:
         return ids
 
     # -- protocol transitions ------------------------------------------
 
-    def start_node(self, state: _SetState, samples: List[int]) -> None:
+    def start_node(self, state: _SetState, samples: list[int]) -> None:
         state.prefix_slots.clear()
         state.prefix_ids.clear()
         state.stats_dirty = True
         own = state.node_id
         members = state.leaf_members
+        # dict.fromkeys, not set(): dedup that preserves sample order,
+        # so the merge sees a hash-seed-independent sequence.
         fresh = [
-            nid for nid in set(samples) if nid != own and nid not in members
+            nid
+            for nid in dict.fromkeys(samples)
+            if nid != own and nid not in members
         ]
         if fresh:
             self._merge_fresh(state, fresh)
@@ -1127,7 +1131,7 @@ class _PythonOps:
         row_of = self._row_of
         shift_of = self._shift_of
         k = self._k
-        fresh: List[int] = []
+        fresh: list[int] = []
         effective = not state.leaf_full
         resident_before = len(prefix_ids)
 
@@ -1152,7 +1156,7 @@ class _PythonOps:
                         effective = self._can_affect_leaf(state, nid)
 
         scan_unslotted(close)
-        for nid, slot in zip(tail, tail_slots):
+        for nid, slot in zip(tail, tail_slots, strict=True):
             if nid not in prefix_ids:
                 held = table.get(slot)
                 if held is None:
@@ -1184,7 +1188,7 @@ class _PythonOps:
             or self._mask + 1 - fw < state.pred_max
         )
 
-    def _merge_fresh(self, state: _SetState, fresh: List[int]) -> None:
+    def _merge_fresh(self, state: _SetState, fresh: list[int]) -> None:
         candidates = state.leaf_members | set(fresh)
         if len(candidates) <= self._c:
             self._set_leaf(state, candidates)
@@ -1247,7 +1251,7 @@ class _PythonOps:
 
     def node_missing(
         self, state: _SetState, packed, live: set, check_live: bool
-    ) -> Tuple[int, int]:
+    ) -> tuple[int, int]:
         perfect_leaf, packed_slots = packed
         members = state.leaf_members
         if check_live and not members <= live:
@@ -1285,7 +1289,7 @@ class VectorConvergenceTracker:
 
     def __init__(self, ops, reference: ReferenceTables, states) -> None:
         self._ops = ops
-        self.samples: List[ConvergenceSample] = []
+        self.samples: list[ConvergenceSample] = []
         self.rebind(reference, states)
 
     def rebind(self, reference: ReferenceTables, states) -> None:
@@ -1293,12 +1297,12 @@ class VectorConvergenceTracker:
         self._reference = reference
         self._states = [s for s in states if s.node_id in reference]
         self._live = self._ops.live_view(reference.ids)
-        self._packed: Dict[int, object] = {}
+        self._packed: dict[int, object] = {}
         # Per-node deficits are cached between measurements and
         # recomputed only for nodes whose tables changed
         # (``stats_dirty``); membership events land here and wipe the
         # cache, so liveness filtering always sees fresh values.
-        self._deficits: Dict[int, Tuple[int, int]] = {}
+        self._deficits: dict[int, tuple[int, int]] = {}
 
     def measure(self, cycle: float, check_live: bool) -> ConvergenceSample:
         """Take one network-wide measurement and append it to
@@ -1351,16 +1355,16 @@ class VectorBootstrapSimulation:
 
     def __init__(
         self,
-        size: Optional[int] = None,
+        size: int | None = None,
         *,
-        ids: Optional[Sequence[int]] = None,
+        ids: Sequence[int] | None = None,
         config: BootstrapConfig = PAPER_CONFIG,
         seed: int = 1,
         network: NetworkModel = RELIABLE,
         sampler: str = "oracle",
         newscast_view_size: int = 30,
-        wave: Optional[int] = None,
-        absorb: Optional[str] = None,
+        wave: int | None = None,
+        absorb: str | None = None,
     ) -> None:
         if sampler not in SAMPLER_KINDS:
             raise ValueError(
@@ -1406,19 +1410,19 @@ class VectorBootstrapSimulation:
                 raise ValueError("need at least 2 identifiers")
 
         self.registry = FastRegistry()
-        self.nodes: Dict[int, object] = {}
-        self.newscast: Dict[int, VectorNewscastView] = {}
+        self.nodes: dict[int, object] = {}
+        self.newscast: dict[int, VectorNewscastView] = {}
         self._next_address = 0
         self._unstarted: set = set()
         self._pool = None
         # Every identifier ever admitted, in admission order; the
         # sorted numpy form is the wave absorb's dense id universe
         # (dead ids stay -- they persist in tables and messages).
-        self._ids_ever: List[int] = []
+        self._ids_ever: list[int] = []
         self._universe = None
 
         self._boot = _Layer()
-        self._news: Optional[_Layer] = None
+        self._news: _Layer | None = None
         if sampler == "newscast":
             self._news = _Layer()
         self._newscast_view_size = newscast_view_size
@@ -1480,7 +1484,7 @@ class VectorBootstrapSimulation:
         return len(self.nodes)
 
     @property
-    def live_ids(self) -> List[int]:
+    def live_ids(self) -> list[int]:
         """Identifiers of live nodes (admission order)."""
         return list(self.nodes)
 
@@ -1499,7 +1503,7 @@ class VectorBootstrapSimulation:
         self._ever_killed = True
         return True
 
-    def spawn_node(self, node_id: Optional[int] = None):
+    def spawn_node(self, node_id: int | None = None):
         """Join a brand-new node (same seed-tree derivations as the
         reference, so spawned identifiers match across engines)."""
         if node_id is None:
@@ -1520,7 +1524,7 @@ class VectorBootstrapSimulation:
         self._membership_dirty = True
         return state
 
-    def absorb_pool(self, ids: Iterable[int]) -> List[object]:
+    def absorb_pool(self, ids: Iterable[int]) -> list[object]:
         """Merge a pool of identifiers into this network."""
         return [self.spawn_node(node_id) for node_id in ids]
 
@@ -1608,7 +1612,7 @@ class VectorBootstrapSimulation:
         absorb = ops.absorb
         wave = self._wave or max(1, min(64, n // 16))
         batch = self.absorb_mode == "batch"
-        pending: List[tuple] = []
+        pending: list[tuple] = []
 
         def flush() -> None:
             jobs = []
@@ -1620,8 +1624,8 @@ class VectorBootstrapSimulation:
             # are collected in arrival order and drained in one wave
             # (the segmented slab pass, bit-identical to replaying
             # ``absorb`` per survivor -- the ``single`` mode).
-            absorbs: List[tuple] = []
-            for j, (i_, nid_, state_, peer_, target_, rq, rp) in enumerate(
+            absorbs: list[tuple] = []
+            for j, (i_, nid_, state_, peer_, target_, _rq, _rp) in enumerate(
                 pending
             ):
                 if drop_p and req_coins[i_] < drop_p:
@@ -1759,7 +1763,7 @@ class VectorBootstrapSimulation:
         max_cycles: int = 60,
         *,
         stop_when_perfect: bool = True,
-        schedules: Sequence["object"] = (),
+        schedules: Sequence[object] = (),
         measure_every: int = 1,
     ) -> SimulationResult:
         """Run the experiment (same semantics and parameters as

@@ -17,7 +17,6 @@ and the engine behind the ``asyncio_cluster`` example.
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, List, Optional
 
 from ..core.config import BootstrapConfig, PAPER_CONFIG
 from ..core.convergence import ConvergenceSample, ConvergenceTracker
@@ -39,9 +38,9 @@ class LocalCluster:
 
     def __init__(
         self,
-        peers: Dict[int, AsyncPeer],
+        peers: dict[int, AsyncPeer],
         config: BootstrapConfig,
-        hub: Optional[LoopbackHub],
+        hub: LoopbackHub | None,
     ) -> None:
         self.peers = peers
         self.config = config
@@ -66,13 +65,13 @@ class LocalCluster:
         size: int,
         *,
         seed: int = 1,
-        config: Optional[BootstrapConfig] = None,
+        config: BootstrapConfig | None = None,
         drop_probability: float = 0.0,
-        latency: Optional[float] = None,
+        latency: float | None = None,
         view_size: int = 30,
         newscast_interval: float = 0.05,
         seed_contacts: int = 3,
-    ) -> "LocalCluster":
+    ) -> LocalCluster:
         """Spin up *size* peers on a loopback fabric.
 
         Each peer is seeded with *seed_contacts* random contacts -- a
@@ -96,7 +95,7 @@ class LocalCluster:
             NodeDescriptor(node_id=node_id, address=index)
             for index, node_id in enumerate(ids)
         ]
-        peers: Dict[int, AsyncPeer] = {}
+        peers: dict[int, AsyncPeer] = {}
         for desc in descriptors:
             peer = AsyncPeer(
                 desc,
@@ -119,12 +118,12 @@ class LocalCluster:
         size: int,
         *,
         seed: int = 1,
-        config: Optional[BootstrapConfig] = None,
+        config: BootstrapConfig | None = None,
         host: str = "127.0.0.1",
         view_size: int = 30,
         newscast_interval: float = 0.05,
         seed_contacts: int = 3,
-    ) -> "LocalCluster":
+    ) -> LocalCluster:
         """Spin up *size* peers on real UDP sockets (ephemeral ports)."""
         if size < 2:
             raise ValueError(f"size must be >= 2, got {size}")
@@ -133,8 +132,8 @@ class LocalCluster:
         source = RandomSource(seed)
         space = config.space
         ids = space.random_unique_ids(size, source.derive("ids"))
-        peers: Dict[int, AsyncPeer] = {}
-        descriptors: List[NodeDescriptor] = []
+        peers: dict[int, AsyncPeer] = {}
+        descriptors: list[NodeDescriptor] = []
         for node_id in ids:
             placeholder = NodeDescriptor(node_id=node_id, address=(host, 0))
             peer = AsyncPeer(
@@ -161,7 +160,7 @@ class LocalCluster:
 
     def _seed_contacts(
         self,
-        descriptors: List[NodeDescriptor],
+        descriptors: list[NodeDescriptor],
         count: int,
         source: RandomSource,
     ) -> None:

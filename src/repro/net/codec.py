@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..core.descriptor import NodeDescriptor
 from ..core.messages import BootstrapMessage
@@ -73,7 +73,7 @@ class WireMessage:
     layer: int
     kind: int
     sender: NodeDescriptor
-    descriptors: Tuple[NodeDescriptor, ...]
+    descriptors: tuple[NodeDescriptor, ...]
 
     @property
     def is_reply(self) -> bool:
@@ -81,7 +81,7 @@ class WireMessage:
         return self.kind == 1
 
 
-def _encode_descriptor(desc: NodeDescriptor, out: List[bytes]) -> None:
+def _encode_descriptor(desc: NodeDescriptor, out: list[bytes]) -> None:
     address = desc.address
     if isinstance(address, bool):
         raise CodecError(f"unsupported address type: {type(address)}")
@@ -96,7 +96,7 @@ def _encode_descriptor(desc: NodeDescriptor, out: List[bytes]) -> None:
         and isinstance(address[0], str)
         and isinstance(address[1], int)
     ):
-        host_bytes = address[0].encode("utf-8")
+        host_bytes = address[0].encode()
         if len(host_bytes) > 255:
             raise CodecError(f"host name too long: {address[0]!r}")
         if not 0 <= address[1] < 65536:
@@ -111,7 +111,7 @@ def _encode_descriptor(desc: NodeDescriptor, out: List[bytes]) -> None:
 
 def _decode_descriptor(
     data: bytes, offset: int
-) -> Tuple[NodeDescriptor, int]:
+) -> tuple[NodeDescriptor, int]:
     try:
         node_id, timestamp, addr_kind = _DESC_FIXED.unpack_from(data, offset)
     except struct.error as exc:
@@ -164,7 +164,7 @@ def encode_message(
         raise CodecError(
             f"{len(descriptors) + 1} descriptors exceed the frame cap"
         )
-    out: List[bytes] = [
+    out: list[bytes] = [
         _HEADER.pack(MAGIC, VERSION, layer, kind, len(descriptors) + 1)
     ]
     _encode_descriptor(sender, out)
@@ -190,7 +190,7 @@ def decode_message(data: bytes) -> WireMessage:
     if count < 1 or count > MAX_DESCRIPTORS:
         raise CodecError(f"implausible descriptor count {count}")
     offset = _HEADER.size
-    descriptors: List[NodeDescriptor] = []
+    descriptors: list[NodeDescriptor] = []
     for _ in range(count):
         desc, offset = _decode_descriptor(data, offset)
         descriptors.append(desc)

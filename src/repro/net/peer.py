@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import asyncio
 import random
-from typing import Hashable, Iterable, List, Optional
+from collections.abc import Hashable, Iterable
 
 from ..core.config import BootstrapConfig, PAPER_CONFIG
 from ..core.descriptor import NodeDescriptor
@@ -55,7 +55,7 @@ class AsyncPeer:
         descriptor: NodeDescriptor,
         config: BootstrapConfig = PAPER_CONFIG,
         *,
-        rng: Optional[random.Random] = None,
+        rng: random.Random | None = None,
         view_size: int = 30,
         newscast_interval: float = 0.05,
     ) -> None:
@@ -75,7 +75,7 @@ class AsyncPeer:
         )
         self._transport = None
         self._newscast_interval = newscast_interval
-        self._tasks: List[asyncio.Task] = []
+        self._tasks: list[asyncio.Task] = []
         self._running = False
         self.frames_in = 0
         self.frames_bad = 0

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import asyncio
 import random
-from typing import Callable, Dict, Hashable, Optional, Tuple
+from collections.abc import Callable, Hashable
 
 __all__ = ["ReceiveHandler", "UdpTransport", "LoopbackHub", "LoopbackTransport"]
 
@@ -35,8 +35,8 @@ class UdpTransport(asyncio.DatagramProtocol):
 
     def __init__(self, handler: ReceiveHandler) -> None:
         self._handler = handler
-        self._transport: Optional[asyncio.DatagramTransport] = None
-        self.local_address: Optional[Tuple[str, int]] = None
+        self._transport: asyncio.DatagramTransport | None = None
+        self.local_address: tuple[str, int] | None = None
 
     @classmethod
     async def create(
@@ -44,7 +44,7 @@ class UdpTransport(asyncio.DatagramProtocol):
         handler: ReceiveHandler,
         host: str = "127.0.0.1",
         port: int = 0,
-    ) -> "UdpTransport":
+    ) -> UdpTransport:
         """Bind a datagram endpoint (port 0 = ephemeral)."""
         loop = asyncio.get_running_loop()
         protocol = cls(handler)
@@ -71,7 +71,7 @@ class UdpTransport(asyncio.DatagramProtocol):
 
     # -- sending ---------------------------------------------------------
 
-    def send(self, data: bytes, address: Tuple[str, int]) -> None:
+    def send(self, data: bytes, address: tuple[str, int]) -> None:
         """Send one datagram (no delivery guarantee, by design)."""
         if self._transport is None:
             raise RuntimeError("transport not created yet")
@@ -101,21 +101,21 @@ class LoopbackHub:
     def __init__(
         self,
         drop_probability: float = 0.0,
-        latency: Optional[Callable[[random.Random], float]] = None,
-        rng: Optional[random.Random] = None,
+        latency: Callable[[random.Random], float] | None = None,
+        rng: random.Random | None = None,
     ) -> None:
         if not 0.0 <= drop_probability < 1.0:
             raise ValueError(
                 f"drop_probability must be in [0, 1), got {drop_probability}"
             )
-        self._endpoints: Dict[Hashable, LoopbackTransport] = {}
+        self._endpoints: dict[Hashable, LoopbackTransport] = {}
         self.drop_probability = drop_probability
         self._latency = latency
         self._rng = rng if rng is not None else random.Random(0)
         self.datagrams_sent = 0
         self.datagrams_dropped = 0
 
-    def register(self, address: Hashable, endpoint: "LoopbackTransport") -> None:
+    def register(self, address: Hashable, endpoint: LoopbackTransport) -> None:
         """Attach an endpoint at *address*."""
         if address in self._endpoints:
             raise ValueError(f"address {address!r} already registered")

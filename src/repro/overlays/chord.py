@@ -23,7 +23,7 @@ from __future__ import annotations
 import bisect
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Iterable, Mapping, Sequence
 
 from ..core.config import BootstrapConfig, PAPER_CONFIG
 from ..core.descriptor import NodeDescriptor
@@ -55,7 +55,7 @@ def successor_of(sorted_ids: Sequence[int], key: int) -> int:
 
 def perfect_fingers(
     space: IDSpace, sorted_ids: Sequence[int], own_id: int
-) -> Dict[int, int]:
+) -> dict[int, int]:
     """Chord's ideal finger table for *own_id* over the live set.
 
     ``fingers[i] = successor(own + 2^i)``; entries that resolve to the
@@ -63,7 +63,7 @@ def perfect_fingers(
     exponents often share a finger; the dict keeps them all, as real
     Chord tables do.
     """
-    fingers: Dict[int, int] = {}
+    fingers: dict[int, int] = {}
     size = space.size
     for exponent in range(space.bits):
         target = (own_id + (1 << exponent)) % size
@@ -96,7 +96,7 @@ class ChordRouter:
         node_id: int,
         successors: Sequence[int],
         fingers: Mapping[int, int],
-        predecessor: Optional[int] = None,
+        predecessor: int | None = None,
     ) -> None:
         self._space = space
         self._node_id = node_id
@@ -110,23 +110,23 @@ class ChordRouter:
         return self._node_id
 
     @property
-    def successor(self) -> Optional[int]:
+    def successor(self) -> int | None:
         """Immediate successor, if known."""
         return self._successors[0] if self._successors else None
 
     @property
-    def predecessor(self) -> Optional[int]:
+    def predecessor(self) -> int | None:
         """Immediate predecessor, if known."""
         return self._predecessor
 
-    def known_ids(self) -> List[int]:
+    def known_ids(self) -> list[int]:
         """Every contact this router can name."""
         seen = set(self._successors)
         seen.update(self._fingers.values())
         seen.discard(self._node_id)
         return list(seen)
 
-    def next_hop(self, target_id: int) -> Optional[int]:
+    def next_hop(self, target_id: int) -> int | None:
         """Greedy Chord step for resolving ``successor(target)``.
 
         Chord's standard formulation: the node whose span
@@ -184,12 +184,12 @@ class ChordNetwork:
         space: IDSpace,
         ids: Iterable[int],
         successor_list_length: int = 8,
-    ) -> "ChordNetwork":
+    ) -> ChordNetwork:
         """The converged Chord overlay for a live id set (ground truth
         for comparisons)."""
         sorted_ids = sorted(ids)
         n = len(sorted_ids)
-        routers: Dict[int, ChordRouter] = {}
+        routers: dict[int, ChordRouter] = {}
         for index, node_id in enumerate(sorted_ids):
             successors = [
                 sorted_ids[(index + off) % n]
@@ -228,7 +228,7 @@ class ChordNetwork:
     ) -> RouteStats:
         """Aggregate lookups."""
         stats = RouteStats()
-        for key, start in zip(keys, start_ids):
+        for key, start in zip(keys, start_ids, strict=True):
             stats.record(self.lookup(key, start, max_hops=max_hops))
         return stats
 
@@ -271,7 +271,7 @@ class ChordBootstrapNode:
         self.leaf_set = LeafSet(
             self._space, descriptor.node_id, config.leaf_set_size
         )
-        self.fingers: Dict[int, NodeDescriptor] = {}
+        self.fingers: dict[int, NodeDescriptor] = {}
         self._started = False
         self._now = 0.0
 
@@ -328,7 +328,7 @@ class ChordBootstrapNode:
 
     # -- gossip --------------------------------------------------------
 
-    def select_peer(self) -> Optional[NodeDescriptor]:
+    def select_peer(self) -> NodeDescriptor | None:
         """Random member of the closer half of the leaf set."""
         candidates = self.leaf_set.closest_half()
         if candidates:
@@ -344,7 +344,7 @@ class ChordBootstrapNode:
         config = self.config
         space = self._space
         peer_id = peer.node_id
-        union: Dict[int, NodeDescriptor] = {
+        union: dict[int, NodeDescriptor] = {
             d.node_id: d for d in self.fingers.values()
         }
         for desc in self.leaf_set:
@@ -368,7 +368,7 @@ class ChordBootstrapNode:
 
         # Finger-targeted part: for each exponent, the union member
         # nearest after the peer's finger target.
-        finger_part: List[NodeDescriptor] = []
+        finger_part: list[NodeDescriptor] = []
         size = space.size
         for exponent in range(space.bits):
             target = (peer_id + (1 << exponent)) % size
@@ -397,7 +397,7 @@ class ChordBootstrapNode:
 
     def initiate_exchange(
         self,
-    ) -> Optional[Tuple[NodeDescriptor, BootstrapMessage]]:
+    ) -> tuple[NodeDescriptor, BootstrapMessage] | None:
         """Active-thread step."""
         peer = self.select_peer()
         if peer is None:
@@ -496,7 +496,7 @@ class ChordBootstrapSimulation:
         ids = space.random_unique_ids(size, source.derive("ids"))
         self._sorted_ids = sorted(ids)
         self.registry = MembershipRegistry()
-        self.nodes: Dict[int, ChordBootstrapNode] = {}
+        self.nodes: dict[int, ChordBootstrapNode] = {}
         self.engine = CycleEngine(network, source.derive("engine"))
         for address, node_id in enumerate(ids):
             descriptor = NodeDescriptor(node_id=node_id, address=address)
@@ -510,13 +510,13 @@ class ChordBootstrapSimulation:
             self.nodes[node_id] = node
             self.engine.add_actor(node_id, _ChordActor(node))
         self._space = space
-        self._perfect: Dict[int, Dict[int, int]] = {
+        self._perfect: dict[int, dict[int, int]] = {
             node_id: perfect_fingers(space, self._sorted_ids, node_id)
             for node_id in ids
         }
-        self.samples: List[ChordConvergenceSample] = []
+        self.samples: list[ChordConvergenceSample] = []
 
-    def _perfect_ring_state(self, node_id: int) -> "set[int]":
+    def _perfect_ring_state(self, node_id: int) -> set[int]:
         """The Chord ring state a node must hold: its c/2 nearest
         successors plus its immediate predecessor."""
         sorted_ids = self._sorted_ids
@@ -559,7 +559,7 @@ class ChordBootstrapSimulation:
 
     def run(
         self, max_cycles: int = 60, *, stop_when_perfect: bool = True
-    ) -> List[ChordConvergenceSample]:
+    ) -> list[ChordConvergenceSample]:
         """Run to convergence or budget; returns the sample series."""
         for _ in range(max_cycles):
             self.engine.run_cycle()
@@ -570,7 +570,7 @@ class ChordBootstrapSimulation:
 
     def to_network(self, successor_list_length: int = 8) -> ChordNetwork:
         """Snapshot the bootstrapped state into a routable overlay."""
-        routers: Dict[int, ChordRouter] = {}
+        routers: dict[int, ChordRouter] = {}
         for node_id, node in self.nodes.items():
             successors = [d.node_id for d in node.leaf_set.successors()]
             predecessors = node.leaf_set.predecessors()

@@ -19,7 +19,7 @@ Two lookup modes are provided:
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Mapping, Optional, Set
+from collections.abc import Iterable, Mapping
 
 from ..core.idspace import IDSpace
 from ..core.protocol import BootstrapNode
@@ -55,12 +55,12 @@ class KademliaRouter:
         self._space = space
         self._node_id = node_id
         self._bucket_size = bucket_size
-        self._buckets: Dict[int, List[int]] = {}
+        self._buckets: dict[int, list[int]] = {}
 
     @classmethod
     def from_bootstrap(
         cls, node: BootstrapNode, bucket_size: int = 20
-    ) -> "KademliaRouter":
+    ) -> KademliaRouter:
         """Build buckets from a bootstrap node's leaf set and prefix
         table contents."""
         router = cls(node.config.space, node.node_id, bucket_size)
@@ -96,22 +96,22 @@ class KademliaRouter:
         bucket.append(other_id)
         return True
 
-    def contacts(self) -> List[int]:
+    def contacts(self) -> list[int]:
         """All known contacts."""
         return [c for bucket in self._buckets.values() for c in bucket]
 
-    def bucket_sizes(self) -> Dict[int, int]:
+    def bucket_sizes(self) -> dict[int, int]:
         """Occupancy per bucket index (non-empty buckets only)."""
         return {i: len(b) for i, b in self._buckets.items() if b}
 
-    def find_closest(self, target_id: int, count: int) -> List[int]:
+    def find_closest(self, target_id: int, count: int) -> list[int]:
         """The *count* known contacts closest to *target_id* by XOR
         (the node-local ``FIND_NODE`` answer)."""
         return heapq.nsmallest(
             count, self.contacts(), key=lambda c: c ^ target_id
         )
 
-    def next_hop(self, target_id: int) -> Optional[int]:
+    def next_hop(self, target_id: int) -> int | None:
         """Greedy step: the known contact strictly closer to the target
         (XOR) than this node, or ``None`` (local delivery).
 
@@ -140,8 +140,8 @@ class IterativeLookupResult:
 
     def __init__(
         self,
-        closest: List[int],
-        queried: Set[int],
+        closest: list[int],
+        queried: set[int],
         rounds: int,
         found_target: bool,
     ) -> None:
@@ -170,10 +170,10 @@ class KademliaNetwork:
     @classmethod
     def from_bootstrap_nodes(
         cls, nodes: Iterable[BootstrapNode], bucket_size: int = 20
-    ) -> "KademliaNetwork":
+    ) -> KademliaNetwork:
         """Snapshot a bootstrap population into a Kademlia overlay."""
-        routers: Dict[int, KademliaRouter] = {}
-        space: Optional[IDSpace] = None
+        routers: dict[int, KademliaRouter] = {}
+        space: IDSpace | None = None
         for node in nodes:
             routers[node.node_id] = KademliaRouter.from_bootstrap(
                 node, bucket_size
@@ -189,7 +189,7 @@ class KademliaNetwork:
         return len(self._routers)
 
     @property
-    def ids(self) -> List[int]:
+    def ids(self) -> list[int]:
         """Live identifiers (ascending)."""
         return sorted(self._routers)
 
@@ -212,7 +212,7 @@ class KademliaNetwork:
     ) -> RouteStats:
         """Aggregate greedy lookups (E10 rows)."""
         stats = RouteStats()
-        for key, start_id in zip(keys, start_ids):
+        for key, start_id in zip(keys, start_ids, strict=True):
             stats.record(self.lookup(key, start_id, max_hops=max_hops))
         return stats
 
@@ -233,11 +233,11 @@ class KademliaNetwork:
         """
         if start_id not in self._routers:
             raise KeyError(f"start node {start_id:#x} not in network")
-        shortlist: Set[int] = {start_id}
+        shortlist: set[int] = {start_id}
         shortlist.update(
             self._routers[start_id].find_closest(target_id, k)
         )
-        queried: Set[int] = set()
+        queried: set[int] = set()
         rounds = 0
         while rounds < max_rounds:
             candidates = sorted(

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from collections.abc import Hashable
 
 from ..core.descriptor import NodeDescriptor
 from ..core.protocol import BootstrapNode
@@ -54,7 +54,7 @@ class ProbeMessage:
     """One repair exchange message: the sender plus its leaf set."""
 
     sender: NodeDescriptor
-    descriptors: Tuple[NodeDescriptor, ...]
+    descriptors: tuple[NodeDescriptor, ...]
 
 
 class MaintenanceNode:
@@ -107,8 +107,8 @@ class MaintenanceNode:
         self.node = node
         self._rng = rng
         self._threshold = suspicion_threshold
-        self._suspicions: Dict[int, int] = {}
-        self._tombstones: Dict[int, float] = {}
+        self._suspicions: dict[int, int] = {}
+        self._tombstones: dict[int, float] = {}
         self._ttl = tombstone_ttl
         self._now = 0.0
 
@@ -132,7 +132,7 @@ class MaintenanceNode:
         expiry = self._tombstones.get(node_id)
         return expiry is not None and expiry > self._now
 
-    def select_probe_target(self) -> Optional[NodeDescriptor]:
+    def select_probe_target(self) -> NodeDescriptor | None:
         """The next probe target.
 
         Members under suspicion are re-probed with priority (half the
@@ -215,7 +215,7 @@ class MaintenanceActor(RequestReplyActor):
         self.maintenance.node.set_time(now)
         self.maintenance.set_time(now)
 
-    def begin_exchange(self) -> Optional[Tuple[Hashable, ProbeMessage]]:
+    def begin_exchange(self) -> tuple[Hashable, ProbeMessage] | None:
         target = self.maintenance.select_probe_target()
         if target is None:
             return None
@@ -303,7 +303,7 @@ class MaintenanceSimulation:
         self.config = source.config
         self._space = source.config.space
         self.registry = source.registry
-        self.nodes: Dict[int, BootstrapNode] = dict(source.nodes)
+        self.nodes: dict[int, BootstrapNode] = dict(source.nodes)
         self.engine = CycleEngine(
             network if network is not None else RELIABLE,
             self._source_rng.derive("maintenance-engine"),
@@ -314,7 +314,7 @@ class MaintenanceSimulation:
             )
         self._threshold = suspicion_threshold
         self._probes_per_cycle = probes_per_cycle
-        self.maintainers: Dict[int, MaintenanceNode] = {}
+        self.maintainers: dict[int, MaintenanceNode] = {}
         for node_id, node in self.nodes.items():
             self._attach(node_id, node)
         self._next_join = 0
@@ -434,7 +434,7 @@ class MaintenanceSimulation:
 
     def run(
         self, cycles: int, *, churn_rate: float = 0.0
-    ) -> List[MaintenanceQuality]:
+    ) -> list[MaintenanceQuality]:
         """Run under churn, measuring every cycle."""
         samples = []
         for _ in range(cycles):

@@ -19,7 +19,7 @@ Routing rule per hop (Pastry Section 2.3, adapted to ring distance):
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from collections.abc import Iterable, Mapping
 
 from ..core.idspace import IDSpace
 from ..core.protocol import BootstrapNode
@@ -30,7 +30,7 @@ __all__ = ["PastryRouter", "PastryNetwork"]
 
 def _closest(
     space: IDSpace, target_id: int, candidates: Iterable[int]
-) -> Optional[int]:
+) -> int | None:
     """Candidate at minimal ring distance from *target_id*; ties break
     towards the smaller identifier (the library-wide responsibility
     tie-break)."""
@@ -66,12 +66,12 @@ class PastryRouter:
         space: IDSpace,
         node_id: int,
         leaf_ids: Iterable[int],
-        table: Mapping[Tuple[int, int], Iterable[int]],
+        table: Mapping[tuple[int, int], Iterable[int]],
     ) -> None:
         self._space = space
         self._node_id = node_id
         self._leaf_ids = frozenset(leaf_ids)
-        self._table: Dict[Tuple[int, int], Tuple[int, ...]] = {
+        self._table: dict[tuple[int, int], tuple[int, ...]] = {
             slot: tuple(ids) for slot, ids in table.items()
         }
         known = set(self._leaf_ids)
@@ -81,7 +81,7 @@ class PastryRouter:
         self._known = frozenset(known)
 
     @classmethod
-    def from_bootstrap(cls, node: BootstrapNode) -> "PastryRouter":
+    def from_bootstrap(cls, node: BootstrapNode) -> PastryRouter:
         """Snapshot a live bootstrap node's tables into a router."""
         table = {
             slot: [d.node_id for d in descriptors]
@@ -127,7 +127,7 @@ class PastryRouter:
         offset = (target_id - own) & mask
         return offset <= max_fwd or ((own - target_id) & mask) <= max_back
 
-    def next_hop(self, target_id: int) -> Optional[int]:
+    def next_hop(self, target_id: int) -> int | None:
         """One Pastry routing step towards *target_id*.
 
         Returns ``None`` when this node keeps the key (delivery point),
@@ -193,10 +193,10 @@ class PastryNetwork:
     @classmethod
     def from_bootstrap_nodes(
         cls, nodes: Iterable[BootstrapNode]
-    ) -> "PastryNetwork":
+    ) -> PastryNetwork:
         """Snapshot a whole bootstrap population into a Pastry overlay."""
-        routers: Dict[int, PastryRouter] = {}
-        space: Optional[IDSpace] = None
+        routers: dict[int, PastryRouter] = {}
+        space: IDSpace | None = None
         for node in nodes:
             routers[node.node_id] = PastryRouter.from_bootstrap(node)
             space = node.config.space
@@ -210,7 +210,7 @@ class PastryNetwork:
         return len(self._routers)
 
     @property
-    def ids(self) -> List[int]:
+    def ids(self) -> list[int]:
         """Live identifiers, ascending."""
         return list(self._sorted_ids)
 
@@ -245,6 +245,6 @@ class PastryNetwork:
     ) -> RouteStats:
         """Run one lookup per ``(key, start)`` pair, aggregating stats."""
         stats = RouteStats()
-        for key, start_id in zip(keys, start_ids):
+        for key, start_id in zip(keys, start_ids, strict=True):
             stats.record(self.lookup(key, start_id, max_hops=max_hops))
         return stats

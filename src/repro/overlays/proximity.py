@@ -25,7 +25,7 @@ latency of the hop differs.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 from ..core.idspace import IDSpace
 from ..core.protocol import BootstrapNode
@@ -53,9 +53,9 @@ class CoordinateSpace:
         self._source = RandomSource(seed)
         self._base = base
         self._scale = scale
-        self._points: Dict[int, Tuple[float, float]] = {}
+        self._points: dict[int, tuple[float, float]] = {}
 
-    def coordinates(self, node_id: int) -> Tuple[float, float]:
+    def coordinates(self, node_id: int) -> tuple[float, float]:
         """The node's (stable) position in the unit square."""
         point = self._points.get(node_id)
         if point is None:
@@ -90,7 +90,7 @@ class ProximityPastryRouter(PastryRouter):
     @classmethod
     def from_bootstrap_with_proximity(
         cls, node: BootstrapNode, proximity: CoordinateSpace
-    ) -> "ProximityPastryRouter":
+    ) -> ProximityPastryRouter:
         """Snapshot a bootstrap node with a proximity oracle."""
         table = {
             slot: [d.node_id for d in descriptors]
@@ -104,7 +104,7 @@ class ProximityPastryRouter(PastryRouter):
             proximity,
         )
 
-    def next_hop(self, target_id: int) -> Optional[int]:
+    def next_hop(self, target_id: int) -> int | None:
         own = self._node_id
         if target_id == own:
             return None
@@ -142,8 +142,8 @@ def build_proximity_network(
     nodes: Iterable[BootstrapNode], proximity: CoordinateSpace
 ) -> PastryNetwork:
     """A :class:`PastryNetwork` whose routers are proximity-aware."""
-    routers: Dict[int, ProximityPastryRouter] = {}
-    space: Optional[IDSpace] = None
+    routers: dict[int, ProximityPastryRouter] = {}
+    space: IDSpace | None = None
     for node in nodes:
         routers[node.node_id] = (
             ProximityPastryRouter.from_bootstrap_with_proximity(
@@ -161,5 +161,5 @@ def route_latency(
 ) -> float:
     """End-to-end latency of a route (sum of per-hop latencies)."""
     return sum(
-        proximity.latency(a, b) for a, b in zip(path, path[1:])
+        proximity.latency(a, b) for a, b in zip(path, path[1:], strict=False)
     )

@@ -13,7 +13,8 @@ is the downstream-validity experiment E10.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Protocol, Tuple
+from collections.abc import Mapping
+from typing import Protocol
 
 __all__ = ["RouteResult", "RoutingNode", "route", "RouteStats"]
 
@@ -26,7 +27,7 @@ class RoutingNode(Protocol):
         """This node's identifier."""
         ...
 
-    def next_hop(self, target_id: int) -> Optional[int]:
+    def next_hop(self, target_id: int) -> int | None:
         """The identifier of the next node towards *target_id*, or
         ``None`` when this node considers itself responsible (delivery)
         or has no better candidate (dead end)."""
@@ -52,7 +53,7 @@ class RouteResult:
         ``"hop-limit"``.
     """
 
-    path: Tuple[int, ...]
+    path: tuple[int, ...]
     delivered_to: int
     success: bool
     reason: str
@@ -85,7 +86,7 @@ def route(
     """
     if start_id not in network:
         raise KeyError(f"start node {start_id:#x} not in network")
-    path: List[int] = [start_id]
+    path: list[int] = [start_id]
     visited = {start_id}
     current = network[start_id]
     reason = "delivered"
@@ -126,7 +127,7 @@ class RouteStats:
     successes: int = 0
     total_hops: int = 0
     max_hops: int = 0
-    failures_by_reason: Dict[str, int] = field(default_factory=dict)
+    failures_by_reason: dict[str, int] = field(default_factory=dict)
 
     def record(self, result: RouteResult) -> None:
         """Fold one lookup outcome into the aggregate."""
@@ -152,7 +153,7 @@ class RouteStats:
         """Mean hop count over successful lookups."""
         return self.total_hops / self.successes if self.successes else 0.0
 
-    def as_row(self) -> Dict[str, object]:
+    def as_row(self) -> dict[str, object]:
         """Flat summary for tables."""
         return {
             "attempts": self.attempts,

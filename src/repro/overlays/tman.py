@@ -19,7 +19,7 @@ This implementation serves two purposes:
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from collections.abc import Callable, Iterable
 
 from ..core.descriptor import NodeDescriptor
 from ..core.idspace import IDSpace
@@ -90,7 +90,7 @@ class TManNode:
         view_size: int,
         message_size: int,
         rng: random.Random,
-        sampler: Optional[Sampler] = None,
+        sampler: Sampler | None = None,
     ) -> None:
         if view_size < 1:
             raise ValueError(f"view_size must be >= 1, got {view_size}")
@@ -102,7 +102,7 @@ class TManNode:
         self._message_size = message_size
         self._rng = rng
         self._sampler = sampler
-        self._view: Dict[int, NodeDescriptor] = {}
+        self._view: dict[int, NodeDescriptor] = {}
         self._started = False
 
     @property
@@ -115,11 +115,11 @@ class TManNode:
         """Whether the view has been seeded."""
         return self._started
 
-    def view_ids(self) -> List[int]:
+    def view_ids(self) -> list[int]:
         """Identifiers currently in the view."""
         return list(self._view)
 
-    def view_descriptors(self) -> List[NodeDescriptor]:
+    def view_descriptors(self) -> list[NodeDescriptor]:
         """Descriptors currently in the view."""
         return list(self._view.values())
 
@@ -134,7 +134,7 @@ class TManNode:
     # Gossip steps
     # ------------------------------------------------------------------
 
-    def select_peer(self) -> Optional[NodeDescriptor]:
+    def select_peer(self) -> NodeDescriptor | None:
         """Random node from the better half of the view (T-Man's psi=
         half policy, matching the bootstrap's SELECTPEER)."""
         if not self._view:
@@ -150,10 +150,10 @@ class TManNode:
         half = ordered[: (len(ordered) + 1) // 2]
         return self._rng.choice(half)
 
-    def payload_for(self, peer_id: int) -> Tuple[NodeDescriptor, ...]:
+    def payload_for(self, peer_id: int) -> tuple[NodeDescriptor, ...]:
         """The *message_size* best-known descriptors *for the peer*
         (ranked from the peer's perspective), plus own descriptor."""
-        union: Dict[int, NodeDescriptor] = dict(self._view)
+        union: dict[int, NodeDescriptor] = dict(self._view)
         if self._sampler is not None:
             for desc in self._sampler.sample(self._message_size):
                 union.setdefault(desc.node_id, desc)
@@ -169,7 +169,7 @@ class TManNode:
         """Union the received descriptors into the view and keep the
         *view_size* best under the ranking."""
         own = self.node_id
-        union: Dict[int, NodeDescriptor] = dict(self._view)
+        union: dict[int, NodeDescriptor] = dict(self._view)
         for desc in descriptors:
             if desc.node_id != own:
                 union.setdefault(desc.node_id, desc)
@@ -192,7 +192,7 @@ class TManNode:
         """Whether *node_id* is in the view."""
         return node_id in self._view
 
-    def best(self, count: int) -> List[int]:
+    def best(self, count: int) -> list[int]:
         """The *count* best-ranked view members."""
         own = self.node_id
         ranked = sorted(

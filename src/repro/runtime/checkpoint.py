@@ -35,7 +35,6 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
 
 from .merge import CellAggregate, CellKey, cell_label
 from .runner import SweepGrid
@@ -72,7 +71,7 @@ def grid_digest(grid: SweepGrid) -> str:
     produces a different digest and invalidates existing journals.
     """
     canonical = json.dumps(grid.to_dict(), sort_keys=True)
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 def _cell_key_dict(cell: CellKey) -> dict:
@@ -94,7 +93,7 @@ def _cell_filename(cell: CellKey) -> str:
     filesystem-safe, and injective over the coordinate space.
     """
     canonical = json.dumps(_cell_key_dict(cell), sort_keys=True)
-    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    digest = hashlib.sha256(canonical.encode()).hexdigest()
     return f"{_CELL_PREFIX}{digest[:16]}{_CELL_SUFFIX}"
 
 
@@ -114,11 +113,11 @@ class CheckpointStore:
     @classmethod
     def open(
         cls,
-        directory: Union[str, Path],
+        directory: str | Path,
         grid: SweepGrid,
         *,
         resume: bool = False,
-    ) -> "CheckpointStore":
+    ) -> CheckpointStore:
         """Open (creating if needed) a checkpoint directory for *grid*.
 
         Fresh directory: writes the grid metadata and returns an empty
@@ -171,14 +170,14 @@ class CheckpointStore:
 
     # -- reading -------------------------------------------------------
 
-    def load_cells(self) -> Dict[CellKey, Tuple[int, CellAggregate]]:
+    def load_cells(self) -> dict[CellKey, tuple[int, CellAggregate]]:
         """Every journalled cell: coordinate -> (first_shard, aggregate).
 
         Corrupt records (truncated JSON, missing fields, digest
         mismatch) raise :class:`CheckpointError` naming the offending
         file -- a damaged journal is reported, never silently merged.
         """
-        cells: Dict[CellKey, Tuple[int, CellAggregate]] = {}
+        cells: dict[CellKey, tuple[int, CellAggregate]] = {}
         for record_path in sorted(self._cell_paths(self.directory)):
             record = self._read_json(record_path)
             for field in ("digest", "first_shard", "engine", "aggregate"):
@@ -257,7 +256,7 @@ class CheckpointStore:
     # -- plumbing ------------------------------------------------------
 
     @staticmethod
-    def _cell_paths(directory: Path) -> List[Path]:
+    def _cell_paths(directory: Path) -> list[Path]:
         """The cell record files (``*.tmp`` leftovers never match)."""
         return list(directory.glob(f"{_CELL_PREFIX}*{_CELL_SUFFIX}"))
 
@@ -266,7 +265,7 @@ class CheckpointStore:
         """Read one JSON record, translating damage to
         :class:`CheckpointError`."""
         try:
-            with open(path, "r", encoding="utf-8") as stream:
+            with open(path, encoding="utf-8") as stream:
                 data = json.load(stream)
         except OSError as exc:
             raise CheckpointError(

@@ -28,11 +28,11 @@ object-transport path, which is pinned by the test suite.
 
 from __future__ import annotations
 
-import os
 from array import array
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
+from .. import seams
 from .spec import RunResult, RunSpec, ScheduleSpec, execute_run
 
 try:  # numpy is an optional extra throughout this package
@@ -72,13 +72,8 @@ def backend() -> str:
     forces a backend (raising if numpy is requested but missing),
     otherwise numpy is used when importable.
     """
-    forced = os.environ.get("REPRO_COLUMNS_BACKEND")
+    forced = seams.enum("REPRO_COLUMNS_BACKEND")
     if forced:
-        if forced not in ("numpy", "python"):
-            raise ValueError(
-                "REPRO_COLUMNS_BACKEND must be 'numpy' or 'python', "
-                f"got {forced!r}"
-            )
         if forced == "numpy" and _np is None:
             raise RuntimeError(
                 "REPRO_COLUMNS_BACKEND=numpy but numpy is not installed"
@@ -147,21 +142,21 @@ class RunColumns:
     size: int
     drop: float
     sampler: str
-    schedules: Tuple[ScheduleSpec, ...]
+    schedules: tuple[ScheduleSpec, ...]
     engine: str
     seed: int
-    converged_at: Optional[float]
+    converged_at: float | None
     population: int
     cycles_run: int
     started_at_cycle: int
     cycles: Sequence[float]
     leaf: Sequence[float]
     prefix: Sequence[float]
-    transport: Tuple[int, ...]
+    transport: tuple[int, ...]
     wall_seconds: float
 
     @classmethod
-    def from_run_result(cls, run: RunResult) -> "RunColumns":
+    def from_run_result(cls, run: RunResult) -> RunColumns:
         """Flatten one rich :class:`RunResult` into columns.
 
         This is the worker-side conversion: the rich object never
@@ -230,7 +225,7 @@ class RunColumns:
     # -- the same summary surface RunResult exposes --------------------
 
     @property
-    def cell(self) -> Tuple[int, float, str, Tuple[ScheduleSpec, ...], str]:
+    def cell(self) -> tuple[int, float, str, tuple[ScheduleSpec, ...], str]:
         """The grid cell this shard belongs to (all five axes)."""
         return (self.size, self.drop, self.sampler, self.schedules,
                 self.engine)
@@ -241,7 +236,7 @@ class RunColumns:
         return self.converged_at is not None
 
     @property
-    def cycles_to_converge(self) -> Optional[float]:
+    def cycles_to_converge(self) -> float | None:
         """Cycles from the run's start to perfection, or ``None``."""
         if self.converged_at is None:
             return None
@@ -266,17 +261,17 @@ class RunColumns:
 
     def transport_counters(self) -> dict:
         """The summable counters as a name -> value mapping."""
-        return dict(zip(TRANSPORT_COUNTERS, self.transport))
+        return dict(zip(TRANSPORT_COUNTERS, self.transport, strict=True))
 
-    def leaf_series(self) -> List[Tuple[float, float]]:
+    def leaf_series(self) -> list[tuple[float, float]]:
         """``(cycle, missing-leaf fraction)`` pairs."""
-        return list(zip(map(float, self.cycles), map(float, self.leaf)))
+        return list(zip(map(float, self.cycles), map(float, self.leaf), strict=True))
 
-    def prefix_series(self) -> List[Tuple[float, float]]:
+    def prefix_series(self) -> list[tuple[float, float]]:
         """``(cycle, missing-prefix fraction)`` pairs."""
-        return list(zip(map(float, self.cycles), map(float, self.prefix)))
+        return list(zip(map(float, self.cycles), map(float, self.prefix), strict=True))
 
-    def timing(self) -> "RunTiming":
+    def timing(self) -> RunTiming:
         """The shard's throughput scalars, detached from the buffers.
 
         The streaming collector keeps these (a few machine words per

@@ -50,7 +50,7 @@ Two fold entry points share these semantics:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 from ..analysis.series import Series, mean_series
 from ..analysis.stats import Summary, summarize
@@ -70,14 +70,14 @@ __all__ = [
 
 #: The full grid-cell coordinate: (size, drop, sampler, schedules,
 #: engine) -- the key both folds group replicas by.
-CellKey = Tuple[int, float, str, Tuple[ScheduleSpec, ...], str]
+CellKey = tuple[int, float, str, tuple[ScheduleSpec, ...], str]
 
 
 def cell_label(
     size: int,
     drop: float,
     sampler: str = "oracle",
-    schedules: Tuple[ScheduleSpec, ...] = (),
+    schedules: tuple[ScheduleSpec, ...] = (),
     engine: str = "reference",
 ) -> str:
     """Human-readable cell coordinate for curve labels and tables.
@@ -105,12 +105,12 @@ class CellAggregate:
     drop: float
     runs: int
     converged_runs: int
-    cycles: Optional[Summary]
+    cycles: Summary | None
     mean_leaf: Series
     mean_prefix: Series
-    transport: Tuple[Tuple[str, int], ...]
+    transport: tuple[tuple[str, int], ...]
     sampler: str = "oracle"
-    schedules: Tuple[ScheduleSpec, ...] = ()
+    schedules: tuple[ScheduleSpec, ...] = ()
     engine: str = "reference"
 
     @property
@@ -182,7 +182,7 @@ class CellAggregate:
     @classmethod
     def from_dict(
         cls, data: dict, *, engine: str = "reference"
-    ) -> "CellAggregate":
+    ) -> CellAggregate:
         """Rebuild an aggregate from :meth:`to_dict` output.
 
         The checkpoint-restore path: every float survives the JSON
@@ -246,16 +246,16 @@ class CellAggregate:
 class SweepAggregate:
     """Merged statistics of a whole sweep, cell by cell."""
 
-    cells: Tuple[CellAggregate, ...]
+    cells: tuple[CellAggregate, ...]
 
     def cell(
         self,
         size: int,
         drop: float = 0.0,
         *,
-        sampler: Optional[str] = None,
-        schedules: Optional[Tuple[ScheduleSpec, ...]] = None,
-        engine: Optional[str] = None,
+        sampler: str | None = None,
+        schedules: tuple[ScheduleSpec, ...] | None = None,
+        engine: str | None = None,
     ) -> CellAggregate:
         """The first aggregate matching the given coordinates.
 
@@ -282,11 +282,11 @@ class SweepAggregate:
                 coordinate += f", {name}={value!r}"
         raise KeyError(f"no cell ({coordinate}) in sweep")
 
-    def leaf_curves(self) -> List[Series]:
+    def leaf_curves(self) -> list[Series]:
         """Mean missing-leaf curves, one per cell (figure order)."""
         return [cell.mean_leaf for cell in self.cells]
 
-    def prefix_curves(self) -> List[Series]:
+    def prefix_curves(self) -> list[Series]:
         """Mean missing-prefix curves, one per cell (figure order)."""
         return [cell.mean_prefix for cell in self.cells]
 
@@ -312,11 +312,11 @@ def merge_columns(columns: Sequence[RunColumns]) -> SweepAggregate:
     if not columns:
         raise ValueError("cannot merge an empty result list")
     ordered = sorted(columns, key=lambda c: c.shard)
-    by_cell: Dict[tuple, List[RunColumns]] = {}
+    by_cell: dict[tuple, list[RunColumns]] = {}
     for run in ordered:
         by_cell.setdefault(run.cell, []).append(run)
 
-    cells: List[CellAggregate] = []
+    cells: list[CellAggregate] = []
     for (size, drop, sampler, schedules, engine), runs in by_cell.items():
         label = cell_label(size, drop, sampler, schedules, engine)
         converged = [
@@ -324,7 +324,7 @@ def merge_columns(columns: Sequence[RunColumns]) -> SweepAggregate:
         ]
         counters = {name: 0 for name in TRANSPORT_COUNTERS}
         for run in runs:
-            for name, value in zip(TRANSPORT_COUNTERS, run.transport):
+            for name, value in zip(TRANSPORT_COUNTERS, run.transport, strict=True):
                 counters[name] += value
         cells.append(
             CellAggregate(
@@ -374,7 +374,7 @@ def merge_results(results: Sequence[RunResult]) -> SweepAggregate:
 
 def throughput_summary(
     results: Sequence[object],
-) -> Optional[Summary]:
+) -> Summary | None:
     """Per-shard cycles/sec summary (``None`` for empty input).
 
     Accepts both :class:`RunResult` and :class:`RunColumns` sequences
@@ -412,16 +412,16 @@ class _CurveFold:
     __slots__ = ("xs", "totals", "count")
 
     def __init__(self) -> None:
-        self.xs: List[float] = []
-        self.totals: List[float] = []
+        self.xs: list[float] = []
+        self.totals: list[float] = []
         self.count = 0
 
-    def fold(self, label: str, pairs: Sequence[Tuple[float, float]]) -> None:
+    def fold(self, label: str, pairs: Sequence[tuple[float, float]]) -> None:
         """Fold one curve (mirrors ``Series.from_pairs`` validation)."""
         points = sorted(pairs)
         if not points:
             raise ValueError(f"series {label!r} is empty")
-        for before, after in zip(points, points[1:]):
+        for before, after in zip(points, points[1:], strict=False):
             if before[0] == after[0]:
                 raise ValueError(
                     f"series {label!r} has duplicate x value {before[0]!r}"
@@ -435,7 +435,7 @@ class _CurveFold:
             self.totals[i] += points[pos - 1][1] if pos else points[0][1]
         self.count += 1
 
-    def _extend_grid(self, points: List[Tuple[float, float]]) -> None:
+    def _extend_grid(self, points: list[tuple[float, float]]) -> None:
         """Merge the new curve's x values into the grid, copying the
         step-equivalent running totals for inserted points."""
         if not self.xs:
@@ -443,8 +443,8 @@ class _CurveFold:
             self.totals = [0.0] * len(points)
             return
         xs, totals = self.xs, self.totals
-        merged_x: List[float] = []
-        merged_t: List[float] = []
+        merged_x: list[float] = []
+        merged_t: list[float] = []
         i = j = 0
         while i < len(xs) or j < len(points):
             if i < len(xs) and (
@@ -472,7 +472,7 @@ class _CurveFold:
             label=label,
             points=tuple(
                 (x, total * scale)
-                for x, total in zip(self.xs, self.totals)
+                for x, total in zip(self.xs, self.totals, strict=True)
             ),
         )
 
@@ -503,19 +503,19 @@ class CellFold:
 
     def __init__(self, cell: CellKey) -> None:
         self.cell = cell
-        self.first_shard: Optional[int] = None
+        self.first_shard: int | None = None
         #: replica index -> runs waiting to fold (more than one entry
         #: per replica only for collapsed duplicate-coordinate cells).
-        self._pending: Dict[int, List[RunColumns]] = {}
+        self._pending: dict[int, list[RunColumns]] = {}
         self._pending_count = 0
         self._seen_shards: set = set()
         self._next = 0
         self._folded = 0
-        self._converged: List[float] = []
+        self._converged: list[float] = []
         self._counters = {name: 0 for name in TRANSPORT_COUNTERS}
         self._leaf = _CurveFold()
         self._prefix = _CurveFold()
-        self._final: Optional[CellAggregate] = None
+        self._final: CellAggregate | None = None
 
     @property
     def label(self) -> str:
@@ -533,7 +533,7 @@ class CellFold:
         return self._folded + self._pending_count
 
     @property
-    def pending(self) -> Tuple[int, ...]:
+    def pending(self) -> tuple[int, ...]:
         """Replica indices waiting for an earlier replica to arrive."""
         return tuple(sorted(self._pending))
 
@@ -588,7 +588,7 @@ class CellFold:
             self.first_shard = shard
         if run.converged:
             self._converged.append(run.cycles_to_converge)
-        for name, value in zip(TRANSPORT_COUNTERS, run.transport):
+        for name, value in zip(TRANSPORT_COUNTERS, run.transport, strict=True):
             self._counters[name] += value
         label = self.label
         self._leaf.fold(label, run.leaf_series())
@@ -645,10 +645,8 @@ class StreamingMerge:
     def __init__(
         self,
         *,
-        expected: Optional[Dict[CellKey, int]] = None,
-        on_cell: Optional[
-            Callable[[CellKey, int, CellAggregate], None]
-        ] = None,
+        expected: dict[CellKey, int] | None = None,
+        on_cell: Callable[[CellKey, int, CellAggregate], None] | None = None,
     ) -> None:
         if on_cell is not None and expected is None:
             raise ValueError(
@@ -657,8 +655,8 @@ class StreamingMerge:
             )
         self._expected = dict(expected) if expected is not None else None
         self._on_cell = on_cell
-        self._folds: Dict[CellKey, CellFold] = {}
-        self._preloaded: Dict[CellKey, Tuple[int, CellAggregate]] = {}
+        self._folds: dict[CellKey, CellFold] = {}
+        self._preloaded: dict[CellKey, tuple[int, CellAggregate]] = {}
 
     @property
     def preloaded_cells(self) -> int:
@@ -717,7 +715,7 @@ class StreamingMerge:
         :func:`merge_columns`) or if any cell has an out-of-order gap
         (a replica that never arrived while later ones did).
         """
-        entries: List[Tuple[int, CellAggregate]] = list(
+        entries: list[tuple[int, CellAggregate]] = list(
             self._preloaded.values()
         )
         for fold in self._folds.values():

@@ -29,16 +29,7 @@ from concurrent.futures import (
     wait,
 )
 from dataclasses import dataclass
-from typing import (
-    Callable,
-    Dict,
-    Iterable,
-    List,
-    Optional,
-    Sequence,
-    Tuple,
-    Union,
-)
+from collections.abc import Callable, Iterable, Sequence
 
 from ..core.config import BootstrapConfig, PAPER_CONFIG
 from ..simulator.bootstrap_sim import SAMPLER_KINDS
@@ -144,18 +135,18 @@ class SweepGrid:
     its historical seeds no matter how many variant axes exist.
     """
 
-    sizes: Tuple[int, ...]
-    drop_rates: Tuple[float, ...] = (0.0,)
-    replicas: Union[int, Tuple[int, ...]] = 1
+    sizes: tuple[int, ...]
+    drop_rates: tuple[float, ...] = (0.0,)
+    replicas: int | tuple[int, ...] = 1
     base_seed: int = 1
     max_cycles: int = 60
     config: BootstrapConfig = PAPER_CONFIG
     sampler: str = "oracle"
-    schedules: Tuple[ScheduleSpec, ...] = ()
+    schedules: tuple[ScheduleSpec, ...] = ()
     engine: str = "reference"
-    samplers: Optional[Tuple[str, ...]] = None
-    schedule_sets: Optional[Tuple[Tuple[ScheduleSpec, ...], ...]] = None
-    engines: Optional[Tuple[str, ...]] = None
+    samplers: tuple[str, ...] | None = None
+    schedule_sets: tuple[tuple[ScheduleSpec, ...], ...] | None = None
+    engines: tuple[str, ...] | None = None
     stop_when_perfect: bool = True
 
     def __post_init__(self) -> None:
@@ -212,12 +203,12 @@ class SweepGrid:
         singular: str,
         default: str,
         plural_name: str,
-        plural: Optional[Tuple[str, ...]],
+        plural: tuple[str, ...] | None,
         kinds: Sequence[str],
     ) -> None:
         """One variant axis: the singular field or the swept tuple."""
         if plural is None:
-            values: Tuple[str, ...] = (singular,)
+            values: tuple[str, ...] = (singular,)
         else:
             if singular != default:
                 raise ValueError(
@@ -239,19 +230,19 @@ class SweepGrid:
     # -- effective axes ------------------------------------------------
 
     @property
-    def sampler_axis(self) -> Tuple[str, ...]:
+    def sampler_axis(self) -> tuple[str, ...]:
         """The sampler variants this grid sweeps."""
         return self.samplers if self.samplers is not None else (self.sampler,)
 
     @property
-    def schedule_axis(self) -> Tuple[Tuple[ScheduleSpec, ...], ...]:
+    def schedule_axis(self) -> tuple[tuple[ScheduleSpec, ...], ...]:
         """The schedule-set variants this grid sweeps."""
         if self.schedule_sets is not None:
             return self.schedule_sets
         return (self.schedules,)
 
     @property
-    def engine_axis(self) -> Tuple[str, ...]:
+    def engine_axis(self) -> tuple[str, ...]:
         """The engine variants this grid sweeps."""
         return self.engines if self.engines is not None else (self.engine,)
 
@@ -267,7 +258,7 @@ class SweepGrid:
         class docstring's paired-comparison rule."""
         return derive_seed(self.base_seed, f"sweep:{size}:{drop!r}")
 
-    def expand(self) -> List[RunSpec]:
+    def expand(self) -> list[RunSpec]:
         """Expand the grid into its ordered list of shards.
 
         Axis nesting, outermost first: size, drop, sampler, schedule
@@ -275,7 +266,7 @@ class SweepGrid:
         shard indices, and therefore merged-cell order, are a pure
         function of the grid.
         """
-        specs: List[RunSpec] = []
+        specs: list[RunSpec] = []
         shard = 0
         for size in self.sizes:
             replicas = self.replicas_for(size)
@@ -327,9 +318,9 @@ class SweepGrid:
 
     # -- declarative round-trip ----------------------------------------
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> dict[str, object]:
         """JSON-ready form (inverse of :meth:`from_dict`)."""
-        data: Dict[str, object] = {
+        data: dict[str, object] = {
             "sizes": list(self.sizes),
             "drop_rates": list(self.drop_rates),
             "replicas": (
@@ -358,7 +349,7 @@ class SweepGrid:
         return data
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "SweepGrid":
+    def from_dict(cls, data: dict[str, object]) -> SweepGrid:
         """Rebuild a grid from :meth:`to_dict` output.
 
         The round-trip normalises the legacy singular fields onto the
@@ -412,9 +403,9 @@ class SweepGrid:
 def expand_repeats(
     spec: ExperimentSpec,
     repeats: int,
-    schedules: Tuple[ScheduleSpec, ...] = (),
+    schedules: tuple[ScheduleSpec, ...] = (),
     first_shard: int = 0,
-) -> List[RunSpec]:
+) -> list[RunSpec]:
     """Expand independent repeats of one :class:`ExperimentSpec`.
 
     Seed derivation matches the historical ``run_repeats`` exactly
@@ -453,7 +444,7 @@ class SweepRunner:
         self,
         workers: int = 1,
         *,
-        executor_factory: Optional[Callable[[int], object]] = None,
+        executor_factory: Callable[[int], object] | None = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -469,8 +460,8 @@ class SweepRunner:
         self,
         specs: Iterable[RunSpec],
         *,
-        schedules_factory: Optional[Callable[[], Sequence[object]]] = None,
-    ) -> List[RunResult]:
+        schedules_factory: Callable[[], Sequence[object]] | None = None,
+    ) -> list[RunResult]:
         """Execute every shard and return results in shard order.
 
         Sequential and parallel paths share :func:`execute_run`; the
@@ -491,7 +482,7 @@ class SweepRunner:
             )
         return self._run_pool(ordered, execute_run)
 
-    def run_columns(self, specs: Iterable[RunSpec]) -> List[RunColumns]:
+    def run_columns(self, specs: Iterable[RunSpec]) -> list[RunColumns]:
         """Execute every shard on the columnar transport path.
 
         Identical scheduling, ordering, and failure semantics to
@@ -505,7 +496,7 @@ class SweepRunner:
         """
         ordered = list(specs)
         if not self.parallel:
-            results: List[RunColumns] = []
+            results: list[RunColumns] = []
             for spec in ordered:
                 try:
                     results.append(execute_run_columns(spec))
@@ -550,7 +541,7 @@ class SweepRunner:
         )
         return len(ordered)
 
-    def _run_pool(self, ordered: List[RunSpec], worker: Callable) -> list:
+    def _run_pool(self, ordered: list[RunSpec], worker: Callable) -> list:
         """Fan *ordered* out over a process pool running *worker*.
 
         Results come back in submission (shard) order regardless of
@@ -568,7 +559,7 @@ class SweepRunner:
 
     def _pool_as_completed(
         self,
-        ordered: List[RunSpec],
+        ordered: list[RunSpec],
         worker: Callable,
         deliver: Callable[[int, object], None],
     ) -> None:
@@ -624,7 +615,7 @@ class SweepRunner:
 
     def _pool_shm(
         self,
-        ordered: List[RunSpec],
+        ordered: list[RunSpec],
         deliver: Callable[[int, object], None],
     ) -> None:
         """Columnar pool dispatch over the shared-memory ring.
@@ -647,7 +638,7 @@ class SweepRunner:
         try:
             with factory(max_workers) as pool:  # type: ignore[attr-defined]
                 try:
-                    pending: Dict[object, Tuple[int, int]] = {}
+                    pending: dict[object, tuple[int, int]] = {}
                     free = list(range(ring.slots))
                     queue = iter(enumerate(ordered))
                     head = next(queue, None)
@@ -686,18 +677,18 @@ class SweepRunner:
         finally:
             ring.destroy()
 
-    def run_grid(self, grid: SweepGrid) -> List[RunResult]:
+    def run_grid(self, grid: SweepGrid) -> list[RunResult]:
         """Expand *grid* and run every shard."""
         return self.run(grid.expand())
 
-    def run_grid_columns(self, grid: SweepGrid) -> List[RunColumns]:
+    def run_grid_columns(self, grid: SweepGrid) -> list[RunColumns]:
         """Expand *grid* and run every shard on the columnar path."""
         return self.run_columns(grid.expand())
 
     @staticmethod
     def _guarded(
         spec: RunSpec,
-        schedules_factory: Optional[Callable[[], Sequence[object]]],
+        schedules_factory: Callable[[], Sequence[object]] | None,
     ) -> RunResult:
         """Inline execution with the same failure surface as the pool
         path."""

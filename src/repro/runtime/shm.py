@@ -38,8 +38,9 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Sequence, Tuple, Union
+from collections.abc import Sequence
 
+from .. import seams
 from .columns import RunColumns, _buffer_from_bytes
 from .spec import RunSpec, execute_run
 
@@ -75,13 +76,7 @@ _FLOAT = 8  # bytes per float64 curve element
 
 def transport() -> str:
     """Resolve the requested result transport (``REPRO_TRANSPORT``)."""
-    kind = os.environ.get("REPRO_TRANSPORT", "pickle").strip().lower()
-    if kind not in TRANSPORT_KINDS:
-        raise ValueError(
-            f"REPRO_TRANSPORT must be one of {TRANSPORT_KINDS}, "
-            f"got {kind!r}"
-        )
-    return kind
+    return seams.enum("REPRO_TRANSPORT")
 
 
 def shm_available() -> bool:
@@ -100,13 +95,8 @@ def ring_slots(workers: int) -> int:
     ``REPRO_SHM_BLOCKS`` overrides (tests pin it to 1 to exercise the
     back-pressure path).
     """
-    forced = os.environ.get("REPRO_SHM_BLOCKS")
-    if forced:
-        blocks = int(forced)
-        if blocks < 1:
-            raise ValueError(
-                f"REPRO_SHM_BLOCKS must be >= 1, got {blocks}"
-            )
+    blocks = seams.integer("REPRO_SHM_BLOCKS")
+    if blocks is not None:
         return blocks
     return max(2 * workers, 4)
 
@@ -130,7 +120,7 @@ class ShmSlot:
     """
 
     slot: int
-    lengths: Tuple[int, int, int]
+    lengths: tuple[int, int, int]
     fields: tuple
 
 
@@ -172,7 +162,7 @@ def _worker_segment(name: str):
 
 def execute_run_columns_shm(
     spec: RunSpec, ring_name: str, slot: int, slot_bytes: int
-) -> Union[ShmSlot, RunColumns]:
+) -> ShmSlot | RunColumns:
     """Worker entry point of the shm transport.
 
     Executes the shard exactly like
@@ -183,7 +173,7 @@ def execute_run_columns_shm(
     just this run.
     """
     columns = RunColumns.from_run_result(execute_run(spec))
-    crash_after = os.environ.get("REPRO_SHM_TEST_CRASH_BYTES")
+    crash_after = seams.integer("REPRO_SHM_TEST_CRASH_BYTES")
     curves = (columns.cycles, columns.leaf, columns.prefix)
     lengths = tuple(len(curve) for curve in curves)
     total = sum(lengths)
@@ -197,10 +187,10 @@ def execute_run_columns_shm(
         offset=slot * slot_bytes,
     )
     cursor = 0
-    for curve, length in zip(curves, lengths):
+    for curve, length in zip(curves, lengths, strict=True):
         view[cursor:cursor + length] = curve
         cursor += length
-        if crash_after is not None and cursor * _FLOAT >= int(crash_after):
+        if crash_after is not None and cursor * _FLOAT >= crash_after:
             # Test hook: die mid-write the way a preempted worker
             # does -- no cleanup, a half-written slot left behind.
             os.kill(os.getpid(), 9)
@@ -236,7 +226,7 @@ class ShmRing:
         self.slot_bytes = slot_bytes
 
     @classmethod
-    def create(cls, slots: int, slot_bytes: int) -> "ShmRing":
+    def create(cls, slots: int, slot_bytes: int) -> ShmRing:
         """Allocate a fresh ring of *slots* blocks of *slot_bytes*."""
         if slots < 1:
             raise ValueError(f"ring needs >= 1 slot, got {slots}")
@@ -256,7 +246,7 @@ class ShmRing:
         return self._segment.name
 
     def restore(
-        self, outcome: Union[ShmSlot, RunColumns]
+        self, outcome: ShmSlot | RunColumns
     ) -> RunColumns:
         """Rebuild a worker outcome into a standalone
         :class:`RunColumns`.

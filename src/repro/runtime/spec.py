@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple, Type
+from collections.abc import Callable, Sequence
 
 from ..simulator.experiment import ExperimentSpec, run_experiment
 from ..simulator.bootstrap_sim import SimulationResult
@@ -44,7 +44,7 @@ __all__ = [
 ]
 
 #: Registry of schedule kinds a :class:`ScheduleSpec` can instantiate.
-SCHEDULE_KINDS: Dict[str, Type] = {
+SCHEDULE_KINDS: dict[str, type] = {
     "churn": Churn,
     "catastrophe": CatastrophicFailure,
     "massive_join": MassiveJoin,
@@ -75,7 +75,7 @@ class ScheduleSpec:
     """
 
     kind: str
-    params: Tuple[Tuple[str, object], ...] = ()
+    params: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in SCHEDULE_KINDS:
@@ -104,12 +104,12 @@ class ScheduleSpec:
                 )
 
     @classmethod
-    def of(cls, kind: str, **params: object) -> "ScheduleSpec":
+    def of(cls, kind: str, **params: object) -> ScheduleSpec:
         """Build a spec from keyword arguments."""
         return cls(kind=kind, params=tuple(sorted(params.items())))
 
     @classmethod
-    def parse(cls, text: str) -> "ScheduleSpec":
+    def parse(cls, text: str) -> ScheduleSpec:
         """Parse the CLI shorthand ``kind:key=val,...``.
 
         Examples: ``churn:rate=0.01``,
@@ -119,7 +119,7 @@ class ScheduleSpec:
         kinds-listing :class:`ValueError` as direct construction.
         """
         kind, _, body = text.strip().partition(":")
-        params: Dict[str, object] = {}
+        params: dict[str, object] = {}
         if body:
             for item in body.split(","):
                 name, eq, raw = item.partition("=")
@@ -136,12 +136,12 @@ class ScheduleSpec:
         """Instantiate a fresh schedule object for one run."""
         return SCHEDULE_KINDS[self.kind](**dict(self.params))
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> dict[str, object]:
         """JSON-ready form (inverse of :meth:`from_dict`)."""
         return {"kind": self.kind, "params": dict(self.params)}
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "ScheduleSpec":
+    def from_dict(cls, data: dict[str, object]) -> ScheduleSpec:
         """Rebuild a spec from :meth:`to_dict` output."""
         params = data.get("params", {})
         if not isinstance(params, dict):
@@ -199,7 +199,7 @@ class RunSpec:
     experiment: ExperimentSpec
     shard: int = 0
     replica: int = 0
-    schedules: Tuple[ScheduleSpec, ...] = ()
+    schedules: tuple[ScheduleSpec, ...] = ()
 
     @property
     def size(self) -> int:
@@ -217,7 +217,7 @@ class RunSpec:
         return self.experiment.sampler
 
     @property
-    def cell(self) -> Tuple[int, float, str, Tuple[ScheduleSpec, ...], str]:
+    def cell(self) -> tuple[int, float, str, tuple[ScheduleSpec, ...], str]:
         """The full grid-cell coordinate of this shard:
         ``(size, drop, sampler, schedules, engine)``.
 
@@ -271,9 +271,10 @@ def replica_seed(base_seed: int, replica: int) -> int:
     return derive_seed(base_seed, ("repeat", replica))
 
 
+# repro-check: timing -- wall_seconds is throughput telemetry (RunTiming); it never feeds results
 def execute_run(
     spec: RunSpec,
-    schedules_factory: Optional[Callable[[], Sequence[object]]] = None,
+    schedules_factory: Callable[[], Sequence[object]] | None = None,
 ) -> RunResult:
     """Execute one shard (this is the function worker processes run).
 

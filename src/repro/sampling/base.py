@@ -21,7 +21,6 @@ typing, plus shared helpers.
 from __future__ import annotations
 
 import abc
-from typing import List
 
 from ..core.descriptor import NodeDescriptor
 
@@ -37,7 +36,7 @@ class PeerSamplingService(abc.ABC):
     """
 
     @abc.abstractmethod
-    def sample(self, count: int) -> List[NodeDescriptor]:
+    def sample(self, count: int) -> list[NodeDescriptor]:
         """Return up to *count* descriptors of random live peers.
 
         Implementations must not return duplicates of the same node id
@@ -46,7 +45,7 @@ class PeerSamplingService(abc.ABC):
         underlying view or membership is small.
         """
 
-    def sample_one(self) -> "NodeDescriptor | None":
+    def sample_one(self) -> NodeDescriptor | None:
         """Convenience: a single sample, or ``None`` when unavailable."""
         out = self.sample(1)
         return out[0] if out else None

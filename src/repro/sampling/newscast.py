@@ -22,7 +22,7 @@ paper's architecture (Figure 1).
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 from ..core.descriptor import NodeDescriptor
 from .base import PeerSamplingService
@@ -82,11 +82,11 @@ class NewscastNode(PeerSamplingService):
     # The gossip exchange
     # ------------------------------------------------------------------
 
-    def select_peer(self) -> Optional[NodeDescriptor]:
+    def select_peer(self) -> NodeDescriptor | None:
         """Uniform random member of the current view."""
         return self.view.random_descriptor(self._rng)
 
-    def gossip_payload(self) -> Tuple[NodeDescriptor, ...]:
+    def gossip_payload(self) -> tuple[NodeDescriptor, ...]:
         """The descriptors sent in one gossip message: the whole view
         plus this node's own freshly-stamped descriptor."""
         own = self.descriptor.refreshed(self._now)
@@ -97,7 +97,7 @@ class NewscastNode(PeerSamplingService):
         ``view_size`` descriptors of the union."""
         self.view.merge(payload)
 
-    def exchange_with(self, other: "NewscastNode") -> None:
+    def exchange_with(self, other: NewscastNode) -> None:
         """Run one full symmetric exchange with *other* in-process.
 
         Both payloads are built from the pre-exchange views, mirroring
@@ -113,7 +113,7 @@ class NewscastNode(PeerSamplingService):
     # PeerSamplingService
     # ------------------------------------------------------------------
 
-    def sample(self, count: int) -> List[NodeDescriptor]:
+    def sample(self, count: int) -> list[NodeDescriptor]:
         """Random descriptors drawn from the local view.
 
         NEWSCAST's central experimental finding (Jelasity et al. 2004)

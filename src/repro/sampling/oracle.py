@@ -16,7 +16,7 @@ mutate under churn and catastrophic failures; every
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional
+from collections.abc import Iterable
 
 from ..core.descriptor import NodeDescriptor
 from .base import PeerSamplingService
@@ -35,10 +35,10 @@ class MembershipRegistry:
     __slots__ = ("_descriptors", "_positions")
 
     def __init__(
-        self, descriptors: Optional[Iterable[NodeDescriptor]] = None
+        self, descriptors: Iterable[NodeDescriptor] | None = None
     ) -> None:
-        self._descriptors: List[NodeDescriptor] = []
-        self._positions: Dict[int, int] = {}
+        self._descriptors: list[NodeDescriptor] = []
+        self._positions: dict[int, int] = {}
         if descriptors:
             for desc in descriptors:
                 self.add(desc)
@@ -49,15 +49,15 @@ class MembershipRegistry:
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._positions
 
-    def live_ids(self) -> List[int]:
+    def live_ids(self) -> list[int]:
         """Identifiers of all live nodes (fresh list)."""
         return list(self._positions)
 
-    def descriptors(self) -> List[NodeDescriptor]:
+    def descriptors(self) -> list[NodeDescriptor]:
         """All live descriptors (fresh list)."""
         return list(self._descriptors)
 
-    def get(self, node_id: int) -> Optional[NodeDescriptor]:
+    def get(self, node_id: int) -> NodeDescriptor | None:
         """Descriptor of *node_id* if live, else ``None``."""
         pos = self._positions.get(node_id)
         return self._descriptors[pos] if pos is not None else None
@@ -83,8 +83,8 @@ class MembershipRegistry:
         return True
 
     def sample_descriptors(
-        self, count: int, rng: random.Random, exclude_id: Optional[int] = None
-    ) -> List[NodeDescriptor]:
+        self, count: int, rng: random.Random, exclude_id: int | None = None
+    ) -> list[NodeDescriptor]:
         """Up to *count* distinct uniform live descriptors, optionally
         excluding one identifier (the caller itself)."""
         pool = self._descriptors
@@ -97,7 +97,7 @@ class MembershipRegistry:
             return []
         if count >= available:
             return [d for d in pool if d.node_id != exclude_id]
-        out: List[NodeDescriptor] = []
+        out: list[NodeDescriptor] = []
         seen = set()
         # Rejection sampling: count << n in every realistic configuration
         # (cr=30 versus thousands of nodes), so this stays O(count).
@@ -138,7 +138,7 @@ class OracleSampler(PeerSamplingService):
         self._own_id = own_id
         self._rng = rng
 
-    def sample(self, count: int) -> List[NodeDescriptor]:
+    def sample(self, count: int) -> list[NodeDescriptor]:
         """Uniform random live peers, excluding the owner."""
         return self._registry.sample_descriptors(
             count, self._rng, exclude_id=self._own_id

@@ -10,7 +10,7 @@ implements that bounded freshest-first container.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, Iterator, List, Optional, Set
+from collections.abc import Iterable, Iterator
 
 from ..core.descriptor import NodeDescriptor
 
@@ -36,7 +36,7 @@ class PartialView:
             raise ValueError(f"view capacity must be >= 1, got {capacity}")
         self._owner_id = owner_id
         self._capacity = capacity
-        self._entries: Dict[int, NodeDescriptor] = {}
+        self._entries: dict[int, NodeDescriptor] = {}
 
     @property
     def capacity(self) -> int:
@@ -57,11 +57,11 @@ class PartialView:
     def __iter__(self) -> Iterator[NodeDescriptor]:
         return iter(self._entries.values())
 
-    def descriptors(self) -> List[NodeDescriptor]:
+    def descriptors(self) -> list[NodeDescriptor]:
         """All retained descriptors (order unspecified but stable)."""
         return list(self._entries.values())
 
-    def member_ids(self) -> Set[int]:
+    def member_ids(self) -> set[int]:
         """Identifiers currently in the view (fresh set)."""
         return set(self._entries)
 
@@ -102,7 +102,7 @@ class PartialView:
 
     def random_descriptor(
         self, rng: random.Random
-    ) -> Optional[NodeDescriptor]:
+    ) -> NodeDescriptor | None:
         """A uniform random entry, or ``None`` when empty."""
         if not self._entries:
             return None
@@ -110,7 +110,7 @@ class PartialView:
 
     def random_sample(
         self, count: int, rng: random.Random
-    ) -> List[NodeDescriptor]:
+    ) -> list[NodeDescriptor]:
         """Up to *count* distinct uniform random entries."""
         if count <= 0 or not self._entries:
             return []
@@ -119,7 +119,7 @@ class PartialView:
             return pool
         return rng.sample(pool, count)
 
-    def oldest(self) -> Optional[NodeDescriptor]:
+    def oldest(self) -> NodeDescriptor | None:
         """The stalest entry (smallest timestamp); ``None`` when empty.
 
         Not used by plain NEWSCAST but handy for healing policies and

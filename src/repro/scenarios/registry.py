@@ -16,7 +16,6 @@ repeat budgets) are layered on by the consumers through
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 from ..runtime.runner import SweepGrid
 from ..runtime.spec import ScheduleSpec
@@ -29,7 +28,7 @@ __all__ = [
     "scenario_names",
 ]
 
-_REGISTRY: Dict[str, ScenarioSpec] = {}
+_REGISTRY: dict[str, ScenarioSpec] = {}
 
 
 def register(spec: ScenarioSpec) -> ScenarioSpec:
@@ -55,17 +54,17 @@ def get_scenario(name: str) -> ScenarioSpec:
         ) from None
 
 
-def scenario_names() -> Tuple[str, ...]:
+def scenario_names() -> tuple[str, ...]:
     """Registered scenario names, in registration order."""
     return tuple(_REGISTRY)
 
 
-def all_scenarios() -> Tuple[ScenarioSpec, ...]:
+def all_scenarios() -> tuple[ScenarioSpec, ...]:
     """Every registered scenario, in registration order."""
     return tuple(_REGISTRY.values())
 
 
-def _churn(rate: float) -> Tuple[ScheduleSpec, ...]:
+def _churn(rate: float) -> tuple[ScheduleSpec, ...]:
     return (ScheduleSpec.of("churn", rate=rate),)
 
 

@@ -19,7 +19,6 @@ missing shards.  Both paths produce byte-identical aggregates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
 
 from ..analysis import ascii_semilog, render_table
 from ..analysis.stats import Summary
@@ -45,7 +44,7 @@ __all__ = [
 ]
 
 
-def convergence_rows(aggregate: SweepAggregate) -> List[List[str]]:
+def convergence_rows(aggregate: SweepAggregate) -> list[list[str]]:
     """Per-cell convergence table rows: label, converged, mean/min/max.
 
     Shared by the scenario report's ``convergence`` section and the
@@ -77,18 +76,18 @@ class ScenarioResult:
     """
 
     spec: ScenarioSpec
-    columns: Tuple[RunColumns, ...]
+    columns: tuple[RunColumns, ...]
     aggregate: SweepAggregate
     workers: int
-    timings: Tuple[RunTiming, ...] = field(default=())
+    timings: tuple[RunTiming, ...] = field(default=())
     resumed_cells: int = 0
 
     @property
-    def throughput(self) -> Optional[Summary]:
+    def throughput(self) -> Summary | None:
         """Per-shard cycles/sec summary (wall-clock; non-merged)."""
         return throughput_summary(self.timings or self.columns)
 
-    def columns_for(self, **coords: object) -> List[RunColumns]:
+    def columns_for(self, **coords: object) -> list[RunColumns]:
         """The raw runs matching the given cell coordinates.
 
         Keyword filters match :class:`RunColumns` attributes (``size``,
@@ -106,11 +105,11 @@ class ScenarioResult:
 
 
 def run_scenario(
-    scenario: Union[str, ScenarioSpec],
+    scenario: str | ScenarioSpec,
     *,
     workers: int = 1,
     smoke: bool = False,
-    checkpoint_dir: Optional[str] = None,
+    checkpoint_dir: str | None = None,
     resume: bool = False,
 ) -> ScenarioResult:
     """Execute a scenario (by registry name or explicit spec).
@@ -162,8 +161,8 @@ def _run_checkpointed(
     """
     store = CheckpointStore.open(checkpoint_dir, spec.grid, resume=resume)
     shards = spec.grid.expand()
-    expected: Dict[CellKey, int] = {}
-    first_shard: Dict[CellKey, int] = {}
+    expected: dict[CellKey, int] = {}
+    first_shard: dict[CellKey, int] = {}
     for shard in shards:
         cell = shard.cell
         expected[cell] = expected.get(cell, 0) + 1
@@ -188,7 +187,7 @@ def _run_checkpointed(
     for shard0, aggregate in done.values():
         merge.preload(shard0, aggregate)
 
-    timings: List[RunTiming] = []
+    timings: list[RunTiming] = []
 
     def sink(run: RunColumns) -> None:
         timings.append(run.timing())
@@ -228,7 +227,7 @@ def render_scenario_report(result: ScenarioResult) -> str:
     """Render the analysis sections the scenario selected."""
     spec = result.spec
     aggregate = result.aggregate
-    sections: List[str] = [
+    sections: list[str] = [
         f"scenario {spec.name}: {spec.title}",
         f"claim: {spec.claim}",
         f"grid: {_grid_shape(spec)}, workers={result.workers}",

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, replace
-from typing import Dict, Tuple
 
 from ..runtime.runner import SweepGrid
 from ..runtime.spec import ScheduleSpec
@@ -71,7 +70,7 @@ class ScenarioSpec:
     title: str
     claim: str
     grid: SweepGrid
-    analyses: Tuple[str, ...] = ("convergence",)
+    analyses: tuple[str, ...] = ("convergence",)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -85,7 +84,7 @@ class ScenarioSpec:
                     f"{ANALYSIS_KINDS}"
                 )
 
-    def with_grid(self, **overrides: object) -> "ScenarioSpec":
+    def with_grid(self, **overrides: object) -> ScenarioSpec:
         """This scenario with grid fields replaced (validated).
 
         The porting hook for benchmarks: the registry entry pins the
@@ -94,7 +93,7 @@ class ScenarioSpec:
         """
         return replace(self, grid=replace(self.grid, **overrides))
 
-    def smoke(self, max_size: int = 64, max_cycles: int = 30) -> "ScenarioSpec":
+    def smoke(self, max_size: int = 64, max_cycles: int = 30) -> ScenarioSpec:
         """A seconds-scale variant preserving the scenario's axes.
 
         Sizes are clamped to *max_size* (deduplicated, order kept),
@@ -104,7 +103,7 @@ class ScenarioSpec:
         smoke run still sweeps the same samplers/schedules/engines --
         so CI exercises the real cartesian structure cheaply.
         """
-        sizes: Tuple[int, ...] = tuple(
+        sizes: tuple[int, ...] = tuple(
             dict.fromkeys(min(size, max_size) for size in self.grid.sizes)
         )
         schedule_sets = tuple(
@@ -123,7 +122,7 @@ class ScenarioSpec:
 
     # -- JSON round-trip ----------------------------------------------
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> dict[str, object]:
         """JSON-ready form (inverse of :meth:`from_dict`)."""
         return {
             "name": self.name,
@@ -134,7 +133,7 @@ class ScenarioSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+    def from_dict(cls, data: dict[str, object]) -> ScenarioSpec:
         """Rebuild a scenario from :meth:`to_dict` output."""
         return cls(
             name=str(data["name"]),
@@ -151,12 +150,12 @@ class ScenarioSpec:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     @classmethod
-    def from_json(cls, text: str) -> "ScenarioSpec":
+    def from_json(cls, text: str) -> ScenarioSpec:
         """Parse a :meth:`to_json` document."""
         return cls.from_dict(json.loads(text))
 
     @classmethod
-    def from_path(cls, path: object) -> "ScenarioSpec":
+    def from_path(cls, path: object) -> ScenarioSpec:
         """Load a scenario spec from a JSON file on disk.
 
         The CLI's ``--spec-file`` entry point: ad-hoc sweeps (a
@@ -165,7 +164,7 @@ class ScenarioSpec:
         naming the file, not a bare parser traceback.
         """
         try:
-            with open(path, "r", encoding="utf-8") as stream:
+            with open(path, encoding="utf-8") as stream:
                 text = stream.read()
         except OSError as exc:
             raise ValueError(

@@ -1,0 +1,276 @@
+"""The seam registry: every ``REPRO_*`` environment variable, declared.
+
+The repo's behaviour seams -- engine backends, result transports,
+benchmark scale knobs -- are environment variables so that operators
+can flip them without touching call sites.  Before this module each
+seam was an ad-hoc ``os.environ`` read scattered across five modules
+and the benchmark harness; nothing guaranteed the set of names stayed
+documented, validated, or even spelled consistently.
+
+This registry is the single source of truth.  Every seam is declared
+once as a :class:`Seam` (name, kind, allowed values, default, one-line
+doc), and every read flows through the typed accessors below:
+
+* :func:`get` -- the raw string (or ``None``), for call sites that
+  keep their own validation and error wording;
+* :func:`enum` -- validated against the declared choices, with the
+  declared default;
+* :func:`flag` -- presence-style booleans (set-and-non-empty is on);
+* :func:`integer` -- integers with a declared minimum.
+
+The static analyzer (:mod:`repro.devtools`) closes the loop: it flags
+any ``os.environ`` / ``os.getenv`` read outside this file, any
+``REPRO_*`` literal not declared here, and any declared seam missing
+from the README catalog.  Adding a seam therefore means adding a
+:class:`Seam` entry *and* a README row -- the analyzer fails the build
+until both exist.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Seam:
+    """One declared environment seam.
+
+    ``kind`` is ``"enum"`` (one of :attr:`choices`), ``"flag"``
+    (set-and-non-empty means on), or ``"int"`` (integer, at least
+    :attr:`minimum` when one is declared).  ``default`` is the raw
+    value an unset variable resolves to (``None`` means the call site
+    computes its own fallback, e.g. auto-detection).  ``normalize``
+    lowercases/strips the raw value before validation -- the
+    convention for operator-facing enums.
+    """
+
+    name: str
+    kind: str
+    doc: str
+    default: str | None = None
+    choices: tuple[str, ...] = ()
+    minimum: int | None = None
+    normalize: bool = False
+    testing_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("enum", "flag", "int"):
+            raise ValueError(f"seam kind must be enum|flag|int, got {self.kind!r}")
+        if self.kind == "enum" and not self.choices:
+            raise ValueError(f"enum seam {self.name} declares no choices")
+
+
+def _registry(*seams: Seam) -> dict[str, Seam]:
+    table: dict[str, Seam] = {}
+    for seam in seams:
+        if seam.name in table:
+            raise ValueError(f"duplicate seam {seam.name}")
+        table[seam.name] = seam
+    return table
+
+
+#: Every ``REPRO_*`` environment variable the repo reads, in catalog
+#: order (engines, transports, benchmark harness, test fixtures).
+SEAMS: dict[str, Seam] = _registry(
+    Seam(
+        name="REPRO_FAST_BACKEND",
+        kind="enum",
+        choices=("auto", "numpy", "python"),
+        default="auto",
+        doc=(
+            "Kernel backend of the fast engine: numpy, pure python, or "
+            "size-thresholded auto-selection (captured once at import)."
+        ),
+    ),
+    Seam(
+        name="REPRO_VECTOR_BACKEND",
+        kind="enum",
+        choices=("auto", "numpy", "python"),
+        default="auto",
+        doc=(
+            "Draw-source backend of the vector engine: one numpy "
+            "Generator per simulation, or the random.Random fallback."
+        ),
+    ),
+    Seam(
+        name="REPRO_VECTOR_ABSORB",
+        kind="enum",
+        choices=("batch", "single"),
+        default="batch",
+        normalize=True,
+        doc=(
+            "Vector-engine absorb dispatch: one segmented slab pass per "
+            "delivery wave, or the scalar per-exchange path "
+            "(bit-identical; the seam keeps the equivalence testable)."
+        ),
+    ),
+    Seam(
+        name="REPRO_COLUMNS_BACKEND",
+        kind="enum",
+        choices=("numpy", "python"),
+        default=None,
+        doc=(
+            "Columnar-transport buffer backend: numpy float64 arrays or "
+            "stdlib array('d'); unset auto-selects numpy when installed."
+        ),
+    ),
+    Seam(
+        name="REPRO_TRANSPORT",
+        kind="enum",
+        choices=("pickle", "shm"),
+        default="pickle",
+        normalize=True,
+        doc=(
+            "Result transport of pooled sweeps: pickled RunColumns, or "
+            "curve buffers through a shared-memory ring with only "
+            "descriptors pickled."
+        ),
+    ),
+    Seam(
+        name="REPRO_SHM_BLOCKS",
+        kind="int",
+        minimum=1,
+        default=None,
+        doc=(
+            "Shared-memory ring capacity in blocks; unset sizes the "
+            "ring as max(2 x workers, 4)."
+        ),
+    ),
+    Seam(
+        name="REPRO_SHM_TEST_CRASH_BYTES",
+        kind="int",
+        minimum=0,
+        default=None,
+        testing_only=True,
+        doc=(
+            "Test hook: SIGKILL the worker after writing this many "
+            "curve bytes into its ring slot (simulates preemption "
+            "mid-write)."
+        ),
+    ),
+    Seam(
+        name="REPRO_BENCH_WORKERS",
+        kind="int",
+        minimum=1,
+        default="1",
+        doc=(
+            "Worker processes for benchmark sweeps; results are "
+            "byte-identical for any value."
+        ),
+    ),
+    Seam(
+        name="REPRO_BENCH_ENGINE",
+        kind="enum",
+        choices=("reference", "fast", "vector"),
+        default="reference",
+        doc=(
+            "Cycle engine for benchmark sweeps (reference/fast are "
+            "trajectory-identical; vector is statistically equivalent)."
+        ),
+    ),
+    Seam(
+        name="REPRO_BENCH_FULL",
+        kind="flag",
+        doc=(
+            "Add the 2^14-node size -- the paper's smallest -- to the "
+            "benchmark sweeps (minutes instead of seconds)."
+        ),
+    ),
+    Seam(
+        name="REPRO_BENCH_PAPER",
+        kind="flag",
+        doc=(
+            "Run the paper's full sweep (2^14, 2^16, 2^18); hours in "
+            "pure Python, provided for completeness."
+        ),
+    ),
+    Seam(
+        name="REPRO_BENCH_VECTOR_SMOKE",
+        kind="flag",
+        doc=(
+            "Shrink the vector-engine shoot-out to one small size with "
+            "the fallback speedup floor (the no-numpy CI leg)."
+        ),
+    ),
+    Seam(
+        name="REPRO_REGEN_GOLDEN",
+        kind="flag",
+        testing_only=True,
+        doc=(
+            "Regenerate the golden trajectory fixtures under "
+            "tests/golden/ instead of comparing against them."
+        ),
+    ),
+)
+
+
+def get(name: str) -> str | None:
+    """The raw value of a *declared* seam (``None`` when unset).
+
+    Every environment read in the repo funnels through this line; the
+    static analyzer rejects any other ``os.environ`` access.  The
+    seam's ``normalize`` declaration is applied here so call sites
+    that keep their own validation still see canonical values.
+    """
+    seam = SEAMS.get(name)
+    if seam is None:
+        raise KeyError(f"{name} is not a declared seam (see repro.seams.SEAMS)")
+    value = os.environ.get(name)  # repro-check: ignore[env-read] -- the registry's single read site
+    if value is not None and seam.normalize:
+        value = value.strip().lower()
+    return value
+
+
+def enum(name: str, override: str | None = None) -> str | None:
+    """A validated enum seam: *override* wins, else the environment,
+    else the declared default (which may be ``None`` for auto seams).
+
+    Raises ``ValueError`` naming the seam and its choices on an
+    unrecognised value.
+    """
+    seam = SEAMS[name]
+    value = override if override is not None else get(name)
+    if value is None or value == "":
+        return seam.default
+    if value not in seam.choices:
+        raise ValueError(
+            f"{name} must be one of {'|'.join(seam.choices)}, got {value!r}"
+        )
+    return value
+
+
+def flag(name: str) -> bool:
+    """A presence flag: set and non-empty means on."""
+    if SEAMS[name].kind != "flag":
+        raise ValueError(f"{name} is not a flag seam")
+    return bool(get(name))
+
+
+def integer(name: str) -> int | None:
+    """An integer seam, validated against the declared minimum.
+
+    Returns ``None`` when the variable is unset (or set to the empty
+    string) and no default is declared -- auto seams compute their own
+    fallback at the call site.
+    """
+    seam = SEAMS[name]
+    if seam.kind != "int":
+        raise ValueError(f"{name} is not an integer seam")
+    raw = get(name)
+    if raw is None or raw == "":
+        raw = seam.default
+        if raw is None:
+            return None
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from exc
+    if seam.minimum is not None and value < seam.minimum:
+        raise ValueError(f"{name} must be >= {seam.minimum}, got {value}")
+    return value
+
+
+def catalog() -> tuple[Seam, ...]:
+    """Every declared seam, in registry (catalog) order."""
+    return tuple(SEAMS.values())

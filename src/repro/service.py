@@ -15,7 +15,7 @@ per-cycle traces) drop down to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from collections.abc import Sequence
 
 from .core.config import BootstrapConfig, PAPER_CONFIG
 from .core.protocol import BootstrapNode
@@ -44,7 +44,7 @@ class BootstrapOutcome:
     result: SimulationResult
 
     @property
-    def nodes(self) -> Dict[int, BootstrapNode]:
+    def nodes(self) -> dict[int, BootstrapNode]:
         """The live protocol nodes, by identifier."""
         return self.simulation.nodes
 
@@ -54,7 +54,7 @@ class BootstrapOutcome:
         return self.result.converged
 
     @property
-    def cycles(self) -> Optional[float]:
+    def cycles(self) -> float | None:
         """Cycles from this run's start to perfection (``None`` if the
         budget ran out)."""
         return self.result.cycles_to_converge
@@ -93,9 +93,9 @@ class BootstrappingService:
 
     def bootstrap(
         self,
-        size: Optional[int] = None,
+        size: int | None = None,
         *,
-        ids: Optional[Sequence[int]] = None,
+        ids: Sequence[int] | None = None,
         seed: int = 1,
         network: NetworkModel = RELIABLE,
         sampler: str = "oracle",

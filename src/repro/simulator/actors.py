@@ -7,7 +7,7 @@ engine-agnostic; these thin actors translate their transitions into the
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Optional, Tuple
+from collections.abc import Hashable, Iterable
 
 from ..core.messages import BootstrapMessage
 from ..core.protocol import BootstrapNode
@@ -37,7 +37,7 @@ class BootstrapActor(RequestReplyActor):
 
     def begin_exchange(
         self,
-    ) -> Optional[Tuple[Hashable, BootstrapMessage]]:
+    ) -> tuple[Hashable, BootstrapMessage] | None:
         if not self.node.started:
             self.node.start()
         begun = self.node.initiate_exchange()
@@ -69,7 +69,7 @@ class NewscastActor(RequestReplyActor):
     def set_time(self, now: float) -> None:
         self.node.set_time(now)
 
-    def begin_exchange(self) -> Optional[Tuple[Hashable, tuple]]:
+    def begin_exchange(self) -> tuple[Hashable, tuple] | None:
         peer = self.node.select_peer()
         if peer is None:
             return None

@@ -22,7 +22,7 @@ actual set of IDs in the network."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 from ..core.config import BootstrapConfig, PAPER_CONFIG
 from ..core.convergence import ConvergenceSample, ConvergenceTracker
@@ -73,8 +73,8 @@ class SimulationResult:
         the provenance field is what keeps artefacts comparable.
     """
 
-    samples: Tuple[ConvergenceSample, ...]
-    converged_at: Optional[float]
+    samples: tuple[ConvergenceSample, ...]
+    converged_at: float | None
     population: int
     transport: dict
     config: BootstrapConfig
@@ -84,7 +84,7 @@ class SimulationResult:
     engine: str = "reference"
 
     @property
-    def cycles_to_converge(self) -> Optional[float]:
+    def cycles_to_converge(self) -> float | None:
         """Cycles from this run's start to perfection (relative), or
         ``None``.  Equals :attr:`converged_at` for fresh pools."""
         if self.converged_at is None:
@@ -101,11 +101,11 @@ class SimulationResult:
         """Whether perfect convergence was reached."""
         return self.converged_at is not None
 
-    def leaf_series(self) -> List[Tuple[float, float]]:
+    def leaf_series(self) -> list[tuple[float, float]]:
         """``(cycle, missing-leaf fraction)`` pairs."""
         return [(s.cycle, s.leaf_fraction) for s in self.samples]
 
-    def prefix_series(self) -> List[Tuple[float, float]]:
+    def prefix_series(self) -> list[tuple[float, float]]:
         """``(cycle, missing-prefix fraction)`` pairs."""
         return [(s.cycle, s.prefix_fraction) for s in self.samples]
 
@@ -145,15 +145,15 @@ class BootstrapSimulation:
 
     def __init__(
         self,
-        size: Optional[int] = None,
+        size: int | None = None,
         *,
-        ids: Optional[Sequence[int]] = None,
+        ids: Sequence[int] | None = None,
         config: BootstrapConfig = PAPER_CONFIG,
         seed: int = 1,
         network: NetworkModel = RELIABLE,
         sampler: str = "oracle",
         newscast_view_size: int = 30,
-        node_factory: Optional[type] = None,
+        node_factory: type | None = None,
     ) -> None:
         if sampler not in SAMPLER_KINDS:
             raise ValueError(
@@ -183,15 +183,15 @@ class BootstrapSimulation:
                 raise ValueError("need at least 2 identifiers")
 
         self.registry = MembershipRegistry()
-        self.nodes: Dict[int, BootstrapNode] = {}
-        self.newscast: Dict[int, NewscastNode] = {}
+        self.nodes: dict[int, BootstrapNode] = {}
+        self.newscast: dict[int, NewscastNode] = {}
         self._next_address = 0
         self._node_factory = node_factory or BootstrapNode
 
         self.engine = CycleEngine(
             network, self._source.derive("bootstrap-engine")
         )
-        self.newscast_engine: Optional[CycleEngine] = None
+        self.newscast_engine: CycleEngine | None = None
         if sampler == "newscast":
             self.newscast_engine = CycleEngine(
                 network, self._source.derive("newscast-engine")
@@ -275,7 +275,7 @@ class BootstrapSimulation:
         return len(self.nodes)
 
     @property
-    def live_ids(self) -> List[int]:
+    def live_ids(self) -> list[int]:
         """Identifiers of live nodes."""
         return list(self.nodes)
 
@@ -293,7 +293,7 @@ class BootstrapSimulation:
         self._membership_dirty = True
         return True
 
-    def spawn_node(self, node_id: Optional[int] = None) -> BootstrapNode:
+    def spawn_node(self, node_id: int | None = None) -> BootstrapNode:
         """Join a brand-new node (fresh identifier unless given).
 
         The newcomer's sampling endpoint is functional immediately
@@ -318,7 +318,7 @@ class BootstrapSimulation:
         self._membership_dirty = True
         return node
 
-    def absorb_pool(self, ids: Iterable[int]) -> List[BootstrapNode]:
+    def absorb_pool(self, ids: Iterable[int]) -> list[BootstrapNode]:
         """Merge a pool of identifiers into this network (the paper's
         network-merge scenario).  Returns the new nodes."""
         new_nodes = [self.spawn_node(node_id) for node_id in ids]
@@ -363,7 +363,7 @@ class BootstrapSimulation:
         max_cycles: int = 60,
         *,
         stop_when_perfect: bool = True,
-        schedules: Sequence["object"] = (),
+        schedules: Sequence[object] = (),
         measure_every: int = 1,
     ) -> SimulationResult:
         """Run the experiment.

@@ -20,7 +20,8 @@ directory keys, and nothing about payloads at all.
 from __future__ import annotations
 
 import random
-from typing import Dict, Generic, Hashable, List, Optional, Tuple, TypeVar
+from collections.abc import Hashable
+from typing import Generic, TypeVar
 
 from .network import NetworkModel, TransportStats
 
@@ -48,7 +49,7 @@ class RequestReplyActor(Generic[Payload]):
     def set_time(self, now: float) -> None:
         """Advance the actor's logical clock (start of every cycle)."""
 
-    def begin_exchange(self) -> Optional[Tuple[Hashable, Payload]]:
+    def begin_exchange(self) -> tuple[Hashable, Payload] | None:
         """Active-thread step: pick a partner and build the request.
 
         Returns ``(target_key, request)`` or ``None`` to skip this
@@ -56,7 +57,7 @@ class RequestReplyActor(Generic[Payload]):
         """
         raise NotImplementedError
 
-    def answer(self, request: Payload) -> Optional[Payload]:
+    def answer(self, request: Payload) -> Payload | None:
         """Passive-thread step: build the answer (from pre-exchange
         state), then apply the request.  ``None`` means no answer."""
         raise NotImplementedError
@@ -105,19 +106,19 @@ class CycleEngine:
         self,
         network: NetworkModel,
         rng: random.Random,
-        stats: Optional[TransportStats] = None,
+        stats: TransportStats | None = None,
     ) -> None:
         self.network = network
         self.stats = stats if stats is not None else TransportStats()
         self._rng = rng
-        self._directory: Dict[Hashable, RequestReplyActor] = {}
+        self._directory: dict[Hashable, RequestReplyActor] = {}
         self._cycle = 0
         # Reusable activation-order buffers: `_order` mirrors the
         # directory's insertion order and is rebuilt only when
         # membership changes; `_scratch` is the per-cycle shuffle
         # target, so steady-state cycles allocate no new lists.
-        self._order: List[Hashable] = []
-        self._scratch: List[Hashable] = []
+        self._order: list[Hashable] = []
+        self._scratch: list[Hashable] = []
         self._members_dirty = False
 
     # ------------------------------------------------------------------
@@ -134,7 +135,7 @@ class CycleEngine:
         """Number of registered actors."""
         return len(self._directory)
 
-    def actors(self) -> List[RequestReplyActor]:
+    def actors(self) -> list[RequestReplyActor]:
         """All registered actors (fresh list)."""
         return list(self._directory.values())
 
@@ -145,7 +146,7 @@ class CycleEngine:
         self._directory[key] = actor
         self._members_dirty = True
 
-    def remove_actor(self, key: Hashable) -> Optional[RequestReplyActor]:
+    def remove_actor(self, key: Hashable) -> RequestReplyActor | None:
         """Deregister and return the actor at *key* (``None`` if absent).
 
         A removed actor stops being reachable immediately: requests
@@ -157,7 +158,7 @@ class CycleEngine:
             self._members_dirty = True
         return actor
 
-    def get_actor(self, key: Hashable) -> Optional[RequestReplyActor]:
+    def get_actor(self, key: Hashable) -> RequestReplyActor | None:
         """The actor at *key*, or ``None``."""
         return self._directory.get(key)
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 from ..core.config import BootstrapConfig, PAPER_CONFIG
 from ..core.convergence import ConvergenceTracker
@@ -43,7 +43,7 @@ class EventScheduler:
     __slots__ = ("_heap", "_counter", "_now")
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
         self._now = 0.0
 
@@ -81,7 +81,7 @@ class EventScheduler:
             callback()
         self._now = end_time
 
-    def run_all(self, max_events: Optional[int] = None) -> int:
+    def run_all(self, max_events: int | None = None) -> int:
         """Drain the heap (optionally at most *max_events*); returns the
         number of events fired."""
         fired = 0
@@ -112,9 +112,9 @@ class EventDrivenBootstrap:
 
     def __init__(
         self,
-        size: Optional[int] = None,
+        size: int | None = None,
         *,
-        ids: Optional[Sequence[int]] = None,
+        ids: Sequence[int] | None = None,
         config: BootstrapConfig = PAPER_CONFIG,
         seed: int = 1,
         network: NetworkModel = RELIABLE,
@@ -139,7 +139,7 @@ class EventDrivenBootstrap:
             id_list = list(ids)
 
         self.registry = MembershipRegistry()
-        self.nodes: Dict[int, BootstrapNode] = {}
+        self.nodes: dict[int, BootstrapNode] = {}
         offset_rng = self._source.derive("offsets")
         delta = config.cycle_length
         for address, node_id in enumerate(id_list):
@@ -199,7 +199,7 @@ class EventDrivenBootstrap:
         message: BootstrapMessage,
         target_id: int,
         is_reply: bool,
-        origin: Optional[BootstrapNode],
+        origin: BootstrapNode | None,
     ) -> None:
         stats = self.stats
         if is_reply:

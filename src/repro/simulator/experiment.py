@@ -11,7 +11,7 @@ three sizes -- the repeat count scales down with size).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 from ..core.config import BootstrapConfig, PAPER_CONFIG
 from .bootstrap_sim import BootstrapSimulation, SimulationResult
@@ -61,15 +61,15 @@ class ExperimentSpec:
                 f"engine must be one of {ENGINE_KINDS}, got {self.engine!r}"
             )
 
-    def with_seed(self, seed: int) -> "ExperimentSpec":
+    def with_seed(self, seed: int) -> ExperimentSpec:
         """This spec under a different master seed."""
         return replace(self, seed=seed)
 
-    def with_engine(self, engine: str) -> "ExperimentSpec":
+    def with_engine(self, engine: str) -> ExperimentSpec:
         """This spec on a different engine implementation."""
         return replace(self, engine=engine)
 
-    def describe(self) -> Dict[str, object]:
+    def describe(self) -> dict[str, object]:
         """Flat summary for trace headers and reports."""
         return {
             "size": self.size,
@@ -131,10 +131,10 @@ def run_experiment(
 def run_repeats(
     spec: ExperimentSpec,
     repeats: int,
-    schedules_factory: Optional[Callable[[], Sequence[object]]] = None,
+    schedules_factory: Callable[[], Sequence[object]] | None = None,
     *,
     workers: int = 1,
-) -> List[SimulationResult]:
+) -> list[SimulationResult]:
     """Run *repeats* independent instances of *spec*.
 
     Seeds are derived from the spec's master seed so each repeat is an

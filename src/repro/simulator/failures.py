@@ -15,7 +15,7 @@ runs remain reproducible.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Protocol
+from typing import Protocol
 
 from .random_source import RandomSource
 
@@ -58,7 +58,7 @@ class CatastrophicFailure:
             raise ValueError(f"fraction must be in [0, 1), got {fraction}")
         self.at_cycle = at_cycle
         self.fraction = fraction
-        self.killed: List[int] = []
+        self.killed: list[int] = []
 
     def apply(self, sim, cycle: int) -> None:
         """Kill the configured fraction at the trigger cycle (once)."""
@@ -95,7 +95,7 @@ class Churn:
         self,
         rate: float,
         start_cycle: int = 0,
-        end_cycle: Optional[int] = None,
+        end_cycle: int | None = None,
     ) -> None:
         if rate < 0:
             raise ValueError(f"rate must be >= 0, got {rate}")
@@ -154,7 +154,7 @@ class MassiveJoin:
             raise ValueError(f"count must be >= 1, got {count}")
         self.at_cycle = at_cycle
         self.count = count
-        self.joined: List[int] = []
+        self.joined: list[int] = []
 
     def apply(self, sim, cycle: int) -> None:
         """Admit the configured burst at the trigger cycle (once)."""

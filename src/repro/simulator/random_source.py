@@ -15,18 +15,17 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Union
 
 __all__ = ["RandomSource", "derive_seed"]
 
 
-def derive_seed(seed: int, name: Union[str, int]) -> int:
+def derive_seed(seed: int, name: str | int) -> int:
     """Stable 64-bit sub-seed for *name* under the master *seed*.
 
     Uses SHA-256 rather than ``hash()`` so results do not depend on
     ``PYTHONHASHSEED`` or interpreter version.
     """
-    material = f"{seed}:{name}".encode("utf-8")
+    material = f"{seed}:{name}".encode()
     digest = hashlib.sha256(material).digest()
     return int.from_bytes(digest[:8], "big")
 
@@ -45,11 +44,11 @@ class RandomSource:
     def __init__(self, seed: int) -> None:
         self.seed = int(seed)
 
-    def derive(self, name: Union[str, int]) -> random.Random:
+    def derive(self, name: str | int) -> random.Random:
         """A fresh ``random.Random`` for the named consumer."""
         return random.Random(derive_seed(self.seed, name))
 
-    def spawn(self, name: Union[str, int]) -> "RandomSource":
+    def spawn(self, name: str | int) -> RandomSource:
         """A child source whose streams are independent of the parent's
         (for nested components that derive their own sub-streams)."""
         return RandomSource(derive_seed(self.seed, name))

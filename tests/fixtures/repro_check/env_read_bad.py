@@ -1,0 +1,10 @@
+"""BAD: ad-hoc environment reads outside repro.seams."""
+
+import os
+
+
+def transport():
+    kind = os.environ.get("SOME_VAR")
+    if kind is None:
+        kind = os.getenv("SOME_FALLBACK", "pickle")
+    return kind

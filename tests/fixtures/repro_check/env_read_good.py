@@ -1,0 +1,10 @@
+"""GOOD: environment *writes* (configuring seams for subprocesses)."""
+
+import os
+
+
+def configure():
+    os.environ["SOME_VAR"] = "shm"
+    os.environ.setdefault("SOME_FALLBACK", "pickle")
+    os.environ.pop("SOME_VAR", None)
+    del os.environ["SOME_FALLBACK"]

@@ -1,0 +1,3 @@
+import math
+
+__all__ = ["math"]

@@ -1,0 +1,3 @@
+from repro.cli import app
+
+__all__ = ["app"]

@@ -1,0 +1,3 @@
+from repro.core import a
+
+__all__ = ["a"]

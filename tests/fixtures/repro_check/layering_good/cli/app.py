@@ -1,0 +1,3 @@
+from repro.simulator import run
+
+__all__ = ["run"]

@@ -1,0 +1,5 @@
+def dispatch():
+    # Function-local: the sanctioned lazy seam, exempt by design.
+    from repro.cli import app
+
+    return app

@@ -1,0 +1,3 @@
+import math
+
+TAU = 2 * math.pi

@@ -1,0 +1,5 @@
+from repro.core import model
+
+from ..core import model as relative_model
+
+__all__ = ["model", "relative_model"]

@@ -1,0 +1,12 @@
+"""BAD: tracked resources constructed with no cleanup guard."""
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leaky(n):
+    pool = ProcessPoolExecutor(max_workers=n)
+    segment = SharedMemory(create=True, size=n)
+    work = list(pool.map(len, [b"x"] * n))
+    segment.close()
+    return work

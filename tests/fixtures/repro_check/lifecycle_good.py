@@ -1,0 +1,44 @@
+"""GOOD: every guard variant the lifecycle rule accepts."""
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+
+class Ring:
+    def __init__(self, segment):
+        self.segment = segment
+
+
+def context_managed(n):
+    with ProcessPoolExecutor(max_workers=n) as pool:
+        return list(pool.map(len, [b"x"] * n))
+
+
+def try_finally(n):
+    segment = SharedMemory(create=True, size=n)
+    try:
+        return segment.name
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def constructed_inside_try(n):
+    try:
+        segment = SharedMemory(create=True, size=n)
+        return segment.name
+    finally:
+        pass
+
+
+def ownership_returned_directly(n):
+    return SharedMemory(create=True, size=n)
+
+
+def ownership_returned_wrapped(n):
+    segment = SharedMemory(create=True, size=n)
+    return Ring(segment)
+
+
+def factory(n):
+    return lambda: ProcessPoolExecutor(max_workers=n)

@@ -1,0 +1,16 @@
+"""BAD: draws from module-level RNG streams inside engine code."""
+
+import random
+
+import numpy as np
+
+
+def pick(items):
+    random.shuffle(items)
+    if random.random() < 0.5:
+        return items[0]
+    return items[-1]
+
+
+def noise(n):
+    return np.random.rand(n)

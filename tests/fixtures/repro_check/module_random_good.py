@@ -1,0 +1,13 @@
+"""GOOD: RNG flows through injected instances; construction is allowed."""
+
+import random
+
+import numpy as np
+
+
+def make_sources(seed):
+    return random.Random(seed), np.random.default_rng(seed)
+
+
+def pick(rng, items):
+    return items[rng.randrange(len(items))]

@@ -1,0 +1,3 @@
+"""BAD: a REPRO_* literal that names no declared seam."""
+
+FLAG = "REPRO_NOT_A_REGISTERED_SEAM"

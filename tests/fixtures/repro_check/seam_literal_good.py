@@ -1,0 +1,5 @@
+"""GOOD: registered seam names (and docstring mentions of
+REPRO_ANYTHING_AT_ALL are exempt, like this one)."""
+
+FLAG = "REPRO_FAST_BACKEND"
+OTHER = "REPRO_TRANSPORT"

@@ -1,0 +1,8 @@
+"""BAD: loops and comprehensions iterating set expressions."""
+
+
+def merge(views):
+    seen = []
+    for node in {n for view in views for n in view}:
+        seen.append(node)
+    return [x for x in set(seen)]

@@ -1,0 +1,8 @@
+"""GOOD: sorted before iteration, or order-preserving dedup."""
+
+
+def merge(views):
+    seen = []
+    for node in sorted({n for view in views for n in view}):
+        seen.append(node)
+    return list(dict.fromkeys(seen))

@@ -1,0 +1,7 @@
+"""BAD: unreplayable OS entropy."""
+
+import os
+
+
+def token():
+    return os.urandom(16)

@@ -1,0 +1,5 @@
+"""GOOD: bytes derived from the injected, seeded generator."""
+
+
+def token(rng):
+    return bytes(rng.randrange(256) for _ in range(16))

@@ -1,0 +1,11 @@
+"""BAD waiver hygiene: reason-less, rule-less, unknown-rule waivers."""
+
+import os
+
+
+def token():
+    return os.urandom(8)  # repro-check: ignore[urandom]
+
+
+X = 1  # repro-check: ignore -- no rule named
+Y = 2  # repro-check: ignore[no-such-rule] -- misspelled rule

@@ -1,0 +1,12 @@
+"""GOOD: complete waivers, on the line and on the line above."""
+
+import os
+
+
+def token():
+    return os.urandom(8)  # repro-check: ignore[urandom] -- fixture: complete same-line waiver
+
+
+def token_above():
+    # repro-check: ignore[urandom] -- fixture: waiver on the line above
+    return os.urandom(8)

@@ -1,0 +1,9 @@
+"""BAD: host-clock reads in unmarked library code."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp():
+    return time.time(), datetime.now(), perf_counter()

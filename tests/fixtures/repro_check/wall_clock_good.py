@@ -1,0 +1,10 @@
+"""GOOD: clock reads inside a function carrying the timing marker."""
+
+import time
+
+
+# repro-check: timing -- fixture: measures elapsed time, never feeds results
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -111,7 +111,7 @@ class TestStartFlood:
     def test_coverage_monotone(self):
         result = simulate_start_flood(256, fanout=2, seed=11)
         series = result.coverage_series
-        assert all(b >= a for a, b in zip(series, series[1:]))
+        assert all(b >= a for a, b in zip(series, series[1:], strict=False))
         assert series[0] == 1
 
     def test_start_spread_bounded(self):

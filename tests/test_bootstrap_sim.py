@@ -57,7 +57,7 @@ class TestConvergence:
         assert leaf[0] > leaf[-1]
         assert all(
             later <= earlier * 1.5 + 1e-9
-            for earlier, later in zip(leaf, leaf[1:])
+            for earlier, later in zip(leaf, leaf[1:], strict=False)
         )
 
     def test_deterministic_given_seed(self):

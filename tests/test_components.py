@@ -88,7 +88,7 @@ class TestGossipBroadcast:
         bcast = GossipBroadcast(128, seed=2)
         result = bcast.broadcast()
         series = result.coverage_series
-        assert all(b >= a for a, b in zip(series, series[1:]))
+        assert all(b >= a for a, b in zip(series, series[1:], strict=False))
         assert series[0] == 1
 
     def test_reliability_grows_with_fanout(self):

@@ -80,5 +80,5 @@ class TestOverrides:
         assert PAPER_CONFIG.leaf_set_size == 20
 
     def test_frozen(self):
-        with pytest.raises(Exception):
+        with pytest.raises(AttributeError):
             PAPER_CONFIG.leaf_set_size = 4

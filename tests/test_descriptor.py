@@ -18,7 +18,7 @@ class TestNodeDescriptor:
 
     def test_frozen(self):
         desc = NodeDescriptor(node_id=5, address="a")
-        with pytest.raises(Exception):
+        with pytest.raises(AttributeError):
             desc.node_id = 6
 
     def test_equality_and_hash(self):

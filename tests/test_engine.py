@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import random
-from typing import List
 
 import pytest
 
@@ -16,8 +15,8 @@ class ScriptedActor(RequestReplyActor):
     def __init__(self, name, target=None):
         self.name = name
         self.target = target
-        self.log: List[str] = []
-        self.times: List[float] = []
+        self.log: list[str] = []
+        self.times: list[float] = []
 
     def set_time(self, now):
         self.times.append(now)

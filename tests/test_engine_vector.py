@@ -399,7 +399,7 @@ class TestBatchedConstructionExactness:
             twin.leaf_members = set(state.leaf.tolist())
             twin.prefix_ids = set(state.prefix_ids.tolist())
             for nid, slot in zip(
-                state.prefix_ids.tolist(), state.prefix_slots.tolist()
+                state.prefix_ids.tolist(), state.prefix_slots.tolist(), strict=True
             ):
                 twin.prefix_slots.setdefault(int(slot), []).append(nid)
             close, tail, tail_slots = pops.create_message(
@@ -434,7 +434,7 @@ class TestBatchedConstructionExactness:
             )
         batched = ops.create_wave(jobs)
         for (state, peer, samples), (wave_ids, wave_slots) in zip(
-            jobs, batched
+            jobs, batched, strict=True
         ):
             single_ids, single_slots = ops.create_message(
                 state, peer, samples
@@ -490,7 +490,7 @@ class TestBatchedAbsorbExactness:
                 pairs = sorted(
                     zip(
                         state.prefix_ids.tolist(),
-                        state.prefix_slots.tolist(),
+                        state.prefix_slots.tolist(), strict=True
                     )
                 )
             else:
@@ -652,6 +652,6 @@ class TestDrawHelpers:
             ids, origin, space.bits, space.digit_bits,
             space.digit_base - 1,
         )
-        for nid, packed in zip(ids.tolist(), slots.tolist()):
+        for nid, packed in zip(ids.tolist(), slots.tolist(), strict=True):
             row, col = space.prefix_slot(origin, nid)
             assert packed == (row << space.digit_bits) | col

@@ -20,12 +20,12 @@ them.
 from __future__ import annotations
 
 import json
-import os
 import pathlib
 from dataclasses import replace
 
 import pytest
 
+from repro import seams
 from repro.core import BootstrapConfig
 from repro.runtime import ScheduleSpec, SweepGrid, SweepRunner, merge_results
 
@@ -83,7 +83,7 @@ def golden_path(name: str) -> pathlib.Path:
 @pytest.mark.parametrize("engine", ["reference", "fast"])
 def test_golden_trajectory(name: str, engine: str):
     path = golden_path(name)
-    if os.environ.get("REPRO_REGEN_GOLDEN"):
+    if seams.flag("REPRO_REGEN_GOLDEN"):
         if engine == "reference":  # record from the reference engine only
             path.write_text(
                 json.dumps(compute(name, engine), sort_keys=True, indent=1)

@@ -41,7 +41,7 @@ class TestConstruction:
         b = IDSpace()
         assert a == b
         assert hash(a) == hash(b)
-        with pytest.raises(Exception):
+        with pytest.raises(AttributeError):
             a.bits = 32
 
 
@@ -183,7 +183,7 @@ class TestDigits:
     def test_common_prefix_matches_digitwise_scan(self, a, b):
         space = IDSpace()
         expected = 0
-        for da, db in zip(space.digits(a), space.digits(b)):
+        for da, db in zip(space.digits(a), space.digits(b), strict=True):
             if da != db:
                 break
             expected += 1

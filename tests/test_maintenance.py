@@ -218,7 +218,7 @@ class TestMaintenanceSimulation:
         sim = pool  # continue the *bootstrap* protocol instead
         stale_history = []
         rng = random.Random(9)
-        for cycle in range(15):
+        for _cycle in range(15):
             victims = rng.sample(sim.live_ids, 1)
             for victim in victims:
                 sim.kill_node(victim)

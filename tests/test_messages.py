@@ -47,5 +47,5 @@ class TestBootstrapMessage:
 
     def test_frozen(self):
         msg = BootstrapMessage(sender=make_descriptor(1), descriptors=())
-        with pytest.raises(Exception):
+        with pytest.raises(AttributeError):
             msg.is_reply = True

@@ -184,6 +184,6 @@ class TestKernelCoreAgreement:
         packed = kernels.prefix_slots(
             ids, origin, SPACE.bits, SPACE.digit_bits, SPACE.digit_base - 1
         )
-        for nid, slot in zip(ids, packed):
+        for nid, slot in zip(ids, packed, strict=True):
             row, col = SPACE.prefix_slot(origin, nid)
             assert slot == (row << SPACE.digit_bits) | col

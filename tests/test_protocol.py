@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import random
-from typing import List
 
 import pytest
 
@@ -17,7 +16,7 @@ class ListSampler:
     def __init__(self, descriptors, rng=None):
         self.pool = list(descriptors)
         self.rng = rng or random.Random(7)
-        self.calls: List[int] = []
+        self.calls: list[int] = []
 
     def sample(self, count):
         self.calls.append(count)

@@ -104,7 +104,7 @@ class TestEndToEnd:
         starts = [rng.choice(ids) for _ in range(300)]
         plain_total = 0.0
         aware_total = 0.0
-        for key, start in zip(keys, starts):
+        for key, start in zip(keys, starts, strict=True):
             plain_total += route_latency(
                 plain.lookup(key, start).path, geo
             )
