@@ -45,6 +45,7 @@ __all__ = [
     "set_backend",
     "rank_ids",
     "select_balanced",
+    "balanced_counts_arrays",
     "select_balanced_arrays",
     "close_and_rest",
     "close_and_rest_arrays",
@@ -55,6 +56,7 @@ __all__ = [
     "prefix_part",
     "prefix_part_arrays",
     "prefix_part_with_slots",
+    "segment_take",
 ]
 
 #: Candidate-set sizes below which the pure-Python path wins even with
@@ -153,6 +155,22 @@ def _balanced_counts(
         take_succ += extra
         spare -= extra
         take_pred += min(spare, n_pred - take_pred)
+    return take_succ, take_pred
+
+
+def balanced_counts_arrays(n_succ, n_pred, half_capacity: int):
+    """Vectorised :func:`_balanced_counts`: parallel successor and
+    predecessor count arrays in, parallel take-count arrays out.
+    numpy-only; the vector engine folds a whole wave's per-message
+    balanced thresholds through one call instead of a Python loop."""
+    take_succ = _np.minimum(half_capacity, n_succ)
+    take_pred = _np.minimum(half_capacity, n_pred)
+    spare = (half_capacity - take_succ) + (half_capacity - take_pred)
+    extra = _np.minimum(spare, n_succ - take_succ)
+    take_succ = take_succ + extra
+    take_pred = take_pred + _np.minimum(
+        spare - extra, n_pred - take_pred
+    )
     return take_succ, take_pred
 
 
@@ -516,14 +534,15 @@ def prefix_slots_arrays(arr, origin: int, bits: int, digit_bits: int,
     return (row << digit_bits) | col.astype(_np.int64)
 
 
-def prefix_part_with_slots(rest, slots, k: int):
+def prefix_part_with_slots(rest, slots, k: int, aux=None):
     """:func:`prefix_part_arrays` with the packed slots already in
     hand (computed once for the whole message union): only the
     first-``k``-per-slot cap in ranked order remains.  Returns
-    ``(kept_ids, kept_slots)``."""
+    ``(kept_ids, kept_slots)``, or ``(kept_ids, kept_slots,
+    kept_aux)`` when *aux* (a parallel per-id payload) is given."""
     n = len(rest)
     if n == 0:
-        return rest, slots
+        return (rest, slots) if aux is None else (rest, slots, aux)
     order = _np.argsort(slots, kind="stable")
     sorted_slots = slots[order]
     idx = _arange(n)
@@ -533,7 +552,27 @@ def prefix_part_with_slots(rest, slots, k: int):
     group_start = _np.maximum.accumulate(_np.where(new_group, idx, 0))
     keep = _np.empty(n, dtype=bool)
     keep[order] = (idx - group_start) < k
-    return rest[keep], slots[keep]
+    if aux is None:
+        return rest[keep], slots[keep]
+    return rest[keep], slots[keep], aux[keep]
+
+
+def segment_take(buf, starts, lens):  # pragma: no cover - numpy-only helper
+    """Gather the variable-length windows ``buf[starts[i] :
+    starts[i] + lens[i]]`` into one contiguous array, windows in
+    order.
+
+    numpy-only; the segmented twin of fancy indexing for pooled
+    variable-length storage (the vector engine's arena keeps per-node
+    tables as windows over shared buffers, and its slab measurer pulls
+    every dirty node's window in one call instead of a Python loop).
+    """
+    total = int(lens.sum())
+    if total == 0:
+        return buf[:0]
+    out_starts = _np.cumsum(lens) - lens
+    within = _arange(total) - _np.repeat(out_starts, lens)
+    return buf[_np.repeat(starts, lens) + within]
 
 
 def prefix_part_arrays(arr, peer: int, bits: int, digit_bits: int,

@@ -13,18 +13,31 @@ convergence-cycle summaries, transport loss fractions), as pinned by
 ``tests/test_engine_vector.py``.  See :mod:`repro.engine_vector.sim`
 for the exact contract and :mod:`repro.engine_vector.rng` for the
 stream semantics and the ``REPRO_VECTOR_BACKEND`` override.
+
+On the numpy leg, node state defaults to one pool-resident
+structure-of-arrays arena for the whole population
+(:mod:`repro.engine_vector.arena`); ``REPRO_VECTOR_STATE=pernode``
+restores the per-node array objects, bit-identically.
 """
 
 from .rng import backend, set_backend
 from .sim import (
+    ABSORB_MODES,
+    STATE_MODES,
     VectorBootstrapSimulation,
     VectorConvergenceTracker,
     VectorNewscastView,
+    absorb_mode,
+    state_mode,
 )
 
 __all__ = [
+    "ABSORB_MODES",
+    "STATE_MODES",
+    "absorb_mode",
     "backend",
     "set_backend",
+    "state_mode",
     "VectorBootstrapSimulation",
     "VectorConvergenceTracker",
     "VectorNewscastView",

@@ -1,0 +1,699 @@
+"""Pool-resident structure-of-arrays state for the vector engine.
+
+The numpy leg originally kept one ``_ArrayState`` object per node --
+half a dozen small arrays each -- and every wave kernel re-assembled
+slabs from per-node pieces (``[state.leaf for state, _ in per_seg]``).
+Past ~2^16 nodes the engine's ceiling is exactly that object layer:
+allocator traffic for tiny arrays, pointer-chasing gathers, and a
+Python attribute hop per touched field.
+
+This module replaces the layer with one **arena** per simulation:
+
+* fixed-width per-node fields (own id, leaf table + length, ranked
+  cache, occupancy counts, admission windows, flags) live in
+  preallocated contiguous slabs indexed by a dense node *rank*;
+* variable-length per-node tables (prefix ids/slots) live as windows
+  over shared growable buffers (:class:`_VarPool`), with per-rank
+  offset/length/capacity cursors; the derived known-union cache stays
+  an exact-size array on the handle (it churns too fast to pool);
+* :class:`_ArenaState` is a two-word handle ``(arena, rank)`` exposing
+  the exact ``_ArrayState`` attribute surface as properties over the
+  slabs, so every transition kernel runs unchanged on either layout --
+  which is what keeps the two layouts **bit-identical** (pinned by the
+  differential suite, ``tests/test_engine_vector_arena.py``);
+* :class:`SlabMeasure` recomputes convergence deficits for all dirty
+  ranks in one slab scan instead of a Python loop per node.
+
+Ranks are recycled through a free list on node death, windows are
+compacted when a pool buffer fills, and slabs double when the
+population outgrows them -- so churn-heavy schedules keep the arena's
+footprint proportional to the live population's tables, not to the
+membership event count.
+
+numpy-only: the pure-Python fallback leg keeps its set-based state
+(there are no slabs to win without numpy).
+"""
+
+from __future__ import annotations
+
+from ..engine_fast import kernels
+
+try:  # pragma: no cover - exercised via both backend parametrisations
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+__all__ = ["Arena", "ArenaState", "SlabMeasure"]
+
+
+class _VarPool:
+    """Variable-length per-rank windows over one shared buffer.
+
+    Each rank owns a ``(offset, length, capacity)`` window; writes that
+    fit the capacity are in-place, larger writes relocate the window to
+    the buffer tail with geometric headroom, and a full buffer is
+    compacted into a fresh one sized at 1.25x the in-use capacity.
+    Relocation never invalidates data already handed out: views into
+    the old buffer keep it alive and are, by construction, only read
+    before the write that moved the window.  After a compaction the
+    pool tells its owner (*on_compact*) so cached window views can be
+    dropped -- otherwise every handle still holding a view would pin
+    the superseded buffer, and the resident footprint would grow by a
+    whole pool generation per compaction (values are copied, so a
+    re-taken view is identical).
+    """
+
+    __slots__ = ("buf", "off", "len", "cap", "tail", "on_compact")
+
+    def __init__(
+        self, capacity: int, dtype, item_hint: int, on_compact=None
+    ) -> None:
+        self.off = _np.zeros(capacity, dtype=_np.intp)
+        self.len = _np.zeros(capacity, dtype=_np.intp)
+        self.cap = _np.zeros(capacity, dtype=_np.intp)
+        self.buf = _np.empty(max(64, capacity * item_hint), dtype=dtype)
+        self.tail = 0
+        self.on_compact = on_compact
+
+    def grow_ranks(self, capacity: int) -> None:
+        """Extend the per-rank cursor arrays (new ranks own nothing)."""
+        for name in ("off", "len", "cap"):
+            old = getattr(self, name)
+            arr = _np.zeros(capacity, dtype=_np.intp)
+            arr[: old.size] = old
+            setattr(self, name, arr)
+
+    def view(self, rank: int):
+        o = self.off[rank]
+        return self.buf[o:o + self.len[rank]]
+
+    def release(self, rank: int) -> None:
+        self.off[rank] = 0
+        self.len[rank] = 0
+        self.cap[rank] = 0
+
+    def write(self, rank: int, arr, n_ranks: int) -> None:
+        n = arr.size
+        if n <= self.cap[rank]:
+            o = self.off[rank]
+            self.buf[o:o + n] = arr
+            self.len[rank] = n
+            return
+        newcap = max(8, n + (n >> 2))
+        if self.tail + newcap > self.buf.size:
+            self._compact(rank, n_ranks, newcap)
+        o = self.tail
+        self.buf[o:o + n] = arr
+        self.off[rank] = o
+        self.len[rank] = n
+        self.cap[rank] = newcap
+        self.tail = o + newcap
+
+    def _compact(self, rank: int, n_ranks: int, extra: int) -> None:
+        """Copy every in-use window (except *rank*'s abandoned one)
+        into a fresh buffer with 1.25x headroom.  Windows stabilise
+        once the protocol converges, so modest headroom costs a few
+        extra warm-up compactions while keeping the pool's resident
+        slack (the bytes-per-node gate's biggest term) small."""
+        caps = self.cap
+        offs = self.off
+        lens = self.len
+        total = extra
+        for r in range(n_ranks):
+            if r != rank:
+                total += int(caps[r])
+        old = self.buf
+        buf = _np.empty(max(64, total + (total >> 2)), dtype=old.dtype)
+        tail = 0
+        for r in range(n_ranks):
+            if r == rank:
+                continue
+            c = int(caps[r])
+            if c == 0:
+                continue
+            ln = int(lens[r])
+            o = int(offs[r])
+            buf[tail:tail + ln] = old[o:o + ln]
+            offs[r] = tail
+            tail += c
+        self.buf = buf
+        self.tail = tail
+        if self.on_compact is not None:
+            self.on_compact()
+
+
+class Arena:
+    """The population's slabs (see the module docstring for layout)."""
+
+    __slots__ = (
+        "n_slots",
+        "node_ids",
+        "leaf",
+        "leaf_len",
+        "ranked",
+        "ranked_valid",
+        "leaf_full",
+        "started",
+        "stats_dirty",
+        "succ_count",
+        "succ_max",
+        "pred_count",
+        "pred_max",
+        "accept_lo",
+        "accept_hi",
+        "slot_count",
+        "p_ids",
+        "p_slots",
+        "p_dense",
+        "p_dense_valid",
+        "leaf_dense",
+        "leaf_dense_valid",
+        "dense_universe",
+        "def_leaf",
+        "def_prefix",
+        "def_valid",
+        "free",
+        "n_ranks",
+        "handles",
+    )
+
+    def __init__(self, n_slots: int, leaf_width: int, capacity: int) -> None:
+        self.n_slots = n_slots
+        self.free: list[int] = []
+        self.n_ranks = 0
+        cap = max(4, capacity)
+        self.node_ids = _np.empty(cap, dtype=_np.uint64)
+        self.leaf = _np.empty((cap, leaf_width), dtype=_np.uint64)
+        self.leaf_len = _np.zeros(cap, dtype=_np.intp)
+        self.ranked = _np.empty((cap, leaf_width), dtype=_np.uint64)
+        self.ranked_valid = _np.zeros(cap, dtype=bool)
+        self.leaf_full = _np.zeros(cap, dtype=bool)
+        self.started = _np.zeros(cap, dtype=bool)
+        self.stats_dirty = _np.zeros(cap, dtype=bool)
+        self.succ_count = _np.zeros(cap, dtype=_np.int64)
+        self.succ_max = _np.zeros(cap, dtype=_np.int64)
+        self.pred_count = _np.zeros(cap, dtype=_np.int64)
+        self.pred_max = _np.zeros(cap, dtype=_np.int64)
+        self.accept_lo = _np.zeros(cap, dtype=_np.uint64)
+        self.accept_hi = _np.zeros(cap, dtype=_np.uint64)
+        # Occupancy fits int16 with lots of slack (``k`` is tiny); it
+        # is the widest fixed-cost field, so the narrow dtype halves
+        # the dominant flat per-node footprint.
+        self.slot_count = _np.zeros((cap, n_slots), dtype=_np.int16)
+        # Live handles by rank, so pool compactions can drop the
+        # superseded cached window views (see _VarPool.on_compact).
+        self.handles: dict[int, ArenaState] = {}
+        self.p_ids = _VarPool(
+            cap, _np.uint64, 16, self._drop_cached_views("p_ids")
+        )
+        self.p_slots = _VarPool(
+            cap, _np.int16, 16, self._drop_cached_views("p_slots")
+        )
+        # Pool-resident dense-index caches: each rank's
+        # ``universe.searchsorted`` of its prefix/leaf table, refreshed
+        # only when the table or the universe changes, so the wave
+        # absorb's novelty keys are pure ragged gathers (no handle ever
+        # holds a view of these, hence no compaction callback).  int32:
+        # dense indices are bounded by the universe size.
+        self.p_dense = _VarPool(cap, _np.int32, 16)
+        self.p_dense_valid = _np.zeros(cap, dtype=bool)
+        self.leaf_dense = _np.empty((cap, leaf_width), dtype=_np.int32)
+        self.leaf_dense_valid = _np.zeros(cap, dtype=bool)
+        self.dense_universe = None
+        # Cached per-rank convergence deficits (see SlabMeasure).
+        self.def_leaf = _np.zeros(cap, dtype=_np.int64)
+        self.def_prefix = _np.zeros(cap, dtype=_np.int64)
+        self.def_valid = _np.zeros(cap, dtype=bool)
+
+    def _drop_cached_views(self, key: str):
+        """Compaction callback: pop every live handle's cached view of
+        the compacted pool -- and the dense-index cache entry keyed on
+        that view -- so the superseded buffer can be freed (the next
+        property access re-takes an identical view of the fresh
+        buffer)."""
+        dense_field = {"p_ids": "prefix"}.get(key)
+
+        def drop() -> None:
+            for handle in self.handles.values():
+                handle._views.pop(key, None)
+                if dense_field is not None:
+                    handle.dense_cache.pop(dense_field, None)
+
+        return drop
+
+    @property
+    def capacity(self) -> int:
+        """Allocated rank slots (grows geometrically, never shrinks)."""
+        return self.node_ids.size
+
+    def _grow(self) -> None:
+        cap = self.node_ids.size * 2
+        for name in (
+            "node_ids",
+            "leaf_len",
+            "ranked_valid",
+            "leaf_full",
+            "started",
+            "stats_dirty",
+            "succ_count",
+            "succ_max",
+            "pred_count",
+            "pred_max",
+            "accept_lo",
+            "accept_hi",
+            "def_leaf",
+            "def_prefix",
+            "def_valid",
+            "p_dense_valid",
+            "leaf_dense_valid",
+        ):
+            old = getattr(self, name)
+            arr = _np.zeros(cap, dtype=old.dtype)
+            arr[: old.size] = old
+            setattr(self, name, arr)
+        for name in ("leaf", "ranked", "slot_count", "leaf_dense"):
+            old = getattr(self, name)
+            arr = _np.zeros((cap, old.shape[1]), dtype=old.dtype)
+            arr[: old.shape[0]] = old
+            setattr(self, name, arr)
+        self.p_ids.grow_ranks(cap)
+        self.p_slots.grow_ranks(cap)
+        self.p_dense.grow_ranks(cap)
+
+    def allocate(self, node_id: int) -> int:
+        """Claim a rank (recycling freed ones) and reset its row to a
+        brand-new node's state."""
+        if self.free:
+            rank = self.free.pop()
+        else:
+            if self.n_ranks == self.node_ids.size:
+                self._grow()
+            rank = self.n_ranks
+            self.n_ranks += 1
+        self.node_ids[rank] = node_id
+        self.leaf_len[rank] = 0
+        self.ranked_valid[rank] = False
+        self.leaf_full[rank] = False
+        self.started[rank] = False
+        self.stats_dirty[rank] = True
+        self.succ_count[rank] = 0
+        self.succ_max[rank] = -1
+        self.pred_count[rank] = 0
+        self.pred_max[rank] = -1
+        self.accept_lo[rank] = 0
+        self.accept_hi[rank] = 0
+        self.slot_count[rank, :] = 0
+        self.p_ids.len[rank] = 0
+        self.p_slots.len[rank] = 0
+        self.p_dense.len[rank] = 0
+        self.p_dense_valid[rank] = False
+        self.leaf_dense_valid[rank] = False
+        self.def_valid[rank] = False
+        return rank
+
+    def release(self, rank: int) -> None:
+        """Return a dead node's rank to the free list and its pool
+        windows to the next compaction."""
+        self.free.append(rank)
+        self.p_ids.release(rank)
+        self.p_slots.release(rank)
+        self.p_dense.release(rank)
+        self.p_dense_valid[rank] = False
+        self.leaf_dense_valid[rank] = False
+        self.handles.pop(rank, None)
+
+
+class ArenaState:
+    """A node handle: ``_ArrayState``'s attribute surface as
+    properties over the arena slabs, so the transition kernels run
+    unchanged on either state layout.
+
+    Scalar getters that feed Python ring arithmetic (``succ_max`` and
+    friends) return built-in ints -- the 64-bit ring mask overflows
+    ``int64`` -- while array-valued fields return slab views, writable
+    in place exactly where the per-node layout's arrays were.
+
+    The id-table views (``leaf``/``prefix_ids``/``prefix_slots``/
+    ``known``) are cached between writes: every mutation routes
+    through the matching setter (the engine rebinds, it never writes
+    these arrays in place), so a cached view stays value-correct until
+    its setter drops it -- even across slab growth, which copies the
+    old values -- and a *stable object identity* between writes is what
+    lets the wave kernels key their dense-index caches on the view
+    itself.  Pool compaction is the one event that drops cached pool
+    views early (via the arena's handle registry): holding them would
+    pin the superseded buffer, and the re-taken view carries identical
+    values, so the only cost is one dense-cache refresh per handle.
+    ``slot_count`` is deliberately not cached: the kernels mutate that
+    row in place, so it must always resolve against the current slab.
+    """
+
+    __slots__ = ("arena", "rank", "node_id", "_views", "dense_cache")
+
+    def __init__(self, arena: Arena, rank: int, node_id: int) -> None:
+        self.arena = arena
+        self.rank = rank
+        self.node_id = node_id
+        self._views: dict = {}
+        self.dense_cache: dict = {}
+        arena.handles[rank] = self
+
+    @property
+    def own_u64(self):
+        """This node's identifier as a one-element uint64 view."""
+        r = self.rank
+        return self.arena.node_ids[r:r + 1]
+
+    @property
+    def leaf(self):
+        """Sorted leaf-set ids: a view into the arena's leaf slab."""
+        view = self._views.get("leaf")
+        if view is None:
+            a = self.arena
+            r = self.rank
+            view = self._views["leaf"] = a.leaf[r, : a.leaf_len[r]]
+        return view
+
+    @leaf.setter
+    def leaf(self, arr) -> None:
+        a = self.arena
+        r = self.rank
+        a.leaf[r, : arr.size] = arr
+        a.leaf_len[r] = arr.size
+        a.leaf_dense_valid[r] = False
+        self._views.pop("leaf", None)
+
+    @property
+    def leaf_ranked(self):
+        """Distance-ranked leaf cache, or ``None`` when invalidated."""
+        a = self.arena
+        r = self.rank
+        if not a.ranked_valid[r]:
+            return None
+        return a.ranked[r, : a.leaf_len[r]]
+
+    @leaf_ranked.setter
+    def leaf_ranked(self, arr) -> None:
+        a = self.arena
+        r = self.rank
+        if arr is None:
+            a.ranked_valid[r] = False
+            return
+        a.ranked[r, : arr.size] = arr
+        a.ranked_valid[r] = True
+
+    @property
+    def leaf_full(self) -> bool:
+        """Whether the leaf set has reached both balanced quotas."""
+        return bool(self.arena.leaf_full[self.rank])
+
+    @leaf_full.setter
+    def leaf_full(self, value) -> None:
+        self.arena.leaf_full[self.rank] = value
+
+    @property
+    def started(self) -> bool:
+        """Whether this node has run its bootstrap seeding."""
+        return bool(self.arena.started[self.rank])
+
+    @started.setter
+    def started(self, value) -> None:
+        self.arena.started[self.rank] = value
+
+    @property
+    def stats_dirty(self) -> bool:
+        """Whether cached leaf statistics need a recompute."""
+        return bool(self.arena.stats_dirty[self.rank])
+
+    @stats_dirty.setter
+    def stats_dirty(self, value) -> None:
+        self.arena.stats_dirty[self.rank] = value
+
+    @property
+    def succ_count(self) -> int:
+        """Current number of successor-side leaf entries."""
+        return int(self.arena.succ_count[self.rank])
+
+    @succ_count.setter
+    def succ_count(self, value) -> None:
+        self.arena.succ_count[self.rank] = value
+
+    @property
+    def succ_max(self) -> int:
+        """Balanced successor quota at the last reselect."""
+        return int(self.arena.succ_max[self.rank])
+
+    @succ_max.setter
+    def succ_max(self, value) -> None:
+        self.arena.succ_max[self.rank] = value
+
+    @property
+    def pred_count(self) -> int:
+        """Current number of predecessor-side leaf entries."""
+        return int(self.arena.pred_count[self.rank])
+
+    @pred_count.setter
+    def pred_count(self, value) -> None:
+        self.arena.pred_count[self.rank] = value
+
+    @property
+    def pred_max(self) -> int:
+        """Balanced predecessor quota at the last reselect."""
+        return int(self.arena.pred_max[self.rank])
+
+    @pred_max.setter
+    def pred_max(self, value) -> None:
+        self.arena.pred_max[self.rank] = value
+
+    @property
+    def accept_lo(self):
+        """Lower edge of the leaf admission window (ring distance)."""
+        return self.arena.accept_lo[self.rank]
+
+    @accept_lo.setter
+    def accept_lo(self, value) -> None:
+        self.arena.accept_lo[self.rank] = value
+
+    @property
+    def accept_hi(self):
+        """Upper edge of the leaf admission window (ring distance)."""
+        return self.arena.accept_hi[self.rank]
+
+    @accept_hi.setter
+    def accept_hi(self, value) -> None:
+        self.arena.accept_hi[self.rank] = value
+
+    @property
+    def prefix_ids(self):
+        """Sorted resident prefix-table ids (pooled-slab view)."""
+        view = self._views.get("p_ids")
+        if view is None:
+            view = self._views["p_ids"] = self.arena.p_ids.view(self.rank)
+        return view
+
+    @prefix_ids.setter
+    def prefix_ids(self, arr) -> None:
+        a = self.arena
+        a.p_ids.write(self.rank, arr, a.n_ranks)
+        a.p_dense_valid[self.rank] = False
+        self._views.pop("p_ids", None)
+
+    @property
+    def prefix_slots(self):
+        """Slot index of each resident id, aligned with prefix_ids."""
+        view = self._views.get("p_slots")
+        if view is None:
+            view = self._views["p_slots"] = self.arena.p_slots.view(
+                self.rank
+            )
+        return view
+
+    @prefix_slots.setter
+    def prefix_slots(self, arr) -> None:
+        a = self.arena
+        a.p_slots.write(self.rank, arr, a.n_ranks)
+        self._views.pop("p_slots", None)
+
+    @property
+    def slot_count(self):
+        """Per-slot occupancy, a writable row view: the kernels mutate
+        it in place and never rebind it (deliberately no setter)."""
+        return self.arena.slot_count[self.rank]
+
+    @property
+    def known(self):
+        """Cached ``leaf + prefix + own`` union, ``None`` when stale.
+
+        Held as an exact-size array on the handle, not in an arena
+        pool: the cache is rebuilt wholesale whenever leaf or prefix
+        state changes, and pooling that churn costs compaction copies
+        plus resident headroom (the bytes-per-node gate's worst term)
+        for a derived value no slab pass ever reads."""
+        return self._views.get("known")
+
+    @known.setter
+    def known(self, arr) -> None:
+        if arr is None:
+            self._views.pop("known", None)
+        else:
+            self._views["known"] = arr
+
+
+class SlabMeasure:
+    """Convergence deficits as one slab scan over dirty ranks.
+
+    The generic tracker walks every node per measurement, paying a
+    Python iteration plus a dict probe each even when the cached
+    deficit is clean.  Bound to an arena, the dirty set is just
+    ``stats_dirty[ranks] | ~def_valid[ranks]`` -- one vector op -- and
+    only the dirty ranks' deficits are recomputed, batched:
+
+    * leaf deficits by a segmented sort-merge of the resident leaf
+      slab against the flattened perfect-leaf table;
+    * prefix deficits by occupancy lookups against the perfect slot
+      demands -- or, under liveness filtering, one global
+      ``bincount`` over the alive resident entries' composite
+      ``rank * n_slots + slot`` keys (numerically identical to the
+      per-node filter because occupancy equals the resident-slot
+      histogram by invariant).
+
+    The perfect tables are packed lazily on the first measurement
+    after a (re)bind, exactly like the generic tracker's per-node
+    cache; a rebind invalidates every bound rank's cached deficit (the
+    reference, and possibly the liveness filter, changed).
+    """
+
+    def __init__(self, ops, arena: Arena, states, reference, live) -> None:
+        self._ops = ops
+        self._arena = arena
+        self._states = list(states)
+        self._reference = reference
+        self._live = live
+        self._ranks = _np.array(
+            [state.rank for state in self._states], dtype=_np.intp
+        )
+        arena.def_valid[self._ranks] = False
+        self._packed = False
+
+    def _pack(self) -> None:
+        ops = self._ops
+        reference = self._reference
+        count = len(self._states)
+        leaf_parts = []
+        slot_parts = []
+        need_parts = []
+        pl_lens = _np.empty(count, dtype=_np.intp)
+        pp_lens = _np.empty(count, dtype=_np.intp)
+        for j, state in enumerate(self._states):
+            leaf, pslots, needed = ops.pack_perfect(reference, state.node_id)
+            leaf_parts.append(leaf)
+            slot_parts.append(pslots)
+            need_parts.append(needed)
+            pl_lens[j] = leaf.size
+            pp_lens[j] = pslots.size
+        self._pl = (
+            _np.concatenate(leaf_parts)
+            if leaf_parts
+            else _np.empty(0, dtype=_np.uint64)
+        )
+        self._pl_lens = pl_lens
+        self._pl_offs = _np.cumsum(pl_lens) - pl_lens
+        self._pp_slots = (
+            _np.concatenate(slot_parts)
+            if slot_parts
+            else _np.empty(0, dtype=_np.int64)
+        )
+        self._pp_need = (
+            _np.concatenate(need_parts)
+            if need_parts
+            else _np.empty(0, dtype=_np.int64)
+        )
+        self._pp_lens = pp_lens
+        self._pp_offs = _np.cumsum(pp_lens) - pp_lens
+        self._packed = True
+
+    def measure(self, check_live: bool) -> tuple[int, int]:
+        """Network-wide ``(missing_leaf, missing_prefix)`` totals."""
+        ranks = self._ranks
+        if not ranks.size:
+            return 0, 0
+        arena = self._arena
+        dirty = arena.stats_dirty[ranks] | ~arena.def_valid[ranks]
+        if dirty.any():
+            if not self._packed:
+                self._pack()
+            d = _np.nonzero(dirty)[0]
+            self._recompute(d, check_live)
+            arena.stats_dirty[ranks[d]] = False
+            arena.def_valid[ranks[d]] = True
+        return (
+            int(arena.def_leaf[ranks].sum()),
+            int(arena.def_prefix[ranks].sum()),
+        )
+
+    def _recompute(self, d, check_live: bool) -> None:
+        arena = self._arena
+        ranks = self._ranks[d]
+        md = d.size
+        # Leaf deficit: merge resident and perfect entries on
+        # (segment, id); an adjacent resident/perfect pair is a hit.
+        lens_r = arena.leaf_len[ranks]
+        rows = arena.leaf[ranks]
+        in_row = kernels._arange(rows.shape[1])[None, :] < lens_r[:, None]
+        res_ids = rows[in_row]
+        res_seg = _np.repeat(kernels._arange(md), lens_r)
+        p_lens = self._pl_lens[d]
+        perf_ids = kernels.segment_take(self._pl, self._pl_offs[d], p_lens)
+        perf_seg = _np.repeat(kernels._arange(md), p_lens)
+        ids = _np.concatenate((res_ids, perf_ids))
+        seg = _np.concatenate((res_seg, perf_seg))
+        flag = _np.zeros(ids.size, dtype=_np.int8)
+        flag[res_ids.size:] = 1
+        order = _np.lexsort((flag, ids, seg))
+        seg_s = seg[order]
+        ids_s = ids[order]
+        flag_s = flag[order]
+        hit = (
+            (seg_s[1:] == seg_s[:-1])
+            & (ids_s[1:] == ids_s[:-1])
+            & (flag_s[1:] > flag_s[:-1])
+        )
+        matches = _np.bincount(seg_s[1:][hit], minlength=md)
+        arena.def_leaf[ranks] = p_lens - matches
+        # Prefix deficit: perfect slot demands against occupancy.
+        pp_lens_d = self._pp_lens[d]
+        slots_sel = kernels.segment_take(
+            self._pp_slots, self._pp_offs[d], pp_lens_d
+        )
+        need_sel = kernels.segment_take(
+            self._pp_need, self._pp_offs[d], pp_lens_d
+        )
+        seg2 = _np.repeat(kernels._arange(md), pp_lens_d)
+        n_slots = arena.n_slots
+        if check_live:
+            pool = arena.p_ids
+            plen = pool.len[ranks]
+            resp_ids = kernels.segment_take(pool.buf, pool.off[ranks], plen)
+            spool = arena.p_slots
+            resp_slots = kernels.segment_take(
+                spool.buf, spool.off[ranks], spool.len[ranks]
+            )
+            resp_seg = _np.repeat(kernels._arange(md), plen)
+            live = self._live
+            if live.size and resp_ids.size:
+                pos = _np.minimum(
+                    live.searchsorted(resp_ids), live.size - 1
+                )
+                alive = live[pos] == resp_ids
+            else:
+                alive = _np.zeros(resp_ids.size, dtype=bool)
+            key = resp_seg * n_slots + resp_slots.astype(_np.intp)
+            counts = _np.bincount(key[alive], minlength=md * n_slots)
+            have = counts[seg2 * n_slots + slots_sel]
+        else:
+            have = arena.slot_count[ranks[seg2], slots_sel]
+        deficit = need_sel - have
+        _np.maximum(deficit, 0, out=deficit)
+        arena.def_prefix[ranks] = _np.bincount(
+            seg2, weights=deficit, minlength=md
+        ).astype(_np.int64)

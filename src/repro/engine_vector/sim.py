@@ -53,6 +53,7 @@ from ..simulator.bootstrap_sim import SAMPLER_KINDS, SimulationResult
 from ..simulator.network import NetworkModel, RELIABLE, TransportStats
 from ..simulator.random_source import RandomSource, derive_seed
 from . import rng as vrng
+from .arena import Arena, ArenaState, SlabMeasure
 from .rng import make_draw_source, sample_distinct
 
 try:  # pragma: no cover - exercised via both backend parametrisations
@@ -62,10 +63,12 @@ except ImportError:  # pragma: no cover
 
 __all__ = [
     "ABSORB_MODES",
+    "STATE_MODES",
     "VectorBootstrapSimulation",
     "VectorConvergenceTracker",
     "VectorNewscastView",
     "absorb_mode",
+    "state_mode",
 ]
 
 #: Absorb dispatch modes: ``batch`` drains each wave's surviving
@@ -89,6 +92,32 @@ def absorb_mode(override: str | None = None) -> str:
     if mode not in ABSORB_MODES:
         raise ValueError(
             f"absorb mode must be one of {ABSORB_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+#: State layouts for the numpy leg: ``arena`` keeps the whole
+#: population in pool-resident structure-of-arrays slabs
+#: (:mod:`repro.engine_vector.arena`); ``pernode`` keeps the original
+#: per-node array objects.  The two are **bit-identical** (pinned by
+#: ``tests/test_engine_vector_arena.py``); the seam keeps the
+#: equivalence testable and the per-node layout debuggable.  The
+#: pure-Python fallback leg keeps its set state under either value.
+STATE_MODES = ("arena", "pernode")
+
+
+def state_mode(override: str | None = None) -> str:
+    """Resolve the state layout (``REPRO_VECTOR_STATE``).
+
+    *override* (a constructor argument) wins over the environment;
+    unset means ``arena``.
+    """
+    mode = override
+    if mode is None:
+        mode = seams.get("REPRO_VECTOR_STATE") or "arena"
+    if mode not in STATE_MODES:
+        raise ValueError(
+            f"state mode must be one of {STATE_MODES}, got {mode!r}"
         )
     return mode
 
@@ -201,6 +230,7 @@ class _ArrayState:
         "known",
         "stats_dirty",
         "started",
+        "dense_cache",
     )
 
     def __init__(self, node_id: int, n_slots: int) -> None:
@@ -229,6 +259,10 @@ class _ArrayState:
         # cleared whenever either table mutates.
         self.stats_dirty = True
         self.started = False
+        # Universe-dense index cache for the wave kernels, keyed per
+        # table; entries self-invalidate by object identity (every
+        # mutation rebinds the table array).
+        self.dense_cache: dict = {}
 
 
 def _not_in_sorted(sorted_arr, values):
@@ -237,6 +271,19 @@ def _not_in_sorted(sorted_arr, values):
         return _np.ones(values.size, dtype=bool)
     pos = _np.searchsorted(sorted_arr, values)
     return sorted_arr[_np.minimum(pos, sorted_arr.size - 1)] != values
+
+
+def _first_occurrence(keys):
+    """Boolean mask keeping the first occurrence of each key, in
+    input order (stable argsort: equal keys stay in input order)."""
+    order = _np.argsort(keys, kind="stable")
+    ks = keys[order]
+    first = _np.empty(ks.size, dtype=bool)
+    first[0] = True
+    _np.not_equal(ks[1:], ks[:-1], out=first[1:])
+    keep = _np.zeros(ks.size, dtype=bool)
+    keep[order[first]] = True
+    return keep
 
 
 class _NumpyOps:
@@ -272,17 +319,30 @@ class _NumpyOps:
     def gather(self, pool, index_matrix):
         return pool[index_matrix]
 
-    def oracle_samples(self, pool, index_matrix):
+    def oracle_samples(self, pool, index_matrix, pool_dense=None):
         """Message-sample rows, batch-sorted with duplicate masks so
-        per-message union folding needs no ``np.unique``."""
+        per-message union folding needs no ``np.unique``.  With
+        *pool_dense* (the live pool's universe-dense indices) the rows'
+        dense indices ride along, sorted by the same order -- the
+        dense map is strictly monotone in the id, so sorting each
+        independently yields parallel arrays -- and the wave union
+        needs no per-wave ``searchsorted`` against the universe."""
         rows = pool[index_matrix]
         dup = _np.zeros(rows.shape, dtype=bool)
+        dense = None if pool_dense is None else pool_dense[index_matrix]
         if rows.shape[1] > 1:
             rows.sort(axis=1)
             _np.equal(rows[:, 1:], rows[:, :-1], out=dup[:, 1:])
-        return rows, dup
+            if dense is not None:
+                dense.sort(axis=1)
+        if dense is None:
+            return rows, dup
+        return rows, dup, dense
 
     def msg_row(self, buf, i: int):
+        if len(buf) == 3:
+            rows, dup, dense = buf
+            return rows[i], dup[i], dense[i]
         rows, dup = buf
         return rows[i], dup[i]
 
@@ -372,8 +432,10 @@ class _NumpyOps:
             )
         if type(samples) is tuple:
             # Oracle leg: a pre-sorted row plus its duplicate mask
-            # (both produced once per cycle for the whole batch).
-            row, dup = samples
+            # (both produced once per cycle for the whole batch; a
+            # third element, the dense universe indices, rides along
+            # on the numpy leg and is only used by the wave path).
+            row, dup = samples[0], samples[1]
             pos = _np.minimum(
                 known.searchsorted(row), known.size - 1
             )
@@ -388,90 +450,248 @@ class _NumpyOps:
             return _np.concatenate((known, fresh))
         return known
 
-    def create_wave(self, jobs):
+    @staticmethod
+    def _dense(state, field, values, universe):
+        """Cached ``universe.searchsorted(values)`` for a node's
+        slowly-changing id table.  Keyed on the identity of both the
+        universe (rebuilt on membership change) and the table array
+        (rebound on every mutation -- per-node arrays by assignment,
+        arena views by the setters dropping their cached view), so a
+        stale entry can never be returned; in the converged steady
+        state every wave hits, turning the wave kernels' biggest
+        ``searchsorted`` slabs into pure gathers.  Stored as int32 --
+        dense indices are bounded by the universe size (< 2^31 at any
+        reachable population), and the narrow dtype halves what is
+        otherwise the largest per-node cache."""
+        hit = state.dense_cache.get(field)
+        if (
+            hit is not None
+            and hit[0] is universe
+            and hit[1] is values
+        ):
+            return hit[2]
+        dense = universe.searchsorted(values).astype(_np.int32)
+        state.dense_cache[field] = (universe, values, dense)
+        return dense
+
+    def _seg_columns(self, states):
+        """The wave absorb's per-segment scalar columns (own id,
+        leaf-full flag, admission window) plus the concatenated
+        occupancy slab, one entry/row per receiving state.  The arena
+        layout overrides this with pure slab gathers."""
+        own = _np.array(
+            [state.node_id for state in states], dtype=_np.uint64
+        )
+        full = _np.array(
+            [state.leaf_full for state in states], dtype=bool
+        )
+        lo = _np.array(
+            [state.accept_lo for state in states], dtype=_np.uint64
+        )
+        hi = _np.array(
+            [state.accept_hi for state in states], dtype=_np.uint64
+        )
+        occ = _np.concatenate([state.slot_count for state in states])
+        return own, full, lo, hi, occ
+
+    def _union_wave(self, jobs, universe, samples=None):
+        """Every job's CREATEMESSAGE union in one slab pass.
+
+        Returns ``(u, lens, u_dense)``: the concatenated per-job
+        unions, their lengths, and the unions' dense ``universe``
+        indices (``None`` on the fallback path).  On the oracle leg
+        (equal-length pre-sorted sample rows, all ids drawn from the
+        live pool and therefore present in *universe*) the per-job
+        novelty scans collapse into a single ``searchsorted`` of the
+        wave's sample slab against the concatenated known slab, keyed
+        ``segment * len(universe) + dense`` exactly like the wave
+        absorb; anything else falls back to the scalar :meth:`_union`
+        per job.  *samples* is the optional ``(sample_buf,
+        row_indices)`` fast path from :meth:`create_wave_flat`: the
+        rows (and their duplicate masks and dense indices) are
+        gathered straight from the batch buffer, skipping the
+        per-message stack of the jobs' row views -- the gathered
+        values are identical by construction.
+        """
+        if universe is None or (
+            samples is None
+            and any(type(s) is not tuple for _, _, s in jobs)
+        ):
+            unions = [
+                self._union(state, samples) for state, _, samples in jobs
+            ]
+            lens = _np.array([u.size for u in unions], dtype=_np.intp)
+            return _np.concatenate(unions), lens, None
+        m_count = len(jobs)
+        knowns = []
+        denses = []
+        dense = self._dense
+        for state, _, _ in jobs:
+            known = state.known
+            if known is None:
+                known = state.known = _np.unique(
+                    _np.concatenate(
+                        (state.leaf, state.prefix_ids, state.own_u64)
+                    )
+                )
+                known = state.known
+            knowns.append(known)
+            denses.append(dense(state, "known", known, universe))
+        k_lens = _np.array([k.size for k in knowns], dtype=_np.intp)
+        kn = _np.concatenate(knowns)
+        kn_dense = _np.concatenate(denses)
+        if samples is not None:
+            buf, row_idx = samples
+            rows = buf[0][row_idx]
+            dups = buf[1][row_idx]
+        else:
+            rows = _np.stack([s[0] for _, _, s in jobs])
+            dups = _np.stack([s[1] for _, _, s in jobs])
+        cr = rows.shape[1]
+        if not cr:
+            return kn, k_lens, kn_dense
+        u_size = universe.size
+        row_flat = rows.ravel()
+        if samples is not None and len(buf) == 3:
+            row_dense = buf[2][row_idx].reshape(-1)
+        elif samples is None and len(jobs[0][2]) == 3:
+            # The oracle buffer already carries the rows' dense
+            # indices (gathered from the live pool's, once per cycle).
+            row_dense = _np.stack(
+                [s[2] for _, _, s in jobs]
+            ).reshape(-1)
+        else:
+            row_dense = universe.searchsorted(row_flat).astype(_np.intp)
+        seg_of_kn = _np.repeat(kernels._arange(m_count), k_lens)
+        seg_of_row = _np.repeat(kernels._arange(m_count), cr)
+        if m_count * u_size <= (1 << 23):
+            # Small frames (the bench sizes): one boolean membership
+            # plane per job beats the composite-key binary search --
+            # scatter the knowns, gather the samples.  Same booleans,
+            # ~5x cheaper in the converged steady state where the
+            # whole pass exists only to discover nothing is novel.
+            # Past ~8 MB of plane the zeroing and cache misses eat the
+            # win and the binary search takes over (identical output).
+            plane = _np.zeros(m_count * u_size, dtype=bool)
+            plane[seg_of_kn * u_size + kn_dense] = True
+            novel = ~plane[seg_of_row * u_size + row_dense]
+            novel &= ~dups.ravel()
+        else:
+            kn_key = seg_of_kn * u_size + kn_dense
+            row_key = seg_of_row * u_size + row_dense
+            pos = _np.minimum(
+                kn_key.searchsorted(row_key), kn_key.size - 1
+            )
+            novel = (kn_key[pos] != row_key) & ~dups.ravel()
+        if not novel.any():
+            # Converged steady state: every sample is already known,
+            # so the unions are exactly the cached known slab.
+            return kn, k_lens, kn_dense
+        fresh_counts = novel.reshape(m_count, cr).sum(axis=1)
+        lens = k_lens + fresh_counts
+        offs = _np.cumsum(lens) - lens
+        u = _np.empty(int(lens.sum()), dtype=_np.uint64)
+        u_dense = _np.empty(u.size, dtype=_np.intp)
+        k_within = kernels._arange(kn.size) - _np.repeat(
+            _np.cumsum(k_lens) - k_lens, k_lens
+        )
+        k_dest = _np.repeat(offs, k_lens) + k_within
+        u[k_dest] = kn
+        u_dense[k_dest] = kn_dense
+        fresh_ids = row_flat[novel]
+        f_within = kernels._arange(fresh_ids.size) - _np.repeat(
+            _np.cumsum(fresh_counts) - fresh_counts, fresh_counts
+        )
+        f_dest = _np.repeat(offs + k_lens, fresh_counts) + f_within
+        u[f_dest] = fresh_ids
+        u_dense[f_dest] = row_dense[novel]
+        return u, lens, u_dense
+
+    def create_wave_flat(self, jobs, universe=None, samples=None):
         """CREATEMESSAGE for a whole wave of exchanges in one
-        segmented batch.
+        segmented batch, returned in flat slab form.
 
         *jobs* is a list of ``(state, peer_id, samples)`` message
-        specifications; the result is the matching list of message
-        tuples.  All messages are built from wave-start state (the
-        cycle loop applies the wave's absorbs afterwards), which is
-        the vector engine's scheduling relaxation: a message cannot
-        see updates applied earlier *within the same wave* -- with
-        wave size ``W`` of ``n`` nodes, the probability that this
-        hides a same-cycle update that the strictly sequential
-        engines would have exposed is about ``W/n`` per exchange.
-        The payoff is that ranking, balanced selection, slot geometry
-        and the prefix cap each run as one segmented numpy pass over
-        every message of the wave, amortising per-call dispatch that
-        otherwise dominates the engine.
+        specifications; the result is ``(ids_flat, slots_flat,
+        dense_flat, bounds)`` -- message ``m`` of the wave is rows
+        ``bounds[m]:bounds[m + 1]`` of each slab (``dense_flat`` is
+        ``None`` off the oracle leg).  *samples*, when given, is
+        ``(sample_buf, row_indices)`` -- the cycle's batch sample
+        buffer plus each job's row in it -- letting the union gather
+        the wave's sample rows in three fancy-index ops instead of
+        re-stacking the jobs' per-message views.  All messages are built from
+        wave-start state (the cycle loop applies the wave's absorbs
+        afterwards), which is the vector engine's scheduling
+        relaxation: a message cannot see updates applied earlier
+        *within the same wave* -- with wave size ``W`` of ``n``
+        nodes, the probability that this hides a same-cycle update
+        that the strictly sequential engines would have exposed is
+        about ``W/n`` per exchange.  The payoff is that ranking,
+        balanced selection, slot geometry and the prefix cap each run
+        as one segmented numpy pass over every message of the wave,
+        amortising per-call dispatch that otherwise dominates the
+        engine.
 
         Per message the construction is exactly CREATEMESSAGE: one
-        ``lexsort`` keyed ``(message, ring distance)`` ranks every
-        union at once (segments stay contiguous), the balanced-close
-        thresholds become per-segment running-count offsets, and the
-        first-``k``-per-slot cap runs once with segment-shifted slot
-        keys so equal slots never group across messages.
+        row-wise rank keyed ``(message, ring distance)`` orders every
+        union at once, the balanced-close thresholds become per-row
+        broadcasts, and the first-``k``-per-slot cap runs once with
+        segment-shifted slot keys so equal slots never group across
+        messages.
         """
         m_count = len(jobs)
-        unions = [
-            self._union(state, samples) for state, _, samples in jobs
-        ]
-        lens = _np.array([u.size for u in unions], dtype=_np.intp)
-        offs = _np.zeros(m_count + 1, dtype=_np.intp)
-        _np.cumsum(lens, out=offs[1:])
-        u = _np.concatenate(unions)
-        n = u.size
+        u, lens, u_dense = self._union_wave(jobs, universe, samples)
         peer_list = _np.array(
             [peer for _, peer, _ in jobs], dtype=_np.uint64
         )
-        peers = _np.repeat(peer_list, lens)
         seg_base = kernels._arange(m_count) * self._n_slots
+        # Rank every union at once, natively in a padded 2-D frame
+        # (row = message, columns = union in segment order).  The
+        # ``(message, ring distance)`` lexsort is equivalent to one
+        # row-wise argsort over the padded distance matrix (sentinel =
+        # ring max, strictly above any real distance, so padding ranks
+        # last) -- same stable positional tie-break, ~4x cheaper than
+        # the two radix passes of the two-key lexsort -- and the
+        # balanced-close thresholds become per-row broadcasts instead
+        # of segment-repeated slabs.
+        l_max = int(lens.max())
+        valid = kernels._arange(l_max)[None, :] < lens[:, None]
+        sentinel = _np.uint64(0xFFFFFFFFFFFFFFFF)
+        pad_u = _np.full((m_count, l_max), sentinel)
+        pad_u[valid] = u
         if self._mask == 0xFFFFFFFFFFFFFFFF:
-            fw = u - peers
+            fw = pad_u - peer_list[:, None]
             bw = -fw
         else:
-            fw = (u - peers) & self._mu
+            fw = (pad_u - peer_list[:, None]) & self._mu
             bw = (-fw) & self._mu
-        order = _np.lexsort(
-            (_np.minimum(fw, bw), _np.repeat(kernels._arange(m_count), lens))
+        dist = _np.where(valid, _np.minimum(fw, bw), sentinel)
+        order2d = _np.argsort(dist, axis=1, kind="stable")
+        ranked = _np.take_along_axis(pad_u, order2d, axis=1)
+        succ = _np.take_along_axis(fw <= self._half_u, order2d, axis=1)
+        succ &= valid
+        cs = _np.cumsum(succ, axis=1)
+        has_p = ranked[:, 0] == peer_list
+        n_succ_seg = cs[:, -1] - has_p
+        ts, tp = kernels.balanced_counts_arrays(
+            n_succ_seg, lens - has_p - n_succ_seg, self._half_c
         )
-        ranked = u[order]
-        succ_r = (fw <= self._half_u)[order]
-        cs = _np.cumsum(succ_r)
-        starts = offs[:-1]
-        ends = offs[1:] - 1
-        cs_end = cs[ends]
-        cs_before = _np.zeros(m_count, dtype=cs.dtype)
-        cs_before[1:] = cs_end[:-1]
-        has_p = ranked[starts] == peer_list
-        n_succ_seg = cs_end - cs_before - has_p
-        half_c = self._half_c
-        ts = _np.empty(m_count, dtype=_np.intp)
-        tp = _np.empty(m_count, dtype=_np.intp)
-        balanced = kernels._balanced_counts
-        for m in range(m_count):
-            ts[m], tp[m] = balanced(
-                int(n_succ_seg[m]),
-                int(lens[m]) - int(has_p[m]) - int(n_succ_seg[m]),
-                half_c,
-            )
-        # Per-element thresholds with the segment offsets folded in:
-        # inside segment m the running successor count is
-        # ``cs - cs_before[m]`` and the running predecessor count is
-        # ``pred_seen - (offs[m] - cs_before[m])``.
-        ts_el = _np.repeat(ts + has_p + cs_before, lens)
-        tp_el = _np.repeat(tp + (starts - cs_before), lens)
-        pred_seen = kernels._arange(n + 1)[1:] - cs
-        keep = _np.where(succ_r, cs <= ts_el, pred_seen <= tp_el)
-        rest_mask = ~keep
-        peer_pos = starts[has_p]
-        if peer_pos.size:
-            keep[peer_pos] = False
-            rest_mask[peer_pos] = False
+        # Running successor count ``cs`` and predecessor count
+        # ``col + 1 - cs`` against per-row thresholds: keep the first
+        # ``ts`` successors / ``tp`` predecessors in distance order.
+        # The peer itself ranks first (distance zero, unique) and is
+        # excluded from both the close part and the tail.
+        pred = (kernels._arange(l_max)[None, :] + 1) - cs
+        keep = _np.where(
+            succ, cs <= (ts + has_p)[:, None], pred <= tp[:, None]
+        )
+        keep &= valid
+        keep[:, 0] &= ~has_p
+        rest2 = valid & ~keep
+        rest2[:, 0] &= ~has_p
         slots = kernels.prefix_slots_arrays(
             ranked,
-            peers[order],
+            peer_list[:, None],
             self._bits,
             self._digit_bits,
             self._base_mask,
@@ -479,49 +699,91 @@ class _NumpyOps:
         # One cap pass over every tail; per-segment key shifts keep
         # equal slots of different messages in separate groups.  The
         # cap preserves input order, so kept ids stay grouped by
-        # message and split back on per-segment kept counts.
-        shifted = slots + _np.repeat(seg_base, lens)
-        rest_ids = ranked[rest_mask]
-        rest_keys = shifted[rest_mask]
-        tail_all, tail_keys = kernels.prefix_part_with_slots(
-            rest_ids, rest_keys, self._k
-        )
+        # message and split back on per-segment kept counts.  int32
+        # keys when the shifted range fits: the stable argsort inside
+        # the cap is a radix sort, noticeably faster on 4-byte keys.
+        shifted = slots + seg_base[:, None]
+        if m_count * self._n_slots <= 0x7FFFFFFF:
+            shifted = shifted.astype(_np.int32)
+        rest_ids = ranked[rest2]
+        rest_keys = shifted[rest2]
+        if u_dense is not None:
+            pad_dense = _np.empty((m_count, l_max), dtype=_np.intp)
+            pad_dense[valid] = u_dense
+            ranked_dense = _np.take_along_axis(
+                pad_dense, order2d, axis=1
+            )
+            tail_all, tail_keys, tail_dense = kernels.prefix_part_with_slots(
+                rest_ids, rest_keys, self._k, ranked_dense[rest2]
+            )
+        else:
+            tail_all, tail_keys = kernels.prefix_part_with_slots(
+                rest_ids, rest_keys, self._k
+            )
         tail_seg = tail_keys // self._n_slots
         tail_slots = tail_keys - tail_seg * self._n_slots
         tail_counts = _np.bincount(tail_seg, minlength=m_count)
         tail_offs = _np.zeros(m_count + 1, dtype=_np.intp)
         _np.cumsum(tail_counts, out=tail_offs[1:])
-        # Batched per-message assembly: the kept close ids are already
-        # grouped by message inside ``ranked[keep]`` (keep preserves
-        # order and segments are contiguous), so per-message pieces
-        # are pure slice views stitched by one concatenate each.
+        # Batched per-message assembly: row-major boolean compress
+        # keeps the close ids grouped by message, and so are the
+        # capped tail ids, so scattering both slabs through computed
+        # destinations interleaves them as ``close_m, tail_m`` per
+        # message without a per-message Python loop.
         close_all = ranked[keep]
         close_slots_all = slots[keep]
-        close_counts = _np.add.reduceat(keep.astype(_np.intp), starts)
+        close_counts = keep.sum(axis=1)
         close_offs = _np.zeros(m_count + 1, dtype=_np.intp)
         _np.cumsum(close_counts, out=close_offs[1:])
-        co = close_offs.tolist()
-        to = tail_offs.tolist()
-        id_pieces = []
-        slot_pieces = []
-        for m in range(m_count):
-            id_pieces.append(close_all[co[m]:co[m + 1]])
-            id_pieces.append(tail_all[to[m]:to[m + 1]])
-            slot_pieces.append(close_slots_all[co[m]:co[m + 1]])
-            slot_pieces.append(tail_slots[to[m]:to[m + 1]])
-        ids_flat = _np.concatenate(id_pieces)
-        slots_flat = _np.concatenate(slot_pieces)
-        bounds = [
-            co[m] + to[m] for m in range(m_count + 1)
-        ]
-        messages = [
+        bounds = close_offs + tail_offs
+        c_dest = _np.repeat(bounds[:-1], close_counts) + (
+            kernels._arange(close_all.size)
+            - _np.repeat(close_offs[:-1], close_counts)
+        )
+        t_dest = _np.repeat(
+            bounds[:-1] + close_counts, tail_counts
+        ) + (
+            kernels._arange(tail_all.size)
+            - _np.repeat(tail_offs[:-1], tail_counts)
+        )
+        ids_flat = _np.empty(int(bounds[-1]), dtype=_np.uint64)
+        slots_flat = _np.empty(int(bounds[-1]), dtype=_np.int64)
+        ids_flat[c_dest] = close_all
+        ids_flat[t_dest] = tail_all
+        slots_flat[c_dest] = close_slots_all
+        slots_flat[t_dest] = tail_slots
+        if u_dense is None:
+            return ids_flat, slots_flat, None, bounds
+        # Thread each id's dense universe index through to the wave
+        # absorb: its candidate slab then keys straight off the
+        # message payloads instead of re-searching the universe.
+        dense_flat = _np.empty(int(bounds[-1]), dtype=_np.intp)
+        dense_flat[c_dest] = ranked_dense[keep]
+        dense_flat[t_dest] = tail_dense
+        return ids_flat, slots_flat, dense_flat, bounds
+
+    def create_wave(self, jobs, universe=None):
+        """Per-message view of :meth:`create_wave_flat`: the same
+        construction, sliced into one ``(ids, slots[, dense])`` tuple
+        per job for the scalar absorb paths and per-message
+        comparisons."""
+        ids_flat, slots_flat, dense_flat, bounds = self.create_wave_flat(
+            jobs, universe
+        )
+        bl = bounds.tolist()
+        if dense_flat is None:
+            return [
+                (ids_flat[bl[m]:bl[m + 1]], slots_flat[bl[m]:bl[m + 1]])
+                for m in range(len(jobs))
+            ]
+        return [
             (
-                ids_flat[bounds[m]:bounds[m + 1]],
-                slots_flat[bounds[m]:bounds[m + 1]],
+                ids_flat[bl[m]:bl[m + 1]],
+                slots_flat[bl[m]:bl[m + 1]],
+                dense_flat[bl[m]:bl[m + 1]],
             )
-            for m in range(m_count)
+            for m in range(len(jobs))
         ]
-        return messages
 
     def absorb(self, state: _ArrayState, message, sender_id: int) -> None:
         """UPDATELEAFSET + UPDATEPREFIXTABLE of one message, all in
@@ -533,7 +795,7 @@ class _NumpyOps:
         cannot change the balanced selection).  The envelope sender is
         processed last on a scalar path (it may duplicate a payload
         id)."""
-        ids, slots = message
+        ids, slots = message[0], message[1]
         if ids.size:
             prefix_ids = state.prefix_ids
             if prefix_ids.size:
@@ -643,20 +905,29 @@ class _NumpyOps:
             self._digit_bits,
             self._base_mask,
         )
+        s_dense = universe.searchsorted(s_ids).astype(_np.intp)
         id_pieces: list[_np.ndarray] = []
         slot_pieces: list[_np.ndarray] = []
+        dense_pieces: list[_np.ndarray] = []
+        has_dense = True
         seg_len = _np.zeros(n_seg, dtype=_np.intp)
         si = 0
         for s, (state, msgs) in enumerate(per_seg):
             own = state.node_id
             total = 0
-            for (ids, slots), sender in msgs:
+            for msg, sender in msgs:
+                ids = msg[0]
                 id_pieces.append(ids)
-                slot_pieces.append(slots)
+                slot_pieces.append(msg[1])
+                if len(msg) == 3:
+                    dense_pieces.append(msg[2])
+                else:
+                    has_dense = False
                 total += ids.size
                 if sender != own:
                     id_pieces.append(s_ids[si:si + 1])
                     slot_pieces.append(s_slots[si:si + 1])
+                    dense_pieces.append(s_dense[si:si + 1])
                     si += 1
                     total += 1
             seg_len[s] = total
@@ -666,44 +937,100 @@ class _NumpyOps:
             return
         cand_slots = _np.concatenate(slot_pieces)
         cand_seg = _np.repeat(kernels._arange(n_seg), seg_len)
-        u_size = universe.size
-        ckey = cand_seg * u_size + universe.searchsorted(cand_ids).astype(
-            _np.intp
-        )
-        # First occurrence per (segment, id), kept in arrival order.
-        order = _np.lexsort((kernels._arange(m), ckey))
-        ck_sorted = ckey[order]
-        first = _np.empty(m, dtype=bool)
-        first[0] = True
-        _np.not_equal(ck_sorted[1:], ck_sorted[:-1], out=first[1:])
-        keep = _np.zeros(m, dtype=bool)
-        keep[order[first]] = True
-        u_ids = cand_ids[keep]
-        u_slots = cand_slots[keep]
-        u_seg = cand_seg[keep]
-        u_key = ckey[keep]
-        # UPDATEPREFIXTABLE: novelty against the resident slab, then
-        # the grouped first-come cap against the occupancy slab.
-        res_pieces = [state.prefix_ids for state, _ in per_seg]
-        res_lens = _np.array([p.size for p in res_pieces], dtype=_np.intp)
-        res = _np.concatenate(res_pieces)
-        if res.size:
-            res_key = _np.repeat(
-                kernels._arange(n_seg), res_lens
-            ) * u_size + universe.searchsorted(res).astype(_np.intp)
-            pos = _np.minimum(
-                res_key.searchsorted(u_key), res_key.size - 1
-            )
-            novel = res_key[pos] != u_key
+        # Messages from the batched create carry their ids' dense
+        # indices; then the candidate slab needs no universe search
+        # (only the handful of envelope senders were looked up above).
+        if has_dense:
+            cand_dense = _np.concatenate(dense_pieces)
         else:
-            novel = _np.ones(u_key.size, dtype=bool)
-        occ_slab = _np.concatenate(
-            [state.slot_count for state, _ in per_seg]
+            cand_dense = universe.searchsorted(cand_ids).astype(_np.intp)
+        self._absorb_candidates(
+            per_seg, cand_ids, cand_slots, cand_dense, cand_seg, universe
         )
-        slot_key = u_seg * self._n_slots + u_slots
-        cand_mask = novel & (occ_slab[slot_key] < self._k)
-        if cand_mask.any():
-            c_key = slot_key[cand_mask]
+
+    def _resident_keys(self, per_seg, universe, u_size):
+        """Concatenated ``segment * u_size + dense`` keys of every
+        receiver's resident prefix ids -- sorted, because each table
+        is sorted and segments concatenate in order -- or ``None``
+        when no receiver has any.  The arena layout overrides this
+        (and :meth:`_leaf_keys`) with ragged slab gathers over
+        pool-resident dense caches: no per-segment Python at all."""
+        dense = self._dense
+        pieces = [state.prefix_ids for state, _ in per_seg]
+        lens = _np.array([p.size for p in pieces], dtype=_np.intp)
+        if not int(lens.sum()):
+            return None
+        return _np.repeat(
+            kernels._arange(len(per_seg)), lens
+        ) * u_size + _np.concatenate(
+            [
+                dense(state, "prefix", p, universe)
+                for (state, _), p in zip(per_seg, pieces)
+            ]
+        )
+
+    def _leaf_keys(self, per_seg, universe, u_size):
+        """Concatenated composite keys of every receiver's leaf set
+        (see :meth:`_resident_keys`), or ``None`` when all empty."""
+        dense = self._dense
+        pieces = [state.leaf for state, _ in per_seg]
+        lens = _np.array([p.size for p in pieces], dtype=_np.intp)
+        if not int(lens.sum()):
+            return None
+        return _np.repeat(
+            kernels._arange(len(per_seg)), lens
+        ) * u_size + _np.concatenate(
+            [
+                dense(state, "leaf", p, universe)
+                for (state, _), p in zip(per_seg, pieces)
+            ]
+        )
+
+    def _absorb_candidates(
+        self, per_seg, cand_ids, cand_slots, cand_dense, cand_seg, universe
+    ) -> None:
+        """The shared core of the wave absorb: gate, dedup, cap and
+        apply one assembled candidate slab (see :meth:`absorb_wave`
+        for the semantics argument)."""
+        n_seg = len(per_seg)
+        u_size = universe.size
+        ckey = cand_seg * u_size + cand_dense
+        if n_seg * u_size <= 0x7FFFFFFF:
+            # 4-byte keys keep the stable radix argsort below fast.
+            ckey = ckey.astype(_np.int32)
+        # Duplicate copies of an id within a segment all face
+        # identical gates -- the slot, its occupancy, and the
+        # admission window are functions of (receiver, id) alone --
+        # so the first-occurrence dedup commutes with the gate masks
+        # and runs on the small gated subsets instead of the whole
+        # candidate slab (the scalar replay's "repeated id is a
+        # no-op" shows up here as: only the first copy survives the
+        # subset dedup, and every copy carries the same verdict).
+        own_arr, full_arr, lo_arr, hi_arr, occ_slab = self._seg_columns(
+            [state for state, _ in per_seg]
+        )
+        # UPDATEPREFIXTABLE: the cheap occupancy gate first (a gather
+        # and a compare); dedup, novelty against the resident slab and
+        # the grouped first-come cap touch open-slot candidates only
+        # -- in the converged steady state almost every slot a
+        # candidate maps to is already at capacity, so the expensive
+        # sort/search machinery shrinks to a sliver of the wave.
+        slot_key = cand_seg * self._n_slots + cand_slots
+        open_mask = occ_slab[slot_key] < self._k
+        if open_mask.any():
+            o_idx = _np.nonzero(open_mask)[0]
+            o_idx = o_idx[_first_occurrence(ckey[o_idx])]
+            o_key = ckey[o_idx]
+            res_key = self._resident_keys(per_seg, universe, u_size)
+            if res_key is not None:
+                pos = _np.minimum(
+                    res_key.searchsorted(o_key), res_key.size - 1
+                )
+                o_idx = o_idx[res_key[pos] != o_key]
+        else:
+            o_idx = _np.empty(0, dtype=_np.intp)
+        if o_idx.size:
+            c_key = slot_key[o_idx]
             order2 = _np.argsort(c_key, kind="stable")
             ss = c_key[order2]
             cm = ss.size
@@ -716,65 +1043,134 @@ class _NumpyOps:
             )
             keep_sorted = (idx - group_start) < (self._k - occ_slab[ss])
             if keep_sorted.any():
-                cand_idx = _np.nonzero(cand_mask)[0]
-                adm_idx = cand_idx[_np.sort(order2[keep_sorted])]
-                a_seg = u_seg[adm_idx]
+                adm_idx = o_idx[_np.sort(order2[keep_sorted])]
+                a_seg = cand_seg[adm_idx]
                 bounds = _np.searchsorted(
                     a_seg, kernels._arange(n_seg + 1)
                 )
                 segs = _np.nonzero(bounds[1:] > bounds[:-1])[0]
-                a_ids = u_ids[adm_idx]
-                a_slots = u_slots[adm_idx]
+                a_ids = cand_ids[adm_idx]
+                a_slots = cand_slots[adm_idx]
                 for s in segs.tolist():
                     lo, hi = bounds[s], bounds[s + 1]
                     self._apply_admitted(
                         per_seg[s][0], a_ids[lo:hi], a_slots[lo:hi]
                     )
-        # UPDATELEAFSET: wave-start admission windows, one leaf-slab
-        # novelty scan, one balanced reselect per touched segment.
-        own_arr = _np.array(
-            [state.node_id for state, _ in per_seg], dtype=_np.uint64
-        )
-        full_arr = _np.array(
-            [state.leaf_full for state, _ in per_seg], dtype=bool
-        )
-        lo_arr = _np.array(
-            [state.accept_lo for state, _ in per_seg], dtype=_np.uint64
-        )
-        hi_arr = _np.array(
-            [state.accept_hi for state, _ in per_seg], dtype=_np.uint64
-        )
-        fw = (u_ids - own_arr[u_seg]) & self._mu
-        leaf_cand = ~full_arr[u_seg] | (fw < lo_arr[u_seg]) | (
-            fw > hi_arr[u_seg]
+        # UPDATELEAFSET: the wave-start admission windows gate first,
+        # then dedup + one leaf-slab novelty scan over the gated
+        # subset, one balanced reselect per touched segment.
+        fw = (cand_ids - own_arr[cand_seg]) & self._mu
+        leaf_cand = ~full_arr[cand_seg] | (fw < lo_arr[cand_seg]) | (
+            fw > hi_arr[cand_seg]
         )
         if not leaf_cand.any():
             return
-        leaf_pieces = [state.leaf for state, _ in per_seg]
-        leaf_lens = _np.array(
-            [p.size for p in leaf_pieces], dtype=_np.intp
-        )
-        lf = _np.concatenate(leaf_pieces)
-        if lf.size:
-            lf_key = _np.repeat(
-                kernels._arange(n_seg), leaf_lens
-            ) * u_size + universe.searchsorted(lf).astype(_np.intp)
+        l_idx = _np.nonzero(leaf_cand)[0]
+        l_idx = l_idx[_first_occurrence(ckey[l_idx])]
+        lf_key = self._leaf_keys(per_seg, universe, u_size)
+        if lf_key is not None:
+            q = ckey[l_idx]
             pos = _np.minimum(
-                lf_key.searchsorted(u_key), lf_key.size - 1
+                lf_key.searchsorted(q), lf_key.size - 1
             )
-            fresh_mask = leaf_cand & (lf_key[pos] != u_key)
+            f_idx = l_idx[lf_key[pos] != q]
         else:
-            fresh_mask = leaf_cand
-        if not fresh_mask.any():
+            f_idx = l_idx
+        if not f_idx.size:
             return
-        f_idx = _np.nonzero(fresh_mask)[0]
-        f_seg = u_seg[f_idx]
+        f_seg = cand_seg[f_idx]
         fbounds = _np.searchsorted(f_seg, kernels._arange(n_seg + 1))
         fsegs = _np.nonzero(fbounds[1:] > fbounds[:-1])[0]
-        f_ids = u_ids[f_idx]
+        f_ids = cand_ids[f_idx]
         for s in fsegs.tolist():
             lo, hi = fbounds[s], fbounds[s + 1]
             self._merge_fresh(per_seg[s][0], f_ids[lo:hi])
+
+    def absorb_wave_flat(self, wave, specs, universe) -> None:
+        """:meth:`absorb_wave` fed straight from the flat wave slabs.
+
+        *wave* is :meth:`create_wave_flat`'s return value; *specs* is
+        the arrival-ordered list of surviving ``(state, message_index,
+        sender_id)`` absorbs.  Semantics are exactly
+        :meth:`absorb_wave` over the equivalent sliced messages -- the
+        candidate slab is simply assembled by one vectorised gather
+        through the message bounds (payload rows, then the envelope
+        sender row after each message that has one) instead of
+        per-message tuple views and re-concatenation.
+        """
+        if not specs:
+            return
+        ids_flat, slots_flat, dense_flat, bounds = wave
+        # Group by receiver, first-appearance segment order; each
+        # receiver's messages stay in wave order.
+        seg_of: dict[int, int] = {}
+        per_seg: list[tuple[_ArrayState, None]] = []
+        seg_msgs: list[list[tuple[int, int]]] = []
+        for state, mi_, sender in specs:
+            s = seg_of.get(id(state))
+            if s is None:
+                s = seg_of[id(state)] = len(per_seg)
+                per_seg.append((state, None))
+                seg_msgs.append([])
+            seg_msgs[s].append(
+                (mi_, sender if sender != state.node_id else -1)
+            )
+        n_seg = len(per_seg)
+        mi_list: list[int] = []
+        aseg: list[int] = []
+        sender_ids: list[int] = []
+        sender_owner: list[int] = []
+        has_s: list[bool] = []
+        for s, msgs in enumerate(seg_msgs):
+            own = per_seg[s][0].node_id
+            for mi_, sender in msgs:
+                mi_list.append(mi_)
+                aseg.append(s)
+                if sender >= 0:
+                    has_s.append(True)
+                    sender_ids.append(sender)
+                    sender_owner.append(own)
+                else:
+                    has_s.append(False)
+        s_ids = _np.array(sender_ids, dtype=_np.uint64)
+        s_slots = kernels.prefix_slots_arrays(
+            s_ids,
+            _np.array(sender_owner, dtype=_np.uint64),
+            self._bits,
+            self._digit_bits,
+            self._base_mask,
+        )
+        s_dense = universe.searchsorted(s_ids).astype(_np.intp)
+        mi_arr = _np.array(mi_list, dtype=_np.intp)
+        b0 = bounds[mi_arr]
+        mlen = bounds[mi_arr + 1] - b0
+        sflag = _np.array(has_s)
+        plen = mlen + sflag
+        cum = _np.cumsum(plen)
+        total = int(cum[-1])
+        if not total:
+            return
+        # Ragged gather: positions below a message's length read its
+        # payload rows from the wave slabs; the one position past the
+        # end (present when the flag is set) reads the precomputed
+        # sender row appended after the slabs.
+        within = kernels._arange(total) - _np.repeat(cum - plen, plen)
+        pay = within < _np.repeat(mlen, plen)
+        src = _np.where(
+            pay,
+            _np.repeat(b0, plen) + within,
+            ids_flat.size + _np.repeat(_np.cumsum(sflag) - sflag, plen),
+        )
+        cand_ids = _np.concatenate((ids_flat, s_ids))[src]
+        cand_slots = _np.concatenate((slots_flat, s_slots))[src]
+        if dense_flat is not None:
+            cand_dense = _np.concatenate((dense_flat, s_dense))[src]
+        else:
+            cand_dense = universe.searchsorted(cand_ids).astype(_np.intp)
+        cand_seg = _np.repeat(_np.array(aseg, dtype=_np.intp), plen)
+        self._absorb_candidates(
+            per_seg, cand_ids, cand_slots, cand_dense, cand_seg, universe
+        )
 
     def _fill_slots(self, state: _ArrayState, nids, nslots) -> None:
         """Admit novel ids into the prefix table, first-come per slot
@@ -966,6 +1362,209 @@ class _NumpyOps:
         return missing_leaf, missing_prefix
 
 
+class _ArenaOps(_NumpyOps):
+    """The numpy transitions bound to pool-resident arena state.
+
+    Every protocol kernel is inherited unchanged --
+    :class:`~repro.engine_vector.arena.ArenaState` exposes the exact
+    ``_ArrayState`` attribute surface as properties over the slabs --
+    which is what makes the two layouts bit-identical by construction.
+    What the arena layout adds is the batched plumbing the per-node
+    layout cannot offer: rank allocation and recycling, whole-chunk
+    peer selection (:meth:`select_wave`), and the slab-scan
+    convergence measurer (:meth:`slab_measurer`).
+    """
+
+    def __init__(self, config: BootstrapConfig, capacity: int = 64) -> None:
+        super().__init__(config)
+        self.arena = Arena(self._n_slots, self._c, capacity)
+
+    def new_state(self, node_id: int) -> ArenaState:
+        arena = self.arena
+        return ArenaState(arena, arena.allocate(node_id), node_id)
+
+    def release_state(self, state: ArenaState) -> None:
+        """Return a killed node's rank (the cycle driver's hook)."""
+        self.arena.release(state.rank)
+
+    def slab_measurer(self, states, reference, live) -> SlabMeasure:
+        """A slab-scan deficit measurer bound to *states* (the
+        tracker's hook; see :class:`SlabMeasure`)."""
+        return SlabMeasure(self, self.arena, states, reference, live)
+
+    def _seg_columns(self, states):
+        """The wave absorb's per-segment columns as slab gathers: one
+        fancy index per column instead of a Python listcomp each, and
+        the occupancy slab as a single 2-D row gather."""
+        a = self.arena
+        ranks = _np.fromiter(
+            (state.rank for state in states),
+            dtype=_np.intp,
+            count=len(states),
+        )
+        return (
+            a.node_ids[ranks],
+            a.leaf_full[ranks],
+            a.accept_lo[ranks],
+            a.accept_hi[ranks],
+            a.slot_count[ranks].reshape(-1),
+        )
+
+    def _sync_dense_universe(self, universe) -> None:
+        """Invalidate every pooled dense-index cache when the
+        membership universe was rebuilt (identity-keyed exactly like
+        :meth:`_NumpyOps._dense`; holding the reference also keeps the
+        old object alive, so its id cannot be recycled)."""
+        a = self.arena
+        if a.dense_universe is not universe:
+            a.p_dense_valid[:] = False
+            a.leaf_dense_valid[:] = False
+            a.dense_universe = universe
+
+    def _resident_keys(self, per_seg, universe, u_size):
+        """Composite resident-prefix keys as one ragged pool gather.
+
+        The base implementation walks the receivers in Python -- a
+        view plus a dense-cache probe per segment, the absorb's
+        biggest remaining scalar tax at 2^14+ nodes.  Here each rank's
+        dense indices live in a pool mirroring ``p_ids`` (refreshed in
+        one batched ``searchsorted`` over just the stale ranks), so
+        the steady-state path is a ``segment_take`` and an add over
+        values identical to the base path's."""
+        a = self.arena
+        ranks = _np.fromiter(
+            (state.rank for state, _ in per_seg),
+            dtype=_np.intp,
+            count=len(per_seg),
+        )
+        pool = a.p_ids
+        lens = pool.len[ranks]
+        if not int(lens.sum()):
+            return None
+        self._sync_dense_universe(universe)
+        stale = _np.unique(ranks[~a.p_dense_valid[ranks]])
+        if stale.size:
+            s_lens = pool.len[stale]
+            flat = kernels.segment_take(pool.buf, pool.off[stale], s_lens)
+            dense_flat = universe.searchsorted(flat).astype(_np.int32)
+            offs = _np.cumsum(s_lens) - s_lens
+            n_ranks = a.n_ranks
+            for j, r in enumerate(stale.tolist()):
+                o = int(offs[j])
+                a.p_dense.write(
+                    r, dense_flat[o:o + int(s_lens[j])], n_ranks
+                )
+            a.p_dense_valid[stale] = True
+        dense = kernels.segment_take(
+            a.p_dense.buf, a.p_dense.off[ranks], lens
+        )
+        return _np.repeat(
+            kernels._arange(ranks.size), lens
+        ) * u_size + dense
+
+    def _leaf_keys(self, per_seg, universe, u_size):
+        """Composite leaf keys via the fixed-width ``leaf_dense`` slab
+        (see :meth:`_resident_keys`; the stale-rank refresh scatters
+        straight into the slab rows)."""
+        a = self.arena
+        ranks = _np.fromiter(
+            (state.rank for state, _ in per_seg),
+            dtype=_np.intp,
+            count=len(per_seg),
+        )
+        lens = a.leaf_len[ranks]
+        total = int(lens.sum())
+        if not total:
+            return None
+        self._sync_dense_universe(universe)
+        width = a.leaf.shape[1]
+        stale = _np.unique(ranks[~a.leaf_dense_valid[ranks]])
+        if stale.size:
+            s_lens = a.leaf_len[stale]
+            flat = kernels.segment_take(
+                a.leaf.ravel(), stale * width, s_lens
+            )
+            dense_flat = universe.searchsorted(flat).astype(_np.int32)
+            s_offs = _np.cumsum(s_lens) - s_lens
+            within = kernels._arange(flat.size) - _np.repeat(
+                s_offs, s_lens
+            )
+            a.leaf_dense.ravel()[
+                _np.repeat(stale * width, s_lens) + within
+            ] = dense_flat
+            a.leaf_dense_valid[stale] = True
+        dense = kernels.segment_take(
+            a.leaf_dense.ravel(), ranks * width, lens
+        )
+        return _np.repeat(
+            kernels._arange(ranks.size), lens
+        ) * u_size + dense
+
+    def _rank_rows(self, rows) -> None:
+        """Recompute the ranked-leaf cache of every rank in *rows* as
+        one segmented lexsort (the same ``(distance, id)`` keys as the
+        scalar path; slab padding ranks last via a sentinel distance
+        no real entry can reach -- ring distances never exceed the
+        half ring)."""
+        a = self.arena
+        leaf = a.leaf[rows]
+        lens = a.leaf_len[rows]
+        own = a.node_ids[rows]
+        if self._mask == 0xFFFFFFFFFFFFFFFF:
+            fw = leaf - own[:, None]
+            bw = -fw
+        else:
+            fw = (leaf - own[:, None]) & self._mu
+            bw = (-fw) & self._mu
+        dist = _np.minimum(fw, bw)
+        width = leaf.shape[1]
+        pad = kernels._arange(width)[None, :] >= lens[:, None]
+        dist[pad] = _np.uint64(0xFFFFFFFFFFFFFFFF)
+        count = rows.size
+        seg = _np.repeat(kernels._arange(count), width)
+        order = _np.lexsort((leaf.ravel(), dist.ravel(), seg))
+        a.ranked[rows] = leaf.ravel()[order].reshape(count, width)
+        a.ranked_valid[rows] = True
+
+    def select_wave(self, states, u):
+        """SELECTPEER for one chunk of the shuffled order in a single
+        kernel pass.
+
+        Returns one entry per state: the peer id where the batched
+        path decides, ``None`` where the scalar path must (a missing
+        or unstarted node, or an empty leaf set falling back to the
+        fresh samples).  Each pick is bit-identical to
+        :meth:`_NumpyOps.select_peer` on the same pre-drawn uniform:
+        the ranking keys match and ``floor(u * half)`` is the same
+        IEEE product either way.
+        """
+        out = [None] * len(states)
+        a = self.arena
+        started = a.started
+        leaf_len = a.leaf_len
+        idx = []
+        rks = []
+        for j, state in enumerate(states):
+            if state is None:
+                continue
+            r = state.rank
+            if started[r] and leaf_len[r] > 0:
+                idx.append(j)
+                rks.append(r)
+        if not idx:
+            return out
+        ranks = _np.array(rks, dtype=_np.intp)
+        stale = ranks[~a.ranked_valid[ranks]]
+        if stale.size:
+            self._rank_rows(stale)
+        half = (a.leaf_len[ranks] + 1) // 2
+        pick = _np.minimum((u[idx] * half).astype(_np.intp), half - 1)
+        peers = a.ranked[ranks, pick]
+        for j, peer in zip(idx, peers.tolist()):
+            out[j] = peer
+        return out
+
+
 # ----------------------------------------------------------------------
 # pure-Python leg: set/dict node state over the shared list kernels
 # ----------------------------------------------------------------------
@@ -1041,7 +1640,7 @@ class _PythonOps:
     def gather(self, pool: list[int], index_matrix):
         return [[pool[i] for i in row] for row in index_matrix]
 
-    def oracle_samples(self, pool: list[int], index_matrix):
+    def oracle_samples(self, pool: list[int], index_matrix, pool_dense=None):
         return self.gather(pool, index_matrix)
 
     def msg_row(self, buf, i: int):
@@ -1104,10 +1703,11 @@ class _PythonOps:
         )
         return close, tail, tail_slots
 
-    def create_wave(self, jobs):
+    def create_wave(self, jobs, universe=None):
         """Wave creation on the fallback leg: the same wave-start-state
         scheduling semantics as the numpy leg, built message by
-        message (there is nothing to batch without numpy)."""
+        message (there is nothing to batch without numpy; *universe*
+        is the numpy leg's dense id map and is unused here)."""
         return [
             self.create_message(state, peer_id, samples)
             for state, peer_id, samples in jobs
@@ -1303,6 +1903,15 @@ class VectorConvergenceTracker:
         # (``stats_dirty``); membership events land here and wipe the
         # cache, so liveness filtering always sees fresh values.
         self._deficits: dict[int, tuple[int, int]] = {}
+        # Arena-backed ops supply a slab measurer: the dirty set and
+        # the recomputation both become vector passes over the slabs
+        # instead of a Python loop with a dict probe per node.
+        maker = getattr(self._ops, "slab_measurer", None)
+        self._slab = (
+            maker(self._states, reference, self._live)
+            if maker is not None
+            else None
+        )
 
     def measure(self, cycle: float, check_live: bool) -> ConvergenceSample:
         """Take one network-wide measurement and append it to
@@ -1311,26 +1920,29 @@ class VectorConvergenceTracker:
         been killed)."""
         ops = self._ops
         reference = self._reference
-        live = self._live
-        packed_cache = self._packed
-        deficits = self._deficits
-        missing_leaf = 0
-        missing_prefix = 0
-        for state in self._states:
-            node_id = state.node_id
-            if state.stats_dirty or node_id not in deficits:
-                packed = packed_cache.get(node_id)
-                if packed is None:
-                    packed = packed_cache[node_id] = ops.pack_perfect(
-                        reference, node_id
+        if self._slab is not None:
+            missing_leaf, missing_prefix = self._slab.measure(check_live)
+        else:
+            live = self._live
+            packed_cache = self._packed
+            deficits = self._deficits
+            missing_leaf = 0
+            missing_prefix = 0
+            for state in self._states:
+                node_id = state.node_id
+                if state.stats_dirty or node_id not in deficits:
+                    packed = packed_cache.get(node_id)
+                    if packed is None:
+                        packed = packed_cache[node_id] = ops.pack_perfect(
+                            reference, node_id
+                        )
+                    deficits[node_id] = ops.node_missing(
+                        state, packed, live, check_live
                     )
-                deficits[node_id] = ops.node_missing(
-                    state, packed, live, check_live
-                )
-                state.stats_dirty = False
-            ml, mp = deficits[node_id]
-            missing_leaf += ml
-            missing_prefix += mp
+                    state.stats_dirty = False
+                ml, mp = deficits[node_id]
+                missing_leaf += ml
+                missing_prefix += mp
         total_leaf, total_prefix = reference.totals()
         sample = ConvergenceSample(
             cycle=cycle,
@@ -1365,6 +1977,7 @@ class VectorBootstrapSimulation:
         newscast_view_size: int = 30,
         wave: int | None = None,
         absorb: str | None = None,
+        state: str | None = None,
     ) -> None:
         if sampler not in SAMPLER_KINDS:
             raise ValueError(
@@ -1380,17 +1993,27 @@ class VectorBootstrapSimulation:
         self.network = network
         self.sampler_kind = sampler
         # Wave size: how many exchanges are message-built together
-        # from wave-start state per batch (None = ``n // 16`` clamped
-        # to [1, 64]); see ``create_wave`` for the staleness bound.
+        # from wave-start state per batch (None = ``max(1, n // 16)``,
+        # scaling with the population so the ``W/n`` staleness ratio
+        # stays size-independent); see ``create_wave``.
         self._wave = wave
         # Absorb dispatch: ``batch`` drains each wave through the
         # segmented slab pass (bit-identical to ``single``).
         self.absorb_mode = absorb_mode(absorb)
+        # State layout: ``arena`` binds the numpy leg to pool-resident
+        # slabs (bit-identical to ``pernode``); the fallback leg keeps
+        # its set state under either value.
+        self.state_mode = state_mode(state)
         self.backend = vrng.backend()
-        self._ops = (
-            _NumpyOps(config) if self.backend == "numpy"
-            else _PythonOps(config)
-        )
+        if self.backend != "numpy":
+            self._ops = _PythonOps(config)
+        elif self.state_mode == "arena":
+            self._ops = _ArenaOps(
+                config,
+                capacity=len(ids) if ids is not None else int(size or 0),
+            )
+        else:
+            self._ops = _NumpyOps(config)
         self._source = RandomSource(seed)
         self._draws = make_draw_source(derive_seed(seed, "vector-rng"))
         space = config.space
@@ -1493,6 +2116,13 @@ class VectorBootstrapSimulation:
         state = self.nodes.pop(node_id, None)
         if state is None:
             return False
+        release = getattr(self._ops, "release_state", None)
+        if release is not None:
+            # Arena leg: recycle the dead node's rank and pool
+            # windows.  The tracker rebinds before its next
+            # measurement (membership is dirty), so no live consumer
+            # still resolves the stale handle.
+            release(state)
         self.registry.remove(node_id)
         self._unstarted.discard(node_id)
         self._boot.dirty = True
@@ -1597,8 +2227,11 @@ class VectorBootstrapSimulation:
                 if n_start
                 else None
             )
+            universe_ = self._wave_universe()
             sample_buf = ops.oracle_samples(
-                self._pool, draws.index_matrix(n, 2 * n, cr)
+                self._pool,
+                draws.index_matrix(n, 2 * n, cr),
+                None if universe_ is None else universe_.searchsorted(self._pool),
             )
         else:
             start_f = draws.float_matrix(n_start, self._c) if n_start else None
@@ -1608,42 +2241,97 @@ class VectorBootstrapSimulation:
         get = nodes.get
         msg_row = ops.msg_row
         select_peer = ops.select_peer
+        select_wave = getattr(ops, "select_wave", None)
         create_wave = ops.create_wave
         absorb = ops.absorb
-        wave = self._wave or max(1, min(64, n // 16))
+        wave = self._wave or max(1, n // 16)
         batch = self.absorb_mode == "batch"
         pending: list[tuple] = []
+        # Batched SELECTPEER bookkeeping (arena leg): picks are
+        # precomputed one wave-sized chunk at a time and invalidated
+        # whenever node state mutates across nodes (a flush); a
+        # ``None`` pick defers to the scalar path, which decides
+        # identically.
+        sel_buf: list = []
+        sel_lo = sel_hi = 0
+
+        create_wave_flat = (
+            getattr(ops, "create_wave_flat", None) if batch else None
+        )
+        absorb_wave_flat = getattr(ops, "absorb_wave_flat", None)
 
         def flush() -> None:
+            nonlocal sel_hi
+            universe_w = self._wave_universe()
             jobs = []
             for _, nid_, state_, peer_, target_, rq, rp in pending:
                 jobs.append((state_, peer_, rq))
                 jobs.append((target_, nid_, rp))
-            messages = create_wave(jobs)
             # Drop coins decide which absorbs survive; the survivors
             # are collected in arrival order and drained in one wave
             # (the segmented slab pass, bit-identical to replaying
             # ``absorb`` per survivor -- the ``single`` mode).
-            absorbs: list[tuple] = []
-            for j, (i_, nid_, state_, peer_, target_, _rq, _rp) in enumerate(
-                pending
-            ):
-                if drop_p and req_coins[i_] < drop_p:
-                    stats.requests_dropped += 1
-                    stats.suppressed_replies += 1
-                    continue
-                absorbs.append((target_, messages[2 * j], nid_))
-                stats.replies_sent += 1
-                if drop_p and rep_coins[i_] < drop_p:
-                    stats.replies_dropped += 1
-                    continue
-                absorbs.append((state_, messages[2 * j + 1], peer_))
-            if batch and len(absorbs) > 1:
-                ops.absorb_wave(absorbs, self._wave_universe())
+            if create_wave_flat is not None and universe_w is not None:
+                # Fast lane (numpy batch leg): the wave stays in its
+                # flat slab form end to end -- no per-message tuple
+                # views, no re-concatenation inside the wave absorb.
+                # On the oracle leg the jobs' sample rows are handed
+                # over as (buffer, row index) so the union gathers
+                # them in one pass instead of re-stacking the views.
+                samples_w = None
+                if oracle:
+                    req_idx = _np.fromiter(
+                        (p[0] for p in pending),
+                        dtype=_np.intp,
+                        count=len(pending),
+                    )
+                    row_idx = _np.empty(
+                        2 * req_idx.size, dtype=_np.intp
+                    )
+                    row_idx[0::2] = req_idx
+                    row_idx[1::2] = req_idx + n
+                    samples_w = (sample_buf, row_idx)
+                wave_buf = create_wave_flat(jobs, universe_w, samples_w)
+                specs: list[tuple] = []
+                for j, (
+                    i_, nid_, state_, peer_, target_, _rq, _rp,
+                ) in enumerate(pending):
+                    if drop_p and req_coins[i_] < drop_p:
+                        stats.requests_dropped += 1
+                        stats.suppressed_replies += 1
+                        continue
+                    specs.append((target_, 2 * j, nid_))
+                    stats.replies_sent += 1
+                    if drop_p and rep_coins[i_] < drop_p:
+                        stats.replies_dropped += 1
+                        continue
+                    specs.append((state_, 2 * j + 1, peer_))
+                absorb_wave_flat(wave_buf, specs, universe_w)
             else:
-                for state_, message_, sender_ in absorbs:
-                    absorb(state_, message_, sender_)
+                messages = create_wave(jobs, universe_w)
+                absorbs: list[tuple] = []
+                for j, (
+                    i_, nid_, state_, peer_, target_, _rq, _rp,
+                ) in enumerate(pending):
+                    if drop_p and req_coins[i_] < drop_p:
+                        stats.requests_dropped += 1
+                        stats.suppressed_replies += 1
+                        continue
+                    absorbs.append((target_, messages[2 * j], nid_))
+                    stats.replies_sent += 1
+                    if drop_p and rep_coins[i_] < drop_p:
+                        stats.replies_dropped += 1
+                        continue
+                    absorbs.append((state_, messages[2 * j + 1], peer_))
+                if batch and len(absorbs) > 1:
+                    ops.absorb_wave(absorbs, universe_w)
+                else:
+                    for state_, message_, sender_ in absorbs:
+                        absorb(state_, message_, sender_)
             pending.clear()
+            # Absorbs may have reshaped leaf sets: any precomputed
+            # peer picks past this point are stale.
+            sel_hi = 0
 
         start_ptr = 0
         for i, nid in enumerate(order):
@@ -1664,7 +2352,22 @@ class VectorBootstrapSimulation:
                 start_ptr += 1
                 ops.start_node(state, seeds)
                 self._unstarted.discard(nid)
-            peer_id = select_peer(state, peer_u[i], req_row)
+            if select_wave is not None:
+                if i >= sel_hi:
+                    hi = min(i + wave, n)
+                    sel_buf = select_wave(
+                        [get(chunk_nid) for chunk_nid in order[i:hi]],
+                        peer_u[i:hi],
+                    )
+                    sel_lo = i
+                    sel_hi = hi
+                peer_id = sel_buf[i - sel_lo]
+                if peer_id is None:
+                    # Scalar fallback: the node started this chunk or
+                    # its leaf set is empty (fresh-sample fallback).
+                    peer_id = select_peer(state, peer_u[i], req_row)
+            else:
+                peer_id = select_peer(state, peer_u[i], req_row)
             if peer_id is None:
                 continue
             target = get(peer_id)

@@ -106,6 +106,20 @@ SEAMS: dict[str, Seam] = _registry(
         ),
     ),
     Seam(
+        name="REPRO_VECTOR_STATE",
+        kind="enum",
+        choices=("arena", "pernode"),
+        default="arena",
+        normalize=True,
+        doc=(
+            "Vector-engine state layout on the numpy leg: one "
+            "pool-resident structure-of-arrays arena for the whole "
+            "population, or the per-node array objects (bit-identical; "
+            "the no-numpy fallback leg ignores the layout and keeps "
+            "its set state either way)."
+        ),
+    ),
+    Seam(
         name="REPRO_COLUMNS_BACKEND",
         kind="enum",
         choices=("numpy", "python"),
@@ -183,6 +197,15 @@ SEAMS: dict[str, Seam] = _registry(
         doc=(
             "Run the paper's full sweep (2^14, 2^16, 2^18); hours in "
             "pure Python, provided for completeness."
+        ),
+    ),
+    Seam(
+        name="REPRO_BENCH_PAPER_STRETCH",
+        kind="flag",
+        doc=(
+            "Add the recorded 2^20 stretch cell to the paper-scale "
+            "benchmark (one replica on the vector engine; implies a "
+            "multi-gigabyte arena)."
         ),
     ),
     Seam(

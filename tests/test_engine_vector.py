@@ -239,6 +239,29 @@ class TestStatisticalEquivalence:
         delta = sum(convs) / len(convs) - mean_conv(reference)
         assert abs(delta) <= CONV_TOL
 
+    def test_default_wave_scales_with_population(self, backend):
+        """The default wave is ``max(1, n // 16)`` -- scaling with the
+        population, with no flat cap -- pinned bit-identically: the
+        default trajectory equals the explicit one at a size where the
+        old ``min(64, n // 16)`` cap would have clamped it (1200 nodes
+        -> wave 75, formerly 64)."""
+        size = 1200 if backend == "numpy" else 80
+
+        def trajectory(wave):
+            sim = VectorBootstrapSimulation(
+                size, seed=7, config=FAST, wave=wave
+            )
+            points = []
+            for _ in range(12):
+                sim.run_cycle()
+                sample = sim.measure()
+                points.append(
+                    (sample.missing_leaf, sample.missing_prefix)
+                )
+            return points
+
+        assert trajectory(None) == trajectory(max(1, size // 16))
+
     def test_population_identical_to_reference(self, backend):
         """Membership randomness shares the reference seed tree: the
         same seed simulates the same network on every engine, even
