@@ -11,6 +11,8 @@ Examples
     python -m repro sweep --sizes 512 --schedule churn:rate=0.01
     python -m repro scenarios list
     python -m repro scenarios run figure3 --workers 4
+    python -m repro chaos list
+    python -m repro chaos run chaos_partition_heal --smoke
     python -m repro churn --size 512 --rate 0.01
     python -m repro aggregate --size 256
     python -m repro broadcast --size 1024 --fanout 3
@@ -42,10 +44,13 @@ from .runtime import (
 )
 from .scenarios import (
     ScenarioSpec,
+    all_chaos_scenarios,
     all_scenarios,
     convergence_rows,
+    get_chaos_scenario,
     get_scenario,
     render_scenario_report,
+    run_chaos_scenario,
     run_scenario,
 )
 from .simulator import (
@@ -391,6 +396,71 @@ def cmd_scenarios_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos_list(args: argparse.Namespace) -> int:
+    """Print the chaos scenario catalogue."""
+    rows = [
+        [spec.name, spec.size, len(spec.schedule), spec.title]
+        for spec in all_chaos_scenarios()
+    ]
+    print(
+        render_table(
+            ["scenario", "peers", "events", "what happens"],
+            rows,
+            title="registered chaos scenarios (repro chaos run <name>)",
+        )
+    )
+    return 0
+
+
+def cmd_chaos_show(args: argparse.Namespace) -> int:
+    """Dump one chaos scenario's declarative JSON form."""
+    try:
+        spec = get_chaos_scenario(args.name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(spec.to_json(indent=2))
+    return 0
+
+
+def cmd_chaos_run(args: argparse.Namespace) -> int:
+    """Execute one chaos scenario on the virtual clock.
+
+    Exit code 0 means the cluster re-converged to perfect tables
+    within the budget after the fault timeline completed; 1 means the
+    budget ran out first (the convergence-under-faults gate, usable
+    straight from CI).
+    """
+    try:
+        report = run_chaos_scenario(
+            args.name, seed=args.seed, smoke=args.smoke
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(
+        render_kv(
+            {
+                "scenario": report.name,
+                "seed": report.seed,
+                "peers": report.size,
+                "re-converged": report.converged,
+                "faults done at (virtual s)": report.faults_done_at,
+                "time to functional (virtual s)": report.time_to_functional,
+                "missing leaf fraction": report.final_leaf_fraction,
+                "missing prefix fraction": report.final_prefix_fraction,
+                "crashed peers": report.crashed_peers,
+            },
+            title="chaos run",
+        )
+    )
+    if args.json_out is not None:
+        with open(args.json_out, "w", encoding="utf-8") as stream:
+            stream.write(json.dumps(report.to_dict(), sort_keys=True))
+        print(f"report written to {args.json_out}")
+    return 0 if report.converged else 1
+
+
 def cmd_churn(args: argparse.Namespace) -> int:
     """Steady-state table quality under continuous churn."""
     sim = build_simulation(
@@ -608,6 +678,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers(sp)
     sp.set_defaults(func=cmd_scenarios_run)
+
+    p = sub.add_parser(
+        "chaos",
+        help=(
+            "run the live asyncio stack under deterministic fault "
+            "injection (partitions, kills, flash crowds)"
+        ),
+    )
+    chaos_sub = p.add_subparsers(dest="chaos_command", required=True)
+
+    cp = chaos_sub.add_parser("list", help="print the chaos catalogue")
+    cp.set_defaults(func=cmd_chaos_list)
+
+    cp = chaos_sub.add_parser(
+        "show", help="dump one chaos scenario's declarative JSON"
+    )
+    cp.add_argument("name", help="registry name (see `chaos list`)")
+    cp.set_defaults(func=cmd_chaos_show)
+
+    cp = chaos_sub.add_parser(
+        "run",
+        help=(
+            "execute one chaos scenario; exit 0 iff the cluster "
+            "re-converged within the budget"
+        ),
+    )
+    cp.add_argument("name", help="registry name (see `chaos list`)")
+    cp.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the scenario's seed (same seed => same run)",
+    )
+    cp.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink the cluster to CI size (fault timeline preserved)",
+    )
+    cp.add_argument(
+        "--json-out",
+        default=None,
+        help="also write the full run report as JSON to this file",
+    )
+    cp.set_defaults(func=cmd_chaos_run)
 
     p = sub.add_parser(
         "check",

@@ -60,8 +60,18 @@ LAYER_CONTRACT: dict[str, frozenset[str]] = {
             "seams",
         }
     ),
+    # Scenarios orchestrate both the simulated sweeps (runtime) and
+    # the live chaos soaks (net) behind one declarative surface.
     "scenarios": frozenset(
-        {"analysis", "core", "sampling", "simulator", "runtime", "seams"}
+        {
+            "analysis",
+            "core",
+            "sampling",
+            "simulator",
+            "runtime",
+            "seams",
+            "net",
+        }
     ),
     # Overlay / networking stack: engine-independent by contract.
     "components": frozenset({"core", "sampling", "simulator"}),

@@ -16,8 +16,18 @@ from .codec import (
     encode_bootstrap,
     encode_message,
 )
+from .chaos import (
+    CHAOS_EVENT_KINDS,
+    ChaosController,
+    ChaosEvent,
+    ChaosHub,
+    ChaosSchedule,
+    LinkFaults,
+    VirtualClockLoop,
+    run_virtual,
+)
 from .cluster import LocalCluster
-from .peer import AsyncPeer
+from .peer import AsyncPeer, ContactTracker, RetryPolicy
 from .transport import LoopbackHub, LoopbackTransport, UdpTransport
 
 __all__ = [
@@ -29,8 +39,18 @@ __all__ = [
     "decode_message",
     "encode_bootstrap",
     "encode_message",
+    "CHAOS_EVENT_KINDS",
+    "ChaosController",
+    "ChaosEvent",
+    "ChaosHub",
+    "ChaosSchedule",
+    "LinkFaults",
+    "VirtualClockLoop",
+    "run_virtual",
     "LocalCluster",
     "AsyncPeer",
+    "ContactTracker",
+    "RetryPolicy",
     "LoopbackHub",
     "LoopbackTransport",
     "UdpTransport",

@@ -137,7 +137,13 @@ def _decode_descriptor(
         host_end = offset + host_len
         if host_end + _PORT.size > len(data):
             raise CodecError("truncated host/port")
-        host = data[offset:host_end].decode("utf-8")
+        try:
+            host = data[offset:host_end].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            # Without this guard a corrupted host field would escape as
+            # UnicodeDecodeError (a ValueError, but not a CodecError)
+            # and kill the receive path of whoever decodes the frame.
+            raise CodecError(f"undecodable host bytes at offset {offset}") from exc
         (port,) = _PORT.unpack_from(data, host_end)
         offset = host_end + _PORT.size
         return (

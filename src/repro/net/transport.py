@@ -37,6 +37,10 @@ class UdpTransport(asyncio.DatagramProtocol):
         self._handler = handler
         self._transport: asyncio.DatagramTransport | None = None
         self.local_address: tuple[str, int] | None = None
+        #: ICMP-reported send errors (port unreachable etc.).  The
+        #: fire-and-forget semantics still ignore them, but soak runs
+        #: can observe the count (matching frames_in/frames_bad style).
+        self.errors_received = 0
 
     @classmethod
     async def create(
@@ -64,10 +68,11 @@ class UdpTransport(asyncio.DatagramProtocol):
     def datagram_received(self, data: bytes, addr) -> None:
         self._handler(data, (addr[0], addr[1]))
 
-    def error_received(self, exc: Exception) -> None:  # pragma: no cover
-        # Fire-and-forget semantics: ICMP errors are ignored, like the
-        # protocol's design assumes.
-        pass
+    def error_received(self, exc: Exception) -> None:
+        # Fire-and-forget semantics: ICMP errors do not fail anything
+        # (the protocol's design assumes lossy datagrams), but they
+        # are counted so failure experiments can see them.
+        self.errors_received += 1
 
     # -- sending ---------------------------------------------------------
 

@@ -25,8 +25,23 @@ Typical use::
     # rescaled variants keep the declarative shape:
     spec = get_scenario("figure3").with_grid(engine="vector")
     result = run_scenario(spec.smoke())
+
+The live-stack sibling lives in :mod:`repro.scenarios.chaos`: a
+registry of :class:`ChaosScenarioSpec` fault experiments
+(``chaos_partition_heal``, ``chaos_flash_crowd``,
+``chaos_targeted_kill``) executed deterministically on the virtual
+clock by :func:`run_chaos_scenario`.
 """
 
+from .chaos import (
+    ChaosRunReport,
+    ChaosScenarioSpec,
+    all_chaos_scenarios,
+    chaos_scenario_names,
+    get_chaos_scenario,
+    register_chaos,
+    run_chaos_scenario,
+)
 from .registry import all_scenarios, get_scenario, register, scenario_names
 from .run import (
     ScenarioResult,
@@ -38,13 +53,20 @@ from .spec import ANALYSIS_KINDS, ScenarioSpec
 
 __all__ = [
     "ANALYSIS_KINDS",
+    "ChaosRunReport",
+    "ChaosScenarioSpec",
     "ScenarioResult",
     "ScenarioSpec",
+    "all_chaos_scenarios",
     "all_scenarios",
+    "chaos_scenario_names",
     "convergence_rows",
+    "get_chaos_scenario",
     "get_scenario",
     "register",
+    "register_chaos",
     "render_scenario_report",
+    "run_chaos_scenario",
     "run_scenario",
     "scenario_names",
 ]

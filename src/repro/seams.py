@@ -217,6 +217,34 @@ SEAMS: dict[str, Seam] = _registry(
         ),
     ),
     Seam(
+        name="REPRO_CHAOS_SMOKE",
+        kind="flag",
+        doc=(
+            "Shrink the chaos soak benchmark to smoke-sized clusters "
+            "(the CI chaos leg); scenarios keep their event timelines."
+        ),
+    ),
+    Seam(
+        name="REPRO_CHAOS_SEED",
+        kind="int",
+        minimum=0,
+        default=None,
+        doc=(
+            "Override every chaos scenario's seed (same schedule + "
+            "seed => identical fault sequence and message counters)."
+        ),
+    ),
+    Seam(
+        name="REPRO_CHAOS_BUDGET",
+        kind="int",
+        minimum=1,
+        default=None,
+        doc=(
+            "Override the virtual-seconds convergence budget of chaos "
+            "runs (soak longer than the registered scenarios do)."
+        ),
+    ),
+    Seam(
         name="REPRO_REGEN_GOLDEN",
         kind="flag",
         testing_only=True,

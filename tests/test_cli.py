@@ -180,3 +180,59 @@ class TestScenariosCLI:
         captured = capsys.readouterr()
         assert code == 2
         assert "known scenarios" in captured.err
+
+
+class TestChaosCLI:
+    def test_list_prints_catalogue(self, capsys):
+        code = main(["chaos", "list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos_partition_heal" in out
+        assert "chaos_flash_crowd" in out
+        assert "chaos_targeted_kill" in out
+
+    def test_show_emits_round_trippable_json(self, capsys):
+        code = main(["chaos", "show", "chaos_partition_heal"])
+        out = capsys.readouterr().out
+        assert code == 0
+        data = json.loads(out)
+        assert data["name"] == "chaos_partition_heal"
+        assert [e["kind"] for e in data["schedule"]["events"]] == [
+            "partition",
+            "heal",
+        ]
+
+    def test_show_unknown_scenario(self, capsys):
+        code = main(["chaos", "show", "bogus"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "known scenarios" in captured.err
+
+    def test_run_smoke_exit_zero_on_reconvergence(self, capsys, tmp_path):
+        out_file = tmp_path / "report.json"
+        code = main(
+            ["chaos", "run", "chaos_partition_heal", "--smoke",
+             "--json-out", str(out_file)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "re-converged" in out
+        assert "time to functional" in out
+        report = json.loads(out_file.read_text())
+        assert report["converged"] is True
+        assert report["time_to_functional"] is not None
+
+    def test_run_seed_override(self, capsys):
+        code = main(
+            ["chaos", "run", "chaos_partition_heal", "--smoke",
+             "--seed", "321"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "321" in out
+
+    def test_run_unknown_scenario(self, capsys):
+        code = main(["chaos", "run", "bogus"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "known scenarios" in captured.err

@@ -161,3 +161,59 @@ class TestDecodingErrors:
             decode_message(data)
         except CodecError:
             pass
+
+
+class TestTruncationAndCorruption:
+    """Exhaustive truncation and seeded-corruption sweeps.
+
+    Every failure must surface as :class:`CodecError` -- never
+    ``IndexError``, ``struct.error``, or ``UnicodeDecodeError`` --
+    because a peer's receive path catches exactly ``CodecError``.
+    """
+
+    def frames(self):
+        """Valid frames covering both address kinds and both layers."""
+        int_sender = make_descriptor(1, address=7, timestamp=2.5)
+        host_sender = NodeDescriptor(
+            node_id=9, address=("node-a.example", 9000), timestamp=1.0
+        )
+        payload = (
+            make_descriptor(2, address=5),
+            NodeDescriptor(node_id=3, address=("h", 80), timestamp=9.0),
+        )
+        return [
+            encode_message(LAYER_BOOTSTRAP, 0, int_sender, payload),
+            encode_message(LAYER_BOOTSTRAP, 1, host_sender, payload),
+            encode_message(LAYER_NEWSCAST, 0, host_sender, ()),
+        ]
+
+    def test_every_prefix_raises_codec_error(self):
+        for frame in self.frames():
+            for cut in range(len(frame)):
+                with pytest.raises(CodecError):
+                    decode_message(frame[:cut])
+
+    def test_seeded_corruption_raises_only_codec_error(self):
+        import random
+
+        rng = random.Random(2024)
+        for frame in self.frames():
+            for _ in range(300):
+                data = bytearray(frame)
+                for _ in range(rng.randint(1, 4)):
+                    data[rng.randrange(len(data))] = rng.randrange(256)
+                try:
+                    decode_message(bytes(data))
+                except CodecError:
+                    pass
+
+    def test_corrupted_host_bytes_raise_codec_error(self):
+        # A host field holding invalid UTF-8 must not escape as
+        # UnicodeDecodeError (it is a ValueError but not a CodecError).
+        sender = NodeDescriptor(
+            node_id=9, address=("abcd", 9000), timestamp=1.0
+        )
+        frame = bytearray(encode_message(LAYER_BOOTSTRAP, 0, sender, ()))
+        frame[frame.index(b"abcd")] = 0xFF
+        with pytest.raises(CodecError, match="undecodable host"):
+            decode_message(bytes(frame))

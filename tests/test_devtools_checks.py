@@ -251,7 +251,7 @@ def test_undeclared_seam_rejected():
 
 def test_catalog_is_complete():
     names = [seam.name for seam in seams.catalog()]
-    assert len(names) == len(set(names)) == 15
+    assert len(names) == len(set(names)) == 18
     assert all(name.startswith("REPRO_") for name in names)
 
 

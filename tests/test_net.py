@@ -8,7 +8,17 @@ import random
 import pytest
 
 from repro.core import PAPER_CONFIG
-from repro.net import AsyncPeer, LocalCluster, LoopbackHub, LoopbackTransport
+from repro.net import (
+    AsyncPeer,
+    ContactTracker,
+    LocalCluster,
+    LoopbackHub,
+    LoopbackTransport,
+    RetryPolicy,
+    UdpTransport,
+    codec,
+    run_virtual,
+)
 from .conftest import make_descriptor
 
 
@@ -128,6 +138,233 @@ class TestAsyncPeer:
         peer = AsyncPeer(make_descriptor(1, address=0))
         with pytest.raises(RuntimeError):
             peer.start_bootstrap()
+
+
+class TestRetryPolicy:
+    def test_timeouts_grow_exponentially(self):
+        policy = RetryPolicy(base_timeout=0.1, backoff=2.0, jitter=0.0)
+        rng = random.Random(0)
+        timeouts = [policy.timeout_for(a, rng) for a in range(3)]
+        assert timeouts == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_timeout=0.1, backoff=1.0, jitter=0.5)
+        rng = random.Random(7)
+        for attempt in range(20):
+            timeout = policy.timeout_for(attempt, rng)
+            assert 0.1 <= timeout <= 0.1 * 1.5
+
+    def test_for_config_scales_with_delta(self):
+        config = PAPER_CONFIG.with_overrides(cycle_length=0.2)
+        policy = RetryPolicy.for_config(config)
+        assert policy.base_timeout == pytest.approx(0.4)
+        assert policy.stale_after == pytest.approx(8.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempts": 0},
+            {"base_timeout": 0.0},
+            {"backoff": 0.5},
+            {"jitter": -0.1},
+            {"demote_after": 0},
+            {"stale_after": 0.0},
+            {"max_outstanding": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestContactTracker:
+    def test_heard_clears_failure_streak(self):
+        tracker = ContactTracker()
+        assert tracker.note_failure("a") == 1
+        assert tracker.note_failure("a") == 2
+        tracker.note_heard("a", 1.0)
+        assert tracker.failures("a") == 0
+        assert tracker.last_heard("a") == 1.0
+
+    def test_stale_requires_failures_and_silence(self):
+        tracker = ContactTracker()
+        # Healthy and recently heard: never stale.
+        tracker.note_heard("a", 0.0)
+        assert not tracker.is_stale("a", 100.0, ttl=1.0)
+        # Failing but recently heard: not stale yet.
+        tracker.note_failure("a")
+        tracker._last_heard["a"] = 99.5
+        assert not tracker.is_stale("a", 100.0, ttl=1.0)
+        # Failing and silent beyond the TTL: stale.
+        assert tracker.is_stale("a", 101.0, ttl=1.0)
+        # Failing and never heard at all: stale immediately.
+        tracker.note_failure("b")
+        assert tracker.is_stale("b", 0.0, ttl=1.0)
+
+    def test_forget_drops_all_state(self):
+        tracker = ContactTracker()
+        tracker.note_heard("a", 1.0)
+        tracker.note_failure("a")
+        tracker.forget("a")
+        assert tracker.last_heard("a") is None
+        assert tracker.failures("a") == 0
+
+
+class TestPeerResilience:
+    def make_peer(self, hub, address=0, node_id=1, **retry_kwargs):
+        config = PAPER_CONFIG.with_overrides(cycle_length=0.05)
+        retry = RetryPolicy.for_config(config)
+        if retry_kwargs:
+            import dataclasses
+
+            retry = dataclasses.replace(retry, **retry_kwargs)
+        peer = AsyncPeer(
+            make_descriptor(node_id, address=address),
+            config,
+            rng=random.Random(node_id),
+            retry=retry,
+        )
+        peer.attach(LoopbackTransport(hub, address, peer.on_datagram))
+        return peer
+
+    def test_bad_bootstrap_payload_counted_not_fatal(self, monkeypatch):
+        """A well-framed bootstrap message whose payload decode raises
+        CodecError is dropped and counted, never propagated."""
+
+        async def scenario():
+            hub = LoopbackHub()
+            peer = self.make_peer(hub)
+
+            def explode(wire):
+                raise codec.CodecError("hostile payload")
+
+            monkeypatch.setattr(codec, "decode_bootstrap", explode)
+            frame = codec.encode_message(
+                codec.LAYER_BOOTSTRAP,
+                0,
+                make_descriptor(2, address=9),
+                (),
+            )
+            peer.on_datagram(frame, 9)
+            assert peer.frames_bad == 1
+            assert peer.frames_in == 1
+            await peer.stop()
+
+        run(scenario())
+
+    def test_retry_then_demote_dead_contact(self):
+        """Exchanges with a blackholed contact retry with backoff, fail,
+        and eventually demote its descriptor from the view."""
+
+        async def scenario():
+            hub = LoopbackHub()
+            peer = self.make_peer(hub, demote_after=2)
+            dead = make_descriptor(99, address=404)  # never registered
+            peer.seed([dead])
+            peer.start()
+            peer.start_bootstrap()
+            for _ in range(400):
+                await asyncio.sleep(0.05)
+                if peer.stale_demotions:
+                    break
+            snapshot = peer.resilience_snapshot()
+            view_ids = {
+                d.node_id for d in peer.newscast.view.descriptors()
+            }
+            await peer.stop()
+            return snapshot, view_ids
+
+        snapshot, view_ids = run_virtual(scenario())
+        assert snapshot["retries_sent"] > 0
+        assert snapshot["exchanges_failed"] > 0
+        assert snapshot["stale_demotions"] >= 1
+        assert 99 not in view_ids
+
+    def test_fallback_reaches_live_peer_after_demotion(self):
+        """After demoting a dead contact, the peer degrades gracefully
+        to a fresh NEWSCAST sample and completes an exchange."""
+
+        async def scenario():
+            hub = LoopbackHub()
+            peer = self.make_peer(hub, address=0, node_id=1, demote_after=1)
+            live = self.make_peer(hub, address=1, node_id=10**6)
+            # Ring-closest to the peer, so SELECTPEER keeps picking it.
+            dead = make_descriptor(2, address=404)
+            peer.seed([dead, live.descriptor])
+            live.seed([peer.descriptor])
+            peer.start()
+            live.start()
+            peer.start_bootstrap()
+            live.start_bootstrap()
+            for _ in range(400):
+                await asyncio.sleep(0.05)
+                if peer.fallback_exchanges and peer.exchanges_ok:
+                    break
+            snapshot = peer.resilience_snapshot()
+            await peer.stop()
+            await live.stop()
+            return snapshot
+
+        snapshot = run_virtual(scenario())
+        assert snapshot["fallback_exchanges"] >= 1
+        assert snapshot["exchanges_ok"] >= 1
+
+    def test_crashing_gossip_task_is_reaped(self):
+        """A peer whose gossip loop dies records the exception in
+        ``crashes`` instead of leaking an unretrieved-task warning, and
+        ``stop`` still completes cleanly."""
+
+        async def scenario():
+            hub = LoopbackHub()
+            peer = self.make_peer(hub)
+            peer.seed([make_descriptor(2, address=9)])
+
+            def explode():
+                raise RuntimeError("gossip meltdown")
+
+            peer.newscast.select_peer = explode
+            peer.start()
+            await asyncio.sleep(0.2)
+            await peer.stop()
+            return peer.crashes
+
+        crashes = run(scenario())
+        assert len(crashes) == 1
+        assert isinstance(crashes[0], RuntimeError)
+
+    def test_outstanding_exchange_cap_skips(self):
+        """Activations beyond max_outstanding are skipped, not queued."""
+
+        async def scenario():
+            hub = LoopbackHub()
+            peer = self.make_peer(hub, max_outstanding=1, attempts=3)
+            # Two dead contacts keep the single exchange slot busy.
+            peer.seed(
+                [
+                    make_descriptor(98, address=404),
+                    make_descriptor(99, address=405),
+                ]
+            )
+            peer.start()
+            peer.start_bootstrap()
+            for _ in range(200):
+                await asyncio.sleep(0.05)
+                if peer.exchange_skips:
+                    break
+            skips = peer.exchange_skips
+            await peer.stop()
+            return skips
+
+        assert run_virtual(scenario()) >= 1
+
+
+class TestUdpErrors:
+    def test_error_received_counted(self):
+        transport = UdpTransport(lambda data, addr: None)
+        assert transport.errors_received == 0
+        transport.error_received(ConnectionRefusedError("icmp"))
+        transport.error_received(OSError("unreachable"))
+        assert transport.errors_received == 2
 
 
 class TestLocalCluster:
